@@ -1,0 +1,22 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(section 4) or one ablation called out in DESIGN.md.  Each prints the
+series it measured (the same rows the paper plots) and writes it to
+``benchmarks/results/`` for EXPERIMENTS.md.
+
+Absolute numbers are not expected to match 2003 hardware; the assertions
+check the *shape*: who wins, where the knees fall, how overheads trend.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def publish(name: str, table: str) -> None:
+    """Print a series table and persist it for the experiment log."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    print()
+    print(table)

@@ -1,0 +1,59 @@
+"""Ablation A1 -- how much of the FS overhead is signing?
+
+The paper attributes FS-NewTOP's extra latency to three sources:
+input authentication, the leader's wait for the follower, and output
+signing (MD5-with-RSA).  Sweeping the crypto cost model isolates the
+cryptographic share: with free crypto, what remains is pure protocol
+structure (the extra ordering hop and comparison round).
+"""
+
+from repro.analysis import format_series_table
+from repro.crypto.costmodel import CryptoCostModel
+from repro.workloads import run_ordering_experiment
+
+from benchmarks.conftest import publish
+
+SCALES = [0.0, 0.5, 1.0, 2.0, 4.0]
+N_MEMBERS = 6
+MESSAGES = 8
+INTERVAL = 500.0
+
+
+def _sweep():
+    fs_latency = []
+    for scale in SCALES:
+        costs = CryptoCostModel().scaled(scale)
+        result = run_ordering_experiment(
+            "fs-newtop",
+            N_MEMBERS,
+            messages_per_member=MESSAGES,
+            interval=INTERVAL,
+            crypto_costs=costs,
+        )
+        assert result.fail_signals == 0
+        fs_latency.append(result.latency.mean)
+    baseline = run_ordering_experiment(
+        "newtop", N_MEMBERS, messages_per_member=MESSAGES, interval=INTERVAL
+    )
+    return fs_latency, baseline.latency.mean
+
+
+def test_crypto_cost_share(benchmark):
+    fs_latency, newtop_latency = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series_table(
+        "Ablation A1: FS-NewTOP latency vs crypto cost scale "
+        f"(NewTOP baseline {newtop_latency:.1f} ms, 6 members)",
+        "crypto_scale",
+        SCALES,
+        {"FS-NewTOP": fs_latency},
+        unit="ms",
+    )
+    publish("ablation_crypto", table)
+
+    # Latency grows monotonically with crypto cost.
+    for i in range(len(SCALES) - 1):
+        assert fs_latency[i] <= fs_latency[i + 1] * 1.05
+    assert fs_latency[-1] > fs_latency[0] * 1.5
+    # Even free crypto leaves a structural overhead over NewTOP (the
+    # ordering hop and the comparison round are not crypto).
+    assert fs_latency[0] > newtop_latency

@@ -1,0 +1,50 @@
+"""Ablation A2 -- the request thread pool.
+
+The paper singles out the ORB's configurable pool ("a default of 10
+threads to handle incoming requests") as the cause of the Figure 7 drop
+past 10 members.  This ablation sweeps the pool size at a fixed group
+size above the default knee and reports throughput and latency.
+"""
+
+from repro.analysis import format_series_table
+from repro.workloads import run_ordering_experiment
+
+from benchmarks.conftest import publish
+
+POOL_SIZES = [2, 4, 10, 20, 40]
+N_MEMBERS = 12
+MESSAGES = 8
+INTERVAL = 70.0
+
+
+def _sweep():
+    throughput, latency = [], []
+    for pool in POOL_SIZES:
+        result = run_ordering_experiment(
+            "newtop",
+            N_MEMBERS,
+            messages_per_member=MESSAGES,
+            interval=INTERVAL,
+            pool_size=pool,
+        )
+        throughput.append(result.throughput_msgs_per_s)
+        latency.append(result.latency.mean)
+    return throughput, latency
+
+
+def test_thread_pool_sweep(benchmark):
+    throughput, latency = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series_table(
+        f"Ablation A2: NewTOP at {N_MEMBERS} members vs thread-pool size",
+        "pool_size",
+        POOL_SIZES,
+        {"throughput (msg/s)": throughput, "latency (ms)": latency},
+    )
+    publish("ablation_threadpool", table)
+
+    # A starved pool must not beat an ample one.
+    assert throughput[0] <= max(throughput) * 1.05
+    # Beyond the knee, extra threads stop helping: the group's load is
+    # bounded by per-servant serialisation and CPU, so 20 vs 40 threads
+    # are within noise of each other.
+    assert abs(throughput[-1] - throughput[-2]) < 0.25 * max(throughput)

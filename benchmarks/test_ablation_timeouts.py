@@ -1,0 +1,83 @@
+"""Ablation A3 -- the κ, σ, δ parameters and assumption A2/A3/A4.
+
+Section 5 of the paper: if the divergence bounds do not actually hold,
+"correct replicas might find each other untimely and start emitting
+fail-signals unnecessarily".  This ablation makes that concrete:
+
+* violating A2 (LAN delay beyond δ, via fault injection) produces a
+  spurious fail-signal from a perfectly healthy pair;
+* growing κ and σ buys tolerance to processing-divergence at the price
+  of slower genuine-failure detection (the timeout grows).
+"""
+
+from repro.analysis import format_series_table
+from repro.core import FsoConfig, FsoRole
+from repro.workloads import run_ordering_experiment
+
+from benchmarks.conftest import publish
+
+from tests.core.conftest import FsRig
+
+KAPPA_SIGMA = [1.0, 2.0, 4.0, 8.0]
+
+
+def _a2_violation_signals(extra_delay_ms):
+    """Healthy pair, LAN delay inflated beyond δ on the follower side."""
+    rig = FsRig(config=FsoConfig(delta=2.0))
+    rig.submit("add", 1)
+    rig.run()
+    rig.fs.link.inject_extra_delay(rig.node_b.name, extra_delay_ms)
+    rig.submit("add", 2)
+    rig.run()
+    return 1 if rig.fs.signaled else 0
+
+
+def _detection_timeout(kappa_sigma):
+    """Time for a leader to detect a crashed follower, as a function of
+    the κ/σ margins (larger margins -> slower detection)."""
+    rig = FsRig(config=FsoConfig(delta=2.0, kappa=kappa_sigma, sigma=kappa_sigma))
+    rig.submit("add", 1)
+    rig.run()
+    rig.fs.crash_node(FsoRole.FOLLOWER)
+    before = rig.sim.now
+    rig.submit("add", 2)
+    rig.run()
+    assert rig.fs.leader.signaled
+    signal_events = rig.sim.trace.select(category="fso", event="fail-signal")
+    return min(rec.time for rec in signal_events) - before
+
+
+def _experiment():
+    spurious = [
+        _a2_violation_signals(0.0),
+        _a2_violation_signals(5.0),
+        _a2_violation_signals(50.0),
+    ]
+    detection = [_detection_timeout(ks) for ks in KAPPA_SIGMA]
+    return spurious, detection
+
+
+def test_timeout_parameters(benchmark):
+    spurious, detection = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    table_a2 = format_series_table(
+        "Ablation A3a: spurious fail-signals when the LAN exceeds delta (A2 violated)",
+        "extra_delay_ms",
+        [0, 5, 50],
+        {"healthy pair signalled": [float(s) for s in spurious]},
+    )
+    table_ks = format_series_table(
+        "Ablation A3b: genuine-failure detection time vs kappa=sigma margin",
+        "kappa=sigma",
+        KAPPA_SIGMA,
+        {"detection (ms)": detection},
+    )
+    publish("ablation_timeouts", table_a2 + "\n\n" + table_ks)
+
+    # Within delta: no signal.  Far beyond delta: the healthy pair
+    # misjudges its peer -- exactly the failure mode section 5 warns of.
+    assert spurious[0] == 0
+    assert spurious[2] == 1
+    # Detection latency grows with the margins (monotone).
+    for i in range(len(KAPPA_SIGMA) - 1):
+        assert detection[i] <= detection[i + 1] + 1e-9

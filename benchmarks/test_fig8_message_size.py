@@ -1,0 +1,67 @@
+"""Figure 8 -- throughput vs message size, fixed 10-member group.
+
+Paper setup: group of 10, message sizes 0k..10k; throughput of both
+systems measured.
+
+Paper's findings to reproduce in shape:
+* throughput of both systems falls as the message size grows;
+* FS-NewTOP's deficit is roughly constant across message sizes (the
+  per-output signing cost is size-insensitive apart from digesting).
+"""
+
+from repro.analysis import format_series_table
+from repro.workloads import run_ordering_experiment
+
+from benchmarks.conftest import publish
+
+MESSAGE_SIZES_KB = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+N_MEMBERS = 10
+MESSAGES_PER_MEMBER = 6
+INTERVAL_MS = 70.0
+
+
+def _sweep():
+    newtop, fs = [], []
+    for size_kb in MESSAGE_SIZES_KB:
+        size = size_kb * 1024
+        base = run_ordering_experiment(
+            "newtop",
+            N_MEMBERS,
+            messages_per_member=MESSAGES_PER_MEMBER,
+            interval=INTERVAL_MS,
+            message_size=size,
+        )
+        wrapped = run_ordering_experiment(
+            "fs-newtop",
+            N_MEMBERS,
+            messages_per_member=MESSAGES_PER_MEMBER,
+            interval=INTERVAL_MS,
+            message_size=size,
+        )
+        assert wrapped.fail_signals == 0, f"spurious fail-signal at {size_kb}k"
+        newtop.append(base.throughput_msgs_per_s)
+        fs.append(wrapped.throughput_msgs_per_s)
+    return newtop, fs
+
+
+def test_fig8_message_size(benchmark):
+    newtop, fs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = format_series_table(
+        "Figure 8: throughput vs message size (10 members)",
+        "size_kb",
+        MESSAGE_SIZES_KB,
+        {"NewTOP": newtop, "FS-NewTOP": fs},
+        unit="msg/s",
+        overhead_between=("NewTOP", "FS-NewTOP"),
+    )
+    publish("fig8_message_size", table)
+
+    # Throughput decreases with message size for both systems.
+    assert newtop[-1] < newtop[0]
+    assert fs[-1] < fs[0]
+    # FS-NewTOP below NewTOP at every size.
+    for i, kb in enumerate(MESSAGE_SIZES_KB):
+        assert fs[i] < newtop[i], f"FS-NewTOP above baseline at {kb}k"
+    # The deficit does not explode with size (paper: roughly constant).
+    deficits = [newtop[i] - fs[i] for i in range(len(MESSAGE_SIZES_KB))]
+    assert max(deficits) < 3.0 * max(min(deficits), 1.0)

@@ -1,0 +1,69 @@
+"""E4 -- the node-count cost of the approach (sections 1 and 3).
+
+The paper's cost analysis: masking f application-level Byzantine faults
+needs 2f+1 application replicas; each replica's middleware is an FS pair
+on two nodes, so FS-NewTOP needs 4f+2 nodes -- (f+1) more than the
+3f+1 optimum of from-scratch Byzantine total-order protocols.
+
+This "benchmark" regenerates that table and cross-checks it against the
+number of nodes the deployment builder actually instantiates.
+"""
+
+from repro.analysis import format_series_table
+from repro.fsnewtop import ByzantineTolerantGroup, node_requirements
+from repro.sim import Simulator
+
+from benchmarks.conftest import publish
+
+FAULT_BUDGETS = [1, 2, 3, 4, 5]
+
+
+def _table_rows():
+    rows = {
+        "app replicas (2f+1)": [],
+        "FS-NewTOP nodes (4f+2)": [],
+        "from-scratch BFT (3f+1)": [],
+        "crash-only (f+1)": [],
+        "FS extra vs optimum": [],
+    }
+    for f in FAULT_BUDGETS:
+        req = node_requirements(f)
+        rows["app replicas (2f+1)"].append(float(req.app_replicas))
+        rows["FS-NewTOP nodes (4f+2)"].append(float(req.fs_newtop_nodes))
+        rows["from-scratch BFT (3f+1)"].append(float(req.traditional_bft_nodes))
+        rows["crash-only (f+1)"].append(float(req.crash_tolerant_nodes))
+        rows["FS extra vs optimum"].append(float(req.fs_overhead_nodes))
+    return rows
+
+
+def test_node_cost_table(benchmark):
+    rows = benchmark.pedantic(_table_rows, rounds=1, iterations=1)
+    table = format_series_table(
+        "Node requirements to mask f Byzantine faults (section 1 cost analysis)",
+        "f",
+        FAULT_BUDGETS,
+        rows,
+    )
+    publish("node_cost", table)
+
+    for i, f in enumerate(FAULT_BUDGETS):
+        assert rows["FS-NewTOP nodes (4f+2)"][i] == 4 * f + 2
+        assert rows["from-scratch BFT (3f+1)"][i] == 3 * f + 1
+        assert rows["FS extra vs optimum"][i] == f + 1
+
+
+def test_deployment_builder_matches_figure4_cost():
+    """The figure 4 deployment really instantiates 2 nodes per member
+    (4f+2 when the group holds 2f+1 application replicas)."""
+    for f in (1, 2):
+        members = 2 * f + 1
+        sim = Simulator()
+        group = ByzantineTolerantGroup(sim, n_members=members, collapsed=False)
+        assert group.nodes_used() == 4 * f + 2
+
+
+def test_collapsed_deployment_halves_nodes():
+    """The figure 5 experimental placement uses one node per member."""
+    sim = Simulator()
+    group = ByzantineTolerantGroup(sim, n_members=3, collapsed=True)
+    assert group.nodes_used() == 3

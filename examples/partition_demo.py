@@ -1,0 +1,83 @@
+"""False suspicions: timeout-based NewTOP vs fail-signal FS-NewTOP.
+
+Both systems run over the same misbehaving network -- correct processes,
+no crashes, but occasional 400ms delay spikes.  NewTOP's ping suspector
+(with the aggressive timeouts one would pick for fast detection)
+misreads the spikes as failures and splits the group.  FS-NewTOP has no
+timeouts to fool: a suspicion requires an authenticated fail-signal,
+so the group stays whole and total ordering just keeps terminating.
+
+Run:  python examples/partition_demo.py
+"""
+
+from repro.fsnewtop import ByzantineTolerantGroup
+from repro.net import SpikeDelay, UniformDelay
+from repro.newtop import CrashTolerantGroup, ServiceType
+from repro.sim import Simulator
+
+
+def spiky_delay():
+    return SpikeDelay(UniformDelay(0.3, 1.2), spike_probability=0.35, spike_ms=400.0)
+
+
+def run_newtop():
+    sim = Simulator(seed=11)
+    group = CrashTolerantGroup(
+        sim,
+        n_members=3,
+        delay=spiky_delay(),
+        suspectors=True,
+        suspector_interval=100.0,
+        suspector_timeout=50.0,
+        suspector_max_misses=1,
+    )
+    sim.run(until=120_000)
+    views = {m: group.views(m) for m in range(3)}
+    false_suspicions = sum(len(s.suspicions_raised) for s in group.suspectors.values())
+    return views, false_suspicions
+
+
+def run_fs_newtop():
+    sim = Simulator(seed=11)
+    group = ByzantineTolerantGroup(sim, n_members=3, delay=spiky_delay())
+    for round_no in range(5):
+        for m in range(3):
+            sim.schedule(
+                round_no * 500.0,
+                lambda m=m, r=round_no: group.multicast(
+                    m, ServiceType.SYMMETRIC_TOTAL.value, (r, m)
+                ),
+            )
+    sim.run_until_idle(max_events=20_000_000)
+    views = {m: group.views(m) for m in range(3)}
+    suspicions = sum(len(group.member(m).suspector.suspicions_raised) for m in range(3))
+    ordered = len(group.deliveries(0))
+    return views, suspicions, ordered
+
+
+def main():
+    print("network: uniform 0.3-1.2ms delays with 35% chance of a +400ms spike")
+    print("nobody crashes; every process is correct\n")
+
+    print("== NewTOP (ping suspector, aggressive timeouts) ==")
+    views, false_suspicions = run_newtop()
+    print(f"  false suspicions raised: {false_suspicions}")
+    for m, view_list in views.items():
+        if view_list:
+            print(f"  member-{m} ended in shrunken view: {view_list[-1]}")
+    split = any(view_list for view_list in views.values())
+    print(f"  group split without any failure: {split}\n")
+
+    print("== FS-NewTOP (suspicion = authenticated fail-signal) ==")
+    fs_views, fs_suspicions, ordered = run_fs_newtop()
+    print(f"  suspicions raised: {fs_suspicions}")
+    print(f"  view changes: {sum(len(v) for v in fs_views.values())}")
+    print(f"  messages totally ordered despite the spikes: {ordered}")
+
+    assert split, "expected the timeout-based system to split"
+    assert fs_suspicions == 0 and all(not v for v in fs_views.values())
+    print("\nFS-NewTOP kept the full group and kept ordering; suspicions cannot be false.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""FS-NewTOP reproduction.
+
+Reproduction of "From Crash Tolerance to Authenticated Byzantine
+Tolerance: A Structured Approach, the Cost and Benefits" (Mpoeleng,
+Ezhilchelvan and Speirs, DSN 2003).
+
+The package is layered bottom-up:
+
+* :mod:`repro.sim` -- deterministic discrete-event simulation kernel.
+* :mod:`repro.crypto` -- RSA/MD5 signing substrate (assumption A5).
+* :mod:`repro.net` -- synchronous LAN and asynchronous network models.
+* :mod:`repro.corba` -- CORBA-lite ORB with interceptors and thread pools.
+* :mod:`repro.newtop` -- the crash-tolerant NewTOP group communication
+  middleware (the paper's baseline).
+* :mod:`repro.core` -- the paper's contribution: fail-signal (FS)
+  processes built from self-checking replica pairs.
+* :mod:`repro.fsnewtop` -- NewTOP extended with FS wrappers
+  (authenticated-Byzantine-tolerant middleware).
+* :mod:`repro.workloads`, :mod:`repro.analysis` -- experiment drivers
+  and measurement tooling for the paper's Figures 6-8.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

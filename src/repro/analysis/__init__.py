@@ -1,0 +1,6 @@
+"""Measurement and reporting utilities for the experiments."""
+
+from repro.analysis.metrics import LatencyRecorder, summarize
+from repro.analysis.tables import format_series_table
+
+__all__ = ["LatencyRecorder", "format_series_table", "summarize"]

@@ -1,0 +1,110 @@
+"""Latency and throughput measurement."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Summary:
+    """Order statistics of a latency sample, in milliseconds."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f}ms median={self.median:.2f}ms "
+            f"p95={self.p95:.2f}ms max={self.maximum:.2f}ms"
+        )
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile on a pre-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def summarize(samples: list[float]) -> Summary:
+    """Summary statistics of a latency sample."""
+    if not samples:
+        raise ValueError("cannot summarise an empty sample")
+    ordered = sorted(samples)
+    return Summary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        median=_percentile(ordered, 0.5),
+        p95=_percentile(ordered, 0.95),
+        maximum=ordered[-1],
+    )
+
+
+class LatencyRecorder:
+    """Matches sends to deliveries and accumulates per-message latency.
+
+    A message is identified by an arbitrary hashable key (the workloads
+    use ``(sender, round)``).  Latency is recorded per delivering member
+    and aggregated both per delivery and per message-completion (the
+    time until *every* member delivered)."""
+
+    def __init__(self) -> None:
+        self._sent_at: dict = {}
+        self._deliveries: dict = {}
+        self.per_delivery: list[float] = []
+        self.first_send: float | None = None
+        self.last_delivery: float | None = None
+
+    def sent(self, key, time: float) -> None:
+        if key in self._sent_at:
+            raise ValueError(f"duplicate send for {key!r}")
+        self._sent_at[key] = time
+        if self.first_send is None or time < self.first_send:
+            self.first_send = time
+
+    def delivered(self, key, member: str, time: float) -> None:
+        sent = self._sent_at.get(key)
+        if sent is None:
+            return  # delivery of a message outside the measured window
+        members = self._deliveries.setdefault(key, {})
+        if member in members:
+            return  # duplicate delivery would double-count
+        members[member] = time
+        self.per_delivery.append(time - sent)
+        if self.last_delivery is None or time > self.last_delivery:
+            self.last_delivery = time
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def messages_sent(self) -> int:
+        return len(self._sent_at)
+
+    def completion_latencies(self, n_members: int) -> list[float]:
+        """Latency until the last of ``n_members`` delivered, for every
+        fully delivered message."""
+        out = []
+        for key, members in self._deliveries.items():
+            if len(members) >= n_members:
+                out.append(max(members.values()) - self._sent_at[key])
+        return out
+
+    def fully_delivered(self, n_members: int) -> int:
+        return sum(1 for members in self._deliveries.values() if len(members) >= n_members)
+
+    def throughput_msgs_per_s(self, n_members: int) -> float:
+        """Fully ordered messages per wall-clock second (virtual time),
+        over the span from first send to last delivery."""
+        done = self.fully_delivered(n_members)
+        if done == 0 or self.first_send is None or self.last_delivery is None:
+            return 0.0
+        span_ms = self.last_delivery - self.first_send
+        if span_ms <= 0:
+            return 0.0
+        return done / (span_ms / 1000.0)

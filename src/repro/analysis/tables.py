@@ -1,0 +1,43 @@
+"""ASCII rendering of experiment series, in the shape of the paper's
+figures (x-axis column plus one column per system)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    unit: str = "",
+    overhead_between: tuple[str, str] | None = None,
+) -> str:
+    """Render aligned columns for an experiment's data series.
+
+    ``overhead_between=(base, other)`` appends a percentage column
+    ``(other-base)/base`` -- the overhead number the paper quotes in its
+    prose for each figure."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} has {len(values)} points, want {len(x_values)}")
+    headers = [x_label] + [f"{name} ({unit})" if unit else name for name in series]
+    if overhead_between is not None:
+        headers.append("overhead %")
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [str(x)] + [f"{series[name][i]:.1f}" for name in series]
+        if overhead_between is not None:
+            base_name, other_name = overhead_between
+            base = series[base_name][i]
+            other = series[other_name][i]
+            row.append(f"{100.0 * (other - base) / base:+.0f}%" if base else "n/a")
+        rows.append(row)
+    widths = [max(len(headers[c]), *(len(r[c]) for r in rows)) for c in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[c] for c in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+    return "\n".join(lines)

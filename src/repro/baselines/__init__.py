@@ -1,0 +1,15 @@
+"""Comparator baselines.
+
+The paper positions FS-NewTOP against Byzantine-tolerant protocols
+"developed almost 'from scratch'" (section 1, citing SecureRing,
+Byzantine quorums, and PBFT [CL99]): they need only 3f+1 nodes but at
+least one extra communication round and a liveness requirement for
+termination.  :mod:`repro.baselines.pbft` implements such a protocol --
+a PBFT-style authenticated atomic broadcast -- so the trade-off the
+paper argues (nodes and rounds vs liveness assumptions) can be measured
+rather than cited.
+"""
+
+from repro.baselines.pbft import PbftCluster, PbftReplica
+
+__all__ = ["PbftCluster", "PbftReplica"]

@@ -1,0 +1,382 @@
+"""A PBFT-style authenticated Byzantine atomic broadcast (the 3f+1
+from-scratch comparator, after Castro & Liskov [CL99]).
+
+Normal case, for a cluster of n = 3f+1 replicas:
+
+1. the client's request reaches the primary of the current view;
+2. primary assigns a sequence number and multicasts PRE-PREPARE;
+3. every replica multicasts PREPARE; a replica is *prepared* once it
+   holds the pre-prepare plus 2f matching prepares;
+4. prepared replicas multicast COMMIT; with 2f+1 matching commits the
+   request is executed (delivered) in sequence order.
+
+View change: backups set a timer whenever they know of a pending
+request; if the primary does not get it committed in time they multicast
+VIEW-CHANGE, and on 2f+1 such messages the next primary installs the new
+view and re-drives pending requests.  **The timer is the point**: this
+protocol's termination rests on a timeout chosen against unknown network
+delays -- the liveness requirement the fail-signal approach removes.
+
+Messages are authenticated (per-message signature via the shared
+keystore; costs charged through the node's crypto cost model), matching
+the "authenticated Byzantine" fault model of the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.corba.node import Node
+from repro.corba.orb import ObjectRef, Request, Servant
+from repro.net.message import HEADER_BYTES, wire_size
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ClientRequest:
+    client: str
+    op_id: int
+    payload: typing.Any
+
+    @property
+    def wire_size(self) -> int:
+        return HEADER_BYTES + wire_size(self.payload) - HEADER_BYTES + 16
+
+    @property
+    def digest(self) -> tuple:
+        return (self.client, self.op_id)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PrePrepare:
+    view: int
+    seq: int
+    request: ClientRequest
+
+    @property
+    def wire_size(self) -> int:
+        return 32 + self.request.wire_size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Prepare:
+    view: int
+    seq: int
+    digest: tuple
+    replica: str
+
+    @property
+    def wire_size(self) -> int:
+        return 96  # header + digest + signature
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Commit:
+    view: int
+    seq: int
+    digest: tuple
+    replica: str
+
+    @property
+    def wire_size(self) -> int:
+        return 96
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ViewChange:
+    new_view: int
+    replica: str
+    pending: tuple  # requests the replica has seen but not executed
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + sum(req.wire_size for req in self.pending)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NewView:
+    view: int
+    pending: tuple
+
+    @property
+    def wire_size(self) -> int:
+        return 48 + sum(req.wire_size for req in self.pending)
+
+
+@dataclasses.dataclass(slots=True)
+class _SlotState:
+    request: ClientRequest | None = None
+    prepares: set = dataclasses.field(default_factory=set)
+    commits: set = dataclasses.field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+
+
+class PbftReplica(Process, Servant):
+    """One replica of the PBFT-style cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        replica_id: str,
+        cluster: "PbftCluster",
+        view_timeout: float,
+    ) -> None:
+        Process.__init__(self, sim, f"pbft/{replica_id}")
+        self.node = node
+        self.replica_id = replica_id
+        self.cluster = cluster
+        self.view_timeout = view_timeout
+        self.view = 0
+        self.next_seq = 1  # primary-side allocation
+        self.exec_seq = 1  # next sequence to execute
+        self._slots: dict[tuple[int, int], _SlotState] = {}
+        self._pending: dict[tuple, ClientRequest] = {}
+        self._executed_digests: set[tuple] = set()
+        self._view_votes: dict[int, set[str]] = {}
+        self.executed: list[ClientRequest] = []
+        self.on_execute: typing.Callable[[ClientRequest], None] | None = None
+        self.view_changes = 0
+        self.byzantine_silent = False  # fault injection: stop participating
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @property
+    def f(self) -> int:
+        return self.cluster.f
+
+    def _primary_of(self, view: int) -> str:
+        return self.cluster.replica_ids[view % len(self.cluster.replica_ids)]
+
+    @property
+    def is_primary(self) -> bool:
+        return self._primary_of(self.view) == self.replica_id
+
+    def _multicast(self, method: str, msg: typing.Any) -> None:
+        if self.byzantine_silent:
+            return
+        sign = self.node.crypto_costs.sign_cost(msg.wire_size)
+        # Authentication cost is charged as part of issuing the message.
+        self.node.cpu.execute(sign, self._do_multicast, method, msg)
+
+    def _do_multicast(self, method: str, msg: typing.Any) -> None:
+        if not self.alive:
+            return
+        for replica_id, ref in self.cluster.refs.items():
+            if replica_id == self.replica_id:
+                getattr(self, method)(msg)
+            else:
+                self.node.orb.oneway(ref, method, msg)
+
+    def _slot(self, view: int, seq: int) -> _SlotState:
+        return self._slots.setdefault((view, seq), _SlotState())
+
+    def invocation_cost(self, request: Request) -> float:
+        return self.node.crypto_costs.verify_cost(request.size)
+
+    # ------------------------------------------------------------------
+    # protocol: normal case
+    # ------------------------------------------------------------------
+    def submit(self, request: ClientRequest) -> None:
+        """Client entry point (invoked at any replica; forwarded)."""
+        if self.byzantine_silent:
+            return
+        if request.digest in self._pending or request.digest in self._executed_digests:
+            return
+        self._pending[request.digest] = request
+        if self.is_primary:
+            self._allocate(request)
+        else:
+            self.node.orb.oneway(
+                self.cluster.refs[self._primary_of(self.view)], "submit", request
+            )
+        # Backup liveness watch: the request must commit within the
+        # timeout or the primary is suspected.
+        self.set_timer(("watch", request.digest), self.view_timeout, request.digest)
+
+    def _allocate(self, request: ClientRequest) -> None:
+        seq = self.next_seq
+        self.next_seq += 1
+        self._multicast("pre_prepare", PrePrepare(view=self.view, seq=seq, request=request))
+
+    def pre_prepare(self, msg: PrePrepare) -> None:
+        if not self.alive or self.byzantine_silent:
+            return
+        if msg.view != self.view:
+            return
+        slot = self._slot(msg.view, msg.seq)
+        if slot.request is not None and slot.request.digest != msg.request.digest:
+            return  # equivocating primary; the timeout will catch it
+        slot.request = msg.request
+        self._pending.setdefault(msg.request.digest, msg.request)
+        self._multicast(
+            "prepare",
+            Prepare(view=msg.view, seq=msg.seq, digest=msg.request.digest, replica=self.replica_id),
+        )
+        self._check_prepared(msg.view, msg.seq)
+
+    def prepare(self, msg: Prepare) -> None:
+        if not self.alive or self.byzantine_silent or msg.view != self.view:
+            return
+        slot = self._slot(msg.view, msg.seq)
+        slot.prepares.add(msg.replica)
+        self._check_prepared(msg.view, msg.seq)
+
+    def _check_prepared(self, view: int, seq: int) -> None:
+        slot = self._slot(view, seq)
+        if slot.prepared or slot.request is None:
+            return
+        if len(slot.prepares) >= 2 * self.f:
+            slot.prepared = True
+            self._multicast(
+                "commit",
+                Commit(view=view, seq=seq, digest=slot.request.digest, replica=self.replica_id),
+            )
+            self._check_committed(view, seq)
+
+    def commit(self, msg: Commit) -> None:
+        if not self.alive or self.byzantine_silent or msg.view != self.view:
+            return
+        slot = self._slot(msg.view, msg.seq)
+        slot.commits.add(msg.replica)
+        self._check_committed(msg.view, msg.seq)
+
+    def _check_committed(self, view: int, seq: int) -> None:
+        slot = self._slot(view, seq)
+        if slot.committed or not slot.prepared:
+            return
+        if len(slot.commits) >= 2 * self.f + 1:
+            slot.committed = True
+            self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while True:
+            slot = self._slots.get((self.view, self.exec_seq))
+            if slot is None or not slot.committed or slot.request is None:
+                return
+            request = slot.request
+            self.exec_seq += 1
+            self._pending.pop(request.digest, None)
+            self.cancel_timer(("watch", request.digest))
+            if request.digest in self._executed_digests:
+                continue  # re-proposed across a view change; execute once
+            self._executed_digests.add(request.digest)
+            self.executed.append(request)
+            self.trace("pbft", "execute", seq=self.exec_seq - 1, op=request.op_id)
+            if self.on_execute is not None:
+                self.on_execute(request)
+
+    # ------------------------------------------------------------------
+    # protocol: view change (the liveness dependency)
+    # ------------------------------------------------------------------
+    def on_timer(self, tag, *args) -> None:
+        if isinstance(tag, tuple) and tag[0] == "watch":
+            digest = args[0]
+            if digest in self._pending and not self.byzantine_silent:
+                self._start_view_change()
+
+    def _start_view_change(self) -> None:
+        target = self.view + 1
+        self.trace("pbft", "view-change", target=target)
+        self._multicast(
+            "view_change",
+            ViewChange(
+                new_view=target,
+                replica=self.replica_id,
+                pending=tuple(self._pending.values()),
+            ),
+        )
+
+    def view_change(self, msg: ViewChange) -> None:
+        if not self.alive or self.byzantine_silent or msg.new_view <= self.view:
+            return
+        votes = self._view_votes.setdefault(msg.new_view, set())
+        votes.add(msg.replica)
+        self._merge_pending(msg.pending)
+        if len(votes) >= 2 * self.f + 1 and self._primary_of(msg.new_view) == self.replica_id:
+            self._multicast(
+                "new_view",
+                NewView(view=msg.new_view, pending=tuple(self._pending.values())),
+            )
+
+    def new_view(self, msg: NewView) -> None:
+        if not self.alive or self.byzantine_silent or msg.view <= self.view:
+            return
+        self.view = msg.view
+        self.view_changes += 1
+        self.next_seq = self.exec_seq
+        self._merge_pending(msg.pending)
+        self.trace("pbft", "new-view", view=msg.view)
+        if self.is_primary:
+            for digest in sorted(self._pending):
+                self._allocate(self._pending[digest])
+        else:
+            for digest in sorted(self._pending):
+                self.set_timer(("watch", digest), self.view_timeout, digest)
+
+    def _merge_pending(self, requests: tuple) -> None:
+        for req in requests:
+            if req.digest not in self._executed_digests:
+                self._pending.setdefault(req.digest, req)
+
+    # Process API (timers only; messages come through the ORB).
+    def on_message(self, message) -> None:  # pragma: no cover - defensive
+        raise NotImplementedError("PbftReplica communicates via ORB invocations")
+
+
+class PbftCluster:
+    """A wired 3f+1 replica cluster on dedicated nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        f: int,
+        network,
+        view_timeout: float = 500.0,
+        node_kwargs: dict | None = None,
+    ) -> None:
+        if f < 1:
+            raise ValueError(f"f must be >= 1, got {f}")
+        self.sim = sim
+        self.f = f
+        self.n = 3 * f + 1
+        self.replica_ids = [f"pbft-{i}" for i in range(self.n)]
+        self.refs: dict[str, ObjectRef] = {}
+        self.replicas: dict[str, PbftReplica] = {}
+        self.nodes: dict[str, Node] = {}
+        kwargs = node_kwargs or {}
+        for replica_id in self.replica_ids:
+            node = Node(sim, replica_id, network, **kwargs)
+            self.nodes[replica_id] = node
+            replica = PbftReplica(sim, node, replica_id, self, view_timeout)
+            self.replicas[replica_id] = replica
+            self.refs[replica_id] = node.activate("pbft", replica)
+        self._op_counter = 0
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(self, payload: typing.Any, client: str = "client") -> ClientRequest:
+        """Inject a request at every replica (client multicasts, as PBFT
+        clients do when the primary might be faulty)."""
+        self._op_counter += 1
+        request = ClientRequest(client=client, op_id=self._op_counter, payload=payload)
+        for replica in self.replicas.values():
+            self.sim.schedule(0.0, replica.submit, request)
+        return request
+
+    def executed_sequences(self) -> list[list[int]]:
+        return [
+            [req.op_id for req in self.replicas[r].executed] for r in self.replica_ids
+        ]
+
+    def crash(self, replica_id: str) -> None:
+        self.replicas[replica_id].kill()
+        self.nodes[replica_id].crash()
+
+    def make_byzantine_silent(self, replica_id: str) -> None:
+        self.replicas[replica_id].byzantine_silent = True

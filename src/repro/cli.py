@@ -1,0 +1,108 @@
+"""Command-line experiment runner.
+
+Runs a single ordering experiment on either system and prints the
+measured figures -- the quickest way to poke at the reproduction
+without writing a script:
+
+    python -m repro --system fs-newtop --members 6 --messages 10
+    python -m repro --compare --members 8 --interval 150
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_series_table
+from repro.newtop.services import ServiceType
+from repro.workloads import run_ordering_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FS-NewTOP reproduction: run one ordering experiment.",
+    )
+    parser.add_argument(
+        "--system",
+        choices=["newtop", "fs-newtop"],
+        default="fs-newtop",
+        help="which middleware stack to run (default: fs-newtop)",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="run both systems with identical workloads and show both",
+    )
+    parser.add_argument("--members", type=int, default=4, help="group size (default 4)")
+    parser.add_argument(
+        "--messages", type=int, default=10, help="multicasts per member (default 10)"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=150.0, help="send interval in ms (default 150)"
+    )
+    parser.add_argument(
+        "--size", type=int, default=3, help="message payload bytes (default 3)"
+    )
+    parser.add_argument(
+        "--service",
+        choices=[s.value for s in ServiceType],
+        default=ServiceType.SYMMETRIC_TOTAL.value,
+        help="NewTOP service type (default symmetric_total)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed (default 0)")
+    return parser
+
+
+def _run(system: str, args: argparse.Namespace):
+    return run_ordering_experiment(
+        system,
+        args.members,
+        seed=args.seed,
+        messages_per_member=args.messages,
+        interval=args.interval,
+        message_size=args.size,
+        service=args.service,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.members < 1:
+        print("error: --members must be >= 1")
+        return 2
+    systems = ["newtop", "fs-newtop"] if args.compare else [args.system]
+    results = {system: _run(system, args) for system in systems}
+
+    metrics = [
+        "mean latency (ms)",
+        "p95 latency (ms)",
+        "throughput (msg/s)",
+        "network messages",
+        "network MB",
+        "fail-signals",
+    ]
+    series = {}
+    for system, result in results.items():
+        series[system] = [
+            result.latency.mean,
+            result.latency.p95,
+            result.throughput_msgs_per_s,
+            float(result.network_messages),
+            result.network_bytes / 1e6,
+            float(result.fail_signals),
+        ]
+    print(
+        format_series_table(
+            f"Ordering experiment: {args.members} members, "
+            f"{args.messages} msgs/member @ {args.interval:.0f}ms, "
+            f"{args.size}B payloads, service={args.service}",
+            "metric",
+            metrics,
+            series,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""CORBA-lite object request broker.
+
+NewTOP is "implemented as a CORBA object" and the FS extension leans on
+three CORBA properties the paper calls out explicitly:
+
+* **location independence** -- a client invokes an object reference the
+  same way whether the servant is local or remote (section 3: GC' being
+  on a different node "will not matter since the communication between
+  the two is via the ORB");
+* **portable interceptors** -- requests can be intercepted "on the fly"
+  and redirected/duplicated, which is how GC is wrapped transparently
+  (section 3.1, citing the Eternal system);
+* **a configurable server thread pool** (default 10) whose saturation
+  produces Figure 7's throughput knee.
+
+This package reproduces exactly those properties: typed ``Any`` values
+with a real marshaller, object references, oneway and request/reply
+invocation, client/server interceptor chains, and per-node thread pools
+fed by a dual-core CPU model.
+"""
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.corba.costs import OrbCostModel
+from repro.corba.errors import CorbaError, MarshalError, ObjectNotFound
+from repro.corba.interceptors import ClientInterceptor, ServerInterceptor
+from repro.corba.marshal import marshal, unmarshal
+from repro.corba.node import Node
+from repro.corba.orb import ObjectRef, Orb, Request, Servant
+
+__all__ = [
+    "ClientInterceptor",
+    "CorbaAny",
+    "CorbaError",
+    "MarshalError",
+    "Node",
+    "ObjectNotFound",
+    "ObjectRef",
+    "Orb",
+    "OrbCostModel",
+    "Request",
+    "Servant",
+    "ServerInterceptor",
+    "marshal",
+    "unmarshal",
+]

@@ -1,0 +1,60 @@
+"""The CORBA generic ``any`` type.
+
+NewTOP's Invocation service "marshals a multicast message ... into a
+generic CORBA type any" before handing it to the group communication
+service, and the destination Invocation service unmarshals it back.  We
+reproduce that boundary: an :class:`Any` carries the marshalled bytes
+plus a type code, and extraction genuinely decodes the bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.corba.marshal import marshal, unmarshal
+
+
+def _typecode_of(value: typing.Any) -> str:
+    if value is None:
+        return "tk_null"
+    if isinstance(value, bool):
+        return "tk_boolean"
+    if isinstance(value, int):
+        return "tk_longlong"
+    if isinstance(value, float):
+        return "tk_double"
+    if isinstance(value, str):
+        return "tk_string"
+    if isinstance(value, (bytes, bytearray)):
+        return "tk_octet_sequence"
+    if isinstance(value, (list, tuple)):
+        return "tk_sequence"
+    if isinstance(value, dict):
+        return "tk_struct"
+    return "tk_value"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Any:
+    """A self-describing marshalled value."""
+
+    typecode: str
+    data: bytes
+
+    @classmethod
+    def wrap(cls, value: typing.Any) -> "Any":
+        """Marshal ``value`` into an ``any``."""
+        return cls(typecode=_typecode_of(value), data=marshal(value))
+
+    def extract(self) -> typing.Any:
+        """Decode the carried value."""
+        return unmarshal(self.data)
+
+    @property
+    def wire_size(self) -> int:
+        """Size used for network accounting: payload plus the typecode."""
+        return len(self.data) + len(self.typecode)
+
+    def __repr__(self) -> str:
+        return f"<Any {self.typecode} {len(self.data)}B>"

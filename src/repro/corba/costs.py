@@ -1,0 +1,39 @@
+"""Simulated CPU costs of ORB request handling.
+
+Calibrated against the paper's testbed (Java 1.4 ORB on dual Pentium
+III): a small-message oneway dispatch costs on the order of a
+millisecond, with marshalling linear in message size.  Together with
+:class:`repro.crypto.CryptoCostModel` these constants set the *ratio*
+between protocol-processing and signing work, which is what determines
+the FS-NewTOP : NewTOP overhead ratios of Figures 6-8; the defaults are
+chosen so a 10-member NewTOP group saturates around the paper's ~140
+ordered messages/second.  The marshalling slope is what the Figure 8
+message-size sweep exercises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class OrbCostModel:
+    """Per-request virtual CPU costs, in milliseconds."""
+
+    dispatch_base_ms: float = 1.2
+    marshal_ms_per_kb: float = 0.25
+    unmarshal_ms_per_kb: float = 0.25
+
+    def marshal_cost(self, size_bytes: int) -> float:
+        return self.marshal_ms_per_kb * (size_bytes / 1024.0)
+
+    def unmarshal_cost(self, size_bytes: int) -> float:
+        return self.unmarshal_ms_per_kb * (size_bytes / 1024.0)
+
+    def server_cost(self, size_bytes: int) -> float:
+        """CPU charged to dispatch one incoming request."""
+        return self.dispatch_base_ms + self.unmarshal_cost(size_bytes)
+
+    def client_cost(self, size_bytes: int) -> float:
+        """CPU charged to issue one outgoing request."""
+        return self.marshal_cost(size_bytes)

@@ -1,0 +1,13 @@
+"""ORB-layer exceptions."""
+
+
+class CorbaError(Exception):
+    """Base class for ORB failures."""
+
+
+class MarshalError(CorbaError):
+    """A value could not be marshalled or a byte stream decoded."""
+
+
+class ObjectNotFound(CorbaError):
+    """An invocation targeted an object key with no registered servant."""

@@ -1,0 +1,38 @@
+"""Portable request interceptors.
+
+The FS extension's transparency trick (section 3.1) is interceptor-based,
+"very similar to the one used in the Eternal system": calls to the
+wrapped GC object are caught on the fly and re-targeted at the wrapper
+pair; double-signed replies are caught, verified, stripped and
+de-duplicated before the Invocation layer sees them.
+
+* A **client interceptor** sees each outgoing request and returns the
+  list of requests to actually issue -- it can pass through, rewrite,
+  fan out (one request to both FSO replicas) or absorb.
+* A **server interceptor** sees each incoming request before dispatch
+  and returns the request to deliver, possibly rewritten, or ``None``
+  to absorb it (duplicate suppression).
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:
+    from repro.corba.orb import Orb, Request
+
+
+class ClientInterceptor:
+    """Base client-side interceptor: passes every request through."""
+
+    def outgoing(self, request: "Request", orb: "Orb") -> list["Request"]:
+        """Map one outgoing request to the requests actually sent."""
+        return [request]
+
+
+class ServerInterceptor:
+    """Base server-side interceptor: passes every request through."""
+
+    def incoming(self, request: "Request", orb: "Orb") -> "Request | None":
+        """Filter/rewrite one incoming request; ``None`` absorbs it."""
+        return request

@@ -1,0 +1,99 @@
+"""Marshalling: a genuine encoder/decoder for the canonical wire format.
+
+The encoder is :func:`repro.crypto.canonical.canonical_encode` (shared
+with the signing layer, so the bytes that are signed are the bytes that
+travel).  This module adds the matching decoder so values genuinely
+round-trip through bytes, as they would through IIOP CDR.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.crypto.canonical import CanonicalEncodingError, canonical_encode
+from repro.corba.errors import MarshalError
+
+
+def marshal(value: Any) -> bytes:
+    """Encode ``value`` to wire bytes."""
+    try:
+        return canonical_encode(value)
+    except CanonicalEncodingError as exc:
+        raise MarshalError(str(exc)) from exc
+
+
+class _Decoder:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise MarshalError(
+                f"truncated stream: wanted {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}"
+            )
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def _length(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def decode(self) -> Any:
+        tag = self._take(1)
+        if tag == b"N":
+            return None
+        if tag == b"T":
+            return True
+        if tag == b"F":
+            return False
+        if tag == b"I":
+            return int(self._take(self._length()).decode("ascii"))
+        if tag == b"D":
+            return struct.unpack(">d", self._take(8))[0]
+        if tag == b"S":
+            return self._take(self._length()).decode("utf-8")
+        if tag == b"B":
+            return self._take(self._length())
+        if tag == b"L":
+            return [self.decode() for __ in range(self._length())]
+        if tag == b"U":
+            return tuple(self.decode() for __ in range(self._length()))
+        if tag == b"M":
+            count = self._length()
+            out = {}
+            for __ in range(count):
+                key = self.decode()
+                out[key] = self.decode()
+            return out
+        if tag == b"O":
+            # Dataclasses decode to a plain dict tagged with the type
+            # name; reconstructing arbitrary classes from the wire would
+            # be a deserialisation hazard, and protocol code never needs
+            # it (servant methods receive plain structures).
+            name = self._take(self._length()).decode("utf-8")
+            count = self._length()
+            fields = {}
+            for __ in range(count):
+                key = self.decode()
+                fields[key] = self.decode()
+            return {"__type__": name, **fields}
+        raise MarshalError(f"unknown tag {tag!r} at offset {self.pos - 1}")
+
+
+def unmarshal(data: bytes) -> Any:
+    """Decode wire bytes back into a value.
+
+    Inverse of :func:`marshal` for all plain values; dataclass instances
+    come back as ``{"__type__": name, ...fields}`` dictionaries (see
+    :class:`_Decoder.decode`).
+    """
+    decoder = _Decoder(data)
+    value = decoder.decode()
+    if decoder.pos != len(data):
+        raise MarshalError(
+            f"{len(data) - decoder.pos} trailing bytes after decoded value"
+        )
+    return value

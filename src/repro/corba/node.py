@@ -1,0 +1,62 @@
+"""A host node: CPU, request thread pool, and an ORB.
+
+The paper's testbed nodes are dual-processor PCs running a Java ORB with
+a 10-thread request pool; those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from repro.corba.costs import OrbCostModel
+from repro.corba.orb import ObjectRef, Orb, Servant
+from repro.crypto.costmodel import CryptoCostModel
+from repro.net.network import Network
+from repro.sim.resources import CpuResource, ThreadPool
+from repro.sim.scheduler import Simulator
+
+
+class Node:
+    """One machine: registers its ORB as the network endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        network: Network,
+        cores: int = 2,
+        pool_size: int = 10,
+        orb_costs: OrbCostModel | None = None,
+        crypto_costs: CryptoCostModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.network = network
+        self.cpu = CpuResource(sim, cores=cores, name=f"{name}/cpu")
+        self.pool = ThreadPool(sim, self.cpu, size=pool_size, name=f"{name}/pool")
+        self.orb = Orb(sim, name, network, self.cpu, self.pool, orb_costs)
+        self.crypto_costs = crypto_costs if crypto_costs is not None else CryptoCostModel()
+        self._failed = False
+        network.register(name, self.orb)
+
+    def activate(self, key: str, servant: Servant) -> ObjectRef:
+        """Convenience passthrough to the node's ORB."""
+        return self.orb.activate(key, servant)
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def crash(self) -> None:
+        """Unannounced stop: the node keeps its network registration but
+        silently drops everything (endpoint replaced with a sink)."""
+        self._failed = True
+        self.network.register(self.name, _CrashedEndpoint())
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name!r} cores={self.cpu.cores} pool={self.pool.size}>"
+
+
+class _CrashedEndpoint:
+    """Network endpoint of a crashed node: swallows all traffic."""
+
+    def deliver(self, message: object) -> None:
+        return

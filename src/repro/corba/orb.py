@@ -1,0 +1,325 @@
+"""Object request broker: references, servants, invocation.
+
+One :class:`Orb` runs per node.  It is the node's network endpoint;
+incoming requests pass the server interceptor chain, then consume a
+thread from the node's request pool and CPU time for unmarshalling and
+dispatch -- the contention structure behind Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.corba.costs import OrbCostModel
+from repro.corba.errors import ObjectNotFound
+from repro.corba.interceptors import ClientInterceptor, ServerInterceptor
+from repro.net.message import HEADER_BYTES, wire_size
+from repro.net.network import Network
+from repro.sim.resources import CpuResource, ThreadPool
+from repro.sim.scheduler import Simulator
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ObjectRef:
+    """Interoperable object reference: hosting node + object key."""
+
+    node: str
+    key: str
+
+    def __str__(self) -> str:
+        return f"{self.node}/{self.key}"
+
+
+def _args_size(method: str, args: tuple) -> int:
+    """Wire size of a request: header, method name, and each argument
+    (honouring explicit ``wire_size`` attributes for synthetic bodies)."""
+    total = HEADER_BYTES + len(method)
+    for arg in args:
+        total += wire_size(arg) - HEADER_BYTES
+    return total
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Request:
+    """An invocation travelling between ORBs."""
+
+    target: ObjectRef
+    method: str
+    args: tuple
+    oneway: bool
+    request_id: int
+    reply_to: str | None
+    sender: str
+    size: int
+
+    def retargeted(self, target: ObjectRef) -> "Request":
+        """Copy of this request aimed at a different object."""
+        return dataclasses.replace(self, target=target)
+
+    @property
+    def wire_size(self) -> int:
+        return self.size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class _Reply:
+    request_id: int
+    result: typing.Any
+    size: int
+
+    @property
+    def wire_size(self) -> int:
+        return self.size
+
+
+class Servant:
+    """Base class for objects activated on an ORB.
+
+    ``orb`` and ``ref`` are assigned at activation.  Subclasses implement
+    ordinary methods; the ORB dispatches ``request.method`` by name.
+    """
+
+    orb: "Orb"
+    ref: ObjectRef
+
+    def invocation_cost(self, request: Request) -> float:
+        """Extra CPU (ms) the servant's own processing of this request
+        costs, beyond ORB dispatch.  Default: negligible."""
+        return 0.0
+
+
+class _ServantGate:
+    """Serialises handler execution per servant, in arrival order.
+
+    NewTOP's GC "is implemented as a single-threaded, deterministic
+    application", so concurrent requests to one servant must execute
+    their handlers one at a time and in the order they arrived off the
+    network -- even though their unmarshalling may overlap on the CPU.
+    Tickets are issued at arrival; execution strictly follows ticket
+    order.
+    """
+
+    __slots__ = ("next_ticket", "next_to_run", "running", "ready")
+
+    def __init__(self) -> None:
+        self.next_ticket = 0
+        self.next_to_run = 0
+        self.running = False
+        self.ready: dict[int, typing.Any] = {}
+
+    def issue(self) -> int:
+        ticket = self.next_ticket
+        self.next_ticket += 1
+        return ticket
+
+
+class Orb:
+    """Per-node object request broker."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        address: str,
+        network: Network,
+        cpu: CpuResource,
+        pool: ThreadPool,
+        costs: OrbCostModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.network = network
+        self.cpu = cpu
+        self.pool = pool
+        self.costs = costs if costs is not None else OrbCostModel()
+        self.client_interceptors: list[ClientInterceptor] = []
+        self.server_interceptors: list[ServerInterceptor] = []
+        self._servants: dict[str, Servant] = {}
+        self._gates: dict[str, _ServantGate] = {}
+        self._next_request_id = 0
+        self._pending_replies: dict[int, typing.Callable[[typing.Any], None]] = {}
+        self.requests_dispatched = 0
+        # Outbound transmission order buffer: requests leave this ORB in
+        # invocation order even when their marshalling CPU bursts finish
+        # out of order on a multi-core node (TCP would serialise them).
+        self._out_seq = 0
+        self._out_next = 0
+        self._out_ready: dict[int, Request] = {}
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def activate(self, key: str, servant: Servant) -> ObjectRef:
+        """Register a servant under ``key`` and hand it its reference."""
+        if key in self._servants:
+            raise ValueError(f"object key {key!r} already active on {self.address}")
+        ref = ObjectRef(node=self.address, key=key)
+        servant.orb = self
+        servant.ref = ref
+        self._servants[key] = servant
+        return ref
+
+    def deactivate(self, key: str) -> None:
+        self._servants.pop(key, None)
+
+    def servant(self, key: str) -> Servant | None:
+        return self._servants.get(key)
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+    def oneway(self, target: ObjectRef, method: str, *args: typing.Any) -> None:
+        """Fire-and-forget invocation (how GC protocol messages travel)."""
+        self._invoke(target, method, args, oneway=True, on_reply=None)
+
+    def invoke(
+        self,
+        target: ObjectRef,
+        method: str,
+        *args: typing.Any,
+        on_reply: typing.Callable[[typing.Any], None],
+    ) -> None:
+        """Two-way invocation; ``on_reply(result)`` fires on completion."""
+        self._invoke(target, method, args, oneway=False, on_reply=on_reply)
+
+    def _invoke(
+        self,
+        target: ObjectRef,
+        method: str,
+        args: tuple,
+        oneway: bool,
+        on_reply: typing.Callable[[typing.Any], None] | None,
+    ) -> None:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        request = Request(
+            target=target,
+            method=method,
+            args=args,
+            oneway=oneway,
+            request_id=request_id,
+            reply_to=None if oneway else self.address,
+            sender=self.address,
+            size=_args_size(method, args),
+        )
+        if on_reply is not None:
+            self._pending_replies[request_id] = on_reply
+
+        to_send = [request]
+        for interceptor in self.client_interceptors:
+            next_round: list[Request] = []
+            for req in to_send:
+                next_round.extend(interceptor.outgoing(req, self))
+            to_send = next_round
+
+        for req in to_send:
+            # Marshalling happens on the client CPU before transmission;
+            # transmission itself is in invocation order.
+            out_seq = self._out_seq
+            self._out_seq += 1
+            self.cpu.execute(self.costs.client_cost(req.size), self._marshal_done, out_seq, req)
+
+    def _marshal_done(self, out_seq: int, request: Request) -> None:
+        self._out_ready[out_seq] = request
+        while self._out_next in self._out_ready:
+            self._transmit(self._out_ready.pop(self._out_next))
+            self._out_next += 1
+
+    def _transmit(self, request: Request) -> None:
+        if request.target.node == self.address:
+            # Collocated call: no network hop, but dispatch still goes
+            # through interceptors and the request pool.
+            self._receive_request(request)
+        else:
+            self.network.send(self.address, request.target.node, request, size=request.size)
+
+    # ------------------------------------------------------------------
+    # network endpoint
+    # ------------------------------------------------------------------
+    def deliver(self, envelope: typing.Any) -> None:
+        payload = envelope.payload
+        if isinstance(payload, Request):
+            self._receive_request(payload)
+        elif isinstance(payload, _Reply):
+            self._receive_reply(payload)
+        else:
+            raise TypeError(f"ORB {self.address} received non-ORB payload {payload!r}")
+
+    def _receive_request(self, request: Request) -> None:
+        current: Request | None = request
+        for interceptor in self.server_interceptors:
+            current = interceptor.incoming(current, self)
+            if current is None:
+                return
+        servant = self._servants.get(current.target.key)
+        if servant is None:
+            raise ObjectNotFound(
+                f"{self.address}: no servant {current.target.key!r} "
+                f"for method {current.method!r}"
+            )
+        gate = self._gates.setdefault(current.target.key, _ServantGate())
+        ticket = gate.issue()
+        self.pool.acquire(
+            lambda release, servant=servant, req=current, ticket=ticket, gate=gate: (
+                self._unmarshal_in_thread(servant, req, gate, ticket, release)
+            )
+        )
+
+    def _unmarshal_in_thread(self, servant, request, gate, ticket, release) -> None:
+        # Phase 1: unmarshal on the CPU (may overlap with other requests).
+        self.cpu.execute(
+            self.costs.server_cost(request.size),
+            self._enter_gate,
+            servant,
+            request,
+            gate,
+            ticket,
+            release,
+        )
+
+    def _enter_gate(self, servant, request, gate, ticket, release) -> None:
+        # Phase 2: wait for the servant's single thread, in ticket order.
+        gate.ready[ticket] = (servant, request, release)
+        self._pump_gate(gate)
+
+    def _pump_gate(self, gate: _ServantGate) -> None:
+        if gate.running or gate.next_to_run not in gate.ready:
+            return
+        servant, request, release = gate.ready.pop(gate.next_to_run)
+        gate.next_to_run += 1
+        gate.running = True
+        # Phase 3: the servant's own processing time, serialised.
+        self.cpu.execute(
+            servant.invocation_cost(request), self._run_handler, servant, request, gate, release
+        )
+
+    def _run_handler(self, servant, request, gate, release) -> None:
+        gate.running = False
+        release()
+        self._pump_gate(gate)
+        self._dispatch(servant, request)
+
+    def _dispatch(self, servant: Servant, request: Request) -> None:
+        self.requests_dispatched += 1
+        handler = getattr(servant, request.method, None)
+        if handler is None:
+            raise ObjectNotFound(
+                f"{request.target}: servant has no method {request.method!r}"
+            )
+        result = handler(*request.args)
+        if not request.oneway and request.reply_to is not None:
+            reply = _Reply(
+                request_id=request.request_id,
+                result=result,
+                size=HEADER_BYTES + (wire_size(result) - HEADER_BYTES if result is not None else 0),
+            )
+            if request.reply_to == self.address:
+                self.sim.schedule(0.0, self._receive_reply, reply)
+            else:
+                self.network.send(self.address, request.reply_to, reply, size=reply.size)
+
+    def _receive_reply(self, reply: _Reply) -> None:
+        callback = self._pending_replies.pop(reply.request_id, None)
+        if callback is None:
+            return  # duplicate or cancelled
+        self.cpu.execute(self.costs.unmarshal_cost(reply.size), callback, reply.result)

@@ -1,0 +1,59 @@
+"""Fail-signal (FS) processes -- the paper's primary contribution.
+
+An FS process is a middleware process ``p`` transformed into a
+self-checking replica pair ``{p, p'}`` hosted on two nodes joined by a
+synchronous LAN.  Each replica lives inside a Fail-Signal wrapper Object
+(FSO); the pair guarantees:
+
+* **fs1** -- whenever the FS process cannot produce a correct response,
+  it outputs its unique, double-signed *fail-signal*;
+* **fs2** -- a faulty FS process may also emit its fail-signal at
+  arbitrary times (and nothing worse).
+
+Receivers may therefore treat a fail-signal as *certain* evidence that
+the signaling process is faulty -- no timeout guessing -- which is what
+dissolves the FLP obstacle for the middleware built on top.
+
+Main entry points:
+
+* :func:`make_fail_signal` / :class:`FsProcess` -- wrap a deterministic
+  servant pair into an FS process;
+* :class:`Fso` -- one wrapper object (leader or follower);
+* :class:`FsOutputInbox` -- validates, de-duplicates and unwraps FS
+  outputs for non-FS consumers;
+* :mod:`repro.core.faults` -- Byzantine fault injection.
+"""
+
+from repro.core.config import FsoConfig
+from repro.core.errors import FsError, FsWiringError
+from repro.core.failsignal import FsProcess, make_fail_signal
+from repro.core.failsilent import FailSilentFso
+from repro.core.faults import ByzantineFso, FaultPlan
+from repro.core.fso import Fso, FsoRole
+from repro.core.inbox import FsOutputInbox
+from repro.core.interception import FanOutInterceptor, FsCaptureInterceptor
+from repro.core.messages import FailSignal, FsInput, FsOutput, FsRegistry
+from repro.core.routes import FsRouteTable
+from repro.core.transform import FsEnvironment
+
+__all__ = [
+    "ByzantineFso",
+    "FailSignal",
+    "FailSilentFso",
+    "FanOutInterceptor",
+    "FaultPlan",
+    "FsCaptureInterceptor",
+    "FsEnvironment",
+    "FsError",
+    "FsInput",
+    "FsOutput",
+    "FsOutputInbox",
+    "FsProcess",
+    "FsRegistry",
+    "FsRouteTable",
+    "FsWiringError",
+    "Fso",
+    "FsoConfig",
+    "FsoRole",
+    "make_fail_signal",
+]

@@ -1,0 +1,60 @@
+"""FS construction parameters and the section 2.2 timeout formulas."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FsoConfig:
+    """Parameters of a fail-signal pair.
+
+    * ``delta`` -- δ, the synchronous LAN delivery bound (A2), ms;
+    * ``kappa`` -- κ, the processing-delay divergence bound (A3);
+    * ``sigma`` -- σ, the send-scheduling divergence bound (A4).
+
+    The paper's implementation uses κ = σ = 2 (Appendix A) and t1 = 0,
+    t2 = 2δ for the follower's input-reconciliation timers.
+    """
+
+    delta: float = 2.0
+    kappa: float = 2.0
+    sigma: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError(f"delta must be > 0, got {self.delta}")
+        if self.kappa < 1 or self.sigma < 1:
+            raise ValueError(
+                f"kappa and sigma are ratio bounds and must be >= 1, got "
+                f"kappa={self.kappa}, sigma={self.sigma}"
+            )
+
+    # ------------------------------------------------------------------
+    # section 2.2 timeout formulas
+    # ------------------------------------------------------------------
+    def leader_compare_timeout(self, pi: float, tau: float) -> float:
+        """Compare (leader side) waits 2δ + κπ + στ for the matching
+        single-signed output.
+
+        ``pi`` is the measured local processing time of the input that
+        produced the output; ``tau`` the time taken to sign and forward
+        it.  The leader allows a full extra δ because the follower
+        receives every input one LAN hop later."""
+        return 2 * self.delta + self.kappa * pi + self.sigma * tau
+
+    def follower_compare_timeout(self, pi: float, tau: float) -> float:
+        """Compare' (follower side) waits δ + κπ + στ."""
+        return self.delta + self.kappa * pi + self.sigma * tau
+
+    @property
+    def t1(self) -> float:
+        """Follower's grace period before forwarding an unordered input
+        to the leader.  0 in the paper's implementation."""
+        return 0.0
+
+    @property
+    def t2(self) -> float:
+        """Follower's deadline for the leader to order a forwarded
+        input; expiry means the leader has failed.  2δ in the paper."""
+        return 2 * self.delta

@@ -1,0 +1,9 @@
+"""Fail-signal layer exceptions."""
+
+
+class FsError(Exception):
+    """Base class for fail-signal layer failures."""
+
+
+class FsWiringError(FsError):
+    """The FS pair was assembled inconsistently (configuration bug)."""

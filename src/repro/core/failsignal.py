@@ -1,0 +1,178 @@
+"""Assembly of a fail-signal process pair."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.corba.node import Node
+from repro.corba.orb import ObjectRef, Servant
+from repro.core.config import FsoConfig
+from repro.core.errors import FsWiringError
+from repro.core.fso import Fso, FsoRole
+from repro.core.interception import FsCaptureInterceptor
+from repro.core.messages import FailSignal, FsInput, FsRegistry
+from repro.core.routes import FsRouteTable
+from repro.crypto.keystore import KeyStore
+from repro.net.links import SynchronousLink
+from repro.sim.scheduler import Simulator
+
+
+def _capture_interceptor_for(node: Node) -> FsCaptureInterceptor:
+    """Get or install the node's single output-capture interceptor.
+
+    It must sit first in the chain so that a wrapped replica's outputs
+    are captured before any other interceptor (e.g. a fan-out) sees
+    them."""
+    for interceptor in node.orb.client_interceptors:
+        if isinstance(interceptor, FsCaptureInterceptor):
+            return interceptor
+    interceptor = FsCaptureInterceptor()
+    node.orb.client_interceptors.insert(0, interceptor)
+    return interceptor
+
+
+class FsProcess:
+    """A wired fail-signal process: two FSOs over a synchronous LAN.
+
+    Use :func:`make_fail_signal` (or
+    :meth:`repro.core.transform.FsEnvironment.make_fail_signal`) rather
+    than constructing this directly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fs_id: str,
+        leader: Fso,
+        follower: Fso,
+        link: SynchronousLink,
+    ) -> None:
+        self.sim = sim
+        self.fs_id = fs_id
+        self.leader = leader
+        self.follower = follower
+        self.link = link
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    @property
+    def refs(self) -> list[ObjectRef]:
+        """The two wrapper endpoints; inputs must reach both."""
+        return [self.leader.ref, self.follower.ref]
+
+    def set_signal_destinations(self, destinations: list[ObjectRef]) -> None:
+        """Who gets the fail-signal: every entity that may be expecting a
+        response from this FS process."""
+        self.leader.signal_destinations = list(destinations)
+        self.follower.signal_destinations = list(destinations)
+
+    # ------------------------------------------------------------------
+    # direct submission helper (used by tests and plain examples; the
+    # FS-NewTOP stack uses the FanOutInterceptor instead)
+    # ------------------------------------------------------------------
+    def submit(self, from_node: Node, method: str, args: tuple, input_id: tuple) -> None:
+        fs_input = FsInput(method=method, args=args, input_id=input_id)
+        for ref in self.refs:
+            from_node.orb.oneway(ref, "receiveNew", fs_input)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def signaled(self) -> bool:
+        return self.leader.signaled or self.follower.signaled
+
+    def crash_node(self, role: FsoRole) -> None:
+        """Silently crash one of the pair's nodes (the fault the FS
+        construction exists to convert into a signal)."""
+        fso = self.leader if role is FsoRole.LEADER else self.follower
+        fso.wrapped_node_crashed = True
+        fso.kill()
+        fso.node.crash()
+
+
+def make_fail_signal(
+    sim: Simulator,
+    fs_id: str,
+    leader_node: Node,
+    follower_node: Node,
+    leader_replica: Servant,
+    follower_replica: Servant,
+    keystore: KeyStore,
+    registry: FsRegistry,
+    routes: FsRouteTable,
+    config: FsoConfig | None = None,
+    link: SynchronousLink | None = None,
+    fso_class: type[Fso] = Fso,
+    leader_fso_class: type[Fso] | None = None,
+    follower_fso_class: type[Fso] | None = None,
+) -> FsProcess:
+    """Transform a deterministic replica pair into a fail-signal process.
+
+    The replicas must be deterministic state machines (requirement R1)
+    and must not have been activated yet; this function activates them
+    under private keys, pairs the nodes over a synchronous LAN, creates
+    and cross-signs the FSOs, and registers the pair's signer identities.
+    """
+    if leader_node is follower_node:
+        raise FsWiringError(f"{fs_id}: the two replicas must be on distinct nodes (A1)")
+    cfg = config if config is not None else FsoConfig()
+    lan = link if link is not None else SynchronousLink(
+        sim, f"{fs_id}/lan", delta=cfg.delta
+    )
+
+    rng = sim.rng(f"keys/{fs_id}")
+    signer_a = keystore.new_signer(f"{fs_id}#A", rng)
+    signer_b = keystore.new_signer(f"{fs_id}#B", rng)
+    registry.register(fs_id, signer_a.identity, signer_b.identity)
+
+    leader_node.activate(f"{fs_id}.target", leader_replica)
+    follower_node.activate(f"{fs_id}.target", follower_replica)
+
+    leader_cls = leader_fso_class if leader_fso_class is not None else fso_class
+    follower_cls = follower_fso_class if follower_fso_class is not None else fso_class
+    leader = leader_cls(
+        sim=sim,
+        node=leader_node,
+        fs_id=fs_id,
+        role=FsoRole.LEADER,
+        wrapped=leader_replica,
+        link=lan,
+        signer=signer_a,
+        keystore=keystore,
+        registry=registry,
+        config=cfg,
+        routes=routes,
+        capture_interceptor=_capture_interceptor_for(leader_node),
+    )
+    follower = follower_cls(
+        sim=sim,
+        node=follower_node,
+        fs_id=fs_id,
+        role=FsoRole.FOLLOWER,
+        wrapped=follower_replica,
+        link=lan,
+        signer=signer_b,
+        keystore=keystore,
+        registry=registry,
+        config=cfg,
+        routes=routes,
+        capture_interceptor=_capture_interceptor_for(follower_node),
+    )
+
+    # Start-up cross-signing: each Compare holds the fail-signal blank
+    # already signed by the *other* Compare (section 2.1).
+    blank = FailSignal(fs_id)
+    leader.fail_signal_blank = signer_b.sign_payload(blank)
+    follower.fail_signal_blank = signer_a.sign_payload(blank)
+
+    leader_node.activate(f"{fs_id}.fso", leader)
+    follower_node.activate(f"{fs_id}.fso", follower)
+    lan.attach(leader_node.name, leader)
+    lan.attach(follower_node.name, follower)
+
+    process = FsProcess(sim, fs_id, leader, follower, lan)
+    leader.ensure_wired()
+    follower.ensure_wired()
+    return process

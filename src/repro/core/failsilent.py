@@ -1,0 +1,46 @@
+"""Fail-silent processes: the predecessor of fail-signal.
+
+"The key idea in the construction of a fail-silent process is similar to
+that of fail-signal processes ... except that no fail-signals are
+emitted.  If the results differ, the replicas stop functioning and
+refrain from propagating any output to the environment" (Appendix A,
+citing the Voltan work [BESST96, BLS98]).
+
+Kept both as lineage documentation and as an ablation: a fail-silent
+middleware process looks exactly like a *crashed* one to its peers, so
+systems built on it are back to timeout-based failure detection -- which
+is precisely the gap fail-signalling closes.
+"""
+
+from __future__ import annotations
+
+from repro.core.fso import Fso
+
+
+class FailSilentFso(Fso):
+    """An FSO that falls silent instead of signalling.
+
+    All the self-checking machinery (ordering, IRMP, ICMP/ECMP
+    comparison, timeouts) is inherited unchanged; only the reaction to a
+    detected failure differs: stop, emit nothing, forever.
+    """
+
+    def _start_signaling(self, reason: str) -> None:
+        if self.signaled:
+            return
+        self.signaled = True
+        self.signal_reason = f"silent:{reason}"
+        self.trace("fso", "fail-silent-stop", reason=reason)
+        for corr in list(self._icmp):
+            self.cancel_timer(("icmp", corr))
+        for input_id in list(self._irmp_pending):
+            self.cancel_timer(("t2", input_id))
+        self._icmp.clear()
+        self._ecmp.clear()
+        self._irmp_pending.clear()
+        self._ds_ready.clear()
+        self._single_ready.clear()
+        # And that is all: no blank is countersigned, nothing is emitted.
+
+    def _emit_fail_signal(self) -> None:
+        return

@@ -1,0 +1,125 @@
+"""Byzantine fault injection for fail-signal pairs.
+
+The paper's failure model: at most one node of a pair develops faults of
+*authenticated Byzantine* type (A1) -- arbitrary behaviour, bounded only
+by the inability to forge the correct node's signatures (A5).  This
+module provides an FSO subclass whose behaviour is governed by a mutable
+:class:`FaultPlan`, covering the concrete manifestations the paper's
+argument has to survive:
+
+* wrong results (``corrupt_outputs``) -- caught by output comparison;
+* no/late results (``drop_singles``, ``mute_lan``) -- caught by the
+  section 2.2 timeouts;
+* wrong input order at a faulty leader (``scramble_order``) -- caught
+  because out-of-order processing manifests as an output mismatch
+  (Appendix A, last paragraph);
+* forged signatures (``forge_signature``) -- rejected by verification;
+* spontaneous fail-signals (``arbitrary_signal``) -- failure mode fs2,
+  legal by definition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.fso import Fso, _IcmpEntry
+from repro.core.messages import FsInput, SingleSigned
+from repro.crypto.signing import Signature, Signed
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """Which misbehaviours are active.  All off by default."""
+
+    corrupt_outputs: bool = False
+    drop_singles: bool = False
+    mute_lan: bool = False
+    scramble_order: bool = False
+    forge_signature: bool = False
+
+    def any_active(self) -> bool:
+        return any(
+            (
+                self.corrupt_outputs,
+                self.drop_singles,
+                self.mute_lan,
+                self.scramble_order,
+                self.forge_signature,
+            )
+        )
+
+
+class ByzantineFso(Fso):
+    """An FSO on a faulty node.
+
+    The fault plan may be switched on mid-run (nodes are correct when
+    paired, A1; faults develop later).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.faults = FaultPlan()
+        self._held_input: FsInput | None = None
+
+    # -- wrong results -------------------------------------------------
+    def _handle_output(self, seq: int, idx: int, request, pi: float) -> None:
+        if self.faults.corrupt_outputs:
+            request = dataclasses.replace(
+                request, args=request.args + ("#corrupted-by-faulty-node",)
+            )
+        super()._handle_output(seq, idx, request, pi)
+
+    # -- no results ------------------------------------------------------
+    def _lan_send(self, payload) -> None:
+        if self.faults.mute_lan:
+            return
+        if self.faults.drop_singles and isinstance(payload, SingleSigned):
+            return
+        if self.faults.forge_signature and isinstance(payload, SingleSigned):
+            forged = SingleSigned(
+                signed=Signed(
+                    payload=payload.signed.payload,
+                    signature=Signature(payload.signed.signature.signer, b"\x00" * 32),
+                )
+            )
+            super()._lan_send(forged)
+            return
+        super()._lan_send(payload)
+
+    # -- wrong order (faulty leader) -------------------------------------
+    def _order_input(self, fs_input: FsInput) -> None:
+        if not self.faults.scramble_order:
+            super()._order_input(fs_input)
+            return
+        # Process inputs pairwise swapped locally, while telling the
+        # follower the original order: the replicas then process
+        # different sequences and their outputs mismatch.
+        if self._held_input is None:
+            self._held_input = fs_input
+            return
+        first, second = self._held_input, fs_input
+        self._held_input = None
+        # Local processing order: second, first.
+        seq_a = self._next_seq
+        seq_b = self._next_seq + 1
+        self._next_seq += 2
+        self.inputs_ordered += 2
+        self._ordered_ids.update((first.input_id, second.input_id))
+        self._submitted_at[seq_a] = self.sim.now
+        self._submitted_at[seq_b] = self.sim.now
+        self._dmq.append((seq_a, second))
+        self._dmq.append((seq_b, first))
+        # Follower is told the honest order.
+        from repro.core.messages import OrderedInput
+
+        super()._lan_send(OrderedInput(seq=seq_a, input=first))
+        super()._lan_send(OrderedInput(seq=seq_b, input=second))
+        self._pump_processing()
+
+    # -- fs2 --------------------------------------------------------------
+    def go_byzantine(self, **flags: bool) -> None:
+        """Switch fault modes on, e.g. ``go_byzantine(corrupt_outputs=True)``."""
+        for name, value in flags.items():
+            if not hasattr(self.faults, name):
+                raise AttributeError(f"unknown fault {name!r}")
+            setattr(self.faults, name, value)

@@ -1,0 +1,548 @@
+"""The Fail-Signal wrapper Object (FSO).
+
+One FSO hosts one replica of the wrapped deterministic process plus the
+Order and Compare roles of figure 1 / Appendix A:
+
+* **ordering** (leader/follower asymmetric protocol): the leader fixes
+  the input order and forwards each ordered input to the follower over
+  the synchronous LAN; the follower checks through its IRM pool that
+  everything it receives directly is being ordered by the leader (t1=0
+  forward, t2=2δ deadline);
+* **processing**: the wrapped replica consumes the Delivered Message
+  Queue serially; its outputs are captured via the node's client
+  interceptor;
+* **comparing**: each locally produced output is signed once and
+  forwarded to the peer Compare (ICM pool, with the section 2.2 timeout
+  2δ+κπ+στ on the leader and δ+κπ+στ on the follower); the peer's
+  singles land in the ECM pool; matching contents are countersigned and
+  transmitted to the destinations, mismatches and timeouts trigger
+  fail-signalling.
+
+A signalling FSO countersigns the fail-signal blank its peer signed at
+start-up, emits it to every configured destination, ceases LAN
+interaction, and answers any further output duty with the fail-signal.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import enum
+import typing
+
+from repro.corba.node import Node
+from repro.corba.orb import ObjectRef, Request, Servant
+from repro.core.config import FsoConfig
+from repro.core.errors import FsWiringError
+from repro.core.messages import (
+    FailSignal,
+    ForwardedInput,
+    FsInput,
+    FsOutput,
+    FsRegistry,
+    OrderedInput,
+    SingleSigned,
+)
+from repro.core.routes import FsRouteTable
+from repro.crypto.keystore import KeyStore
+from repro.crypto.signing import DoubleSigned, Signed, Signer
+from repro.net.links import SynchronousLink
+from repro.net.message import Envelope
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+class FsoRole(enum.Enum):
+    LEADER = "leader"
+    FOLLOWER = "follower"
+
+
+@dataclasses.dataclass(slots=True)
+class _IcmpEntry:
+    """Internal Candidate Message pool entry: a locally produced output
+    waiting for its peer counterpart."""
+
+    output: FsOutput
+    content_key: str
+    prod_no: int
+    pi: float
+    tau: float
+
+
+@dataclasses.dataclass(slots=True)
+class _DsReady:
+    """A checked output waiting its turn in the ordered transmit stage."""
+
+    output: FsOutput
+    double_signed: DoubleSigned
+
+
+class Fso(Process, Servant):
+    """One Fail-Signal wrapper Object (leader or follower)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        fs_id: str,
+        role: FsoRole,
+        wrapped: Servant,
+        link: SynchronousLink,
+        signer: Signer,
+        keystore: KeyStore,
+        registry: FsRegistry,
+        config: FsoConfig,
+        routes: FsRouteTable,
+        capture_interceptor: "FsCaptureInterceptorProtocol",
+    ) -> None:
+        Process.__init__(self, sim, f"{fs_id}/{role.value}")
+        self.node = node
+        self.fs_id = fs_id
+        self.role = role
+        self.wrapped = wrapped
+        self.link = link
+        self.signer = signer
+        self.keystore = keystore
+        self.registry = registry
+        self.config = config
+        self.routes = routes
+        self._capture = capture_interceptor
+        self.signal_destinations: list[ObjectRef] = []
+        self.fail_signal_blank: Signed | None = None  # peer-signed, set at start-up
+        self.on_fail_signal_input: typing.Callable[[FailSignal], FsInput | None] | None = None
+
+        # --- ordering state ---------------------------------------------------
+        self._next_seq = 0  # leader: next order number to assign
+        self._dmq: collections.deque[tuple[int, FsInput]] = collections.deque()
+        self._seen_inputs: set[tuple] = set()
+        # follower IRM pool: inputs seen directly but not yet ordered by
+        # the leader, plus the set already ordered (for pairing).
+        self._irmp_pending: dict[tuple, FsInput] = {}
+        self._ordered_ids: set[tuple] = set()
+
+        # --- processing state -------------------------------------------------
+        self._processing = False
+        self._submitted_at: dict[int, float] = {}
+        self._prod_counter = 0
+
+        # --- compare state ----------------------------------------------------
+        self._icmp: dict[tuple[int, int], _IcmpEntry] = {}
+        self._ecmp: dict[tuple[int, int], Signed] = {}
+        # ordered transmit stages (keep per-destination FIFO intact even
+        # though signing bursts may complete out of order on the CPU)
+        self._single_next = 0
+        self._single_ready: dict[int, SingleSigned] = {}
+        self._ds_next = 0
+        self._ds_ready: dict[int, _DsReady] = {}
+
+        # Dedicated execution lane: the wrapper pipeline (replica
+        # processing, signing, verification) runs as a high-priority
+        # serial thread of its own, per section 5's prescription that
+        # "the replicas be run with a high priority".  Without this, the
+        # pair's corresponding jobs sit at different depths of their
+        # nodes' shared CPU queues and the divergence bounds A3/A4 are
+        # violated under load, causing spurious fail-signals.
+        from repro.sim.resources import CpuResource
+
+        self.lane = CpuResource(sim, cores=1, name=f"{self.name}/lane")
+        # Inbound verification gets its own lane (the node is a dual
+        # processor; the Compare's checking of peer singles must not
+        # starve the replica's own processing+signing pipeline, or the
+        # pair's pipelines drift apart and A3/A4 break).
+        self.lane_in = CpuResource(sim, cores=1, name=f"{self.name}/lane-in")
+
+        # --- failure state ----------------------------------------------------
+        self.signaled = False
+        self.signal_reason: str | None = None
+        self.outputs_transmitted = 0
+        self.inputs_ordered = 0
+
+    # ======================================================================
+    # wiring helpers
+    # ======================================================================
+    def ensure_wired(self) -> None:
+        if self.fail_signal_blank is None:
+            raise FsWiringError(f"{self.name}: no fail-signal blank installed")
+        if self.fail_signal_blank.payload != FailSignal(self.fs_id):
+            raise FsWiringError(f"{self.name}: fail-signal blank is for the wrong process")
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role is FsoRole.LEADER
+
+    # ======================================================================
+    # servant methods (async-network side)
+    # ======================================================================
+    def receiveNew(self, raw: typing.Any) -> None:
+        """Entry point for inputs arriving over the asynchronous network:
+        plain :class:`FsInput` or a double-signed FS output/fail-signal."""
+        if not self.alive:
+            return
+        fs_input = self._authenticate(raw)
+        if fs_input is None:
+            return
+        if self.signaled:
+            # A signalling FSO answers anything that expects a response
+            # with its fail-signal.
+            self._emit_fail_signal()
+            return
+        if fs_input.input_id in self._seen_inputs:
+            return  # duplicate copy (outputs arrive from both peer Compares)
+        self._seen_inputs.add(fs_input.input_id)
+        if self.is_leader:
+            self._order_input(fs_input)
+        else:
+            self._follower_saw_input(fs_input)
+
+    def invocation_cost(self, request: Request) -> float:
+        """ORB dispatch surcharge: authenticating a double-signed input
+        costs two signature verifications."""
+        if request.args and isinstance(request.args[0], DoubleSigned):
+            return self.node.crypto_costs.verify_cost(request.size) * 2
+        return 0.0
+
+    # ======================================================================
+    # input authentication and normalisation
+    # ======================================================================
+    def _authenticate(self, raw: typing.Any) -> FsInput | None:
+        if isinstance(raw, FsInput):
+            return raw
+        if isinstance(raw, DoubleSigned):
+            payload = raw.payload
+            if isinstance(payload, FsOutput):
+                if not self._check_double(raw, payload.fs_id):
+                    return None
+                return FsInput(
+                    method=payload.method,
+                    args=payload.args,
+                    input_id=("fso",) + payload.dedup_key,
+                )
+            if isinstance(payload, FailSignal):
+                if not self._check_double(raw, payload.fs_id):
+                    return None
+                if self.on_fail_signal_input is None:
+                    self.trace("fso", "fail-signal-dropped", origin=payload.fs_id)
+                    return None
+                return self.on_fail_signal_input(payload)
+        self.trace("fso", "input-rejected", kind=type(raw).__name__)
+        return None
+
+    def _check_double(self, message: DoubleSigned, fs_id: str) -> bool:
+        expected = self.registry.signers(fs_id)
+        if expected is None:
+            self.trace("fso", "unknown-fs-source", origin=fs_id)
+            return False
+        if set(message.signers) != set(expected):
+            self.trace("fso", "wrong-signers", origin=fs_id, got=message.signers)
+            return False
+        if not self.keystore.check_double(message):
+            self.trace("fso", "bad-signature", origin=fs_id)
+            return False
+        return True
+
+    # ======================================================================
+    # ordering protocol (Order / Order')
+    # ======================================================================
+    def _order_input(self, fs_input: FsInput) -> None:
+        """Leader: fix this input's position and tell the follower."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self.inputs_ordered += 1
+        self._ordered_ids.add(fs_input.input_id)
+        # π is measured "since the corresponding input was submitted for
+        # processing" (section 2.2) -- i.e. from DMQ insertion, so the
+        # comparison timeout scales with queueing under load.
+        self._submitted_at[seq] = self.sim.now
+        self._dmq.append((seq, fs_input))
+        self._lan_send(OrderedInput(seq=seq, input=fs_input))
+        self._pump_processing()
+
+    def _follower_saw_input(self, fs_input: FsInput) -> None:
+        """Follower: pair a directly received input against the leader's
+        ordering stream (Appendix A; t1 = 0 so forwarding is immediate)."""
+        if fs_input.input_id in self._ordered_ids:
+            return  # already ordered by the leader; pair consumed
+        if fs_input.input_id in self._irmp_pending:
+            return
+        self._irmp_pending[fs_input.input_id] = fs_input
+        # t1 = 0: dispatch to the leader straight away...
+        self._lan_send(ForwardedInput(input=fs_input))
+        # ...and give it t2 = 2δ to order the message.
+        self.set_timer(("t2", fs_input.input_id), self.config.t2, fs_input.input_id)
+
+    # ======================================================================
+    # synchronous LAN endpoint
+    # ======================================================================
+    def _lan_send(self, payload: typing.Any) -> None:
+        if self.signaled:
+            return  # a signalling Compare ceases interaction with its peer
+        self.link.send(self.node.name, payload)
+
+    def on_message(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, OrderedInput):
+            self._on_ordered(payload)
+        elif isinstance(payload, ForwardedInput):
+            self._on_forwarded(payload)
+        elif isinstance(payload, SingleSigned):
+            self._on_single(payload)
+        else:
+            self.trace("fso", "unknown-lan-payload", kind=type(payload).__name__)
+
+    def _on_ordered(self, msg: OrderedInput) -> None:
+        """Follower: the leader ordered an input."""
+        if self.signaled or self.is_leader:
+            return
+        input_id = msg.input.input_id
+        self._ordered_ids.add(input_id)
+        self._seen_inputs.add(input_id)
+        if input_id in self._irmp_pending:
+            del self._irmp_pending[input_id]
+        self.cancel_timer(("t2", input_id))
+        self.inputs_ordered += 1
+        self._submitted_at[msg.seq] = self.sim.now
+        self._dmq.append((msg.seq, msg.input))
+        self._pump_processing()
+
+    def _on_forwarded(self, msg: ForwardedInput) -> None:
+        """Leader: the follower saw an input we have not ordered yet."""
+        if self.signaled or not self.is_leader:
+            return
+        if msg.input.input_id in self._seen_inputs:
+            return  # we did order it; our OrderedInput is on its way
+        self._seen_inputs.add(msg.input.input_id)
+        self._order_input(msg.input)
+
+    def on_timer(self, tag, *args) -> None:
+        if isinstance(tag, tuple) and tag[0] == "t2":
+            input_id = args[0]
+            if input_id in self._irmp_pending and not self.signaled:
+                # The leader never ordered an input we saw: leader failed.
+                self._start_signaling("leader-silent")
+        elif isinstance(tag, tuple) and tag[0] == "icmp":
+            corr = args[0]
+            if corr in self._icmp and not self.signaled:
+                self._start_signaling("compare-timeout")
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"{self.name}: unexpected timer {tag!r}")
+
+    # ======================================================================
+    # processing (the wrapped replica consumes the DMQ serially)
+    # ======================================================================
+    def _pump_processing(self) -> None:
+        if self._processing or not self._dmq:
+            return
+        self._processing = True
+        seq, fs_input = self._dmq.popleft()
+        cost = self._processing_cost(fs_input)
+        self.lane.execute(cost, self._process, seq, fs_input)
+
+    def _processing_cost(self, fs_input: FsInput) -> float:
+        pseudo = Request(
+            target=self.wrapped.ref,
+            method=fs_input.method,
+            args=fs_input.args,
+            oneway=True,
+            request_id=-1,
+            reply_to=None,
+            sender=self.name,
+            size=fs_input.wire_size,
+        )
+        # The ORB already charged unmarshalling when the input arrived at
+        # the wrapper; what remains is the replica's own processing.
+        return 0.1 + self.wrapped.invocation_cost(pseudo)
+
+    def _process(self, seq: int, fs_input: FsInput) -> None:
+        if not self.alive:
+            return
+        handler = getattr(self.wrapped, fs_input.method, None)
+        if handler is None:
+            self.trace("fso", "no-such-method", method=fs_input.method)
+        else:
+            outputs = self._capture.capture(self, handler, fs_input.args)
+            pi = self.sim.now - self._submitted_at[seq]
+            for idx, request in enumerate(outputs):
+                self._handle_output(seq, idx, request, pi)
+        del self._submitted_at[seq]
+        self._processing = False
+        self._pump_processing()
+
+    # ======================================================================
+    # compare (Compare / Compare')
+    # ======================================================================
+    def _handle_output(self, seq: int, idx: int, request: Request, pi: float) -> None:
+        if self.signaled:
+            # "...it sends the double-signed fail-signal to destination(s)
+            # of any locally produced output."
+            self._emit_fail_signal()
+            return
+        output = FsOutput(
+            fs_id=self.fs_id,
+            input_seq=seq,
+            output_idx=idx,
+            target=request.target,
+            method=request.method,
+            args=request.args,
+        )
+        prod_no = self._prod_counter
+        self._prod_counter += 1
+        entry = _IcmpEntry(
+            output=output,
+            content_key=output.content_key(),
+            prod_no=prod_no,
+            pi=pi,
+            tau=0.0,  # measured once signing completes
+        )
+        # Sign the candidate (CPU burst), then forward to the peer and
+        # start the comparison timeout.  τ is *measured*, per section
+        # 2.2 ("the time taken to sign and forward the output"), so it
+        # includes CPU queueing behind other signing work.
+        sign_cost = self.node.crypto_costs.sign_cost(output.wire_size)
+        produced_at = self.sim.now
+        self.lane.execute(sign_cost, self._single_signed, entry, produced_at)
+
+    def _single_signed(self, entry: _IcmpEntry, produced_at: float) -> None:
+        if not self.alive or self.signaled:
+            return
+        entry.tau = self.sim.now - produced_at
+        corr = entry.output.correlation
+        self._icmp[corr] = entry
+        single = SingleSigned(signed=self.signer.sign_payload(entry.output))
+        self._single_ready[entry.prod_no] = single
+        while self._single_next in self._single_ready:
+            self._lan_send(self._single_ready.pop(self._single_next))
+            self._single_next += 1
+        if self.is_leader:
+            timeout = self.config.leader_compare_timeout(entry.pi, entry.tau)
+        else:
+            timeout = self.config.follower_compare_timeout(entry.pi, entry.tau)
+        self.set_timer(("icmp", corr), timeout, corr)
+        self._try_match(corr)
+
+    def _on_single(self, msg: SingleSigned) -> None:
+        """Peer Compare forwarded a single-signed candidate output."""
+        if self.signaled:
+            return
+        signed = msg.signed
+        payload = signed.payload
+        if not isinstance(payload, FsOutput):
+            self.trace("fso", "single-bad-payload")
+            return
+        verify_cost = self.node.crypto_costs.verify_cost(payload.wire_size)
+        self.lane_in.execute(verify_cost, self._single_verified, signed)
+
+    def _single_verified(self, signed: Signed) -> None:
+        if not self.alive or self.signaled:
+            return
+        peer_identity = self._peer_signer_identity()
+        if signed.signer != peer_identity or not self.keystore.check_signed(signed):
+            # A corrupted single cannot be attributed; ignore it and let
+            # the comparison timeout catch the failure.
+            self.trace("fso", "single-rejected", claimed=signed.signer)
+            return
+        payload: FsOutput = signed.payload
+        self._ecmp[payload.correlation] = signed
+        self._try_match(payload.correlation)
+
+    def _try_match(self, corr: tuple[int, int]) -> None:
+        entry = self._icmp.get(corr)
+        peer_signed = self._ecmp.get(corr)
+        if entry is None or peer_signed is None:
+            return
+        peer_output: FsOutput = peer_signed.payload
+        if peer_output.content_key() != entry.content_key:
+            self.trace(
+                "fso",
+                "compare-mismatch",
+                corr=list(corr),
+                local=entry.content_key,
+                remote=peer_output.content_key(),
+            )
+            self._start_signaling("output-mismatch")
+            return
+        # Success: countersign the peer's single so the double signature
+        # carries both identities, then transmit in production order.
+        del self._icmp[corr]
+        del self._ecmp[corr]
+        self.cancel_timer(("icmp", corr))
+        sign_cost = self.node.crypto_costs.sign_cost(peer_output.wire_size)
+        self.lane.execute(sign_cost, self._countersigned, entry, peer_signed)
+
+    def _countersigned(self, entry: _IcmpEntry, peer_signed: Signed) -> None:
+        if not self.alive or self.signaled:
+            return
+        double = self.signer.countersign(peer_signed)
+        self._ds_ready[entry.prod_no] = _DsReady(output=entry.output, double_signed=double)
+        while self._ds_next in self._ds_ready:
+            ready = self._ds_ready.pop(self._ds_next)
+            self._transmit_output(ready)
+            self._ds_next += 1
+
+    def _transmit_output(self, ready: _DsReady) -> None:
+        self.outputs_transmitted += 1
+        self.trace(
+            "fso",
+            "output",
+            corr=list(ready.output.correlation),
+            target=str(ready.output.target),
+        )
+        for endpoint in self.routes.resolve(ready.output.target):
+            self.node.orb.oneway(endpoint, "receiveNew", ready.double_signed)
+
+    # ======================================================================
+    # fail-signalling
+    # ======================================================================
+    def _start_signaling(self, reason: str) -> None:
+        if self.signaled:
+            return
+        self.ensure_wired()
+        self.signaled = True
+        self.signal_reason = reason
+        self.trace("fso", "fail-signal", reason=reason)
+        # Cease peer interaction: drop pools and pending timers.
+        for corr in list(self._icmp):
+            self.cancel_timer(("icmp", corr))
+        for input_id in list(self._irmp_pending):
+            self.cancel_timer(("t2", input_id))
+        self._icmp.clear()
+        self._ecmp.clear()
+        self._irmp_pending.clear()
+        self._ds_ready.clear()
+        self._single_ready.clear()
+        sign_cost = self.node.crypto_costs.sign_cost(64)
+        self.lane.execute(sign_cost, self._emit_fail_signal, priority=-2)
+
+    def inject_arbitrary_signal(self) -> None:
+        """Fault injection: make this (possibly healthy) FSO emit its
+        fail-signal spontaneously -- failure mode fs2."""
+        self._start_signaling("injected-fs2")
+
+    def _emit_fail_signal(self) -> None:
+        if not self.alive or self.fail_signal_blank is None:
+            return
+        double = self.signer.countersign(self.fail_signal_blank)
+        for endpoint in self.signal_destinations:
+            self.node.orb.oneway(endpoint, "receiveNew", double)
+
+    # ======================================================================
+    # misc
+    # ======================================================================
+    def _peer_signer_identity(self) -> str:
+        pair = self.registry.signers(self.fs_id)
+        if pair is None:
+            raise FsWiringError(f"{self.name}: own FS id not in registry")
+        others = [identity for identity in pair if identity != self.signer.identity]
+        if len(others) != 1:
+            raise FsWiringError(f"{self.name}: registry signers {pair} inconsistent")
+        return others[0]
+
+
+class FsCaptureInterceptorProtocol(typing.Protocol):
+    """What the FSO needs from the node's capture interceptor."""
+
+    def capture(
+        self,
+        fso: Fso,
+        handler: typing.Callable[..., typing.Any],
+        args: tuple,
+    ) -> list[Request]: ...

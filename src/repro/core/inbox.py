@@ -1,0 +1,92 @@
+"""FS output inbox for plain (non-FS) consumers.
+
+"A double-signed response returned by FSO and FSO' to the Invocation
+layer is intercepted, signatures stripped and duplicates suppressed"
+(section 3.1).  The inbox is that interception point: it authenticates
+the double signature against the registry, suppresses the duplicate that
+arrives from the second Compare, converts fail-signals into local
+notifications, and forwards genuine outputs to the collocated target
+servant.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.corba.orb import ObjectRef, Request, Servant
+from repro.core.messages import FailSignal, FsOutput, FsRegistry
+from repro.crypto.keystore import KeyStore
+from repro.crypto.signing import DoubleSigned
+
+
+class FsOutputInbox(Servant):
+    """Per-member unwrapping endpoint for FS traffic."""
+
+    def __init__(self, keystore: KeyStore, registry: FsRegistry, crypto_costs=None) -> None:
+        self._keystore = keystore
+        self._registry = registry
+        self._crypto_costs = crypto_costs
+        self._seen_outputs: set[tuple] = set()
+        self._signalled_sources: set[str] = set()
+        #: Called with the FS id of each newly signalled source.
+        self.on_fail_signal: typing.Callable[[str], None] | None = None
+        #: Optional rewrite of logical target keys to local object keys.
+        self.local_rewrites: dict[str, ObjectRef] = {}
+        self.outputs_forwarded = 0
+        self.fail_signals_received = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # servant method
+    # ------------------------------------------------------------------
+    def receiveNew(self, message: typing.Any) -> None:
+        if not isinstance(message, DoubleSigned):
+            self.rejected += 1
+            return
+        payload = message.payload
+        if isinstance(payload, FsOutput):
+            self._on_output(message, payload)
+        elif isinstance(payload, FailSignal):
+            self._on_fail_signal(message, payload)
+        else:
+            self.rejected += 1
+
+    def invocation_cost(self, request: Request) -> float:
+        if self._crypto_costs is None:
+            return 0.0
+        return self._crypto_costs.verify_cost(request.size) * 2
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _valid(self, message: DoubleSigned, fs_id: str) -> bool:
+        expected = self._registry.signers(fs_id)
+        if expected is None or set(message.signers) != set(expected):
+            return False
+        return self._keystore.check_double(message)
+
+    def _on_output(self, message: DoubleSigned, payload: FsOutput) -> None:
+        if not self._valid(message, payload.fs_id):
+            self.rejected += 1
+            return
+        if payload.dedup_key in self._seen_outputs:
+            return  # the second Compare's copy
+        self._seen_outputs.add(payload.dedup_key)
+        target = self.local_rewrites.get(payload.target.key, payload.target)
+        self.outputs_forwarded += 1
+        self.orb.oneway(target, payload.method, *payload.args)
+
+    def _on_fail_signal(self, message: DoubleSigned, payload: FailSignal) -> None:
+        if not self._valid(message, payload.fs_id):
+            self.rejected += 1
+            return
+        if payload.fs_id in self._signalled_sources:
+            return
+        self._signalled_sources.add(payload.fs_id)
+        self.fail_signals_received += 1
+        if self.on_fail_signal is not None:
+            self.on_fail_signal(payload.fs_id)
+
+    @property
+    def signalled_sources(self) -> set[str]:
+        return set(self._signalled_sources)

@@ -1,0 +1,111 @@
+"""Interceptors of the fail-signal layer.
+
+Two interceptors realise the "wrapping made transparent to GC" property
+of section 3.1:
+
+* :class:`FsCaptureInterceptor` (client side, on each FS node) captures
+  every ORB request the wrapped replica issues while processing an input
+  and hands it to the local FSO as a candidate output, instead of
+  letting it reach the network unchecked;
+* :class:`FanOutInterceptor` (client side, on client nodes) rewrites a
+  request aimed at a wrapped logical object into one
+  ``receiveNew(FsInput)`` per wrapper replica, assigning the unique
+  input id both wrappers use for pairing.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.corba.interceptors import ClientInterceptor
+from repro.corba.orb import ObjectRef, Orb, Request
+from repro.core.messages import FsInput
+
+if typing.TYPE_CHECKING:
+    from repro.core.fso import Fso
+
+
+class FsCaptureInterceptor(ClientInterceptor):
+    """Captures the wrapped replica's outputs for comparison.
+
+    While an FSO runs the wrapped handler it points ``current`` at
+    itself; every request the handler issues through the node ORB is
+    collected instead of transmitted.  Handlers run to completion within
+    one simulation event, so a single slot (no stack) suffices.
+    """
+
+    def __init__(self) -> None:
+        self.current: "Fso | None" = None
+        self._collected: list[Request] = []
+
+    def capture(
+        self,
+        fso: "Fso",
+        handler: typing.Callable[..., typing.Any],
+        args: tuple,
+    ) -> list[Request]:
+        """Run ``handler(*args)`` collecting the requests it issues."""
+        if self.current is not None:
+            raise RuntimeError("nested FSO capture; handlers must not re-enter")
+        self.current = fso
+        self._collected = []
+        try:
+            handler(*args)
+            return list(self._collected)
+        finally:
+            self.current = None
+            self._collected = []
+
+    def outgoing(self, request: Request, orb: Orb) -> list[Request]:
+        if self.current is None:
+            return [request]
+        self._collected.append(request)
+        return []
+
+
+class FanOutInterceptor(ClientInterceptor):
+    """Redirects requests for wrapped logical objects to both wrappers.
+
+    "A call to NewTOP GC ... is intercepted on the fly and is submitted
+    to both GC and GC' in an identical order with the FSO acting as the
+    leader" (section 3.1).  The interceptor assigns each intercepted
+    request a unique ``input_id`` shared by both copies, which is what
+    the follower's IRM pool pairs on.
+    """
+
+    def __init__(self, origin: str) -> None:
+        self.origin = origin
+        self._wrapped: dict[str, list[ObjectRef]] = {}
+        self._counter = 0
+
+    def wrap_target(self, logical_key: str, fso_refs: list[ObjectRef]) -> None:
+        """Requests to ``logical_key`` now fan out to ``fso_refs``."""
+        if len(fso_refs) < 1:
+            raise ValueError("need at least one wrapper endpoint")
+        self._wrapped[logical_key] = list(fso_refs)
+
+    def outgoing(self, request: Request, orb: Orb) -> list[Request]:
+        endpoints = self._wrapped.get(request.target.key)
+        if endpoints is None:
+            return [request]
+        self._counter += 1
+        fs_input = FsInput(
+            method=request.method,
+            args=request.args,
+            input_id=("ext", self.origin, self._counter),
+        )
+        out = []
+        for endpoint in endpoints:
+            out.append(
+                Request(
+                    target=endpoint,
+                    method="receiveNew",
+                    args=(fs_input,),
+                    oneway=True,
+                    request_id=request.request_id,
+                    reply_to=None,
+                    sender=request.sender,
+                    size=request.size + 32,
+                )
+            )
+        return out

@@ -1,0 +1,165 @@
+"""Message types of the fail-signal layer.
+
+Traffic in and out of an FS process:
+
+* :class:`FsInput` -- a plain (unsigned) input submitted to the pair,
+  e.g. the Invocation layer's multicast request;
+* :class:`FsOutput` -- one output the wrapped process produced, tagged
+  with its correlation id ``(input_seq, output_idx)``; always travels
+  double-signed;
+* :class:`FailSignal` -- the unique fail-signal blank of an FS process;
+  travels double-signed (first signature pre-supplied by the peer
+  Compare at start-up, second added when signalling).
+
+Traffic inside the pair (over the synchronous LAN):
+
+* :class:`OrderedInput` -- leader -> follower: input plus its position;
+* :class:`ForwardedInput` -- follower -> leader: an input the follower
+  saw but the leader has not ordered yet (the t1 path);
+* :class:`SingleSigned` -- Compare -> Compare': a locally produced
+  output, signed once, awaiting comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.corba.orb import ObjectRef
+from repro.crypto.canonical import canonical_encode
+from repro.crypto.digest import md5_hexdigest
+from repro.crypto.signing import Signed
+from repro.net.message import HEADER_BYTES, wire_size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FsInput:
+    """An input for a fail-signal process.
+
+    ``input_id`` must be globally unique and identical across the copies
+    sent to the leader and the follower -- it is the pairing key of the
+    follower's IRM pool and the dedup key against double submission.
+    """
+
+    method: str
+    args: tuple
+    input_id: tuple
+
+    @property
+    def wire_size(self) -> int:
+        total = HEADER_BYTES + len(self.method)
+        for arg in self.args:
+            total += wire_size(arg) - HEADER_BYTES
+        return total
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FsOutput:
+    """One output of the wrapped process, with its correlation id."""
+
+    fs_id: str
+    input_seq: int
+    output_idx: int
+    target: ObjectRef
+    method: str
+    args: tuple
+
+    @property
+    def correlation(self) -> tuple[int, int]:
+        return (self.input_seq, self.output_idx)
+
+    @property
+    def dedup_key(self) -> tuple[str, int, int]:
+        return (self.fs_id, self.input_seq, self.output_idx)
+
+    def content_key(self) -> str:
+        """Digest of the output *content* (destination, method, args) --
+        what the two Compare processes actually compare."""
+        return md5_hexdigest(canonical_encode((self.target, self.method, self.args)))
+
+    @property
+    def wire_size(self) -> int:
+        total = HEADER_BYTES + len(self.method) + len(self.fs_id)
+        for arg in self.args:
+            total += wire_size(arg) - HEADER_BYTES
+        return total
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FailSignal:
+    """The fail-signal blank of the FS process ``fs_id``.
+
+    The blank carries nothing but the identity: a fail-signal is
+    meaningful purely as *who* signalled, and its double signature is
+    what makes it unforgeable and uniquely attributable."""
+
+    fs_id: str
+
+    @property
+    def wire_size(self) -> int:
+        return HEADER_BYTES + len(self.fs_id)
+
+
+# ----------------------------------------------------------------------
+# intra-pair LAN messages
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True, slots=True)
+class OrderedInput:
+    """Leader -> follower: this input is number ``seq``."""
+
+    seq: int
+    input: FsInput
+
+    @property
+    def wire_size(self) -> int:
+        return 16 + self.input.wire_size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ForwardedInput:
+    """Follower -> leader: an input the leader may have missed."""
+
+    input: FsInput
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + self.input.wire_size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SingleSigned:
+    """Compare -> Compare': single-signed candidate output."""
+
+    signed: Signed  # payload is an FsOutput
+
+    @property
+    def wire_size(self) -> int:
+        payload = self.signed.payload
+        inner = payload.wire_size if hasattr(payload, "wire_size") else 64
+        return 80 + inner  # signature + framing
+
+
+class FsRegistry:
+    """Who signs for each FS process.
+
+    The registry is trusted start-up configuration (keys are exchanged
+    while both nodes are still correct, assumption A1): given an FS
+    process id it answers which two Compare identities must have signed
+    a valid output or fail-signal."""
+
+    def __init__(self) -> None:
+        self._signers: dict[str, tuple[str, str]] = {}
+
+    def register(self, fs_id: str, signer_a: str, signer_b: str) -> None:
+        if fs_id in self._signers:
+            raise ValueError(f"FS process {fs_id!r} already registered")
+        self._signers[fs_id] = (signer_a, signer_b)
+
+    def signers(self, fs_id: str) -> tuple[str, str] | None:
+        return self._signers.get(fs_id)
+
+    def knows(self, fs_id: str) -> bool:
+        return fs_id in self._signers
+
+    def fs_ids(self) -> list[str]:
+        return sorted(self._signers)

@@ -1,0 +1,40 @@
+"""Routing of FS outputs to their real destinations.
+
+The wrapped process addresses *logical* object references (its original,
+crash-tolerant world view).  A checked, double-signed output must then
+reach the real endpoints standing behind that logical reference:
+
+* for a destination that is itself an FS process -- both wrapper objects
+  of the pair ("each Compare process transmits the output to both the
+  replicas of the destination FS process", section 2.1);
+* for a plain destination (e.g. the Invocation layer) -- that member's
+  :class:`repro.core.inbox.FsOutputInbox`, which verifies, strips and
+  de-duplicates.
+
+Every endpoint in a route accepts ``receiveNew(double_signed)``.
+"""
+
+from __future__ import annotations
+
+from repro.corba.orb import ObjectRef
+
+
+class FsRouteTable:
+    """Maps logical object keys to the endpoints that accept FS outputs
+    aimed at them."""
+
+    def __init__(self) -> None:
+        self._routes: dict[str, list[ObjectRef]] = {}
+
+    def set_route(self, logical_key: str, endpoints: list[ObjectRef]) -> None:
+        if not endpoints:
+            raise ValueError(f"route for {logical_key!r} must have >= 1 endpoint")
+        self._routes[logical_key] = list(endpoints)
+
+    def resolve(self, logical: ObjectRef) -> list[ObjectRef]:
+        """Endpoints for a logical target; unrouted targets are returned
+        as-is (identity route -- useful in plain, non-NewTOP setups)."""
+        return self._routes.get(logical.key, [logical])
+
+    def known_keys(self) -> list[str]:
+        return sorted(self._routes)

@@ -1,0 +1,80 @@
+"""High-level transform API: one environment, many FS processes.
+
+An :class:`FsEnvironment` owns the shared trust infrastructure (keystore,
+registry, route table) so that several FS processes built in the same
+simulation can authenticate one another -- which is exactly the FS-NewTOP
+configuration, where every member's GC becomes one FS process.
+"""
+
+from __future__ import annotations
+
+from repro.corba.node import Node
+from repro.corba.orb import Servant
+from repro.core.config import FsoConfig
+from repro.core.failsignal import FsProcess, make_fail_signal
+from repro.core.fso import Fso
+from repro.core.inbox import FsOutputInbox
+from repro.core.messages import FsRegistry
+from repro.core.routes import FsRouteTable
+from repro.crypto.keystore import KeyStore
+from repro.crypto.signing import HmacScheme, SignatureScheme
+from repro.sim.scheduler import Simulator
+
+
+class FsEnvironment:
+    """Shared PKI, registry and routing for a set of FS processes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheme: SignatureScheme | None = None,
+        config: FsoConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.keystore = KeyStore(scheme if scheme is not None else HmacScheme())
+        self.registry = FsRegistry()
+        self.routes = FsRouteTable()
+        self.config = config if config is not None else FsoConfig()
+        self.processes: dict[str, FsProcess] = {}
+
+    def make_fail_signal(
+        self,
+        fs_id: str,
+        leader_node: Node,
+        follower_node: Node,
+        leader_replica: Servant,
+        follower_replica: Servant,
+        fso_class: type[Fso] = Fso,
+        leader_fso_class: type[Fso] | None = None,
+        follower_fso_class: type[Fso] | None = None,
+    ) -> FsProcess:
+        """Build one FS process inside this environment and route its
+        logical identity to the wrapper pair."""
+        process = make_fail_signal(
+            sim=self.sim,
+            fs_id=fs_id,
+            leader_node=leader_node,
+            follower_node=follower_node,
+            leader_replica=leader_replica,
+            follower_replica=follower_replica,
+            keystore=self.keystore,
+            registry=self.registry,
+            routes=self.routes,
+            config=self.config,
+            fso_class=fso_class,
+            leader_fso_class=leader_fso_class,
+            follower_fso_class=follower_fso_class,
+        )
+        self.processes[fs_id] = process
+        return process
+
+    def make_inbox(self, node: Node, key: str) -> FsOutputInbox:
+        """Create and activate an unwrapping inbox on ``node``."""
+        inbox = FsOutputInbox(self.keystore, self.registry, crypto_costs=node.crypto_costs)
+        node.activate(key, inbox)
+        return inbox
+
+    def broadcast_signal_destinations(self, destinations) -> None:
+        """Point every FS process's fail-signal at the same audience."""
+        for process in self.processes.values():
+            process.set_signal_destinations(list(destinations))

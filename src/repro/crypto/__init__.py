@@ -1,0 +1,68 @@
+"""Message signing and authentication substrate (assumption A5).
+
+The paper assumes: *"a process of a correct node can sign the messages it
+sends and the signed message cannot be generated nor undetectably altered
+by a process in another node"* (A5), realised in their testbed with the
+Java security package (MD5 digests, RSA signatures).
+
+We provide two interchangeable signature schemes behind one interface:
+
+* :class:`RsaScheme` -- textbook RSA built from scratch (Miller-Rabin
+  prime generation, square-and-multiply modexp) over MD5 digests.  A
+  Byzantine node genuinely cannot forge its peer's signature here; A5
+  holds by arithmetic, not by simulator fiat.
+* :class:`HmacScheme` -- an HMAC-SHA256 MAC keyed per identity.  It is
+  symmetric (the keystore can both produce and check tags), which is fine
+  inside a simulation where the keystore is trusted infrastructure; it
+  exists because large benchmark sweeps need thousands of signatures and
+  pure-Python RSA would dominate wall-clock time.
+
+Either way, the *simulated* CPU cost of each operation is charged through
+:class:`CryptoCostModel`, calibrated to 2003-era MD5-with-RSA latencies,
+so the choice of scheme changes host wall-clock time but never the
+simulated results.
+"""
+
+from repro.crypto.canonical import CanonicalEncodingError, canonical_encode
+from repro.crypto.costmodel import CryptoCostModel
+from repro.crypto.digest import md5_digest, md5_hexdigest, md5_int
+from repro.crypto.errors import (
+    CryptoError,
+    SignatureInvalid,
+    UnknownSigner,
+)
+from repro.crypto.keystore import KeyStore
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
+from repro.crypto.signing import (
+    DoubleSigned,
+    HmacScheme,
+    RsaScheme,
+    SignatureScheme,
+    Signed,
+    Signer,
+)
+
+__all__ = [
+    "CanonicalEncodingError",
+    "CryptoCostModel",
+    "CryptoError",
+    "DoubleSigned",
+    "HmacScheme",
+    "KeyStore",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "RsaScheme",
+    "SignatureInvalid",
+    "SignatureScheme",
+    "Signed",
+    "Signer",
+    "UnknownSigner",
+    "canonical_encode",
+    "generate_prime",
+    "generate_rsa_keypair",
+    "is_probable_prime",
+    "md5_digest",
+    "md5_hexdigest",
+    "md5_int",
+]

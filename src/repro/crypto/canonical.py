@@ -1,0 +1,115 @@
+"""Deterministic canonical byte encoding.
+
+Signatures are computed over bytes, so every message must map to one and
+exactly one byte string regardless of dict insertion order or replica.
+This module defines that mapping: a small, self-describing, length-
+prefixed tag format covering the value types that protocol messages use.
+
+The same encoding doubles as the wire format used by the ORB's marshaller
+for message-size accounting (see :mod:`repro.corba.marshal`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any
+
+
+class CanonicalEncodingError(TypeError):
+    """Raised for values with no defined canonical form."""
+
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_TUPLE = b"U"
+_TAG_DICT = b"M"
+_TAG_OBJECT = b"O"
+
+
+def _encode_length(n: int) -> bytes:
+    return struct.pack(">I", n)
+
+
+def _encode_into(value: Any, out: list[bytes]) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        body = str(value).encode("ascii")
+        out.append(_TAG_INT)
+        out.append(_encode_length(len(body)))
+        out.append(body)
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.append(struct.pack(">d", value))
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out.append(_encode_length(len(body)))
+        out.append(body)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        body = bytes(value)
+        out.append(_TAG_BYTES)
+        out.append(_encode_length(len(body)))
+        out.append(body)
+    elif isinstance(value, list):
+        out.append(_TAG_LIST)
+        out.append(_encode_length(len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, tuple):
+        out.append(_TAG_TUPLE)
+        out.append(_encode_length(len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, (dict,)):
+        # Keys are sorted by their own canonical encoding, which both
+        # imposes a total order and permits mixed key types.
+        entries = [(canonical_encode(k), k, v) for k, v in value.items()]
+        entries.sort(key=lambda e: e[0])
+        out.append(_TAG_DICT)
+        out.append(_encode_length(len(entries)))
+        for key_bytes, __, item in entries:
+            out.append(key_bytes)
+            _encode_into(item, out)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out.append(_TAG_OBJECT)
+        name = type(value).__qualname__.encode("utf-8")
+        out.append(_encode_length(len(name)))
+        out.append(name)
+        fields = dataclasses.fields(value)
+        out.append(_encode_length(len(fields)))
+        for field in fields:
+            _encode_into(field.name, out)
+            _encode_into(getattr(value, field.name), out)
+    elif isinstance(value, frozenset):
+        encoded = sorted(canonical_encode(item) for item in value)
+        out.append(_TAG_LIST)
+        out.append(_encode_length(len(encoded)))
+        out.extend(encoded)
+    else:
+        raise CanonicalEncodingError(
+            f"no canonical encoding for {type(value).__name__}: {value!r}"
+        )
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode ``value`` into its unique canonical byte string.
+
+    Supported: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    ``bytes``-likes, ``list``, ``tuple``, ``dict`` (any canonically
+    encodable keys), ``frozenset`` and dataclass instances.
+    """
+    out: list[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)

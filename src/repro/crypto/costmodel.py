@@ -1,0 +1,60 @@
+"""Simulated CPU cost of cryptographic operations.
+
+The paper attributes FS-NewTOP's extra latency to three sources, two of
+them cryptographic: "authenticating input messages ... and the signing of
+output messages (performed using the Java security package with MD5 using
+RSA encryption signature algorithm)".  This model charges those costs to
+the node CPU in virtual time.
+
+Defaults are calibrated jointly with :class:`repro.corba.OrbCostModel`:
+what the figures reproduce is the *ratio* of signing work to protocol
+work, so the RSA private-key operation is set to about one ORB dispatch
+(the paper's JVM dispatch path was heavyweight relative to its crypto),
+a public-key verification to a small fraction of that, and MD5 linear
+in message size.  The crypto-cost ablation benchmark sweeps the whole
+model up and down around these defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CryptoCostModel:
+    """Per-operation virtual CPU costs, in milliseconds."""
+
+    sign_base_ms: float = 0.5
+    verify_base_ms: float = 0.15
+    digest_ms_per_kb: float = 0.05
+    digest_base_ms: float = 0.005
+
+    def digest_cost(self, size_bytes: int) -> float:
+        """Cost of hashing ``size_bytes`` of input."""
+        return self.digest_base_ms + self.digest_ms_per_kb * (size_bytes / 1024.0)
+
+    def sign_cost(self, size_bytes: int) -> float:
+        """Cost of one signature: digest the message, then one RSA
+        private-key exponentiation (size-independent)."""
+        return self.sign_base_ms + self.digest_cost(size_bytes)
+
+    def verify_cost(self, size_bytes: int) -> float:
+        """Cost of one verification: digest plus a cheap public-key op."""
+        return self.verify_base_ms + self.digest_cost(size_bytes)
+
+    def scaled(self, factor: float) -> "CryptoCostModel":
+        """A copy with every cost multiplied by ``factor`` (used by the
+        crypto-cost ablation benchmark)."""
+        return CryptoCostModel(
+            sign_base_ms=self.sign_base_ms * factor,
+            verify_base_ms=self.verify_base_ms * factor,
+            digest_ms_per_kb=self.digest_ms_per_kb * factor,
+            digest_base_ms=self.digest_base_ms * factor,
+        )
+
+
+#: Zero-cost model: crypto is free.  Used to isolate protocol-structure
+#: overhead from crypto overhead in ablations.
+FREE_CRYPTO = CryptoCostModel(
+    sign_base_ms=0.0, verify_base_ms=0.0, digest_ms_per_kb=0.0, digest_base_ms=0.0
+)

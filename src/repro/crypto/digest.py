@@ -1,0 +1,30 @@
+"""MD5 digests.
+
+The paper's testbed signs MD5 digests ("MD5 using RSA encryption
+signature algorithm", section 4).  MD5 is cryptographically broken today,
+but fidelity to the paper matters more than collision resistance inside a
+simulation, and ``hashlib`` provides a well-tested implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def md5_digest(data: bytes) -> bytes:
+    """16-byte MD5 digest of ``data``."""
+    return hashlib.md5(data).digest()
+
+
+def md5_hexdigest(data: bytes) -> str:
+    """Hex form of :func:`md5_digest`."""
+    return hashlib.md5(data).hexdigest()
+
+
+def md5_int(data: bytes) -> int:
+    """MD5 digest interpreted as a big-endian integer.
+
+    This is the value the textbook-RSA signer exponentiates; it is always
+    below any modulus of 129 bits or more.
+    """
+    return int.from_bytes(md5_digest(data), "big")

@@ -1,0 +1,13 @@
+"""Crypto-layer exceptions."""
+
+
+class CryptoError(Exception):
+    """Base class for crypto substrate failures."""
+
+
+class SignatureInvalid(CryptoError):
+    """A signature failed verification (wrong key, tampered payload...)."""
+
+
+class UnknownSigner(CryptoError):
+    """The keystore has no public key registered for the claimed signer."""

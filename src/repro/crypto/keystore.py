@@ -1,0 +1,99 @@
+"""Public-key registry and signed-message verification."""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.crypto.errors import SignatureInvalid, UnknownSigner
+from repro.crypto.signing import (
+    DoubleSigned,
+    SignatureScheme,
+    Signed,
+    Signer,
+    _countersign_bytes,
+    _payload_bytes,
+)
+
+
+class KeyStore:
+    """Maps identities to public verification material.
+
+    One keystore per simulation models the PKI the paper presupposes:
+    keys are distributed correctly at start-up (nodes are correct when
+    paired, assumption A1), and verification needs no network round
+    trips.
+    """
+
+    def __init__(self, scheme: SignatureScheme) -> None:
+        self.scheme = scheme
+        self._public: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def new_signer(self, identity: str, rng: random.Random) -> Signer:
+        """Generate key material for ``identity`` and register it.
+
+        Re-using an identity is a configuration bug, not an attack we
+        model, so it raises.
+        """
+        if identity in self._public:
+            raise ValueError(f"identity {identity!r} already registered")
+        private, public = self.scheme.generate(rng)
+        self._public[identity] = public
+        return Signer(identity, self.scheme, private)
+
+    def knows(self, identity: str) -> bool:
+        return identity in self._public
+
+    def identities(self) -> list[str]:
+        return sorted(self._public)
+
+    def _public_for(self, identity: str) -> Any:
+        public = self._public.get(identity)
+        if public is None:
+            raise UnknownSigner(f"no public key for {identity!r}")
+        return public
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def check_signed(self, signed: Signed) -> bool:
+        """Verify a single-signed message (no exception on bad sig)."""
+        public = self._public_for(signed.signature.signer)
+        return self.scheme.verify(
+            public, _payload_bytes(signed.payload), signed.signature.value
+        )
+
+    def check_double(self, message: DoubleSigned) -> bool:
+        """Verify a double-signed message: first signature over the
+        payload, second over (payload, first)."""
+        first_public = self._public_for(message.first.signer)
+        if not self.scheme.verify(
+            first_public, _payload_bytes(message.payload), message.first.value
+        ):
+            return False
+        second_public = self._public_for(message.second.signer)
+        return self.scheme.verify(
+            second_public,
+            _countersign_bytes(message.payload, message.first),
+            message.second.value,
+        )
+
+    def require_double(
+        self, message: DoubleSigned, expected_signers: tuple[str, str] | None = None
+    ) -> None:
+        """Verify a double-signed message, raising on failure.
+
+        ``expected_signers`` (order-insensitive) additionally pins *who*
+        must have signed -- the check a destination applies to outputs of
+        a specific FS process.
+        """
+        if expected_signers is not None:
+            if set(message.signers) != set(expected_signers):
+                raise SignatureInvalid(
+                    f"signed by {message.signers}, expected {expected_signers}"
+                )
+        if not self.check_double(message):
+            raise SignatureInvalid(f"bad double signature from {message.signers}")

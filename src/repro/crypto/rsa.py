@@ -1,0 +1,101 @@
+"""Textbook RSA, implemented from scratch.
+
+Signatures are RSA exponentiations of MD5 digests ("MD5 with RSA", as the
+paper's testbed).  No padding scheme is applied: the message space is the
+16-byte digest, far below the modulus, and the adversary model of the
+paper (a faulty *node*, not a cryptanalyst) does not include chosen-
+message forgery games.  What matters for assumption A5 -- that a replica
+cannot fabricate its peer's signature -- holds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.crypto.digest import md5_int
+from repro.crypto.primes import generate_prime
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RsaPublicKey:
+    """Public half of an RSA keypair: modulus and public exponent."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def verify_int(self, digest: int, signature: int) -> bool:
+        """Check ``signature^e mod n == digest``."""
+        if not 0 <= signature < self.n:
+            return False
+        return pow(signature, self.e, self.n) == digest % self.n
+
+    def verify(self, data: bytes, signature: int) -> bool:
+        return self.verify_int(md5_int(data), signature)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RsaKeyPair:
+    """Full RSA keypair.  Only the owner process holds this object."""
+
+    public: RsaPublicKey
+    d: int
+
+    def sign_int(self, digest: int) -> int:
+        return pow(digest % self.public.n, self.d, self.public.n)
+
+    def sign(self, data: bytes) -> int:
+        """Sign the MD5 digest of ``data``."""
+        return self.sign_int(md5_int(data))
+
+
+def _modinv(a: int, m: int) -> int:
+    """Modular inverse by extended Euclid."""
+    g, x = _extended_gcd(a, m)
+    if g != 1:
+        raise ValueError("modular inverse does not exist")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int]:
+    """Return (gcd, x) with a*x === gcd (mod b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    while r != 0:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+    return old_r, old_s
+
+
+def generate_rsa_keypair(bits: int = 512, rng: random.Random | None = None) -> RsaKeyPair:
+    """Generate an RSA keypair with a ``bits``-bit modulus.
+
+    512-bit keys are the default: era-appropriate (the paper predates
+    widespread 2048-bit deployment) and fast enough for pure-Python
+    simulation.  The modulus must exceed 128 bits so MD5 digests embed
+    without reduction.
+    """
+    if bits < 136:
+        raise ValueError(f"modulus must be >= 136 bits to sign MD5 digests, got {bits}")
+    if rng is None:
+        rng = random.Random()
+    e = 65537
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = _modinv(e, phi)
+        return RsaKeyPair(public=RsaPublicKey(n=n, e=e), d=d)

@@ -1,0 +1,157 @@
+"""Signature schemes, signers and signed-message containers.
+
+The fail-signal protocol needs exactly three signing operations:
+
+* single-sign an output before forwarding it to the peer Compare thread;
+* countersign a peer's single-signed message, producing the double-signed
+  output that destinations accept as valid (both signatures, in either
+  order, section 2.1);
+* countersign the peer-supplied fail-signal blank when signalling.
+
+A countersignature binds to the first signature, not just the payload, so
+a faulty node cannot graft a stale second signature onto new content.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import hashlib
+import hmac
+import random
+from typing import Any
+
+from repro.crypto.canonical import canonical_encode
+from repro.crypto.errors import SignatureInvalid
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Signature:
+    """A signature value attributed to a named identity."""
+
+    signer: str
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Signed:
+    """A payload with one signature."""
+
+    payload: Any
+    signature: Signature
+
+    @property
+    def signer(self) -> str:
+        return self.signature.signer
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DoubleSigned:
+    """A payload carrying two signatures; ``first`` was applied first.
+
+    This is the only message form a correct process accepts as the output
+    of a fail-signal process.
+    """
+
+    payload: Any
+    first: Signature
+    second: Signature
+
+    @property
+    def signers(self) -> tuple[str, str]:
+        return (self.first.signer, self.second.signer)
+
+
+def _payload_bytes(payload: Any) -> bytes:
+    return canonical_encode(payload)
+
+
+def _countersign_bytes(payload: Any, first: Signature) -> bytes:
+    return canonical_encode((payload, first.signer, first.value))
+
+
+class SignatureScheme(abc.ABC):
+    """Key generation plus raw sign/verify over byte strings."""
+
+    @abc.abstractmethod
+    def generate(self, rng: random.Random) -> tuple[Any, Any]:
+        """Return ``(private_material, public_material)``."""
+
+    @abc.abstractmethod
+    def sign(self, private: Any, data: bytes) -> Any:
+        """Produce a signature value for ``data``."""
+
+    @abc.abstractmethod
+    def verify(self, public: Any, data: bytes, value: Any) -> bool:
+        """Check a signature value against ``data``."""
+
+
+class RsaScheme(SignatureScheme):
+    """MD5-with-RSA, as in the paper's testbed.  From-scratch RSA."""
+
+    def __init__(self, bits: int = 512) -> None:
+        self.bits = bits
+
+    def generate(self, rng: random.Random) -> tuple[RsaKeyPair, RsaPublicKey]:
+        pair = generate_rsa_keypair(self.bits, rng)
+        return pair, pair.public
+
+    def sign(self, private: RsaKeyPair, data: bytes) -> int:
+        return private.sign(data)
+
+    def verify(self, public: RsaPublicKey, data: bytes, value: Any) -> bool:
+        if not isinstance(value, int):
+            return False
+        return public.verify(data, value)
+
+
+class HmacScheme(SignatureScheme):
+    """HMAC-SHA256 per-identity MAC.
+
+    Functionally interchangeable with :class:`RsaScheme` inside the
+    simulation (the keystore is trusted infrastructure); orders of
+    magnitude faster in host time for large benchmark sweeps.  Simulated
+    time is unaffected -- costs come from :class:`CryptoCostModel`.
+    """
+
+    def generate(self, rng: random.Random) -> tuple[bytes, bytes]:
+        secret = rng.getrandbits(256).to_bytes(32, "big")
+        return secret, secret
+
+    def sign(self, private: bytes, data: bytes) -> bytes:
+        return hmac.new(private, data, hashlib.sha256).digest()
+
+    def verify(self, public: bytes, data: bytes, value: Any) -> bool:
+        if not isinstance(value, (bytes, bytearray)):
+            return False
+        expected = hmac.new(public, data, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, bytes(value))
+
+
+class Signer:
+    """Private signing capability bound to one identity.
+
+    Created through :meth:`repro.crypto.KeyStore.new_signer`, which also
+    registers the public half for verification.
+    """
+
+    def __init__(self, identity: str, scheme: SignatureScheme, private: Any) -> None:
+        self.identity = identity
+        self._scheme = scheme
+        self._private = private
+
+    def sign_bytes(self, data: bytes) -> Signature:
+        return Signature(self.identity, self._scheme.sign(self._private, data))
+
+    def sign_payload(self, payload: Any) -> Signed:
+        """Single-sign an arbitrary canonical-encodable payload."""
+        return Signed(payload, self.sign_bytes(_payload_bytes(payload)))
+
+    def countersign(self, signed: Signed) -> DoubleSigned:
+        """Add a second signature over (payload, first signature)."""
+        value = self.sign_bytes(_countersign_bytes(signed.payload, signed.signature))
+        return DoubleSigned(payload=signed.payload, first=signed.signature, second=value)
+
+    def __repr__(self) -> str:
+        return f"<Signer {self.identity!r}>"

@@ -1,0 +1,37 @@
+"""FS-NewTOP: NewTOP extended with fail-signal middleware processes.
+
+The structured extension of section 3.1: every member's GC service --
+already a deterministic state machine -- is replicated into a fail-signal
+pair on two nodes joined by a synchronous LAN.  CORBA interceptors make
+the wrapping transparent:
+
+* calls to a member's (logical) GC, whether from its Invocation layer or
+  from a remote GC, are intercepted and submitted to both wrapper
+  replicas in an identical order, the FSO acting as leader;
+* double-signed responses towards the Invocation layer are intercepted,
+  verified, signature-stripped and duplicate-suppressed;
+* the failure suspector no longer pings: it converts received
+  fail-signals into suspicions.  Since a fail-signal uniquely identifies
+  a faulty source, suspicions *cannot be false* -- groups never split
+  when there are no failures, and total ordering terminates without any
+  liveness (◇W-style) assumption.
+
+Deployments: :class:`ByzantineTolerantGroup` builds either the full
+figure 4 layout (two nodes per member; 4f+2 nodes overall to mask f
+Byzantine faults at the application level) or the collapsed figure 5
+layout used in the paper's measurements (each member's node also hosts
+the next member's follower wrapper).
+"""
+
+from repro.fsnewtop.deployment import node_requirements
+from repro.fsnewtop.suspicion import FsSuspector
+from repro.fsnewtop.system import ByzantineTolerantGroup
+from repro.fsnewtop.voting import MajorityVoter, VoteOutcome
+
+__all__ = [
+    "ByzantineTolerantGroup",
+    "FsSuspector",
+    "MajorityVoter",
+    "VoteOutcome",
+    "node_requirements",
+]

@@ -1,0 +1,50 @@
+"""Node-count arithmetic: the cost side of the paper's trade-off.
+
+Masking f Byzantine faults at the application level needs 2f+1 replicas
+of the application, each with access to total order.  In FS-NewTOP every
+replica's middleware is an FS pair on two nodes, hence **4f+2** nodes --
+(f+1) more than the 3f+1 optimum of from-scratch Byzantine protocols
+(e.g. PBFT [CL99]), in exchange for liveness-assumption-free
+termination (section 1, "One cost aspect...").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NodeRequirements:
+    """Nodes needed to mask ``f`` Byzantine faults, per approach."""
+
+    f: int
+    app_replicas: int
+    fs_newtop_nodes: int
+    traditional_bft_nodes: int
+    crash_tolerant_nodes: int
+
+    @property
+    def fs_overhead_nodes(self) -> int:
+        """Extra nodes FS-NewTOP pays over the 3f+1 optimum."""
+        return self.fs_newtop_nodes - self.traditional_bft_nodes
+
+
+def node_requirements(f: int) -> NodeRequirements:
+    """Node counts for fault budget ``f``.
+
+    * application replicas: 2f+1 (majority voting masks f);
+    * FS-NewTOP: 2 nodes per replica's FS middleware = 4f+2;
+    * traditional authenticated-BFT total order: 3f+1;
+    * crash-only tolerance (the baseline NewTOP): f+1 replicas suffice
+      to survive f crashes, one node each.
+    """
+    if f < 0:
+        raise ValueError(f"f must be >= 0, got {f}")
+    app_replicas = 2 * f + 1
+    return NodeRequirements(
+        f=f,
+        app_replicas=app_replicas,
+        fs_newtop_nodes=2 * app_replicas,
+        traditional_bft_nodes=3 * f + 1,
+        crash_tolerant_nodes=f + 1,
+    )

@@ -1,0 +1,57 @@
+"""The FS-NewTOP failure suspector.
+
+"In the FS-NewTOP, a suspector module does not have to send 'pings';
+instead, it converts the fail-signals received into 'suspicions' and
+supplies them to the group membership object.  ...the suspicions
+generated in FS-NewTOP, unlike those in NewTOP, cannot be false"
+(section 3.1).
+
+The suspector is wired to the member's :class:`FsOutputInbox` (which
+authenticates fail-signals) and submits each resulting suspicion through
+the member's *logical* GC reference, so the fan-out interceptor delivers
+it to both wrapper replicas as an ordinary, identically-ordered input.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.corba.node import Node
+from repro.corba.orb import ObjectRef
+
+
+class FsSuspector:
+    """Converts fail-signals into (never-false) suspicions."""
+
+    def __init__(
+        self,
+        node: Node,
+        member_id: str,
+        group: str,
+        gc_logical_ref: ObjectRef,
+        member_of_fs: typing.Callable[[str], str | None],
+    ) -> None:
+        self.node = node
+        self.member_id = member_id
+        self.group = group
+        self.gc_logical_ref = gc_logical_ref
+        self._member_of_fs = member_of_fs
+        self.suspicions_raised: list[str] = []
+
+    def on_fail_signal(self, fs_id: str) -> None:
+        """Inbox callback: an authenticated fail-signal from ``fs_id``."""
+        member = self._member_of_fs(fs_id)
+        if member is None or member == self.member_id:
+            return
+        self.suspicions_raised.append(member)
+        self.node.sim.trace.record(
+            self.node.sim.now,
+            "fs-suspector",
+            f"{self.member_id}/suspector",
+            "suspect",
+            member=member,
+            origin=fs_id,
+        )
+        # Through the logical GC ref: the fan-out interceptor turns this
+        # into identically-ordered inputs for both wrapper replicas.
+        self.node.orb.oneway(self.gc_logical_ref, "submit_suspicion", self.group, member)

@@ -1,0 +1,259 @@
+"""Assembly of a Byzantine-tolerant FS-NewTOP group.
+
+The public surface mirrors :class:`repro.newtop.CrashTolerantGroup` so
+that the benchmark harness can drive both systems with identical
+workloads -- the comparison the paper's evaluation makes.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.corba.costs import OrbCostModel
+from repro.corba.node import Node
+from repro.corba.orb import ObjectRef
+from repro.core.config import FsoConfig
+from repro.core.faults import ByzantineFso
+from repro.core.fso import Fso, FsoRole
+from repro.core.inbox import FsOutputInbox
+from repro.core.interception import FanOutInterceptor
+from repro.core.transform import FsEnvironment
+from repro.crypto.costmodel import CryptoCostModel
+from repro.crypto.signing import SignatureScheme
+from repro.net.delay import DelayModel, UniformDelay
+from repro.net.network import Network
+from repro.newtop.gc.service import GCService, GroupConfig
+from repro.newtop.invocation import InvocationService
+from repro.newtop.views import View
+from repro.fsnewtop.suspicion import FsSuspector
+
+
+class FsMember:
+    """Everything belonging to one FS-NewTOP member."""
+
+    def __init__(self, member_id: str) -> None:
+        self.member_id = member_id
+        self.primary_node: Node | None = None
+        self.backup_node: Node | None = None
+        self.invocation: InvocationService | None = None
+        self.inv_ref: ObjectRef | None = None
+        self.gc_leader: GCService | None = None
+        self.gc_follower: GCService | None = None
+        self.fs_process = None
+        self.inbox: FsOutputInbox | None = None
+        self.suspector: FsSuspector | None = None
+        self.fanout: FanOutInterceptor | None = None
+
+    @property
+    def gc_logical_ref(self) -> ObjectRef:
+        return ObjectRef(node="logical", key=f"{self.member_id}.gc")
+
+    @property
+    def inv_logical_ref(self) -> ObjectRef:
+        return ObjectRef(node="logical", key=f"{self.member_id}.inv")
+
+
+class ByzantineTolerantGroup:
+    """A fully wired FS-NewTOP deployment.
+
+    Parameters
+    ----------
+    collapsed:
+        ``False`` -- figure 4 layout: every member gets a dedicated
+        backup node (2n nodes).  ``True`` -- figure 5 experimental
+        layout: member i's follower wrapper lives on member (i+1)'s
+        node (n nodes), which is valid under the benchmark's lightly
+        loaded LAN assumption and deliberately *disfavours* FS-NewTOP.
+    byzantine_members:
+        Member indices whose wrappers are :class:`ByzantineFso`
+        (fault plans start disabled; switch on via
+        :meth:`byzantine_fso`).
+    """
+
+    def __init__(
+        self,
+        sim,
+        n_members: int,
+        group: str = "group",
+        network: Network | None = None,
+        delay: DelayModel | None = None,
+        cores: int = 2,
+        pool_size: int = 10,
+        orb_costs: OrbCostModel | None = None,
+        crypto_costs: CryptoCostModel | None = None,
+        fso_config: FsoConfig | None = None,
+        scheme: SignatureScheme | None = None,
+        collapsed: bool = True,
+        byzantine_members: typing.Iterable[int] = (),
+    ) -> None:
+        if n_members < 1:
+            raise ValueError(f"need at least one member, got {n_members}")
+        self.sim = sim
+        self.group = group
+        self.collapsed = collapsed
+        self.network = network if network is not None else Network(
+            sim, default_delay=delay if delay is not None else UniformDelay(0.3, 1.2)
+        )
+        self.env = FsEnvironment(sim, scheme=scheme, config=fso_config)
+        self.member_ids = [f"member-{i}" for i in range(n_members)]
+        self.members: dict[str, FsMember] = {m: FsMember(m) for m in self.member_ids}
+        byzantine_set = {self.member_ids[i] for i in byzantine_members}
+
+        # --- nodes ------------------------------------------------------
+        for member_id in self.member_ids:
+            member = self.members[member_id]
+            member.primary_node = Node(
+                sim,
+                member_id,
+                self.network,
+                cores=cores,
+                pool_size=pool_size,
+                orb_costs=orb_costs,
+                crypto_costs=crypto_costs,
+            )
+        for index, member_id in enumerate(self.member_ids):
+            member = self.members[member_id]
+            if collapsed and n_members > 1:
+                next_member = self.member_ids[(index + 1) % n_members]
+                member.backup_node = self.members[next_member].primary_node
+            else:
+                member.backup_node = Node(
+                    sim,
+                    f"{member_id}-b",
+                    self.network,
+                    cores=cores,
+                    pool_size=pool_size,
+                    orb_costs=orb_costs,
+                    crypto_costs=crypto_costs,
+                )
+
+        # --- deterministic GC replicas, wrapped into FS pairs ------------
+        initial_view = View(group=group, view_id=1, members=tuple(self.member_ids))
+        logical_gc_refs = {m: self.members[m].gc_logical_ref for m in self.member_ids}
+        for member_id in self.member_ids:
+            member = self.members[member_id]
+            member.gc_leader = self._make_gc(member_id, "L")
+            member.gc_follower = self._make_gc(member_id, "F")
+            for gc in (member.gc_leader, member.gc_follower):
+                gc.join_group(
+                    group,
+                    GroupConfig(
+                        initial_view=initial_view,
+                        gc_refs=dict(logical_gc_refs),
+                        inv_ref=member.inv_logical_ref,
+                    ),
+                )
+            fso_class = ByzantineFso if member_id in byzantine_set else Fso
+            member.fs_process = self.env.make_fail_signal(
+                fs_id=f"{member_id}.gc",
+                leader_node=member.primary_node,
+                follower_node=member.backup_node,
+                leader_replica=member.gc_leader,
+                follower_replica=member.gc_follower,
+                fso_class=fso_class,
+            )
+
+        # --- invocation layers, inboxes, suspectors, interceptors --------
+        inbox_refs = []
+        for member_id in self.member_ids:
+            member = self.members[member_id]
+            member.invocation = InvocationService(member_id)
+            member.inv_ref = member.primary_node.activate(
+                f"{member_id}.inv", member.invocation
+            )
+            member.invocation.bind_gc(member.gc_logical_ref)
+
+            member.inbox = self.env.make_inbox(member.primary_node, f"{member_id}.inbox")
+            member.inbox.local_rewrites[f"{member_id}.inv"] = member.inv_ref
+            inbox_refs.append(member.inbox.ref)
+
+            member.fanout = FanOutInterceptor(origin=member_id)
+            member.fanout.wrap_target(f"{member_id}.gc", member.fs_process.refs)
+            member.primary_node.orb.client_interceptors.append(member.fanout)
+
+            member.suspector = FsSuspector(
+                node=member.primary_node,
+                member_id=member_id,
+                group=group,
+                gc_logical_ref=member.gc_logical_ref,
+                member_of_fs=self._member_of_fs,
+            )
+            member.inbox.on_fail_signal = member.suspector.on_fail_signal
+
+        # --- routing ------------------------------------------------------
+        for member_id in self.member_ids:
+            member = self.members[member_id]
+            self.env.routes.set_route(f"{member_id}.gc", member.fs_process.refs)
+            self.env.routes.set_route(f"{member_id}.inv", [member.inbox.ref])
+        self.env.broadcast_signal_destinations(inbox_refs)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _make_gc(self, member_id: str, tag: str) -> GCService:
+        return GCService(
+            member_id,
+            trace_fn=lambda event, **kw: self.sim.trace.record(
+                self.sim.now, "fs-gc", f"{member_id}/{tag}", event, **kw
+            ),
+        )
+
+    def _member_of_fs(self, fs_id: str) -> str | None:
+        if fs_id.endswith(".gc"):
+            member = fs_id[: -len(".gc")]
+            if member in self.members:
+                return member
+        return None
+
+    # ------------------------------------------------------------------
+    # API mirroring CrashTolerantGroup
+    # ------------------------------------------------------------------
+    def member(self, index_or_id: int | str) -> FsMember:
+        if isinstance(index_or_id, int):
+            return self.members[self.member_ids[index_or_id]]
+        return self.members[index_or_id]
+
+    def multicast(self, member: int | str, service: str, value: typing.Any) -> None:
+        m = self.member(member)
+        m.primary_node.orb.oneway(m.inv_ref, "multicast", self.group, service, value)
+
+    def deliveries(self, member: int | str) -> list:
+        return self.member(member).invocation.delivered
+
+    def views(self, member: int | str) -> list[View]:
+        return self.member(member).invocation.views
+
+    def fs_process_of(self, member: int | str):
+        return self.member(member).fs_process
+
+    def byzantine_fso(self, member: int | str, role: FsoRole) -> ByzantineFso:
+        """The (pre-configured) Byzantine wrapper of a member; raises if
+        the member was not listed in ``byzantine_members``."""
+        process = self.fs_process_of(member)
+        fso = process.leader if role is FsoRole.LEADER else process.follower
+        if not isinstance(fso, ByzantineFso):
+            raise TypeError(f"{fso.name} was not built as a ByzantineFso")
+        return fso
+
+    def crash_backup(self, member: int | str) -> None:
+        """Crash the node hosting a member's follower wrapper.
+
+        In the collapsed layout this node is shared with the next
+        member, so use the figure 4 layout (``collapsed=False``) when a
+        clean single-member fault is wanted."""
+        self.fs_process_of(member).crash_node(FsoRole.FOLLOWER)
+
+    def crash_primary(self, member: int | str) -> None:
+        """Crash a member's primary node (leader wrapper, invocation
+        layer and application all go down)."""
+        m = self.member(member)
+        m.fs_process.crash_node(FsoRole.LEADER)
+        # In the figure 4 layout nothing else shares the node; the crash
+        # call above already blackholed its network endpoint.
+
+    def nodes_used(self) -> int:
+        names = set()
+        for member in self.members.values():
+            names.add(member.primary_node.name)
+            names.add(member.backup_node.name)
+        return len(names)

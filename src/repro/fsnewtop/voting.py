@@ -1,0 +1,115 @@
+"""Client-side majority voting over replicated application results.
+
+FS processes protect the *middleware*; application-level Byzantine
+faults (a faulty node making its application emit wrong contents) are
+masked one level up: "a client of this replica group must multicast its
+request to the entire group and must majority-vote the results received
+from the replicas" (section 3.1).  With 2f+1 application replicas, a
+majority vote masks up to f wrong results per request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.crypto.canonical import canonical_encode
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class VoteOutcome:
+    """Result of voting one request's replies."""
+
+    request_id: typing.Any
+    value: typing.Any
+    agreeing: tuple[str, ...]
+    dissenting: tuple[str, ...]
+
+    @property
+    def unanimous(self) -> bool:
+        return not self.dissenting
+
+
+class MajorityVoter:
+    """Collects per-request replies from application replicas and emits
+    the majority value once it is inevitable.
+
+    Parameters
+    ----------
+    n_replicas:
+        Total replica count (2f+1 for a fault budget of f).
+    on_decision:
+        Called once per request with the :class:`VoteOutcome`.
+    """
+
+    def __init__(
+        self,
+        n_replicas: int,
+        on_decision: typing.Callable[[VoteOutcome], None] | None = None,
+    ) -> None:
+        if n_replicas < 1 or n_replicas % 2 == 0:
+            raise ValueError(f"n_replicas must be odd and positive, got {n_replicas}")
+        self.n_replicas = n_replicas
+        self.quorum = n_replicas // 2 + 1
+        self.on_decision = on_decision
+        self._replies: dict[typing.Any, dict[str, typing.Any]] = {}
+        self._decided: dict[typing.Any, VoteOutcome] = {}
+        self.suspected_replicas: set[str] = set()
+
+    @property
+    def fault_budget(self) -> int:
+        """f: how many wrong replies per request this voter masks."""
+        return (self.n_replicas - 1) // 2
+
+    def submit_reply(self, request_id: typing.Any, replica: str, value: typing.Any) -> VoteOutcome | None:
+        """Record one replica's reply; returns the outcome when decided.
+
+        A replica submitting twice keeps its first answer (a Byzantine
+        replica must not get extra votes by spamming)."""
+        if request_id in self._decided:
+            self._note_late_reply(request_id, replica, value)
+            return None
+        replies = self._replies.setdefault(request_id, {})
+        if replica in replies:
+            return None
+        replies[replica] = value
+        return self._try_decide(request_id)
+
+    def outcome(self, request_id: typing.Any) -> VoteOutcome | None:
+        return self._decided.get(request_id)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _key(self, value: typing.Any) -> bytes:
+        return canonical_encode(value)
+
+    def _try_decide(self, request_id: typing.Any) -> VoteOutcome | None:
+        replies = self._replies[request_id]
+        tallies: dict[bytes, list[str]] = {}
+        for replica, value in replies.items():
+            tallies.setdefault(self._key(value), []).append(replica)
+        for key, voters in tallies.items():
+            if len(voters) >= self.quorum:
+                value = replies[voters[0]]
+                dissenting = tuple(
+                    sorted(r for r in replies if self._key(replies[r]) != key)
+                )
+                outcome = VoteOutcome(
+                    request_id=request_id,
+                    value=value,
+                    agreeing=tuple(sorted(voters)),
+                    dissenting=dissenting,
+                )
+                self._decided[request_id] = outcome
+                self.suspected_replicas.update(dissenting)
+                del self._replies[request_id]
+                if self.on_decision is not None:
+                    self.on_decision(outcome)
+                return outcome
+        return None
+
+    def _note_late_reply(self, request_id, replica: str, value: typing.Any) -> None:
+        outcome = self._decided[request_id]
+        if self._key(value) != self._key(outcome.value):
+            self.suspected_replicas.add(replica)

@@ -1,0 +1,44 @@
+"""Network substrate.
+
+Two kinds of communication fabric appear in the paper:
+
+* a **reliable asynchronous network** between group members -- no bound
+  on message delay (the Internet model of section 1), modelled by
+  :class:`Network` with an arbitrary :class:`DelayModel`;
+* a **reliable synchronous LAN** joining the two nodes of each FS pair --
+  delivery within a known bound δ (assumption A2), modelled by
+  :class:`SynchronousLink`.
+
+Both are deterministic given the simulator seed; partitions, drops and
+delay spikes are first-class fault hooks rather than afterthoughts,
+because the evaluation of suspicion-based membership (NewTOP) versus
+fail-signal membership (FS-NewTOP) hinges on them.
+"""
+
+from repro.net.delay import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    SpikeDelay,
+    UniformDelay,
+)
+from repro.net.errors import AddressUnknown, NetworkError, SynchronyViolation
+from repro.net.links import SynchronousLink
+from repro.net.message import Envelope, wire_size
+from repro.net.network import Network, NetworkStats
+
+__all__ = [
+    "AddressUnknown",
+    "ConstantDelay",
+    "DelayModel",
+    "Envelope",
+    "ExponentialDelay",
+    "Network",
+    "NetworkError",
+    "NetworkStats",
+    "SpikeDelay",
+    "SynchronousLink",
+    "SynchronyViolation",
+    "UniformDelay",
+    "wire_size",
+]

@@ -1,0 +1,116 @@
+"""Message delay models.
+
+Delay models are sampled per message from a named RNG stream, so a given
+network's delay sequence is independent of unrelated protocol decisions.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+
+class DelayModel(abc.ABC):
+    """Samples one-way message delays, in milliseconds."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw the next delay."""
+
+    def bound(self) -> float | None:
+        """Known upper bound on delays, or ``None`` if unbounded.
+
+        :class:`SynchronousLink` refuses delay models that cannot state a
+        bound -- that is exactly what makes it synchronous.
+        """
+        return None
+
+
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``value`` ms."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"delay must be >= 0, got {value}")
+        self.value = value
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def bound(self) -> float:
+        return self.value
+
+
+class UniformDelay(DelayModel):
+    """Delays uniform in [low, high]."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def bound(self) -> float:
+        return self.high
+
+
+class ExponentialDelay(DelayModel):
+    """Shifted exponential: ``floor + Exp(mean)``, optionally capped.
+
+    The long tail is what makes timeout choice hard on asynchronous
+    networks; an uncapped instance has no bound, which is the honest
+    model of the paper's "asynchronous communication network".
+    """
+
+    def __init__(self, floor: float, mean: float, cap: float | None = None) -> None:
+        if floor < 0 or mean <= 0:
+            raise ValueError(f"need floor >= 0 and mean > 0, got {floor}, {mean}")
+        if cap is not None and cap < floor:
+            raise ValueError(f"cap {cap} below floor {floor}")
+        self.floor = floor
+        self.mean = mean
+        self.cap = cap
+
+    def sample(self, rng: random.Random) -> float:
+        value = self.floor + rng.expovariate(1.0 / self.mean)
+        if self.cap is not None:
+            value = min(value, self.cap)
+        return value
+
+    def bound(self) -> float | None:
+        return self.cap
+
+
+class SpikeDelay(DelayModel):
+    """A base model plus rare large spikes.
+
+    Models transient congestion: with probability ``spike_probability`` a
+    message is delayed by an extra ``spike_ms``.  This is the adversary
+    of timeout-based failure suspectors -- a spike longer than the
+    suspicion timeout produces a *false* suspicion and (in partitionable
+    NewTOP) a group split with no actual failure.
+    """
+
+    def __init__(self, base: DelayModel, spike_probability: float, spike_ms: float) -> None:
+        if not 0 <= spike_probability <= 1:
+            raise ValueError(f"probability must be in [0,1], got {spike_probability}")
+        if spike_ms < 0:
+            raise ValueError(f"spike_ms must be >= 0, got {spike_ms}")
+        self.base = base
+        self.spike_probability = spike_probability
+        self.spike_ms = spike_ms
+
+    def sample(self, rng: random.Random) -> float:
+        delay = self.base.sample(rng)
+        if rng.random() < self.spike_probability:
+            delay += self.spike_ms
+        return delay
+
+    def bound(self) -> float | None:
+        base_bound = self.base.bound()
+        if base_bound is None:
+            return None
+        return base_bound + self.spike_ms

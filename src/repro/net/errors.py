@@ -1,0 +1,15 @@
+"""Network-layer exceptions."""
+
+
+class NetworkError(Exception):
+    """Base class for network substrate failures."""
+
+
+class AddressUnknown(NetworkError):
+    """A message was sent to or from an unregistered address."""
+
+
+class SynchronyViolation(NetworkError):
+    """A synchronous link was asked to exceed its delivery bound δ
+    without fault injection being enabled (assumption A2 would be
+    silently broken -- that must never happen by accident)."""

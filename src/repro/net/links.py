@@ -1,0 +1,138 @@
+"""The synchronous LAN link between the two nodes of an FS pair.
+
+Assumption A2: *"the nodes are connected by a reliable, synchronous
+communication link (LAN) that delivers messages within a known bound δ"*.
+This class makes δ a checked invariant: the configured delay model must
+state a bound, the bound must not exceed δ, and any attempt to deliver a
+message later than δ (via fault injection) must be explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.delay import ConstantDelay, DelayModel
+from repro.net.errors import SynchronyViolation
+from repro.net.message import Envelope, wire_size
+from repro.net.network import Endpoint, NetworkStats
+from repro.sim.scheduler import Simulator
+
+
+class SynchronousLink:
+    """Reliable, FIFO, bounded-delay link between exactly two endpoints.
+
+    Parameters
+    ----------
+    delta:
+        The delivery bound δ in milliseconds.
+    delay:
+        Delay model for individual messages; defaults to constant δ/2.
+        Its :meth:`~repro.net.delay.DelayModel.bound` must be ≤ δ.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        delta: float,
+        delay: DelayModel | None = None,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be > 0, got {delta}")
+        self.sim = sim
+        self.name = name
+        self.delta = delta
+        self.delay = delay if delay is not None else ConstantDelay(delta / 2)
+        bound = self.delay.bound()
+        if bound is None:
+            raise SynchronyViolation(
+                f"link {name!r}: delay model has no bound; a synchronous link "
+                f"requires one (assumption A2)"
+            )
+        if bound > delta:
+            raise SynchronyViolation(
+                f"link {name!r}: delay bound {bound} exceeds delta {delta}"
+            )
+        self.stats = NetworkStats()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._last_delivery: dict[str, float] = {}
+        self._next_msg_id = 0
+        self._rng = sim.rng(f"link/{name}")
+        # Fault injection: extra delay added to deliveries from a given
+        # side, deliberately breaking A2 for the timeout ablation.
+        self._injected_extra: dict[str, float] = {}
+        self._severed = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, address: str, endpoint: Endpoint) -> None:
+        if len(self._endpoints) >= 2 and address not in self._endpoints:
+            raise ValueError(f"link {self.name!r} already joins two endpoints")
+        self._endpoints[address] = endpoint
+
+    def peer_of(self, address: str) -> str:
+        others = [a for a in self._endpoints if a != address]
+        if len(others) != 1:
+            raise ValueError(f"link {self.name!r} is not fully wired")
+        return others[0]
+
+    # ------------------------------------------------------------------
+    # fault injection (explicit A2 violations, for ablations only)
+    # ------------------------------------------------------------------
+    def inject_extra_delay(self, src: str, extra_ms: float) -> None:
+        """All subsequent messages *from* ``src`` take ``extra_ms``
+        longer, potentially past δ.  Models LAN congestion/failure."""
+        self._injected_extra[src] = extra_ms
+
+    def clear_injected_delay(self, src: str) -> None:
+        self._injected_extra.pop(src, None)
+
+    def sever(self) -> None:
+        """Cut the link entirely (both directions)."""
+        self._severed = True
+
+    def restore(self) -> None:
+        self._severed = False
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def send(self, src: str, payload: Any, size: int | None = None) -> None:
+        """Send from ``src`` to the other endpoint."""
+        dst = self.peer_of(src)
+        msg_size = size if size is not None else wire_size(payload)
+        envelope = Envelope(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size=msg_size,
+            sent_at=self.sim.now,
+            msg_id=self._next_msg_id,
+        )
+        self._next_msg_id += 1
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += msg_size
+        if self._severed:
+            self.stats.messages_dropped += 1
+            return
+        delay = self.delay.sample(self._rng)
+        extra = self._injected_extra.get(src, 0.0)
+        if delay > self.delta and extra == 0.0:
+            # Defensive: a buggy delay model must not silently break A2.
+            raise SynchronyViolation(
+                f"link {self.name!r} sampled delay {delay} > delta {self.delta}"
+            )
+        deliver_at = self.sim.now + delay + extra
+        last = self._last_delivery.get(dst, 0.0)
+        deliver_at = max(deliver_at, last)
+        self._last_delivery[dst] = deliver_at
+        self.sim.schedule_at(deliver_at, self._deliver, envelope)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        endpoint = self._endpoints.get(envelope.dst)
+        if endpoint is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        endpoint.deliver(envelope)

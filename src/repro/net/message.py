@@ -1,0 +1,50 @@
+"""Message envelopes and wire-size accounting."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.crypto.canonical import CanonicalEncodingError, canonical_encode
+
+#: Fixed per-message header overhead charged on top of the payload, in
+#: bytes.  Roughly an IIOP + TCP/IP header.
+HEADER_BYTES = 64
+
+
+def wire_size(payload: Any) -> int:
+    """Estimate the on-wire size of a payload, in bytes.
+
+    Priority order: an explicit ``wire_size`` attribute (protocol message
+    classes precompute theirs, which also lets them account for payload
+    bodies carried by reference), raw byte length, then the canonical
+    encoding length.  Objects that cannot be sized are charged the header
+    only.
+    """
+    explicit = getattr(payload, "wire_size", None)
+    if explicit is not None:
+        return int(explicit) + HEADER_BYTES
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload) + HEADER_BYTES
+    try:
+        return len(canonical_encode(payload)) + HEADER_BYTES
+    except CanonicalEncodingError:
+        return HEADER_BYTES
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Envelope:
+    """What an endpoint receives: payload plus routing metadata."""
+
+    src: str
+    dst: str
+    payload: Any
+    size: int
+    sent_at: float
+    msg_id: int
+
+    def __repr__(self) -> str:
+        return (
+            f"<Envelope #{self.msg_id} {self.src}->{self.dst} "
+            f"{self.size}B sent={self.sent_at:.3f}>"
+        )

@@ -1,0 +1,179 @@
+"""The reliable asynchronous network connecting group members."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Protocol
+
+from repro.net.delay import DelayModel, UniformDelay
+from repro.net.errors import AddressUnknown
+from repro.net.message import Envelope, wire_size
+from repro.sim.scheduler import Simulator
+
+
+class Endpoint(Protocol):
+    """Anything that can receive envelopes (e.g. :class:`repro.sim.Process`)."""
+
+    def deliver(self, message: Any) -> None: ...
+
+
+@dataclasses.dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+
+
+class Network:
+    """Point-to-point message fabric with per-pair delay, FIFO channels,
+    partitions, and drop/fault hooks.
+
+    Reliability is the default (the paper assumes a *reliable*
+    asynchronous network); loss happens only through explicit partitions,
+    a configured drop rate, or an installed fault filter.
+
+    FIFO: with ``fifo=True`` (default) each ordered pair behaves like a
+    TCP connection -- deliveries never overtake each other.  The ORB the
+    paper runs on (IIOP over TCP) gives exactly this.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_delay: DelayModel | None = None,
+        fifo: bool = True,
+        name: str = "net",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.fifo = fifo
+        self.default_delay = default_delay if default_delay is not None else UniformDelay(0.2, 1.0)
+        self.stats = NetworkStats()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._pair_delay: dict[tuple[str, str], DelayModel] = {}
+        self._last_delivery: dict[tuple[str, str], float] = {}
+        self._blocked_pairs: set[tuple[str, str]] = set()
+        self._drop_rate = 0.0
+        self._fault_filter: Callable[[Envelope], bool] | None = None
+        self._next_msg_id = 0
+        self._rng = sim.rng(f"net/{name}")
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def register(self, address: str, endpoint: Endpoint) -> None:
+        """Attach an endpoint; re-registering replaces (node restart)."""
+        self._endpoints[address] = endpoint
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def knows(self, address: str) -> bool:
+        return address in self._endpoints
+
+    def addresses(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def set_pair_delay(self, src: str, dst: str, model: DelayModel) -> None:
+        """Override the delay model for one ordered pair."""
+        self._pair_delay[(src, dst)] = model
+
+    # ------------------------------------------------------------------
+    # fault hooks
+    # ------------------------------------------------------------------
+    def set_drop_rate(self, rate: float) -> None:
+        if not 0 <= rate <= 1:
+            raise ValueError(f"rate must be in [0,1], got {rate}")
+        self._drop_rate = rate
+
+    def set_fault_filter(self, fault_filter: Callable[[Envelope], bool] | None) -> None:
+        """Install a predicate; returning ``False`` drops the envelope.
+        Used by fault injection to target specific flows."""
+        self._fault_filter = fault_filter
+
+    def block(self, a: str, b: str) -> None:
+        """Sever both directions between two addresses."""
+        self._blocked_pairs.add((a, b))
+        self._blocked_pairs.add((b, a))
+
+    def unblock(self, a: str, b: str) -> None:
+        self._blocked_pairs.discard((a, b))
+        self._blocked_pairs.discard((b, a))
+
+    def partition(self, *groups: list[str]) -> None:
+        """Split the network into disjoint groups; traffic between
+        different groups is dropped until :meth:`heal`."""
+        for i, group_a in enumerate(groups):
+            for group_b in groups[i + 1 :]:
+                for a in group_a:
+                    for b in group_b:
+                        self.block(a, b)
+
+    def heal(self) -> None:
+        """Remove every partition/block."""
+        self._blocked_pairs.clear()
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked_pairs
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any, size: int | None = None) -> None:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Unknown destinations raise: protocol code addressing a process
+        that was never registered is a bug, not a tolerable fault
+        (crashed processes stay registered and silently ignore messages).
+        """
+        if src not in self._endpoints:
+            raise AddressUnknown(f"unknown source {src!r}")
+        if dst not in self._endpoints:
+            raise AddressUnknown(f"unknown destination {dst!r}")
+        msg_size = size if size is not None else wire_size(payload)
+        envelope = Envelope(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size=msg_size,
+            sent_at=self.sim.now,
+            msg_id=self._next_msg_id,
+        )
+        self._next_msg_id += 1
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += msg_size
+
+        if self._should_drop(envelope):
+            self.stats.messages_dropped += 1
+            self.sim.trace.record(self.sim.now, "net", self.name, "drop", src=src, dst=dst)
+            return
+
+        model = self._pair_delay.get((src, dst), self.default_delay)
+        delay = model.sample(self._rng)
+        deliver_at = self.sim.now + delay
+        if self.fifo:
+            last = self._last_delivery.get((src, dst), 0.0)
+            deliver_at = max(deliver_at, last)
+            self._last_delivery[(src, dst)] = deliver_at
+        self.sim.schedule_at(deliver_at, self._deliver, envelope)
+
+    def _should_drop(self, envelope: Envelope) -> bool:
+        if (envelope.src, envelope.dst) in self._blocked_pairs:
+            return True
+        if self._drop_rate > 0 and self._rng.random() < self._drop_rate:
+            return True
+        if self._fault_filter is not None and not self._fault_filter(envelope):
+            return True
+        return False
+
+    def _deliver(self, envelope: Envelope) -> None:
+        endpoint = self._endpoints.get(envelope.dst)
+        if endpoint is None:
+            # Destination unregistered while in flight; message is lost.
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        endpoint.deliver(envelope)

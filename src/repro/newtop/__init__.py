@@ -1,0 +1,38 @@
+"""The NewTOP group communication middleware (the paper's baseline).
+
+NewTOP (Newcastle Total Order Protocol) is a CORBA-compliant,
+crash-tolerant, *partitionable* middleware system.  Each application
+process is allocated a NewTOP Service Object (NSO) made of two
+subsystems:
+
+* the **Invocation service**, which marshals application messages into
+  the CORBA ``any`` type and selects the requested service;
+* the **Group Communication (GC) service**, which implements symmetric
+  total order, asymmetric (sequencer) total order, causal order,
+  reliable multicast, unreliable multicast and partitionable group
+  membership.
+
+The GC service is a single-threaded, *deterministic* state machine: all
+behaviour is a function of the sequence of inputs it is given.  That is
+requirement R1 of the paper -- the property that later allows GC to be
+replicated inside a fail-signal wrapper without modification.  The only
+timeout-driven component, the failure suspector, therefore lives outside
+the GC object and communicates with it by submitting suspicion *inputs*.
+"""
+
+from repro.newtop.invocation import DeliveredMessage, InvocationService
+from repro.newtop.nso import Nso
+from repro.newtop.services import ServiceType
+from repro.newtop.suspector import PingSuspector
+from repro.newtop.system import CrashTolerantGroup
+from repro.newtop.views import View
+
+__all__ = [
+    "CrashTolerantGroup",
+    "DeliveredMessage",
+    "InvocationService",
+    "Nso",
+    "PingSuspector",
+    "ServiceType",
+    "View",
+]

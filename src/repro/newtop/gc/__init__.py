@@ -1,0 +1,17 @@
+"""The NewTOP Group Communication (GC) service.
+
+A deterministic, input-driven protocol engine.  ``GCService`` is the
+CORBA servant; it routes inputs to per-group :class:`GroupSession`
+objects which compose the individual protocol modules:
+
+* :mod:`repro.newtop.gc.symmetric` -- symmetric total order,
+* :mod:`repro.newtop.gc.asymmetric` -- sequencer-based total order,
+* :mod:`repro.newtop.gc.causal` -- causal order,
+* :mod:`repro.newtop.gc.reliable` -- reliable FIFO multicast,
+* :mod:`repro.newtop.gc.unreliable` -- simple multicast,
+* :mod:`repro.newtop.gc.membership` -- partitionable group membership.
+"""
+
+from repro.newtop.gc.service import GCService, GroupConfig
+
+__all__ = ["GCService", "GroupConfig"]

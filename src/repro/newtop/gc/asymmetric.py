@@ -1,0 +1,93 @@
+"""Asymmetric (sequencer-based) total order.
+
+The view coordinator acts as the sequencer: members send their multicast
+to it; it assigns consecutive order numbers and re-multicasts.  Members
+deliver strictly in order-number sequence.  Two message hops and O(n)
+messages per multicast -- the lightweight alternative NewTOP offers next
+to the symmetric protocol.
+
+On a view change the sequencer role moves with the coordinator; order
+numbers restart per view (deliveries are tagged with the view id).
+"""
+
+from __future__ import annotations
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.newtop.gc.context import ProtocolContext
+from repro.newtop.gc.messages import DataMsg, OrderMsg
+from repro.newtop.services import ServiceType
+from repro.newtop.views import View
+
+
+class AsymmetricOrder:
+    """Per-(member, group) sequencer total order engine."""
+
+    def __init__(self, ctx: ProtocolContext, group: str) -> None:
+        self.ctx = ctx
+        self.group = group
+        self.own_seq = 0
+        # Sequencer state (used only while this member coordinates).
+        self._next_order = 1
+        # Receiver state.
+        self._next_deliver = 1
+        self._held: dict[int, OrderMsg] = {}
+        self.delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # inputs
+    # ------------------------------------------------------------------
+    def submit(self, payload: CorbaAny) -> None:
+        """Multicast ``payload`` with sequencer total order."""
+        self.own_seq += 1
+        msg = DataMsg(
+            group=self.group,
+            view_id=self.ctx.view().view_id,
+            sender=self.ctx.member_id,
+            seq=self.own_seq,
+            lamport=0,
+            service=ServiceType.ASYMMETRIC_TOTAL.value,
+            payload=payload,
+        )
+        sequencer = self.ctx.view().coordinator()
+        self.ctx.trace("asym-submit", seq=self.own_seq, sequencer=sequencer)
+        self.ctx.send(sequencer, msg)
+
+    def on_data(self, msg: DataMsg) -> None:
+        """Sequencer side: assign the next order number and re-multicast."""
+        if self.ctx.member_id != self.ctx.view().coordinator():
+            # A stale submission that raced a view change; the new
+            # sequencer will receive the sender's retry at the
+            # application's discretion.  Drop deterministically.
+            self.ctx.trace("asym-not-sequencer", sender=msg.sender, seq=msg.seq)
+            return
+        order = OrderMsg(
+            group=self.group,
+            view_id=self.ctx.view().view_id,
+            order_seq=self._next_order,
+            data=msg,
+        )
+        self._next_order += 1
+        self.ctx.broadcast(order, include_self=True)
+
+    def on_order(self, msg: OrderMsg) -> None:
+        if msg.order_seq < self._next_deliver:
+            return  # duplicate
+        self._held[msg.order_seq] = msg
+        while self._next_deliver in self._held:
+            order = self._held.pop(self._next_deliver)
+            self._next_deliver += 1
+            self.delivered_count += 1
+            data = order.data
+            self.ctx.trace("asym-deliver", sender=data.sender, order=order.order_seq)
+            self.ctx.deliver(
+                sender=data.sender,
+                payload=data.payload,
+                service=ServiceType.ASYMMETRIC_TOTAL.value,
+                meta={"order": order.order_seq, "seq": data.seq, "view_id": order.view_id},
+            )
+
+    def on_view_change(self, view: View) -> None:
+        """Order numbering restarts in the new view."""
+        self._next_order = 1
+        self._next_deliver = 1
+        self._held.clear()

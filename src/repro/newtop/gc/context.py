@@ -1,0 +1,47 @@
+"""The interface protocol modules use to talk to the outside world.
+
+Sub-protocols never touch the ORB or network directly; they call back
+through this narrow context, which keeps each module independently
+testable and keeps the GC state machine's outputs in one place (where
+the FS wrapper can capture them).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.newtop.views import View
+
+
+class ProtocolContext(typing.Protocol):
+    """What a GC sub-protocol may do."""
+
+    member_id: str
+
+    def view(self) -> View:
+        """The currently installed view."""
+        ...
+
+    def send(self, member: str, msg: typing.Any) -> None:
+        """Send a protocol message to one member's GC (self included --
+        self-sends are handled as immediate local inputs)."""
+        ...
+
+    def broadcast(self, msg: typing.Any, include_self: bool = True) -> None:
+        """Send to every member of the current view."""
+        ...
+
+    def deliver(
+        self,
+        sender: str,
+        payload: CorbaAny,
+        service: str,
+        meta: dict[str, typing.Any],
+    ) -> None:
+        """Hand a message up to the Invocation layer."""
+        ...
+
+    def trace(self, event: str, **details: typing.Any) -> None:
+        """Record a protocol trace event."""
+        ...

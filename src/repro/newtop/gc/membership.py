@@ -1,0 +1,124 @@
+"""Partitionable group membership.
+
+NewTOP's membership removes suspected members from the view.  Because
+suspicions come from timeouts over an asynchronous network they *can be
+false*, and the protocol is partitionable by design: each side of a
+(real or suspected) partition installs its own shrinking view, and
+merging is not supported (section 3 of the paper).
+
+Protocol: a member whose suspected-set grows proposes the view
+``(current members - suspected)`` with the next view id, broadcasting a
+:class:`ViewProposeMsg` to the survivors.  A view installs at a member
+once matching proposals (same id, same member set) have arrived from
+*every* proposed member.  If further suspicions arrive meanwhile, the
+candidate shrinks and is re-proposed under the same id; stale proposals
+die out because install requires exact agreement on the member set.
+
+The engine is input-driven only (suspicions arrive as inputs from the
+suspector module), so it stays a deterministic state machine -- which is
+what lets FS-NewTOP replicate it unchanged.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.newtop.gc.context import ProtocolContext
+from repro.newtop.gc.messages import ViewProposeMsg
+from repro.newtop.views import View
+
+
+class MembershipEngine:
+    """Per-(member, group) membership state machine."""
+
+    def __init__(
+        self,
+        ctx: ProtocolContext,
+        group: str,
+        initial: View,
+        on_install: typing.Callable[[View], None],
+    ) -> None:
+        if ctx.member_id not in initial:
+            raise ValueError(f"{ctx.member_id} not in initial view {initial}")
+        self.ctx = ctx
+        self.group = group
+        self.current = initial
+        self.suspected: set[str] = set()
+        self._on_install = on_install
+        # proposals[(view_id, members)] -> set of proposers heard from.
+        self._proposals: dict[tuple[int, tuple[str, ...]], set[str]] = {}
+        self.views_installed = 0
+
+    # ------------------------------------------------------------------
+    # inputs
+    # ------------------------------------------------------------------
+    def submit_suspicion(self, member: str) -> None:
+        """Input from the failure suspector: ``member`` is suspected."""
+        if member == self.ctx.member_id:
+            return  # self-suspicion is meaningless
+        if member in self.suspected or member not in self.current:
+            return
+        self.suspected.add(member)
+        self.ctx.trace("suspect", member=member)
+        self._propose()
+
+    def on_propose(self, msg: ViewProposeMsg) -> None:
+        if msg.view_id <= self.current.view_id:
+            return  # stale
+        if self.ctx.member_id not in msg.members:
+            # A view that excludes us: the proposers think we failed.
+            # Partitionable semantics -- we simply are not part of it.
+            return
+        key = (msg.view_id, msg.members)
+        self._proposals.setdefault(key, set()).add(msg.proposer)
+        self._try_install()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _candidate(self) -> View:
+        survivors = tuple(m for m in self.current.members if m not in self.suspected)
+        return View(
+            group=self.group,
+            view_id=self.current.view_id + 1,
+            members=survivors,
+        )
+
+    def _propose(self) -> None:
+        candidate = self._candidate()
+        msg = ViewProposeMsg(
+            group=self.group,
+            proposer=self.ctx.member_id,
+            view_id=candidate.view_id,
+            members=candidate.members,
+        )
+        self.ctx.trace("view-propose", view_id=candidate.view_id, members=candidate.members)
+        for member in candidate.members:
+            # Self-proposals go through ctx.send too: the session's input
+            # pump keeps them from running re-entrantly.
+            self.ctx.send(member, msg)
+
+    def _try_install(self) -> None:
+        for (view_id, members), proposers in sorted(self._proposals.items()):
+            if view_id <= self.current.view_id:
+                continue
+            if set(members) <= proposers:
+                view = View(group=self.group, view_id=view_id, members=members)
+                self._install(view)
+                return
+
+    def _install(self, view: View) -> None:
+        self.current = view
+        self.views_installed += 1
+        # Anything proposed for this id or older is dead.
+        self._proposals = {
+            key: proposers
+            for key, proposers in self._proposals.items()
+            if key[0] > view.view_id
+        }
+        self.ctx.trace("view-install", view_id=view.view_id, members=view.members)
+        self._on_install(view)
+        # If we already suspect members of the new view (suspicions that
+        # arrived mid-agreement), immediately start the next round.
+        if any(m in view.members for m in self.suspected):
+            self._propose()

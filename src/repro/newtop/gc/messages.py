@@ -1,0 +1,153 @@
+"""GC protocol messages.
+
+All messages are frozen dataclasses (canonically encodable, hence
+signable by the FS layer without modification).  ``wire_size`` charges
+the carried application payload at its declared size plus a small
+protocol header, so Figure 8's message-size sweep costs what it should.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.corba.anytype import Any as CorbaAny
+
+#: Protocol-header bytes charged per GC message on top of any payload.
+GC_HEADER = 48
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DataMsg:
+    """A multicast's payload-carrying message (symmetric total order,
+    and the member->sequencer leg of asymmetric order)."""
+
+    group: str
+    view_id: int
+    sender: str
+    seq: int
+    lamport: int
+    service: str
+    payload: CorbaAny
+
+    @property
+    def wire_size(self) -> int:
+        return GC_HEADER + self.payload.wire_size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AckMsg:
+    """Logical acknowledgement of a DataMsg, sent to *all* members --
+    the n-squared traffic that makes symmetric order message-intensive."""
+
+    group: str
+    view_id: int
+    acker: str
+    data_sender: str
+    data_seq: int
+    lamport: int
+
+    @property
+    def wire_size(self) -> int:
+        return GC_HEADER
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class OrderMsg:
+    """Sequencer's ordering decision (asymmetric total order)."""
+
+    group: str
+    view_id: int
+    order_seq: int
+    data: DataMsg
+
+    @property
+    def wire_size(self) -> int:
+        return GC_HEADER + self.data.wire_size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CausalMsg:
+    """Causal-order multicast carrying the sender's vector clock.
+
+    The vector clock travels as a tuple of (member, count) pairs sorted
+    by member, which encodes canonically."""
+
+    group: str
+    sender: str
+    seq: int
+    vclock: tuple[tuple[str, int], ...]
+    payload: CorbaAny
+
+    @property
+    def wire_size(self) -> int:
+        return GC_HEADER + 8 * len(self.vclock) + self.payload.wire_size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ReliableMsg:
+    """Reliable FIFO multicast data message."""
+
+    group: str
+    sender: str
+    seq: int
+    payload: CorbaAny
+
+    @property
+    def wire_size(self) -> int:
+        return GC_HEADER + self.payload.wire_size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NackMsg:
+    """Gap report: asks ``data_sender`` to retransmit a missing seq."""
+
+    group: str
+    requester: str
+    data_sender: str
+    missing_seq: int
+
+    @property
+    def wire_size(self) -> int:
+        return GC_HEADER
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class UnreliableMsg:
+    """Simple multicast: best effort, no ordering."""
+
+    group: str
+    sender: str
+    payload: CorbaAny
+
+    @property
+    def wire_size(self) -> int:
+        return GC_HEADER + self.payload.wire_size
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ViewProposeMsg:
+    """Membership proposal: install ``view_id`` with ``members``.
+
+    A view installs at a member once matching proposals from every
+    member of the proposed set have been received."""
+
+    group: str
+    proposer: str
+    view_id: int
+    members: tuple[str, ...]
+
+    @property
+    def wire_size(self) -> int:
+        return GC_HEADER + 16 * len(self.members)
+
+
+GcMsg = (
+    DataMsg
+    | AckMsg
+    | OrderMsg
+    | CausalMsg
+    | ReliableMsg
+    | NackMsg
+    | UnreliableMsg
+    | ViewProposeMsg
+)

@@ -1,0 +1,108 @@
+"""Reliable FIFO multicast with gap detection.
+
+Per-sender sequence numbers give FIFO delivery; a receiver that observes
+a gap (possible when the underlying network is lossy or was partitioned)
+sends a NACK to the original sender, who retransmits from its log.
+"""
+
+from __future__ import annotations
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.newtop.gc.context import ProtocolContext
+from repro.newtop.gc.messages import NackMsg, ReliableMsg
+from repro.newtop.services import ServiceType
+from repro.newtop.views import View
+
+#: Retransmission log size per sender (older entries are dropped; a
+#: receiver that far behind rejoins via membership, not retransmission).
+LOG_LIMIT = 1024
+
+
+class ReliableChannel:
+    """Per-(member, group) reliable FIFO multicast engine."""
+
+    def __init__(self, ctx: ProtocolContext, group: str) -> None:
+        self.ctx = ctx
+        self.group = group
+        self.own_seq = 0
+        self._log: dict[int, ReliableMsg] = {}
+        self._next_from: dict[str, int] = {}
+        self._held: dict[tuple[str, int], ReliableMsg] = {}
+        self.delivered_count = 0
+        self.nacks_sent = 0
+        self.retransmissions = 0
+
+    # ------------------------------------------------------------------
+    # inputs
+    # ------------------------------------------------------------------
+    def submit(self, payload: CorbaAny) -> None:
+        """Reliable multicast of ``payload``."""
+        self.own_seq += 1
+        msg = ReliableMsg(
+            group=self.group,
+            sender=self.ctx.member_id,
+            seq=self.own_seq,
+            payload=payload,
+        )
+        self._log[msg.seq] = msg
+        if len(self._log) > LOG_LIMIT:
+            self._log.pop(min(self._log))
+        self.ctx.trace("rel-mcast", seq=msg.seq)
+        self.ctx.broadcast(msg, include_self=True)
+
+    def on_msg(self, msg: ReliableMsg) -> None:
+        expected = self._next_from.get(msg.sender, 1)
+        if msg.seq < expected:
+            return  # duplicate (e.g. a retransmission that raced)
+        if msg.seq > expected:
+            # Gap: hold this one, ask for what's missing.
+            self._held[(msg.sender, msg.seq)] = msg
+            for missing in range(expected, msg.seq):
+                if (msg.sender, missing) not in self._held:
+                    self.nacks_sent += 1
+                    self.ctx.trace("rel-nack", sender=msg.sender, missing=missing)
+                    self.ctx.send(
+                        msg.sender,
+                        NackMsg(
+                            group=self.group,
+                            requester=self.ctx.member_id,
+                            data_sender=msg.sender,
+                            missing_seq=missing,
+                        ),
+                    )
+            return
+        self._deliver(msg)
+        # Drain any held successors.
+        next_seq = self._next_from[msg.sender]
+        while (msg.sender, next_seq) in self._held:
+            self._deliver(self._held.pop((msg.sender, next_seq)))
+            next_seq = self._next_from[msg.sender]
+
+    def on_nack(self, msg: NackMsg) -> None:
+        logged = self._log.get(msg.missing_seq)
+        if logged is None:
+            self.ctx.trace("rel-nack-unserviceable", missing=msg.missing_seq)
+            return
+        self.retransmissions += 1
+        self.ctx.send(msg.requester, logged)
+
+    def on_view_change(self, view: View) -> None:
+        """Held messages from removed members are dropped: the member
+        left the view, FIFO continuity with it ends here."""
+        gone = [key for key in self._held if key[0] not in view.members]
+        for key in gone:
+            del self._held[key]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: ReliableMsg) -> None:
+        self._next_from[msg.sender] = msg.seq + 1
+        self.delivered_count += 1
+        self.ctx.trace("rel-deliver", sender=msg.sender, seq=msg.seq)
+        self.ctx.deliver(
+            sender=msg.sender,
+            payload=msg.payload,
+            service=ServiceType.RELIABLE.value,
+            meta={"seq": msg.seq},
+        )

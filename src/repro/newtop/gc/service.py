@@ -1,0 +1,107 @@
+"""The GC service CORBA servant.
+
+All of a member's group-communication behaviour enters through this
+object's methods and leaves through ORB oneway invocations -- there are
+no timers and no reads of the clock inside.  That makes ``GCService`` a
+deterministic state machine in the sense of requirement R1, which is the
+precondition for wrapping it into a fail-signal process pair unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.corba.orb import ObjectRef, Request, Servant
+from repro.newtop.gc.session import GroupSession
+from repro.newtop.views import View
+
+#: CPU cost (ms) of one GC protocol step, on top of ORB dispatch.
+GC_STEP_COST_MS = 0.08
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GroupConfig:
+    """Wiring for one group, from one member's point of view."""
+
+    initial_view: View
+    gc_refs: dict[str, ObjectRef]  # member id -> that member's GC ref
+    inv_ref: ObjectRef  # this member's Invocation service ref
+
+
+class GCService(Servant):
+    """One member's Group Communication service object."""
+
+    def __init__(self, member_id: str, trace_fn: typing.Callable[..., None] | None = None) -> None:
+        self.member_id = member_id
+        self._trace_fn = trace_fn if trace_fn is not None else (lambda event, **kw: None)
+        self._sessions: dict[str, GroupSession] = {}
+        self._configs: dict[str, GroupConfig] = {}
+        self.step_cost_ms = GC_STEP_COST_MS
+
+    # ------------------------------------------------------------------
+    # configuration (start-up time; not part of the input stream)
+    # ------------------------------------------------------------------
+    def join_group(self, group: str, config: GroupConfig) -> None:
+        if group in self._sessions:
+            raise ValueError(f"{self.member_id} already joined {group!r}")
+        self._configs[group] = config
+        self._sessions[group] = GroupSession(
+            member_id=self.member_id,
+            group=group,
+            initial_view=config.initial_view,
+            send_fn=lambda member, msg, g=group: self._send(g, member, msg),
+            deliver_fn=self._deliver_up,
+            view_fn=lambda view, g=group: self._notify_view(g, view),
+            trace_fn=self._trace_fn,
+        )
+
+    def session(self, group: str) -> GroupSession:
+        session = self._sessions.get(group)
+        if session is None:
+            raise KeyError(f"{self.member_id} is not a member of {group!r}")
+        return session
+
+    def groups(self) -> list[str]:
+        return sorted(self._sessions)
+
+    # ------------------------------------------------------------------
+    # servant methods (the state machine's input alphabet)
+    # ------------------------------------------------------------------
+    def submit(self, group: str, service: str, payload: CorbaAny) -> None:
+        """Multicast request from the local Invocation layer."""
+        self.session(group).submit(service, payload)
+
+    def receive(self, msg: typing.Any) -> None:
+        """Protocol message from a remote GC."""
+        self.session(msg.group).route(msg)
+
+    def submit_suspicion(self, group: str, member: str) -> None:
+        """Suspicion input from the failure suspector module."""
+        self.session(group).submit_suspicion(member)
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    def _send(self, group: str, member: str, msg: typing.Any) -> None:
+        ref = self._configs[group].gc_refs.get(member)
+        if ref is None:
+            raise KeyError(f"{self.member_id}: no GC ref for {member!r} in {group!r}")
+        self.orb.oneway(ref, "receive", msg)
+
+    def _deliver_up(
+        self, group: str, sender: str, payload: CorbaAny, service: str, meta: dict
+    ) -> None:
+        self.orb.oneway(
+            self._configs[group].inv_ref, "deliver", group, sender, payload, service, meta
+        )
+
+    def _notify_view(self, group: str, view: View) -> None:
+        self.orb.oneway(self._configs[group].inv_ref, "view_changed", view)
+
+    # ------------------------------------------------------------------
+    # costing
+    # ------------------------------------------------------------------
+    def invocation_cost(self, request: Request) -> float:
+        return self.step_cost_ms

@@ -1,0 +1,161 @@
+"""Per-(member, group) protocol session.
+
+Composes the five service engines and the membership engine over one
+shared :class:`ProtocolContext` implementation, and routes inputs to the
+right engine.  The session is owned by a :class:`GCService` servant.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.newtop.gc.asymmetric import AsymmetricOrder
+from repro.newtop.gc.causal import CausalOrder
+from repro.newtop.gc.membership import MembershipEngine
+from repro.newtop.gc.messages import (
+    AckMsg,
+    CausalMsg,
+    DataMsg,
+    NackMsg,
+    OrderMsg,
+    ReliableMsg,
+    UnreliableMsg,
+    ViewProposeMsg,
+)
+from repro.newtop.gc.reliable import ReliableChannel
+from repro.newtop.gc.symmetric import SymmetricOrder
+from repro.newtop.gc.unreliable import UnreliableChannel
+from repro.newtop.services import ServiceType
+from repro.newtop.views import View
+
+
+class GroupSession:
+    """All protocol state one member holds for one group."""
+
+    def __init__(
+        self,
+        member_id: str,
+        group: str,
+        initial_view: View,
+        send_fn: typing.Callable[[str, typing.Any], None],
+        deliver_fn: typing.Callable[[str, str, CorbaAny, str, dict], None],
+        view_fn: typing.Callable[[View], None],
+        trace_fn: typing.Callable[..., None],
+    ) -> None:
+        self.member_id = member_id
+        self.group = group
+        self._send_fn = send_fn
+        self._deliver_fn = deliver_fn
+        self._view_fn = view_fn
+        self._trace_fn = trace_fn
+        # Input pump: self-sends must not run re-entrantly inside the
+        # handler that issued them, or their outputs (e.g. the ACKs a
+        # self-delivered DataMsg triggers) would overtake the outputs of
+        # the current handler on the wire.  Inputs queue here and run
+        # strictly one after another.
+        self._inbox: collections.deque[typing.Callable[[], None]] = collections.deque()
+        self._pumping = False
+
+        self.membership = MembershipEngine(self, group, initial_view, self._view_installed)
+        self.symmetric = SymmetricOrder(self, group)
+        self.asymmetric = AsymmetricOrder(self, group)
+        self.causal = CausalOrder(self, group)
+        self.reliable = ReliableChannel(self, group)
+        self.unreliable = UnreliableChannel(self, group)
+        self._engines_by_service = {
+            ServiceType.SYMMETRIC_TOTAL.value: self.symmetric,
+            ServiceType.ASYMMETRIC_TOTAL.value: self.asymmetric,
+            ServiceType.CAUSAL.value: self.causal,
+            ServiceType.RELIABLE.value: self.reliable,
+            ServiceType.UNRELIABLE.value: self.unreliable,
+        }
+
+    # ------------------------------------------------------------------
+    # ProtocolContext implementation
+    # ------------------------------------------------------------------
+    def view(self) -> View:
+        return self.membership.current
+
+    def send(self, member: str, msg: typing.Any) -> None:
+        if member == self.member_id:
+            # Self-sends are internal transitions, processed after the
+            # current input completes -- identically at every replica.
+            self._ingest(lambda: self._route_now(msg))
+        else:
+            self._send_fn(member, msg)
+
+    def broadcast(self, msg: typing.Any, include_self: bool = True) -> None:
+        for member in self.view().members:
+            if member == self.member_id and not include_self:
+                continue
+            self.send(member, msg)
+
+    def deliver(self, sender: str, payload: CorbaAny, service: str, meta: dict) -> None:
+        self._deliver_fn(self.group, sender, payload, service, meta)
+
+    def trace(self, event: str, **details: typing.Any) -> None:
+        self._trace_fn(event, group=self.group, **details)
+
+    # ------------------------------------------------------------------
+    # inputs
+    # ------------------------------------------------------------------
+    def submit(self, service: str, payload: CorbaAny) -> None:
+        """Application multicast entering the protocol stack."""
+        engine = self._engines_by_service.get(service)
+        if engine is None:
+            raise ValueError(f"unknown service type {service!r}")
+        self._ingest(lambda: engine.submit(payload))
+
+    def submit_suspicion(self, member: str) -> None:
+        self._ingest(lambda: self.membership.submit_suspicion(member))
+
+    def route(self, msg: typing.Any) -> None:
+        """Queue one external protocol message for processing."""
+        self._ingest(lambda: self._route_now(msg))
+
+    def _ingest(self, thunk: typing.Callable[[], None]) -> None:
+        self._inbox.append(thunk)
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            while self._inbox:
+                self._inbox.popleft()()
+        finally:
+            self._pumping = False
+
+    def _route_now(self, msg: typing.Any) -> None:
+        """Dispatch one protocol message to its engine."""
+        if isinstance(msg, DataMsg):
+            if msg.service == ServiceType.SYMMETRIC_TOTAL.value:
+                self.symmetric.on_data(msg)
+            else:
+                self.asymmetric.on_data(msg)
+        elif isinstance(msg, AckMsg):
+            self.symmetric.on_ack(msg)
+        elif isinstance(msg, OrderMsg):
+            self.asymmetric.on_order(msg)
+        elif isinstance(msg, CausalMsg):
+            self.causal.on_msg(msg)
+        elif isinstance(msg, ReliableMsg):
+            self.reliable.on_msg(msg)
+        elif isinstance(msg, NackMsg):
+            self.reliable.on_nack(msg)
+        elif isinstance(msg, UnreliableMsg):
+            self.unreliable.on_msg(msg)
+        elif isinstance(msg, ViewProposeMsg):
+            self.membership.on_propose(msg)
+        else:
+            raise TypeError(f"unroutable GC message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _view_installed(self, view: View) -> None:
+        self.symmetric.on_view_change(view)
+        self.asymmetric.on_view_change(view)
+        self.causal.on_view_change(view)
+        self.reliable.on_view_change(view)
+        self._view_fn(view)

@@ -1,0 +1,30 @@
+"""Simple (unreliable) multicast: fire, forget, deliver on arrival."""
+
+from __future__ import annotations
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.newtop.gc.context import ProtocolContext
+from repro.newtop.gc.messages import UnreliableMsg
+from repro.newtop.services import ServiceType
+
+
+class UnreliableChannel:
+    """Per-(member, group) simple multicast."""
+
+    def __init__(self, ctx: ProtocolContext, group: str) -> None:
+        self.ctx = ctx
+        self.group = group
+        self.delivered_count = 0
+
+    def submit(self, payload: CorbaAny) -> None:
+        msg = UnreliableMsg(group=self.group, sender=self.ctx.member_id, payload=payload)
+        self.ctx.broadcast(msg, include_self=True)
+
+    def on_msg(self, msg: UnreliableMsg) -> None:
+        self.delivered_count += 1
+        self.ctx.deliver(
+            sender=msg.sender,
+            payload=msg.payload,
+            service=ServiceType.UNRELIABLE.value,
+            meta={},
+        )

@@ -1,0 +1,76 @@
+"""The NewTOP Invocation service.
+
+The application-facing half of an NSO: it marshals application values
+into the CORBA ``any`` type, forwards multicast requests to the local GC
+service, and unmarshals delivered messages back for the application
+(section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.corba.orb import ObjectRef, Servant
+from repro.newtop.views import View
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DeliveredMessage:
+    """What an application receives from the group."""
+
+    group: str
+    sender: str
+    service: str
+    value: typing.Any
+    meta: dict[str, typing.Any]
+    delivered_at: float
+
+
+class InvocationService(Servant):
+    """One member's Invocation service object."""
+
+    def __init__(self, member_id: str) -> None:
+        self.member_id = member_id
+        self._gc_ref: ObjectRef | None = None
+        self.on_deliver: typing.Callable[[DeliveredMessage], None] | None = None
+        self.on_view: typing.Callable[[View], None] | None = None
+        self.delivered: list[DeliveredMessage] = []
+        self.views: list[View] = []
+
+    def bind_gc(self, gc_ref: ObjectRef) -> None:
+        self._gc_ref = gc_ref
+
+    # ------------------------------------------------------------------
+    # application-facing side
+    # ------------------------------------------------------------------
+    def multicast(self, group: str, service: str, value: typing.Any) -> None:
+        """Marshal ``value`` into an ``any`` and hand it to the GC."""
+        if self._gc_ref is None:
+            raise RuntimeError(f"{self.member_id}: invocation service not bound to a GC")
+        payload = CorbaAny.wrap(value)
+        self.orb.oneway(self._gc_ref, "submit", group, service, payload)
+
+    # ------------------------------------------------------------------
+    # GC-facing side
+    # ------------------------------------------------------------------
+    def deliver(
+        self, group: str, sender: str, payload: CorbaAny, service: str, meta: dict
+    ) -> None:
+        message = DeliveredMessage(
+            group=group,
+            sender=sender,
+            service=service,
+            value=payload.extract(),
+            meta=meta,
+            delivered_at=self.orb.sim.now,
+        )
+        self.delivered.append(message)
+        if self.on_deliver is not None:
+            self.on_deliver(message)
+
+    def view_changed(self, view: View) -> None:
+        self.views.append(view)
+        if self.on_view is not None:
+            self.on_view(view)

@@ -1,0 +1,71 @@
+"""The NewTOP Service Object: Invocation service + GC service bundle."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.corba.node import Node
+from repro.corba.orb import ObjectRef
+from repro.newtop.gc.service import GCService, GroupConfig
+from repro.newtop.invocation import DeliveredMessage, InvocationService
+from repro.newtop.views import View
+
+
+class Nso:
+    """One application process's NewTOP Service Object.
+
+    Activates an Invocation servant and a GC servant on the given node
+    and binds them together.  (In FS-NewTOP the GC ref handed to the
+    Invocation layer points at the wrapped pair instead -- see
+    :mod:`repro.fsnewtop`.)
+    """
+
+    def __init__(self, node: Node, member_id: str) -> None:
+        self.node = node
+        self.member_id = member_id
+        self.invocation = InvocationService(member_id)
+        self.gc = GCService(
+            member_id,
+            trace_fn=lambda event, **kw: node.sim.trace.record(
+                node.sim.now, "gc", member_id, event, **kw
+            ),
+        )
+        self.inv_ref: ObjectRef = node.activate(f"{member_id}.inv", self.invocation)
+        self.gc_ref: ObjectRef = node.activate(f"{member_id}.gc", self.gc)
+        self.invocation.bind_gc(self.gc_ref)
+
+    # ------------------------------------------------------------------
+    # group wiring
+    # ------------------------------------------------------------------
+    def join_group(
+        self,
+        group: str,
+        initial_view: View,
+        gc_refs: dict[str, ObjectRef],
+    ) -> None:
+        """Join ``group``; ``gc_refs`` maps every member to its GC ref."""
+        self.gc.join_group(
+            group,
+            GroupConfig(initial_view=initial_view, gc_refs=gc_refs, inv_ref=self.inv_ref),
+        )
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+    def multicast(self, group: str, service: str, value: typing.Any) -> None:
+        """Multicast ``value`` to ``group`` with the given service type.
+
+        Issued through the node's ORB exactly as an application client
+        would (the app and its NSO normally share a node)."""
+        self.node.orb.oneway(self.inv_ref, "multicast", group, service, value)
+
+    @property
+    def delivered(self) -> list[DeliveredMessage]:
+        return self.invocation.delivered
+
+    @property
+    def views(self) -> list[View]:
+        return self.invocation.views
+
+    def current_view(self, group: str) -> View:
+        return self.gc.session(group).view()

@@ -1,0 +1,22 @@
+"""The service types NewTOP offers to applications."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ServiceType(str, enum.Enum):
+    """Multicast qualities of service (section 3 of the paper)."""
+
+    #: Symmetric total order: ordered after logical acknowledgement by
+    #: all members.  Message-intensive; the paper benchmarks this one.
+    SYMMETRIC_TOTAL = "symmetric_total"
+    #: Asymmetric total order: a sequencer member assigns the order.
+    ASYMMETRIC_TOTAL = "asymmetric_total"
+    #: Causal order (vector clocks).
+    CAUSAL = "causal"
+    #: Reliable FIFO multicast (gap detection + retransmission).
+    RELIABLE = "reliable"
+    #: Simple multicast: no ordering, no delivery guarantee beyond the
+    #: underlying network's.
+    UNRELIABLE = "unreliable"

@@ -1,0 +1,124 @@
+"""The timeout-based failure suspector of crash-tolerant NewTOP.
+
+"The NewTOP group membership object ... makes use of a failure suspector
+module which periodically 'pings' remote NSO GCs and generates suspicions
+based on a timeout mechanism" (section 3.1).
+
+Because message delay over an asynchronous network has no known bound,
+these suspicions can be *false*; a false suspicion splits the group even
+though nobody failed.  This module is deliberately timeout-parameterised
+so the experiments can demonstrate exactly that (experiment E5).
+
+The suspector lives *outside* the GC state machine: it owns timers, and
+feeds the GC only through ``submit_suspicion`` inputs.
+"""
+
+from __future__ import annotations
+
+from repro.corba.orb import ObjectRef, Servant
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+class PingSuspector(Process, Servant):
+    """Ping/timeout failure suspector for one member of one group.
+
+    Parameters
+    ----------
+    interval:
+        Gap between ping rounds, ms.
+    timeout:
+        How long after a ping round the pong must have arrived, ms.
+        Must be below ``interval`` so rounds do not overlap.
+    max_misses:
+        Consecutive missed pongs tolerated before suspecting.  The
+        paper's experiments use "large timeouts" to avoid any false
+        suspicion; small values here reproduce false-suspicion splits.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        member_id: str,
+        group: str,
+        interval: float = 200.0,
+        timeout: float = 100.0,
+        max_misses: int = 2,
+    ) -> None:
+        if timeout >= interval:
+            raise ValueError(f"timeout {timeout} must be < interval {interval}")
+        Process.__init__(self, sim, f"{member_id}/suspector")
+        self.member_id = member_id
+        self.group = group
+        self.interval = interval
+        self.timeout = timeout
+        self.max_misses = max_misses
+        self._peers: dict[str, ObjectRef] = {}
+        self._gc_ref: ObjectRef | None = None
+        self._round = 0
+        self._last_pong_round: dict[str, int] = {}
+        self._misses: dict[str, int] = {}
+        self.suspected: set[str] = set()
+        self.suspicions_raised: list[str] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def configure(self, gc_ref: ObjectRef, peer_suspectors: dict[str, ObjectRef]) -> None:
+        self._gc_ref = gc_ref
+        self._peers = {m: ref for m, ref in peer_suspectors.items() if m != self.member_id}
+
+    def start(self) -> None:
+        self.set_timer("round", self.interval)
+
+    def stop(self) -> None:
+        self.cancel_timer("round")
+        self.cancel_timer("check")
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def on_timer(self, tag: str, *args) -> None:
+        if tag == "round":
+            self._round += 1
+            for member, ref in self._peers.items():
+                if member not in self.suspected:
+                    self.orb.oneway(ref, "ping", self.member_id, self._round)
+            self.set_timer("check", self.timeout, self._round)
+            self.set_timer("round", self.interval)
+        elif tag == "check":
+            self._check_round(args[0])
+
+    def _check_round(self, round_no: int) -> None:
+        for member in self._peers:
+            if member in self.suspected:
+                continue
+            if self._last_pong_round.get(member, 0) >= round_no:
+                self._misses[member] = 0
+                continue
+            self._misses[member] = self._misses.get(member, 0) + 1
+            if self._misses[member] >= self.max_misses:
+                self._suspect(member)
+
+    def _suspect(self, member: str) -> None:
+        self.suspected.add(member)
+        self.suspicions_raised.append(member)
+        self.trace("suspector", "suspect", member=member, round=self._round)
+        self.orb.oneway(self._gc_ref, "submit_suspicion", self.group, member)
+
+    # ------------------------------------------------------------------
+    # servant methods (invoked by peers' ORBs)
+    # ------------------------------------------------------------------
+    def ping(self, from_member: str, round_no: int) -> None:
+        peer = self._peers.get(from_member)
+        if peer is not None:
+            self.orb.oneway(peer, "pong", self.member_id, round_no)
+
+    def pong(self, from_member: str, round_no: int) -> None:
+        previous = self._last_pong_round.get(from_member, 0)
+        if round_no > previous:
+            self._last_pong_round[from_member] = round_no
+
+    # Process API (unused -- the suspector talks via the ORB).
+    def on_message(self, message) -> None:  # pragma: no cover - defensive
+        raise NotImplementedError("PingSuspector communicates via ORB invocations")

@@ -1,0 +1,108 @@
+"""Assembly of a crash-tolerant NewTOP group for experiments and tests."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.corba.costs import OrbCostModel
+from repro.corba.node import Node
+from repro.net.delay import DelayModel, UniformDelay
+from repro.net.network import Network
+from repro.newtop.nso import Nso
+from repro.newtop.suspector import PingSuspector
+from repro.newtop.views import View
+from repro.sim.scheduler import Simulator
+
+
+class CrashTolerantGroup:
+    """A fully wired NewTOP deployment: one node per member.
+
+    This is the baseline system of the paper's evaluation.  Each member
+    gets a dual-core node with a 10-thread request pool, an NSO, and
+    (optionally) a ping/timeout failure suspector.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_members: int,
+        group: str = "group",
+        network: Network | None = None,
+        delay: DelayModel | None = None,
+        cores: int = 2,
+        pool_size: int = 10,
+        orb_costs: OrbCostModel | None = None,
+        suspectors: bool = False,
+        suspector_interval: float = 200.0,
+        suspector_timeout: float = 100.0,
+        suspector_max_misses: int = 2,
+    ) -> None:
+        if n_members < 1:
+            raise ValueError(f"need at least one member, got {n_members}")
+        self.sim = sim
+        self.group = group
+        self.network = network if network is not None else Network(
+            sim, default_delay=delay if delay is not None else UniformDelay(0.3, 1.2)
+        )
+        self.member_ids = [f"member-{i}" for i in range(n_members)]
+        self.nodes: dict[str, Node] = {}
+        self.nsos: dict[str, Nso] = {}
+        self.suspectors: dict[str, PingSuspector] = {}
+
+        for member in self.member_ids:
+            node = Node(
+                sim, member, self.network, cores=cores, pool_size=pool_size, orb_costs=orb_costs
+            )
+            self.nodes[member] = node
+            self.nsos[member] = Nso(node, member)
+
+        initial_view = View(group=group, view_id=1, members=tuple(self.member_ids))
+        gc_refs = {m: self.nsos[m].gc_ref for m in self.member_ids}
+        for member in self.member_ids:
+            self.nsos[member].join_group(group, initial_view, dict(gc_refs))
+
+        if suspectors:
+            suspector_refs = {}
+            for member in self.member_ids:
+                suspector = PingSuspector(
+                    sim,
+                    member,
+                    group,
+                    interval=suspector_interval,
+                    timeout=suspector_timeout,
+                    max_misses=suspector_max_misses,
+                )
+                self.nodes[member].activate(f"{member}.suspector", suspector)
+                self.suspectors[member] = suspector
+                suspector_refs[member] = suspector.ref
+            for member in self.member_ids:
+                self.suspectors[member].configure(
+                    gc_ref=self.nsos[member].gc_ref,
+                    peer_suspectors=dict(suspector_refs),
+                )
+                self.suspectors[member].start()
+
+    # ------------------------------------------------------------------
+    # convenience API used by tests, examples and benchmarks
+    # ------------------------------------------------------------------
+    def nso(self, index_or_id: int | str) -> Nso:
+        if isinstance(index_or_id, int):
+            return self.nsos[self.member_ids[index_or_id]]
+        return self.nsos[index_or_id]
+
+    def multicast(self, member: int | str, service: str, value: typing.Any) -> None:
+        self.nso(member).multicast(self.group, service, value)
+
+    def deliveries(self, member: int | str) -> list:
+        return self.nso(member).delivered
+
+    def views(self, member: int | str) -> list[View]:
+        return self.nso(member).views
+
+    def crash(self, member: int | str) -> None:
+        """Unannounced crash of a member's node."""
+        nso = self.nso(member)
+        nso.node.crash()
+        suspector = self.suspectors.get(nso.member_id)
+        if suspector is not None:
+            suspector.kill()

@@ -1,0 +1,43 @@
+"""Group views: the membership a member currently believes in."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class View:
+    """An installed group view.
+
+    ``members`` is kept sorted so that views compare equal across
+    members and encode canonically for signing.
+    """
+
+    group: str
+    view_id: int
+    members: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(sorted(self.members)))
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def without(self, *gone: str) -> "View":
+        """Successor view with the given members removed."""
+        remaining = tuple(m for m in self.members if m not in gone)
+        return View(group=self.group, view_id=self.view_id + 1, members=remaining)
+
+    def coordinator(self) -> str:
+        """Deterministic coordinator: lowest member id.  Used as the
+        sequencer for asymmetric total order."""
+        if not self.members:
+            raise ValueError(f"view {self.view_id} of {self.group!r} is empty")
+        return self.members[0]
+
+    def __str__(self) -> str:
+        return f"{self.group}@v{self.view_id}{list(self.members)}"

@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation kernel.
+
+All protocol code in this repository runs on top of this kernel.  Time is
+virtual and measured in **milliseconds** (floats).  Determinism is a hard
+requirement (the paper's R1 demands deterministic state machines, and our
+tests replay runs bit-for-bit), so:
+
+* the event heap breaks ties on ``(time, priority, sequence-number)``,
+  never on object identity;
+* all randomness is drawn from named streams derived from the simulator
+  seed (:meth:`Simulator.rng`);
+* wall-clock time and global RNG state are never consulted.
+"""
+
+from repro.sim.errors import SimulationError, SimulationLimitExceeded
+from repro.sim.events import Event, EventHandle
+from repro.sim.process import Process
+from repro.sim.resources import CpuResource, ResourceStats, ThreadPool
+from repro.sim.scheduler import Simulator
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "CpuResource",
+    "Event",
+    "EventHandle",
+    "Process",
+    "ResourceStats",
+    "SimulationError",
+    "SimulationLimitExceeded",
+    "Simulator",
+    "ThreadPool",
+    "TraceRecord",
+    "TraceRecorder",
+]

@@ -1,0 +1,18 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level failures."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """Raised when a run exceeds its configured event or time budget.
+
+    This is the kernel's guard against protocol bugs that generate
+    unbounded message storms; hitting it in a test almost always means a
+    retransmission or timeout loop is not terminating.
+    """
+
+
+class SchedulingInPastError(SimulationError):
+    """Raised when an event is scheduled before the current virtual time."""

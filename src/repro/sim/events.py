@@ -1,0 +1,58 @@
+"""Event objects and handles for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(slots=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, priority, seq)``.  ``seq`` is a global
+    insertion counter, which makes the ordering total and deterministic:
+    two events at the same instant fire in the order they were scheduled
+    (unless ``priority`` says otherwise; lower fires first).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[..., None]
+    args: tuple[Any, ...]
+    cancelled: bool = False
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped.  This keeps cancellation O(1), which matters because timeout
+    timers (the common case in the FS wrappers) are almost always
+    cancelled before they fire.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the event will fire (if not cancelled)."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns ``False`` if already cancelled."""
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True

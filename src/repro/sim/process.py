@@ -1,0 +1,101 @@
+"""Actor-style process base class.
+
+Every protocol participant (a NewTOP GC object, an FSO wrapper, an
+application client) subclasses :class:`Process`.  A process reacts to
+delivered messages and timer expirations; it never blocks.  This is the
+execution model that keeps the whole system deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.events import EventHandle
+from repro.sim.scheduler import Simulator
+
+
+class Process:
+    """A named, message-driven simulation actor.
+
+    Subclasses override :meth:`on_message` (and optionally timer
+    callbacks scheduled through :meth:`set_timer`).
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._timers: dict[str, EventHandle] = {}
+        self._alive = True
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def kill(self) -> None:
+        """Silently stop the process: pending timers are cancelled and
+        future messages/timers are ignored.  Models an unannounced crash."""
+        self._alive = False
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+    # messaging (delivery side; sending goes through the network layer)
+    # ------------------------------------------------------------------
+    def deliver(self, message: Any) -> None:
+        """Entry point used by links/networks to hand over a message."""
+        if not self._alive:
+            return
+        self.on_message(message)
+
+    def on_message(self, message: Any) -> None:
+        raise NotImplementedError(f"{type(self).__name__} must implement on_message")
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def set_timer(self, tag: str, delay: float, *args: Any) -> None:
+        """(Re)arm the named timer; it calls ``on_timer(tag, *args)``.
+
+        Re-arming an existing tag cancels the previous instance, which is
+        the behaviour wanted for heartbeat/retransmission timers.
+        """
+        self.cancel_timer(tag)
+        handle = self.sim.schedule(delay, self._fire_timer, tag, args)
+        self._timers[tag] = handle
+
+    def cancel_timer(self, tag: str) -> bool:
+        handle = self._timers.pop(tag, None)
+        if handle is None:
+            return False
+        return handle.cancel()
+
+    def has_timer(self, tag: str) -> bool:
+        handle = self._timers.get(tag)
+        return handle is not None and not handle.cancelled
+
+    def _fire_timer(self, tag: str, args: tuple[Any, ...]) -> None:
+        if not self._alive:
+            return
+        # Drop the handle first so on_timer may legitimately re-arm it.
+        current = self._timers.get(tag)
+        if current is not None and not current.cancelled:
+            # A timer that was re-armed after this instant fired would
+            # have been cancelled; reaching here means this is current.
+            self._timers.pop(tag, None)
+        self.on_timer(tag, *args)
+
+    def on_timer(self, tag: str, *args: Any) -> None:
+        raise NotImplementedError(f"{type(self).__name__} received timer {tag!r}")
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def trace(self, category: str, event: str, **details: Any) -> None:
+        self.sim.trace.record(self.sim.now, category, self.name, event, **details)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} at t={self.sim.now:.3f}>"

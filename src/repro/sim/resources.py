@@ -1,0 +1,232 @@
+"""Node compute resources: CPUs and thread pools.
+
+The paper's testbed was dual-processor PCs running a Java ORB with a
+configurable request thread pool (default 10).  Figure 7's throughput
+knee at group size ~10 is a queueing artefact of that pool, so we model
+both layers explicitly:
+
+* :class:`CpuResource` -- an *m*-server FCFS queue; jobs hold a core for
+  their service time.
+* :class:`ThreadPool` -- admission control in front of a CPU; a task
+  occupies one thread from admission until its CPU work finishes, and
+  tasks beyond the pool size wait in an unbounded FIFO queue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections import deque
+from typing import Any, Callable
+
+from repro.sim.scheduler import Simulator
+
+
+@dataclasses.dataclass
+class ResourceStats:
+    """Aggregate utilisation counters for a CPU or thread pool."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    busy_time: float = 0.0
+    total_queue_wait: float = 0.0
+    max_queue_length: int = 0
+
+    def mean_queue_wait(self) -> float:
+        if self.jobs_completed == 0:
+            return 0.0
+        return self.total_queue_wait / self.jobs_completed
+
+    def utilisation(self, elapsed: float, servers: int) -> float:
+        if elapsed <= 0 or servers <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * servers)
+
+
+@dataclasses.dataclass(slots=True)
+class _CpuJob:
+    service_time: float
+    callback: Callable[..., None]
+    args: tuple[Any, ...]
+    enqueued_at: float
+    priority: int
+    seq: int
+
+
+class CpuResource:
+    """An *m*-core processor: a multi-server queue with priorities.
+
+    ``execute(service_time, callback)`` charges ``service_time`` ms of
+    CPU work; ``callback`` fires when the work completes.  Within a
+    priority class scheduling is FCFS; lower ``priority`` values run
+    first when a core frees (non-preemptive).
+
+    The priority lane exists for the fail-signal wrappers: the paper
+    notes that "realizing A3 and A4 will require that the replicas be
+    run with a high priority" (section 5) -- without it, replica-pair
+    processing phases diverge behind ordinary ORB work and correct pairs
+    emit fail-signals unnecessarily.
+    """
+
+    #: Priority used by FSO replica processing and signing work.
+    HIGH_PRIORITY = -1
+
+    def __init__(self, sim: Simulator, cores: int = 1, name: str = "cpu") -> None:
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self.sim = sim
+        self.name = name
+        self.cores = cores
+        self.stats = ResourceStats()
+        self._busy = 0
+        self._seq = 0
+        self._queue: list[tuple[tuple[int, int], _CpuJob]] = []
+
+    @property
+    def busy_cores(self) -> int:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def execute(
+        self,
+        service_time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        if service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {service_time}")
+        job = _CpuJob(service_time, callback, args, self.sim.now, priority, self._seq)
+        self._seq += 1
+        self.stats.jobs_submitted += 1
+        if self._busy < self.cores:
+            self._start(job)
+        else:
+            heapq.heappush(self._queue, ((job.priority, job.seq), job))
+            self.stats.max_queue_length = max(self.stats.max_queue_length, len(self._queue))
+
+    def _start(self, job: _CpuJob) -> None:
+        self._busy += 1
+        self.stats.total_queue_wait += self.sim.now - job.enqueued_at
+        self.sim.schedule(job.service_time, self._finish, job)
+
+    def _finish(self, job: _CpuJob) -> None:
+        self._busy -= 1
+        self.stats.jobs_completed += 1
+        self.stats.busy_time += job.service_time
+        if self._queue:
+            __, next_job = heapq.heappop(self._queue)
+            self._start(next_job)
+        job.callback(*job.args)
+
+
+@dataclasses.dataclass(slots=True)
+class _PoolWaiter:
+    callback: Callable[["ThreadRelease"], None]
+    enqueued_at: float
+
+
+class ThreadRelease:
+    """Handle for giving a pool thread back; idempotent."""
+
+    __slots__ = ("_pool", "_released", "_acquired_at")
+
+    def __init__(self, pool: "ThreadPool", acquired_at: float) -> None:
+        self._pool = pool
+        self._released = False
+        self._acquired_at = acquired_at
+
+    def __call__(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._pool._on_release(self._acquired_at)
+
+
+class ThreadPool:
+    """Bounded worker pool.
+
+    Mirrors the ORB request pool of the paper's testbed: an incoming
+    request needs a free thread before any of its work starts, and the
+    thread is held until the request is *fully* processed (including any
+    wait on the single-threaded servant it targets).  With more
+    concurrent requests than threads, requests queue -- which is what
+    caps throughput for group sizes beyond the pool size (Figure 7).
+
+    Two APIs:
+
+    * :meth:`acquire` -- grab a thread; the callback receives a release
+      handle and decides when the thread is done (used by the ORB, whose
+      requests span several CPU phases);
+    * :meth:`submit` -- convenience: one CPU burst on ``cpu``, then an
+      automatic release.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: CpuResource,
+        size: int = 10,
+        name: str = "pool",
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.sim = sim
+        self.cpu = cpu
+        self.size = size
+        self.name = name
+        self.stats = ResourceStats()
+        self._active = 0
+        self._queue: deque[_PoolWaiter] = deque()
+
+    @property
+    def active_threads(self) -> int:
+        return self._active
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def acquire(self, callback: Callable[[ThreadRelease], None]) -> None:
+        """Request a thread; ``callback(release)`` runs once granted.
+        Grants are strictly FIFO."""
+        self.stats.jobs_submitted += 1
+        waiter = _PoolWaiter(callback, self.sim.now)
+        if self._active < self.size:
+            self._grant(waiter)
+        else:
+            self._queue.append(waiter)
+            self.stats.max_queue_length = max(self.stats.max_queue_length, len(self._queue))
+
+    def submit(
+        self,
+        service_time: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        """Run ``service_time`` ms of CPU work inside a pool thread, then
+        invoke ``callback(*args)`` and release the thread."""
+
+        def run(release: ThreadRelease) -> None:
+            self.cpu.execute(service_time, finish, release)
+
+        def finish(release: ThreadRelease) -> None:
+            release()
+            callback(*args)
+
+        self.acquire(run)
+
+    def _grant(self, waiter: _PoolWaiter) -> None:
+        self._active += 1
+        self.stats.total_queue_wait += self.sim.now - waiter.enqueued_at
+        waiter.callback(ThreadRelease(self, acquired_at=self.sim.now))
+
+    def _on_release(self, acquired_at: float) -> None:
+        self._active -= 1
+        self.stats.jobs_completed += 1
+        self.stats.busy_time += self.sim.now - acquired_at
+        if self._queue:
+            self._grant(self._queue.popleft())

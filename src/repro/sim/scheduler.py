@@ -1,0 +1,165 @@
+"""The discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable
+
+from repro.sim.errors import SchedulingInPastError, SimulationLimitExceeded
+from repro.sim.events import Event, EventHandle
+from repro.sim.trace import TraceRecorder
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with virtual time.
+
+    Time is in milliseconds.  A single :class:`Simulator` instance drives
+    one experiment: all nodes, links and protocol objects share it.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Every named RNG stream (:meth:`rng`) is derived
+        from it, so two simulators with the same seed and the same
+        scheduling behaviour produce identical runs.
+    trace:
+        Optional pre-built trace recorder; a fresh one is created by
+        default.
+    """
+
+    def __init__(self, seed: int = 0, trace: TraceRecorder | None = None) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._seed = seed
+        self._rng_streams: dict[str, random.Random] = {}
+        self.trace = trace if trace is not None else TraceRecorder()
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # randomness
+    # ------------------------------------------------------------------
+    def rng(self, stream: str) -> random.Random:
+        """Return the named deterministic RNG stream.
+
+        Streams are created lazily and keyed by name, so the sequence a
+        consumer sees depends only on the master seed, the stream name
+        and that consumer's own draw order -- never on what other
+        components do.
+        """
+        existing = self._rng_streams.get(stream)
+        if existing is not None:
+            return existing
+        derived = random.Random(f"{self._seed}/{stream}")
+        self._rng_streams[stream] = derived
+        return derived
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SchedulingInPastError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute virtual time."""
+        if time < self._now:
+            raise SchedulingInPastError(
+                f"cannot schedule at {time!r}; current time is {self._now!r}"
+            )
+        event = Event(time=time, priority=priority, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next non-cancelled event.
+
+        Returns ``False`` when the heap is empty (nothing ran).
+        """
+        while self._heap:
+            __, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Run events until the heap drains, ``until`` is reached, or the
+        event budget is exhausted.
+
+        ``until`` is inclusive: events scheduled exactly at ``until``
+        fire, and the clock is advanced to ``until`` at the end even if
+        the heap drained earlier (so timed experiments have a defined
+        duration).
+        """
+        processed = 0
+        while self._heap:
+            key, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and key[0] > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = event.time
+            self._events_processed += 1
+            processed += 1
+            event.callback(*event.args)
+            if max_events is not None and processed >= max_events:
+                raise SimulationLimitExceeded(
+                    f"processed {processed} events without reaching "
+                    f"until={until!r}; likely a non-terminating protocol loop"
+                )
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 5_000_000) -> None:
+        """Run until no events remain (with a runaway-protocol guard)."""
+        self.run(until=None, max_events=max_events)

@@ -1,0 +1,125 @@
+"""Structured trace recording.
+
+Traces serve two purposes: debugging protocol runs, and *determinism
+checks* -- two runs with the same seed must produce byte-identical trace
+fingerprints (property-tested in ``tests/sim``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Callable, Iterator
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry: what happened, where, and when."""
+
+    time: float
+    category: str
+    source: str
+    event: str
+    details: tuple[tuple[str, Any], ...] = ()
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def render(self) -> str:
+        detail_text = " ".join(f"{k}={v!r}" for k, v in self.details)
+        return f"[{self.time:12.3f}] {self.category:<12} {self.source:<24} {self.event} {detail_text}".rstrip()
+
+
+class TraceRecorder:
+    """Append-only event trace with category filtering.
+
+    Recording every event of a large run is memory-heavy, so categories
+    can be muted; benchmarks run with everything muted, protocol tests
+    enable what they assert on.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+        self._muted: set[str] = set()
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def mute(self, *categories: str) -> None:
+        self._muted.update(categories)
+
+    def unmute(self, *categories: str) -> None:
+        self._muted.difference_update(categories)
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Register a callback invoked for every record (even when muted
+        categories suppress storage).  Used by live metrics collectors."""
+        self._listeners.append(listener)
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        source: str,
+        event: str,
+        **details: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        entry = TraceRecord(
+            time=time,
+            category=category,
+            source=source,
+            event=event,
+            details=tuple(sorted(details.items())),
+        )
+        for listener in self._listeners:
+            listener(entry)
+        if category in self._muted:
+            return
+        self._records.append(entry)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return list(self._records)
+
+    def select(
+        self,
+        category: str | None = None,
+        source: str | None = None,
+        event: str | None = None,
+    ) -> list[TraceRecord]:
+        """Filter records by exact category/source/event match."""
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            out.append(rec)
+        return out
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of the full trace (for replay tests)."""
+        digest = hashlib.sha256()
+        for rec in self._records:
+            digest.update(rec.render().encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def render(self, limit: int | None = None) -> str:
+        rows = self._records if limit is None else self._records[:limit]
+        return "\n".join(rec.render() for rec in rows)

@@ -1,0 +1,9 @@
+"""Experiment workloads: the paper's measurement scenarios."""
+
+from repro.workloads.ordering import (
+    ExperimentResult,
+    OrderingWorkload,
+    run_ordering_experiment,
+)
+
+__all__ = ["ExperimentResult", "OrderingWorkload", "run_ordering_experiment"]

@@ -1,0 +1,170 @@
+"""The paper's measurement workload.
+
+"Each Ai multicast 1000 messages for total ordering at a regular
+interval that was identical in both NewTOP and FS-NewTOP runs"
+(section 4).  This module drives either system with exactly that load
+(scaled down -- simulation fidelity is per-message, so fewer messages
+suffice for stable statistics) and extracts the figures' quantities:
+ordering latency and system throughput.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.analysis.metrics import LatencyRecorder, Summary, summarize
+from repro.fsnewtop.system import ByzantineTolerantGroup
+from repro.newtop.services import ServiceType
+from repro.newtop.system import CrashTolerantGroup
+from repro.sim.scheduler import Simulator
+
+AnyGroup = typing.Union[CrashTolerantGroup, ByzantineTolerantGroup]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ExperimentResult:
+    """Outcome of one ordering run."""
+
+    system: str
+    n_members: int
+    messages_per_member: int
+    message_size: int
+    interval: float
+    latency: Summary
+    completion_latency: Summary
+    throughput_msgs_per_s: float
+    network_messages: int
+    network_bytes: int
+    fail_signals: int
+
+    def row(self) -> dict:
+        return {
+            "system": self.system,
+            "members": self.n_members,
+            "latency_ms": round(self.latency.mean, 2),
+            "throughput": round(self.throughput_msgs_per_s, 1),
+        }
+
+
+class OrderingWorkload:
+    """Drives one group through the paper's send pattern."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        group: AnyGroup,
+        messages_per_member: int = 20,
+        interval: float = 120.0,
+        message_size: int = 3,
+        service: str = ServiceType.SYMMETRIC_TOTAL.value,
+    ) -> None:
+        self.sim = sim
+        self.group = group
+        self.messages_per_member = messages_per_member
+        self.interval = interval
+        self.message_size = message_size
+        self.service = service
+        self.recorder = LatencyRecorder()
+        self.n_members = len(group.member_ids)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, settle_ms: float = 120_000.0) -> None:
+        """Schedule every send, hook delivery recording, run to idle."""
+        self._hook_deliveries()
+        body = bytes(self.message_size)
+        for round_no in range(self.messages_per_member):
+            at = round_no * self.interval
+            for index, member in enumerate(self.group.member_ids):
+                key = (member, round_no)
+                self.sim.schedule(at, self._send, key, member, round_no, body)
+        self.sim.run(
+            until=self.messages_per_member * self.interval + settle_ms,
+            max_events=200_000_000,
+        )
+
+    def _send(self, key, member: str, round_no: int, body: bytes) -> None:
+        self.recorder.sent(key, self.sim.now)
+        self.group.multicast(member, self.service, {"r": round_no, "s": member, "b": body})
+
+    def _hook_deliveries(self) -> None:
+        for member in self.group.member_ids:
+            invocation = self._invocation_of(member)
+            previous = invocation.on_deliver
+
+            def record(message, member=member, previous=previous):
+                value = message.value
+                if isinstance(value, dict) and "r" in value and "s" in value:
+                    self.recorder.delivered((value["s"], value["r"]), member, message.delivered_at)
+                if previous is not None:
+                    previous(message)
+
+            invocation.on_deliver = record
+
+    def _invocation_of(self, member: str):
+        if isinstance(self.group, ByzantineTolerantGroup):
+            return self.group.members[member].invocation
+        return self.group.nsos[member].invocation
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def fail_signal_count(self) -> int:
+        if not isinstance(self.group, ByzantineTolerantGroup):
+            return 0
+        return sum(
+            self.group.members[m].fs_process.signaled for m in self.group.member_ids
+        )
+
+    def result(self, system: str) -> ExperimentResult:
+        per_delivery = self.recorder.per_delivery
+        completions = self.recorder.completion_latencies(self.n_members)
+        return ExperimentResult(
+            system=system,
+            n_members=self.n_members,
+            messages_per_member=self.messages_per_member,
+            message_size=self.message_size,
+            interval=self.interval,
+            latency=summarize(per_delivery) if per_delivery else summarize([0.0]),
+            completion_latency=summarize(completions) if completions else summarize([0.0]),
+            throughput_msgs_per_s=self.recorder.throughput_msgs_per_s(self.n_members),
+            network_messages=self.group.network.stats.messages_sent,
+            network_bytes=self.group.network.stats.bytes_sent,
+            fail_signals=self.fail_signal_count(),
+        )
+
+
+def run_ordering_experiment(
+    system: str,
+    n_members: int,
+    seed: int = 0,
+    messages_per_member: int = 20,
+    interval: float = 120.0,
+    message_size: int = 3,
+    service: str = ServiceType.SYMMETRIC_TOTAL.value,
+    **system_kwargs,
+) -> ExperimentResult:
+    """Build, run and summarise one configuration.
+
+    ``system`` is ``"newtop"`` (crash-tolerant baseline) or
+    ``"fs-newtop"`` (the Byzantine-tolerant extension)."""
+    sim = Simulator(seed=seed)
+    sim.trace.enabled = False  # measurement runs do not pay for tracing
+    if system == "newtop":
+        group: AnyGroup = CrashTolerantGroup(sim, n_members=n_members, **system_kwargs)
+    elif system == "fs-newtop":
+        group = ByzantineTolerantGroup(sim, n_members=n_members, **system_kwargs)
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    workload = OrderingWorkload(
+        sim,
+        group,
+        messages_per_member=messages_per_member,
+        interval=interval,
+        message_size=message_size,
+        service=service,
+    )
+    workload.run()
+    return workload.result(system)

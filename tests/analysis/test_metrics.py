@@ -1,0 +1,85 @@
+"""Tests for latency/throughput measurement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatencyRecorder, summarize
+
+
+def test_summary_basic():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.count == 4
+    assert s.mean == 2.5
+    assert s.median == 2.0
+    assert s.maximum == 4.0
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summary_p95():
+    s = summarize(list(map(float, range(1, 101))))
+    assert s.p95 == 95.0
+
+
+def test_recorder_per_delivery_latency():
+    rec = LatencyRecorder()
+    rec.sent("m1", 10.0)
+    rec.delivered("m1", "a", 15.0)
+    rec.delivered("m1", "b", 18.0)
+    assert rec.per_delivery == [5.0, 8.0]
+
+
+def test_recorder_completion_latency():
+    rec = LatencyRecorder()
+    rec.sent("m1", 10.0)
+    rec.delivered("m1", "a", 15.0)
+    rec.delivered("m1", "b", 18.0)
+    assert rec.completion_latencies(2) == [8.0]
+    assert rec.completion_latencies(3) == []  # not everywhere yet
+    assert rec.fully_delivered(2) == 1
+
+
+def test_recorder_ignores_unknown_and_duplicate():
+    rec = LatencyRecorder()
+    rec.sent("m1", 0.0)
+    rec.delivered("ghost", "a", 5.0)
+    rec.delivered("m1", "a", 5.0)
+    rec.delivered("m1", "a", 9.0)  # duplicate from same member
+    assert rec.per_delivery == [5.0]
+
+
+def test_recorder_duplicate_send_rejected():
+    rec = LatencyRecorder()
+    rec.sent("m1", 0.0)
+    with pytest.raises(ValueError):
+        rec.sent("m1", 1.0)
+
+
+def test_throughput():
+    rec = LatencyRecorder()
+    for i in range(10):
+        rec.sent(i, float(i * 100))
+        rec.delivered(i, "a", float(i * 100 + 50))
+    # 10 messages over (950 - 0) ms
+    assert rec.throughput_msgs_per_s(1) == pytest.approx(10 / 0.95)
+
+
+def test_throughput_zero_cases():
+    rec = LatencyRecorder()
+    assert rec.throughput_msgs_per_s(1) == 0.0
+    rec.sent("m", 0.0)
+    assert rec.throughput_msgs_per_s(1) == 0.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+@settings(max_examples=100)
+def test_summary_bounds_property(samples):
+    s = summarize(samples)
+    eps = 1e-6 * (1 + max(samples))
+    assert min(samples) <= s.median <= s.maximum == max(samples)
+    assert min(samples) - eps <= s.mean <= max(samples) + eps
+    assert s.median <= s.p95 <= s.maximum

@@ -1,0 +1,52 @@
+"""Tests for experiment table rendering."""
+
+import pytest
+
+from repro.analysis import format_series_table
+
+
+def test_basic_table():
+    text = format_series_table(
+        "Figure 6: Order Latency",
+        "members",
+        [2, 3],
+        {"NewTOP": [10.0, 20.0], "FS-NewTOP": [15.0, 32.0]},
+        unit="ms",
+    )
+    assert "Figure 6" in text
+    assert "members" in text
+    assert "NewTOP (ms)" in text
+    assert "15.0" in text and "32.0" in text
+
+
+def test_overhead_column():
+    text = format_series_table(
+        "T",
+        "x",
+        [1],
+        {"base": [10.0], "other": [15.0]},
+        overhead_between=("base", "other"),
+    )
+    assert "+50%" in text
+
+
+def test_zero_base_overhead():
+    text = format_series_table(
+        "T", "x", [1], {"base": [0.0], "other": [15.0]}, overhead_between=("base", "other")
+    )
+    assert "n/a" in text
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        format_series_table("T", "x", [1, 2], {"a": [1.0]})
+
+
+def test_rows_render_in_order():
+    text = format_series_table("T", "x", [100, 2], {"a": [1.5, 22222.25]})
+    lines = text.splitlines()
+    # title, rule, header, separator, then one line per x value
+    assert len(lines) == 6
+    assert lines[4].startswith("100")
+    assert lines[5].startswith("2")
+    assert "22222.2" in lines[5]

@@ -1,0 +1,118 @@
+"""Tests for the PBFT-style 3f+1 comparator."""
+
+import pytest
+
+from repro.baselines import PbftCluster
+from repro.net import ConstantDelay, Network, UniformDelay
+from repro.sim import Simulator
+
+
+def _cluster(f=1, seed=0, timeout=500.0, delay=None):
+    sim = Simulator(seed=seed)
+    net = Network(sim, default_delay=delay if delay is not None else UniformDelay(0.3, 1.2))
+    cluster = PbftCluster(sim, f=f, network=net, view_timeout=timeout)
+    return sim, net, cluster
+
+
+def test_cluster_size_is_3f_plus_1():
+    __, __, c1 = _cluster(f=1)
+    assert c1.n == 4
+    __, __, c2 = _cluster(f=2)
+    assert c2.n == 7
+
+
+def test_invalid_f_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    with pytest.raises(ValueError):
+        PbftCluster(sim, f=0, network=net)
+
+
+def test_single_request_executes_everywhere():
+    sim, net, cluster = _cluster()
+    cluster.submit({"op": "write", "k": 1})
+    sim.run(until=2_000)
+    sequences = cluster.executed_sequences()
+    assert all(seq == [1] for seq in sequences)
+
+
+def test_requests_execute_in_total_order():
+    sim, net, cluster = _cluster(seed=3)
+    for i in range(8):
+        sim.schedule(i * 5.0, lambda i=i: cluster.submit({"op": i}))
+    sim.run(until=10_000)
+    sequences = cluster.executed_sequences()
+    assert all(len(seq) == 8 for seq in sequences)
+    assert sequences.count(sequences[0]) == cluster.n
+
+
+def test_tolerates_f_silent_byzantine_replicas():
+    sim, net, cluster = _cluster(f=1, seed=5)
+    cluster.make_byzantine_silent("pbft-3")
+    for i in range(4):
+        cluster.submit({"op": i})
+    sim.run(until=10_000)
+    healthy = [seq for rid, seq in zip(cluster.replica_ids, cluster.executed_sequences())
+               if rid != "pbft-3"]
+    assert all(len(seq) == 4 for seq in healthy)
+    assert healthy.count(healthy[0]) == 3
+
+
+def test_primary_crash_triggers_view_change_and_recovers():
+    sim, net, cluster = _cluster(f=1, seed=7, timeout=300.0)
+    cluster.submit({"op": "first"})
+    sim.run(until=2_000)
+    cluster.crash("pbft-0")  # the view-0 primary
+    cluster.submit({"op": "second"})
+    sim.run(until=30_000)
+    survivors = [r for r in cluster.replica_ids if r != "pbft-0"]
+    for replica_id in survivors:
+        replica = cluster.replicas[replica_id]
+        assert replica.view >= 1, "no view change happened"
+        assert len(replica.executed) == 2, f"{replica_id} executed {len(replica.executed)}"
+    sequences = [
+        [req.op_id for req in cluster.replicas[r].executed] for r in survivors
+    ]
+    assert sequences.count(sequences[0]) == 3
+
+
+def test_liveness_depends_on_timeout_choice():
+    """The paper's argument made concrete: with message delays that can
+    exceed the view timeout, the cluster churns through view changes --
+    termination hinges on a lucky timeout choice, unlike fail-signals."""
+    from repro.net import SpikeDelay
+
+    spiky = SpikeDelay(UniformDelay(0.5, 2.0), spike_probability=0.5, spike_ms=800.0)
+    sim, net, cluster = _cluster(f=1, seed=2, timeout=100.0, delay=spiky)
+    for i in range(3):
+        cluster.submit({"op": i})
+    sim.run(until=30_000)
+    churn = sum(r.view_changes for r in cluster.replicas.values())
+    assert churn > 0, "expected view-change churn with timeouts below the delay tail"
+
+
+def test_message_complexity_is_quadratic():
+    """PBFT normal case costs O(n^2) messages per request (prepare and
+    commit are all-to-all), like symmetric order -- but with an extra
+    round."""
+    sim4, net4, c4 = _cluster(f=1)
+    c4.submit({"op": 1})
+    sim4.run(until=2_000)
+    msgs_f1 = net4.stats.messages_sent
+
+    sim7, net7, c7 = _cluster(f=2)
+    c7.submit({"op": 1})
+    sim7.run(until=2_000)
+    msgs_f2 = net7.stats.messages_sent
+    # n goes 4 -> 7 (1.75x); messages should grow superlinearly (~3x).
+    assert msgs_f2 > 2.2 * msgs_f1
+
+
+def test_duplicate_submission_executes_once():
+    sim, net, cluster = _cluster()
+    request = cluster.submit({"op": "x"})
+    # Replay the same request at every replica.
+    for replica in cluster.replicas.values():
+        sim.schedule(1.0, replica.submit, request)
+    sim.run(until=5_000)
+    assert all(len(seq) == 1 for seq in cluster.executed_sequences())

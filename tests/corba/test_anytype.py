@@ -1,0 +1,39 @@
+"""Tests for the CORBA Any type."""
+
+from repro.corba import CorbaAny
+
+
+def test_wrap_extract_roundtrip():
+    any_value = CorbaAny.wrap({"op": "bid", "amount": 42})
+    assert any_value.extract() == {"op": "bid", "amount": 42}
+
+
+def test_typecodes():
+    assert CorbaAny.wrap(None).typecode == "tk_null"
+    assert CorbaAny.wrap(True).typecode == "tk_boolean"
+    assert CorbaAny.wrap(3).typecode == "tk_longlong"
+    assert CorbaAny.wrap(3.5).typecode == "tk_double"
+    assert CorbaAny.wrap("s").typecode == "tk_string"
+    assert CorbaAny.wrap(b"b").typecode == "tk_octet_sequence"
+    assert CorbaAny.wrap([1]).typecode == "tk_sequence"
+    assert CorbaAny.wrap({}).typecode == "tk_struct"
+
+
+def test_bool_not_confused_with_int():
+    assert CorbaAny.wrap(True).extract() is True
+    assert CorbaAny.wrap(1).extract() == 1
+
+
+def test_wire_size_grows_with_content():
+    small = CorbaAny.wrap("x")
+    big = CorbaAny.wrap("x" * 1000)
+    assert big.wire_size > small.wire_size + 900
+
+
+def test_any_is_canonical_encodable():
+    """An Any travels inside protocol messages, so it must sign/marshal."""
+    from repro.crypto import canonical_encode
+
+    a = CorbaAny.wrap([1, 2, 3])
+    b = CorbaAny.wrap([1, 2, 3])
+    assert canonical_encode(a) == canonical_encode(b)

@@ -1,0 +1,74 @@
+"""Tests for the marshaller: genuine byte round-trips."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corba import MarshalError, marshal, unmarshal
+
+
+def test_scalar_roundtrips():
+    for value in (None, True, False, 0, -5, 2**80, 1.5, "héllo", b"\x00\xff", ""):
+        assert unmarshal(marshal(value)) == value
+
+
+def test_container_roundtrips():
+    value = {"k": [1, 2, (3, "x")], "n": None, "b": b"raw"}
+    assert unmarshal(marshal(value)) == value
+
+
+def test_tuple_stays_tuple():
+    assert unmarshal(marshal((1, 2))) == (1, 2)
+    assert isinstance(unmarshal(marshal((1, 2))), tuple)
+
+
+def test_dataclass_decodes_to_tagged_dict():
+    @dataclasses.dataclass
+    class Point:
+        x: int
+        y: int
+
+    decoded = unmarshal(marshal(Point(3, 4)))
+    assert decoded == {"__type__": "test_dataclass_decodes_to_tagged_dict.<locals>.Point", "x": 3, "y": 4}
+
+
+def test_unmarshal_rejects_truncated():
+    data = marshal([1, 2, 3])
+    with pytest.raises(MarshalError):
+        unmarshal(data[:-1])
+
+
+def test_unmarshal_rejects_trailing_garbage():
+    with pytest.raises(MarshalError):
+        unmarshal(marshal(1) + b"junk")
+
+
+def test_unmarshal_rejects_unknown_tag():
+    with pytest.raises(MarshalError):
+        unmarshal(b"Z")
+
+
+def test_marshal_rejects_unsupported():
+    with pytest.raises(MarshalError):
+        marshal(object())
+
+
+wire_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=25,
+)
+
+
+@given(wire_values)
+@settings(max_examples=200)
+def test_roundtrip_property(value):
+    assert unmarshal(marshal(value)) == value

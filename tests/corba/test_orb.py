@@ -1,0 +1,233 @@
+"""Tests for ORB invocation, interceptors and dispatch."""
+
+import pytest
+
+from repro.corba import (
+    ClientInterceptor,
+    Node,
+    ObjectNotFound,
+    ObjectRef,
+    Orb,
+    Servant,
+    ServerInterceptor,
+)
+from repro.net import ConstantDelay, Network
+from repro.sim import Simulator
+
+
+class Recorder(Servant):
+    def __init__(self):
+        self.calls = []
+
+    def ping(self, *args):
+        self.calls.append(("ping", args))
+
+    def add(self, a, b):
+        self.calls.append(("add", (a, b)))
+        return a + b
+
+
+def _two_nodes(seed=0, **node_kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, default_delay=ConstantDelay(1.0))
+    n1 = Node(sim, "node-1", net, **node_kwargs)
+    n2 = Node(sim, "node-2", net, **node_kwargs)
+    return sim, net, n1, n2
+
+
+def test_remote_oneway():
+    sim, net, n1, n2 = _two_nodes()
+    servant = Recorder()
+    ref = n2.activate("rec", servant)
+    n1.orb.oneway(ref, "ping", 1, 2)
+    sim.run_until_idle()
+    assert servant.calls == [("ping", (1, 2))]
+
+
+def test_local_oneway_no_network():
+    sim, net, n1, n2 = _two_nodes()
+    servant = Recorder()
+    ref = n1.activate("rec", servant)
+    n1.orb.oneway(ref, "ping")
+    sim.run_until_idle()
+    assert servant.calls == [("ping", ())]
+    assert net.stats.messages_sent == 0
+
+
+def test_two_way_reply():
+    sim, net, n1, n2 = _two_nodes()
+    ref = n2.activate("rec", Recorder())
+    results = []
+    n1.orb.invoke(ref, "add", 2, 3, on_reply=results.append)
+    sim.run_until_idle()
+    assert results == [5]
+
+
+def test_local_two_way_reply():
+    sim, net, n1, n2 = _two_nodes()
+    ref = n1.activate("rec", Recorder())
+    results = []
+    n1.orb.invoke(ref, "add", 10, 20, on_reply=results.append)
+    sim.run_until_idle()
+    assert results == [30]
+    assert net.stats.messages_sent == 0
+
+
+def test_oneway_order_preserved_between_same_pair():
+    sim, net, n1, n2 = _two_nodes()
+    servant = Recorder()
+    ref = n2.activate("rec", servant)
+    for i in range(20):
+        n1.orb.oneway(ref, "ping", i)
+    sim.run_until_idle()
+    assert [args[0] for __, args in servant.calls] == list(range(20))
+
+
+def test_missing_servant_raises():
+    sim, net, n1, n2 = _two_nodes()
+    ghost = ObjectRef(node="node-2", key="ghost")
+    n1.orb.oneway(ghost, "ping")
+    with pytest.raises(ObjectNotFound):
+        sim.run_until_idle()
+
+
+def test_missing_method_raises():
+    sim, net, n1, n2 = _two_nodes()
+    ref = n2.activate("rec", Recorder())
+    n1.orb.oneway(ref, "no_such_method")
+    with pytest.raises(ObjectNotFound):
+        sim.run_until_idle()
+
+
+def test_duplicate_key_rejected():
+    sim, net, n1, n2 = _two_nodes()
+    n1.activate("rec", Recorder())
+    with pytest.raises(ValueError):
+        n1.activate("rec", Recorder())
+
+
+def test_servant_gets_ref_and_orb():
+    sim, net, n1, n2 = _two_nodes()
+    servant = Recorder()
+    ref = n1.activate("rec", servant)
+    assert servant.ref == ref
+    assert servant.orb is n1.orb
+    assert str(ref) == "node-1/rec"
+
+
+def test_client_interceptor_fan_out():
+    sim, net, n1, n2 = _two_nodes()
+    primary, shadow = Recorder(), Recorder()
+    ref_primary = n2.activate("primary", primary)
+    ref_shadow = n2.activate("shadow", shadow)
+
+    class FanOut(ClientInterceptor):
+        def outgoing(self, request, orb):
+            if request.target.key == "primary":
+                return [request, request.retargeted(ref_shadow)]
+            return [request]
+
+    n1.orb.client_interceptors.append(FanOut())
+    n1.orb.oneway(ref_primary, "ping", 7)
+    sim.run_until_idle()
+    assert primary.calls == [("ping", (7,))]
+    assert shadow.calls == [("ping", (7,))]
+
+
+def test_server_interceptor_absorbs():
+    sim, net, n1, n2 = _two_nodes()
+    servant = Recorder()
+    ref = n2.activate("rec", servant)
+
+    class DropOdd(ServerInterceptor):
+        def incoming(self, request, orb):
+            if request.args and request.args[0] % 2 == 1:
+                return None
+            return request
+
+    n2.orb.server_interceptors.append(DropOdd())
+    for i in range(6):
+        n1.orb.oneway(ref, "ping", i)
+    sim.run_until_idle()
+    assert [args[0] for __, args in servant.calls] == [0, 2, 4]
+
+
+class Slow(Servant):
+    def __init__(self, done):
+        self.done = done
+
+    def invocation_cost(self, request):
+        return 10.0
+
+    def work(self):
+        self.done.append(self.orb.sim.now)
+
+
+def test_thread_pool_limits_server_concurrency():
+    sim, net, n1, n2 = _two_nodes(pool_size=2, cores=8)
+    done = []
+    refs = [n2.activate(f"slow-{i}", Slow(done)) for i in range(4)]
+    for ref in refs:
+        n1.orb.oneway(ref, "work")
+    sim.run_until_idle()
+    # 4 requests to 4 distinct servants, pool of 2: two batches.
+    assert len(done) == 4
+    assert done[1] - done[0] < 5.0
+    assert done[2] - done[0] >= 10.0
+
+
+def test_single_servant_serialises_handlers():
+    """NewTOP's GC is single-threaded: concurrent requests to one servant
+    execute one at a time even with idle cores and threads."""
+    sim, net, n1, n2 = _two_nodes(pool_size=10, cores=8)
+    done = []
+    ref = n2.activate("slow", Slow(done))
+    for __ in range(3):
+        n1.orb.oneway(ref, "work")
+    sim.run_until_idle()
+    assert len(done) == 3
+    assert done[1] - done[0] >= 10.0
+    assert done[2] - done[1] >= 10.0
+
+
+def test_servant_handlers_run_in_arrival_order():
+    sim, net, n1, n2 = _two_nodes()
+    servant = Recorder()
+    ref = n2.activate("rec", servant)
+    # Interleave large (slow to unmarshal) and small requests; handler
+    # order must still follow send order.
+    for i in range(10):
+        payload = "x" * (50_000 if i % 2 == 0 else 1)
+        n1.orb.oneway(ref, "ping", i, payload)
+    sim.run_until_idle()
+    assert [args[0] for __, args in servant.calls] == list(range(10))
+
+
+def test_request_size_includes_args():
+    sim, net, n1, n2 = _two_nodes()
+    ref = n2.activate("rec", Recorder())
+    n1.orb.oneway(ref, "ping", "x" * 1000)
+    sim.run_until_idle()
+    assert net.stats.bytes_sent > 1000
+
+
+def test_larger_requests_cost_more_cpu():
+    results = []
+    for payload in ("x", "x" * 100_000):
+        sim, net, n1, n2 = _two_nodes()
+        ref = n2.activate("rec", Recorder())
+        n1.orb.oneway(ref, "ping", payload)
+        sim.run_until_idle()
+        results.append(sim.now)
+    assert results[1] > results[0]
+
+
+def test_crashed_node_swallows_requests():
+    sim, net, n1, n2 = _two_nodes()
+    servant = Recorder()
+    ref = n2.activate("rec", servant)
+    n2.crash()
+    n1.orb.oneway(ref, "ping")
+    sim.run_until_idle()
+    assert servant.calls == []
+    assert n2.failed

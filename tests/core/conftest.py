@@ -1,0 +1,101 @@
+"""Shared rig for fail-signal tests: one FS process wrapping a simple
+deterministic counter, one client node with an inbox and a sink."""
+
+import pytest
+
+from repro.corba import Node, ObjectRef, Servant
+from repro.core import FsEnvironment, FsoConfig
+from repro.core.fso import Fso
+from repro.net import ConstantDelay, Network
+from repro.sim import Simulator
+
+#: The logical reference the wrapped replicas address their outputs to.
+SINK_LOGICAL = ObjectRef(node="logical", key="sink")
+
+
+class CounterReplica(Servant):
+    """Deterministic state machine: ``add(n)`` emits the running total."""
+
+    def __init__(self):
+        self.total = 0
+
+    def add(self, n):
+        self.total += n
+        self.orb.oneway(SINK_LOGICAL, "result", self.total)
+
+    def add_quiet(self, n):
+        """An input that produces no output."""
+        self.total += n
+
+    def add_twice(self, n):
+        """An input that produces two outputs."""
+        self.total += n
+        self.orb.oneway(SINK_LOGICAL, "result", self.total)
+        self.orb.oneway(SINK_LOGICAL, "result", -self.total)
+
+
+class Sink(Servant):
+    """Collects what the FS process's environment actually sees."""
+
+    def __init__(self):
+        self.results = []
+
+    def result(self, value):
+        self.results.append((self.orb.sim.now, value))
+
+    @property
+    def values(self):
+        return [v for __, v in self.results]
+
+
+class FsRig:
+    """A wired single-FS-process world."""
+
+    def __init__(
+        self,
+        seed=0,
+        config=None,
+        leader_fso_class=None,
+        follower_fso_class=None,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.net = Network(self.sim, default_delay=ConstantDelay(1.0))
+        self.node_a = Node(self.sim, "node-a", self.net)
+        self.node_b = Node(self.sim, "node-b", self.net)
+        self.client = Node(self.sim, "client", self.net)
+        self.env = FsEnvironment(self.sim, config=config or FsoConfig(delta=2.0))
+        self.replica_a = CounterReplica()
+        self.replica_b = CounterReplica()
+        self.fs = self.env.make_fail_signal(
+            "counter",
+            self.node_a,
+            self.node_b,
+            self.replica_a,
+            self.replica_b,
+            leader_fso_class=leader_fso_class or Fso,
+            follower_fso_class=follower_fso_class or Fso,
+        )
+        self.sink = Sink()
+        self.sink_ref = self.client.activate("sink", self.sink)
+        self.inbox = self.env.make_inbox(self.client, "inbox")
+        self.inbox.local_rewrites["sink"] = self.sink_ref
+        self.fail_signals = []
+        self.inbox.on_fail_signal = self.fail_signals.append
+        self.env.routes.set_route("sink", [self.inbox.ref])
+        self.fs.set_signal_destinations([self.inbox.ref])
+        self._input_counter = 0
+
+    def submit(self, method, *args):
+        self._input_counter += 1
+        self.fs.submit(self.client, method, args, ("test", self._input_counter))
+
+    def run(self, until=None):
+        if until is None:
+            self.sim.run_until_idle()
+        else:
+            self.sim.run(until=until)
+
+
+@pytest.fixture
+def rig():
+    return FsRig()

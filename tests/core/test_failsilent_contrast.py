@@ -1,0 +1,56 @@
+"""Fail-silent vs fail-signal: why signalling matters.
+
+The paper's lineage (Voltan fail-silent nodes -> fail-signal processes)
+in one contrast: both constructions stop corrupted output from
+escaping, but only the fail-signal pair *tells* the environment, which
+is what downstream failure detection without timeouts is built on.
+"""
+
+from repro.core import ByzantineFso, FailSilentFso, FsoRole
+
+from tests.core.conftest import FsRig
+
+
+def test_same_detection_different_announcement():
+    """Same fault, both constructions detect it; only FS announces."""
+    silent_rig = FsRig(leader_fso_class=FailSilentFso, follower_fso_class=FailSilentFso)
+    signal_rig = FsRig()
+
+    for rig in (silent_rig, signal_rig):
+        rig.fs.crash_node(FsoRole.FOLLOWER)
+        rig.submit("add", 1)
+        rig.run()
+        assert rig.fs.leader.signaled  # detection happened in both
+
+    assert silent_rig.inbox.fail_signals_received == 0
+    assert signal_rig.inbox.fail_signals_received == 1
+
+
+def test_fail_silent_never_emits_after_mismatch():
+    rig = FsRig(
+        leader_fso_class=FailSilentFso,
+        follower_fso_class=type("SilentByz", (FailSilentFso, ByzantineFso), {}),
+    )
+    rig.fs.follower.go_byzantine(corrupt_outputs=True)
+    rig.submit("add", 1)
+    rig.run()
+    # Detection at one or both sides; zero signals, zero further output.
+    assert rig.fs.signaled
+    assert rig.inbox.fail_signals_received == 0
+    later = len(rig.sink.values)
+    rig.submit("add", 2)
+    rig.run()
+    assert len(rig.sink.values) == later
+
+
+def test_fail_silent_environment_cannot_distinguish_crash():
+    """To its peers a fail-silent stop is indistinguishable from an
+    unannounced crash -- which is why fail-silent systems still need
+    timeout-based detection while fail-signal ones do not."""
+    rig = FsRig(leader_fso_class=FailSilentFso, follower_fso_class=FailSilentFso)
+    rig.fs.crash_node(FsoRole.LEADER)
+    rig.submit("add", 1)
+    rig.run()
+    # Nothing observable at all: no values, no signals.
+    assert rig.sink.values == []
+    assert rig.inbox.fail_signals_received == 0

@@ -1,0 +1,68 @@
+"""Property-based tests over the fail-signal layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FsoRole
+
+from tests.core.conftest import FsRig
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    adds=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=15),
+)
+@settings(max_examples=25, deadline=None)
+def test_outputs_match_sequential_semantics(seed, adds):
+    """Property: in failure-free runs the FS process is observationally a
+    single correct process -- the sink sees exactly the prefix sums, once
+    each, in order, and no fail-signal."""
+    rig = FsRig(seed=seed)
+    for n in adds:
+        rig.submit("add", n)
+    rig.run()
+    expected = []
+    total = 0
+    for n in adds:
+        total += n
+        expected.append(total)
+    assert rig.sink.values == expected
+    assert not rig.fs.signaled
+    assert rig.inbox.fail_signals_received == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    crash_leader=st.booleans(),
+    pre=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=20, deadline=None)
+def test_crash_always_produces_signal_when_response_expected(seed, crash_leader, pre):
+    """Property (fs1): whatever the timing and history, a crashed node
+    plus one more input always yields a fail-signal, and the environment
+    never sees a wrong value."""
+    rig = FsRig(seed=seed)
+    for i in range(pre):
+        rig.submit("add", 1)
+    rig.run()
+    rig.fs.crash_node(FsoRole.LEADER if crash_leader else FsoRole.FOLLOWER)
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.fail_signals == ["counter"]
+    # Values seen are a prefix of the correct sequence.
+    assert rig.sink.values == list(range(1, len(rig.sink.values) + 1))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_deterministic_replay(seed):
+    """Two runs with identical seeds produce identical traces."""
+
+    def run():
+        rig = FsRig(seed=seed)
+        for n in (3, 1, 4, 1, 5):
+            rig.submit("add", n)
+        rig.run()
+        return rig.sim.trace.fingerprint(), tuple(rig.sink.values)
+
+    assert run() == run()

@@ -1,0 +1,141 @@
+"""FS processes consuming each other's outputs.
+
+This is the configuration FS-NewTOP depends on: every member's GC is an
+FS process, and GC protocol messages travel as double-signed FS outputs
+submitted to both wrapper replicas of the destination.
+"""
+
+from repro.corba import Node, ObjectRef, Servant
+from repro.core import FsEnvironment, FsoRole
+from repro.net import ConstantDelay, Network
+from repro.sim import Simulator
+
+SINK_LOGICAL = ObjectRef(node="logical", key="sink")
+STAGE2_LOGICAL = ObjectRef(node="logical", key="stage2.target")
+
+
+class Doubler(Servant):
+    """Stage 1: doubles its input and forwards to stage 2."""
+
+    def double(self, n):
+        self.orb.oneway(STAGE2_LOGICAL, "report", n * 2)
+
+
+class Reporter(Servant):
+    """Stage 2: adds ten and reports to the sink."""
+
+    def report(self, n):
+        self.orb.oneway(SINK_LOGICAL, "result", n + 10)
+
+
+class Sink(Servant):
+    def __init__(self):
+        self.values = []
+
+    def result(self, value):
+        self.values.append(value)
+
+
+def _build(seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, default_delay=ConstantDelay(1.0))
+    nodes = {name: Node(sim, name, net) for name in ("a1", "a2", "b1", "b2", "client")}
+    env = FsEnvironment(sim)
+    stage1 = env.make_fail_signal("stage1", nodes["a1"], nodes["a2"], Doubler(), Doubler())
+    stage2 = env.make_fail_signal("stage2", nodes["b1"], nodes["b2"], Reporter(), Reporter())
+    sink = Sink()
+    sink_ref = nodes["client"].activate("sink", sink)
+    inbox = env.make_inbox(nodes["client"], "inbox")
+    inbox.local_rewrites["sink"] = sink_ref
+    signals = []
+    inbox.on_fail_signal = signals.append
+    # Outputs aimed at stage2's logical identity go to both its FSOs;
+    # outputs aimed at the sink go to the client's inbox.
+    env.routes.set_route("stage2.target", stage2.refs)
+    env.routes.set_route("sink", [inbox.ref])
+    env.broadcast_signal_destinations([inbox.ref])
+    return sim, env, stage1, stage2, sink, inbox, signals, nodes
+
+
+def test_chained_fs_processes_deliver_once():
+    sim, env, stage1, stage2, sink, inbox, signals, nodes = _build()
+    stage1.submit(nodes["client"], "double", (5,), ("in", 1))
+    sim.run_until_idle()
+    assert sink.values == [20]  # (5*2)+10, exactly once
+    assert not stage1.signaled and not stage2.signaled
+    assert signals == []
+
+
+def test_chain_preserves_order():
+    sim, env, stage1, stage2, sink, inbox, signals, nodes = _build(seed=3)
+    for i in range(10):
+        stage1.submit(nodes["client"], "double", (i,), ("in", i))
+    sim.run_until_idle()
+    assert sink.values == [i * 2 + 10 for i in range(10)]
+
+
+def test_downstream_sees_fail_signal_of_upstream():
+    sim, env, stage1, stage2, sink, inbox, signals, nodes = _build()
+    stage1.submit(nodes["client"], "double", (1,), ("in", 1))
+    sim.run_until_idle()
+    stage1.crash_node(FsoRole.FOLLOWER)
+    stage1.submit(nodes["client"], "double", (2,), ("in", 2))
+    sim.run_until_idle()
+    assert signals == ["stage1"]
+    assert sink.values == [12]  # only the pre-crash output
+
+
+def test_dedup_at_downstream_fs_process():
+    """Stage 2 receives four copies of each stage-1 output (two Compares
+    x two wrapper replicas) but processes it once."""
+    sim, env, stage1, stage2, sink, inbox, signals, nodes = _build()
+    stage1.submit(nodes["client"], "double", (3,), ("in", 1))
+    sim.run_until_idle()
+    assert sink.values == [16]
+    assert stage2.leader.inputs_ordered == 1
+
+
+def test_tampered_fs_output_rejected_downstream():
+    """A double-signed output altered in transit fails verification at
+    the destination FSOs and is dropped."""
+    import dataclasses
+
+    sim, env, stage1, stage2, sink, inbox, signals, nodes = _build()
+    from repro.core.messages import FsOutput
+    from repro.crypto.signing import DoubleSigned
+
+    def tamper(envelope):
+        payload = envelope.payload
+        args = getattr(payload, "args", ())
+        for arg in args:
+            if isinstance(arg, DoubleSigned) and isinstance(arg.payload, FsOutput):
+                # Flip the carried value; signature now stale.
+                return False  # drop instead of rewrite: rewrite test below
+        return True
+
+    # Simpler, deterministic: inject a hand-tampered message directly.
+    original = None
+    stage1.submit(nodes["client"], "double", (4,), ("in", 1))
+    sim.run_until_idle()
+    assert sink.values == [18]
+    # Build a forged copy claiming a different value.
+    forged_payload = FsOutput(
+        fs_id="stage1",
+        input_seq=99,
+        output_idx=0,
+        target=STAGE2_LOGICAL,
+        method="report",
+        args=(1_000_000,),
+    )
+    from repro.crypto.signing import Signature
+
+    forged = DoubleSigned(
+        payload=forged_payload,
+        first=Signature("stage1#A", b"\x00" * 32),
+        second=Signature("stage1#B", b"\x01" * 32),
+    )
+    for ref in stage2.refs:
+        nodes["client"].orb.oneway(ref, "receiveNew", forged)
+    sim.run_until_idle()
+    assert sink.values == [18]  # forgery never became an input
+    assert not stage2.signaled

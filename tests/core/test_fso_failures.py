@@ -1,0 +1,194 @@
+"""Failure behaviour of fail-signal pairs: fs1 and fs2 semantics.
+
+fs1: whenever the FS process cannot produce a correct response, it
+outputs its fail-signal.  fs2: a faulty FS process may emit its
+fail-signal at arbitrary times.  Nothing else may ever be emitted --
+in particular, no corrupted output may carry a valid double signature.
+"""
+
+import pytest
+
+from repro.core import ByzantineFso, FailSilentFso, FsoRole
+
+from tests.core.conftest import FsRig
+
+
+def _byzantine_rig(faulty_role=FsoRole.FOLLOWER, **kwargs):
+    if faulty_role is FsoRole.FOLLOWER:
+        rig = FsRig(follower_fso_class=ByzantineFso, **kwargs)
+        return rig, rig.fs.follower
+    rig = FsRig(leader_fso_class=ByzantineFso, **kwargs)
+    return rig, rig.fs.leader
+
+
+def test_follower_node_crash_yields_fail_signal(rig):
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.sink.values == [1]
+    rig.fs.crash_node(FsoRole.FOLLOWER)
+    rig.submit("add", 2)
+    rig.run()
+    # The leader's Compare timed out and signalled; the environment got
+    # a fail-signal instead of a response (fs1).
+    assert rig.fs.leader.signaled
+    assert rig.fs.leader.signal_reason == "compare-timeout"
+    assert rig.fail_signals == ["counter"]
+    assert rig.sink.values == [1]
+
+
+def test_leader_node_crash_yields_fail_signal(rig):
+    rig.submit("add", 1)
+    rig.run()
+    rig.fs.crash_node(FsoRole.LEADER)
+    rig.submit("add", 2)
+    rig.run()
+    # The follower saw an input the leader never ordered: t2 expired.
+    assert rig.fs.follower.signaled
+    assert rig.fs.follower.signal_reason == "leader-silent"
+    assert rig.fail_signals == ["counter"]
+    assert rig.sink.values == [1]
+
+
+def test_corrupted_output_never_escapes():
+    """A faulty replica's corrupted output mismatches at comparison; the
+    destination sees a fail-signal, never the corrupted value."""
+    rig, faulty = _byzantine_rig(FsoRole.FOLLOWER)
+    rig.submit("add", 1)
+    rig.run()
+    faulty.go_byzantine(corrupt_outputs=True)
+    rig.submit("add", 2)
+    rig.run()
+    assert rig.fs.signaled
+    assert rig.fail_signals == ["counter"]
+    assert rig.sink.values == [1]
+    assert rig.inbox.rejected == 0  # nothing invalid even reached it
+
+
+def test_corrupting_leader_also_caught():
+    rig, faulty = _byzantine_rig(FsoRole.LEADER)
+    faulty.go_byzantine(corrupt_outputs=True)
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.fs.signaled
+    assert rig.sink.values == []
+    assert rig.fail_signals == ["counter"]
+
+
+def test_dropped_singles_caught_by_timeout():
+    rig, faulty = _byzantine_rig(FsoRole.FOLLOWER)
+    faulty.go_byzantine(drop_singles=True)
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.fs.leader.signaled
+    assert rig.fs.leader.signal_reason == "compare-timeout"
+    assert rig.fail_signals == ["counter"]
+    # The faulty follower still countersigned the leader's genuine
+    # single, so the *correct* output may escape alongside the signal --
+    # exactly the fs1 model: a correct process whose responses pass
+    # through an adversary that substitutes a subset with fail-signals.
+    assert rig.sink.values in ([], [1])
+
+
+def test_muted_leader_caught_by_follower_t2():
+    rig, faulty = _byzantine_rig(FsoRole.LEADER)
+    faulty.go_byzantine(mute_lan=True)
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.fs.follower.signaled
+    assert rig.fs.follower.signal_reason == "leader-silent"
+
+
+def test_forged_signature_rejected_and_timeout_fires():
+    """A faulty node cannot forge its peer's signature (A5): the forged
+    single is ignored and the comparison timeout catches the failure."""
+    rig, faulty = _byzantine_rig(FsoRole.FOLLOWER)
+    faulty.go_byzantine(forge_signature=True)
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.fs.leader.signaled
+    assert rig.fs.leader.signal_reason == "compare-timeout"
+    assert rig.fail_signals == ["counter"]
+    # Only the correct value may ever escape (see drop_singles test).
+    assert rig.sink.values in ([], [1])
+
+
+def test_scrambled_order_manifests_as_mismatch():
+    """A faulty leader processing inputs out of order is caught because
+    the replicas' outputs no longer match (Appendix A, last paragraph)."""
+    rig, faulty = _byzantine_rig(FsoRole.LEADER)
+    faulty.go_byzantine(scramble_order=True)
+    rig.submit("add", 1)
+    rig.submit("add", 10)
+    rig.run()
+    assert rig.fs.signaled
+    # No corrupted totals escaped.
+    assert all(v in (1, 11) for v in rig.sink.values)
+
+
+def test_fs2_arbitrary_signal(rig):
+    """A healthy FSO forced to emit its fail-signal (fs2): receivers see
+    a valid fail-signal; that is allowed behaviour for a faulty FS
+    process and receivers correctly treat the source as faulty."""
+    rig.fs.leader.inject_arbitrary_signal()
+    rig.run()
+    assert rig.fail_signals == ["counter"]
+    assert rig.inbox.rejected == 0
+
+
+def test_signaling_fso_answers_inputs_with_fail_signal(rig):
+    rig.fs.crash_node(FsoRole.FOLLOWER)
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.fs.leader.signaled
+    # Further inputs produce no outputs, only (deduplicated) signals.
+    rig.submit("add", 2)
+    rig.run()
+    assert rig.sink.values == []
+    assert rig.inbox.fail_signals_received == 1  # dedup by source
+
+
+def test_fail_signal_is_attributable_and_unforgeable(rig):
+    """The fail-signal carries both Compare signatures; a third party
+    cannot synthesise one for an FS process it does not control."""
+    from repro.core.messages import FailSignal
+    from repro.crypto.signing import Signature, DoubleSigned
+
+    fake = DoubleSigned(
+        payload=FailSignal("counter"),
+        first=Signature("counter#A", b"\x00" * 32),
+        second=Signature("counter#B", b"\x00" * 32),
+    )
+    rig.client.orb.oneway(rig.inbox.ref, "receiveNew", fake)
+    rig.run()
+    assert rig.inbox.fail_signals_received == 0
+    assert rig.inbox.rejected == 1
+    assert rig.fail_signals == []
+
+
+def test_fail_silent_variant_stops_quietly():
+    rig = FsRig(follower_fso_class=FailSilentFso, leader_fso_class=FailSilentFso)
+    rig.fs.crash_node(FsoRole.FOLLOWER)
+    rig.submit("add", 1)
+    rig.run()
+    # The leader detected the failure and stopped -- but told nobody.
+    assert rig.fs.leader.signaled
+    assert rig.fs.leader.signal_reason.startswith("silent:")
+    assert rig.inbox.fail_signals_received == 0
+    assert rig.sink.values == []
+
+
+def test_crash_before_any_input_silent_until_response_expected(rig):
+    """fs1 promises a signal when a *response is expected*; a crashed
+    pair with no inputs owes nothing and signals nothing."""
+    rig.fs.crash_node(FsoRole.FOLLOWER)
+    rig.run(until=10_000)
+    assert not rig.fs.leader.signaled
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.fs.leader.signaled
+
+
+def test_unknown_fault_flag_rejected():
+    rig, faulty = _byzantine_rig(FsoRole.FOLLOWER)
+    with pytest.raises(AttributeError):
+        faulty.go_byzantine(explode=True)

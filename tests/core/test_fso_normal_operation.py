@@ -1,0 +1,154 @@
+"""Failure-free behaviour of a fail-signal pair."""
+
+import pytest
+
+from repro.core import FsoConfig, FsoRole
+from repro.crypto.signing import RsaScheme
+
+from tests.core.conftest import FsRig
+
+
+def test_output_reaches_destination_exactly_once(rig):
+    rig.submit("add", 5)
+    rig.run()
+    assert rig.sink.values == [5]
+    # Both Compares transmitted, the inbox suppressed the duplicate.
+    assert rig.inbox.outputs_forwarded == 1
+    assert rig.inbox.rejected == 0
+
+
+def test_both_replicas_process_identically(rig):
+    for n in (5, 3, 2):
+        rig.submit("add", n)
+    rig.run()
+    assert rig.replica_a.total == 10
+    assert rig.replica_b.total == 10
+    assert rig.sink.values == [5, 8, 10]
+
+
+def test_outputs_delivered_in_input_order(rig):
+    for n in range(1, 21):
+        rig.submit("add", n)
+    rig.run()
+    assert rig.sink.values == [sum(range(1, k + 1)) for k in range(1, 21)]
+
+
+def test_input_producing_no_output(rig):
+    rig.submit("add_quiet", 100)
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.sink.values == [101]
+
+
+def test_input_producing_multiple_outputs(rig):
+    rig.submit("add_twice", 4)
+    rig.run()
+    assert rig.sink.values == [4, -4]
+
+
+def test_no_fail_signal_in_failure_free_run(rig):
+    for n in range(10):
+        rig.submit("add", n)
+    rig.run()
+    assert not rig.fs.signaled
+    assert rig.fail_signals == []
+    assert rig.inbox.fail_signals_received == 0
+
+
+def test_both_fsos_transmit(rig):
+    rig.submit("add", 1)
+    rig.run()
+    assert rig.fs.leader.outputs_transmitted == 1
+    assert rig.fs.follower.outputs_transmitted == 1
+
+
+def test_two_fold_redundancy():
+    """An FS process occupies exactly two nodes (vs three for fail-stop,
+    the cost comparison of Remark 1)."""
+    rig = FsRig()
+    nodes = {rig.fs.leader.node.name, rig.fs.follower.node.name}
+    assert len(nodes) == 2
+
+
+def test_works_with_real_rsa():
+    from repro.core import FsEnvironment
+    from repro.corba import Node
+    from repro.net import ConstantDelay, Network
+    from repro.sim import Simulator
+
+    rig = FsRig.__new__(FsRig)
+    rig.sim = Simulator(seed=5)
+    rig.net = Network(rig.sim, default_delay=ConstantDelay(1.0))
+    rig.node_a = Node(rig.sim, "node-a", rig.net)
+    rig.node_b = Node(rig.sim, "node-b", rig.net)
+    rig.client = Node(rig.sim, "client", rig.net)
+    rig.env = FsEnvironment(rig.sim, scheme=RsaScheme(bits=256))
+    from tests.core.conftest import CounterReplica, Sink
+
+    rig.replica_a, rig.replica_b = CounterReplica(), CounterReplica()
+    rig.fs = rig.env.make_fail_signal(
+        "counter", rig.node_a, rig.node_b, rig.replica_a, rig.replica_b
+    )
+    rig.sink = Sink()
+    rig.sink_ref = rig.client.activate("sink", rig.sink)
+    rig.inbox = rig.env.make_inbox(rig.client, "inbox")
+    rig.inbox.local_rewrites["sink"] = rig.sink_ref
+    rig.fail_signals = []
+    rig.inbox.on_fail_signal = rig.fail_signals.append
+    rig.env.routes.set_route("sink", [rig.inbox.ref])
+    rig.fs.set_signal_destinations([rig.inbox.ref])
+    rig._input_counter = 0
+
+    rig.submit("add", 7)
+    rig.run()
+    assert rig.sink.values == [7]
+    assert not rig.fs.signaled
+
+
+def test_duplicate_input_copies_processed_once(rig):
+    """The same input id submitted twice (e.g. a duplicated external
+    request) must be ordered and processed once."""
+    rig.fs.submit(rig.client, "add", (5,), ("dup", 1))
+    rig.fs.submit(rig.client, "add", (5,), ("dup", 1))
+    rig.run()
+    assert rig.sink.values == [5]
+    assert rig.replica_a.total == 5
+
+
+def test_overhead_vs_unwrapped_latency():
+    """The FS pipeline must cost something: latency through the wrapper
+    exceeds a direct call path's, because of ordering + comparison."""
+    rig = FsRig()
+    rig.submit("add", 1)
+    rig.run()
+    fs_latency = rig.sink.results[0][0]
+    # A direct oneway between two nodes costs ~1ms network + dispatch.
+    assert fs_latency > 5.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FsoConfig(delta=0)
+    with pytest.raises(ValueError):
+        FsoConfig(kappa=0.5)
+    with pytest.raises(ValueError):
+        FsoConfig(sigma=0.0)
+
+
+def test_timeout_formulas():
+    config = FsoConfig(delta=3.0, kappa=2.0, sigma=2.0)
+    assert config.leader_compare_timeout(pi=1.0, tau=0.5) == 6.0 + 2.0 + 1.0
+    assert config.follower_compare_timeout(pi=1.0, tau=0.5) == 3.0 + 2.0 + 1.0
+    assert config.t1 == 0.0
+    assert config.t2 == 6.0
+
+
+def test_distinct_nodes_required():
+    rig = FsRig()
+    from repro.core import FsWiringError
+    from tests.core.conftest import CounterReplica
+
+    with pytest.raises(FsWiringError):
+        rig.env.make_fail_signal(
+            "same-node", rig.node_a, rig.node_a, CounterReplica(), CounterReplica()
+        )

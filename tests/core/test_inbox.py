@@ -1,0 +1,128 @@
+"""Unit tests for the FS output inbox."""
+
+import random
+
+import pytest
+
+from repro.corba import Node, ObjectRef, Servant
+from repro.core import FsOutputInbox, FsRegistry
+from repro.core.messages import FailSignal, FsOutput
+from repro.crypto import HmacScheme, KeyStore
+from repro.net import ConstantDelay, Network
+from repro.sim import Simulator
+
+
+class Target(Servant):
+    def __init__(self):
+        self.calls = []
+
+    def deliver(self, *args):
+        self.calls.append(args)
+
+
+def _rig():
+    sim = Simulator(seed=0)
+    net = Network(sim, default_delay=ConstantDelay(1.0))
+    node = Node(sim, "n", net)
+    keystore = KeyStore(HmacScheme())
+    registry = FsRegistry()
+    signer_a = keystore.new_signer("p#A", random.Random(1))
+    signer_b = keystore.new_signer("p#B", random.Random(2))
+    registry.register("p", "p#A", "p#B")
+    inbox = FsOutputInbox(keystore, registry)
+    node.activate("inbox", inbox)
+    target = Target()
+    target_ref = node.activate("target", target)
+    inbox.local_rewrites["logical-target"] = target_ref
+    return sim, node, inbox, target, signer_a, signer_b
+
+
+def _output(seq=1, idx=0, args=(42,)):
+    return FsOutput(
+        fs_id="p",
+        input_seq=seq,
+        output_idx=idx,
+        target=ObjectRef(node="logical", key="logical-target"),
+        method="deliver",
+        args=args,
+    )
+
+
+def test_valid_output_forwarded_once():
+    sim, node, inbox, target, a, b = _rig()
+    ds = b.countersign(a.sign_payload(_output()))
+    inbox.receiveNew(ds)
+    inbox.receiveNew(ds)  # the second Compare's copy
+    sim.run_until_idle()
+    assert target.calls == [(42,)]
+    assert inbox.outputs_forwarded == 1
+    assert inbox.rejected == 0
+
+
+def test_distinct_outputs_both_forwarded():
+    sim, node, inbox, target, a, b = _rig()
+    inbox.receiveNew(b.countersign(a.sign_payload(_output(seq=1, args=(1,)))))
+    inbox.receiveNew(b.countersign(a.sign_payload(_output(seq=2, args=(2,)))))
+    sim.run_until_idle()
+    assert target.calls == [(1,), (2,)]
+
+
+def test_bad_signature_rejected():
+    sim, node, inbox, target, a, b = _rig()
+    good = b.countersign(a.sign_payload(_output()))
+    from repro.crypto.signing import DoubleSigned, Signature
+
+    tampered = DoubleSigned(_output(args=(99,)), good.first, good.second)
+    inbox.receiveNew(tampered)
+    sim.run_until_idle()
+    assert target.calls == []
+    assert inbox.rejected == 1
+
+
+def test_unknown_source_rejected():
+    sim, node, inbox, target, a, b = _rig()
+    ghost = FsOutput(
+        fs_id="ghost",
+        input_seq=1,
+        output_idx=0,
+        target=ObjectRef(node="logical", key="logical-target"),
+        method="deliver",
+        args=(),
+    )
+    inbox.receiveNew(b.countersign(a.sign_payload(ghost)))
+    sim.run_until_idle()
+    assert inbox.rejected == 1
+
+
+def test_non_double_signed_rejected():
+    sim, node, inbox, target, a, b = _rig()
+    inbox.receiveNew("junk")
+    inbox.receiveNew(a.sign_payload(_output()))  # single-signed only
+    assert inbox.rejected == 2
+
+
+def test_fail_signal_callback_and_dedup():
+    sim, node, inbox, target, a, b = _rig()
+    seen = []
+    inbox.on_fail_signal = seen.append
+    signal = b.countersign(a.sign_payload(FailSignal("p")))
+    inbox.receiveNew(signal)
+    inbox.receiveNew(signal)
+    assert seen == ["p"]
+    assert inbox.fail_signals_received == 1
+    assert inbox.signalled_sources == {"p"}
+
+
+def test_unrouted_target_goes_to_literal_ref():
+    sim, node, inbox, target, a, b = _rig()
+    direct = FsOutput(
+        fs_id="p",
+        input_seq=3,
+        output_idx=0,
+        target=ObjectRef(node="n", key="target"),
+        method="deliver",
+        args=("direct",),
+    )
+    inbox.receiveNew(b.countersign(a.sign_payload(direct)))
+    sim.run_until_idle()
+    assert target.calls == [("direct",)]

@@ -1,0 +1,134 @@
+"""Unit tests for the FS interceptors."""
+
+import pytest
+
+from repro.corba import Node, ObjectRef, Servant
+from repro.core import FanOutInterceptor, FsCaptureInterceptor, FsInput
+from repro.net import ConstantDelay, Network
+from repro.sim import Simulator
+
+
+class Recorder(Servant):
+    def __init__(self):
+        self.calls = []
+
+    def receiveNew(self, arg):
+        self.calls.append(arg)
+
+    def plain(self, *args):
+        self.calls.append(args)
+
+
+def _node(seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, default_delay=ConstantDelay(1.0))
+    return sim, Node(sim, "n1", net), Node(sim, "n2", net)
+
+
+def test_fanout_rewrites_to_all_wrappers():
+    sim, n1, n2 = _node()
+    fso_a, fso_b = Recorder(), Recorder()
+    ref_a = n2.activate("wrap-a", fso_a)
+    ref_b = n2.activate("wrap-b", fso_b)
+    fanout = FanOutInterceptor(origin="client")
+    fanout.wrap_target("member.gc", [ref_a, ref_b])
+    n1.orb.client_interceptors.append(fanout)
+
+    logical = ObjectRef(node="logical", key="member.gc")
+    # Activating nothing under the logical key: the interceptor must
+    # catch the call before address resolution.
+    n1.orb.oneway(logical, "submit", "group", "svc", 42)
+    sim.run_until_idle()
+
+    assert len(fso_a.calls) == 1 and len(fso_b.calls) == 1
+    input_a, input_b = fso_a.calls[0], fso_b.calls[0]
+    assert isinstance(input_a, FsInput)
+    assert input_a == input_b  # identical input ids pair at the follower
+    assert input_a.method == "submit"
+    assert input_a.args == ("group", "svc", 42)
+
+
+def test_fanout_ids_unique_per_request():
+    sim, n1, n2 = _node()
+    fso = Recorder()
+    ref = n2.activate("wrap", fso)
+    fanout = FanOutInterceptor(origin="client")
+    fanout.wrap_target("t", [ref])
+    n1.orb.client_interceptors.append(fanout)
+    logical = ObjectRef(node="logical", key="t")
+    n1.orb.oneway(logical, "m")
+    n1.orb.oneway(logical, "m")
+    sim.run_until_idle()
+    ids = [call.input_id for call in fso.calls]
+    assert len(set(ids)) == 2
+
+
+def test_fanout_passes_unwrapped_targets():
+    sim, n1, n2 = _node()
+    plain = Recorder()
+    ref = n2.activate("plain", plain)
+    fanout = FanOutInterceptor(origin="client")
+    fanout.wrap_target("something-else", [ref])
+    n1.orb.client_interceptors.append(fanout)
+    n1.orb.oneway(ref, "plain", 1)
+    sim.run_until_idle()
+    assert plain.calls == [(1,)]
+
+
+def test_fanout_requires_endpoints():
+    fanout = FanOutInterceptor(origin="x")
+    with pytest.raises(ValueError):
+        fanout.wrap_target("k", [])
+
+
+def test_capture_collects_and_absorbs():
+    sim, n1, n2 = _node()
+    capture = FsCaptureInterceptor()
+    n1.orb.client_interceptors.insert(0, capture)
+
+    emitter = Recorder()
+    n1.activate("emitter", emitter)
+    target = ObjectRef(node="logical", key="nowhere")
+
+    def handler(value):
+        emitter.orb.oneway(target, "out", value)
+        emitter.orb.oneway(target, "out", value + 1)
+
+    emitter_handler = handler
+
+    class FakeFso:
+        pass
+
+    outputs = capture.capture(FakeFso(), emitter_handler, (10,))
+    sim.run_until_idle()
+    assert [req.args for req in outputs] == [(10,), (11,)]
+    assert [req.method for req in outputs] == ["out", "out"]
+    # Nothing actually left the node.
+    assert n1.network.stats.messages_sent == 0
+
+
+def test_capture_rejects_reentry():
+    capture = FsCaptureInterceptor()
+
+    class FakeFso:
+        pass
+
+    def outer():
+        capture.capture(FakeFso(), inner, ())
+
+    def inner():
+        pass
+
+    with pytest.raises(RuntimeError):
+        capture.capture(FakeFso(), outer, ())
+
+
+def test_capture_inactive_passes_through():
+    sim, n1, n2 = _node()
+    capture = FsCaptureInterceptor()
+    n1.orb.client_interceptors.insert(0, capture)
+    servant = Recorder()
+    ref = n2.activate("r", servant)
+    n1.orb.oneway(ref, "plain", 5)
+    sim.run_until_idle()
+    assert servant.calls == [(5,)]

@@ -1,0 +1,99 @@
+"""Tests for canonical encoding: uniqueness and injectivity properties."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import CanonicalEncodingError, canonical_encode
+
+
+def test_dict_key_order_irrelevant():
+    assert canonical_encode({"a": 1, "b": 2}) == canonical_encode({"b": 2, "a": 1})
+
+
+def test_distinct_scalars_encode_differently():
+    values = [None, True, False, 0, 1, -1, 0.5, "0", b"0", "", b"", [], (), {}]
+    encodings = [canonical_encode(v) for v in values]
+    assert len(set(encodings)) == len(encodings)
+
+
+def test_list_vs_tuple_distinct():
+    assert canonical_encode([1, 2]) != canonical_encode((1, 2))
+
+
+def test_str_vs_bytes_distinct():
+    assert canonical_encode("ab") != canonical_encode(b"ab")
+
+
+def test_int_vs_float_distinct():
+    assert canonical_encode(1) != canonical_encode(1.0)
+
+
+def test_bool_vs_int_distinct():
+    assert canonical_encode(True) != canonical_encode(1)
+    assert canonical_encode(False) != canonical_encode(0)
+
+
+def test_nesting_boundaries_unambiguous():
+    assert canonical_encode([[1], [2]]) != canonical_encode([[1, 2]])
+    assert canonical_encode(["ab", "c"]) != canonical_encode(["a", "bc"])
+
+
+def test_dataclass_encoding_includes_type_and_fields():
+    @dataclasses.dataclass(frozen=True)
+    class Point:
+        x: int
+        y: int
+
+    @dataclasses.dataclass(frozen=True)
+    class Pair:
+        x: int
+        y: int
+
+    assert canonical_encode(Point(1, 2)) == canonical_encode(Point(1, 2))
+    assert canonical_encode(Point(1, 2)) != canonical_encode(Point(2, 1))
+    assert canonical_encode(Point(1, 2)) != canonical_encode(Pair(1, 2))
+
+
+def test_frozenset_order_independent():
+    assert canonical_encode(frozenset({1, 2, 3})) == canonical_encode(frozenset({3, 1, 2}))
+
+
+def test_mixed_dict_keys_supported():
+    assert canonical_encode({1: "a", "1": "b"})
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(CanonicalEncodingError):
+        canonical_encode(object())
+    with pytest.raises(CanonicalEncodingError):
+        canonical_encode({1, 2})  # mutable set has no canonical order tag
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=5)
+    | st.tuples(children)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@given(json_like)
+@settings(max_examples=200)
+def test_encoding_is_deterministic(value):
+    assert canonical_encode(value) == canonical_encode(value)
+
+
+@given(json_like, json_like)
+@settings(max_examples=200)
+def test_encoding_is_injective_on_samples(a, b):
+    if canonical_encode(a) == canonical_encode(b):
+        assert a == b

@@ -1,0 +1,43 @@
+"""Tests for the crypto cost model."""
+
+from repro.crypto import CryptoCostModel
+from repro.crypto.costmodel import FREE_CRYPTO
+
+
+def test_sign_cost_dominated_by_private_key_op():
+    model = CryptoCostModel()
+    assert model.sign_cost(3) > model.verify_cost(3)
+    # Signing is size-insensitive apart from the digest.
+    small, large = model.sign_cost(3), model.sign_cost(10 * 1024)
+    expected = model.digest_cost(10 * 1024) - model.digest_cost(3)
+    assert abs((large - small) - expected) < 1e-12
+
+
+def test_digest_cost_linear_in_size():
+    model = CryptoCostModel(digest_base_ms=0.0, digest_ms_per_kb=1.0)
+    assert abs(model.digest_cost(2048) - 2.0) < 1e-12
+    assert model.digest_cost(0) == 0.0
+
+
+def test_scaled():
+    model = CryptoCostModel(sign_base_ms=4.0, verify_base_ms=0.4)
+    half = model.scaled(0.5)
+    assert half.sign_base_ms == 2.0
+    assert half.verify_base_ms == 0.2
+    assert half.sign_cost(100) == model.sign_cost(100) * 0.5
+
+
+def test_free_crypto_is_free():
+    assert FREE_CRYPTO.sign_cost(10_000) == 0.0
+    assert FREE_CRYPTO.verify_cost(10_000) == 0.0
+    assert FREE_CRYPTO.digest_cost(10_000) == 0.0
+
+
+def test_costs_nonnegative_and_monotone_in_size():
+    model = CryptoCostModel()
+    last = -1.0
+    for size in (0, 10, 1000, 100_000):
+        cost = model.sign_cost(size)
+        assert cost >= 0
+        assert cost >= last
+        last = cost

@@ -1,0 +1,65 @@
+"""Tests for prime generation and Miller-Rabin."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import generate_prime, is_probable_prime
+
+FIRST_PRIMES = {
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97,
+}
+
+
+def test_small_numbers_classified_exactly():
+    for n in range(100):
+        assert is_probable_prime(n) == (n in FIRST_PRIMES), n
+
+
+def test_known_large_prime():
+    # 2^127 - 1 is a Mersenne prime.
+    assert is_probable_prime(2**127 - 1)
+
+
+def test_known_large_composite():
+    assert not is_probable_prime((2**127 - 1) * 3)
+
+
+def test_carmichael_numbers_rejected():
+    # Carmichael numbers fool Fermat tests but not Miller-Rabin.
+    for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+        assert not is_probable_prime(n), n
+
+
+def test_generate_prime_has_requested_bits():
+    rng = random.Random(7)
+    for bits in (16, 32, 64, 128):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+
+def test_generate_prime_deterministic_per_seed():
+    assert generate_prime(64, random.Random(5)) == generate_prime(64, random.Random(5))
+    assert generate_prime(64, random.Random(5)) != generate_prime(64, random.Random(6))
+
+
+def test_generate_prime_rejects_tiny_bits():
+    with pytest.raises(ValueError):
+        generate_prime(4, random.Random(0))
+
+
+@given(st.integers(min_value=2, max_value=5000))
+@settings(max_examples=200)
+def test_agrees_with_trial_division(n):
+    by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+    assert is_probable_prime(n) == by_trial
+
+
+@given(st.integers(min_value=2, max_value=300), st.integers(min_value=2, max_value=300))
+@settings(max_examples=100)
+def test_products_are_composite(a, b):
+    assert not is_probable_prime(a * b)

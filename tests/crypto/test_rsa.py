@@ -1,0 +1,81 @@
+"""Tests for the from-scratch RSA implementation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import generate_rsa_keypair
+
+
+def _pair(seed=1, bits=256):
+    return generate_rsa_keypair(bits=bits, rng=random.Random(seed))
+
+
+def test_sign_verify_roundtrip():
+    pair = _pair()
+    sig = pair.sign(b"hello world")
+    assert pair.public.verify(b"hello world", sig)
+
+
+def test_verify_rejects_different_message():
+    pair = _pair()
+    sig = pair.sign(b"hello world")
+    assert not pair.public.verify(b"hello worle", sig)
+
+
+def test_verify_rejects_tampered_signature():
+    pair = _pair()
+    sig = pair.sign(b"msg")
+    assert not pair.public.verify(b"msg", sig + 1)
+    assert not pair.public.verify(b"msg", -sig)
+    assert not pair.public.verify(b"msg", sig + pair.public.n)
+
+
+def test_other_key_cannot_verify():
+    a, b = _pair(seed=1), _pair(seed=2)
+    sig = a.sign(b"msg")
+    assert not b.public.verify(b"msg", sig)
+
+
+def test_other_key_cannot_forge():
+    a, b = _pair(seed=1), _pair(seed=2)
+    forged = b.sign(b"msg")
+    assert not a.public.verify(b"msg", forged)
+
+
+def test_keypair_deterministic_per_seed():
+    assert _pair(seed=3).public == _pair(seed=3).public
+    assert _pair(seed=3).public != _pair(seed=4).public
+
+
+def test_modulus_bits():
+    for bits in (256, 384, 512):
+        pair = _pair(seed=9, bits=bits)
+        assert pair.public.bits == bits
+
+
+def test_rejects_modulus_too_small_for_md5():
+    with pytest.raises(ValueError):
+        generate_rsa_keypair(bits=128, rng=random.Random(0))
+
+
+def test_empty_message_signs():
+    pair = _pair()
+    assert pair.public.verify(b"", pair.sign(b""))
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(data):
+    pair = _pair(seed=11)
+    assert pair.public.verify(data, pair.sign(data))
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_cross_message_rejection(a, b):
+    pair = _pair(seed=12)
+    sig = pair.sign(a)
+    assert pair.public.verify(b, sig) == (a == b or pair.sign(b) == sig)

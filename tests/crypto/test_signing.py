@@ -1,0 +1,131 @@
+"""Tests for signers, keystore, and double-signature validation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    DoubleSigned,
+    HmacScheme,
+    KeyStore,
+    RsaScheme,
+    SignatureInvalid,
+    UnknownSigner,
+)
+from repro.crypto.signing import Signature
+
+
+def _store(scheme=None):
+    store = KeyStore(scheme if scheme is not None else HmacScheme())
+    compare = store.new_signer("FSO-p", random.Random(1))
+    compare_prime = store.new_signer("FSO-p'", random.Random(2))
+    return store, compare, compare_prime
+
+
+@pytest.mark.parametrize("scheme", [HmacScheme(), RsaScheme(bits=256)])
+def test_single_sign_roundtrip(scheme):
+    store, signer, __ = _store(scheme)
+    signed = signer.sign_payload({"kind": "output", "seq": 4})
+    assert store.check_signed(signed)
+    assert signed.signer == "FSO-p"
+
+
+@pytest.mark.parametrize("scheme", [HmacScheme(), RsaScheme(bits=256)])
+def test_double_sign_roundtrip(scheme):
+    store, a, b = _store(scheme)
+    double = b.countersign(a.sign_payload("result"))
+    assert store.check_double(double)
+    assert double.signers == ("FSO-p", "FSO-p'")
+    store.require_double(double, expected_signers=("FSO-p'", "FSO-p"))
+
+
+def test_tampered_payload_rejected():
+    store, a, b = _store()
+    double = b.countersign(a.sign_payload("result"))
+    tampered = DoubleSigned("other", double.first, double.second)
+    assert not store.check_double(tampered)
+    with pytest.raises(SignatureInvalid):
+        store.require_double(tampered)
+
+
+def test_grafted_countersignature_rejected():
+    """A second signature must bind to the first: swapping in a second
+    signature taken from a different message must fail."""
+    store, a, b = _store()
+    one = b.countersign(a.sign_payload("msg-1"))
+    two = b.countersign(a.sign_payload("msg-2"))
+    grafted = DoubleSigned("msg-1", one.first, two.second)
+    assert not store.check_double(grafted)
+
+
+def test_self_countersign_detected_by_expected_signers():
+    """A faulty node double-signing with only its own key must not pass a
+    destination's expected-signers check."""
+    store, a, __ = _store()
+    self_double = a.countersign(a.sign_payload("forged"))
+    # The signature math itself is fine...
+    assert store.check_double(self_double)
+    # ...but the destination pins the signer set.
+    with pytest.raises(SignatureInvalid):
+        store.require_double(self_double, expected_signers=("FSO-p", "FSO-p'"))
+
+
+def test_unknown_signer_raises():
+    store, a, __ = _store()
+    signed = a.sign_payload("x")
+    forged = type(signed)(signed.payload, Signature("stranger", signed.signature.value))
+    with pytest.raises(UnknownSigner):
+        store.check_signed(forged)
+
+
+def test_forged_signature_value_rejected():
+    store, a, __ = _store()
+    signed = a.sign_payload("x")
+    forged = type(signed)(signed.payload, Signature(a.identity, b"\x00" * 32))
+    assert not store.check_signed(forged)
+
+
+def test_wrong_value_type_rejected():
+    store, a, __ = _store()
+    signed = a.sign_payload("x")
+    forged = type(signed)(signed.payload, Signature(a.identity, 123456))
+    assert not store.check_signed(forged)
+
+
+def test_duplicate_identity_rejected():
+    store, __, __ = _store()
+    with pytest.raises(ValueError):
+        store.new_signer("FSO-p", random.Random(9))
+
+
+def test_keystore_inventory():
+    store, __, __ = _store()
+    assert store.knows("FSO-p") and store.knows("FSO-p'")
+    assert not store.knows("other")
+    assert store.identities() == ["FSO-p", "FSO-p'"]
+
+
+def test_cannot_sign_for_other_identity():
+    """With RSA, replica b cannot create signatures verifying under a's
+    identity (assumption A5 enforced by arithmetic)."""
+    store, a, b = _store(RsaScheme(bits=256))
+    fake = type(a.sign_payload("x"))(
+        "x", Signature("FSO-p", b.sign_payload("x").signature.value)
+    )
+    assert not store.check_signed(fake)
+
+
+@given(
+    st.recursive(
+        st.none() | st.booleans() | st.integers() | st.text(max_size=10),
+        lambda c: st.lists(c, max_size=4) | st.dictionaries(st.text(max_size=4), c, max_size=4),
+        max_leaves=10,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_sign_verify_property(payload):
+    store, a, b = _store()
+    assert store.check_signed(a.sign_payload(payload))
+    assert store.check_double(b.countersign(a.sign_payload(payload)))

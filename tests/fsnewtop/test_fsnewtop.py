@@ -1,0 +1,137 @@
+"""Integration tests for the FS-NewTOP system (failure-free paths)."""
+
+import pytest
+
+from repro.fsnewtop import ByzantineTolerantGroup, node_requirements
+from repro.newtop import ServiceType
+from repro.sim import Simulator
+
+
+def _group(n=3, seed=0, **kwargs):
+    sim = Simulator(seed=seed)
+    group = ByzantineTolerantGroup(sim, n_members=n, **kwargs)
+    return sim, group
+
+
+def _values(group, member):
+    return [m.value for m in group.deliveries(member)]
+
+
+def _keys(group, member):
+    return [(m.sender, m.value) for m in group.deliveries(member)]
+
+
+def test_single_multicast_delivered_everywhere():
+    sim, group = _group(n=3)
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, "hello")
+    sim.run_until_idle()
+    for member in range(3):
+        assert _values(group, member) == ["hello"]
+
+
+def test_total_order_agreement():
+    sim, group = _group(n=4, seed=5)
+    for i in range(8):
+        group.multicast(i % 4, ServiceType.SYMMETRIC_TOTAL.value, i)
+    sim.run_until_idle()
+    sequences = [_keys(group, m) for m in range(4)]
+    assert all(len(seq) == 8 for seq in sequences)
+    assert sequences.count(sequences[0]) == 4
+
+
+def test_agreement_across_seeds():
+    for seed in range(4):
+        sim, group = _group(n=3, seed=seed)
+        for i in range(6):
+            group.multicast(i % 3, ServiceType.SYMMETRIC_TOTAL.value, i)
+        sim.run_until_idle(max_events=3_000_000)
+        sequences = [_keys(group, m) for m in range(3)]
+        assert all(len(seq) == 6 for seq in sequences), f"seed {seed}"
+        assert sequences.count(sequences[0]) == 3, f"seed {seed}"
+
+
+def test_replica_pairs_stay_identical():
+    sim, group = _group(n=3, seed=2)
+    for i in range(6):
+        group.multicast(i % 3, ServiceType.SYMMETRIC_TOTAL.value, i)
+    sim.run_until_idle()
+    for member_id in group.member_ids:
+        member = group.members[member_id]
+        leader_session = member.gc_leader.session("group")
+        follower_session = member.gc_follower.session("group")
+        assert leader_session.symmetric.delivered_count == 6
+        assert follower_session.symmetric.delivered_count == 6
+        assert leader_session.symmetric.lamport == follower_session.symmetric.lamport
+
+
+def test_no_fail_signals_in_failure_free_run():
+    sim, group = _group(n=3)
+    for i in range(5):
+        group.multicast(i % 3, ServiceType.SYMMETRIC_TOTAL.value, i)
+    sim.run_until_idle()
+    for member_id in group.member_ids:
+        assert not group.members[member_id].fs_process.signaled
+        assert group.members[member_id].inbox.fail_signals_received == 0
+
+
+def test_collapsed_layout_uses_n_nodes():
+    sim, group = _group(n=3, collapsed=True)
+    assert group.nodes_used() == 3
+
+
+def test_figure4_layout_uses_2n_nodes():
+    sim, group = _group(n=3, collapsed=False)
+    assert group.nodes_used() == 6
+
+
+def test_figure4_layout_works():
+    sim, group = _group(n=3, collapsed=False, seed=8)
+    for i in range(4):
+        group.multicast(i % 3, ServiceType.SYMMETRIC_TOTAL.value, i)
+    sim.run_until_idle()
+    sequences = [_keys(group, m) for m in range(3)]
+    assert all(len(seq) == 4 for seq in sequences)
+    assert sequences.count(sequences[0]) == 3
+
+
+def test_other_services_work_through_fs():
+    sim, group = _group(n=3)
+    group.multicast(0, ServiceType.ASYMMETRIC_TOTAL.value, "seq")
+    group.multicast(1, ServiceType.CAUSAL.value, "causal")
+    group.multicast(2, ServiceType.RELIABLE.value, "rel")
+    sim.run_until_idle()
+    for member in range(3):
+        assert sorted(_values(group, member), key=str) == ["causal", "rel", "seq"]
+
+
+def test_node_requirements_table():
+    r1 = node_requirements(1)
+    assert r1.app_replicas == 3
+    assert r1.fs_newtop_nodes == 6  # 4f+2
+    assert r1.traditional_bft_nodes == 4  # 3f+1
+    assert r1.crash_tolerant_nodes == 2
+    assert r1.fs_overhead_nodes == 2  # (f+1)
+    r3 = node_requirements(3)
+    assert r3.fs_newtop_nodes == 14
+    assert r3.traditional_bft_nodes == 10
+    assert r3.fs_overhead_nodes == 4
+
+
+def test_node_requirements_validation():
+    with pytest.raises(ValueError):
+        node_requirements(-1)
+
+
+def test_payloads_roundtrip():
+    sim, group = _group(n=2)
+    value = {"auction": "lot-7", "bid": 1200}
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, value)
+    sim.run_until_idle()
+    assert _values(group, 1) == [value]
+
+
+def test_single_member_group():
+    sim, group = _group(n=1, collapsed=False)
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, "solo")
+    sim.run_until_idle()
+    assert _values(group, 0) == ["solo"]

@@ -1,0 +1,178 @@
+"""FS-NewTOP under faults: the paper's robustness claims.
+
+* fail-signals convert to suspicions that *cannot be false*;
+* groups never split when there are no failures (even on nasty
+  networks), unlike timeout-based NewTOP;
+* Byzantine middleware faults are contained: either masked or converted
+  into a clean membership change;
+* total order keeps terminating -- no liveness assumption needed.
+"""
+
+from repro.core import FsoRole
+from repro.fsnewtop import ByzantineTolerantGroup
+from repro.net import SpikeDelay, UniformDelay
+from repro.newtop import CrashTolerantGroup, ServiceType
+from repro.sim import Simulator
+
+
+def _group(n=3, seed=0, **kwargs):
+    sim = Simulator(seed=seed)
+    return sim, ByzantineTolerantGroup(sim, n_members=n, **kwargs)
+
+
+def _values(group, member):
+    return [m.value for m in group.deliveries(member)]
+
+
+def _send_round(sim, group, n, round_no, at):
+    for m in range(n):
+        sim.schedule(
+            at, lambda m=m: group.multicast(m, ServiceType.SYMMETRIC_TOTAL.value, (round_no, m))
+        )
+
+
+def test_backup_node_crash_produces_certain_suspicion():
+    sim, group = _group(n=3, collapsed=False)
+    _send_round(sim, group, 3, 0, 0.0)
+    sim.run_until_idle()
+    group.crash_backup(0)
+    _send_round(sim, group, 3, 1, sim.now + 10.0)
+    sim.run_until_idle()
+    # member-0's FS middleware signalled; survivors converted the signal
+    # into a suspicion and installed a view without member-0.
+    assert group.fs_process_of(0).signaled
+    for m in (1, 2):
+        views = group.views(m)
+        assert views, f"member-{m} installed no view"
+        assert views[-1].members == ("member-1", "member-2")
+    # Certainty: the suspicions raised name exactly the faulty member.
+    for m in (1, 2):
+        assert set(group.member(m).suspector.suspicions_raised) == {"member-0"}
+
+
+def test_primary_node_crash_detected_via_t2():
+    sim, group = _group(n=3, collapsed=False)
+    _send_round(sim, group, 3, 0, 0.0)
+    sim.run_until_idle()
+    group.crash_primary(0)
+    _send_round(sim, group, 3, 1, sim.now + 10.0)
+    sim.run_until_idle()
+    assert group.fs_process_of(0).follower.signaled
+    assert group.fs_process_of(0).follower.signal_reason == "leader-silent"
+    for m in (1, 2):
+        assert group.views(m)[-1].members == ("member-1", "member-2")
+
+
+def test_total_order_continues_after_fault():
+    sim, group = _group(n=4, collapsed=False, seed=3)
+    _send_round(sim, group, 4, 0, 0.0)
+    sim.run_until_idle()
+    group.crash_backup(3)
+    _send_round(sim, group, 4, 1, sim.now + 10.0)
+    sim.run_until_idle()
+    for m in range(3):
+        sim.schedule(0.0, lambda m=m: group.multicast(
+            m, ServiceType.SYMMETRIC_TOTAL.value, ("post", m)
+        ))
+    sim.run_until_idle()
+    survivors = [0, 1, 2]
+    sequences = []
+    for m in survivors:
+        post = [d for d in group.deliveries(m) if isinstance(d.value, tuple) and d.value[0] == "post"]
+        sequences.append([(d.sender, d.value) for d in post])
+    assert all(len(seq) == 3 for seq in sequences)
+    assert sequences.count(sequences[0]) == 3
+
+
+def test_byzantine_corrupting_middleware_contained():
+    """A member's GC replica corrupts its outputs: comparison catches it,
+    a fail-signal (not a corrupted protocol message) reaches the group,
+    and the group reforms without the faulty member."""
+    sim, group = _group(n=3, collapsed=False, byzantine_members=[1])
+    _send_round(sim, group, 3, 0, 0.0)
+    sim.run_until_idle()
+    baseline = {m: len(_values(group, m)) for m in range(3)}
+    group.byzantine_fso(1, FsoRole.FOLLOWER).go_byzantine(corrupt_outputs=True)
+    _send_round(sim, group, 3, 1, sim.now + 10.0)
+    sim.run_until_idle()
+    assert group.fs_process_of(1).signaled
+    for m in (0, 2):
+        assert group.views(m)[-1].members == ("member-0", "member-2")
+    # No member ever delivered a value that was not actually multicast.
+    legal = {("r", i) for i in range(3)} | {(0, m) for m in range(3)} | {(1, m) for m in range(3)}
+    for m in (0, 2):
+        for d in group.deliveries(m):
+            assert d.value in legal, f"corrupted value escaped: {d.value!r}"
+
+
+def test_fs2_spurious_signal_removes_only_the_signaler():
+    """An FSO emitting arbitrary fail-signals (fs2) is treated as faulty
+    -- correctly so -- and removed; nobody else is affected."""
+    sim, group = _group(n=4, collapsed=False, seed=7)
+    _send_round(sim, group, 4, 0, 0.0)
+    sim.run_until_idle()
+    group.fs_process_of(2).leader.inject_arbitrary_signal()
+    sim.run_until_idle()
+    _send_round(sim, group, 4, 1, sim.now + 10.0)
+    sim.run_until_idle()
+    for m in (0, 1, 3):
+        assert group.views(m)[-1].members == ("member-0", "member-1", "member-3")
+
+
+def test_no_split_without_failure_on_spiky_network():
+    """The headline contrast with NewTOP: on a network with delay spikes
+    that fool timeout-based suspicion, FS-NewTOP never splits because it
+    has no timeouts to fool (suspicions cannot be false)."""
+    spiky = SpikeDelay(UniformDelay(0.3, 1.2), spike_probability=0.3, spike_ms=400.0)
+    sim = Simulator(seed=11)
+    fs_group = ByzantineTolerantGroup(sim, n_members=3, delay=spiky)
+    for r in range(5):
+        for m in range(3):
+            sim.schedule(
+                r * 500.0,
+                lambda m=m, r=r: fs_group.multicast(
+                    m, ServiceType.SYMMETRIC_TOTAL.value, (r, m)
+                ),
+            )
+    sim.run_until_idle(max_events=10_000_000)
+    for m in range(3):
+        assert fs_group.views(m) == [], "FS-NewTOP split with no failure present"
+        assert len(_values(fs_group, m)) == 15
+
+    # The same spiky network with the same seed splits NewTOP's group
+    # when its suspector timeouts are aggressive (see also
+    # tests/newtop/test_membership.py).
+    sim2 = Simulator(seed=11)
+    crash_group = CrashTolerantGroup(
+        sim2,
+        n_members=3,
+        delay=SpikeDelay(UniformDelay(0.3, 1.2), spike_probability=0.3, spike_ms=400.0),
+        suspectors=True,
+        suspector_interval=100.0,
+        suspector_timeout=50.0,
+        suspector_max_misses=1,
+    )
+    sim2.run(until=120_000)
+    assert any(crash_group.views(m) for m in range(3)), (
+        "expected the timeout-based baseline to split under the same conditions"
+    )
+
+
+def test_termination_without_synchrony_window():
+    """Total order terminates although the network never offers a
+    'stable delay' window (delays drawn from a heavy-mix distribution
+    throughout) -- there is no liveness requirement to meet."""
+    wild = SpikeDelay(UniformDelay(0.5, 30.0), spike_probability=0.2, spike_ms=250.0)
+    sim = Simulator(seed=23)
+    group = ByzantineTolerantGroup(sim, n_members=3, delay=wild)
+    for r in range(3):
+        for m in range(3):
+            sim.schedule(
+                r * 800.0,
+                lambda m=m, r=r: group.multicast(m, ServiceType.SYMMETRIC_TOTAL.value, (r, m)),
+            )
+    sim.run_until_idle(max_events=10_000_000)
+    sequences = [[(d.sender, d.value) for d in group.deliveries(m)] for m in range(3)]
+    assert all(len(seq) == 9 for seq in sequences)
+    assert sequences.count(sequences[0]) == 3
+    assert all(not group.members[m].fs_process.signaled for m in group.member_ids)

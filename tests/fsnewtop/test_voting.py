@@ -1,0 +1,93 @@
+"""Tests for client-side majority voting (application-level masking)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsnewtop.voting import MajorityVoter
+
+
+def test_requires_odd_replica_count():
+    with pytest.raises(ValueError):
+        MajorityVoter(4)
+    with pytest.raises(ValueError):
+        MajorityVoter(0)
+
+
+def test_fault_budget():
+    assert MajorityVoter(3).fault_budget == 1
+    assert MajorityVoter(5).fault_budget == 2
+
+
+def test_unanimous_decision():
+    voter = MajorityVoter(3)
+    assert voter.submit_reply("r1", "a", 42) is None
+    outcome = voter.submit_reply("r1", "b", 42)
+    assert outcome is not None
+    assert outcome.value == 42
+    assert outcome.agreeing == ("a", "b")
+    # The third reply confirms but does not re-decide.
+    assert voter.submit_reply("r1", "c", 42) is None
+    assert voter.outcome("r1").unanimous
+
+
+def test_masks_one_byzantine_reply():
+    voter = MajorityVoter(3)
+    voter.submit_reply("r1", "a", {"total": 10})
+    voter.submit_reply("r1", "evil", {"total": 999})
+    outcome = voter.submit_reply("r1", "b", {"total": 10})
+    assert outcome.value == {"total": 10}
+    assert outcome.dissenting == ("evil",)
+    assert voter.suspected_replicas == {"evil"}
+
+
+def test_late_divergent_reply_flags_replica():
+    voter = MajorityVoter(3)
+    voter.submit_reply("r1", "a", 1)
+    voter.submit_reply("r1", "b", 1)
+    voter.submit_reply("r1", "late-evil", 2)
+    assert voter.suspected_replicas == {"late-evil"}
+    assert voter.outcome("r1").value == 1
+
+
+def test_duplicate_votes_ignored():
+    voter = MajorityVoter(3)
+    voter.submit_reply("r1", "evil", 7)
+    voter.submit_reply("r1", "evil", 7)
+    assert voter.outcome("r1") is None  # one replica is not a majority
+
+
+def test_decision_callback():
+    seen = []
+    voter = MajorityVoter(3, on_decision=seen.append)
+    voter.submit_reply("r", "a", "x")
+    voter.submit_reply("r", "b", "x")
+    assert len(seen) == 1 and seen[0].value == "x"
+
+
+def test_equal_values_of_different_type_do_not_merge():
+    """1 and 1.0 compare equal in Python; canonical encoding keeps the
+    vote honest about representations."""
+    voter = MajorityVoter(3)
+    voter.submit_reply("r", "a", 1)
+    assert voter.submit_reply("r", "b", 1.0) is None
+
+
+@given(
+    f=st.integers(min_value=1, max_value=3),
+    wrong=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=40)
+def test_masks_up_to_f_wrong_replies(f, wrong):
+    wrong = min(wrong, f)
+    n = 2 * f + 1
+    voter = MajorityVoter(n)
+    outcome = None
+    for i in range(wrong):
+        voter.submit_reply("r", f"bad-{i}", f"garbage-{i}")
+    for i in range(n - wrong):
+        result = voter.submit_reply("r", f"good-{i}", "correct")
+        outcome = result if result is not None else outcome
+    assert outcome is not None
+    assert outcome.value == "correct"
+    assert len(outcome.dissenting) == wrong

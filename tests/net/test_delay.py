@@ -1,0 +1,89 @@
+"""Tests for delay models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import ConstantDelay, ExponentialDelay, SpikeDelay, UniformDelay
+
+
+def test_constant_delay():
+    model = ConstantDelay(3.5)
+    assert model.sample(random.Random(0)) == 3.5
+    assert model.bound() == 3.5
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantDelay(-1)
+
+
+def test_uniform_delay_in_range():
+    model = UniformDelay(1.0, 2.0)
+    rng = random.Random(1)
+    for __ in range(200):
+        assert 1.0 <= model.sample(rng) <= 2.0
+    assert model.bound() == 2.0
+
+
+def test_uniform_rejects_bad_range():
+    with pytest.raises(ValueError):
+        UniformDelay(2.0, 1.0)
+    with pytest.raises(ValueError):
+        UniformDelay(-1.0, 1.0)
+
+
+def test_exponential_floor_and_cap():
+    model = ExponentialDelay(floor=1.0, mean=5.0, cap=10.0)
+    rng = random.Random(2)
+    samples = [model.sample(rng) for __ in range(500)]
+    assert all(1.0 <= s <= 10.0 for s in samples)
+    assert model.bound() == 10.0
+
+
+def test_exponential_uncapped_has_no_bound():
+    assert ExponentialDelay(floor=0.0, mean=1.0).bound() is None
+
+
+def test_exponential_rejects_bad_params():
+    with pytest.raises(ValueError):
+        ExponentialDelay(floor=-1, mean=1)
+    with pytest.raises(ValueError):
+        ExponentialDelay(floor=0, mean=0)
+    with pytest.raises(ValueError):
+        ExponentialDelay(floor=5, mean=1, cap=4)
+
+
+def test_spike_delay_adds_spikes():
+    model = SpikeDelay(ConstantDelay(1.0), spike_probability=0.5, spike_ms=100.0)
+    rng = random.Random(3)
+    samples = [model.sample(rng) for __ in range(400)]
+    spiked = [s for s in samples if s > 50]
+    assert 100 < len(spiked) < 300  # roughly half
+    assert all(s in (1.0, 101.0) for s in samples)
+    assert model.bound() == 101.0
+
+
+def test_spike_over_unbounded_base_is_unbounded():
+    model = SpikeDelay(ExponentialDelay(0, 1), 0.1, 10)
+    assert model.bound() is None
+
+
+def test_spike_validation():
+    with pytest.raises(ValueError):
+        SpikeDelay(ConstantDelay(1), 1.5, 1)
+    with pytest.raises(ValueError):
+        SpikeDelay(ConstantDelay(1), 0.5, -1)
+
+
+@given(
+    low=st.floats(min_value=0, max_value=100, allow_nan=False),
+    span=st.floats(min_value=0, max_value=100, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100)
+def test_uniform_respects_bound_property(low, span, seed):
+    model = UniformDelay(low, low + span)
+    assert model.sample(random.Random(seed)) <= model.bound() + 1e-9

@@ -1,0 +1,156 @@
+"""Tests for the synchronous LAN link (assumption A2)."""
+
+import pytest
+
+from repro.net import (
+    ConstantDelay,
+    ExponentialDelay,
+    SynchronousLink,
+    SynchronyViolation,
+    UniformDelay,
+)
+from repro.sim import Process, Simulator
+
+
+class Sink(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def on_message(self, envelope):
+        self.received.append(envelope)
+
+
+def _link(delta=2.0, delay=None, seed=0):
+    sim = Simulator(seed=seed)
+    link = SynchronousLink(sim, "lan", delta=delta, delay=delay)
+    p, q = Sink(sim, "p"), Sink(sim, "q")
+    link.attach("p", p)
+    link.attach("q", q)
+    return sim, link, p, q
+
+
+def test_all_messages_delivered_reliably():
+    sim, link, p, q = _link(delta=2.0, delay=UniformDelay(0.1, 2.0))
+    for i in range(100):
+        link.send("p", i)
+    sim.run_until_idle()
+    assert len(q.received) == 100
+    assert link.stats.messages_dropped == 0
+
+
+def test_delivery_latency_bounded_by_delta():
+    sim = Simulator()
+    link = SynchronousLink(sim, "lan", delta=3.0, delay=UniformDelay(0.5, 3.0))
+    latencies = []
+
+    class Probe(Sink):
+        def on_message(self, envelope):
+            latencies.append(self.sim.now - envelope.sent_at)
+
+    p, q = Probe(sim, "p"), Probe(sim, "q")
+    link.attach("p", p)
+    link.attach("q", q)
+    for __ in range(200):
+        link.send("p", "m")
+    sim.run_until_idle()
+    assert latencies
+    assert all(lat <= 3.0 + 1e-9 for lat in latencies)
+
+
+def test_default_delay_is_half_delta():
+    sim, link, p, q = _link(delta=4.0)
+    link.send("q", "x")
+    sim.run_until_idle()
+    assert sim.now == 2.0
+
+
+def test_bidirectional():
+    sim, link, p, q = _link()
+    link.send("p", "to-q")
+    link.send("q", "to-p")
+    sim.run_until_idle()
+    assert [e.payload for e in q.received] == ["to-q"]
+    assert [e.payload for e in p.received] == ["to-p"]
+
+
+def test_fifo_order_preserved():
+    sim, link, p, q = _link(delta=5.0, delay=UniformDelay(0.1, 5.0))
+    for i in range(30):
+        link.send("p", i)
+    sim.run_until_idle()
+    assert [e.payload for e in q.received] == list(range(30))
+
+
+def test_unbounded_delay_model_rejected():
+    sim = Simulator()
+    with pytest.raises(SynchronyViolation):
+        SynchronousLink(sim, "lan", delta=2.0, delay=ExponentialDelay(0, 1))
+
+
+def test_delay_bound_above_delta_rejected():
+    sim = Simulator()
+    with pytest.raises(SynchronyViolation):
+        SynchronousLink(sim, "lan", delta=2.0, delay=ConstantDelay(3.0))
+
+
+def test_invalid_delta_rejected():
+    with pytest.raises(ValueError):
+        SynchronousLink(Simulator(), "lan", delta=0.0)
+
+
+def test_third_endpoint_rejected():
+    sim, link, p, q = _link()
+    with pytest.raises(ValueError):
+        link.attach("r", Sink(sim, "r"))
+
+
+def test_injected_delay_violates_bound():
+    """Fault injection can break A2 -- the ablation for spurious
+    fail-signals depends on this being possible, explicitly."""
+    sim = Simulator()
+    link = SynchronousLink(sim, "lan", delta=2.0)
+    latencies = []
+
+    class Probe(Sink):
+        def on_message(self, envelope):
+            latencies.append(self.sim.now - envelope.sent_at)
+
+    p, q = Probe(sim, "p"), Probe(sim, "q")
+    link.attach("p", p)
+    link.attach("q", q)
+    link.inject_extra_delay("p", 50.0)
+    link.send("p", "slow")
+    sim.run_until_idle()
+    assert latencies == [51.0]
+    link.clear_injected_delay("p")
+    link.send("p", "normal")
+    sim.run_until_idle()
+    assert latencies[-1] == 1.0
+
+
+def test_severed_link_drops():
+    sim, link, p, q = _link()
+    link.sever()
+    link.send("p", "lost")
+    sim.run_until_idle()
+    assert q.received == []
+    assert link.stats.messages_dropped == 1
+    link.restore()
+    link.send("p", "arrives")
+    sim.run_until_idle()
+    assert [e.payload for e in q.received] == ["arrives"]
+
+
+def test_peer_of():
+    sim, link, p, q = _link()
+    assert link.peer_of("p") == "q"
+    assert link.peer_of("q") == "p"
+
+
+def test_peer_of_unwired_raises():
+    sim = Simulator()
+    link = SynchronousLink(sim, "lan", delta=1.0)
+    link.attach("p", Sink(sim, "p"))
+    with pytest.raises(ValueError):
+        link.peer_of("p")

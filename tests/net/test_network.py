@@ -1,0 +1,170 @@
+"""Tests for the asynchronous network fabric."""
+
+import pytest
+
+from repro.net import AddressUnknown, ConstantDelay, Network, UniformDelay
+from repro.sim import Process, Simulator
+
+
+class Sink(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def on_message(self, envelope):
+        self.received.append(envelope)
+
+
+def _net(seed=0, **kwargs):
+    sim = Simulator(seed=seed)
+    net = Network(sim, **kwargs)
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.register("a", a)
+    net.register("b", b)
+    return sim, net, a, b
+
+
+def test_basic_delivery():
+    sim, net, a, b = _net(default_delay=ConstantDelay(5.0))
+    net.send("a", "b", "hello")
+    sim.run_until_idle()
+    assert len(b.received) == 1
+    envelope = b.received[0]
+    assert envelope.payload == "hello"
+    assert envelope.src == "a"
+    assert envelope.sent_at == 0.0
+    assert sim.now == 5.0
+
+
+def test_unknown_destination_raises():
+    sim, net, a, b = _net()
+    with pytest.raises(AddressUnknown):
+        net.send("a", "nowhere", "x")
+    with pytest.raises(AddressUnknown):
+        net.send("nowhere", "a", "x")
+
+
+def test_fifo_per_pair():
+    sim, net, a, b = _net(default_delay=UniformDelay(1.0, 50.0), fifo=True)
+    for i in range(50):
+        net.send("a", "b", i)
+    sim.run_until_idle()
+    assert [e.payload for e in b.received] == list(range(50))
+
+
+def test_non_fifo_can_reorder():
+    sim, net, a, b = _net(default_delay=UniformDelay(1.0, 50.0), fifo=False)
+    for i in range(50):
+        net.send("a", "b", i)
+    sim.run_until_idle()
+    payloads = [e.payload for e in b.received]
+    assert sorted(payloads) == list(range(50))
+    assert payloads != list(range(50))  # overwhelmingly likely reordered
+
+
+def test_pair_delay_override():
+    sim, net, a, b = _net(default_delay=ConstantDelay(100.0))
+    net.set_pair_delay("a", "b", ConstantDelay(1.0))
+    net.send("a", "b", "fast")
+    sim.run_until_idle()
+    assert sim.now == 1.0
+
+
+def test_partition_blocks_cross_traffic():
+    sim = Simulator()
+    net = Network(sim, default_delay=ConstantDelay(1.0))
+    sinks = {name: Sink(sim, name) for name in ("a", "b", "c", "d")}
+    for name, sink in sinks.items():
+        net.register(name, sink)
+    net.partition(["a", "b"], ["c", "d"])
+    net.send("a", "b", "intra")
+    net.send("a", "c", "inter")
+    net.send("d", "b", "inter2")
+    sim.run_until_idle()
+    assert [e.payload for e in sinks["b"].received] == ["intra"]
+    assert sinks["c"].received == []
+    assert net.stats.messages_dropped == 2
+
+
+def test_heal_restores_traffic():
+    sim, net, a, b = _net(default_delay=ConstantDelay(1.0))
+    net.block("a", "b")
+    net.send("a", "b", "lost")
+    net.heal()
+    net.send("a", "b", "arrives")
+    sim.run_until_idle()
+    assert [e.payload for e in b.received] == ["arrives"]
+
+
+def test_drop_rate():
+    sim, net, a, b = _net(default_delay=ConstantDelay(1.0))
+    net.set_drop_rate(0.5)
+    for i in range(200):
+        net.send("a", "b", i)
+    sim.run_until_idle()
+    assert 40 < len(b.received) < 160
+    assert net.stats.messages_dropped == 200 - len(b.received)
+
+
+def test_drop_rate_validation():
+    sim, net, *_ = _net()
+    with pytest.raises(ValueError):
+        net.set_drop_rate(1.5)
+
+
+def test_fault_filter_targets_flows():
+    sim, net, a, b = _net(default_delay=ConstantDelay(1.0))
+    net.set_fault_filter(lambda env: env.payload != "evil")
+    net.send("a", "b", "good")
+    net.send("a", "b", "evil")
+    sim.run_until_idle()
+    assert [e.payload for e in b.received] == ["good"]
+    net.set_fault_filter(None)
+    net.send("a", "b", "evil")
+    sim.run_until_idle()
+    assert [e.payload for e in b.received] == ["good", "evil"]
+
+
+def test_stats_accumulate():
+    sim, net, a, b = _net(default_delay=ConstantDelay(1.0))
+    net.send("a", "b", b"xyz")
+    sim.run_until_idle()
+    assert net.stats.messages_sent == 1
+    assert net.stats.messages_delivered == 1
+    assert net.stats.bytes_sent > 3  # payload + header
+
+
+def test_explicit_size_overrides_estimate():
+    sim, net, a, b = _net(default_delay=ConstantDelay(1.0))
+    net.send("a", "b", "tiny", size=9999)
+    sim.run_until_idle()
+    assert b.received[0].size == 9999
+    assert net.stats.bytes_sent == 9999
+
+
+def test_unregister_drops_in_flight():
+    sim, net, a, b = _net(default_delay=ConstantDelay(5.0))
+    net.send("a", "b", "x")
+    net.unregister("b")
+    sim.run_until_idle()
+    assert b.received == []
+    assert net.stats.messages_dropped == 1
+
+
+def test_killed_process_ignores_but_counts_delivery():
+    sim, net, a, b = _net(default_delay=ConstantDelay(1.0))
+    b.kill()
+    net.send("a", "b", "x")
+    sim.run_until_idle()
+    assert b.received == []
+    assert net.stats.messages_delivered == 1
+
+
+def test_msg_ids_unique_and_increasing():
+    sim, net, a, b = _net(default_delay=ConstantDelay(1.0))
+    for i in range(5):
+        net.send("a", "b", i)
+    sim.run_until_idle()
+    ids = [e.msg_id for e in b.received]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5

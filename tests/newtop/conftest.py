@@ -1,0 +1,27 @@
+"""Shared helpers for NewTOP tests."""
+
+import pytest
+
+from repro.newtop import CrashTolerantGroup
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def make_group():
+    """Factory for wired crash-tolerant groups."""
+
+    def build(n=3, seed=0, **kwargs):
+        sim = Simulator(seed=seed)
+        group = CrashTolerantGroup(sim, n_members=n, **kwargs)
+        return sim, group
+
+    return build
+
+
+def delivered_values(group, member):
+    return [m.value for m in group.deliveries(member)]
+
+
+def delivered_keys(group, member):
+    """(sender, value) pairs in delivery order -- the total-order check."""
+    return [(m.sender, m.value) for m in group.deliveries(member)]

@@ -1,0 +1,88 @@
+"""Tests for asymmetric (sequencer) total order."""
+
+from repro.newtop import CrashTolerantGroup, ServiceType
+from repro.sim import Simulator
+
+from tests.newtop.conftest import delivered_keys, delivered_values
+
+
+def test_all_members_deliver_same_order(make_group):
+    sim, group = make_group(n=4, seed=3)
+    for i in range(12):
+        group.multicast(i % 4, ServiceType.ASYMMETRIC_TOTAL.value, i)
+    sim.run_until_idle()
+    sequences = [delivered_keys(group, m) for m in range(4)]
+    assert all(len(seq) == 12 for seq in sequences)
+    assert sequences.count(sequences[0]) == 4
+
+
+def test_order_numbers_are_consecutive(make_group):
+    sim, group = make_group(n=3)
+    for i in range(6):
+        group.multicast(i % 3, ServiceType.ASYMMETRIC_TOTAL.value, i)
+    sim.run_until_idle()
+    orders = [m.meta["order"] for m in group.deliveries(0)]
+    assert orders == list(range(1, 7))
+
+
+def test_sequencer_is_coordinator(make_group):
+    """member-0 (lowest id) sequences; its own sends need no extra hop,
+    so with only member-0 sending, message count is O(n) per multicast."""
+    sim, group = make_group(n=5)
+    group.multicast(0, ServiceType.ASYMMETRIC_TOTAL.value, "x")
+    sim.run_until_idle()
+    # one ORDER broadcast to 4 remote members = 4 network messages
+    assert group.network.stats.messages_sent == 4
+
+
+def test_cheaper_than_symmetric(make_group):
+    sim_a, group_a = make_group(n=6)
+    group_a.multicast(2, ServiceType.ASYMMETRIC_TOTAL.value, "x")
+    sim_a.run_until_idle()
+    asymmetric_msgs = group_a.network.stats.messages_sent
+
+    sim_s, group_s = make_group(n=6)
+    group_s.multicast(2, ServiceType.SYMMETRIC_TOTAL.value, "x")
+    sim_s.run_until_idle()
+    symmetric_msgs = group_s.network.stats.messages_sent
+
+    assert asymmetric_msgs < symmetric_msgs / 3
+
+
+def test_fifo_from_single_sender(make_group):
+    sim, group = make_group(n=3, seed=11)
+    for i in range(10):
+        group.multicast(1, ServiceType.ASYMMETRIC_TOTAL.value, i)
+    sim.run_until_idle()
+    for member in range(3):
+        assert delivered_values(group, member) == list(range(10))
+
+
+def test_duplicate_order_msg_ignored(make_group):
+    """Routing the same OrderMsg twice must not double-deliver."""
+    sim, group = make_group(n=2)
+    group.multicast(0, ServiceType.ASYMMETRIC_TOTAL.value, "x")
+    sim.run_until_idle()
+    session = group.nso(1).gc.session("group")
+    delivered_before = len(group.deliveries(1))
+    # Replay: craft the same order message the member already handled.
+    from repro.corba.anytype import Any as CorbaAny
+    from repro.newtop.gc.messages import DataMsg, OrderMsg
+
+    replay = OrderMsg(
+        group="group",
+        view_id=1,
+        order_seq=1,
+        data=DataMsg(
+            group="group",
+            view_id=1,
+            sender="member-0",
+            seq=1,
+            lamport=0,
+            service=ServiceType.ASYMMETRIC_TOTAL.value,
+            payload=CorbaAny.wrap("x"),
+        ),
+    )
+    session.route(replay)
+    sim.run_until_idle()
+    assert len(group.deliveries(1)) == delivered_before

@@ -1,0 +1,132 @@
+"""Unit tests for GC protocol engines against a fake context.
+
+The integration tests drive the engines through the full ORB/network
+stack; these pin down engine-local behaviour (stability conditions,
+hold-back rules) with surgical inputs.
+"""
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.newtop.gc.messages import AckMsg, DataMsg
+from repro.newtop.gc.symmetric import SymmetricOrder
+from repro.newtop.services import ServiceType
+from repro.newtop.views import View
+
+
+class FakeContext:
+    def __init__(self, member_id, members):
+        self.member_id = member_id
+        self._view = View("g", 1, tuple(members))
+        self.sent = []
+        self.delivered = []
+
+    def view(self):
+        return self._view
+
+    def send(self, member, msg):
+        if member == self.member_id:
+            raise AssertionError("unit tests route self-sends explicitly")
+        self.sent.append((member, msg))
+
+    def broadcast(self, msg, include_self=True):
+        for member in self._view.members:
+            if member == self.member_id:
+                continue
+            self.sent.append((member, msg))
+
+    def deliver(self, sender, payload, service, meta):
+        self.delivered.append((sender, payload.extract(), meta))
+
+    def trace(self, event, **details):
+        pass
+
+
+def _data(sender, seq, lamport, group="g", view_id=1):
+    return DataMsg(
+        group=group,
+        view_id=view_id,
+        sender=sender,
+        seq=seq,
+        lamport=lamport,
+        service=ServiceType.SYMMETRIC_TOTAL.value,
+        payload=CorbaAny.wrap(f"{sender}:{seq}"),
+    )
+
+
+def _ack(acker, data, lamport):
+    return AckMsg(
+        group="g",
+        view_id=1,
+        acker=acker,
+        data_sender=data.sender,
+        data_seq=data.seq,
+        lamport=lamport,
+    )
+
+
+def test_message_held_until_all_members_heard_from():
+    ctx = FakeContext("a", ["a", "b", "c"])
+    engine = SymmetricOrder(ctx, "g")
+    msg = _data("b", 1, 5)
+    engine.on_data(msg)
+    # Own clock jumped past 5; b and c have not been heard past ts=5.
+    assert ctx.delivered == []
+    engine.on_ack(_ack("b", msg, 6))  # the sender's own ack
+    assert ctx.delivered == []  # c still unheard
+    engine.on_ack(_ack("c", msg, 7))
+    assert [d[0] for d in ctx.delivered] == ["b"]
+
+
+def test_equal_timestamp_tiebreak_by_sender():
+    ctx = FakeContext("z", ["x", "y", "z"])
+    engine = SymmetricOrder(ctx, "g")
+    from_y = _data("y", 1, 5)
+    from_x = _data("x", 1, 5)
+    engine.on_data(from_y)
+    engine.on_data(from_x)
+    engine.on_ack(_ack("x", from_y, 9))
+    engine.on_ack(_ack("y", from_x, 9))
+    senders = [d[0] for d in ctx.delivered]
+    assert senders == ["x", "y"], "equal timestamps must break ties by sender id"
+
+
+def test_stale_member_blocks_delivery_until_view_change():
+    """A member nobody hears from stalls delivery; removing it from the
+    view (membership's job) releases the queue."""
+    ctx = FakeContext("a", ["a", "b", "slow"])
+    engine = SymmetricOrder(ctx, "g")
+    msg = _data("b", 1, 5)
+    engine.on_data(msg)
+    engine.on_ack(_ack("b", msg, 8))
+    assert ctx.delivered == []
+    ctx._view = View("g", 2, ("a", "b"))
+    engine.on_view_change(ctx._view)
+    assert [d[0] for d in ctx.delivered] == ["b"]
+
+
+def test_duplicate_data_buffered_once():
+    ctx = FakeContext("a", ["a", "b"])
+    engine = SymmetricOrder(ctx, "g")
+    msg = _data("b", 1, 3)
+    engine.on_data(msg)
+    engine.on_data(msg)
+    engine.on_ack(_ack("b", msg, 9))
+    assert len(ctx.delivered) == 1
+
+
+def test_ack_broadcast_on_every_data():
+    ctx = FakeContext("a", ["a", "b", "c"])
+    engine = SymmetricOrder(ctx, "g")
+    engine.on_data(_data("b", 1, 3))
+    acks = [msg for __, msg in ctx.sent if isinstance(msg, AckMsg)]
+    # Acks go to every *other* member (self-ack is internal).
+    assert len(acks) == 2
+
+
+def test_lamport_monotonicity():
+    ctx = FakeContext("a", ["a", "b"])
+    engine = SymmetricOrder(ctx, "g")
+    engine.on_data(_data("b", 1, 100))
+    assert engine.lamport > 100
+    before = engine.lamport
+    engine.submit(CorbaAny.wrap("mine"))
+    assert engine.lamport == before + 1

@@ -1,0 +1,94 @@
+"""Unit tests for GC session routing and service dispatch edges."""
+
+import pytest
+
+from repro.corba.anytype import Any as CorbaAny
+from repro.newtop import CrashTolerantGroup, ServiceType
+from repro.newtop.gc.messages import UnreliableMsg
+from repro.sim import Simulator
+
+
+def _session(n=2, seed=0):
+    sim = Simulator(seed=seed)
+    group = CrashTolerantGroup(sim, n_members=n)
+    return sim, group, group.nso(0).gc.session("group")
+
+
+def test_unknown_service_rejected():
+    sim, group, session = _session()
+    with pytest.raises(ValueError):
+        session.submit("teleport", CorbaAny.wrap("x"))
+
+
+def test_unroutable_message_rejected():
+    sim, group, session = _session()
+    with pytest.raises(TypeError):
+        session.route(object())
+
+
+def test_unknown_group_rejected():
+    sim, group, __ = _session()
+    with pytest.raises(KeyError):
+        group.nso(0).gc.session("no-such-group")
+
+
+def test_groups_listing():
+    sim, group, __ = _session()
+    assert group.nso(0).gc.groups() == ["group"]
+
+
+def test_double_join_rejected():
+    sim, group, __ = _session()
+    from repro.newtop.gc.service import GroupConfig
+    from repro.newtop.views import View
+
+    with pytest.raises(ValueError):
+        group.nso(0).gc.join_group(
+            "group",
+            GroupConfig(
+                initial_view=View("group", 1, ("member-0",)),
+                gc_refs={},
+                inv_ref=group.nso(0).inv_ref,
+            ),
+        )
+
+
+def test_unknown_member_send_raises():
+    sim, group, session = _session()
+    with pytest.raises(KeyError):
+        session._send_fn("member-99", UnreliableMsg("group", "member-0", CorbaAny.wrap(1)))
+
+
+def test_session_pump_is_reentrancy_safe():
+    """Inputs injected while another input is being processed are
+    deferred, not nested."""
+    sim, group, session = _session()
+    order = []
+
+    original = session.unreliable.on_msg
+
+    def tracking(msg):
+        order.append(("start", msg.payload.extract()))
+        original(msg)
+        order.append(("end", msg.payload.extract()))
+
+    session.unreliable.on_msg = tracking
+    m1 = UnreliableMsg("group", "member-1", CorbaAny.wrap(1))
+    m2 = UnreliableMsg("group", "member-1", CorbaAny.wrap(2))
+
+    # Route m2 from inside m1's handler: it must run after m1 finishes.
+    def deliver_fn(group_name, sender, payload, service, meta):
+        if payload.extract() == 1 and not any(e[1] == 2 for e in order):
+            session.route(m2)
+
+    session._deliver_fn = deliver_fn
+    session.route(m1)
+    assert order == [("start", 1), ("end", 1), ("start", 2), ("end", 2)]
+
+
+def test_invocation_requires_bound_gc():
+    from repro.newtop.invocation import InvocationService
+
+    inv = InvocationService("loner")
+    with pytest.raises(RuntimeError):
+        inv.multicast("g", ServiceType.RELIABLE.value, "x")

@@ -1,0 +1,151 @@
+"""Tests for partitionable membership and the ping suspector.
+
+These cover the behaviours the paper contrasts with FS-NewTOP:
+timeout-based suspicion works, but false suspicions split groups even
+when nobody failed (experiment E5's baseline half).
+"""
+
+import pytest
+
+from repro.net import SpikeDelay, UniformDelay
+from repro.newtop import CrashTolerantGroup, ServiceType
+from repro.sim import Simulator
+
+from tests.newtop.conftest import delivered_values
+
+
+def _run_group(n, seed=0, suspector_kwargs=None, delay=None, until=20_000):
+    sim = Simulator(seed=seed)
+    kwargs = dict(suspectors=True)
+    if suspector_kwargs:
+        kwargs.update(suspector_kwargs)
+    group = CrashTolerantGroup(sim, n_members=n, delay=delay, **kwargs)
+    return sim, group
+
+
+def test_crash_detected_and_view_installed():
+    sim, group = _run_group(3)
+    group.crash(2)
+    sim.run(until=30_000)
+    for member in range(2):
+        views = group.views(member)
+        assert views, f"member {member} installed no view"
+        final = views[-1]
+        assert "member-2" not in final.members
+        assert final.members == ("member-0", "member-1")
+
+
+def test_survivors_agree_on_view():
+    sim, group = _run_group(5, seed=3)
+    group.crash(4)
+    sim.run(until=30_000)
+    finals = [group.views(m)[-1] for m in range(4)]
+    assert all(v == finals[0] for v in finals)
+    assert finals[0].members == ("member-0", "member-1", "member-2", "member-3")
+
+
+def test_no_failures_no_view_changes():
+    """On a calm LAN with generous timeouts there are no suspicions and
+    the group never splits -- the paper's benchmark setup."""
+    sim, group = _run_group(4)
+    for i in range(5):
+        group.multicast(i % 4, ServiceType.SYMMETRIC_TOTAL.value, i)
+    sim.run(until=30_000)
+    for member in range(4):
+        assert group.views(member) == []
+        assert len(delivered_values(group, member)) == 5
+
+
+def test_total_order_continues_after_crash_view():
+    sim, group = _run_group(3)
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, "before")
+    sim.run(until=5_000)
+    group.crash(2)
+    sim.run(until=40_000)
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, "after")
+    sim.run(until=80_000)
+    for member in range(2):
+        assert delivered_values(group, member) == ["before", "after"]
+
+
+def test_partition_splits_group_both_sides():
+    """A network partition makes each side suspect the other and install
+    disjoint views -- partitionable semantics, no merging."""
+    sim, group = _run_group(4, seed=2)
+    sim.run(until=2_000)
+    group.network.partition(["member-0", "member-1"], ["member-2", "member-3"])
+    sim.run(until=60_000)
+    left = [group.views(m)[-1].members for m in (0, 1)]
+    right = [group.views(m)[-1].members for m in (2, 3)]
+    assert left == [("member-0", "member-1")] * 2
+    assert right == [("member-2", "member-3")] * 2
+
+
+def test_false_suspicion_splits_group_without_failure():
+    """The core weakness of timeout-based suspicion: delay spikes larger
+    than the timeout split the group although every member is correct."""
+    spiky = SpikeDelay(UniformDelay(0.3, 1.2), spike_probability=0.35, spike_ms=400.0)
+    sim = Simulator(seed=11)
+    group = CrashTolerantGroup(
+        sim,
+        n_members=3,
+        delay=spiky,
+        suspectors=True,
+        suspector_interval=100.0,
+        suspector_timeout=50.0,
+        suspector_max_misses=1,
+    )
+    sim.run(until=120_000)
+    views = [group.views(m) for m in range(3)]
+    assert any(views), "expected at least one false suspicion to split the group"
+    # Nobody crashed, yet somebody's view shrank.
+    shrunk = [v[-1].members for v in views if v]
+    assert all(len(members) < 3 for members in shrunk)
+
+
+def test_generous_timeouts_prevent_false_suspicion():
+    """Same spiky network, but timeouts larger than the worst spike:
+    no suspicion, no split (the paper's experimental configuration)."""
+    spiky = SpikeDelay(UniformDelay(0.3, 1.2), spike_probability=0.35, spike_ms=400.0)
+    sim = Simulator(seed=11)
+    group = CrashTolerantGroup(
+        sim,
+        n_members=3,
+        delay=spiky,
+        suspectors=True,
+        suspector_interval=2_000.0,
+        suspector_timeout=1_500.0,
+        suspector_max_misses=3,
+    )
+    sim.run(until=120_000)
+    assert all(group.views(m) == [] for m in range(3))
+
+
+def test_suspector_validation():
+    from repro.newtop import PingSuspector
+
+    with pytest.raises(ValueError):
+        PingSuspector(Simulator(), "m", "g", interval=100.0, timeout=100.0)
+
+
+def test_multigroup_membership():
+    """One member in two groups: suspicion in one group must not affect
+    the other (groups are independent)."""
+    sim = Simulator(seed=4)
+    group = CrashTolerantGroup(sim, n_members=3)
+    # Manually join member-0 and member-1 into a second group.
+    from repro.newtop.views import View
+
+    second = View(group="other", view_id=1, members=("member-0", "member-1"))
+    refs = {m: group.nsos[m].gc_ref for m in ("member-0", "member-1")}
+    for m in ("member-0", "member-1"):
+        group.nsos[m].join_group("other", second, dict(refs))
+    group.nsos["member-0"].multicast("other", ServiceType.SYMMETRIC_TOTAL.value, "hi")
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, "main")
+    sim.run_until_idle()
+    other_deliveries = [
+        m for m in group.deliveries(1) if m.group == "other"
+    ]
+    main_deliveries = [m for m in group.deliveries(1) if m.group == "group"]
+    assert [m.value for m in other_deliveries] == ["hi"]
+    assert [m.value for m in main_deliveries] == ["main"]

@@ -1,0 +1,58 @@
+"""Asymmetric total order across a view change: the sequencer role moves
+with the view coordinator."""
+
+from repro.newtop import CrashTolerantGroup, ServiceType
+from repro.sim import Simulator
+
+
+def test_sequencer_failover_after_coordinator_crash():
+    sim = Simulator(seed=4)
+    group = CrashTolerantGroup(
+        sim,
+        n_members=3,
+        suspectors=True,
+        suspector_interval=200.0,
+        suspector_timeout=100.0,
+        suspector_max_misses=2,
+    )
+    # member-0 is the coordinator/sequencer of view 1.
+    group.multicast(1, ServiceType.ASYMMETRIC_TOTAL.value, "before")
+    sim.run(until=3_000)
+    for m in range(3):
+        assert [d.value for d in group.deliveries(m)] == ["before"]
+
+    group.crash(0)
+    sim.run(until=40_000)
+    for m in (1, 2):
+        views = group.views(m)
+        assert views and views[-1].members == ("member-1", "member-2")
+        assert views[-1].coordinator() == "member-1"
+
+    # New multicasts sequence through the new coordinator.
+    group.multicast(2, ServiceType.ASYMMETRIC_TOTAL.value, "after")
+    sim.run(until=80_000)
+    for m in (1, 2):
+        values = [d.value for d in group.deliveries(m)]
+        assert values == ["before", "after"], f"member-{m}: {values}"
+
+
+def test_order_restarts_per_view():
+    sim = Simulator(seed=4)
+    group = CrashTolerantGroup(
+        sim,
+        n_members=3,
+        suspectors=True,
+        suspector_interval=200.0,
+        suspector_timeout=100.0,
+        suspector_max_misses=2,
+    )
+    group.multicast(1, ServiceType.ASYMMETRIC_TOTAL.value, "v1-msg")
+    sim.run(until=3_000)
+    group.crash(0)
+    sim.run(until=40_000)
+    group.multicast(1, ServiceType.ASYMMETRIC_TOTAL.value, "v2-msg")
+    sim.run(until=80_000)
+    orders = [d.meta["order"] for d in group.deliveries(1)]
+    views_of = [d.meta["view_id"] for d in group.deliveries(1)]
+    assert orders == [1, 1]
+    assert views_of == [1, 2]

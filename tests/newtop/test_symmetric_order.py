@@ -1,0 +1,125 @@
+"""Tests for symmetric total order: agreement, totality, liveness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.newtop import CrashTolerantGroup, ServiceType
+from repro.sim import Simulator
+
+from tests.newtop.conftest import delivered_keys, delivered_values
+
+
+def test_single_sender_all_deliver(make_group):
+    sim, group = make_group(n=3)
+    for i in range(5):
+        group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, f"m{i}")
+    sim.run_until_idle()
+    for member in range(3):
+        assert delivered_values(group, member) == [f"m{i}" for i in range(5)]
+
+
+def test_sender_also_delivers_own_messages(make_group):
+    sim, group = make_group(n=2)
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, "hello")
+    sim.run_until_idle()
+    assert delivered_values(group, 0) == ["hello"]
+
+
+def test_concurrent_senders_same_total_order(make_group):
+    sim, group = make_group(n=4, seed=7)
+    for i in range(8):
+        sender = i % 4
+        group.multicast(sender, ServiceType.SYMMETRIC_TOTAL.value, f"m{i}")
+    sim.run_until_idle()
+    sequences = [delivered_keys(group, m) for m in range(4)]
+    assert all(len(seq) == 8 for seq in sequences)
+    assert sequences.count(sequences[0]) == 4, "members disagreed on the total order"
+
+
+def test_total_order_under_random_delays():
+    """The total order must hold regardless of network timing."""
+    for seed in range(5):
+        sim = Simulator(seed=seed)
+        group = CrashTolerantGroup(sim, n_members=5)
+        for i in range(10):
+            group.multicast(i % 5, ServiceType.SYMMETRIC_TOTAL.value, i)
+        sim.run_until_idle()
+        sequences = [delivered_keys(group, m) for m in range(5)]
+        assert all(len(seq) == 10 for seq in sequences), f"seed {seed}: lost messages"
+        assert sequences.count(sequences[0]) == 5, f"seed {seed}: order disagreement"
+
+
+def test_two_member_group(make_group):
+    sim, group = make_group(n=2)
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, "from-0")
+    group.multicast(1, ServiceType.SYMMETRIC_TOTAL.value, "from-1")
+    sim.run_until_idle()
+    assert delivered_keys(group, 0) == delivered_keys(group, 1)
+    assert len(delivered_keys(group, 0)) == 2
+
+
+def test_staggered_sends_deliver_in_send_order(make_group):
+    """Widely spaced multicasts from one sender deliver FIFO."""
+    sim, group = make_group(n=3)
+    for i in range(4):
+        sim.schedule(
+            i * 500.0,
+            lambda i=i: group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, i),
+        )
+    sim.run_until_idle()
+    assert delivered_values(group, 2) == [0, 1, 2, 3]
+
+
+def test_message_intensity_is_quadratic(make_group):
+    """Symmetric ordering of one multicast costs O(n^2) network messages
+    -- the property the paper's evaluation leans on."""
+    costs = {}
+    for n in (4, 8):
+        sim, group = make_group(n=n)
+        group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, "x")
+        sim.run_until_idle()
+        costs[n] = group.network.stats.messages_sent
+    # Doubling the group should roughly quadruple the messages.
+    assert costs[8] > 3.0 * costs[4]
+
+
+def test_delivery_latency_reported_in_meta(make_group):
+    sim, group = make_group(n=3)
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, "x")
+    sim.run_until_idle()
+    msg = group.deliveries(1)[0]
+    assert msg.meta["seq"] == 1
+    assert msg.meta["view_id"] == 1
+    assert msg.delivered_at > 0
+    assert msg.service == ServiceType.SYMMETRIC_TOTAL.value
+
+
+def test_payload_roundtrips_through_any(make_group):
+    sim, group = make_group(n=2)
+    value = {"bid": 17, "items": [1, 2, 3], "who": "alice"}
+    group.multicast(0, ServiceType.SYMMETRIC_TOTAL.value, value)
+    sim.run_until_idle()
+    assert delivered_values(group, 1) == [value]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=2, max_value=5),
+    sends=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_agreement_property(seed, n, sends):
+    """Property: for arbitrary send patterns and network timing, every
+    member delivers the same sequence, containing every multicast."""
+    sim = Simulator(seed=seed)
+    group = CrashTolerantGroup(sim, n_members=n)
+    expected = 0
+    for i, sender in enumerate(sends):
+        if sender < n:
+            group.multicast(sender, ServiceType.SYMMETRIC_TOTAL.value, i)
+            expected += 1
+    sim.run_until_idle(max_events=2_000_000)
+    sequences = [delivered_keys(group, m) for m in range(n)]
+    assert all(len(seq) == expected for seq in sequences)
+    assert sequences.count(sequences[0]) == n

@@ -1,0 +1,46 @@
+"""Tests for the View value type."""
+
+import pytest
+
+from repro.newtop import View
+
+
+def test_members_sorted():
+    view = View("g", 1, ("b", "a", "c"))
+    assert view.members == ("a", "b", "c")
+
+
+def test_contains_and_size():
+    view = View("g", 1, ("a", "b"))
+    assert "a" in view
+    assert "z" not in view
+    assert view.size == 2
+
+
+def test_without():
+    view = View("g", 3, ("a", "b", "c"))
+    successor = view.without("b")
+    assert successor.view_id == 4
+    assert successor.members == ("a", "c")
+    assert successor.group == "g"
+
+
+def test_coordinator_is_lowest_member():
+    assert View("g", 1, ("c", "a", "b")).coordinator() == "a"
+
+
+def test_empty_view_has_no_coordinator():
+    with pytest.raises(ValueError):
+        View("g", 1, ()).coordinator()
+
+
+def test_views_compare_across_members():
+    assert View("g", 2, ("b", "a")) == View("g", 2, ("a", "b"))
+
+
+def test_view_is_canonical_encodable():
+    from repro.crypto import canonical_encode
+
+    assert canonical_encode(View("g", 1, ("a", "b"))) == canonical_encode(
+        View("g", 1, ("b", "a"))
+    )

@@ -1,0 +1,102 @@
+"""Property-based determinism tests: same seed => identical runs.
+
+Determinism underpins the paper's requirement R1 (replicas must be
+deterministic state machines); these tests make sure the kernel itself
+cannot introduce divergence between the FSO replica pair.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CpuResource, Simulator, ThreadPool
+
+
+def _random_run(seed, schedule_plan):
+    """Execute a plan of (delay, jitter-stream) events and fingerprint."""
+    sim = Simulator(seed=seed)
+    rng = sim.rng("plan")
+
+    def fire(label):
+        jitter = rng.uniform(0, 5)
+        sim.trace.record(sim.now, "run", "proc", "fire", label=label, jitter=round(jitter, 9))
+        if rng.random() < 0.3:
+            sim.schedule(jitter, fire, label + 1000)
+
+    for delay in schedule_plan:
+        sim.schedule(delay, fire, int(delay * 1000) % 997)
+    sim.run_until_idle(max_events=50_000)
+    return sim.trace.fingerprint()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    plan=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_same_seed_same_fingerprint(seed, plan):
+    assert _random_run(seed, plan) == _random_run(seed, plan)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0, max_value=1000, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired_times = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired_times.append(sim.now))
+    sim.run_until_idle()
+    assert fired_times == sorted(fired_times)
+    assert len(fired_times) == len(delays)
+
+
+@given(
+    service_times=st.lists(
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    cores=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_conservation(service_times, cores):
+    """Work conservation: total busy time equals the sum of service times
+    and all jobs complete."""
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=cores)
+    for service in service_times:
+        cpu.execute(service, lambda: None)
+    sim.run_until_idle()
+    assert cpu.stats.jobs_completed == len(service_times)
+    assert abs(cpu.stats.busy_time - sum(service_times)) < 1e-6
+    # Makespan is at least the critical lower bounds.
+    if service_times:
+        assert sim.now >= max(service_times) - 1e-9
+        assert sim.now >= sum(service_times) / cores - 1e-6
+
+
+@given(
+    n_tasks=st.integers(min_value=1, max_value=40),
+    pool_size=st.integers(min_value=1, max_value=12),
+    cores=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=50, deadline=None)
+def test_pool_never_exceeds_size(n_tasks, pool_size, cores):
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=cores)
+    pool = ThreadPool(sim, cpu, size=pool_size)
+    peak = [0]
+
+    def track():
+        peak[0] = max(peak[0], pool.active_threads)
+
+    for __ in range(n_tasks):
+        pool.submit(5.0, track)
+    sim.run_until_idle()
+    assert peak[0] <= pool_size
+    assert pool.stats.jobs_completed == n_tasks

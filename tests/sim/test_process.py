@@ -1,0 +1,117 @@
+"""Unit tests for the actor base class."""
+
+import pytest
+
+from repro.sim import Process, Simulator
+
+
+class Echo(Process):
+    def __init__(self, sim, name="echo"):
+        super().__init__(sim, name)
+        self.messages = []
+        self.timers = []
+
+    def on_message(self, message):
+        self.messages.append((self.sim.now, message))
+
+    def on_timer(self, tag, *args):
+        self.timers.append((self.sim.now, tag, args))
+
+
+def test_deliver_invokes_on_message():
+    sim = Simulator()
+    proc = Echo(sim)
+    proc.deliver("hello")
+    assert proc.messages == [(0.0, "hello")]
+
+
+def test_killed_process_ignores_messages():
+    sim = Simulator()
+    proc = Echo(sim)
+    proc.kill()
+    proc.deliver("hello")
+    assert proc.messages == []
+    assert not proc.alive
+
+
+def test_timer_fires_with_args():
+    sim = Simulator()
+    proc = Echo(sim)
+    proc.set_timer("ping", 4.0, 1, 2)
+    sim.run_until_idle()
+    assert proc.timers == [(4.0, "ping", (1, 2))]
+
+
+def test_rearming_timer_cancels_previous():
+    sim = Simulator()
+    proc = Echo(sim)
+    proc.set_timer("t", 10.0)
+    proc.set_timer("t", 3.0)
+    sim.run_until_idle()
+    assert proc.timers == [(3.0, "t", ())]
+
+
+def test_cancel_timer():
+    sim = Simulator()
+    proc = Echo(sim)
+    proc.set_timer("t", 5.0)
+    assert proc.cancel_timer("t")
+    sim.run_until_idle()
+    assert proc.timers == []
+
+
+def test_cancel_missing_timer_returns_false():
+    sim = Simulator()
+    proc = Echo(sim)
+    assert not proc.cancel_timer("nope")
+
+
+def test_has_timer():
+    sim = Simulator()
+    proc = Echo(sim)
+    assert not proc.has_timer("t")
+    proc.set_timer("t", 5.0)
+    assert proc.has_timer("t")
+    sim.run_until_idle()
+    assert not proc.has_timer("t")
+
+
+def test_kill_cancels_timers():
+    sim = Simulator()
+    proc = Echo(sim)
+    proc.set_timer("t", 5.0)
+    proc.kill()
+    sim.run_until_idle()
+    assert proc.timers == []
+
+
+def test_timer_can_rearm_itself():
+    sim = Simulator()
+
+    class Heartbeat(Echo):
+        def on_timer(self, tag, *args):
+            super().on_timer(tag, *args)
+            if len(self.timers) < 3:
+                self.set_timer(tag, 2.0)
+
+    proc = Heartbeat(sim)
+    proc.set_timer("hb", 2.0)
+    sim.run_until_idle()
+    assert [t for t, __, __ in proc.timers] == [2.0, 4.0, 6.0]
+
+
+def test_base_class_requires_on_message():
+    sim = Simulator()
+    proc = Process(sim, "raw")
+    with pytest.raises(NotImplementedError):
+        proc.deliver("x")
+
+
+def test_trace_records_through_process():
+    sim = Simulator()
+    proc = Echo(sim, name="tracer")
+    proc.trace("test", "did-something", value=7)
+    records = sim.trace.select(source="tracer")
+    assert len(records) == 1
+    assert records[0].event == "did-something"
+    assert records[0].detail("value") == 7

@@ -1,0 +1,127 @@
+"""Unit tests for the CPU and thread-pool queueing models."""
+
+import pytest
+
+from repro.sim import CpuResource, Simulator, ThreadPool
+
+
+def test_single_core_serialises_jobs():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    done = []
+    cpu.execute(10.0, lambda: done.append(("a", sim.now)))
+    cpu.execute(10.0, lambda: done.append(("b", sim.now)))
+    sim.run_until_idle()
+    assert done == [("a", 10.0), ("b", 20.0)]
+
+
+def test_dual_core_runs_two_jobs_in_parallel():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=2)
+    done = []
+    for label in ("a", "b", "c"):
+        cpu.execute(10.0, lambda lab=label: done.append((lab, sim.now)))
+    sim.run_until_idle()
+    assert done == [("a", 10.0), ("b", 10.0), ("c", 20.0)]
+
+
+def test_zero_cost_job_completes_immediately_when_idle():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    done = []
+    cpu.execute(0.0, lambda: done.append(sim.now))
+    sim.run_until_idle()
+    assert done == [0.0]
+
+
+def test_fcfs_ordering_preserved():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    done = []
+    cpu.execute(5.0, lambda: done.append("first"))
+    cpu.execute(1.0, lambda: done.append("second"))
+    cpu.execute(1.0, lambda: done.append("third"))
+    sim.run_until_idle()
+    assert done == ["first", "second", "third"]
+
+
+def test_cpu_stats():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    cpu.execute(10.0, lambda: None)
+    cpu.execute(10.0, lambda: None)
+    sim.run_until_idle()
+    assert cpu.stats.jobs_submitted == 2
+    assert cpu.stats.jobs_completed == 2
+    assert cpu.stats.busy_time == 20.0
+    # The second job waited 10ms in queue.
+    assert cpu.stats.total_queue_wait == 10.0
+    assert cpu.stats.mean_queue_wait() == 5.0
+    assert cpu.stats.utilisation(elapsed=20.0, servers=1) == 1.0
+
+
+def test_invalid_core_count_rejected():
+    with pytest.raises(ValueError):
+        CpuResource(Simulator(), cores=0)
+
+
+def test_negative_service_time_rejected():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    with pytest.raises(ValueError):
+        cpu.execute(-1.0, lambda: None)
+
+
+def test_pool_limits_concurrency():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=8)
+    pool = ThreadPool(sim, cpu, size=2)
+    done = []
+    for label in ("a", "b", "c", "d"):
+        pool.submit(10.0, lambda lab=label: done.append((lab, sim.now)))
+    sim.run_until_idle()
+    # Only 2 tasks at a time even though 8 cores available.
+    assert done == [("a", 10.0), ("b", 10.0), ("c", 20.0), ("d", 20.0)]
+
+
+def test_pool_wider_than_cpu_is_cpu_bound():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=2)
+    pool = ThreadPool(sim, cpu, size=10)
+    done = []
+    for i in range(4):
+        pool.submit(10.0, lambda i=i: done.append((i, sim.now)))
+    sim.run_until_idle()
+    assert [t for __, t in done] == [10.0, 10.0, 20.0, 20.0]
+
+
+def test_pool_queue_length_visible_while_saturated():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=4)
+    pool = ThreadPool(sim, cpu, size=1)
+    for __ in range(3):
+        pool.submit(10.0, lambda: None)
+    assert pool.active_threads == 1
+    assert pool.queue_length == 2
+    sim.run_until_idle()
+    assert pool.active_threads == 0
+    assert pool.queue_length == 0
+    assert pool.stats.max_queue_length == 2
+
+
+def test_pool_invalid_size_rejected():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    with pytest.raises(ValueError):
+        ThreadPool(sim, cpu, size=0)
+
+
+def test_pool_stats_count_completions():
+    sim = Simulator()
+    cpu = CpuResource(sim, cores=1)
+    pool = ThreadPool(sim, cpu, size=10)
+    for __ in range(5):
+        pool.submit(2.0, lambda: None)
+    sim.run_until_idle()
+    assert pool.stats.jobs_submitted == 5
+    assert pool.stats.jobs_completed == 5

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim import SimulationLimitExceeded, Simulator
+from repro.sim.errors import SchedulingInPastError
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(9.0, fired.append, "c")
+    sim.run_until_idle()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(3.0, fired.append, label)
+    sim.run_until_idle()
+    assert fired == list("abcde")
+
+
+def test_priority_overrides_insertion_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "later", priority=1)
+    sim.schedule(3.0, fired.append, "sooner", priority=0)
+    sim.run_until_idle()
+    assert fired == ["sooner", "later"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(7.5, lambda: seen.append(sim.now))
+    sim.run_until_idle()
+    assert seen == [7.5]
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(("first", sim.now))
+        sim.schedule(2.0, second)
+
+    def second():
+        fired.append(("second", sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run_until_idle()
+    assert fired == [("first", 1.0), ("second", 3.0)]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingInPastError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(SchedulingInPastError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    assert handle.cancel()
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_cancel_twice_returns_false():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.cancel()
+    assert not handle.cancel()
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "at-boundary")
+    sim.schedule(5.0001, fired.append, "beyond")
+    sim.run(until=5.0)
+    assert fired == ["at-boundary"]
+    assert sim.now == 5.0
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_run_resumes_after_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "a")
+    sim.schedule(15.0, fired.append, "b")
+    sim.run(until=10.0)
+    assert fired == ["a"]
+    sim.run(until=20.0)
+    assert fired == ["a", "b"]
+
+
+def test_max_events_guard_raises():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(1.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationLimitExceeded):
+        sim.run(max_events=100)
+
+
+def test_step_runs_exactly_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step()
+    assert fired == ["a"]
+    assert sim.step()
+    assert fired == ["a", "b"]
+    assert not sim.step()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for __ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    assert sim.events_processed == 4
+
+
+def test_rng_streams_are_independent():
+    sim = Simulator(seed=42)
+    a_first = sim.rng("a").random()
+    __ = sim.rng("b").random()
+    sim2 = Simulator(seed=42)
+    # Drawing from "b" first must not perturb "a"'s sequence.
+    __ = sim2.rng("b").random()
+    a_first2 = sim2.rng("a").random()
+    assert a_first == a_first2
+
+
+def test_rng_streams_depend_on_seed():
+    assert Simulator(seed=1).rng("x").random() != Simulator(seed=2).rng("x").random()
+
+
+def test_rng_same_name_returns_same_stream():
+    sim = Simulator()
+    assert sim.rng("s") is sim.rng("s")

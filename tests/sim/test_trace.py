@@ -1,0 +1,76 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim import Simulator, TraceRecorder
+
+
+def test_record_and_select():
+    tr = TraceRecorder()
+    tr.record(1.0, "net", "node-a", "send", dst="node-b")
+    tr.record(2.0, "net", "node-b", "recv", src="node-a")
+    tr.record(3.0, "proto", "node-a", "order")
+    assert len(tr) == 3
+    assert len(tr.select(category="net")) == 2
+    assert len(tr.select(source="node-a")) == 2
+    assert len(tr.select(event="order")) == 1
+    assert tr.select(category="net", source="node-b")[0].detail("src") == "node-a"
+
+
+def test_detail_default():
+    tr = TraceRecorder()
+    tr.record(0.0, "c", "s", "e", k=1)
+    rec = tr.records[0]
+    assert rec.detail("k") == 1
+    assert rec.detail("missing", "fallback") == "fallback"
+
+
+def test_muted_categories_not_stored():
+    tr = TraceRecorder()
+    tr.mute("noise")
+    tr.record(0.0, "noise", "s", "e")
+    tr.record(0.0, "keep", "s", "e")
+    assert len(tr) == 1
+    tr.unmute("noise")
+    tr.record(0.0, "noise", "s", "e2")
+    assert len(tr) == 2
+
+
+def test_disabled_recorder_stores_nothing():
+    tr = TraceRecorder(enabled=False)
+    tr.record(0.0, "c", "s", "e")
+    assert len(tr) == 0
+
+
+def test_listener_sees_muted_records():
+    tr = TraceRecorder()
+    tr.mute("noise")
+    seen = []
+    tr.add_listener(lambda rec: seen.append(rec.event))
+    tr.record(0.0, "noise", "s", "hidden")
+    assert seen == ["hidden"]
+    assert len(tr) == 0
+
+
+def test_fingerprint_is_stable_and_order_sensitive():
+    a, b, c = TraceRecorder(), TraceRecorder(), TraceRecorder()
+    a.record(1.0, "c", "s", "x")
+    a.record(2.0, "c", "s", "y")
+    b.record(1.0, "c", "s", "x")
+    b.record(2.0, "c", "s", "y")
+    c.record(2.0, "c", "s", "y")
+    c.record(1.0, "c", "s", "x")
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+
+
+def test_render_contains_fields():
+    tr = TraceRecorder()
+    tr.record(1.5, "cat", "src", "evt", key="val")
+    text = tr.render()
+    assert "cat" in text and "src" in text and "evt" in text and "key='val'" in text
+
+
+def test_simulator_trace_integration():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: sim.trace.record(sim.now, "c", "s", "fired"))
+    sim.run_until_idle()
+    assert sim.trace.records[0].time == 5.0

@@ -1,0 +1,35 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_single_system_run(capsys):
+    assert main(["--system", "newtop", "--members", "3", "--messages", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "newtop" in out
+    assert "throughput (msg/s)" in out
+
+
+def test_compare_mode(capsys):
+    code = main(["--compare", "--members", "2", "--messages", "2", "--interval", "200"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "newtop" in out and "fs-newtop" in out
+
+
+def test_bad_members_rejected(capsys):
+    assert main(["--members", "0"]) == 2
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.system == "fs-newtop"
+    assert args.members == 4
+    assert args.service == "symmetric_total"
+
+
+def test_invalid_service_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--service", "warp"])

@@ -1,0 +1,24 @@
+"""Every example script must run clean -- they are living documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{completed.stdout}"
+        f"\n--- stderr ---\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

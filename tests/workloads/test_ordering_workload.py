@@ -1,0 +1,56 @@
+"""Tests for the ordering workload driver."""
+
+import pytest
+
+from repro.workloads import run_ordering_experiment
+
+
+def test_newtop_run_completes_and_measures():
+    result = run_ordering_experiment("newtop", 3, messages_per_member=5, interval=100.0)
+    assert result.system == "newtop"
+    assert result.n_members == 3
+    # Every message fully ordered at every member.
+    assert result.latency.count == 5 * 3 * 3
+    assert result.throughput_msgs_per_s > 0
+    assert result.network_messages > 0
+    assert result.fail_signals == 0
+
+
+def test_fs_newtop_run_completes_without_signals():
+    result = run_ordering_experiment("fs-newtop", 3, messages_per_member=5, interval=150.0)
+    assert result.latency.count == 5 * 3 * 3
+    assert result.fail_signals == 0
+
+
+def test_fs_newtop_slower_than_newtop():
+    """The core comparison of the evaluation: same workload, same seed,
+    FS-NewTOP pays latency for the fail-signal guarantee."""
+    base = run_ordering_experiment("newtop", 4, messages_per_member=5, interval=200.0)
+    fs = run_ordering_experiment("fs-newtop", 4, messages_per_member=5, interval=200.0)
+    assert fs.latency.mean > base.latency.mean
+    assert fs.network_messages > base.network_messages
+
+
+def test_message_size_accounted():
+    small = run_ordering_experiment("newtop", 3, messages_per_member=4, message_size=3)
+    large = run_ordering_experiment("newtop", 3, messages_per_member=4, message_size=8192)
+    assert large.network_bytes > small.network_bytes + 8000
+    assert large.latency.mean > small.latency.mean
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        run_ordering_experiment("pbft", 3)
+
+
+def test_deterministic_per_seed():
+    a = run_ordering_experiment("newtop", 3, seed=7, messages_per_member=4)
+    b = run_ordering_experiment("newtop", 3, seed=7, messages_per_member=4)
+    assert a.latency == b.latency
+    assert a.throughput_msgs_per_s == b.throughput_msgs_per_s
+
+
+def test_result_row_shape():
+    r = run_ordering_experiment("newtop", 2, messages_per_member=3)
+    row = r.row()
+    assert set(row) == {"system", "members", "latency_ms", "throughput"}
