@@ -5,54 +5,27 @@ nodes (3f+1 vs 4f+2) and no synchronous intra-pair LAN, but its
 termination hangs on a view timeout -- on a network whose delays exceed
 that timeout it churns through view changes, while FS-NewTOP keeps
 ordering with zero churn on the same trace.
+
+The configuration comes from the scenario registry's
+``pbft_head_to_head`` scenario: six requests against f=1 deployments of
+both designs, on a calm LAN and on a spiky net.
 """
 
 from repro.analysis import format_series_table
-from repro.baselines import PbftCluster
-from repro.fsnewtop import ByzantineTolerantGroup, node_requirements
-from repro.net import Network, SpikeDelay, UniformDelay
-from repro.newtop import ServiceType
-from repro.sim import Simulator
+from repro.experiments import get_scenario, run_scenario
+from repro.fsnewtop import node_requirements
 
 from benchmarks.conftest import publish
 
-
-def _pbft_run(delay, timeout, requests=6, seed=2):
-    sim = Simulator(seed=seed)
-    sim.trace.enabled = False
-    net = Network(sim, default_delay=delay)
-    cluster = PbftCluster(sim, f=1, network=net, view_timeout=timeout)
-    for i in range(requests):
-        sim.schedule(i * 150.0, lambda i=i: cluster.submit({"op": i}))
-    sim.run(until=60_000)
-    executed = min(len(r.executed) for r in cluster.replicas.values())
-    churn = sum(r.view_changes for r in cluster.replicas.values())
-    return executed, churn, net.stats.messages_sent
-
-
-def _fs_run(delay, requests=6, seed=2):
-    sim = Simulator(seed=seed)
-    sim.trace.enabled = False
-    group = ByzantineTolerantGroup(sim, n_members=3, delay=delay)
-    for i in range(requests):
-        sim.schedule(
-            i * 150.0,
-            lambda i=i: group.multicast(i % 3, ServiceType.SYMMETRIC_TOTAL.value, i),
-        )
-    sim.run_until_idle(max_events=20_000_000)
-    executed = min(len(group.deliveries(m)) for m in range(3))
-    signals = sum(group.members[m].fs_process.signaled for m in group.member_ids)
-    return executed, signals, group.network.stats.messages_sent
+SCENARIO = get_scenario("pbft_head_to_head")
 
 
 def _experiment():
-    calm = UniformDelay(0.3, 1.2)
-    spiky = SpikeDelay(UniformDelay(0.5, 2.0), spike_probability=0.5, spike_ms=800.0)
-
-    pbft_calm = _pbft_run(calm, timeout=500.0)
-    pbft_spiky = _pbft_run(spiky, timeout=100.0)
-    fs_calm = _fs_run(calm)
-    fs_spiky = _fs_run(spiky)
+    calm, spiky = SCENARIO.sweep
+    pbft_calm = run_scenario(SCENARIO.spec_for("pbft", calm)).metrics
+    pbft_spiky = run_scenario(SCENARIO.spec_for("pbft", spiky)).metrics
+    fs_calm = run_scenario(SCENARIO.spec_for("fs-newtop", calm)).metrics
+    fs_spiky = run_scenario(SCENARIO.spec_for("fs-newtop", spiky)).metrics
     return pbft_calm, pbft_spiky, fs_calm, fs_spiky
 
 
@@ -73,28 +46,28 @@ def test_fs_vs_pbft(benchmark):
         {
             "PBFT-style": [
                 float(req.traditional_bft_nodes),
-                float(pbft_calm[0]),
-                float(pbft_spiky[0]),
-                float(pbft_spiky[1]),
+                pbft_calm["ordered"],
+                pbft_spiky["ordered"],
+                pbft_spiky["view_changes"],
             ],
             "FS-NewTOP": [
                 float(req.fs_newtop_nodes),
-                float(fs_calm[0]),
-                float(fs_spiky[0]),
-                float(fs_spiky[1]),
+                fs_calm["ordered"],
+                fs_spiky["ordered"],
+                fs_spiky["fail_signals"],
             ],
         },
     )
     publish("baseline_pbft", table)
 
     # Both order everything on the calm network.
-    assert pbft_calm[0] == 6 and fs_calm[0] == 6
-    assert pbft_calm[1] == 0
+    assert pbft_calm["ordered"] == 6 and fs_calm["ordered"] == 6
+    assert pbft_calm["view_changes"] == 0
     # On the hostile network: PBFT churns through view changes (its
     # liveness requirement bites); FS-NewTOP keeps ordering with zero
     # spurious signals and zero churn.
-    assert pbft_spiky[1] > 0
-    assert fs_spiky[0] == 6
-    assert fs_spiky[1] == 0
+    assert pbft_spiky["view_changes"] > 0
+    assert fs_spiky["ordered"] == 6
+    assert fs_spiky["fail_signals"] == 0
     # The node-count trade-off from the paper's cost analysis.
     assert req.fs_newtop_nodes - req.traditional_bft_nodes == 2  # f+1 with f=1

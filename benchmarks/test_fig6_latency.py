@@ -11,39 +11,29 @@ Paper's findings to reproduce in shape:
   hardware; our simulated stack pays relatively more for signing, so the
   ratio is larger -- the monotone-growth shape is the reproduction
   target).
+
+The configuration comes from the scenario registry -- this benchmark
+measures exactly what ``python -m repro run --scenario fig6_latency``
+runs.
 """
 
 from repro.analysis import format_series_table
-from repro.workloads import run_ordering_experiment
+from repro.experiments import get_scenario, run_scenario
 
 from benchmarks.conftest import publish
 
-GROUP_SIZES = list(range(2, 11))
-MESSAGES_PER_MEMBER = 8
-INTERVAL_MS = 500.0  # paced so neither system saturates (paper figure 6)
-MESSAGE_SIZE = 3
+SCENARIO = get_scenario("fig6_latency")
+GROUP_SIZES = SCENARIO.labels()
 
 
 def _sweep():
     newtop, fs = [], []
-    for n in GROUP_SIZES:
-        base = run_ordering_experiment(
-            "newtop",
-            n,
-            messages_per_member=MESSAGES_PER_MEMBER,
-            interval=INTERVAL_MS,
-            message_size=MESSAGE_SIZE,
-        )
-        wrapped = run_ordering_experiment(
-            "fs-newtop",
-            n,
-            messages_per_member=MESSAGES_PER_MEMBER,
-            interval=INTERVAL_MS,
-            message_size=MESSAGE_SIZE,
-        )
-        assert wrapped.fail_signals == 0, f"spurious fail-signal at n={n}"
-        newtop.append(base.latency.mean)
-        fs.append(wrapped.latency.mean)
+    for point in SCENARIO.sweep:
+        base = run_scenario(SCENARIO.spec_for("newtop", point))
+        wrapped = run_scenario(SCENARIO.spec_for("fs-newtop", point))
+        assert wrapped.metrics["fail_signals"] == 0, f"spurious fail-signal at n={point.label}"
+        newtop.append(base.metrics["latency_mean_ms"])
+        fs.append(wrapped.metrics["latency_mean_ms"])
     return newtop, fs
 
 

@@ -10,39 +10,29 @@ Paper's findings to reproduce in shape:
   larger groups;
 * FS-NewTOP tracks below NewTOP: modest deficit for small groups,
   roughly half the baseline's throughput past 10 members.
+
+The configuration comes from the scenario registry (which also carries
+a PBFT comparator for ``python -m repro campaign``; this benchmark
+measures the paper's two systems).
 """
 
 from repro.analysis import format_series_table
-from repro.workloads import run_ordering_experiment
+from repro.experiments import get_scenario, run_scenario
 
 from benchmarks.conftest import publish
 
-GROUP_SIZES = [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
-MESSAGES_PER_MEMBER = 8
-INTERVAL_MS = 70.0  # drives the larger groups into saturation
-MESSAGE_SIZE = 3
+SCENARIO = get_scenario("fig7_throughput")
+GROUP_SIZES = SCENARIO.labels()
 
 
 def _sweep():
     newtop, fs = [], []
-    for n in GROUP_SIZES:
-        base = run_ordering_experiment(
-            "newtop",
-            n,
-            messages_per_member=MESSAGES_PER_MEMBER,
-            interval=INTERVAL_MS,
-            message_size=MESSAGE_SIZE,
-        )
-        wrapped = run_ordering_experiment(
-            "fs-newtop",
-            n,
-            messages_per_member=MESSAGES_PER_MEMBER,
-            interval=INTERVAL_MS,
-            message_size=MESSAGE_SIZE,
-        )
-        assert wrapped.fail_signals == 0, f"spurious fail-signal at n={n}"
-        newtop.append(base.throughput_msgs_per_s)
-        fs.append(wrapped.throughput_msgs_per_s)
+    for point in SCENARIO.sweep:
+        base = run_scenario(SCENARIO.spec_for("newtop", point))
+        wrapped = run_scenario(SCENARIO.spec_for("fs-newtop", point))
+        assert wrapped.metrics["fail_signals"] == 0, f"spurious fail-signal at n={point.label}"
+        newtop.append(base.metrics["throughput_msgs_per_s"])
+        fs.append(wrapped.metrics["throughput_msgs_per_s"])
     return newtop, fs
 
 

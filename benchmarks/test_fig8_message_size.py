@@ -7,40 +7,31 @@ Paper's findings to reproduce in shape:
 * throughput of both systems falls as the message size grows;
 * FS-NewTOP's deficit is roughly constant across message sizes (the
   per-output signing cost is size-insensitive apart from digesting).
+
+The configuration comes from the scenario registry -- this benchmark
+measures exactly what ``python -m repro run --scenario fig8_message_size``
+runs.
 """
 
 from repro.analysis import format_series_table
-from repro.workloads import run_ordering_experiment
+from repro.experiments import get_scenario, run_scenario
 
 from benchmarks.conftest import publish
 
-MESSAGE_SIZES_KB = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
-N_MEMBERS = 10
-MESSAGES_PER_MEMBER = 6
-INTERVAL_MS = 70.0
+SCENARIO = get_scenario("fig8_message_size")
+MESSAGE_SIZES_KB = SCENARIO.labels()
 
 
 def _sweep():
     newtop, fs = [], []
-    for size_kb in MESSAGE_SIZES_KB:
-        size = size_kb * 1024
-        base = run_ordering_experiment(
-            "newtop",
-            N_MEMBERS,
-            messages_per_member=MESSAGES_PER_MEMBER,
-            interval=INTERVAL_MS,
-            message_size=size,
+    for point in SCENARIO.sweep:
+        base = run_scenario(SCENARIO.spec_for("newtop", point))
+        wrapped = run_scenario(SCENARIO.spec_for("fs-newtop", point))
+        assert wrapped.metrics["fail_signals"] == 0, (
+            f"spurious fail-signal at {point.label}k"
         )
-        wrapped = run_ordering_experiment(
-            "fs-newtop",
-            N_MEMBERS,
-            messages_per_member=MESSAGES_PER_MEMBER,
-            interval=INTERVAL_MS,
-            message_size=size,
-        )
-        assert wrapped.fail_signals == 0, f"spurious fail-signal at {size_kb}k"
-        newtop.append(base.throughput_msgs_per_s)
-        fs.append(wrapped.throughput_msgs_per_s)
+        newtop.append(base.metrics["throughput_msgs_per_s"])
+        fs.append(wrapped.metrics["throughput_msgs_per_s"])
     return newtop, fs
 
 

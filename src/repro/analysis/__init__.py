@@ -1,6 +1,15 @@
 """Measurement and reporting utilities for the experiments."""
 
-from repro.analysis.metrics import LatencyRecorder, summarize
+from repro.analysis.aggregate import AggregateStats, aggregate, aggregate_records
+from repro.analysis.metrics import LatencyRecorder, Summary, summarize
 from repro.analysis.tables import format_series_table
 
-__all__ = ["LatencyRecorder", "format_series_table", "summarize"]
+__all__ = [
+    "AggregateStats",
+    "LatencyRecorder",
+    "Summary",
+    "aggregate",
+    "aggregate_records",
+    "format_series_table",
+    "summarize",
+]

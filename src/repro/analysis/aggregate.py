@@ -1,0 +1,67 @@
+"""Aggregation of repeated campaign runs.
+
+A campaign runs every grid cell several times under different derived
+seeds; this module collapses those repeats into order statistics
+(mean / p50 / p99) per (scenario, system, sweep point) -- the numbers a
+figure plots and the ``report`` CLI subcommand prints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.analysis.metrics import _percentile
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AggregateStats:
+    """Order statistics of one metric across repeats."""
+
+    n: int
+    mean: float
+    p50: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.2f} p50={self.p50:.2f} "
+            f"p99={self.p99:.2f} min={self.minimum:.2f} max={self.maximum:.2f}"
+        )
+
+
+def aggregate(values: typing.Sequence[float]) -> AggregateStats:
+    """Collapse one sample of repeat measurements."""
+    if not values:
+        raise ValueError("cannot aggregate an empty sample")
+    ordered = sorted(values)
+    return AggregateStats(
+        n=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=_percentile(ordered, 0.5),
+        p99=_percentile(ordered, 0.99),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+    )
+
+
+def aggregate_records(
+    records: typing.Iterable,
+    metric: str,
+    key: typing.Callable = lambda r: (r.scenario, r.system, r.x_label),
+) -> dict:
+    """Group run records and aggregate one metric across each group.
+
+    ``records`` are :class:`repro.experiments.campaign.RunRecord`-shaped
+    objects (anything with ``.metrics`` plus the fields ``key`` reads).
+    Records missing the metric are skipped.  Returns ``{group_key:
+    AggregateStats}`` preserving first-seen group order.
+    """
+    grouped: dict = {}
+    for record in records:
+        if metric not in record.metrics:
+            continue
+        grouped.setdefault(key(record), []).append(record.metrics[metric])
+    return {group: aggregate(values) for group, values in grouped.items()}

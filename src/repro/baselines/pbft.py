@@ -29,7 +29,7 @@ import typing
 
 from repro.corba.node import Node
 from repro.corba.orb import ObjectRef, Request, Servant
-from repro.net.message import HEADER_BYTES, wire_size
+from repro.net.message import wire_size
 from repro.sim.process import Process
 from repro.sim.scheduler import Simulator
 
@@ -39,10 +39,20 @@ class ClientRequest:
     client: str
     op_id: int
     payload: typing.Any
+    # Serialising the payload is the expensive part of sizing a message,
+    # and a request's size is consulted on every (re)transmission --
+    # including the view-change path, which re-ships every pending
+    # request.  The payload is immutable once submitted, so the size is
+    # computed once, lazily.
+    _size: int | None = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def wire_size(self) -> int:
-        return HEADER_BYTES + wire_size(self.payload) - HEADER_BYTES + 16
+        if self._size is None:
+            object.__setattr__(self, "_size", wire_size(self.payload) + 16)
+        return self._size
 
     @property
     def digest(self) -> tuple:
@@ -89,20 +99,34 @@ class ViewChange:
     new_view: int
     replica: str
     pending: tuple  # requests the replica has seen but not executed
+    _size: int | None = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def wire_size(self) -> int:
-        return 64 + sum(req.wire_size for req in self.pending)
+        if self._size is None:
+            object.__setattr__(
+                self, "_size", 64 + sum(req.wire_size for req in self.pending)
+            )
+        return self._size
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class NewView:
     view: int
     pending: tuple
+    _size: int | None = dataclasses.field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def wire_size(self) -> int:
-        return 48 + sum(req.wire_size for req in self.pending)
+        if self._size is None:
+            object.__setattr__(
+                self, "_size", 48 + sum(req.wire_size for req in self.pending)
+            )
+        return self._size
 
 
 @dataclasses.dataclass(slots=True)

@@ -1,26 +1,49 @@
 """Command-line experiment runner.
 
-Runs a single ordering experiment on either system and prints the
-measured figures -- the quickest way to poke at the reproduction
-without writing a script:
+Two interfaces share this entry point:
 
-    python -m repro --system fs-newtop --members 6 --messages 10
-    python -m repro --compare --members 8 --interval 150
+* the original single-experiment flags (kept for quick pokes and
+  backwards compatibility)::
+
+      python -m repro --system fs-newtop --members 6 --messages 10
+      python -m repro --compare --members 8 --interval 150
+
+* the scenario/campaign subcommands driving the declarative engine in
+  :mod:`repro.experiments`::
+
+      python -m repro list
+      python -m repro run --scenario byzantine_flood
+      python -m repro campaign --scenario fig7_throughput --repeats 4 --jobs 4
+      python -m repro report --results results/fig7_throughput.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 
-from repro.analysis import format_series_table
+from repro.analysis import aggregate_records, format_series_table
 from repro.newtop.services import ServiceType
 from repro.workloads import run_ordering_experiment
 
+SUBCOMMANDS = ("list", "run", "campaign", "report")
+
+#: Metrics the report prints, in order, with display units.
+REPORT_METRICS = (
+    ("throughput_msgs_per_s", "msg/s"),
+    ("latency_mean_ms", "ms"),
+    ("ordered", "msgs"),
+    ("fail_signals", ""),
+    ("view_changes", ""),
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
+    """The legacy single-experiment parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="FS-NewTOP reproduction: run one ordering experiment.",
+        description="FS-NewTOP reproduction: run one ordering experiment. "
+        "Scenario subcommands: " + ", ".join(SUBCOMMANDS),
     )
     parser.add_argument(
         "--system",
@@ -53,6 +76,56 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
+def build_command_parser() -> argparse.ArgumentParser:
+    """The scenario/campaign subcommand parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Declarative scenario and campaign runner."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="catalogue the registered scenarios")
+
+    run = sub.add_parser("run", help="run one scenario's grid once and print tables")
+    run.add_argument("--scenario", required=True, help="registered scenario name")
+    run.add_argument("--systems", help="comma-separated subset of the scenario's systems")
+    run.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    run.add_argument(
+        "--jobs", type=_positive_int, default=1, help="parallel worker processes"
+    )
+
+    campaign = sub.add_parser(
+        "campaign", help="run a scenario's grid with repeats, in parallel, to JSONL"
+    )
+    campaign.add_argument("--scenario", required=True, help="registered scenario name")
+    campaign.add_argument("--systems", help="comma-separated subset of systems")
+    campaign.add_argument(
+        "--repeats", type=_positive_int, default=1, help="repeats per grid cell"
+    )
+    campaign.add_argument(
+        "--jobs", type=_positive_int, default=1, help="parallel worker processes"
+    )
+    campaign.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    campaign.add_argument(
+        "--out",
+        help="JSONL output path (default results/<scenario>.jsonl)",
+    )
+
+    report = sub.add_parser("report", help="aggregate stored campaign results")
+    report.add_argument("--results", required=True, help="JSONL file written by campaign")
+    report.add_argument("--scenario", help="only report this scenario")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# legacy single-experiment path
+# ----------------------------------------------------------------------
 def _run(system: str, args: argparse.Namespace):
     return run_ordering_experiment(
         system,
@@ -65,7 +138,7 @@ def _run(system: str, args: argparse.Namespace):
     )
 
 
-def main(argv: list[str] | None = None) -> int:
+def _legacy_main(argv: list[str] | None) -> int:
     args = build_parser().parse_args(argv)
     if args.members < 1:
         print("error: --members must be >= 1")
@@ -102,6 +175,234 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
     return 0
+
+
+# ----------------------------------------------------------------------
+# scenario subcommands
+# ----------------------------------------------------------------------
+def _parse_systems(value: str | None) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    return tuple(name.strip() for name in value.split(",") if name.strip())
+
+
+def _resolve_scenario(args: argparse.Namespace):
+    """Shared run/campaign front half: look up the scenario and validate
+    the ``--systems`` subset. Returns ``(scenario, systems)`` or prints
+    an error and returns ``None``."""
+    from repro.experiments import UnknownScenarioError, get_scenario
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except UnknownScenarioError as exc:
+        print(f"error: {exc}")
+        return None
+    systems = _parse_systems(args.systems)
+    if systems is not None and not systems:
+        print("error: --systems was given but names no systems")
+        return None
+    if systems:
+        unknown = [s for s in systems if s not in scenario.systems]
+        if unknown:
+            print(
+                f"error: scenario {scenario.name!r} does not run "
+                f"{', '.join(unknown)}; its systems: {', '.join(scenario.systems)}"
+            )
+            return None
+    return scenario, systems
+
+
+def _cmd_list() -> int:
+    from repro.experiments import scenarios
+
+    for scenario in scenarios():
+        figure = f" [{scenario.figure}]" if scenario.figure else ""
+        grid = len(scenario.sweep) * len(scenario.systems)
+        print(f"{scenario.name}{figure}")
+        print(f"  {scenario.title}")
+        print(
+            f"  systems: {', '.join(scenario.systems)} | "
+            f"sweep: {scenario.sweep_axis} x{len(scenario.sweep)} | "
+            f"grid: {grid} runs"
+        )
+    return 0
+
+
+def _record_tables(scenario, records, title_prefix: str) -> list[str]:
+    """Per-metric tables (x-axis vs system) of mean-over-repeats.
+
+    A system with an incomplete sweep (e.g. from an interrupted
+    campaign) is omitted from the table but called out in a note."""
+    labels = scenario.labels()
+    systems = [s for s in scenario.systems if any(r.system == s for r in records)]
+    tables = []
+    for metric, unit in REPORT_METRICS:
+        stats = aggregate_records(records, metric, key=lambda r: (r.system, r.x_label))
+        if not stats:
+            continue
+        series = {}
+        notes = []
+        for system in systems:
+            points = [stats.get((system, label)) for label in labels]
+            missing = [str(l) for l, p in zip(labels, points) if p is None]
+            if missing:
+                notes.append(
+                    f"note: {system} omitted from {metric} table -- no records "
+                    f"for {scenario.sweep_axis} {', '.join(missing)} (partial campaign?)"
+                )
+                continue
+            series[system] = [p.mean for p in points]
+        if not series:
+            tables.extend(notes)
+            continue
+        tables.append(
+            format_series_table(
+                f"{title_prefix}: {metric}",
+                scenario.sweep_axis,
+                labels,
+                series,
+                unit=unit,
+            )
+        )
+        tables.extend(notes)
+    return tables
+
+
+def _print_summary(scenario, records) -> None:
+    """Cross-system grid summary plus the observed throughput ordering."""
+    metric = "throughput_msgs_per_s"
+    per_system = aggregate_records(records, metric, key=lambda r: r.system)
+    if not per_system:
+        return
+    print("grid summary (throughput, all points x repeats):")
+    for system in scenario.systems:
+        if system in per_system:
+            print(f"  {system:<10} {per_system[system]}")
+    # The figures' punchline lives at the end of the sweep (the paper
+    # quotes its fig. 7 overheads "past 10 members"), so the headline
+    # ordering is taken at the largest sweep point.
+    last = scenario.labels()[-1]
+    at_last = aggregate_records(
+        records, metric, key=lambda r: (r.system, r.x_label)
+    )
+    tail = {
+        system: stats
+        for (system, label), stats in at_last.items()
+        if label == last
+    }
+    if tail:
+        ordered = sorted(tail, key=lambda s: tail[s].mean, reverse=True)
+        print(
+            f"throughput ordering at {scenario.sweep_axis}={last}: "
+            + " >= ".join(ordered)
+        )
+    if scenario.expected:
+        print(f"expected: {scenario.expected}")
+
+
+def _print_results(scenario, records) -> None:
+    """Shared run/campaign back half: tables plus the summary."""
+    for table in _record_tables(scenario, records, scenario.title):
+        print()
+        print(table)
+    print()
+    _print_summary(scenario, records)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import Campaign
+
+    resolved = _resolve_scenario(args)
+    if resolved is None:
+        return 2
+    scenario, systems = resolved
+    campaign = Campaign(scenario, repeats=1, base_seed=args.seed, systems=systems)
+    records = campaign.execute(jobs=args.jobs)
+    _print_results(scenario, records)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments import Campaign, ResultStore
+
+    resolved = _resolve_scenario(args)
+    if resolved is None:
+        return 2
+    scenario, systems = resolved
+    out = pathlib.Path(args.out) if args.out else pathlib.Path("results") / f"{scenario.name}.jsonl"
+    store = ResultStore(out)
+    campaign = Campaign(
+        scenario,
+        repeats=args.repeats,
+        base_seed=args.seed,
+        systems=systems,
+    )
+    tasks = campaign.plan()
+    print(
+        f"campaign {scenario.name}: {len(tasks)} runs "
+        f"({len(campaign.systems)} systems x {len(scenario.sweep)} points x "
+        f"{args.repeats} repeats), jobs={args.jobs}"
+    )
+    records = campaign.execute(jobs=args.jobs, store=store)
+    print(f"persisted {len(records)} records to {out}")
+    _print_results(scenario, records)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ResultStore, UnknownScenarioError, get_scenario
+
+    store = ResultStore(args.results)
+    records = store.load()
+    if not records:
+        print(f"error: no records in {args.results}")
+        return 2
+    names = [args.scenario] if args.scenario else sorted({r.scenario for r in records})
+    for name in names:
+        scoped = [r for r in records if r.scenario == name]
+        if not scoped:
+            print(f"error: no records for scenario {name!r} in {args.results}")
+            return 2
+        try:
+            scenario = get_scenario(name)
+        except UnknownScenarioError as exc:
+            print(f"error: {exc}")
+            return 2
+        # Re-running the same campaign command appends bit-identical
+        # records; counting them as extra repeats would inflate n with
+        # zero new information.
+        unique = {(r.system, r.x_label, r.repeat, r.seed): r for r in scoped}
+        if len(unique) < len(scoped):
+            print(
+                f"note: dropped {len(scoped) - len(unique)} duplicate records "
+                f"(same system/point/repeat/seed re-run)"
+            )
+            scoped = list(unique.values())
+        repeats = max(r.repeat for r in scoped) + 1
+        print(f"== {scenario.title} ({len(scoped)} runs, {repeats} repeats) ==")
+        for table in _record_tables(scenario, scoped, f"report {name}"):
+            print()
+            print(table)
+        print()
+        _print_summary(scenario, scoped)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        import sys
+
+        argv = sys.argv[1:]
+    if argv and argv[0] in SUBCOMMANDS:
+        args = build_command_parser().parse_args(argv)
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        return _cmd_report(args)
+    return _legacy_main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

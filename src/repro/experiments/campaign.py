@@ -1,0 +1,179 @@
+"""Parameter-sweep campaigns with a parallel experiment runner.
+
+A :class:`Campaign` expands a registered :class:`Scenario` into the
+full (system x sweep-point x repeat) grid, derives a deterministic seed
+for every cell, and executes the runs -- serially or fanned out over a
+:mod:`multiprocessing` pool.  Results come back as flat
+:class:`RunRecord` values ready for the JSONL store and the
+:mod:`repro.analysis` aggregation.
+
+Determinism: with the default ``base_seed=0``, repeat 0 runs the
+scenario's *curated* spec seed -- the exact configuration the registry
+(and therefore the benchmark harness) defines; a nonzero base seed
+shifts it. Every further repeat gets a seed derived only from
+(base_seed, scenario, system, sweep label, repeat index), never from
+scheduling order. A campaign's records are therefore bit-identical
+whether executed with ``jobs=1`` or ``jobs=32``, and a default
+single-repeat campaign measures exactly what the benchmarks measure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import typing
+
+from repro.experiments.registry import Scenario
+from repro.experiments.runner import run_scenario
+from repro.experiments.spec import ScenarioSpec
+
+
+def derive_seed(
+    base_seed: int, scenario: str, system: str, x_label: typing.Any, repeat: int
+) -> int:
+    """A stable per-run seed: same inputs, same seed, on every machine."""
+    key = f"{base_seed}/{scenario}/{system}/{x_label!r}/{repeat}"
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunTask:
+    """One cell of the campaign grid, ready to execute."""
+
+    scenario: str
+    system: str
+    x_label: typing.Any
+    repeat: int
+    spec: ScenarioSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One executed cell: grid coordinates plus flattened metrics."""
+
+    scenario: str
+    system: str
+    x_label: typing.Any
+    repeat: int
+    seed: int
+    metrics: dict[str, float]
+    spec: dict | None = None  # full provenance, as stored
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "system": self.system,
+            "x": self.x_label,
+            "repeat": self.repeat,
+            "seed": self.seed,
+            "metrics": dict(self.metrics),
+            "spec": self.spec,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(
+            scenario=data["scenario"],
+            system=data["system"],
+            x_label=data["x"],
+            repeat=data["repeat"],
+            seed=data["seed"],
+            metrics=dict(data["metrics"]),
+            spec=data.get("spec"),
+        )
+
+
+def execute_task(task: RunTask) -> RunRecord:
+    """Run one grid cell (top-level so worker processes can import it)."""
+    result = run_scenario(task.spec)
+    return RunRecord(
+        scenario=task.scenario,
+        system=task.system,
+        x_label=task.x_label,
+        repeat=task.repeat,
+        seed=task.spec.seed,
+        metrics=result.metrics,
+        spec=task.spec.to_dict(),
+    )
+
+
+class Campaign:
+    """Expand a scenario's grid and run every cell, optionally in parallel."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        repeats: int = 1,
+        base_seed: int = 0,
+        systems: typing.Sequence[str] | None = None,
+    ) -> None:
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.scenario = scenario
+        self.repeats = repeats
+        self.base_seed = base_seed
+        self.systems = tuple(systems) if systems is not None else scenario.systems
+        if not self.systems:
+            raise ValueError("systems must name at least one system")
+
+    def plan(self) -> list[RunTask]:
+        """The full grid, with per-cell deterministic seeds baked in.
+
+        Repeat 0 runs ``spec.seed + base_seed`` -- with the default
+        ``base_seed=0`` that is the spec's curated seed, i.e. the
+        registry's exact configuration, while a nonzero base seed
+        shifts every cell deterministically. Repeats >= 1 get
+        hash-derived seeds.
+        """
+        tasks = []
+        for system, x_label, spec in self.scenario.expand(self.systems):
+            for repeat in range(self.repeats):
+                if repeat == 0:
+                    seed = spec.seed + self.base_seed
+                else:
+                    seed = derive_seed(
+                        self.base_seed, self.scenario.name, system, x_label, repeat
+                    )
+                tasks.append(
+                    RunTask(
+                        scenario=self.scenario.name,
+                        system=system,
+                        x_label=x_label,
+                        repeat=repeat,
+                        spec=spec.replace(seed=seed),
+                    )
+                )
+        return tasks
+
+    def execute(self, jobs: int = 1, store=None) -> list[RunRecord]:
+        """Run the grid; ``jobs > 1`` fans out over a process pool.
+
+        ``store`` (a :class:`repro.experiments.store.ResultStore`)
+        receives each record *as it completes* -- an interrupted
+        campaign keeps everything already measured.
+        """
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        tasks = self.plan()
+        records = []
+        if jobs == 1 or len(tasks) <= 1:
+            for task in tasks:
+                record = execute_task(task)
+                if store is not None:
+                    store.append(record)
+                records.append(record)
+        else:
+            # imap_unordered so a slow cell cannot buffer finished
+            # results: each record is persisted the moment its run ends.
+            with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+                for record in pool.imap_unordered(execute_task, tasks):
+                    if store is not None:
+                        store.append(record)
+                    records.append(record)
+            order = {
+                (t.system, t.x_label, t.repeat): i for i, t in enumerate(tasks)
+            }
+            records.sort(key=lambda r: order[(r.system, r.x_label, r.repeat)])
+        return records

@@ -1,0 +1,389 @@
+"""The scenario catalogue.
+
+Every experiment this repository knows how to run -- the paper's
+Figures 6-8, the PBFT comparator, and the beyond-the-paper stress
+scenarios -- is registered here as a :class:`Scenario`: a base
+:class:`ScenarioSpec`, the systems to compare, and a sweep grid of
+parameter overrides.  The CLI (``python -m repro run/campaign``), the
+campaign runner and the benchmark harness all expand their
+configurations from this registry, so there is exactly one definition
+of what, say, "fig7_throughput" means.
+
+See ``docs/SCENARIOS.md`` for the prose catalogue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.experiments.spec import (
+    CALM_LAN,
+    SPIKY_NET,
+    DelaySpec,
+    FaultEvent,
+    ScenarioSpec,
+)
+
+
+class UnknownScenarioError(ValueError):
+    """Raised when a scenario name is not in the registry."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: an x-axis label plus the spec fields it overrides."""
+
+    label: typing.Any
+    overrides: dict[str, typing.Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named, sweepable experiment definition.
+
+    ``sweep`` holds at least one :class:`SweepPoint`; expanding the
+    scenario crosses every point with every system in ``systems``.
+    ``figure`` names the paper figure the scenario reproduces (``None``
+    for beyond-the-paper scenarios) and ``expected`` states the
+    qualitative result a healthy run shows.
+    """
+
+    name: str
+    title: str
+    description: str
+    base: ScenarioSpec
+    systems: tuple[str, ...]
+    sweep_axis: str
+    sweep: tuple[SweepPoint, ...]
+    figure: str | None = None
+    expected: str = ""
+    #: Per-system spec adjustments applied before the sweep point's
+    #: overrides (which win on conflict) -- e.g. a comparator system
+    #: offered a different load.
+    system_overrides: dict[str, dict] = dataclasses.field(default_factory=dict)
+
+    def labels(self) -> list:
+        return [point.label for point in self.sweep]
+
+    def spec_for(self, system: str, point: SweepPoint) -> ScenarioSpec:
+        if system not in self.systems:
+            raise ValueError(f"scenario {self.name!r} does not run system {system!r}")
+        overrides = dict(self.system_overrides.get(system, {}))
+        overrides.update(point.overrides)
+        return self.base.replace(system=system, **overrides)
+
+    def expand(
+        self, systems: typing.Sequence[str] | None = None
+    ) -> list[tuple[str, typing.Any, ScenarioSpec]]:
+        """Every (system, x-label, spec) combination of the grid."""
+        chosen = tuple(systems) if systems is not None else self.systems
+        return [
+            (system, point.label, self.spec_for(system, point))
+            for system in chosen
+            for point in self.sweep
+        ]
+
+
+# ----------------------------------------------------------------------
+# registry machinery
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario; duplicate names are a programming error."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario or raise :class:`UnknownScenarioError`."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; registered scenarios: {known}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def scenarios() -> list[Scenario]:
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def _points(axis_field: str, values: typing.Iterable) -> tuple[SweepPoint, ...]:
+    return tuple(SweepPoint(label=v, overrides={axis_field: v}) for v in values)
+
+
+# ----------------------------------------------------------------------
+# the paper's evaluation (section 4)
+# ----------------------------------------------------------------------
+register(
+    Scenario(
+        name="fig6_latency",
+        title="Figure 6: symmetric total-order latency vs group size",
+        description=(
+            "Groups of 2..10 members, each multicasting small (3-byte) "
+            "messages at a paced 500ms interval; ordering latency of "
+            "NewTOP vs FS-NewTOP."
+        ),
+        figure="Fig. 6",
+        expected=(
+            "FS-NewTOP latency above NewTOP at every size; both grow with "
+            "group size; the absolute deficit widens as the group grows."
+        ),
+        base=ScenarioSpec(
+            n_members=2,
+            messages_per_member=8,
+            interval=500.0,
+            message_size=3,
+        ),
+        systems=("newtop", "fs-newtop"),
+        sweep_axis="members",
+        sweep=_points("n_members", range(2, 11)),
+    )
+)
+
+register(
+    Scenario(
+        name="fig7_throughput",
+        title="Figure 7: throughput vs group size (small messages)",
+        description=(
+            "Groups of 2..15 streaming 3-byte messages every 70ms per "
+            "member; ordered messages per second for NewTOP, FS-NewTOP "
+            "and the matched-fault-budget 3f+1 PBFT-style comparator "
+            "(offered half the per-member load: once its view timeout "
+            "starts churning under backlog, each view change re-ships "
+            "every pending request, and full-load runs at large f are "
+            "prohibitively slow to simulate -- the collapse is "
+            "qualitative either way)."
+        ),
+        figure="Fig. 7",
+        expected=(
+            "Throughput rises from n=2 before contention wins; NewTOP "
+            "peaks near the 10-thread request pool and stays on top; "
+            "FS-NewTOP tracks below it; PBFT keeps pace with the "
+            "offered load mid-range but collapses past the tail once "
+            "its view timeout churns under backlog -- at the largest "
+            "group the ordering is NewTOP >= FS-NewTOP >= PBFT."
+        ),
+        base=ScenarioSpec(
+            n_members=2,
+            messages_per_member=8,
+            interval=70.0,
+            message_size=3,
+        ),
+        systems=("newtop", "fs-newtop", "pbft"),
+        sweep_axis="members",
+        sweep=_points("n_members", range(2, 16)),
+        system_overrides={"pbft": {"messages_per_member": 4}},
+    )
+)
+
+register(
+    Scenario(
+        name="fig8_message_size",
+        title="Figure 8: throughput vs message size (10 members)",
+        description=(
+            "A fixed 10-member group; message payloads swept 0..10 KB; "
+            "throughput of both systems."
+        ),
+        figure="Fig. 8",
+        expected=(
+            "Throughput falls with message size for both systems; the "
+            "FS-NewTOP deficit stays roughly constant (signing cost is "
+            "size-insensitive apart from digesting)."
+        ),
+        base=ScenarioSpec(
+            n_members=10,
+            messages_per_member=6,
+            interval=70.0,
+        ),
+        systems=("newtop", "fs-newtop"),
+        sweep_axis="size_kb",
+        sweep=tuple(
+            SweepPoint(label=kb, overrides={"message_size": kb * 1024})
+            for kb in range(0, 11)
+        ),
+    )
+)
+
+register(
+    Scenario(
+        name="pbft_head_to_head",
+        title="E6: FS-NewTOP (4f+2 nodes) vs PBFT-style baseline (3f+1 nodes)",
+        description=(
+            "Six requests against f=1 deployments of both Byzantine-"
+            "tolerant designs, on a calm LAN and on a spiky net whose "
+            "delays exceed PBFT's view timeout."
+        ),
+        figure="Section 1 / E6",
+        expected=(
+            "Both order everything on the calm net; on the spiky net "
+            "PBFT churns through view changes (its liveness timeout "
+            "bites) while FS-NewTOP keeps ordering with zero signals."
+        ),
+        base=ScenarioSpec(
+            n_members=3,
+            messages_per_member=2,
+            interval=450.0,
+            seed=2,
+            settle_ms=60_000.0,
+        ),
+        systems=("pbft", "fs-newtop"),
+        sweep_axis="network",
+        sweep=(
+            SweepPoint(
+                label="calm",
+                overrides={
+                    "delay": DelaySpec(kind="uniform", low=0.3, high=1.2),
+                    "view_timeout": 500.0,
+                },
+            ),
+            SweepPoint(
+                label="spiky",
+                overrides={"delay": SPIKY_NET, "view_timeout": 100.0},
+            ),
+        ),
+    )
+)
+
+# ----------------------------------------------------------------------
+# beyond the paper: stress and diversity scenarios
+# ----------------------------------------------------------------------
+register(
+    Scenario(
+        name="byzantine_flood",
+        title="Byzantine flood: a faulty member attacks mid-run",
+        description=(
+            "A 4-member FS-NewTOP group streams messages every 60ms; at "
+            "t=300ms member 0's leader wrapper turns Byzantine (the sweep "
+            "selects the manifestation). The FS pair must convert the "
+            "attack into an authenticated fail-signal and the survivors "
+            "must keep ordering."
+        ),
+        expected=(
+            "fail_signals > 0, survivors install a 3-member view, and "
+            "ordering continues -- no Byzantine manifestation escapes "
+            "the pair."
+        ),
+        base=ScenarioSpec(
+            system="fs-newtop",
+            n_members=4,
+            messages_per_member=12,
+            interval=60.0,
+            collapsed=False,
+            settle_ms=30_000.0,
+        ),
+        systems=("fs-newtop",),
+        sweep_axis="fault",
+        sweep=tuple(
+            SweepPoint(
+                label=flag,
+                overrides={
+                    "faults": (
+                        FaultEvent(at=300.0, kind="byzantine", member=0, flags=(flag,)),
+                    )
+                },
+            )
+            for flag in ("corrupt_outputs", "mute_lan", "forge_signature")
+        ),
+    )
+)
+
+register(
+    Scenario(
+        name="partition_heal",
+        title="Partition and heal: a 6-member group splits in two",
+        description=(
+            "A NewTOP group with ping suspectors is partitioned 3|3 at "
+            "t=500ms and healed at t=2500ms while every member keeps "
+            "multicasting. Timeout-based suspicion converts the partition "
+            "into disjoint views."
+        ),
+        expected=(
+            "suspicions and view changes fire during the partition; each "
+            "half keeps ordering internally; fewer messages reach full "
+            "(all-6) completion than were sent."
+        ),
+        base=ScenarioSpec(
+            system="newtop",
+            n_members=6,
+            messages_per_member=20,
+            interval=150.0,
+            suspectors=True,
+            faults=(
+                FaultEvent(at=500.0, kind="partition", groups=((0, 1, 2), (3, 4, 5))),
+                FaultEvent(at=2500.0, kind="heal"),
+            ),
+            settle_ms=20_000.0,
+        ),
+        systems=("newtop",),
+        sweep_axis="variant",
+        sweep=(SweepPoint(label="3|3", overrides={}),),
+    )
+)
+
+register(
+    Scenario(
+        name="churn",
+        title="Member churn: staggered departures under load",
+        description=(
+            "An 8-member NewTOP group with suspectors loses members 7, 6 "
+            "and 5 to crashes at 400/900/1400ms while the survivors keep "
+            "streaming messages every 150ms."
+        ),
+        expected=(
+            "each departure is detected and converted into a view change; "
+            "the surviving 5 members keep ordering throughout."
+        ),
+        base=ScenarioSpec(
+            system="newtop",
+            n_members=8,
+            messages_per_member=12,
+            interval=150.0,
+            suspectors=True,
+            faults=(
+                FaultEvent(at=400.0, kind="crash", member=7),
+                FaultEvent(at=900.0, kind="crash", member=6),
+                FaultEvent(at=1400.0, kind="crash", member=5),
+            ),
+            settle_ms=20_000.0,
+        ),
+        systems=("newtop",),
+        sweep_axis="variant",
+        sweep=(SweepPoint(label="3-crashes", overrides={}),),
+    )
+)
+
+register(
+    Scenario(
+        name="mixed_rw",
+        title="Mixed read/write load: cheap reads dilute ordered writes",
+        description=(
+            "A 6-member group where only a fraction of sends need total "
+            "order (writes); the rest go through the reliable-FIFO service "
+            "(reads). The sweep lowers the write ratio from 1.0 to 0.25."
+        ),
+        expected=(
+            "mean latency falls and throughput rises as the write ratio "
+            "drops, for both systems -- ordered multicast is the "
+            "expensive part."
+        ),
+        base=ScenarioSpec(
+            n_members=6,
+            messages_per_member=10,
+            interval=80.0,
+        ),
+        systems=("newtop", "fs-newtop"),
+        sweep_axis="write_ratio",
+        sweep=_points("write_ratio", (1.0, 0.5, 0.25)),
+    )
+)

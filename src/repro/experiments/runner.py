@@ -1,0 +1,293 @@
+"""Execution of declarative scenario specs.
+
+This module is the single place where a :class:`ScenarioSpec` becomes a
+live simulation: it builds the system under test, schedules the fault
+plan, drives the workload and flattens the measurements into a
+JSON-able metrics dict.  The CLI, the campaign runner and the benchmark
+harness all call in here, so their configurations cannot drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.analysis.metrics import summarize
+from repro.baselines.pbft import PbftCluster
+from repro.core.fso import FsoRole
+from repro.crypto.costmodel import CryptoCostModel
+from repro.experiments.spec import ScenarioSpec
+from repro.fsnewtop.system import ByzantineTolerantGroup
+from repro.net.network import Network
+from repro.newtop.system import CrashTolerantGroup
+from repro.sim.scheduler import Simulator
+from repro.workloads.ordering import ExperimentResult, OrderingWorkload
+
+AnyGroup = typing.Union[CrashTolerantGroup, ByzantineTolerantGroup]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RunResult:
+    """One scenario run, flattened for storage and aggregation.
+
+    ``metrics`` maps metric name to a float; every system produces the
+    shared core (``ordered``, ``throughput_msgs_per_s``,
+    ``network_messages``, ``network_bytes``, ``view_changes``) plus the
+    system-specific extras (``fail_signals``, ``suspicions``,
+    ``latency_mean_ms`` ...).
+    """
+
+    spec: ScenarioSpec
+    metrics: dict[str, float]
+
+    def to_dict(self) -> dict:
+        return {"spec": self.spec.to_dict(), "metrics": dict(self.metrics)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            metrics=dict(data["metrics"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# fault plan application
+# ----------------------------------------------------------------------
+def _partition_addresses(group: AnyGroup, members: tuple[int, ...]) -> list[str]:
+    """Network addresses backing the given member indices."""
+    addresses = []
+    for index in members:
+        member_id = group.member_ids[index]
+        addresses.append(member_id)
+        if isinstance(group, ByzantineTolerantGroup) and not group.collapsed:
+            addresses.append(f"{member_id}-b")
+    return addresses
+
+
+def _apply_fault(group: AnyGroup, event) -> None:
+    if event.kind == "crash":
+        if isinstance(group, ByzantineTolerantGroup):
+            group.crash_primary(event.member)
+        else:
+            group.crash(event.member)
+    elif event.kind == "crash_backup":
+        if not isinstance(group, ByzantineTolerantGroup):
+            raise ValueError("crash_backup faults need the fs-newtop system")
+        group.crash_backup(event.member)
+    elif event.kind == "partition":
+        groups = [_partition_addresses(group, g) for g in event.groups]
+        group.network.partition(*groups)
+    elif event.kind == "heal":
+        group.network.heal()
+    elif event.kind == "byzantine":
+        if not isinstance(group, ByzantineTolerantGroup):
+            raise ValueError("byzantine faults need the fs-newtop system")
+        fso = group.byzantine_fso(event.member, FsoRole.LEADER)
+        fso.go_byzantine(**{flag: True for flag in event.flags})
+    else:  # pragma: no cover - FaultEvent validates kinds
+        raise ValueError(f"unknown fault kind {event.kind!r}")
+
+
+def _schedule_faults(sim: Simulator, group: AnyGroup, spec: ScenarioSpec) -> None:
+    for event in spec.faults:
+        sim.schedule(event.at, _apply_fault, group, event)
+
+
+# ----------------------------------------------------------------------
+# ordering systems (newtop / fs-newtop)
+# ----------------------------------------------------------------------
+def build_ordering_group(
+    sim: Simulator, spec: ScenarioSpec, **overrides: typing.Any
+) -> AnyGroup:
+    """Construct the group a spec describes (``newtop``/``fs-newtop``).
+
+    ``overrides`` are forwarded to the group constructor verbatim and
+    win over spec-derived arguments -- the escape hatch the ablation
+    benchmarks use to pass live cost-model objects.
+    """
+    if spec.system == "newtop":
+        kwargs: dict[str, typing.Any] = dict(
+            delay=spec.delay.build(),
+            suspectors=spec.suspectors,
+            suspector_interval=spec.suspector_interval,
+            suspector_timeout=spec.suspector_timeout,
+            suspector_max_misses=spec.suspector_max_misses,
+        )
+        kwargs.update(overrides)
+        return CrashTolerantGroup(sim, n_members=spec.n_members, **kwargs)
+    if spec.system == "fs-newtop":
+        kwargs = dict(
+            delay=spec.delay.build(),
+            collapsed=spec.collapsed,
+            byzantine_members=spec.byzantine_members,
+        )
+        if spec.crypto_scale != 1.0:
+            kwargs["crypto_costs"] = CryptoCostModel().scaled(spec.crypto_scale)
+        kwargs.update(overrides)
+        return ByzantineTolerantGroup(sim, n_members=spec.n_members, **kwargs)
+    raise ValueError(f"not an ordering system: {spec.system!r}")
+
+
+def _run_ordering(
+    spec: ScenarioSpec, **system_kwargs: typing.Any
+) -> OrderingWorkload:
+    sim = Simulator(seed=spec.seed)
+    sim.trace.enabled = False  # measurement runs do not pay for tracing
+    group = build_ordering_group(sim, spec, **system_kwargs)
+    workload = OrderingWorkload(
+        sim,
+        group,
+        messages_per_member=spec.messages_per_member,
+        interval=spec.interval,
+        message_size=spec.message_size,
+        service=spec.service,
+        write_ratio=spec.write_ratio,
+    )
+    _schedule_faults(sim, group, spec)
+    workload.run(settle_ms=spec.settle_ms)
+    return workload
+
+
+def run_ordering_spec(
+    spec: ScenarioSpec, **system_kwargs: typing.Any
+) -> ExperimentResult:
+    """Run an ordering spec and return the rich per-run result (the
+    interface :func:`repro.workloads.run_ordering_experiment` wraps)."""
+    workload = _run_ordering(spec, **system_kwargs)
+    return workload.result(spec.system)
+
+
+def _suspicion_count(group: AnyGroup) -> int:
+    if isinstance(group, ByzantineTolerantGroup):
+        return sum(
+            len(group.member(m).suspector.suspicions_raised) for m in group.member_ids
+        )
+    return sum(len(s.suspicions_raised) for s in group.suspectors.values())
+
+
+def _ordering_metrics(workload: OrderingWorkload, result: ExperimentResult) -> dict[str, float]:
+    group = workload.group
+    view_changes = sum(len(group.views(m)) for m in group.member_ids)
+    return {
+        # Messages ordered at *every* member -- comparable with PBFT's
+        # fully-executed request count.
+        "ordered": float(workload.recorder.fully_delivered(workload.n_members)),
+        "latency_mean_ms": result.latency.mean,
+        "latency_p95_ms": result.latency.p95,
+        "completion_mean_ms": result.completion_latency.mean,
+        "throughput_msgs_per_s": result.throughput_msgs_per_s,
+        "network_messages": float(result.network_messages),
+        "network_bytes": float(result.network_bytes),
+        "fail_signals": float(result.fail_signals),
+        "suspicions": float(_suspicion_count(group)),
+        "view_changes": float(view_changes),
+    }
+
+
+# ----------------------------------------------------------------------
+# the PBFT comparator
+# ----------------------------------------------------------------------
+def pbft_fault_budget(n_members: int) -> int:
+    """The fault budget a PBFT cluster needs to match an ``n_members``
+    (= 2f+1 application replicas) FS-NewTOP group."""
+    return max(1, (n_members - 1) // 2)
+
+
+def _run_pbft(spec: ScenarioSpec) -> dict[str, float]:
+    sim = Simulator(seed=spec.seed)
+    sim.trace.enabled = False
+    network = Network(sim, default_delay=spec.delay.build())
+    f = pbft_fault_budget(spec.n_members)
+    cluster = PbftCluster(sim, f=f, network=network, view_timeout=spec.view_timeout)
+
+    submitted_at: dict[int, float] = {}
+    executed_at: dict[int, dict[str, float]] = {}
+
+    def hook(replica_id: str):
+        def on_execute(request) -> None:
+            executed_at.setdefault(request.op_id, {})[replica_id] = sim.now
+
+        return on_execute
+
+    for replica_id, replica in cluster.replicas.items():
+        replica.on_execute = hook(replica_id)
+
+    for event in spec.faults:
+        if event.kind == "crash":
+            sim.schedule(event.at, cluster.crash, cluster.replica_ids[event.member])
+        elif event.kind == "byzantine":
+            sim.schedule(
+                event.at, cluster.make_byzantine_silent, cluster.replica_ids[event.member]
+            )
+        elif event.kind == "partition":
+            groups = [
+                [cluster.replica_ids[i] for i in g] for g in event.groups
+            ]
+            sim.schedule(event.at, network.partition, *groups)
+        elif event.kind == "heal":
+            sim.schedule(event.at, network.heal)
+        else:
+            raise ValueError(f"fault kind {event.kind!r} unsupported for pbft")
+
+    # Offer the ordering workload's aggregate load as client requests.
+    total = spec.messages_per_member * spec.n_members
+    spacing = spec.interval / spec.n_members
+
+    def submit() -> None:
+        request = cluster.submit({"op": len(submitted_at)})
+        submitted_at[request.op_id] = sim.now
+
+    for i in range(total):
+        sim.schedule(i * spacing, submit)
+    sim.run(until=total * spacing + spec.settle_ms, max_events=200_000_000)
+
+    ordered = min(len(r.executed) for r in cluster.replicas.values())
+    view_changes = sum(r.view_changes for r in cluster.replicas.values())
+    # Per-execution latencies (one sample per replica per request) are
+    # the analog of the ordering systems' per-delivery latencies;
+    # completions (time until the *slowest* replica executed) match
+    # their completion latencies.
+    per_execution = [
+        t - submitted_at[op_id]
+        for op_id, times in executed_at.items()
+        for t in times.values()
+    ]
+    completions = []
+    last_done: float | None = None
+    for op_id, times in executed_at.items():
+        if len(times) >= cluster.n:
+            done = max(times.values())
+            completions.append(done - submitted_at[op_id])
+            last_done = done if last_done is None else max(last_done, done)
+    first = min(submitted_at.values()) if submitted_at else None
+    throughput = 0.0
+    if completions and last_done is not None and first is not None and last_done > first:
+        throughput = len(completions) / ((last_done - first) / 1000.0)
+    # Same summary (and percentile convention) as the ordering systems.
+    latency = summarize(per_execution) if per_execution else summarize([0.0])
+    completion = summarize(completions) if completions else summarize([0.0])
+    return {
+        "ordered": float(ordered),
+        "latency_mean_ms": latency.mean,
+        "latency_p95_ms": latency.p95,
+        "completion_mean_ms": completion.mean,
+        "throughput_msgs_per_s": throughput,
+        "network_messages": float(network.stats.messages_sent),
+        "network_bytes": float(network.stats.bytes_sent),
+        "fail_signals": 0.0,
+        "suspicions": 0.0,
+        "view_changes": float(view_changes),
+    }
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def run_scenario(spec: ScenarioSpec) -> RunResult:
+    """Execute one spec and return its flattened metrics."""
+    if spec.system == "pbft":
+        return RunResult(spec=spec, metrics=_run_pbft(spec))
+    workload = _run_ordering(spec)
+    result = workload.result(spec.system)
+    return RunResult(spec=spec, metrics=_ordering_metrics(workload, result))

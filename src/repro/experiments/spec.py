@@ -1,0 +1,217 @@
+"""Declarative experiment specifications.
+
+A :class:`ScenarioSpec` is a complete, *value-only* description of one
+simulation run: which system to build, how large the group is, what the
+workload looks like, how the network misbehaves, and which faults strike
+when.  Because a spec contains no live objects -- delay models are
+:class:`DelaySpec` values, faults are :class:`FaultEvent` values -- it
+can be pickled across process boundaries (the campaign runner executes
+specs in a :mod:`multiprocessing` pool) and serialised to JSON for the
+result store.
+
+The split mirrors the declarative style of ESSENCE'-like problem
+specification: *what* to run lives here, *how* to run it lives in
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.net.delay import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    SpikeDelay,
+    UniformDelay,
+)
+
+#: Systems the runner knows how to build.
+SYSTEMS = ("newtop", "fs-newtop", "pbft")
+
+#: Fault kinds the runner knows how to apply.
+FAULT_KINDS = ("crash", "crash_backup", "partition", "heal", "byzantine")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DelaySpec:
+    """Declarative description of a :class:`repro.net.DelayModel`.
+
+    ``kind`` selects the model; only the parameters that kind uses are
+    read.  ``spike`` wraps a uniform base (``low``/``high``) with spikes
+    of ``spike_ms`` at probability ``spike_probability``.
+    """
+
+    kind: str = "uniform"
+    value: float = 1.0  # constant
+    low: float = 0.3  # uniform / spike base
+    high: float = 1.2
+    floor: float = 0.2  # exponential
+    mean: float = 1.0
+    cap: float | None = None
+    spike_probability: float = 0.0  # spike
+    spike_ms: float = 0.0
+
+    def build(self) -> DelayModel:
+        """Instantiate the live delay model this spec describes."""
+        if self.kind == "constant":
+            return ConstantDelay(self.value)
+        if self.kind == "uniform":
+            return UniformDelay(self.low, self.high)
+        if self.kind == "exponential":
+            return ExponentialDelay(self.floor, self.mean, cap=self.cap)
+        if self.kind == "spike":
+            return SpikeDelay(
+                UniformDelay(self.low, self.high),
+                spike_probability=self.spike_probability,
+                spike_ms=self.spike_ms,
+            )
+        raise ValueError(f"unknown delay kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DelaySpec":
+        return cls(**data)
+
+
+#: The paper's benchmark LAN: lightly loaded, sub-millisecond-ish.
+CALM_LAN = DelaySpec(kind="uniform", low=0.3, high=1.2)
+
+#: A congested network: same base with frequent large delay spikes --
+#: the adversary of every timeout-based suspector.
+SPIKY_NET = DelaySpec(
+    kind="spike", low=0.5, high=2.0, spike_probability=0.5, spike_ms=800.0
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault in a scenario's fault plan.
+
+    ``kind`` is one of :data:`FAULT_KINDS`:
+
+    * ``crash`` -- crash ``member``'s (primary) node at ``at`` ms;
+    * ``crash_backup`` -- crash the node hosting ``member``'s follower
+      wrapper (FS-NewTOP only);
+    * ``partition`` -- split the network into ``groups`` (tuples of
+      member indices) at ``at`` ms;
+    * ``heal`` -- remove every partition at ``at`` ms;
+    * ``byzantine`` -- switch on the named fault ``flags`` (see
+      :class:`repro.core.faults.FaultPlan`) in ``member``'s leader
+      wrapper (FS-NewTOP) or silence the replica (PBFT).
+    """
+
+    at: float
+    kind: str
+    member: int | None = None
+    groups: tuple[tuple[int, ...], ...] = ()
+    flags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}, want one of {FAULT_KINDS}")
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+
+    def to_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "member": self.member,
+            "groups": [list(g) for g in self.groups],
+            "flags": list(self.flags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(
+            at=data["at"],
+            kind=data["kind"],
+            member=data.get("member"),
+            groups=tuple(tuple(g) for g in data.get("groups", ())),
+            flags=tuple(data.get("flags", ())),
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """Everything needed to reproduce one run, as plain values.
+
+    Workload semantics (``newtop`` / ``fs-newtop``): every member
+    multicasts ``messages_per_member`` messages of ``message_size``
+    bytes, one per round, rounds spaced ``interval`` ms apart --
+    the paper's section 4 load.  ``write_ratio`` < 1 diverts the
+    remaining fraction of sends to the cheaper ``reliable`` service
+    (mixed read/write traffic).
+
+    For ``pbft`` the same aggregate load is offered as client requests:
+    ``messages_per_member * n_members`` requests spaced
+    ``interval / n_members`` ms apart against a cluster sized
+    ``3f + 1`` with ``f = max(1, (n_members - 1) // 2)`` (the same
+    fault budget a ``2f + 1``-replica FS-NewTOP group of
+    ``n_members`` covers).
+    """
+
+    system: str = "fs-newtop"
+    n_members: int = 4
+    messages_per_member: int = 10
+    interval: float = 150.0
+    message_size: int = 3
+    service: str = "symmetric_total"
+    write_ratio: float = 1.0
+    seed: int = 0
+    delay: DelaySpec = CALM_LAN
+    faults: tuple[FaultEvent, ...] = ()
+    crypto_scale: float = 1.0
+    collapsed: bool = True
+    suspectors: bool = False
+    suspector_interval: float = 200.0
+    suspector_timeout: float = 100.0
+    suspector_max_misses: int = 2
+    view_timeout: float = 500.0  # pbft only
+    settle_ms: float = 120_000.0
+
+    def __post_init__(self) -> None:
+        if self.system not in SYSTEMS:
+            raise ValueError(f"unknown system {self.system!r}, want one of {SYSTEMS}")
+        if self.n_members < 1:
+            raise ValueError(f"need at least one member, got {self.n_members}")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError(f"write_ratio must be in [0,1], got {self.write_ratio}")
+        if self.messages_per_member < 1:
+            raise ValueError(f"need at least one message, got {self.messages_per_member}")
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def byzantine_members(self) -> tuple[int, ...]:
+        """Members named by ``byzantine`` fault events (the group must
+        pre-build their wrappers as :class:`ByzantineFso`)."""
+        members = sorted(
+            {e.member for e in self.faults if e.kind == "byzantine" and e.member is not None}
+        )
+        return tuple(members)
+
+    def replace(self, **overrides: typing.Any) -> "ScenarioSpec":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["delay"] = self.delay.to_dict()
+        data["faults"] = [e.to_dict() for e in self.faults]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        fields = dict(data)
+        fields["delay"] = DelaySpec.from_dict(fields["delay"])
+        fields["faults"] = tuple(FaultEvent.from_dict(e) for e in fields.get("faults", ()))
+        return cls(**fields)

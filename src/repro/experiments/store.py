@@ -1,0 +1,46 @@
+"""JSONL persistence for campaign results.
+
+One :class:`RunRecord` per line; append-only, so interrupted campaigns
+keep what they measured and repeated campaigns accumulate repeats.  The
+format is deliberately plain -- ``jq``, pandas and the ``report`` CLI
+subcommand all read it directly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from repro.experiments.campaign import RunRecord
+
+
+class ResultStore:
+    """An append-only JSONL file of run records."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+
+    def append(self, record: RunRecord) -> None:
+        self.extend([record])
+
+    def extend(self, records: typing.Iterable[RunRecord]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+    def load(self) -> list[RunRecord]:
+        """Every record in the file (empty list if it does not exist)."""
+        if not self.path.exists():
+            return []
+        records = []
+        with self.path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(RunRecord.from_dict(json.loads(line)))
+        return records
+
+    def scenarios(self) -> list[str]:
+        return sorted({record.scenario for record in self.load()})

@@ -48,7 +48,15 @@ class ExperimentResult:
 
 
 class OrderingWorkload:
-    """Drives one group through the paper's send pattern."""
+    """Drives one group through the paper's send pattern.
+
+    ``write_ratio`` < 1 models mixed read/write traffic: that fraction
+    of sends are "writes" using the configured (totally ordered)
+    ``service``; the rest are "reads" multicast via the cheaper
+    ``reliable`` service.  Writes and reads interleave deterministically
+    (Bresenham spacing over the send sequence), so the mix is identical
+    across systems and seeds.
+    """
 
     def __init__(
         self,
@@ -58,13 +66,17 @@ class OrderingWorkload:
         interval: float = 120.0,
         message_size: int = 3,
         service: str = ServiceType.SYMMETRIC_TOTAL.value,
+        write_ratio: float = 1.0,
     ) -> None:
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ValueError(f"write_ratio must be in [0,1], got {write_ratio}")
         self.sim = sim
         self.group = group
         self.messages_per_member = messages_per_member
         self.interval = interval
         self.message_size = message_size
         self.service = service
+        self.write_ratio = write_ratio
         self.recorder = LatencyRecorder()
         self.n_members = len(group.member_ids)
 
@@ -75,19 +87,25 @@ class OrderingWorkload:
         """Schedule every send, hook delivery recording, run to idle."""
         self._hook_deliveries()
         body = bytes(self.message_size)
+        sends = 0
         for round_no in range(self.messages_per_member):
             at = round_no * self.interval
             for index, member in enumerate(self.group.member_ids):
                 key = (member, round_no)
-                self.sim.schedule(at, self._send, key, member, round_no, body)
+                # Bresenham mix: send k is a write iff the integer part
+                # of k * write_ratio advances.
+                is_write = int((sends + 1) * self.write_ratio) > int(sends * self.write_ratio)
+                sends += 1
+                self.sim.schedule(at, self._send, key, member, round_no, body, is_write)
         self.sim.run(
             until=self.messages_per_member * self.interval + settle_ms,
             max_events=200_000_000,
         )
 
-    def _send(self, key, member: str, round_no: int, body: bytes) -> None:
+    def _send(self, key, member: str, round_no: int, body: bytes, is_write: bool) -> None:
         self.recorder.sent(key, self.sim.now)
-        self.group.multicast(member, self.service, {"r": round_no, "s": member, "b": body})
+        service = self.service if is_write else ServiceType.RELIABLE.value
+        self.group.multicast(member, service, {"r": round_no, "s": member, "b": body})
 
     def _hook_deliveries(self) -> None:
         for member in self.group.member_ids:
@@ -144,27 +162,35 @@ def run_ordering_experiment(
     interval: float = 120.0,
     message_size: int = 3,
     service: str = ServiceType.SYMMETRIC_TOTAL.value,
+    write_ratio: float = 1.0,
     **system_kwargs,
 ) -> ExperimentResult:
     """Build, run and summarise one configuration.
 
     ``system`` is ``"newtop"`` (crash-tolerant baseline) or
-    ``"fs-newtop"`` (the Byzantine-tolerant extension)."""
-    sim = Simulator(seed=seed)
-    sim.trace.enabled = False  # measurement runs do not pay for tracing
-    if system == "newtop":
-        group: AnyGroup = CrashTolerantGroup(sim, n_members=n_members, **system_kwargs)
-    elif system == "fs-newtop":
-        group = ByzantineTolerantGroup(sim, n_members=n_members, **system_kwargs)
-    else:
+    ``"fs-newtop"`` (the Byzantine-tolerant extension).
+
+    This is a thin convenience wrapper: the arguments are packed into a
+    :class:`repro.experiments.ScenarioSpec` and executed by
+    :func:`repro.experiments.run_ordering_spec`, the same path the
+    scenario registry and campaign runner use.  ``system_kwargs`` are
+    forwarded to the group constructor verbatim (the ablation
+    benchmarks pass live cost-model objects through here).
+    """
+    # Imported lazily: repro.experiments builds on this module.
+    from repro.experiments.runner import run_ordering_spec
+    from repro.experiments.spec import ScenarioSpec
+
+    if system not in ("newtop", "fs-newtop"):
         raise ValueError(f"unknown system {system!r}")
-    workload = OrderingWorkload(
-        sim,
-        group,
+    spec = ScenarioSpec(
+        system=system,
+        n_members=n_members,
+        seed=seed,
         messages_per_member=messages_per_member,
         interval=interval,
         message_size=message_size,
         service=service,
+        write_ratio=write_ratio,
     )
-    workload.run()
-    return workload.result(system)
+    return run_ordering_spec(spec, **system_kwargs)

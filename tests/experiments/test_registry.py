@@ -1,0 +1,120 @@
+"""Tests for the scenario registry."""
+
+import pytest
+
+from repro.experiments import (
+    Scenario,
+    ScenarioSpec,
+    SweepPoint,
+    UnknownScenarioError,
+    get_scenario,
+    register,
+    run_scenario,
+    scenario_names,
+    scenarios,
+)
+
+
+def test_unknown_scenario_raises_with_catalogue():
+    with pytest.raises(UnknownScenarioError) as excinfo:
+        get_scenario("fig99_warp_speed")
+    message = str(excinfo.value)
+    assert "fig99_warp_speed" in message
+    # The error teaches the caller what exists.
+    assert "fig7_throughput" in message
+
+
+def test_paper_figures_registered():
+    names = scenario_names()
+    for expected in ("fig6_latency", "fig7_throughput", "fig8_message_size"):
+        assert expected in names
+
+
+def test_beyond_paper_scenarios_registered():
+    names = scenario_names()
+    for expected in ("byzantine_flood", "partition_heal", "churn", "mixed_rw"):
+        assert expected in names
+
+
+def test_duplicate_registration_rejected():
+    scenario = get_scenario("fig6_latency")
+    with pytest.raises(ValueError):
+        register(scenario)
+
+
+def test_expand_crosses_systems_and_points():
+    scenario = get_scenario("fig6_latency")
+    expanded = scenario.expand()
+    assert len(expanded) == len(scenario.systems) * len(scenario.sweep)
+    systems = {system for system, _, _ in expanded}
+    assert systems == set(scenario.systems)
+    # Sweep overrides are applied.
+    sizes = {spec.n_members for _, _, spec in expanded}
+    assert sizes == set(range(2, 11))
+
+
+def test_expand_can_subset_systems():
+    scenario = get_scenario("fig7_throughput")
+    expanded = scenario.expand(systems=("newtop",))
+    assert {system for system, _, _ in expanded} == {"newtop"}
+
+
+def test_spec_for_rejects_foreign_system():
+    scenario = get_scenario("byzantine_flood")
+    with pytest.raises(ValueError):
+        scenario.spec_for("newtop", scenario.sweep[0])
+
+
+def test_every_scenario_expands_to_valid_specs():
+    for scenario in scenarios():
+        for system, label, spec in scenario.expand():
+            assert spec.system == system
+            assert isinstance(spec, ScenarioSpec)
+            # Specs must survive the store's serialisation.
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_seed_determinism_same_spec_same_metrics():
+    """Same spec + seed => identical metrics, the registry's contract
+    that campaign repeats are meaningfully comparable."""
+    scenario = get_scenario("fig6_latency")
+    spec = scenario.spec_for("newtop", scenario.sweep[0]).replace(
+        seed=42, messages_per_member=3, settle_ms=10_000.0
+    )
+    first = run_scenario(spec)
+    second = run_scenario(spec)
+    assert first.metrics == second.metrics
+
+
+def test_different_seeds_differ():
+    scenario = get_scenario("fig6_latency")
+    base = scenario.spec_for("newtop", scenario.sweep[0]).replace(
+        messages_per_member=3, settle_ms=10_000.0
+    )
+    a = run_scenario(base.replace(seed=1))
+    b = run_scenario(base.replace(seed=2))
+    assert a.metrics["latency_mean_ms"] != b.metrics["latency_mean_ms"]
+
+
+CHEAP = Scenario(
+    name="cheap-smoke",
+    title="smoke",
+    description="cheapest possible grid for unit tests",
+    base=ScenarioSpec(
+        system="newtop",
+        n_members=2,
+        messages_per_member=2,
+        interval=100.0,
+        settle_ms=5_000.0,
+    ),
+    systems=("newtop",),
+    sweep_axis="members",
+    sweep=(SweepPoint(label=2, overrides={"n_members": 2}),),
+)
+
+
+def test_unregistered_scenario_object_runs():
+    """Scenario objects work standalone -- registration is for naming."""
+    system, label, spec = CHEAP.expand()[0]
+    result = run_scenario(spec)
+    assert result.metrics["ordered"] == 4.0  # 2 members x 2 messages

@@ -33,3 +33,57 @@ def test_parser_defaults():
 def test_invalid_service_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--service", "warp"])
+
+
+# ----------------------------------------------------------------------
+# scenario subcommands
+# ----------------------------------------------------------------------
+def test_list_subcommand_catalogues_scenarios(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig6_latency", "fig7_throughput", "byzantine_flood", "churn"):
+        assert name in out
+
+
+def test_run_subcommand_unknown_scenario(capsys):
+    assert main(["run", "--scenario", "fig99_warp"]) == 2
+    assert "fig99_warp" in capsys.readouterr().out
+
+
+def test_run_subcommand_prints_tables(capsys):
+    code = main(["run", "--scenario", "partition_heal"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput_msgs_per_s" in out
+    assert "view_changes" in out
+    assert "expected:" in out
+
+
+def test_campaign_and_report_roundtrip(tmp_path, capsys):
+    out_path = tmp_path / "campaign.jsonl"
+    code = main(
+        [
+            "campaign",
+            "--scenario",
+            "pbft_head_to_head",
+            "--repeats",
+            "2",
+            "--jobs",
+            "2",
+            "--out",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    campaign_out = capsys.readouterr().out
+    assert "8 runs" in campaign_out  # 2 systems x 2 points x 2 repeats
+    assert out_path.exists()
+
+    assert main(["report", "--results", str(out_path)]) == 0
+    report_out = capsys.readouterr().out
+    assert "2 repeats" in report_out
+    assert "throughput ordering" in report_out
+
+
+def test_report_missing_file(tmp_path, capsys):
+    assert main(["report", "--results", str(tmp_path / "nope.jsonl")]) == 2
