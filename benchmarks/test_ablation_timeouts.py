@@ -12,7 +12,6 @@ fail-signals unnecessarily".  This ablation makes that concrete:
 
 from repro.analysis import format_series_table
 from repro.core import FsoConfig, FsoRole
-from repro.workloads import run_ordering_experiment
 
 from benchmarks.conftest import publish
 

@@ -15,7 +15,7 @@ import pathlib
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
 
 from core.conftest import FsRig  # reuse the test rig as a demo harness
-from repro.core import ByzantineFso, FsoRole
+from repro.core import ByzantineFso
 
 
 SCENARIOS = [

@@ -26,7 +26,7 @@ from repro.analysis import aggregate_records, format_series_table
 from repro.newtop.services import ServiceType
 from repro.workloads import run_ordering_experiment
 
-SUBCOMMANDS = ("list", "run", "campaign", "report")
+SUBCOMMANDS = ("list", "run", "campaign", "report", "bench")
 
 #: Metrics the report prints, in order, with display units.
 REPORT_METRICS = (
@@ -120,6 +120,41 @@ def build_command_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="aggregate stored campaign results")
     report.add_argument("--results", required=True, help="JSONL file written by campaign")
     report.add_argument("--scenario", help="only report this scenario")
+
+    bench = sub.add_parser(
+        "bench", help="run the fixed perf suite; optionally gate against a baseline"
+    )
+    bench.add_argument(
+        "--out",
+        default="results/perf_report.json",
+        help="report JSON path (default results/perf_report.json)",
+    )
+    bench.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against this baseline JSON; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative throughput drop before --check fails (default 0.25)",
+    )
+    bench.add_argument(
+        "--update",
+        metavar="BASELINE",
+        help="write the measured report to this baseline path as well",
+    )
+    bench.add_argument(
+        "--only",
+        help="comma-separated subset of benchmarks (default: whole suite)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=2,
+        help="best-of-N runs per benchmark (default 2)",
+    )
     return parser
 
 
@@ -244,7 +279,7 @@ def _record_tables(scenario, records, title_prefix: str) -> list[str]:
         notes = []
         for system in systems:
             points = [stats.get((system, label)) for label in labels]
-            missing = [str(l) for l, p in zip(labels, points) if p is None]
+            missing = [str(label) for label, p in zip(labels, points) if p is None]
             if missing:
                 notes.append(
                     f"note: {system} omitted from {metric} table -- no records "
@@ -388,6 +423,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import perfreport
+
+    names = None
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = [n for n in names if n not in perfreport.SUITE]
+        if unknown:
+            print(
+                f"error: unknown benchmarks {', '.join(unknown)}; "
+                f"suite: {', '.join(perfreport.SUITE)}"
+            )
+            return 2
+    try:
+        baseline = perfreport.load_report(args.check) if args.check else None
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {args.check}: {exc}")
+        return 2
+
+    print(f"perf suite ({args.repeats} runs per benchmark, best-of):")
+    results = perfreport.run_suite(names, repeats=args.repeats, progress=print)
+    report = perfreport.build_report(results)
+    out = perfreport.write_report(report, args.out)
+    print(f"report written to {out}")
+    if args.update:
+        baseline_path = perfreport.write_report(report, args.update)
+        print(f"baseline updated at {baseline_path}")
+
+    if baseline is None:
+        return 0
+    comparisons = perfreport.compare(report, baseline, tolerance=args.tolerance)
+    print(f"check vs {args.check} (tolerance {args.tolerance:.0%}):")
+    for comparison in comparisons:
+        print(f"  {comparison.render()}")
+    if not perfreport.check_passed(comparisons):
+        print("FAIL: performance regression beyond tolerance")
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         import sys
@@ -401,6 +477,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         return _cmd_report(args)
     return _legacy_main(argv)
 

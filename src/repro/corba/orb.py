@@ -193,24 +193,28 @@ class Orb:
         request_id = self._next_request_id
         self._next_request_id += 1
         request = Request(
-            target=target,
-            method=method,
-            args=args,
-            oneway=oneway,
-            request_id=request_id,
-            reply_to=None if oneway else self.address,
-            sender=self.address,
-            size=_args_size(method, args),
+            target,
+            method,
+            args,
+            oneway,
+            request_id,
+            None if oneway else self.address,
+            self.address,
+            _args_size(method, args),
         )
         if on_reply is not None:
             self._pending_replies[request_id] = on_reply
 
-        to_send = [request]
-        for interceptor in self.client_interceptors:
-            next_round: list[Request] = []
-            for req in to_send:
-                next_round.extend(interceptor.outgoing(req, self))
-            to_send = next_round
+        interceptors = self.client_interceptors
+        if interceptors:
+            to_send = [request]
+            for interceptor in interceptors:
+                next_round: list[Request] = []
+                for req in to_send:
+                    next_round.extend(interceptor.outgoing(req, self))
+                to_send = next_round
+        else:
+            to_send = (request,)
 
         for req in to_send:
             # Marshalling happens on the client CPU before transmission;

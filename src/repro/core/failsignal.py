@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import typing
-
 from repro.corba.node import Node
 from repro.corba.orb import ObjectRef, Servant
 from repro.core.config import FsoConfig

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.core.fso import Fso, _IcmpEntry
+from repro.core.fso import Fso
 from repro.core.messages import FsInput, SingleSigned
 from repro.crypto.signing import Signature, Signed
 

@@ -61,7 +61,11 @@ class FsOutputInbox(Servant):
     # ------------------------------------------------------------------
     def _valid(self, message: DoubleSigned, fs_id: str) -> bool:
         expected = self._registry.signers(fs_id)
-        if expected is None or set(message.signers) != set(expected):
+        if expected is None:
+            return False
+        signers = message.signers
+        # Order-insensitive pair match without building two sets.
+        if signers != expected and (signers[1], signers[0]) != expected:
             return False
         return self._keystore.check_double(message)
 

@@ -23,13 +23,24 @@ Traffic inside the pair (over the synchronous LAN):
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.corba.orb import ObjectRef
 from repro.crypto.canonical import canonical_encode
 from repro.crypto.digest import md5_hexdigest
 from repro.crypto.signing import Signed
 from repro.net.message import HEADER_BYTES, wire_size
+from repro.perf import IdentityCache
+
+#: Content keys are compared once per Compare thread per output; the
+#: digest of an immutable output is a constant, so memoise by identity.
+_content_key_cache = IdentityCache()
+
+#: The FSO cost paths read ``wire_size`` repeatedly (sign/verify cost
+#: per destination); the size of an immutable message is a constant.
+#: Values here are the *body* size (no transport header), distinct from
+#: :data:`repro.perf.wire_size_cache`, which stores header-inclusive
+#: sizes keyed by the same objects.
+_body_size_cache = IdentityCache()
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -47,10 +58,13 @@ class FsInput:
 
     @property
     def wire_size(self) -> int:
-        total = HEADER_BYTES + len(self.method)
-        for arg in self.args:
-            total += wire_size(arg) - HEADER_BYTES
-        return total
+        cached = _body_size_cache.get(self)
+        if cached is None:
+            cached = HEADER_BYTES + len(self.method)
+            for arg in self.args:
+                cached += wire_size(arg) - HEADER_BYTES
+            _body_size_cache.put(self, cached)
+        return cached
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -75,14 +89,23 @@ class FsOutput:
     def content_key(self) -> str:
         """Digest of the output *content* (destination, method, args) --
         what the two Compare processes actually compare."""
-        return md5_hexdigest(canonical_encode((self.target, self.method, self.args)))
+        cached = _content_key_cache.get(self)
+        if cached is None:
+            cached = md5_hexdigest(
+                canonical_encode((self.target, self.method, self.args))
+            )
+            _content_key_cache.put(self, cached)
+        return cached
 
     @property
     def wire_size(self) -> int:
-        total = HEADER_BYTES + len(self.method) + len(self.fs_id)
-        for arg in self.args:
-            total += wire_size(arg) - HEADER_BYTES
-        return total
+        cached = _body_size_cache.get(self)
+        if cached is None:
+            cached = HEADER_BYTES + len(self.method) + len(self.fs_id)
+            for arg in self.args:
+                cached += wire_size(arg) - HEADER_BYTES
+            _body_size_cache.put(self, cached)
+        return cached
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

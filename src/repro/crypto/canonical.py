@@ -7,13 +7,25 @@ prefixed tag format covering the value types that protocol messages use.
 
 The same encoding doubles as the wire format used by the ORB's marshaller
 for message-size accounting (see :mod:`repro.corba.marshal`).
+
+Encodings of immutable protocol messages are memoised through
+:data:`repro.perf.encode_cache`: a frozen dataclass whose fields are all
+``init=True, compare=True`` is encoded once and the bytes are reused on
+every later encode of the *same object* -- which is what turns an
+n-destination multicast's n sign/size/verify encodings into one.
+Dataclasses with lazily-written memo fields (declared ``compare=False``,
+e.g. the PBFT wire-size memos) are excluded because their encoding is
+not a pure function of object identity.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import operator
 import struct
 from typing import Any
+
+from repro.perf import encode_cache
 
 
 class CanonicalEncodingError(TypeError):
@@ -37,7 +49,242 @@ def _encode_length(n: int) -> bytes:
     return struct.pack(">I", n)
 
 
+#: Short strings (identities, method names, service names) recur on
+#: every message, so their encodings are memoised by value.  The memo is
+#: cleared wholesale on overflow: identifier vocabularies are small, so
+#: overflow means unbounded payload strings are leaking in and the whole
+#: set is suspect.
+_STR_MEMO: dict[str, bytes] = {}
+_STR_MEMO_MAX = 4096
+_STR_MEMO_LEN_LIMIT = 64
+
+
+def _encode_str(value: str) -> bytes:
+    cached = _STR_MEMO.get(value)
+    if cached is not None:
+        return cached
+    body = value.encode("utf-8")
+    encoded = _TAG_STR + _encode_length(len(body)) + body
+    if len(value) <= _STR_MEMO_LEN_LIMIT:
+        if len(_STR_MEMO) >= _STR_MEMO_MAX:
+            _STR_MEMO.clear()
+        _STR_MEMO[value] = encoded
+    return encoded
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class _DataclassShape:
+    """Per-type encoding plan, computed once per dataclass type.
+
+    ``header`` is the constant prefix (object tag, qualname, field
+    count); ``names`` holds each field's pre-encoded name, and
+    ``getter`` reads all field values in one C-level call;
+    ``cacheable`` says whether instances may be memoised by identity
+    (frozen, no lazily-mutated fields).
+    """
+
+    header: bytes
+    names: tuple[bytes, ...]
+    getter: Any  # operator.attrgetter over all fields (tuple result)
+    single: bool  # attrgetter returns a bare value for 1-field types
+    cacheable: bool
+
+
+_SHAPES: dict[type, _DataclassShape] = {}
+
+
+def _shape_for(cls: type) -> _DataclassShape:
+    shape = _SHAPES.get(cls)
+    if shape is None:
+        fields = dataclasses.fields(cls)
+        name = cls.__qualname__.encode("utf-8")
+        header = (
+            _TAG_OBJECT
+            + _encode_length(len(name))
+            + name
+            + _encode_length(len(fields))
+        )
+        cacheable = cls.__dataclass_params__.frozen and all(
+            f.init and f.compare for f in fields
+        )
+        shape = _DataclassShape(
+            header=header,
+            names=tuple(_encode_str(f.name) for f in fields),
+            getter=operator.attrgetter(*(f.name for f in fields)) if fields else None,
+            single=len(fields) == 1,
+            cacheable=cacheable,
+        )
+        _SHAPES[cls] = shape
+    return shape
+
+
+#: Per-type verdicts for :func:`is_identity_cacheable`, covering *all*
+#: types (False for non-dataclasses) so the hot path is one dict lookup.
+_CACHEABLE_TYPES: dict[type, bool] = {}
+
+
+def is_identity_cacheable(value: Any) -> bool:
+    """True for frozen dataclass *instances* whose derived values
+    (canonical encoding, wire size) are safe to memoise by object
+    identity -- i.e. every field is ``init=True, compare=True`` (no
+    lazily-written memo fields)."""
+    cls = value.__class__
+    cacheable = _CACHEABLE_TYPES.get(cls)
+    if cacheable is None:
+        cacheable = dataclasses.is_dataclass(cls) and _shape_for(cls).cacheable
+        _CACHEABLE_TYPES[cls] = cacheable
+    return cacheable
+
+
+def _encode_dataclass(value: Any, shape: _DataclassShape, out: list[bytes]) -> None:
+    out.append(shape.header)
+    if shape.getter is None:
+        return
+    values = shape.getter(value)
+    if shape.single:
+        out.append(shape.names[0])
+        _encode_into(values, out)
+        return
+    for encoded_name, item in zip(shape.names, values):
+        out.append(encoded_name)
+        _encode_into(item, out)
+
+
+def _encode_dataclass_node(value: Any, out: list[bytes]) -> None:
+    shape = _shape_for(value.__class__)
+    if shape.cacheable:
+        # Inlined encode_cache.get/put (stats kept): this is the single
+        # hottest lookup in a signed multicast fan-out.
+        entry = encode_cache._entries.get(id(value))
+        if entry is not None:
+            encode_cache._hits += 1
+            out.append(entry[1])
+            return
+        encode_cache._misses += 1
+        sub: list[bytes] = []
+        _encode_dataclass(value, shape, sub)
+        cached = b"".join(sub)
+        encode_cache.put(value, cached)
+        out.append(cached)
+    else:
+        _encode_dataclass(value, shape, out)
+
+
+def _encode_none(value: Any, out: list[bytes]) -> None:
+    out.append(_TAG_NONE)
+
+
+def _encode_bool(value: Any, out: list[bytes]) -> None:
+    out.append(_TAG_TRUE if value else _TAG_FALSE)
+
+
+#: Small integers (sequence numbers, view ids, lamport clocks) recur on
+#: every message; same overflow policy as the string memo.
+_INT_MEMO: dict[int, bytes] = {}
+_INT_MEMO_MAX = 8192
+_INT_MEMO_LIMIT = 1 << 20
+
+
+def _encode_int(value: Any, out: list[bytes]) -> None:
+    # The memo is exact-int only: an int subclass (e.g. an IntEnum)
+    # hashes equal to its value but may stringify differently.
+    if value.__class__ is int:
+        encoded = _INT_MEMO.get(value)
+        if encoded is None:
+            body = str(value).encode("ascii")
+            encoded = _TAG_INT + _encode_length(len(body)) + body
+            if -_INT_MEMO_LIMIT <= value <= _INT_MEMO_LIMIT:
+                if len(_INT_MEMO) >= _INT_MEMO_MAX:
+                    _INT_MEMO.clear()
+                _INT_MEMO[value] = encoded
+        out.append(encoded)
+        return
+    body = str(value).encode("ascii")
+    out.append(_TAG_INT)
+    out.append(_encode_length(len(body)))
+    out.append(body)
+
+
+def _encode_float(value: Any, out: list[bytes]) -> None:
+    out.append(_TAG_FLOAT)
+    out.append(struct.pack(">d", value))
+
+
+def _encode_str_node(value: Any, out: list[bytes]) -> None:
+    encoded = _STR_MEMO.get(value)
+    if encoded is None:
+        body = value.encode("utf-8")
+        encoded = _TAG_STR + _encode_length(len(body)) + body
+        if len(value) <= _STR_MEMO_LEN_LIMIT:
+            if len(_STR_MEMO) >= _STR_MEMO_MAX:
+                _STR_MEMO.clear()
+            _STR_MEMO[value] = encoded
+    out.append(encoded)
+
+
+def _encode_bytes(value: Any, out: list[bytes]) -> None:
+    body = bytes(value)
+    out.append(_TAG_BYTES)
+    out.append(_encode_length(len(body)))
+    out.append(body)
+
+
+def _encode_list(value: Any, out: list[bytes]) -> None:
+    out.append(_TAG_LIST)
+    out.append(_encode_length(len(value)))
+    for item in value:
+        _encode_into(item, out)
+
+
+def _encode_tuple(value: Any, out: list[bytes]) -> None:
+    out.append(_TAG_TUPLE)
+    out.append(_encode_length(len(value)))
+    for item in value:
+        _encode_into(item, out)
+
+
+def _encode_dict(value: Any, out: list[bytes]) -> None:
+    # Keys are sorted by their own canonical encoding, which both
+    # imposes a total order and permits mixed key types.
+    entries = [(canonical_encode(k), k, v) for k, v in value.items()]
+    entries.sort(key=lambda e: e[0])
+    out.append(_TAG_DICT)
+    out.append(_encode_length(len(entries)))
+    for key_bytes, __, item in entries:
+        out.append(key_bytes)
+        _encode_into(item, out)
+
+
+#: Exact-type fast dispatch.  Correct only for exact builtin types (a
+#: subclass must take the precedence-ordered fallback chain below);
+#: dataclass types are *learned* into it the first time an instance
+#: comes through the fallback, which proves no earlier branch claims
+#: that exact type.
+_DISPATCH: dict[type, Any] = {
+    type(None): _encode_none,
+    bool: _encode_bool,
+    int: _encode_int,
+    float: _encode_float,
+    str: _encode_str_node,
+    bytes: _encode_bytes,
+    list: _encode_list,
+    tuple: _encode_tuple,
+    dict: _encode_dict,
+}
+
+
 def _encode_into(value: Any, out: list[bytes]) -> None:
+    handler = _DISPATCH.get(value.__class__)
+    if handler is not None:
+        handler(value, out)
+        return
+    _encode_fallback(value, out)
+
+
+def _encode_fallback(value: Any, out: list[bytes]) -> None:
+    """The precedence-ordered type chain, for anything not (yet) in the
+    exact-type dispatch table: subclasses of the builtins, bytearray and
+    memoryview views, frozensets, and dataclasses."""
     if value is None:
         out.append(_TAG_NONE)
     elif value is True:
@@ -45,53 +292,24 @@ def _encode_into(value: Any, out: list[bytes]) -> None:
     elif value is False:
         out.append(_TAG_FALSE)
     elif isinstance(value, int):
-        body = str(value).encode("ascii")
-        out.append(_TAG_INT)
-        out.append(_encode_length(len(body)))
-        out.append(body)
+        _encode_int(value, out)
     elif isinstance(value, float):
-        out.append(_TAG_FLOAT)
-        out.append(struct.pack(">d", value))
+        _encode_float(value, out)
     elif isinstance(value, str):
-        body = value.encode("utf-8")
-        out.append(_TAG_STR)
-        out.append(_encode_length(len(body)))
-        out.append(body)
+        out.append(_encode_str(value))
     elif isinstance(value, (bytes, bytearray, memoryview)):
-        body = bytes(value)
-        out.append(_TAG_BYTES)
-        out.append(_encode_length(len(body)))
-        out.append(body)
+        _encode_bytes(value, out)
     elif isinstance(value, list):
-        out.append(_TAG_LIST)
-        out.append(_encode_length(len(value)))
-        for item in value:
-            _encode_into(item, out)
+        _encode_list(value, out)
     elif isinstance(value, tuple):
-        out.append(_TAG_TUPLE)
-        out.append(_encode_length(len(value)))
-        for item in value:
-            _encode_into(item, out)
+        _encode_tuple(value, out)
     elif isinstance(value, (dict,)):
-        # Keys are sorted by their own canonical encoding, which both
-        # imposes a total order and permits mixed key types.
-        entries = [(canonical_encode(k), k, v) for k, v in value.items()]
-        entries.sort(key=lambda e: e[0])
-        out.append(_TAG_DICT)
-        out.append(_encode_length(len(entries)))
-        for key_bytes, __, item in entries:
-            out.append(key_bytes)
-            _encode_into(item, out)
+        _encode_dict(value, out)
     elif dataclasses.is_dataclass(value) and not isinstance(value, type):
-        out.append(_TAG_OBJECT)
-        name = type(value).__qualname__.encode("utf-8")
-        out.append(_encode_length(len(name)))
-        out.append(name)
-        fields = dataclasses.fields(value)
-        out.append(_encode_length(len(fields)))
-        for field in fields:
-            _encode_into(field.name, out)
-            _encode_into(getattr(value, field.name), out)
+        # Reaching this branch proves every earlier isinstance was False
+        # for this exact type, so it can take the fast path from now on.
+        _DISPATCH[value.__class__] = _encode_dataclass_node
+        _encode_dataclass_node(value, out)
     elif isinstance(value, frozenset):
         encoded = sorted(canonical_encode(item) for item in value)
         out.append(_TAG_LIST)
@@ -112,4 +330,6 @@ def canonical_encode(value: Any) -> bytes:
     """
     out: list[bytes] = []
     _encode_into(value, out)
+    if len(out) == 1:
+        return out[0]
     return b"".join(out)

@@ -11,9 +11,10 @@ from repro.crypto.signing import (
     SignatureScheme,
     Signed,
     Signer,
-    _countersign_bytes,
+    _double_countersign_bytes,
     _payload_bytes,
 )
+from repro.perf import IdentityCache
 
 
 class KeyStore:
@@ -28,6 +29,13 @@ class KeyStore:
     def __init__(self, scheme: SignatureScheme) -> None:
         self.scheme = scheme
         self._public: dict[str, Any] = {}
+        # Whole-message verdicts keyed by DoubleSigned identity: sound
+        # because the message is frozen and key material is append-only
+        # and immutable per identity, so a verdict can never go stale.
+        # This turns the n-destination re-check of one multicast into a
+        # dict hit (an unknown signer raises instead of returning, so
+        # late registration cannot be masked by a cached verdict).
+        self._double_verdicts = IdentityCache(maxsize=131072)
 
     # ------------------------------------------------------------------
     # registration
@@ -42,7 +50,7 @@ class KeyStore:
             raise ValueError(f"identity {identity!r} already registered")
         private, public = self.scheme.generate(rng)
         self._public[identity] = public
-        return Signer(identity, self.scheme, private)
+        return Signer(identity, self.scheme, private, public=public)
 
     def knows(self, identity: str) -> bool:
         return identity in self._public
@@ -62,22 +70,35 @@ class KeyStore:
     def check_signed(self, signed: Signed) -> bool:
         """Verify a single-signed message (no exception on bad sig)."""
         public = self._public_for(signed.signature.signer)
-        return self.scheme.verify(
+        return self.scheme.verify_cached(
             public, _payload_bytes(signed.payload), signed.signature.value
         )
 
     def check_double(self, message: DoubleSigned) -> bool:
         """Verify a double-signed message: first signature over the
-        payload, second over (payload, first)."""
+        payload, second over (payload, first).
+
+        The verdict is memoised by message identity, and both underlying
+        checks go through the scheme's verification memo -- so the n
+        destinations of one multicast pay for one real verification
+        pair, not n.
+        """
+        cached = self._double_verdicts.get(message)
+        if cached is None:
+            cached = self._check_double_uncached(message)
+            self._double_verdicts.put(message, cached)
+        return cached
+
+    def _check_double_uncached(self, message: DoubleSigned) -> bool:
         first_public = self._public_for(message.first.signer)
-        if not self.scheme.verify(
+        if not self.scheme.verify_cached(
             first_public, _payload_bytes(message.payload), message.first.value
         ):
             return False
         second_public = self._public_for(message.second.signer)
-        return self.scheme.verify(
+        return self.scheme.verify_cached(
             second_public,
-            _countersign_bytes(message.payload, message.first),
+            _double_countersign_bytes(message),
             message.second.value,
         )
 

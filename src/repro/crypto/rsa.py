@@ -17,6 +17,22 @@ from repro.crypto.digest import md5_int
 from repro.crypto.primes import generate_prime
 
 
+def reduce_digest(digest: int, modulus: int) -> int:
+    """The digest-reduction rule shared by signing and verification.
+
+    RSA operates on residues mod ``n``, so a digest at or above the
+    modulus is signed -- and must be verified -- as ``digest % n``.
+    With the enforced >= 136-bit modulus an MD5 digest (128 bits) never
+    actually reduces; the rule exists so that callers feeding raw
+    integers get one explicit, symmetric behaviour instead of an
+    implicit ``%`` on one side only.  Negative digests have no defined
+    encoding and are rejected outright.
+    """
+    if digest < 0:
+        raise ValueError(f"digest must be >= 0, got {digest}")
+    return digest % modulus
+
+
 @dataclasses.dataclass(frozen=True, slots=True)
 class RsaPublicKey:
     """Public half of an RSA keypair: modulus and public exponent."""
@@ -29,10 +45,10 @@ class RsaPublicKey:
         return self.n.bit_length()
 
     def verify_int(self, digest: int, signature: int) -> bool:
-        """Check ``signature^e mod n == digest``."""
+        """Check ``signature^e mod n == reduce_digest(digest, n)``."""
         if not 0 <= signature < self.n:
             return False
-        return pow(signature, self.e, self.n) == digest % self.n
+        return pow(signature, self.e, self.n) == reduce_digest(digest, self.n)
 
     def verify(self, data: bytes, signature: int) -> bool:
         return self.verify_int(md5_int(data), signature)
@@ -46,7 +62,7 @@ class RsaKeyPair:
     d: int
 
     def sign_int(self, digest: int) -> int:
-        return pow(digest % self.public.n, self.d, self.public.n)
+        return pow(reduce_digest(digest, self.public.n), self.d, self.public.n)
 
     def sign(self, data: bytes) -> int:
         """Sign the MD5 digest of ``data``."""

@@ -16,14 +16,13 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-import hashlib
 import hmac
 import random
 from typing import Any
 
 from repro.crypto.canonical import canonical_encode
-from repro.crypto.errors import SignatureInvalid
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
+from repro.perf import VerifyCache, countersign_cache
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -71,8 +70,24 @@ def _countersign_bytes(payload: Any, first: Signature) -> bytes:
     return canonical_encode((payload, first.signer, first.value))
 
 
+def _double_countersign_bytes(message: DoubleSigned) -> bytes:
+    """Countersign bytes of a double-signed message, memoised by the
+    message's identity (safe: ``DoubleSigned`` is frozen, so the same
+    object always yields the same ``(payload, first)`` pair -- a grafted
+    second signature necessarily lives in a *different* message object).
+    """
+    cached = countersign_cache.get(message)
+    if cached is None:
+        cached = _countersign_bytes(message.payload, message.first)
+        countersign_cache.put(message, cached)
+    return cached
+
+
 class SignatureScheme(abc.ABC):
     """Key generation plus raw sign/verify over byte strings."""
+
+    #: Entry bound of the per-instance verification memo.
+    verify_cache_size = 16384
 
     @abc.abstractmethod
     def generate(self, rng: random.Random) -> tuple[Any, Any]:
@@ -85,6 +100,61 @@ class SignatureScheme(abc.ABC):
     @abc.abstractmethod
     def verify(self, public: Any, data: bytes, value: Any) -> bool:
         """Check a signature value against ``data``."""
+
+    def verify_cached(self, public: Any, data: bytes, value: Any) -> bool:
+        """:meth:`verify`, memoised per scheme instance.
+
+        The n destinations of a double-signed multicast all check the
+        same ``(signer, message digest, signature)`` triple; the first
+        check does the work, the rest hit the memo.  The signer is keyed
+        by its *public material* rather than its identity string, so the
+        cache stays correct even if two callers bind the same name to
+        different keys.  The message is keyed by its full canonical
+        bytes: CPython caches a bytes object's hash, and the encode memo
+        hands every verifier the *same* bytes object, so the digesting
+        is paid once per message rather than per check (and, unlike a
+        truncated digest, cannot collide).  Unhashable signature values
+        fall back to direct verification.
+
+        The cache lives on the scheme instance (one per simulation's
+        keystore), created lazily so subclasses need no ``__init__``
+        cooperation.
+        """
+        cache = getattr(self, "_verify_cache", None) or self._make_verify_cache()
+        key = (public, data, value)
+        try:
+            verdict = cache.get(key)
+        except TypeError:
+            return self.verify(public, data, value)
+        if verdict is None:
+            verdict = self.verify(public, data, value)
+            cache.put(key, verdict)
+        return verdict
+
+    def seed_verified(self, public: Any, data: bytes, value: Any) -> None:
+        """Record that ``value`` is ``public``'s valid signature of
+        ``data`` without running verification.
+
+        Only the *signer* may call this, for a signature it just
+        produced: ``verify(public, data, sign(private, data))`` is an
+        identity of the scheme, so the seeded verdict is exactly what
+        :meth:`verify_cached` would compute -- the first destination
+        simply no longer pays for it.  The verdict is keyed by the full
+        ``(public material, message bytes, signature)`` triple, so it
+        says nothing about any *other* data or signature value.
+        """
+        cache = getattr(self, "_verify_cache", None) or self._make_verify_cache()
+        try:
+            cache.put((public, data, value), True)
+        except TypeError:
+            pass
+
+    def _make_verify_cache(self) -> VerifyCache:
+        """Lazy per-instance cache creation (subclasses need no
+        ``__init__`` cooperation)."""
+        cache = VerifyCache(self.verify_cache_size)
+        self._verify_cache = cache
+        return cache
 
 
 class RsaScheme(SignatureScheme):
@@ -120,12 +190,14 @@ class HmacScheme(SignatureScheme):
         return secret, secret
 
     def sign(self, private: bytes, data: bytes) -> bytes:
-        return hmac.new(private, data, hashlib.sha256).digest()
+        # hmac.digest is the one-shot C path -- same output as
+        # hmac.new(...).digest(), materially faster per call.
+        return hmac.digest(private, data, "sha256")
 
     def verify(self, public: bytes, data: bytes, value: Any) -> bool:
         if not isinstance(value, (bytes, bytearray)):
             return False
-        expected = hmac.new(public, data, hashlib.sha256).digest()
+        expected = hmac.digest(public, data, "sha256")
         return hmac.compare_digest(expected, bytes(value))
 
 
@@ -133,16 +205,28 @@ class Signer:
     """Private signing capability bound to one identity.
 
     Created through :meth:`repro.crypto.KeyStore.new_signer`, which also
-    registers the public half for verification.
+    registers the public half for verification.  When the signer knows
+    its own public material it seeds the scheme's verification memo for
+    each signature it produces (see :meth:`SignatureScheme.seed_verified`).
     """
 
-    def __init__(self, identity: str, scheme: SignatureScheme, private: Any) -> None:
+    def __init__(
+        self,
+        identity: str,
+        scheme: SignatureScheme,
+        private: Any,
+        public: Any = None,
+    ) -> None:
         self.identity = identity
         self._scheme = scheme
         self._private = private
+        self._public = public
 
     def sign_bytes(self, data: bytes) -> Signature:
-        return Signature(self.identity, self._scheme.sign(self._private, data))
+        value = self._scheme.sign(self._private, data)
+        if self._public is not None:
+            self._scheme.seed_verified(self._public, data, value)
+        return Signature(self.identity, value)
 
     def sign_payload(self, payload: Any) -> Signed:
         """Single-sign an arbitrary canonical-encodable payload."""
@@ -150,8 +234,14 @@ class Signer:
 
     def countersign(self, signed: Signed) -> DoubleSigned:
         """Add a second signature over (payload, first signature)."""
-        value = self.sign_bytes(_countersign_bytes(signed.payload, signed.signature))
-        return DoubleSigned(payload=signed.payload, first=signed.signature, second=value)
+        data = _countersign_bytes(signed.payload, signed.signature)
+        value = self.sign_bytes(data)
+        double = DoubleSigned(payload=signed.payload, first=signed.signature, second=value)
+        # Verifiers need these exact bytes (see _double_countersign_bytes);
+        # they were just computed, so seed the memo instead of letting the
+        # first destination re-derive them.
+        countersign_cache.put(double, data)
+        return double
 
     def __repr__(self) -> str:
         return f"<Signer {self.identity!r}>"

@@ -18,7 +18,6 @@ import dataclasses
 import typing
 
 from repro.experiments.spec import (
-    CALM_LAN,
     SPIKY_NET,
     DelaySpec,
     FaultEvent,

@@ -14,6 +14,7 @@ import typing
 
 from repro.analysis.metrics import summarize
 from repro.baselines.pbft import PbftCluster
+from repro.perf import clear_caches, gc_paused
 from repro.core.fso import FsoRole
 from repro.crypto.costmodel import CryptoCostModel
 from repro.experiments.spec import ScenarioSpec
@@ -145,7 +146,12 @@ def _run_ordering(
         write_ratio=spec.write_ratio,
     )
     _schedule_faults(sim, group, spec)
-    workload.run(settle_ms=spec.settle_ms)
+    with gc_paused():  # host-time only; see repro.perf
+        workload.run(settle_ms=spec.settle_ms)
+        # Entries keyed to this run's (now dead) messages would only
+        # cause eviction churn in the next run and inflate the final
+        # collection; dropping them inside the pause frees by refcount.
+        clear_caches()
     return workload
 
 
@@ -240,7 +246,8 @@ def _run_pbft(spec: ScenarioSpec) -> dict[str, float]:
 
     for i in range(total):
         sim.schedule(i * spacing, submit)
-    sim.run(until=total * spacing + spec.settle_ms, max_events=200_000_000)
+    with gc_paused():  # host-time only; see repro.perf
+        sim.run(until=total * spacing + spec.settle_ms, max_events=200_000_000)
 
     ordered = min(len(r.executed) for r in cluster.replicas.values())
     view_changes = sum(r.view_changes for r in cluster.replicas.values())

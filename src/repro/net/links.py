@@ -102,14 +102,7 @@ class SynchronousLink:
         """Send from ``src`` to the other endpoint."""
         dst = self.peer_of(src)
         msg_size = size if size is not None else wire_size(payload)
-        envelope = Envelope(
-            src=src,
-            dst=dst,
-            payload=payload,
-            size=msg_size,
-            sent_at=self.sim.now,
-            msg_id=self._next_msg_id,
-        )
+        envelope = Envelope(src, dst, payload, msg_size, self.sim.now, self._next_msg_id)
         self._next_msg_id += 1
         self.stats.messages_sent += 1
         self.stats.bytes_sent += msg_size
@@ -125,7 +118,8 @@ class SynchronousLink:
             )
         deliver_at = self.sim.now + delay + extra
         last = self._last_delivery.get(dst, 0.0)
-        deliver_at = max(deliver_at, last)
+        if last > deliver_at:
+            deliver_at = last
         self._last_delivery[dst] = deliver_at
         self.sim.schedule_at(deliver_at, self._deliver, envelope)
 

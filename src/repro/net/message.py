@@ -5,11 +5,28 @@ from __future__ import annotations
 import dataclasses
 from typing import Any
 
-from repro.crypto.canonical import CanonicalEncodingError, canonical_encode
+from repro.crypto.canonical import (
+    CanonicalEncodingError,
+    canonical_encode,
+    is_identity_cacheable,
+)
+from repro.perf import wire_size_cache
 
 #: Fixed per-message header overhead charged on top of the payload, in
 #: bytes.  Roughly an IIOP + TCP/IP header.
 HEADER_BYTES = 64
+
+
+def _wire_size_uncached(payload: Any) -> int:
+    explicit = getattr(payload, "wire_size", None)
+    if explicit is not None:
+        return int(explicit) + HEADER_BYTES
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload) + HEADER_BYTES
+    try:
+        return len(canonical_encode(payload)) + HEADER_BYTES
+    except CanonicalEncodingError:
+        return HEADER_BYTES
 
 
 def wire_size(payload: Any) -> int:
@@ -20,16 +37,19 @@ def wire_size(payload: Any) -> int:
     bodies carried by reference), raw byte length, then the canonical
     encoding length.  Objects that cannot be sized are charged the header
     only.
+
+    Immutable messages (frozen dataclasses without lazy memo fields) are
+    sized once and memoised by identity: the multicast fan-out and the
+    nested ``wire_size`` property chains re-size the same object once per
+    destination otherwise.
     """
-    explicit = getattr(payload, "wire_size", None)
-    if explicit is not None:
-        return int(explicit) + HEADER_BYTES
-    if isinstance(payload, (bytes, bytearray, memoryview)):
-        return len(payload) + HEADER_BYTES
-    try:
-        return len(canonical_encode(payload)) + HEADER_BYTES
-    except CanonicalEncodingError:
-        return HEADER_BYTES
+    if is_identity_cacheable(payload):
+        cached = wire_size_cache.get(payload)
+        if cached is None:
+            cached = _wire_size_uncached(payload)
+            wire_size_cache.put(payload, cached)
+        return cached
+    return _wire_size_uncached(payload)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

@@ -134,14 +134,7 @@ class Network:
         if dst not in self._endpoints:
             raise AddressUnknown(f"unknown destination {dst!r}")
         msg_size = size if size is not None else wire_size(payload)
-        envelope = Envelope(
-            src=src,
-            dst=dst,
-            payload=payload,
-            size=msg_size,
-            sent_at=self.sim.now,
-            msg_id=self._next_msg_id,
-        )
+        envelope = Envelope(src, dst, payload, msg_size, self.sim.now, self._next_msg_id)
         self._next_msg_id += 1
         self.stats.messages_sent += 1
         self.stats.bytes_sent += msg_size
@@ -156,7 +149,8 @@ class Network:
         deliver_at = self.sim.now + delay
         if self.fifo:
             last = self._last_delivery.get((src, dst), 0.0)
-            deliver_at = max(deliver_at, last)
+            if last > deliver_at:
+                deliver_at = last
             self._last_delivery[(src, dst)] = deliver_at
         self.sim.schedule_at(deliver_at, self._deliver, envelope)
 

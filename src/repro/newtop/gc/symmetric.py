@@ -25,7 +25,6 @@ time" a sound stability test.
 from __future__ import annotations
 
 import dataclasses
-import typing
 
 from repro.corba.anytype import Any as CorbaAny
 from repro.newtop.gc.context import ProtocolContext

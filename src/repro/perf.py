@@ -1,0 +1,227 @@
+"""Hot-path caches shared by the crypto/net/sim stack.
+
+Profiling a figure-7 sweep shows the simulator spending the large
+majority of host time re-deriving values that never change: every
+multicast of a ``DoubleSigned`` output re-encodes the same frozen
+payload once per destination (wire sizing, payload bytes, countersign
+bytes) and re-verifies the same two signatures at each of the *n*
+inboxes.  The caches here memoise exactly those derivations.
+
+Correctness contract
+--------------------
+
+* :data:`encode_cache` maps *object identity* to canonical encoding.
+  It is consulted only for frozen dataclasses whose fields are all
+  ``init=True, compare=True`` (see ``repro.crypto.canonical``); lazily
+  self-mutating messages (fields declared ``compare=False``, e.g. the
+  PBFT size memos) are never cached.  Entries hold a strong reference
+  to the key object, so an ``id`` can never be reused while its entry
+  is alive.
+* Signature-verification caching lives per :class:`SignatureScheme`
+  instance (see ``repro.crypto.signing``) and is keyed by the signer's
+  *public material* plus the message digest plus the signature value,
+  so two simulations reusing identity names can never cross-pollute.
+
+Both caches are pure memoisation: they change host wall-clock time
+only, never simulated time, RNG draws, or trace contents -- the
+determinism suite pins this.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import gc
+import itertools
+import weakref
+from typing import Any, Hashable, Iterator
+
+
+#: Every IdentityCache ever constructed, so :func:`clear_caches` cannot
+#: miss one that lives in another module (e.g. the content-key and
+#:  body-size memos in ``repro.core.messages``).  Weak references: the
+#: per-KeyStore verdict caches must still die with their keystore.
+_identity_caches: "weakref.WeakSet[IdentityCache]" = weakref.WeakSet()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one cache (reset by ``clear``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class IdentityCache:
+    """Identity-keyed memo of derived values for immutable messages
+    (canonical encodings, wire sizes).
+
+    Entries are ``id(obj) -> (obj, value)``; the strong reference to
+    ``obj`` keeps its ``id`` valid for the entry's lifetime.  When the
+    cache fills up, the oldest quarter is evicted (insertion order) --
+    protocol messages are hot for the duration of one multicast fan-out,
+    so FIFO is as good as LRU here and much cheaper per hit.
+    """
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        if maxsize < 4:
+            raise ValueError(f"maxsize must be >= 4, got {maxsize}")
+        self.maxsize = maxsize
+        self._enabled = True
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._entries: dict[int, tuple[Any, Any]] = {}
+        _identity_caches.add(self)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, flag: bool) -> None:
+        """Disabling also drops existing entries, so a disabled cache is
+        genuinely inert (lookups -- including inlined fast paths reading
+        ``_entries`` directly -- cannot keep serving stale memoisation
+        while an A/B measurement believes the cache is off)."""
+        self._enabled = bool(flag)
+        if not self._enabled:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters (kept as plain ints on the hot path)."""
+        return CacheStats(self._hits, self._misses, self._evictions)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, obj: Any) -> Any | None:
+        entry = self._entries.get(id(obj))
+        if entry is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        return entry[1]
+
+    def put(self, obj: Any, value: Any) -> None:
+        if not self._enabled:
+            return
+        entries = self._entries
+        if len(entries) >= self.maxsize:
+            drop = list(itertools.islice(iter(entries), self.maxsize // 4))
+            for key in drop:
+                del entries[key]
+            self._evictions += len(drop)
+        entries[id(obj)] = (obj, value)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._hits = self._misses = self._evictions = 0
+
+
+class VerifyCache:
+    """Bounded memo of signature-verification verdicts.
+
+    Keys are built by the caller (``SignatureScheme.verify_cached``);
+    values are the boolean verdicts.  Unhashable keys are the caller's
+    problem -- it falls back to direct verification.
+    """
+
+    def __init__(self, maxsize: int = 16384) -> None:
+        if maxsize < 4:
+            raise ValueError(f"maxsize must be >= 4, got {maxsize}")
+        self.maxsize = maxsize
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._entries: dict[Hashable, bool] = {}
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters (kept as plain ints on the hot path)."""
+        return CacheStats(self._hits, self._misses, self._evictions)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> bool | None:
+        verdict = self._entries.get(key)
+        if verdict is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        return verdict
+
+    def put(self, key: Hashable, verdict: bool) -> None:
+        entries = self._entries
+        if len(entries) >= self.maxsize:
+            drop = list(itertools.islice(iter(entries), self.maxsize // 4))
+            for k in drop:
+                del entries[k]
+            self._evictions += len(drop)
+        entries[key] = verdict
+
+
+#: The process-wide canonical-encoding memo (see module docstring).
+#: Sized for the largest figure sweeps (a fig-7 n=15 run touches ~230k
+#: unique messages); entries are small and the experiment runner clears
+#: between runs, so the bound is a leak guard more than a working-set
+#: limit.
+encode_cache = IdentityCache(maxsize=262144)
+
+#: Memo of countersign byte strings, keyed by the identity of the
+#: ``DoubleSigned`` message they belong to.  Verifying the second
+#: signature needs ``canonical_encode((payload, first.signer,
+#: first.value))``; the tuple is rebuilt per check, so the object-level
+#: memo above cannot help -- this one keys on the (frozen, immutable)
+#: container message instead.
+countersign_cache = IdentityCache(maxsize=131072)
+
+#: Memo of wire sizes, keyed by message identity.  Transmission paths
+#: re-size the same frozen message once per destination (and nested
+#: ``wire_size`` properties re-walk their argument lists every call);
+#: the size of an immutable message is a constant.
+wire_size_cache = IdentityCache(maxsize=262144)
+
+
+def clear_caches() -> None:
+    """Drop every live :class:`IdentityCache` (benchmark/test isolation,
+    and the experiment runner's between-runs memory release)."""
+    for cache in list(_identity_caches):
+        cache.clear()
+
+
+@contextlib.contextmanager
+def gc_paused() -> Iterator[None]:
+    """Pause the cyclic collector for an allocation-heavy simulation run.
+
+    A churny run allocates millions of short-lived messages/events while
+    the memo caches pin a large object graph; generational GC then burns
+    ~40% of host time re-scanning it (measured on a fig-7 n=15 point).
+    Protocol state is overwhelmingly acyclic, so deferring collection to
+    the end of the run is safe and collects the cycles (ORB closures,
+    event callbacks) in one pass.  GC state is restored on exit; if GC
+    was already disabled (nested use), this is a no-op.
+
+    Pausing GC changes host-time behaviour only -- allocation order,
+    RNG draws and simulation results are untouched.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()

@@ -8,12 +8,18 @@ from typing import Any, Callable
 
 @dataclasses.dataclass(slots=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback, doubling as its own cancellation handle.
 
     Ordering is by ``(time, priority, seq)``.  ``seq`` is a global
     insertion counter, which makes the ordering total and deterministic:
     two events at the same instant fire in the order they were scheduled
     (unless ``priority`` says otherwise; lower fires first).
+
+    Cancellation is lazy: the event stays in the heap but is skipped
+    when popped.  This keeps cancellation O(1), which matters because
+    timeout timers (the common case in the FS wrappers) are almost
+    always cancelled before they fire.  The scheduler hands the event
+    itself back as the handle -- one allocation per scheduling, not two.
     """
 
     time: float
@@ -23,36 +29,18 @@ class Event:
     args: tuple[Any, ...]
     cancelled: bool = False
 
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns ``False`` if already cancelled."""
+        if self.cancelled:
+            return False
+        self.cancelled = True
+        return True
+
     def sort_key(self) -> tuple[float, int, int]:
         return (self.time, self.priority, self.seq)
 
 
-class EventHandle:
-    """Cancellable reference to a scheduled event.
-
-    Cancellation is lazy: the event stays in the heap but is skipped when
-    popped.  This keeps cancellation O(1), which matters because timeout
-    timers (the common case in the FS wrappers) are almost always
-    cancelled before they fire.
-    """
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: Event) -> None:
-        self._event = event
-
-    @property
-    def time(self) -> float:
-        """Virtual time at which the event will fire (if not cancelled)."""
-        return self._event.time
-
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
-
-    def cancel(self) -> bool:
-        """Cancel the event.  Returns ``False`` if already cancelled."""
-        if self._event.cancelled:
-            return False
-        self._event.cancelled = True
-        return True
+#: Historical name for the value :meth:`Simulator.schedule` returns.
+#: The handle and the event are the same object now; the alias keeps
+#: annotations and isinstance checks working.
+EventHandle = Event

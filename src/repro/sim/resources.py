@@ -106,7 +106,9 @@ class CpuResource:
             self._start(job)
         else:
             heapq.heappush(self._queue, ((job.priority, job.seq), job))
-            self.stats.max_queue_length = max(self.stats.max_queue_length, len(self._queue))
+            depth = len(self._queue)
+            if depth > self.stats.max_queue_length:
+                self.stats.max_queue_length = depth
 
     def _start(self, job: _CpuJob) -> None:
         self._busy += 1
@@ -115,11 +117,11 @@ class CpuResource:
 
     def _finish(self, job: _CpuJob) -> None:
         self._busy -= 1
-        self.stats.jobs_completed += 1
-        self.stats.busy_time += job.service_time
+        stats = self.stats
+        stats.jobs_completed += 1
+        stats.busy_time += job.service_time
         if self._queue:
-            __, next_job = heapq.heappop(self._queue)
-            self._start(next_job)
+            self._start(heapq.heappop(self._queue)[1])
         job.callback(*job.args)
 
 

@@ -30,7 +30,10 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: TraceRecorder | None = None) -> None:
         self._now = 0.0
-        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        # Heap entries carry the sort key inline -- (time, priority,
+        # seq, event) -- so pushes build one tuple and pops index into
+        # it; ``seq`` is unique, so the Event itself is never compared.
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._events_processed = 0
         self._seed = seed
@@ -86,10 +89,21 @@ class Simulator:
         *args: Any,
         priority: int = 0,
     ) -> EventHandle:
-        """Schedule ``callback(*args)`` to run ``delay`` ms from now."""
+        """Schedule ``callback(*args)`` to run ``delay`` ms from now.
+
+        The construct-and-push body is deliberately duplicated with
+        :meth:`schedule_at` (keep the two in sync): this is the hottest
+        call in the simulator and a shared helper would put a function
+        call back on every scheduling.
+        """
         if delay < 0:
             raise SchedulingInPastError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args)
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        return event
 
     def schedule_at(
         self,
@@ -103,10 +117,11 @@ class Simulator:
             raise SchedulingInPastError(
                 f"cannot schedule at {time!r}; current time is {self._now!r}"
             )
-        event = Event(time=time, priority=priority, seq=self._seq, callback=callback, args=args)
-        self._seq += 1
-        heapq.heappush(self._heap, (event.sort_key(), event))
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args)
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        return event
 
     # ------------------------------------------------------------------
     # execution
@@ -117,7 +132,7 @@ class Simulator:
         Returns ``False`` when the heap is empty (nothing ran).
         """
         while self._heap:
-            __, event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[3]
             if event.cancelled:
                 continue
             self._now = event.time
@@ -140,14 +155,17 @@ class Simulator:
         duration).
         """
         processed = 0
-        while self._heap:
-            key, event = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            event = entry[3]
             if event.cancelled:
-                heapq.heappop(self._heap)
+                pop(heap)
                 continue
-            if until is not None and key[0] > until:
+            if until is not None and entry[0] > until:
                 break
-            heapq.heappop(self._heap)
+            pop(heap)
             self._now = event.time
             self._events_processed += 1
             processed += 1

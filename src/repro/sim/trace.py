@@ -33,19 +33,46 @@ class TraceRecord:
         return f"[{self.time:12.3f}] {self.category:<12} {self.source:<24} {self.event} {detail_text}".rstrip()
 
 
+def _record_disabled(*args: Any, **details: Any) -> None:
+    """Bound in place of :meth:`TraceRecorder.record` while disabled, so
+    a muted-for-measurement run pays one no-op call and nothing else."""
+    return None
+
+
 class TraceRecorder:
     """Append-only event trace with category filtering.
 
     Recording every event of a large run is memory-heavy, so categories
     can be muted; benchmarks run with everything muted, protocol tests
-    enable what they assert on.
+    enable what they assert on.  Setting ``enabled = False`` swaps the
+    ``record`` method for a no-op on the instance, making the disabled
+    recorder effectively free on the hot path.
     """
 
     def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
         self._records: list[TraceRecord] = []
         self._muted: set[str] = set()
         self._listeners: list[Callable[[TraceRecord], None]] = []
+        self._enabled = True
+        self.enabled = enabled
+
+    @classmethod
+    def disabled(cls) -> "TraceRecorder":
+        """A recorder built switched off (measurement runs)."""
+        return cls(enabled=False)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, flag: bool) -> None:
+        flag = bool(flag)
+        self._enabled = flag
+        if flag:
+            self.__dict__.pop("record", None)
+        else:
+            self.__dict__["record"] = _record_disabled
 
     def mute(self, *categories: str) -> None:
         self._muted.update(categories)
@@ -66,8 +93,6 @@ class TraceRecorder:
         event: str,
         **details: Any,
     ) -> None:
-        if not self.enabled:
-            return
         entry = TraceRecord(
             time=time,
             category=category,

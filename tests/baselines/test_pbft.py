@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines import PbftCluster
-from repro.net import ConstantDelay, Network, UniformDelay
+from repro.net import Network, UniformDelay
 from repro.sim import Simulator
 
 

@@ -7,7 +7,6 @@ from repro.corba import (
     Node,
     ObjectNotFound,
     ObjectRef,
-    Orb,
     Servant,
     ServerInterceptor,
 )

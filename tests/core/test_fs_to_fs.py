@@ -98,8 +98,6 @@ def test_dedup_at_downstream_fs_process():
 def test_tampered_fs_output_rejected_downstream():
     """A double-signed output altered in transit fails verification at
     the destination FSOs and is dropped."""
-    import dataclasses
-
     sim, env, stage1, stage2, sink, inbox, signals, nodes = _build()
     from repro.core.messages import FsOutput
     from repro.crypto.signing import DoubleSigned

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import FsoConfig, FsoRole
+from repro.core import FsoConfig
 from repro.crypto.signing import RsaScheme
 
 from tests.core.conftest import FsRig

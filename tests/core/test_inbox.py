@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.corba import Node, ObjectRef, Servant
 from repro.core import FsOutputInbox, FsRegistry
 from repro.core.messages import FailSignal, FsOutput
@@ -70,7 +68,7 @@ def test_distinct_outputs_both_forwarded():
 def test_bad_signature_rejected():
     sim, node, inbox, target, a, b = _rig()
     good = b.countersign(a.sign_payload(_output()))
-    from repro.crypto.signing import DoubleSigned, Signature
+    from repro.crypto.signing import DoubleSigned
 
     tampered = DoubleSigned(_output(args=(99,)), good.first, good.second)
     inbox.receiveNew(tampered)

@@ -79,3 +79,42 @@ def test_cross_message_rejection(a, b):
     pair = _pair(seed=12)
     sig = pair.sign(a)
     assert pair.public.verify(b, sig) == (a == b or pair.sign(b) == sig)
+
+
+# ----------------------------------------------------------------------
+# digest reduction (shared between sign_int and verify_int)
+# ----------------------------------------------------------------------
+def test_reduce_digest_shared_rule():
+    from repro.crypto.rsa import reduce_digest
+
+    pair = _pair()
+    n = pair.public.n
+    assert reduce_digest(5, n) == 5
+    assert reduce_digest(n + 5, n) == 5
+    assert reduce_digest(n, n) == 0
+
+
+def test_oversized_digest_signs_and_verifies_consistently():
+    """A digest >= n is reduced identically on both sides: signing d and
+    verifying d, d % n, or d + k*n all agree (the old behaviour relied
+    on an implicit `%` in each method separately)."""
+    pair = _pair()
+    n = pair.public.n
+    digest = n + 12345
+    sig = pair.sign_int(digest)
+    assert pair.public.verify_int(digest, sig)
+    assert pair.public.verify_int(digest % n, sig)
+    assert pair.public.verify_int(digest + 3 * n, sig)
+    assert not pair.public.verify_int(digest + 1, sig)
+
+
+def test_negative_digest_rejected_on_both_sides():
+    from repro.crypto.rsa import reduce_digest
+
+    pair = _pair()
+    with pytest.raises(ValueError):
+        pair.sign_int(-1)
+    with pytest.raises(ValueError):
+        pair.public.verify_int(-1, 123)
+    with pytest.raises(ValueError):
+        reduce_digest(-7, pair.public.n)

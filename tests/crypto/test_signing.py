@@ -129,3 +129,73 @@ def test_sign_verify_property(payload):
     store, a, b = _store()
     assert store.check_signed(a.sign_payload(payload))
     assert store.check_double(b.countersign(a.sign_payload(payload)))
+
+
+# ----------------------------------------------------------------------
+# verification memo
+# ----------------------------------------------------------------------
+def test_verify_cached_agrees_with_verify():
+    scheme = HmacScheme()
+    private, public = scheme.generate(random.Random(5))
+    data = b"some payload"
+    value = scheme.sign(private, data)
+    assert scheme.verify_cached(public, data, value)
+    # second call comes from the memo and must agree
+    assert scheme.verify_cached(public, data, value)
+    assert scheme._verify_cache.stats.hits == 1
+    assert not scheme.verify_cached(public, data, b"not the tag")
+    assert not scheme.verify_cached(public, b"other payload", value)
+
+
+def test_verify_cached_caches_negative_verdicts():
+    scheme = HmacScheme()
+    __, public = scheme.generate(random.Random(6))
+    assert not scheme.verify_cached(public, b"data", b"bogus")
+    assert not scheme.verify_cached(public, b"data", b"bogus")
+    assert scheme._verify_cache.stats.hits == 1
+
+
+def test_verify_caches_are_per_scheme_instance():
+    """Two simulations (two schemes) binding the same identity to
+    different keys must not share verdicts."""
+    scheme_a, scheme_b = HmacScheme(), HmacScheme()
+    private_a, public_a = scheme_a.generate(random.Random(1))
+    data = b"payload"
+    tag = scheme_a.sign(private_a, data)
+    assert scheme_a.verify_cached(public_a, data, tag)
+    # scheme_b never saw this key; a fresh keystore in another sim
+    # with different material must re-verify, not inherit the verdict.
+    private_b, public_b = scheme_b.generate(random.Random(2))
+    assert not scheme_b.verify_cached(public_b, data, tag)
+
+
+def test_repeated_check_double_hits_memo_and_agrees():
+    """The n-destination pattern: the same DoubleSigned object checked
+    repeatedly gives one real verification pair plus memo hits."""
+    rng = random.Random(9)
+    store = KeyStore(HmacScheme())
+    a = store.new_signer("a", rng)
+    b = store.new_signer("b", rng)
+    double = b.countersign(a.sign_payload(("out", 1)))
+    assert store.check_double(double)
+    hits_before = store._double_verdicts.stats.hits
+    for __ in range(5):
+        assert store.check_double(double)
+    assert store._double_verdicts.stats.hits == hits_before + 5
+
+
+def test_check_double_verdict_memo_does_not_leak_across_messages():
+    """A grafted second signature lives in a different DoubleSigned
+    object, so the verdict memo cannot vouch for it."""
+    rng = random.Random(11)
+    store = KeyStore(HmacScheme())
+    a = store.new_signer("a", rng)
+    b = store.new_signer("b", rng)
+    good = b.countersign(a.sign_payload(("out", 1)))
+    assert store.check_double(good)
+    other = b.countersign(a.sign_payload(("out", 2)))
+    grafted = DoubleSigned(payload=good.payload, first=good.first, second=other.second)
+    assert not store.check_double(grafted)
+    # and the verdicts stay stable on re-check
+    assert store.check_double(good)
+    assert not store.check_double(grafted)

@@ -1,7 +1,6 @@
 """Tests for asymmetric (sequencer) total order."""
 
-from repro.newtop import CrashTolerantGroup, ServiceType
-from repro.sim import Simulator
+from repro.newtop import ServiceType
 
 from tests.newtop.conftest import delivered_keys, delivered_values
 

@@ -1,6 +1,5 @@
 """Tests for symmetric total order: agreement, totality, liveness."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -170,3 +170,71 @@ def test_rng_streams_depend_on_seed():
 def test_rng_same_name_returns_same_stream():
     sim = Simulator()
     assert sim.rng("s") is sim.rng("s")
+
+
+# ----------------------------------------------------------------------
+# edge cases: lazy cancellation, boundaries, limits, rng determinism
+# ----------------------------------------------------------------------
+def test_pending_events_counts_cancelled_events():
+    """Cancellation is lazy: the event stays in the heap (and in
+    pending_events) until the run loop pops past it."""
+    sim = Simulator()
+    keep = sim.schedule(2.0, lambda: None)
+    victim = sim.schedule(1.0, lambda: None)
+    victim.cancel()
+    assert sim.pending_events == 2
+    sim.run_until_idle()
+    assert sim.pending_events == 0
+    assert sim.events_processed == 1
+    assert keep.time == 2.0
+
+
+def test_run_until_skips_cancelled_head_without_firing():
+    sim = Simulator()
+    fired = []
+    head = sim.schedule(1.0, fired.append, "cancelled")
+    sim.schedule(2.0, fired.append, "live")
+    head.cancel()
+    sim.run(until=2.0)
+    assert fired == ["live"]
+    assert sim.pending_events == 0
+
+
+def test_run_until_boundary_inclusive_and_later_event_stays_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "at")
+    sim.schedule(5.0 + 1e-9, fired.append, "after")
+    sim.run(until=5.0)
+    assert fired == ["at"]
+    assert sim.now == 5.0
+    assert sim.pending_events == 1  # the "after" event survives for the next run
+
+
+def test_max_events_raises_simulation_limit_exceeded_with_progress():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    with pytest.raises(SimulationLimitExceeded):
+        sim.run(max_events=3)
+    assert sim.events_processed == 3
+    assert sim.pending_events == 7
+    # the simulation is still usable after the guard fires
+    sim.run()
+    assert sim.events_processed == 10
+
+
+def test_rng_streams_deterministic_across_identically_seeded_runs():
+    """Two identically-seeded simulators yield identical sequences on
+    every derived stream, regardless of interleaving."""
+
+    def draws(sim):
+        out = []
+        for __ in range(50):
+            out.append(sim.rng("alpha").random())
+            out.append(sim.rng("beta").getrandbits(16))
+            out.append(sim.rng("gamma").uniform(0, 9))
+        return out
+
+    assert draws(Simulator(seed=123)) == draws(Simulator(seed=123))
+    assert draws(Simulator(seed=123)) != draws(Simulator(seed=124))

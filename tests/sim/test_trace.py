@@ -74,3 +74,37 @@ def test_simulator_trace_integration():
     sim.schedule(5.0, lambda: sim.trace.record(sim.now, "c", "s", "fired"))
     sim.run_until_idle()
     assert sim.trace.records[0].time == 5.0
+
+
+# ----------------------------------------------------------------------
+# zero-cost disabled mode
+# ----------------------------------------------------------------------
+def test_disabled_swaps_record_for_noop_and_reenabling_restores():
+    tr = TraceRecorder()
+    tr.record(0.0, "c", "s", "before")
+    tr.enabled = False
+    assert "record" in tr.__dict__  # the instance-level no-op is bound
+    tr.record(1.0, "c", "s", "while-disabled", k=1)
+    assert len(tr) == 1
+    tr.enabled = True
+    assert "record" not in tr.__dict__  # the real method is back
+    tr.record(2.0, "c", "s", "after")
+    assert [rec.event for rec in tr] == ["before", "after"]
+
+
+def test_disabled_recorder_skips_listeners_too():
+    tr = TraceRecorder(enabled=False)
+    seen = []
+    tr.add_listener(seen.append)
+    tr.record(0.0, "c", "s", "e")
+    assert seen == []
+    tr.enabled = True
+    tr.record(0.0, "c", "s", "e2")
+    assert [rec.event for rec in seen] == ["e2"]
+
+
+def test_disabled_constructor_classmethod():
+    tr = TraceRecorder.disabled()
+    assert tr.enabled is False
+    tr.record(0.0, "c", "s", "e")
+    assert len(tr) == 0

@@ -87,3 +87,64 @@ def test_campaign_and_report_roundtrip(tmp_path, capsys):
 
 def test_report_missing_file(tmp_path, capsys):
     assert main(["report", "--results", str(tmp_path / "nope.jsonl")]) == 2
+
+
+# ----------------------------------------------------------------------
+# bench subcommand
+# ----------------------------------------------------------------------
+def _fake_baseline(path, name, ops_per_s):
+    import json
+
+    path.write_text(json.dumps({
+        "version": 1,
+        "meta": {},
+        "benchmarks": {name: {"ops": 100, "wall_s": 1.0, "ops_per_s": ops_per_s}},
+    }))
+
+
+def test_bench_writes_report(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    assert main(["bench", "--only", "hmac_sign_verify", "--repeats", "1",
+                 "--out", str(out)]) == 0
+    assert out.exists()
+    assert "hmac_sign_verify" in capsys.readouterr().out
+
+
+def test_bench_check_passes_against_honest_baseline(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    # a baseline slow enough that any machine beats it
+    _fake_baseline(baseline, "hmac_sign_verify", 0.001)
+    code = main(["bench", "--only", "hmac_sign_verify", "--repeats", "1",
+                 "--out", str(tmp_path / "r.json"), "--check", str(baseline)])
+    assert code == 0
+    assert "OK: within tolerance" in capsys.readouterr().out
+
+
+def test_bench_check_fails_on_injected_regression(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    # an impossibly fast baseline: the measured run must "regress"
+    _fake_baseline(baseline, "hmac_sign_verify", 1e15)
+    code = main(["bench", "--only", "hmac_sign_verify", "--repeats", "1",
+                 "--out", str(tmp_path / "r.json"), "--check", str(baseline)])
+    assert code == 1
+    assert "regression" in capsys.readouterr().out
+
+
+def test_bench_update_writes_baseline(tmp_path):
+    baseline = tmp_path / "new_baseline.json"
+    assert main(["bench", "--only", "hmac_sign_verify", "--repeats", "1",
+                 "--out", str(tmp_path / "r.json"), "--update", str(baseline)]) == 0
+    assert baseline.exists()
+
+
+def test_bench_unknown_benchmark_rejected(tmp_path, capsys):
+    assert main(["bench", "--only", "warp_drive",
+                 "--out", str(tmp_path / "r.json")]) == 2
+    assert "unknown benchmarks" in capsys.readouterr().out
+
+
+def test_bench_unreadable_baseline_rejected(tmp_path, capsys):
+    assert main(["bench", "--only", "hmac_sign_verify",
+                 "--out", str(tmp_path / "r.json"),
+                 "--check", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read baseline" in capsys.readouterr().out

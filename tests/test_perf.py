@@ -1,0 +1,162 @@
+"""Unit tests for the hot-path caches in :mod:`repro.perf`."""
+
+import dataclasses
+
+import pytest
+
+from repro import perf
+from repro.crypto.canonical import canonical_encode
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    seq: int
+    body: str
+
+
+@dataclasses.dataclass(frozen=True)
+class LazyMessage:
+    """A frozen dataclass with a lazily-written memo field -- the shape
+    the identity cache must refuse (its encoding is not a pure function
+    of object identity)."""
+
+    seq: int
+    _memo: int | None = dataclasses.field(default=None, init=False, compare=False)
+
+
+# ----------------------------------------------------------------------
+# IdentityCache
+# ----------------------------------------------------------------------
+def test_encode_cache_hit_on_same_object():
+    cache = perf.IdentityCache(maxsize=16)
+    msg = Message(1, "a")
+    assert cache.get(msg) is None
+    cache.put(msg, b"encoded")
+    assert cache.get(msg) == b"encoded"
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_encode_cache_is_identity_keyed():
+    cache = perf.IdentityCache(maxsize=16)
+    cache.put(Message(1, "a"), b"x")  # the key object dies... no: strong ref held
+    other = Message(1, "a")  # equal but distinct
+    assert cache.get(other) is None
+
+
+def test_encode_cache_eviction_bounds_size():
+    cache = perf.IdentityCache(maxsize=8)
+    messages = [Message(i, "m") for i in range(20)]
+    for msg in messages:
+        cache.put(msg, b"e")
+    assert len(cache) <= 8
+    assert cache.stats.evictions > 0
+
+
+def test_encode_cache_rejects_tiny_maxsize():
+    with pytest.raises(ValueError):
+        perf.IdentityCache(maxsize=1)
+
+
+def test_clear_caches_resets_stats_and_entries():
+    msg = Message(7, "x")
+    canonical_encode(msg)
+    canonical_encode(msg)
+    assert perf.encode_cache.stats.lookups > 0
+    perf.clear_caches()
+    assert len(perf.encode_cache) == 0
+    assert perf.encode_cache.stats.lookups == 0
+
+
+# ----------------------------------------------------------------------
+# integration with canonical_encode
+# ----------------------------------------------------------------------
+def test_canonical_encode_memoises_frozen_dataclasses():
+    perf.clear_caches()
+    msg = Message(1, "payload")
+    first = canonical_encode(msg)
+    hits_before = perf.encode_cache.stats.hits
+    second = canonical_encode(msg)
+    assert first == second
+    assert perf.encode_cache.stats.hits == hits_before + 1
+
+
+def test_equal_objects_encode_identically_despite_identity_keying():
+    perf.clear_caches()
+    a, b = Message(5, "same"), Message(5, "same")
+    assert canonical_encode(a) == canonical_encode(b)
+
+
+def test_lazy_memo_dataclass_is_not_identity_cached():
+    obj = LazyMessage(1)
+    before = canonical_encode(obj)
+    object.__setattr__(obj, "_memo", 42)
+    after = canonical_encode(obj)
+    # The encoding must track the mutation -- proof the object was not
+    # frozen into the identity cache.
+    assert before != after
+
+
+def test_mutable_dataclass_not_cached():
+    @dataclasses.dataclass
+    class Mutable:
+        x: int
+
+    obj = Mutable(1)
+    before = canonical_encode(obj)
+    obj.x = 2
+    assert canonical_encode(obj) != before
+
+
+def test_nested_message_encoding_consistent_with_cache():
+    perf.clear_caches()
+    inner = Message(3, "inner")
+    uncached_tuple = canonical_encode((inner, "tag"))
+    canonical_encode(inner)  # prime the cache
+    assert canonical_encode((inner, "tag")) == uncached_tuple
+
+
+# ----------------------------------------------------------------------
+# VerifyCache
+# ----------------------------------------------------------------------
+def test_verify_cache_roundtrip_and_eviction():
+    cache = perf.VerifyCache(maxsize=8)
+    assert cache.get(("a", b"d", 1)) is None
+    cache.put(("a", b"d", 1), True)
+    cache.put(("a", b"d", 2), False)
+    assert cache.get(("a", b"d", 1)) is True
+    assert cache.get(("a", b"d", 2)) is False
+    for i in range(20):
+        cache.put(("k", b"d", i), True)
+    assert len(cache) <= 8
+    assert cache.stats.evictions > 0
+
+
+def test_disabling_a_cache_drops_existing_entries():
+    cache = perf.IdentityCache(maxsize=16)
+    msg = Message(2, "b")
+    cache.put(msg, b"x")
+    cache.enabled = False
+    assert cache.get(msg) is None  # a disabled cache is genuinely inert
+    cache.put(msg, b"x")
+    assert len(cache) == 0
+    cache.enabled = True
+    cache.put(msg, b"x")
+    assert cache.get(msg) == b"x"
+
+
+def test_clear_caches_reaches_caches_in_other_modules():
+    from repro.core.messages import FsOutput, _body_size_cache, _content_key_cache
+    from repro.corba.orb import ObjectRef
+
+    output = FsOutput(
+        fs_id="p.gc", input_seq=1, output_idx=0,
+        target=ObjectRef(node="n", key="k"), method="m", args=("a",),
+    )
+    output.content_key()
+    __ = output.wire_size
+    assert len(_content_key_cache) == 1
+    assert len(_body_size_cache) == 1
+    perf.clear_caches()
+    assert len(_content_key_cache) == 0
+    assert len(_body_size_cache) == 0
