@@ -1,10 +1,17 @@
-"""A tour of Byzantine failure modes against one fail-signal pair.
+"""A tour of Byzantine failure modes -- the declarative way.
 
-Each scenario wires a fresh FS process around a deterministic counter,
-switches on one misbehaviour from the authenticated-Byzantine repertoire
-(section 2's failure model), and reports what the environment observed.
+Each stop overlays one :class:`repro.adversary.AdversarySpec` strategy
+on a small FS-NewTOP group and runs it under the
+:mod:`repro.invariants` oracles (exactly what ``repro audit`` does).
 The invariant on display: the environment only ever sees *correct
-values* or the pair's *fail-signal* -- never a wrong value.
+values* or the pair's *fail-signal* -- never a wrong value -- and the
+audit report proves it mechanically for every strategy.
+
+The final stop drives one pair through the legacy hand-rolled API
+(``ByzantineFso.go_byzantine``), which keeps working; prefer the
+declarative ``AdversarySpec`` path for anything new, since only specs
+compose (``seq``/``both``/``intermittent``), serialise, and plug into
+the scenario registry and ``repro audit``.
 
 Run:  python examples/fault_injection_tour.py
 """
@@ -12,79 +19,106 @@ Run:  python examples/fault_injection_tour.py
 import sys
 import pathlib
 
-sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
+from repro.adversary import AdversarySpec, seq
+from repro.experiments import ScenarioSpec, audit_scenario
 
-from core.conftest import FsRig  # reuse the test rig as a demo harness
-from repro.core import ByzantineFso
+#: One small streaming group; every attack below strikes member 0 at
+#: t=250ms while traffic is still flowing.
+BASE = ScenarioSpec(
+    system="fs-newtop",
+    n_members=3,
+    messages_per_member=8,
+    interval=50.0,
+    collapsed=False,
+    settle_ms=10_000.0,
+)
 
-
-SCENARIOS = [
+STRATEGIES = [
+    (
+        "equivocation / double-send",
+        "the faulty Compare double-sends conflicting signed candidates",
+        AdversarySpec(kind="equivocate", at=250.0, member=0),
+    ),
     (
         "output corruption",
-        "the faulty replica appends garbage to every output",
-        dict(corrupt_outputs=True),
+        "the faulty replica corrupts every output",
+        AdversarySpec(kind="corrupt", at=250.0, member=0),
     ),
     (
-        "silent comparator",
-        "the faulty node stops forwarding its single-signed outputs",
-        dict(drop_singles=True),
+        "selective mute",
+        "the faulty Compare stops forwarding its signed candidates",
+        AdversarySpec(kind="selective_mute", at=250.0, member=0),
     ),
     (
-        "signature forgery",
-        "the faulty node forges its peer's signature on candidates (A5 says it cannot)",
-        dict(forge_signature=True),
+        "signature tampering",
+        "the faulty node forges its peer's signature (A5 says it cannot)",
+        AdversarySpec(kind="tamper_signature", at=250.0, member=0),
+    ),
+    (
+        "stale replay",
+        "the faulty Compare re-sends its first candidate forever",
+        AdversarySpec(kind="replay", at=250.0, member=0),
+    ),
+    (
+        "composed attack",
+        "a scramble burst, then a mute, back-to-back (seq combinator)",
+        seq(
+            AdversarySpec(kind="scramble_burst", at=0.0, until=200.0, member=0),
+            AdversarySpec(kind="mute", at=50.0, until=250.0, member=0),
+            at=250.0,
+        ),
     ),
 ]
 
 
-def run_scenario(title, description, fault_flags):
-    rig = FsRig(follower_fso_class=ByzantineFso)
+def run_strategy(title, description, adversary):
     print(f"-- {title}: {description}")
+    spec = BASE.replace(adversaries=(adversary,))
+    run = audit_scenario(spec, scenario=f"tour/{title}")
+    signals = int(run.result.metrics["fail_signals"])
+    ordered = int(run.result.metrics["ordered"])
+    print(f"   fail-signals: {signals}  fully-ordered messages: {ordered}")
+    oracle_line = "  ".join(
+        f"{v.oracle}={'ok' if v.ok else 'FAIL'}" for v in run.report.verdicts
+    )
+    print(f"   oracles: {oracle_line}")
+    assert run.report.ok, run.report.render()
+    assert signals >= 1, "the attack went unreported"
+    print("   => converted into an authenticated fail-signal; every oracle holds\n")
+
+
+def run_legacy_rig():
+    # Deprecated path: poking FaultPlan flags by hand on a single pair.
+    # Still supported for low-level experiments, but it bypasses the
+    # scenario registry, the adversary combinators and `repro audit` --
+    # use AdversarySpec for anything that should be reproducible.
+    print("-- legacy API (deprecated): hand-rolled go_byzantine on a bare pair")
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
+    from core.conftest import FsRig  # reuse the test rig as a demo harness
+    from repro.core import ByzantineFso
+
+    rig = FsRig(follower_fso_class=ByzantineFso)
     rig.submit("add", 1)
     rig.run()
-    rig.fs.follower.go_byzantine(**fault_flags)
+    rig.fs.follower.go_byzantine(corrupt_outputs=True)
     rig.submit("add", 2)
-    rig.run()
-    observed = rig.sink.values
-    signal = rig.fail_signals
-    print(f"   values seen by the environment: {observed}")
-    print(f"   fail-signals received:          {signal}")
-    correct_prefixes = ([], [1], [1, 3])
-    assert observed in correct_prefixes, f"a wrong value escaped: {observed}"
-    assert signal == ["counter"], "the fault went unreported"
-    print("   => only correct values escaped, and the fault was signalled\n")
-
-
-def run_scramble():
-    print("-- ordering attack: a faulty *leader* processes inputs out of order")
-    rig = FsRig(leader_fso_class=ByzantineFso)
-    rig.fs.leader.go_byzantine(scramble_order=True)
-    rig.submit("add", 1)
-    rig.submit("add", 10)
     rig.run()
     print(f"   values seen by the environment: {rig.sink.values}")
     print(f"   fail-signals received:          {rig.fail_signals}")
-    assert rig.fail_signals == ["counter"]
-    assert all(v in (1, 11) for v in rig.sink.values)
-    print("   => out-of-order processing surfaced as an output mismatch\n")
-
-
-def run_fs2():
-    print("-- fs2: a (healthy!) wrapper emits its fail-signal spontaneously")
-    rig = FsRig()
-    rig.fs.leader.inject_arbitrary_signal()
-    rig.run()
-    print(f"   fail-signals received:          {rig.fail_signals}")
-    assert rig.fail_signals == ["counter"]
-    print("   => receivers correctly treat the signaller as faulty; that is fs2\n")
+    assert rig.sink.values in ([], [1], [1, 3]), "a wrong value escaped"
+    assert rig.fail_signals == ["counter"], "the fault went unreported"
+    print("   => same invariant, pre-declarative plumbing\n")
 
 
 def main():
-    for title, description, flags in SCENARIOS:
-        run_scenario(title, description, flags)
-    run_scramble()
-    run_fs2()
-    print("tour complete: no corrupted value ever crossed the double-signature check.")
+    for title, description, adversary in STRATEGIES:
+        run_strategy(title, description, adversary)
+    run_legacy_rig()
+    print(
+        "tour complete: every adversary strategy was converted into a "
+        "fail-signal and no corrupted value ever crossed the "
+        "double-signature check."
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,41 @@
+"""Composable, schedulable attack strategies.
+
+The adversary subsystem turns the hand-rolled fault hooks scattered
+through the stack (``ByzantineFso``/``FaultPlan`` flags, synchronous
+link delay injection, node crashes, spontaneous fail-signals) into a
+declarative, composable engine:
+
+* :mod:`repro.adversary.spec` -- :class:`AdversarySpec`, a value-only,
+  JSON-serialisable description of one attack: a strategy ``kind``, a
+  target ``member``, simulated-time triggers (``at``/``until``) and --
+  for the combinators ``seq``/``both``/``intermittent`` -- child specs;
+* :mod:`repro.adversary.engine` -- :class:`AdversaryEngine`, which
+  compiles specs into scheduled actions against a live group.
+
+`PRESETS` names one canonical instance of every leaf strategy, which is
+what ``repro audit --adversary <name>`` overlays on a scenario.
+"""
+
+from repro.adversary.spec import (
+    COMBINATOR_KINDS,
+    FLAG_STRATEGIES,
+    PRESETS,
+    STRATEGY_KINDS,
+    AdversarySpec,
+    both,
+    intermittent,
+    seq,
+)
+from repro.adversary.engine import AdversaryEngine
+
+__all__ = [
+    "AdversaryEngine",
+    "AdversarySpec",
+    "COMBINATOR_KINDS",
+    "FLAG_STRATEGIES",
+    "PRESETS",
+    "STRATEGY_KINDS",
+    "both",
+    "intermittent",
+    "seq",
+]

@@ -1,0 +1,270 @@
+"""Declarative adversary strategies.
+
+An :class:`AdversarySpec` is a complete, *value-only* description of one
+attack against a running group: which strategy, against which member,
+activated (and optionally deactivated) at which simulated times.  Like
+:class:`repro.experiments.spec.ScenarioSpec` -- which carries a tuple of
+these -- a spec holds no live objects, so it pickles across process
+boundaries and serialises to JSON for the result store.
+
+Leaf strategies
+---------------
+* ``equivocate`` -- double-send: the faulty Compare signs and sends a
+  conflicting candidate for each slot alongside the honest one;
+* ``corrupt`` -- the faulty replica corrupts every output;
+* ``selective_mute`` -- per-peer mute of the compare traffic only (the
+  singles); ordering traffic still flows;
+* ``mute`` -- full LAN mute of the faulty node;
+* ``replay`` -- the faulty Compare re-sends a stale signed candidate
+  instead of each fresh one;
+* ``tamper_signature`` -- the faulty node forges its peer's signature
+  on candidates (A5 says it cannot get away with it);
+* ``scramble_burst`` -- a faulty *leader* processes inputs pairwise
+  swapped while advertising the honest order;
+* ``delay_skew`` -- ``extra_ms`` of extra delay on everything the
+  target's leader sends over the pair LAN (an explicit A2 violation);
+* ``spurious_signal`` -- failure mode fs2: a healthy wrapper emits its
+  fail-signal spontaneously (one-shot);
+* ``churn_storm`` -- a burst of node crashes: ``members`` go down one
+  after another, ``spacing`` ms apart.
+
+Combinators
+-----------
+* ``seq(a, b, ...)`` -- children run one after another: each child's
+  window is shifted to start when the previous child's window ends;
+* ``both(a, b, ...)`` -- children run concurrently, offset from the
+  combinator's own ``at``;
+* ``intermittent(child, at=, until=, period=, duty=)`` -- toggles the
+  (single, toggleable) child on for ``duty`` of every ``period`` within
+  the window.
+
+All times are milliseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Leaf strategies that map onto :class:`repro.core.faults.FaultPlan`
+#: flags (and therefore need the target built as a ``ByzantineFso``).
+FLAG_STRATEGIES: dict[str, tuple[str, ...]] = {
+    "equivocate": ("equivocate",),
+    "corrupt": ("corrupt_outputs",),
+    "selective_mute": ("drop_singles",),
+    "mute": ("mute_lan",),
+    "replay": ("replay_singles",),
+    "tamper_signature": ("forge_signature",),
+    "scramble_burst": ("scramble_order",),
+}
+
+#: Leaf strategies outside the FaultPlan hooks.
+OTHER_STRATEGIES = ("delay_skew", "spurious_signal", "churn_storm")
+
+STRATEGY_KINDS: tuple[str, ...] = tuple(FLAG_STRATEGIES) + OTHER_STRATEGIES
+COMBINATOR_KINDS = ("seq", "both", "intermittent")
+
+#: Strategies that can be switched off again (usable under
+#: ``intermittent`` and requiring ``until`` inside ``seq``).
+TOGGLEABLE_KINDS = tuple(FLAG_STRATEGIES) + ("delay_skew",)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdversarySpec:
+    """One declarative attack (leaf strategy or combinator).
+
+    ``at`` is the activation offset; for top-level specs it is absolute
+    simulated time, for children it is relative to the combinator's
+    window.  ``until``, when set, deactivates a toggleable strategy.
+    """
+
+    kind: str
+    at: float = 0.0
+    until: float | None = None
+    member: int | None = None
+    extra_ms: float = 50.0  # delay_skew
+    members: tuple[int, ...] = ()  # churn_storm victims
+    spacing: float = 100.0  # churn_storm inter-crash gap
+    period: float = 0.0  # intermittent
+    duty: float = 0.5  # intermittent on-fraction
+    children: tuple["AdversarySpec", ...] = ()
+
+    def __post_init__(self) -> None:
+        known = STRATEGY_KINDS + COMBINATOR_KINDS
+        if self.kind not in known:
+            raise ValueError(f"unknown adversary kind {self.kind!r}, want one of {known}")
+        if self.at < 0:
+            raise ValueError(f"activation time must be >= 0, got {self.at}")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError(f"until ({self.until}) must be after at ({self.at})")
+        if self.kind in COMBINATOR_KINDS:
+            if not self.children:
+                raise ValueError(f"combinator {self.kind!r} needs children")
+        elif self.children:
+            raise ValueError(f"leaf strategy {self.kind!r} takes no children")
+        if self.kind in FLAG_STRATEGIES or self.kind in ("delay_skew", "spurious_signal"):
+            if self.member is None:
+                raise ValueError(f"strategy {self.kind!r} needs a target member")
+        if self.member is not None and self.member < 0:
+            raise ValueError(f"member must be a non-negative index, got {self.member}")
+        if self.kind == "churn_storm":
+            if not self.members:
+                raise ValueError("churn_storm needs a non-empty members tuple")
+            if self.spacing < 0:
+                raise ValueError(f"churn_storm spacing must be >= 0, got {self.spacing}")
+        if self.kind == "delay_skew" and self.extra_ms <= 0:
+            raise ValueError(f"delay_skew needs extra_ms > 0, got {self.extra_ms}")
+        if self.kind == "intermittent":
+            if len(self.children) != 1:
+                raise ValueError("intermittent takes exactly one child")
+            if self.children[0].kind not in TOGGLEABLE_KINDS:
+                raise ValueError(
+                    f"intermittent child must be toggleable (one of {TOGGLEABLE_KINDS})"
+                )
+            if self.until is None:
+                raise ValueError("intermittent needs an explicit until")
+            if not 0 < self.period <= (self.until - self.at):
+                raise ValueError(
+                    f"intermittent period must be in (0, window], got {self.period}"
+                )
+            if not 0.0 < self.duty < 1.0:
+                raise ValueError(f"intermittent duty must be in (0,1), got {self.duty}")
+        if self.kind == "seq":
+            for child in self.children:
+                if child.duration() is None:
+                    raise ValueError(
+                        f"seq child {child.kind!r} needs a bounded window "
+                        f"(set until=) so the next child knows when to start"
+                    )
+
+    # ------------------------------------------------------------------
+    # structure helpers
+    # ------------------------------------------------------------------
+    def duration(self) -> float | None:
+        """Length of this spec's active window from its own ``at``;
+        ``None`` when it stays active to the end of the run."""
+        if self.kind == "spurious_signal":
+            return 0.0
+        if self.kind == "churn_storm":
+            return self.spacing * (len(self.members) - 1)
+        if self.kind == "seq":
+            total = 0.0
+            for child in self.children:
+                total += child.at + typing.cast(float, child.duration())
+            return total
+        if self.kind == "both":
+            ends = []
+            for child in self.children:
+                child_duration = child.duration()
+                if child_duration is None:
+                    return None
+                ends.append(child.at + child_duration)
+            return max(ends)
+        if self.until is None:
+            return None
+        return self.until - self.at
+
+    def replace_window(self, at: float, until: float | None) -> "AdversarySpec":
+        """A copy with the activation window replaced (used by the
+        ``intermittent`` combinator to stamp out pulses)."""
+        return dataclasses.replace(self, at=at, until=until)
+
+    def leaves(self) -> typing.Iterator["AdversarySpec"]:
+        """Every leaf strategy in this tree (combinators flattened)."""
+        if self.kind in COMBINATOR_KINDS:
+            for child in self.children:
+                yield from child.leaves()
+        else:
+            yield self
+
+    def flag_members(self) -> set[int]:
+        """Members that need a ``ByzantineFso`` wrapper for this spec."""
+        return {
+            leaf.member
+            for leaf in self.leaves()
+            if leaf.kind in FLAG_STRATEGIES and leaf.member is not None
+        }
+
+    def needs_pair_hooks(self) -> bool:
+        """Whether any leaf drives fail-signal pair hooks (and therefore
+        only runs against the fs-newtop system)."""
+        return any(
+            leaf.kind in FLAG_STRATEGIES or leaf.kind in ("delay_skew", "spurious_signal")
+            for leaf in self.leaves()
+        )
+
+    def max_member(self) -> int | None:
+        """The highest member index this spec targets, if any."""
+        targets = [
+            index
+            for leaf in self.leaves()
+            for index in (leaf.member, *leaf.members)
+            if index is not None
+        ]
+        return max(targets) if targets else None
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = {
+            "kind": self.kind,
+            "at": self.at,
+            "until": self.until,
+            "member": self.member,
+            "extra_ms": self.extra_ms,
+            "members": list(self.members),
+            "spacing": self.spacing,
+            "period": self.period,
+            "duty": self.duty,
+        }
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AdversarySpec":
+        fields = dict(data)
+        fields["members"] = tuple(fields.get("members", ()))
+        fields["children"] = tuple(
+            cls.from_dict(child) for child in fields.get("children", ())
+        )
+        return cls(**fields)
+
+
+# ----------------------------------------------------------------------
+# combinator constructors (the readable way to build trees)
+# ----------------------------------------------------------------------
+def seq(*children: AdversarySpec, at: float = 0.0) -> AdversarySpec:
+    """Children run one after another from ``at``."""
+    return AdversarySpec(kind="seq", at=at, children=tuple(children))
+
+
+def both(*children: AdversarySpec, at: float = 0.0) -> AdversarySpec:
+    """Children run concurrently, offset from ``at``."""
+    return AdversarySpec(kind="both", at=at, children=tuple(children))
+
+
+def intermittent(
+    child: AdversarySpec, at: float, until: float, period: float, duty: float = 0.5
+) -> AdversarySpec:
+    """Toggle ``child`` on for ``duty`` of every ``period`` in the window."""
+    return AdversarySpec(
+        kind="intermittent", at=at, until=until, period=period, duty=duty,
+        children=(child,),
+    )
+
+
+#: Canonical single-strategy instances, the vocabulary of
+#: ``repro audit --adversary <name>``.
+PRESETS: dict[str, AdversarySpec] = {
+    "equivocate": AdversarySpec(kind="equivocate", at=300.0, member=0),
+    "corrupt": AdversarySpec(kind="corrupt", at=300.0, member=0),
+    "selective_mute": AdversarySpec(kind="selective_mute", at=300.0, member=0),
+    "mute": AdversarySpec(kind="mute", at=300.0, member=0),
+    "replay": AdversarySpec(kind="replay", at=300.0, member=0),
+    "tamper_signature": AdversarySpec(kind="tamper_signature", at=300.0, member=0),
+    "scramble_burst": AdversarySpec(kind="scramble_burst", at=300.0, member=0),
+    "delay_skew": AdversarySpec(kind="delay_skew", at=300.0, member=0, extra_ms=50.0),
+    "spurious_signal": AdversarySpec(kind="spurious_signal", at=300.0, member=0),
+}

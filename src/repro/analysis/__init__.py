@@ -1,6 +1,11 @@
 """Measurement and reporting utilities for the experiments."""
 
-from repro.analysis.aggregate import AggregateStats, aggregate, aggregate_records
+from repro.analysis.aggregate import (
+    AggregateStats,
+    aggregate,
+    aggregate_records,
+    audit_summary,
+)
 from repro.analysis.metrics import LatencyRecorder, Summary, summarize
 from repro.analysis.tables import format_series_table
 
@@ -10,6 +15,7 @@ __all__ = [
     "Summary",
     "aggregate",
     "aggregate_records",
+    "audit_summary",
     "format_series_table",
     "summarize",
 ]

@@ -65,3 +65,33 @@ def aggregate_records(
             continue
         grouped.setdefault(key(record), []).append(record.metrics[metric])
     return {group: aggregate(values) for group, values in grouped.items()}
+
+
+def audit_summary(records: typing.Iterable) -> dict:
+    """Campaign-level roll-up of audited runs.
+
+    Audited records carry ``audit_ok`` / ``audit_violations`` metrics
+    (see :func:`repro.experiments.campaign.execute_task`).  Returns the
+    counts a campaign report prints plus the failing grid cells, so a
+    single glance answers "did any run in the whole sweep break an
+    invariant, and which".
+    """
+    audited = failed = 0
+    violations = 0.0
+    failing_cells = []
+    for record in records:
+        if "audit_ok" not in record.metrics:
+            continue
+        audited += 1
+        violations += record.metrics.get("audit_violations", 0.0)
+        if record.metrics["audit_ok"] != 1.0:
+            failed += 1
+            failing_cells.append(
+                (record.scenario, record.system, record.x_label, record.repeat)
+            )
+    return {
+        "audited": audited,
+        "failed": failed,
+        "violations": int(violations),
+        "failing_cells": failing_cells,
+    }

@@ -15,6 +15,8 @@ Two interfaces share this entry point:
       python -m repro run --scenario byzantine_flood
       python -m repro campaign --scenario fig7_throughput --repeats 4 --jobs 4
       python -m repro report --results results/fig7_throughput.jsonl
+      python -m repro audit --scenario adv_equivocation
+      python -m repro audit --scenario fig6_latency --adversary replay
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ from repro.analysis import aggregate_records, format_series_table
 from repro.newtop.services import ServiceType
 from repro.workloads import run_ordering_experiment
 
-SUBCOMMANDS = ("list", "run", "campaign", "report", "bench")
+SUBCOMMANDS = ("list", "run", "campaign", "report", "bench", "audit")
 
 #: Metrics the report prints, in order, with display units.
 REPORT_METRICS = (
@@ -154,6 +156,35 @@ def build_command_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=2,
         help="best-of-N runs per benchmark (default 2)",
+    )
+
+    audit = sub.add_parser(
+        "audit",
+        help="run a scenario under the invariant oracles; non-zero on violation",
+    )
+    audit.add_argument("--scenario", required=True, help="registered scenario name")
+    audit.add_argument("--systems", help="comma-separated subset of the scenario's systems")
+    audit.add_argument(
+        "--adversary",
+        help="overlay this named adversary strategy on every run "
+        "(see `repro.adversary.PRESETS`)",
+    )
+    audit.add_argument(
+        "--member",
+        type=int,
+        help="retarget the overlaid adversary at this member index",
+    )
+    audit.add_argument(
+        "--at",
+        type=float,
+        help="retime the overlaid adversary's activation (ms)",
+    )
+    audit.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    audit.add_argument(
+        "--deadline",
+        type=float,
+        default=5000.0,
+        help="detection deadline after first manifestation, ms (default 5000)",
     )
     return parser
 
@@ -423,6 +454,83 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.adversary import PRESETS
+    from repro.adversary.engine import AdversaryWiringError
+    from repro.experiments import audit_scenario
+    from repro.invariants import AuditConfig
+
+    resolved = _resolve_scenario(args)
+    if resolved is None:
+        return 2
+    scenario, systems = resolved
+    overlay = None
+    if args.adversary is not None:
+        preset = PRESETS.get(args.adversary)
+        if preset is None:
+            print(
+                f"error: unknown adversary {args.adversary!r}; "
+                f"presets: {', '.join(sorted(PRESETS))}"
+            )
+            return 2
+        overrides = {}
+        if args.member is not None:
+            overrides["member"] = args.member
+        if args.at is not None:
+            overrides["at"] = args.at
+        try:
+            overlay = dataclasses.replace(preset, **overrides)
+        except ValueError as exc:
+            print(f"error: bad adversary override: {exc}")
+            return 2
+    config = AuditConfig(detection_deadline_ms=args.deadline)
+
+    failures = 0
+    audited = 0
+    for system, x_label, spec in scenario.expand(systems):
+        if system == "pbft":
+            print(f"note: skipping {system} at {scenario.sweep_axis}={x_label} "
+                  f"(only the ordering systems are auditable)")
+            continue
+        if overlay is not None:
+            if system != "fs-newtop" and overlay.needs_pair_hooks():
+                print(
+                    f"note: skipping {system} at {scenario.sweep_axis}={x_label} "
+                    f"(adversary {args.adversary!r} drives fail-signal pair "
+                    f"hooks; fs-newtop only)"
+                )
+                continue
+            target = overlay.max_member()
+            if target is not None and target >= spec.n_members:
+                print(
+                    f"error: adversary targets member {target} but the spec has "
+                    f"only {spec.n_members} members"
+                )
+                return 2
+            spec = spec.replace(adversaries=spec.adversaries + (overlay,))
+        spec = spec.replace(seed=spec.seed + args.seed)
+        try:
+            run = audit_scenario(spec, config=config, scenario=scenario.name)
+        except AdversaryWiringError as exc:
+            print(f"error: {exc}")
+            return 2
+        audited += 1
+        print(f"-- {scenario.name} [{system} {scenario.sweep_axis}={x_label}]")
+        print(run.report.render())
+        if not run.report.ok:
+            failures += 1
+    if audited == 0:
+        print("error: nothing auditable in this scenario")
+        return 2
+    print(
+        f"audit: {audited} run(s), {failures} failing"
+        + (f" -- adversary overlay: {args.adversary}" if overlay is not None else "")
+    )
+    return 1 if failures else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis import perfreport
 
@@ -479,6 +587,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_campaign(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "audit":
+            return _cmd_audit(args)
         return _cmd_report(args)
     return _legacy_main(argv)
 

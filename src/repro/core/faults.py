@@ -14,8 +14,19 @@ argument has to survive:
   because out-of-order processing manifests as an output mismatch
   (Appendix A, last paragraph);
 * forged signatures (``forge_signature``) -- rejected by verification;
+* equivocation (``equivocate``) -- the faulty Compare double-sends
+  conflicting signed candidates for the same slot; the peer holds
+  double-sign evidence and signals;
+* replay (``replay_singles``) -- the faulty Compare re-sends a stale
+  signed candidate instead of the current one; the stale copy pairs
+  with nothing and the live comparison times out;
 * spontaneous fail-signals (``arbitrary_signal``) -- failure mode fs2,
   legal by definition.
+
+Every *manifestation* (a message actually dropped, corrupted, forged,
+replayed...) is recorded under the ``fault`` trace category, so the
+:mod:`repro.invariants` oracles can check detection against what the
+adversary really did rather than what it was configured to do.
 """
 
 from __future__ import annotations
@@ -36,6 +47,8 @@ class FaultPlan:
     mute_lan: bool = False
     scramble_order: bool = False
     forge_signature: bool = False
+    equivocate: bool = False
+    replay_singles: bool = False
 
     def any_active(self) -> bool:
         return any(
@@ -45,8 +58,14 @@ class FaultPlan:
                 self.mute_lan,
                 self.scramble_order,
                 self.forge_signature,
+                self.equivocate,
+                self.replay_singles,
             )
         )
+
+    def flag_names(self) -> tuple[str, ...]:
+        """All flag names, in declaration order."""
+        return tuple(f.name for f in dataclasses.fields(self))
 
 
 class ByzantineFso(Fso):
@@ -60,6 +79,7 @@ class ByzantineFso(Fso):
         super().__init__(*args, **kwargs)
         self.faults = FaultPlan()
         self._held_input: FsInput | None = None
+        self._stale_single: SingleSigned | None = None
 
     # -- wrong results -------------------------------------------------
     def _handle_output(self, seq: int, idx: int, request, pi: float) -> None:
@@ -67,23 +87,57 @@ class ByzantineFso(Fso):
             request = dataclasses.replace(
                 request, args=request.args + ("#corrupted-by-faulty-node",)
             )
+            self.trace("fault", "corrupted-output", seq=seq, idx=idx)
         super()._handle_output(seq, idx, request, pi)
 
-    # -- no results ------------------------------------------------------
+    # -- no/late/conflicting results --------------------------------------
     def _lan_send(self, payload) -> None:
         if self.faults.mute_lan:
+            self.trace("fault", "muted", kind=type(payload).__name__)
             return
-        if self.faults.drop_singles and isinstance(payload, SingleSigned):
-            return
-        if self.faults.forge_signature and isinstance(payload, SingleSigned):
-            forged = SingleSigned(
-                signed=Signed(
-                    payload=payload.signed.payload,
-                    signature=Signature(payload.signed.signature.signer, b"\x00" * 32),
+        if isinstance(payload, SingleSigned):
+            if self.faults.drop_singles:
+                self.trace("fault", "dropped-single")
+                return
+            if self.faults.forge_signature:
+                forged = SingleSigned(
+                    signed=Signed(
+                        payload=payload.signed.payload,
+                        signature=Signature(
+                            payload.signed.signature.signer, b"\x00" * 32
+                        ),
+                    )
                 )
-            )
-            super()._lan_send(forged)
-            return
+                self.trace("fault", "forged-single")
+                super()._lan_send(forged)
+                return
+            if self.faults.replay_singles:
+                if self._stale_single is not None:
+                    # Re-send the stale candidate instead of the live one:
+                    # the peer's live comparison starves and times out.
+                    self.trace(
+                        "fault",
+                        "replayed-single",
+                        stale=list(self._stale_single.signed.payload.correlation),
+                    )
+                    super()._lan_send(self._stale_single)
+                    return
+                self._stale_single = payload  # first one passes, is remembered
+            if self.faults.equivocate:
+                # Double-send: a conflicting candidate, genuinely signed
+                # with our own key (A5 allows signing anything *as
+                # ourselves*), followed by the honest one.  The peer now
+                # holds two validly signed, conflicting candidates for
+                # one slot -- double-sign evidence.
+                output = payload.signed.payload
+                tampered = dataclasses.replace(
+                    output, args=output.args + ("#equivocated",)
+                )
+                self.trace(
+                    "fault", "equivocated-single", corr=list(output.correlation)
+                )
+                super()._lan_send(SingleSigned(signed=self.signer.sign_payload(tampered)))
+                # fall through: the honest single follows on the FIFO link
         super()._lan_send(payload)
 
     # -- wrong order (faulty leader) -------------------------------------
@@ -96,9 +150,16 @@ class ByzantineFso(Fso):
         # different sequences and their outputs mismatch.
         if self._held_input is None:
             self._held_input = fs_input
+            self.trace("fault", "scramble-hold", input_id=list(fs_input.input_id))
             return
         first, second = self._held_input, fs_input
         self._held_input = None
+        self.trace(
+            "fault",
+            "scrambled",
+            first=list(first.input_id),
+            second=list(second.input_id),
+        )
         # Local processing order: second, first.
         seq_a = self._next_seq
         seq_b = self._next_seq + 1
@@ -118,8 +179,19 @@ class ByzantineFso(Fso):
 
     # -- fs2 --------------------------------------------------------------
     def go_byzantine(self, **flags: bool) -> None:
-        """Switch fault modes on, e.g. ``go_byzantine(corrupt_outputs=True)``."""
+        """Switch fault modes on, e.g. ``go_byzantine(corrupt_outputs=True)``.
+
+        Activation is traced (``adversary``/``activate``) so the
+        invariant oracles learn, online, which pairs are *expected* to
+        misbehave -- a fail-signal from anyone else is a false signal.
+        """
         for name, value in flags.items():
             if not hasattr(self.faults, name):
                 raise AttributeError(f"unknown fault {name!r}")
             setattr(self.faults, name, value)
+        enabled = tuple(sorted(n for n, v in flags.items() if v))
+        disabled = tuple(sorted(n for n, v in flags.items() if not v))
+        if enabled:
+            self.trace("adversary", "activate", flags=enabled)
+        if disabled:
+            self.trace("adversary", "deactivate", flags=disabled)

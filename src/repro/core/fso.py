@@ -407,6 +407,10 @@ class Fso(Process, Servant):
         entry.tau = self.sim.now - produced_at
         corr = entry.output.correlation
         self._icmp[corr] = entry
+        # What this Compare *vouches for* -- the reference stream the
+        # double-sign soundness oracle checks delivered values against.
+        if self.sim.trace.enabled:
+            self.trace("fso", "single", corr=list(corr), digest=entry.content_key)
         single = SingleSigned(signed=self.signer.sign_payload(entry.output))
         self._single_ready[entry.prod_no] = single
         while self._single_next in self._single_ready:
@@ -441,8 +445,30 @@ class Fso(Process, Servant):
             self.trace("fso", "single-rejected", claimed=signed.signer)
             return
         payload: FsOutput = signed.payload
-        self._ecmp[payload.correlation] = signed
-        self._try_match(payload.correlation)
+        corr = payload.correlation
+        existing = self._ecmp.get(corr)
+        if existing is not None and existing.payload.content_key() != payload.content_key():
+            # Two validly signed, conflicting candidates for one slot:
+            # the peer signed both, which only a faulty Compare does.
+            # This is double-sign evidence -- unforgeable under A5.
+            self.trace(
+                "fso",
+                "double-sign-evidence",
+                corr=list(corr),
+                signer=signed.signer,
+            )
+            self._start_signaling("double-sign-evidence")
+            return
+        if self.sim.trace.enabled:
+            self.trace(
+                "fso",
+                "single-accepted",
+                corr=list(corr),
+                digest=payload.content_key(),
+                signer=signed.signer,
+            )
+        self._ecmp[corr] = signed
+        self._try_match(corr)
 
     def _try_match(self, corr: tuple[int, int]) -> None:
         entry = self._icmp.get(corr)
@@ -480,12 +506,14 @@ class Fso(Process, Servant):
 
     def _transmit_output(self, ready: _DsReady) -> None:
         self.outputs_transmitted += 1
-        self.trace(
-            "fso",
-            "output",
-            corr=list(ready.output.correlation),
-            target=str(ready.output.target),
-        )
+        if self.sim.trace.enabled:
+            self.trace(
+                "fso",
+                "output",
+                corr=list(ready.output.correlation),
+                target=str(ready.output.target),
+                digest=ready.output.content_key(),
+            )
         for endpoint in self.routes.resolve(ready.output.target):
             self.node.orb.oneway(endpoint, "receiveNew", ready.double_signed)
 

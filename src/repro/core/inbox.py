@@ -78,6 +78,18 @@ class FsOutputInbox(Servant):
         self._seen_outputs.add(payload.dedup_key)
         target = self.local_rewrites.get(payload.target.key, payload.target)
         self.outputs_forwarded += 1
+        sim = self.orb.sim
+        if sim.trace.enabled:
+            # What actually crossed the double-signature check into the
+            # environment -- the set the soundness oracle audits.
+            sim.trace.record(
+                sim.now,
+                "inbox",
+                f"inbox@{self.orb.address}",
+                "output-forwarded",
+                fs=payload.fs_id,
+                digest=payload.content_key(),
+            )
         self.orb.oneway(target, payload.method, *payload.args)
 
     def _on_fail_signal(self, message: DoubleSigned, payload: FailSignal) -> None:
@@ -88,6 +100,15 @@ class FsOutputInbox(Servant):
             return
         self._signalled_sources.add(payload.fs_id)
         self.fail_signals_received += 1
+        sim = self.orb.sim
+        if sim.trace.enabled:
+            sim.trace.record(
+                sim.now,
+                "inbox",
+                f"inbox@{self.orb.address}",
+                "fail-signal",
+                fs=payload.fs_id,
+            )
         if self.on_fail_signal is not None:
             self.on_fail_signal(payload.fs_id)
 

@@ -26,7 +26,13 @@ Quick tour::
     records = campaign.execute(jobs=4, store=ResultStore("results.jsonl"))
 """
 
-from repro.experiments.campaign import Campaign, RunRecord, RunTask, derive_seed
+from repro.experiments.campaign import (
+    Campaign,
+    RunRecord,
+    RunTask,
+    clamp_jobs,
+    derive_seed,
+)
 from repro.experiments.registry import (
     Scenario,
     SweepPoint,
@@ -37,7 +43,9 @@ from repro.experiments.registry import (
     scenarios,
 )
 from repro.experiments.runner import (
+    AuditedRun,
     RunResult,
+    audit_scenario,
     build_ordering_group,
     pbft_fault_budget,
     run_ordering_spec,
@@ -53,6 +61,7 @@ from repro.experiments.spec import (
 from repro.experiments.store import ResultStore
 
 __all__ = [
+    "AuditedRun",
     "CALM_LAN",
     "Campaign",
     "DelaySpec",
@@ -66,7 +75,9 @@ __all__ = [
     "ScenarioSpec",
     "SweepPoint",
     "UnknownScenarioError",
+    "audit_scenario",
     "build_ordering_group",
+    "clamp_jobs",
     "derive_seed",
     "get_scenario",
     "pbft_fault_budget",

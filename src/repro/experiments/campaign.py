@@ -21,12 +21,38 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import logging
 import multiprocessing
 import typing
 
 from repro.experiments.registry import Scenario
-from repro.experiments.runner import run_scenario
+from repro.experiments.runner import audit_scenario, run_scenario
 from repro.experiments.spec import ScenarioSpec
+
+logger = logging.getLogger("repro.experiments.campaign")
+
+
+def clamp_jobs(jobs: int | None, tasks: int) -> int:
+    """The effective worker count for a campaign.
+
+    ``None`` asks for the machine default; explicit requests are
+    honoured up to ``max(1, cpu_count - 1)`` -- oversubscribing a small
+    CI box (the 1-core case especially) only adds scheduler thrash to
+    every simulated timing.  The clamp never affects determinism, only
+    wall-clock."""
+    ceiling = max(1, multiprocessing.cpu_count() - 1)
+    requested = ceiling if jobs is None else jobs
+    effective = max(1, min(requested, ceiling, max(tasks, 1)))
+    if jobs is not None and effective != jobs:
+        logger.info(
+            "campaign: clamped jobs=%d to %d (cpu_count=%d)",
+            jobs,
+            effective,
+            multiprocessing.cpu_count(),
+        )
+    else:
+        logger.info("campaign: running with %d worker(s)", effective)
+    return effective
 
 
 def derive_seed(
@@ -47,6 +73,7 @@ class RunTask:
     x_label: typing.Any
     repeat: int
     spec: ScenarioSpec
+    audit: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,15 +113,26 @@ class RunRecord:
 
 
 def execute_task(task: RunTask) -> RunRecord:
-    """Run one grid cell (top-level so worker processes can import it)."""
-    result = run_scenario(task.spec)
+    """Run one grid cell (top-level so worker processes can import it).
+
+    Audit cells run under the invariant oracles and fold the verdict
+    into the metrics (``audit_ok``, ``audit_violations``) so the JSONL
+    store and :func:`repro.analysis.aggregate.audit_summary` can
+    aggregate them campaign-wide."""
+    if task.audit and task.spec.system != "pbft":
+        audited = audit_scenario(task.spec, scenario=task.scenario)
+        metrics = dict(audited.result.metrics)
+        metrics["audit_ok"] = 1.0 if audited.report.ok else 0.0
+        metrics["audit_violations"] = float(len(audited.report.violations))
+    else:
+        metrics = run_scenario(task.spec).metrics
     return RunRecord(
         scenario=task.scenario,
         system=task.system,
         x_label=task.x_label,
         repeat=task.repeat,
         seed=task.spec.seed,
-        metrics=result.metrics,
+        metrics=metrics,
         spec=task.spec.to_dict(),
     )
 
@@ -108,6 +146,7 @@ class Campaign:
         repeats: int = 1,
         base_seed: int = 0,
         systems: typing.Sequence[str] | None = None,
+        audit: bool = False,
     ) -> None:
         if repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -115,6 +154,7 @@ class Campaign:
         self.repeats = repeats
         self.base_seed = base_seed
         self.systems = tuple(systems) if systems is not None else scenario.systems
+        self.audit = audit
         if not self.systems:
             raise ValueError("systems must name at least one system")
 
@@ -143,20 +183,25 @@ class Campaign:
                         x_label=x_label,
                         repeat=repeat,
                         spec=spec.replace(seed=seed),
+                        audit=self.audit and system != "pbft",
                     )
                 )
         return tasks
 
-    def execute(self, jobs: int = 1, store=None) -> list[RunRecord]:
-        """Run the grid; ``jobs > 1`` fans out over a process pool.
+    def execute(self, jobs: int | None = 1, store=None) -> list[RunRecord]:
+        """Run the grid; more than one job fans out over a process pool.
 
-        ``store`` (a :class:`repro.experiments.store.ResultStore`)
-        receives each record *as it completes* -- an interrupted
-        campaign keeps everything already measured.
+        ``jobs=None`` picks the machine default; any request is clamped
+        to ``max(1, cpu_count - 1)`` (see :func:`clamp_jobs`) and the
+        effective value is logged.  ``store`` (a
+        :class:`repro.experiments.store.ResultStore`) receives each
+        record *as it completes* -- an interrupted campaign keeps
+        everything already measured.
         """
-        if jobs < 1:
+        if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         tasks = self.plan()
+        jobs = clamp_jobs(jobs, len(tasks))
         records = []
         if jobs == 1 or len(tasks) <= 1:
             for task in tasks:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.adversary.spec import AdversarySpec, both, intermittent, seq
 from repro.experiments.spec import (
     SPIKY_NET,
     DelaySpec,
@@ -360,6 +361,188 @@ register(
         sweep_axis="variant",
         sweep=(SweepPoint(label="3-crashes", overrides={}),),
     )
+)
+
+# ----------------------------------------------------------------------
+# adversarial scenarios: the composable adversary engine under the
+# invariant oracles (`repro audit --scenario adv_*`)
+# ----------------------------------------------------------------------
+#: Common base for the single-pair adversarial audits: a small
+#: figure-4-layout group streaming fast enough that every misbehaviour
+#: manifests repeatedly inside its window.
+_ADV_BASE = ScenarioSpec(
+    system="fs-newtop",
+    n_members=4,
+    messages_per_member=10,
+    interval=60.0,
+    collapsed=False,
+    settle_ms=15_000.0,
+)
+
+
+def _register_adversarial(
+    name: str,
+    title: str,
+    description: str,
+    expected: str,
+    adversaries: tuple[AdversarySpec, ...],
+    base: ScenarioSpec = _ADV_BASE,
+) -> None:
+    register(
+        Scenario(
+            name=name,
+            title=title,
+            description=description,
+            expected=expected,
+            base=base.replace(adversaries=adversaries),
+            systems=("fs-newtop",),
+            sweep_axis="variant",
+            sweep=(SweepPoint(label="audited", overrides={}),),
+        )
+    )
+
+
+_register_adversarial(
+    "adv_equivocation",
+    "Adversary: equivocation / double-send",
+    "Member 0's leader Compare double-sends conflicting signed "
+    "candidates for every slot from t=300ms.",
+    "the peer holds double-sign evidence (or an output mismatch) and "
+    "fail-signals; no conflicting value reaches the environment.",
+    (AdversarySpec(kind="equivocate", at=300.0, member=0),),
+)
+
+_register_adversarial(
+    "adv_replay",
+    "Adversary: stale-message replay",
+    "Member 0's leader Compare re-sends its first signed candidate in "
+    "place of every later one from t=300ms.",
+    "the live comparison starves, the section 2.2 timeout fires and the "
+    "pair fail-signals; stale copies pair with nothing.",
+    (AdversarySpec(kind="replay", at=300.0, member=0),),
+)
+
+_register_adversarial(
+    "adv_selective_mute",
+    "Adversary: selective per-peer mute",
+    "Member 0's leader keeps ordering but stops forwarding its "
+    "single-signed candidates to its peer from t=300ms.",
+    "the peer's compare timeout fires; ordering traffic alone cannot "
+    "mask a silent Compare.",
+    (AdversarySpec(kind="selective_mute", at=300.0, member=0),),
+)
+
+_register_adversarial(
+    "adv_tamper_signature",
+    "Adversary: signature tampering",
+    "Member 0's leader forges its peer's signature on candidates from "
+    "t=300ms (A5 says it cannot get away with it).",
+    "every forged single is rejected by verification and the pair is "
+    "converted into a fail-signal.",
+    (AdversarySpec(kind="tamper_signature", at=300.0, member=0),),
+)
+
+_register_adversarial(
+    "adv_scramble_burst",
+    "Adversary: input-order scramble burst",
+    "Member 0's leader processes inputs pairwise swapped during "
+    "t=300..600ms while advertising the honest order.",
+    "out-of-order processing surfaces as an output mismatch (or a "
+    "t2 expiry) and the pair fail-signals.",
+    (AdversarySpec(kind="scramble_burst", at=300.0, until=600.0, member=0),),
+)
+
+_register_adversarial(
+    "adv_delay_skew",
+    "Adversary: pair-LAN delay skew",
+    "Everything member 0's leader sends over the pair LAN takes an "
+    "extra 50ms from t=300ms -- an explicit A2 violation.",
+    "the synchrony-derived compare timeouts fire and the pair "
+    "fail-signals; survivors keep ordering.",
+    (AdversarySpec(kind="delay_skew", at=300.0, member=0, extra_ms=50.0),),
+)
+
+_register_adversarial(
+    "adv_intermittent_mute",
+    "Adversary: intermittent full mute",
+    "Member 0's leader LAN goes mute for half of every 200ms period "
+    "between t=300ms and t=900ms.",
+    "the first muted window that swallows protocol traffic is enough: "
+    "the pair fail-signals despite the duty cycle.",
+    (
+        intermittent(
+            AdversarySpec(kind="mute", member=0),
+            at=300.0,
+            until=900.0,
+            period=200.0,
+            duty=0.5,
+        ),
+    ),
+)
+
+_register_adversarial(
+    "adv_churn_storm",
+    "Adversary: churn storm under load",
+    "A 5-member group loses members 4 and 3 to primary-node crashes "
+    "200ms apart from t=400ms while everyone keeps streaming.",
+    "crash-induced signals are accurate (only the downed pairs are "
+    "named) and the 3 survivors keep delivering in agreement.",
+    (AdversarySpec(kind="churn_storm", at=400.0, members=(4, 3), spacing=200.0),),
+    base=_ADV_BASE.replace(n_members=5),
+)
+
+_register_adversarial(
+    "adv_seq_scramble_then_corrupt",
+    "Adversary: sequential multi-member attack",
+    "In sequence: member 0's leader scrambles input order for 250ms "
+    "from t=300ms, then member 1's replica corrupts outputs for 300ms.",
+    "each attack in the sequence is converted into its own pair's "
+    "fail-signal; the remaining members keep agreeing.",
+    (
+        seq(
+            AdversarySpec(kind="scramble_burst", at=0.0, until=250.0, member=0),
+            AdversarySpec(kind="corrupt", at=50.0, until=350.0, member=1),
+            at=300.0,
+        ),
+    ),
+    base=_ADV_BASE.replace(n_members=6),
+)
+
+_register_adversarial(
+    "adv_both_equivocate_tamper",
+    "Adversary: concurrent multi-member attack",
+    "Concurrently from t=300ms: member 0's leader equivocates while "
+    "member 3's leader forges signatures.",
+    "both pairs are independently converted into fail-signals; A1 "
+    "(at most one faulty node per pair) still holds pair-wise.",
+    (
+        both(
+            AdversarySpec(kind="equivocate", at=0.0, member=0),
+            AdversarySpec(kind="tamper_signature", at=50.0, member=3),
+            at=300.0,
+        ),
+    ),
+    base=_ADV_BASE.replace(n_members=6),
+)
+
+_register_adversarial(
+    "adv_spurious_fs2",
+    "Adversary: spontaneous fail-signal (fs2)",
+    "A perfectly healthy wrapper of member 1 emits its fail-signal at "
+    "t=500ms -- failure mode fs2, legal by definition.",
+    "receivers treat the signaller as faulty and exclude it; the "
+    "oracles accept the signal as accurate (it was injected).",
+    (AdversarySpec(kind="spurious_signal", at=500.0, member=1),),
+)
+
+_register_adversarial(
+    "adv_clean_baseline",
+    "Adversary control: no adversary at all",
+    "The adversarial base scenario with no attack installed -- the "
+    "control run the accuracy oracle is calibrated against.",
+    "zero fail-signals, full agreement: any signal here is a false "
+    "signal and fails the audit.",
+    (),
 )
 
 register(

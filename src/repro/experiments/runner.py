@@ -12,8 +12,10 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.adversary.engine import AdversaryEngine
 from repro.analysis.metrics import summarize
 from repro.baselines.pbft import PbftCluster
+from repro.invariants import AuditConfig, AuditReport, InvariantMonitor, topology_of
 from repro.perf import clear_caches, gc_paused
 from repro.core.fso import FsoRole
 from repro.crypto.costmodel import CryptoCostModel
@@ -67,6 +69,20 @@ def _partition_addresses(group: AnyGroup, members: tuple[int, ...]) -> list[str]
 
 
 def _apply_fault(group: AnyGroup, event) -> None:
+    # Announce the fault to the trace first: the invariant monitor's
+    # bookkeeping (which pairs/nodes are *expected* to misbehave) is
+    # driven by this stream.
+    sim = group.sim
+    sim.trace.record(
+        sim.now,
+        "adversary",
+        "fault-plan",
+        "faultplan",
+        kind=event.kind,
+        member=event.member,
+        flags=list(event.flags),
+        groups=[list(g) for g in event.groups],
+    )
     if event.kind == "crash":
         if isinstance(group, ByzantineTolerantGroup):
             group.crash_primary(event.member)
@@ -131,11 +147,29 @@ def build_ordering_group(
 
 
 def _run_ordering(
-    spec: ScenarioSpec, **system_kwargs: typing.Any
-) -> OrderingWorkload:
+    spec: ScenarioSpec,
+    monitor_config: AuditConfig | None = None,
+    scenario: str | None = None,
+    **system_kwargs: typing.Any,
+) -> tuple[OrderingWorkload, InvariantMonitor | None]:
+    """Build and run an ordering spec.
+
+    With ``monitor_config`` set this becomes an *audit* run: the trace
+    recorder stays live (listeners only -- nothing is stored) and an
+    :class:`InvariantMonitor` rides along; call ``monitor.finish()``
+    after the run for the report.  Measurement runs keep tracing off.
+    """
     sim = Simulator(seed=spec.seed)
-    sim.trace.enabled = False  # measurement runs do not pay for tracing
+    monitor = None
+    if monitor_config is None:
+        sim.trace.enabled = False  # measurement runs do not pay for tracing
+    else:
+        sim.trace.store = False  # oracles listen; nothing is stored
     group = build_ordering_group(sim, spec, **system_kwargs)
+    if monitor_config is not None:
+        monitor = InvariantMonitor(
+            sim, topology_of(group), config=monitor_config, scenario=scenario
+        )
     workload = OrderingWorkload(
         sim,
         group,
@@ -146,13 +180,15 @@ def _run_ordering(
         write_ratio=spec.write_ratio,
     )
     _schedule_faults(sim, group, spec)
+    if spec.adversaries:
+        AdversaryEngine(sim, group, spec.adversaries).install()
     with gc_paused():  # host-time only; see repro.perf
         workload.run(settle_ms=spec.settle_ms)
         # Entries keyed to this run's (now dead) messages would only
         # cause eviction churn in the next run and inflate the final
         # collection; dropping them inside the pause frees by refcount.
         clear_caches()
-    return workload
+    return workload, monitor
 
 
 def run_ordering_spec(
@@ -160,7 +196,7 @@ def run_ordering_spec(
 ) -> ExperimentResult:
     """Run an ordering spec and return the rich per-run result (the
     interface :func:`repro.workloads.run_ordering_experiment` wraps)."""
-    workload = _run_ordering(spec, **system_kwargs)
+    workload, _monitor = _run_ordering(spec, **system_kwargs)
     return workload.result(spec.system)
 
 
@@ -289,12 +325,51 @@ def _run_pbft(spec: ScenarioSpec) -> dict[str, float]:
 
 
 # ----------------------------------------------------------------------
-# entry point
+# entry points
 # ----------------------------------------------------------------------
 def run_scenario(spec: ScenarioSpec) -> RunResult:
     """Execute one spec and return its flattened metrics."""
     if spec.system == "pbft":
         return RunResult(spec=spec, metrics=_run_pbft(spec))
-    workload = _run_ordering(spec)
+    workload, _monitor = _run_ordering(spec)
     result = workload.result(spec.system)
     return RunResult(spec=spec, metrics=_ordering_metrics(workload, result))
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditedRun:
+    """One audited scenario run: the usual metrics plus the oracle report."""
+
+    result: RunResult
+    report: AuditReport
+
+    def to_dict(self) -> dict:
+        return {"result": self.result.to_dict(), "report": self.report.to_dict()}
+
+
+def audit_scenario(
+    spec: ScenarioSpec,
+    config: AuditConfig | None = None,
+    scenario: str | None = None,
+) -> AuditedRun:
+    """Execute one spec under the invariant oracles.
+
+    The run is identical to :func:`run_scenario` except that the trace
+    recorder stays live (in listener-only mode) so the
+    :mod:`repro.invariants` oracles can consume the event stream; the
+    report lands next to the ordinary metrics.  Only the ordering
+    systems are auditable -- the PBFT comparator exposes neither the
+    fail-signal hooks nor the app-level trace stream.
+    """
+    if spec.system == "pbft":
+        raise ValueError("audit runs need an ordering system (newtop / fs-newtop)")
+    audit_config = config if config is not None else AuditConfig()
+    workload, monitor = _run_ordering(
+        spec, monitor_config=audit_config, scenario=scenario
+    )
+    assert monitor is not None
+    result = workload.result(spec.system)
+    return AuditedRun(
+        result=RunResult(spec=spec, metrics=_ordering_metrics(workload, result)),
+        report=monitor.finish(),
+    )

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.adversary.spec import AdversarySpec
 from repro.net.delay import (
     ConstantDelay,
     DelayModel,
@@ -165,6 +166,7 @@ class ScenarioSpec:
     seed: int = 0
     delay: DelaySpec = CALM_LAN
     faults: tuple[FaultEvent, ...] = ()
+    adversaries: tuple[AdversarySpec, ...] = ()
     crypto_scale: float = 1.0
     collapsed: bool = True
     suspectors: bool = False
@@ -189,12 +191,15 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     @property
     def byzantine_members(self) -> tuple[int, ...]:
-        """Members named by ``byzantine`` fault events (the group must
-        pre-build their wrappers as :class:`ByzantineFso`)."""
-        members = sorted(
-            {e.member for e in self.faults if e.kind == "byzantine" and e.member is not None}
-        )
-        return tuple(members)
+        """Members needing a :class:`ByzantineFso` wrapper pre-built:
+        those named by ``byzantine`` fault events plus the targets of
+        every FaultPlan-backed adversary strategy."""
+        members = {
+            e.member for e in self.faults if e.kind == "byzantine" and e.member is not None
+        }
+        for adversary in self.adversaries:
+            members.update(adversary.flag_members())
+        return tuple(sorted(members))
 
     def replace(self, **overrides: typing.Any) -> "ScenarioSpec":
         """A copy with the given fields replaced."""
@@ -207,6 +212,7 @@ class ScenarioSpec:
         data = dataclasses.asdict(self)
         data["delay"] = self.delay.to_dict()
         data["faults"] = [e.to_dict() for e in self.faults]
+        data["adversaries"] = [a.to_dict() for a in self.adversaries]
         return data
 
     @classmethod
@@ -214,4 +220,7 @@ class ScenarioSpec:
         fields = dict(data)
         fields["delay"] = DelaySpec.from_dict(fields["delay"])
         fields["faults"] = tuple(FaultEvent.from_dict(e) for e in fields.get("faults", ()))
+        fields["adversaries"] = tuple(
+            AdversarySpec.from_dict(a) for a in fields.get("adversaries", ())
+        )
         return cls(**fields)

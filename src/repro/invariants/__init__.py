@@ -1,0 +1,60 @@
+"""Trace-driven safety oracles for audited runs.
+
+The invariants subsystem checks, online, the guarantees the paper
+claims: total-order agreement, validity, fail-signal accuracy and
+completeness, double-sign evidence soundness and no-forgery.  An
+:class:`InvariantMonitor` listens to the run's trace stream and folds
+it into a structured :class:`AuditReport`.
+
+Typical use (what ``repro audit`` and the campaign audit mode do)::
+
+    sim = Simulator(seed=0)
+    sim.trace.store = False          # listeners only; memory stays flat
+    group = build_ordering_group(sim, spec)
+    monitor = InvariantMonitor(sim, topology_of(group))
+    ... run the workload ...
+    report = monitor.finish()
+    assert report.ok, report.render()
+"""
+
+from repro.invariants.monitor import (
+    AuditConfig,
+    AuditState,
+    InvariantMonitor,
+    PairTopology,
+    Topology,
+    topology_of,
+)
+from repro.invariants.oracles import (
+    ALL_ORACLES,
+    TOTAL_SERVICES,
+    DoubleSignSoundnessOracle,
+    EquivocationEvidenceOracle,
+    FailSignalOracle,
+    NoForgeryOracle,
+    Oracle,
+    TotalOrderOracle,
+    ValidityOracle,
+)
+from repro.invariants.report import AuditReport, OracleVerdict, Violation
+
+__all__ = [
+    "ALL_ORACLES",
+    "AuditConfig",
+    "AuditReport",
+    "AuditState",
+    "DoubleSignSoundnessOracle",
+    "EquivocationEvidenceOracle",
+    "FailSignalOracle",
+    "InvariantMonitor",
+    "NoForgeryOracle",
+    "Oracle",
+    "OracleVerdict",
+    "PairTopology",
+    "TOTAL_SERVICES",
+    "Topology",
+    "TotalOrderOracle",
+    "topology_of",
+    "ValidityOracle",
+    "Violation",
+]

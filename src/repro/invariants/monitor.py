@@ -1,0 +1,323 @@
+"""Online invariant monitoring of one simulated run.
+
+The :class:`InvariantMonitor` attaches to the run's
+:class:`~repro.sim.trace.TraceRecorder` as a listener and feeds every
+record through shared bookkeeping (:class:`AuditState`) plus the
+invariant oracles in :mod:`repro.invariants.oracles`.  The raw event
+stream is never stored; the oracles fold it down to the protocol facts
+they must remember -- digests of sends, per-member delivery sequences,
+vouched/forwarded output digests -- so audit memory scales with the
+*message* count of the run, not with its (far larger) event count.
+
+What the monitor learns online:
+
+* which pairs are *expected* to misbehave (``adversary``/``activate``
+  traces emitted by the adversary engine and by
+  :meth:`ByzantineFso.go_byzantine`), and whether a fail-signal is
+  *required* (misbehaviour will manifest) or merely *allowed* (e.g. a
+  crash with nothing in flight);
+* when misbehaviour actually *manifested* (``fault`` traces: a message
+  really dropped/corrupted/forged/replayed);
+* which nodes crashed and how the network is partitioned (fault-plan
+  traces from the scenario runner).
+
+Everything else -- deliveries, fail-signals, signed candidates,
+inbox-forwarded values -- is oracle-specific and lives in the oracles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.invariants.oracles import (
+    DoubleSignSoundnessOracle,
+    EquivocationEvidenceOracle,
+    FailSignalOracle,
+    NoForgeryOracle,
+    Oracle,
+    TotalOrderOracle,
+    ValidityOracle,
+)
+from repro.invariants.report import AuditReport
+from repro.sim.trace import TraceRecord
+
+
+# ----------------------------------------------------------------------
+# static topology (configuration, not behaviour)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True, slots=True)
+class PairTopology:
+    """Where one fail-signal pair lives."""
+
+    fs_id: str
+    member: str
+    leader_node: str
+    follower_node: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Topology:
+    """The static shape of the system under audit."""
+
+    system: str
+    members: tuple[str, ...]
+    pairs: tuple[PairTopology, ...] = ()
+
+    def pair_of_member(self, member_id: str) -> PairTopology | None:
+        for pair in self.pairs:
+            if pair.member == member_id:
+                return pair
+        return None
+
+    def nodes_of(self, fs_id: str) -> tuple[str, str] | None:
+        for pair in self.pairs:
+            if pair.fs_id == fs_id:
+                return (pair.leader_node, pair.follower_node)
+        return None
+
+
+def topology_of(group: typing.Any) -> Topology:
+    """Describe a live group (fs-newtop or newtop) for the monitor."""
+    from repro.fsnewtop.system import ByzantineTolerantGroup
+
+    if isinstance(group, ByzantineTolerantGroup):
+        pairs = tuple(
+            PairTopology(
+                fs_id=member.fs_process.fs_id,
+                member=member_id,
+                leader_node=member.primary_node.name,
+                follower_node=member.backup_node.name,
+            )
+            for member_id, member in group.members.items()
+        )
+        return Topology(system="fs-newtop", members=tuple(group.member_ids), pairs=pairs)
+    return Topology(system="newtop", members=tuple(group.member_ids))
+
+
+# ----------------------------------------------------------------------
+# shared run-time bookkeeping
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True, slots=True)
+class AuditConfig:
+    """Knobs of an audit.
+
+    ``detection_deadline_ms`` bounds how long after the *first
+    manifestation* of a required misbehaviour the pair's fail-signal
+    must appear.  The section 2.2 timeouts are load-dependent (they
+    scale with measured processing and signing times), so this is a
+    generous envelope rather than the exact formula; it exists to catch
+    detection that silently stopped working, not to re-derive the bound.
+    """
+
+    detection_deadline_ms: float = 5_000.0
+    max_violations_per_oracle: int = 25
+
+
+@dataclasses.dataclass
+class FaultRecord:
+    """What the monitor knows about one pair's (expected) misbehaviour."""
+
+    fs_id: str
+    onset: float
+    kinds: set[str]
+    role: str = "leader"  # which side is faulty
+    expect: str = "required"
+    active: bool = True
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SignalRecord:
+    time: float
+    reason: str
+    source: str
+
+
+class AuditState:
+    """Bookkeeping shared by every oracle."""
+
+    def __init__(self, topology: Topology, config: AuditConfig) -> None:
+        self.topology = topology
+        self.config = config
+        self.faults: dict[str, FaultRecord] = {}
+        self.crashed_nodes: dict[str, float] = {}
+        self.partition_groups: tuple[tuple[int, ...], ...] | None = None
+        self.signals: dict[str, SignalRecord] = {}
+        self.first_manifest: dict[str, float] = {}
+        self.sends = 0
+
+    # -- ingestion -------------------------------------------------------
+    def ingest(self, rec: TraceRecord) -> None:
+        if rec.category == "adversary":
+            self._ingest_adversary(rec)
+        elif rec.category == "fault":
+            fs_id = rec.source.rsplit("/", 1)[0]
+            self.first_manifest.setdefault(fs_id, rec.time)
+        elif rec.category == "fso":
+            if rec.event == "fail-signal":
+                fs_id = rec.source.rsplit("/", 1)[0]
+                self.signals.setdefault(
+                    fs_id,
+                    SignalRecord(
+                        time=rec.time,
+                        reason=str(rec.detail("reason")),
+                        source=rec.source,
+                    ),
+                )
+            elif rec.event == "single":
+                # Manifestation proxy for delay skew: a candidate signed
+                # while the pair LAN is skewed will arrive late.
+                fs_id = rec.source.rsplit("/", 1)[0]
+                fault = self.faults.get(fs_id)
+                if fault is not None and fault.active and "delay_skew" in fault.kinds:
+                    self.first_manifest.setdefault(fs_id, rec.time)
+        elif rec.category == "app" and rec.event == "send":
+            self.sends += 1
+
+    def _ingest_adversary(self, rec: TraceRecord) -> None:
+        if rec.event == "faultplan":
+            self._ingest_faultplan(rec)
+            return
+        if rec.event not in ("activate", "deactivate"):
+            return
+        flags = rec.detail("flags")
+        if flags is not None and "/" in rec.source:
+            # From ByzantineFso.go_byzantine: source is "<fs>/<role>".
+            fs_id, role = rec.source.rsplit("/", 1)
+            self._mark(rec, fs_id, set(flags), role=role, expect="required")
+            return
+        fs_id = rec.detail("fs")
+        kind = rec.detail("kind")
+        node = rec.detail("node")
+        if node is not None:  # churn storm crash
+            self.crashed_nodes.setdefault(str(node), rec.time)
+            return
+        if fs_id is not None and kind is not None:
+            self._mark(rec, str(fs_id), {str(kind)}, expect=str(rec.detail("expect", "required")))
+
+    def _mark(
+        self, rec: TraceRecord, fs_id: str, kinds: set[str], role: str = "leader",
+        expect: str = "required",
+    ) -> None:
+        record = self.faults.get(fs_id)
+        activating = rec.event == "activate"
+        if record is None:
+            if not activating:
+                return
+            record = FaultRecord(fs_id=fs_id, onset=rec.time, kinds=set(), role=role, expect=expect)
+            self.faults[fs_id] = record
+        record.kinds.update(kinds)
+        record.active = activating
+        if activating and expect == "required":
+            record.expect = "required"
+        if "spurious_signal" in kinds:
+            # The spontaneous signal *is* the manifestation.
+            self.first_manifest.setdefault(fs_id, rec.time)
+
+    def _ingest_faultplan(self, rec: TraceRecord) -> None:
+        kind = rec.detail("kind")
+        member_index = rec.detail("member")
+        if kind in ("crash", "crash_backup") and member_index is not None:
+            member_id = self.topology.members[int(member_index)]
+            pair = self.topology.pair_of_member(member_id)
+            if pair is None:
+                self.crashed_nodes.setdefault(member_id, rec.time)
+            elif kind == "crash":
+                self.crashed_nodes.setdefault(pair.leader_node, rec.time)
+            else:
+                self.crashed_nodes.setdefault(pair.follower_node, rec.time)
+        elif kind == "partition":
+            groups = rec.detail("groups") or ()
+            self.partition_groups = tuple(tuple(int(i) for i in g) for g in groups)
+        # heal: the halves do not re-merge into one total order (see
+        # docs/SCENARIOS.md on partition_heal), so the last partition
+        # grouping keeps governing the agreement oracle.
+
+    # -- queries ---------------------------------------------------------
+    def allowed_to_signal(self, fs_id: str, at: float) -> bool:
+        fault = self.faults.get(fs_id)
+        if fault is not None and fault.onset <= at:
+            return True
+        nodes = self.topology.nodes_of(fs_id)
+        if nodes is not None:
+            for node in nodes:
+                crashed_at = self.crashed_nodes.get(node)
+                if crashed_at is not None and crashed_at <= at:
+                    return True
+        return False
+
+    def faulty_role(self, fs_id: str) -> str | None:
+        fault = self.faults.get(fs_id)
+        return fault.role if fault is not None else None
+
+    def agreement_groups(self) -> list[tuple[str, ...]]:
+        """Member groups within which total order must agree."""
+        if self.partition_groups is None:
+            return [self.topology.members]
+        return [
+            tuple(self.topology.members[i] for i in group)
+            for group in self.partition_groups
+        ]
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "sends": float(self.sends),
+            "fail_signals": float(len(self.signals)),
+            "pairs_faulted": float(len(self.faults)),
+            "nodes_crashed": float(len(self.crashed_nodes)),
+        }
+
+
+# ----------------------------------------------------------------------
+# the monitor
+# ----------------------------------------------------------------------
+class InvariantMonitor:
+    """Attach oracles to a simulator's trace and fold its event stream."""
+
+    def __init__(
+        self,
+        sim,
+        topology: Topology,
+        config: AuditConfig | None = None,
+        scenario: str | None = None,
+        oracles: typing.Sequence[Oracle] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.config = config if config is not None else AuditConfig()
+        self.scenario = scenario
+        self.state = AuditState(topology, self.config)
+        self.oracles: tuple[Oracle, ...] = (
+            tuple(oracles)
+            if oracles is not None
+            else (
+                TotalOrderOracle(),
+                ValidityOracle(),
+                FailSignalOracle(),
+                DoubleSignSoundnessOracle(),
+                EquivocationEvidenceOracle(),
+                NoForgeryOracle(),
+            )
+        )
+        if not sim.trace.enabled:
+            raise ValueError(
+                "invariant monitoring needs the trace recorder enabled "
+                "(set trace.store = False to audit without storing records)"
+            )
+        sim.trace.add_listener(self._observe)
+
+    def _observe(self, rec: TraceRecord) -> None:
+        self.state.ingest(rec)
+        for oracle in self.oracles:
+            oracle.observe(rec, self.state)
+
+    def finish(self) -> AuditReport:
+        """Fold every oracle into the final report."""
+        verdicts = tuple(oracle.finish(self.state) for oracle in self.oracles)
+        return AuditReport(
+            system=self.topology.system,
+            seed=self.sim.seed,
+            verdicts=verdicts,
+            stats=self.state.stats(),
+            scenario=self.scenario,
+        )

@@ -1,0 +1,336 @@
+"""The invariant oracles.
+
+Each oracle folds the trace stream into a small amount of state
+(``observe``) and renders a verdict at the end of the run (``finish``).
+They receive the shared :class:`~repro.invariants.monitor.AuditState`
+by argument, so they stay import-free of the monitor itself.
+
+The six oracles check the guarantees the paper claims for fail-signal
+pairs (and the base guarantees of the ordering systems):
+
+* **total-order** -- correct members deliver totally-ordered messages
+  in prefix-consistent sequences (per partition side, if partitioned);
+* **validity** -- every delivered message was multicast by its claimed
+  sender (nothing is fabricated);
+* **fail-signal** -- *accuracy* (a signal is only ever raised by a pair
+  that was expected to be faulty -- no false signals) and
+  *completeness* (every misbehaviour that manifested is converted into
+  a fail-signal, within the detection deadline);
+* **double-sign soundness** -- every value that crossed the
+  double-signature check into the environment was vouched for (single-
+  signed) by the pair's *correct* wrapper: no wrong value ever escapes;
+* **equivocation evidence** -- two validly signed, conflicting
+  candidates for one slot are blamed on a pair iff that pair really
+  equivocated (evidence cannot be fabricated against a correct pair);
+* **no-forgery** -- every forged signature the adversary injected was
+  rejected by verification (assumption A5 holds end-to-end).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.invariants.report import OracleVerdict, Violation
+from repro.sim.trace import TraceRecord
+
+#: Services whose deliveries must be totally ordered across members.
+TOTAL_SERVICES = frozenset({"symmetric_total", "asymmetric_total"})
+
+
+class Oracle:
+    """Base class: fold the stream, then render a verdict."""
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        self.checked = 0
+        self.violations: list[Violation] = []
+
+    def observe(self, rec: TraceRecord, state) -> None:  # pragma: no cover - default
+        return None
+
+    def finish(self, state) -> OracleVerdict:
+        return self._verdict(state)
+
+    # ------------------------------------------------------------------
+    def _flag(
+        self, state, message: str, at: float | None = None, source: str | None = None
+    ) -> None:
+        if len(self.violations) >= state.config.max_violations_per_oracle:
+            return
+        self.violations.append(
+            Violation(oracle=self.name, message=message, at=at, source=source)
+        )
+
+    def _verdict(self, state) -> OracleVerdict:
+        return OracleVerdict(
+            oracle=self.name, checked=self.checked, violations=tuple(self.violations)
+        )
+
+
+def _fs_of(source: str) -> str:
+    return source.rsplit("/", 1)[0]
+
+
+class TotalOrderOracle(Oracle):
+    """Uniform total order: no member delivers twice, and any two
+    members deliver their *common* messages in the same order.
+
+    (Set agreement is deliberately not required: a message in flight
+    when its faulty sender is excluded may reach some members and not
+    others -- the membership protocol, not the ordering property,
+    governs that gap.)"""
+
+    name = "total-order"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seqs: dict[str, list[str]] = {}
+
+    def observe(self, rec: TraceRecord, state) -> None:
+        if rec.category != "app" or rec.event != "deliver":
+            return
+        if rec.detail("service") not in TOTAL_SERVICES:
+            return
+        member = rec.source[: -len(".inv")]
+        self._seqs.setdefault(member, []).append(str(rec.detail("key")))
+        self.checked += 1
+
+    def finish(self, state) -> OracleVerdict:
+        for member, seq in sorted(self._seqs.items()):
+            if len(set(seq)) != len(seq):
+                self._flag(state, "duplicate totally-ordered delivery", source=member)
+        for group in state.agreement_groups():
+            members = [m for m in group if m in self._seqs]
+            for i, member_a in enumerate(members):
+                for member_b in members[i + 1 :]:
+                    self._check_pair(state, member_a, member_b)
+        return self._verdict(state)
+
+    def _check_pair(self, state, member_a: str, member_b: str) -> None:
+        seq_a, seq_b = self._seqs[member_a], self._seqs[member_b]
+        common = set(seq_a) & set(seq_b)
+        filtered_a = [k for k in seq_a if k in common]
+        filtered_b = [k for k in seq_b if k in common]
+        for position, (key_a, key_b) in enumerate(zip(filtered_a, filtered_b)):
+            if key_a != key_b:
+                self._flag(
+                    state,
+                    f"{member_a} and {member_b} deliver their common messages in "
+                    f"different orders (first divergence at common position "
+                    f"#{position}: {key_a[:12]}... vs {key_b[:12]}...)",
+                    source=f"{member_a}|{member_b}",
+                )
+                return
+
+
+class ValidityOracle(Oracle):
+    """Delivered => sent: nothing is delivered that nobody multicast."""
+
+    name = "validity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sent: set[str] = set()
+
+    def observe(self, rec: TraceRecord, state) -> None:
+        if rec.category != "app":
+            return
+        if rec.event == "send":
+            self._sent.add(str(rec.detail("key")))
+        elif rec.event == "deliver":
+            self.checked += 1
+            key = str(rec.detail("key"))
+            if key not in self._sent:
+                self._flag(
+                    state,
+                    f"delivered a message nobody sent (claimed sender "
+                    f"{rec.detail('sender')!r})",
+                    at=rec.time,
+                    source=rec.source,
+                )
+
+
+class FailSignalOracle(Oracle):
+    """Fail-signal accuracy and completeness (section 2.2)."""
+
+    name = "fail-signal"
+
+    def finish(self, state) -> OracleVerdict:
+        # Accuracy: every raised signal names a pair expected to be
+        # faulty at that moment -- anything else is a false signal.
+        for fs_id, signal in sorted(state.signals.items()):
+            self.checked += 1
+            if not state.allowed_to_signal(fs_id, signal.time):
+                self._flag(
+                    state,
+                    f"false fail-signal (reason={signal.reason!r}) from a pair "
+                    f"with no injected fault or crashed node",
+                    at=signal.time,
+                    source=signal.source,
+                )
+        # Completeness: every required misbehaviour that *manifested*
+        # must be converted into a signal, within the deadline.
+        for fs_id, fault in sorted(state.faults.items()):
+            if fault.expect != "required":
+                continue
+            manifested = state.first_manifest.get(fs_id)
+            if manifested is None:
+                continue  # never struck (no traffic in the window)
+            self.checked += 1
+            signal = state.signals.get(fs_id)
+            if signal is None:
+                self._flag(
+                    state,
+                    f"misbehaviour ({', '.join(sorted(fault.kinds))}) manifested "
+                    f"at {manifested:.3f}ms but no fail-signal followed",
+                    at=manifested,
+                    source=fs_id,
+                )
+            elif signal.time - manifested > state.config.detection_deadline_ms:
+                self._flag(
+                    state,
+                    f"fail-signal came {signal.time - manifested:.1f}ms after the "
+                    f"first manifestation (deadline "
+                    f"{state.config.detection_deadline_ms:.0f}ms)",
+                    at=signal.time,
+                    source=fs_id,
+                )
+        return self._verdict(state)
+
+
+class DoubleSignSoundnessOracle(Oracle):
+    """No wrong value crosses the double-signature check."""
+
+    name = "double-sign-soundness"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._vouched: dict[tuple[str, str], set[str]] = {}
+        self._forwarded: list[tuple[float, str, str, str]] = []
+
+    def observe(self, rec: TraceRecord, state) -> None:
+        if rec.category == "fso" and rec.event == "single":
+            fs_id, role = rec.source.rsplit("/", 1)
+            self._vouched.setdefault((fs_id, role), set()).add(str(rec.detail("digest")))
+        elif rec.category == "inbox" and rec.event == "output-forwarded":
+            self._forwarded.append(
+                (rec.time, rec.source, str(rec.detail("fs")), str(rec.detail("digest")))
+            )
+
+    def finish(self, state) -> OracleVerdict:
+        for at, source, fs_id, digest in self._forwarded:
+            self.checked += 1
+            faulty = state.faulty_role(fs_id)
+            correct_roles = [r for r in ("leader", "follower") if r != faulty]
+            if not any(
+                digest in self._vouched.get((fs_id, role), ()) for role in correct_roles
+            ):
+                self._flag(
+                    state,
+                    f"inbox forwarded a value from {fs_id} that the pair's correct "
+                    f"wrapper never vouched for (digest {digest[:12]}...)",
+                    at=at,
+                    source=source,
+                )
+        return self._verdict(state)
+
+
+class EquivocationEvidenceOracle(Oracle):
+    """Double-sign evidence is raised iff the pair really equivocated."""
+
+    name = "equivocation-evidence"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._accepted: dict[tuple[str, tuple], set[str]] = {}
+
+    def observe(self, rec: TraceRecord, state) -> None:
+        if rec.category != "fso" or rec.event != "single-accepted":
+            return
+        # Evidence is per *signer*: only two conflicting candidates
+        # bearing the same signature identity convict anyone.  (The two
+        # sides of a pair legitimately sign different content when one
+        # corrupts its outputs -- that is a mismatch, not equivocation.)
+        signer = str(rec.detail("signer"))
+        corr = tuple(rec.detail("corr") or ())
+        self._accepted.setdefault((signer, corr), set()).add(str(rec.detail("digest")))
+        self.checked += 1
+
+    def finish(self, state) -> OracleVerdict:
+        convicted: set[str] = set()
+        for (signer, corr), digests in sorted(self._accepted.items()):
+            if len(digests) < 2:
+                continue
+            fs_id = signer.split("#", 1)[0]
+            convicted.add(fs_id)
+            fault = state.faults.get(fs_id)
+            if fault is None or "equivocate" not in fault.kinds:
+                self._flag(
+                    state,
+                    f"double-sign evidence against {signer} at slot {corr} -- but "
+                    f"that pair was never configured to equivocate (evidence "
+                    f"fabricated against a correct signer?)",
+                    source=fs_id,
+                )
+        # Completeness: an equivocating pair that manifested must either
+        # leave evidence or already have been converted to a signal.
+        for fs_id, fault in sorted(state.faults.items()):
+            if "equivocate" not in fault.kinds:
+                continue
+            if state.first_manifest.get(fs_id) is None:
+                continue
+            self.checked += 1
+            if fs_id not in convicted and fs_id not in state.signals:
+                self._flag(
+                    state,
+                    f"{fs_id} equivocated but left neither double-sign evidence "
+                    f"nor a fail-signal",
+                    source=fs_id,
+                )
+        return self._verdict(state)
+
+
+class NoForgeryOracle(Oracle):
+    """Every injected signature forgery is rejected by verification."""
+
+    name = "no-forgery"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._forged: dict[str, float] = {}
+        self._rejected: dict[str, int] = {}
+
+    def observe(self, rec: TraceRecord, state) -> None:
+        if rec.category == "fault" and rec.event == "forged-single":
+            self._forged.setdefault(_fs_of(rec.source), rec.time)
+            self.checked += 1
+        elif rec.category == "fso" and rec.event == "single-rejected":
+            fs_id = _fs_of(rec.source)
+            self._rejected[fs_id] = self._rejected.get(fs_id, 0) + 1
+
+    def finish(self, state) -> OracleVerdict:
+        for fs_id, first_at in sorted(self._forged.items()):
+            signal = state.signals.get(fs_id)
+            rejected = self._rejected.get(fs_id, 0)
+            # A forging pair must see its forgeries rejected, unless it
+            # had already fail-signalled (a silent pair verifies nothing).
+            if rejected == 0 and not (signal is not None and signal.time <= first_at):
+                self._flag(
+                    state,
+                    f"{fs_id} forged its peer's signature and no forgery was "
+                    f"rejected by verification (A5 breach?)",
+                    at=first_at,
+                    source=fs_id,
+                )
+        return self._verdict(state)
+
+
+ALL_ORACLES: tuple[typing.Type[Oracle], ...] = (
+    TotalOrderOracle,
+    ValidityOracle,
+    FailSignalOracle,
+    DoubleSignSoundnessOracle,
+    EquivocationEvidenceOracle,
+    NoForgeryOracle,
+)

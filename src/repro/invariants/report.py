@@ -1,0 +1,96 @@
+"""Structured audit results.
+
+An :class:`AuditReport` is what one audited run produces: one
+:class:`OracleVerdict` per invariant oracle, each carrying the
+violations it found (empty means the invariant held), plus run-level
+stats.  Reports are plain values -- deterministic for a given seed,
+JSON-serialisable, and comparable across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Violation:
+    """One pinpointed invariant breach."""
+
+    oracle: str
+    message: str
+    at: float | None = None  # simulated ms, when attributable to an instant
+    source: str | None = None  # trace source (member, pair, inbox...)
+
+    def render(self) -> str:
+        where = f" [{self.source}]" if self.source else ""
+        when = f" @{self.at:.3f}ms" if self.at is not None else ""
+        return f"{self.oracle}{where}{when}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class OracleVerdict:
+    """One oracle's outcome over a whole run."""
+
+    oracle: str
+    checked: int  # how many facts the oracle actually examined
+    violations: tuple[Violation, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "checked": self.checked,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditReport:
+    """Every oracle's verdict for one audited run."""
+
+    system: str
+    seed: int
+    verdicts: tuple[OracleVerdict, ...]
+    stats: dict[str, float] = dataclasses.field(default_factory=dict)
+    scenario: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def violations(self) -> tuple[Violation, ...]:
+        return tuple(v for verdict in self.verdicts for v in verdict.violations)
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "stats": dict(self.stats),
+        }
+
+    def render(self) -> str:
+        head = f"audit: system={self.system} seed={self.seed}"
+        if self.scenario:
+            head += f" scenario={self.scenario}"
+        lines = [head]
+        for verdict in self.verdicts:
+            mark = "ok " if verdict.ok else "FAIL"
+            lines.append(f"  [{mark}] {verdict.oracle:<24} checked={verdict.checked}")
+            for violation in verdict.violations:
+                lines.append(f"         - {violation.render()}")
+        if self.stats:
+            stats = " ".join(f"{k}={v:g}" for k, v in sorted(self.stats.items()))
+            lines.append(f"  stats: {stats}")
+        lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)

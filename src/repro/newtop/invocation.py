@@ -9,11 +9,33 @@ service, and unmarshals delivered messages back for the application
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import typing
 
 from repro.corba.anytype import Any as CorbaAny
 from repro.corba.orb import ObjectRef, Servant
 from repro.newtop.views import View
+
+
+def _canonical(value: typing.Any) -> typing.Any:
+    """Insertion-order-independent view of a payload (marshalling may
+    rebuild dicts in a different key order)."""
+    if isinstance(value, dict):
+        return tuple(sorted((repr(k), _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
+def message_key(sender: str, value: typing.Any) -> str:
+    """A stable identity for one multicast payload.
+
+    Both the send side and the deliver side trace this key, so the
+    :mod:`repro.invariants` oracles can match deliveries against sends
+    (validity) and compare delivery sequences across members (total
+    order) without holding on to the values themselves.
+    """
+    return hashlib.md5(repr((sender, _canonical(value))).encode()).hexdigest()
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -49,6 +71,16 @@ class InvocationService(Servant):
         """Marshal ``value`` into an ``any`` and hand it to the GC."""
         if self._gc_ref is None:
             raise RuntimeError(f"{self.member_id}: invocation service not bound to a GC")
+        sim = self.orb.sim
+        if sim.trace.enabled:
+            sim.trace.record(
+                sim.now,
+                "app",
+                f"{self.member_id}.inv",
+                "send",
+                key=message_key(self.member_id, value),
+                service=service,
+            )
         payload = CorbaAny.wrap(value)
         self.orb.oneway(self._gc_ref, "submit", group, service, payload)
 
@@ -67,6 +99,17 @@ class InvocationService(Servant):
             delivered_at=self.orb.sim.now,
         )
         self.delivered.append(message)
+        sim = self.orb.sim
+        if sim.trace.enabled:
+            sim.trace.record(
+                sim.now,
+                "app",
+                f"{self.member_id}.inv",
+                "deliver",
+                key=message_key(sender, message.value),
+                sender=sender,
+                service=service,
+            )
         if self.on_deliver is not None:
             self.on_deliver(message)
 

@@ -47,6 +47,10 @@ class TraceRecorder:
     enable what they assert on.  Setting ``enabled = False`` swaps the
     ``record`` method for a no-op on the instance, making the disabled
     recorder effectively free on the hot path.
+
+    ``store = False`` keeps the recorder *live* (listeners still see
+    every record) but skips storage entirely -- the mode audit runs use:
+    online invariant oracles consume the stream while memory stays flat.
     """
 
     def __init__(self, enabled: bool = True) -> None:
@@ -54,6 +58,7 @@ class TraceRecorder:
         self._muted: set[str] = set()
         self._listeners: list[Callable[[TraceRecord], None]] = []
         self._enabled = True
+        self.store = True
         self.enabled = enabled
 
     @classmethod
@@ -102,7 +107,7 @@ class TraceRecorder:
         )
         for listener in self._listeners:
             listener(entry)
-        if category in self._muted:
+        if not self.store or category in self._muted:
             return
         self._records.append(entry)
 

@@ -1,0 +1,140 @@
+"""The adversary engine against live groups: triggers, toggles,
+combinator timing, and wiring validation."""
+
+import pytest
+
+from repro.adversary import AdversaryEngine, AdversarySpec, intermittent, seq
+from repro.adversary.engine import AdversaryWiringError
+from repro.core.fso import FsoRole
+from repro.experiments import ScenarioSpec, build_ordering_group
+from repro.sim import Simulator
+
+
+def _fs_group(sim, adversaries, n_members=2, **overrides):
+    spec = ScenarioSpec(
+        system="fs-newtop",
+        n_members=n_members,
+        collapsed=False,
+        adversaries=tuple(adversaries),
+        **overrides,
+    )
+    group = build_ordering_group(sim, spec)
+    engine = AdversaryEngine(sim, group, spec.adversaries)
+    engine.install()
+    return group
+
+
+def test_flag_strategy_activates_and_deactivates():
+    sim = Simulator(seed=0)
+    group = _fs_group(
+        sim, [AdversarySpec(kind="mute", member=0, at=100.0, until=300.0)]
+    )
+    fso = group.byzantine_fso(0, FsoRole.LEADER)
+    assert not fso.faults.mute_lan
+    sim.run(until=150.0)
+    assert fso.faults.mute_lan
+    sim.run(until=350.0)
+    assert not fso.faults.mute_lan
+
+
+def test_intermittent_toggles_with_duty_cycle():
+    sim = Simulator(seed=0)
+    group = _fs_group(
+        sim,
+        [
+            intermittent(
+                AdversarySpec(kind="selective_mute", member=0),
+                at=100.0,
+                until=500.0,
+                period=200.0,
+                duty=0.5,
+            )
+        ],
+    )
+    fso = group.byzantine_fso(0, FsoRole.LEADER)
+    probes = {150.0: True, 250.0: False, 350.0: True, 450.0: False}
+    for at, expected in sorted(probes.items()):
+        sim.run(until=at)
+        assert fso.faults.drop_singles is expected, f"at t={at}"
+
+
+def test_seq_shifts_children_back_to_back():
+    sim = Simulator(seed=0)
+    group = _fs_group(
+        sim,
+        [
+            seq(
+                AdversarySpec(kind="scramble_burst", member=0, at=0.0, until=100.0),
+                AdversarySpec(kind="corrupt", member=0, at=50.0, until=150.0),
+                at=200.0,
+            )
+        ],
+    )
+    fso = group.byzantine_fso(0, FsoRole.LEADER)
+    sim.run(until=250.0)  # inside child 1
+    assert fso.faults.scramble_order and not fso.faults.corrupt_outputs
+    # child 1 ends at 300; child 2 runs [350, 450]
+    sim.run(until=320.0)
+    assert not fso.faults.scramble_order and not fso.faults.corrupt_outputs
+    sim.run(until=400.0)
+    assert fso.faults.corrupt_outputs
+    sim.run(until=460.0)
+    assert not fso.faults.any_active()
+
+
+def test_delay_skew_injects_and_clears():
+    sim = Simulator(seed=0)
+    group = _fs_group(
+        sim,
+        [AdversarySpec(kind="delay_skew", member=0, at=100.0, until=300.0, extra_ms=40.0)],
+    )
+    process = group.fs_process_of(0)
+    src = process.leader.node.name
+    sim.run(until=150.0)
+    assert process.link._injected_extra.get(src) == 40.0
+    sim.run(until=350.0)
+    assert src not in process.link._injected_extra
+
+
+def test_spurious_signal_fires_fs2():
+    sim = Simulator(seed=0)
+    group = _fs_group(sim, [AdversarySpec(kind="spurious_signal", member=1, at=200.0)])
+    sim.run(until=250.0)
+    assert group.fs_process_of(1).signaled
+    assert group.fs_process_of(1).leader.signal_reason == "injected-fs2"
+
+
+def test_churn_storm_staggers_crashes():
+    sim = Simulator(seed=0)
+    group = _fs_group(
+        sim,
+        [AdversarySpec(kind="churn_storm", at=100.0, members=(0, 1), spacing=200.0)],
+        n_members=3,
+    )
+    sim.run(until=150.0)
+    assert group.member(0).primary_node.failed
+    assert not group.member(1).primary_node.failed
+    sim.run(until=350.0)
+    assert group.member(1).primary_node.failed
+
+
+def test_pair_strategies_rejected_on_newtop():
+    sim = Simulator(seed=0)
+    spec = ScenarioSpec(system="newtop", n_members=3)
+    group = build_ordering_group(sim, spec)
+    engine = AdversaryEngine(
+        sim, group, (AdversarySpec(kind="equivocate", member=0),)
+    )
+    with pytest.raises(AdversaryWiringError):
+        engine.install()
+
+
+def test_churn_storm_works_on_newtop():
+    sim = Simulator(seed=0)
+    spec = ScenarioSpec(system="newtop", n_members=3)
+    group = build_ordering_group(sim, spec)
+    AdversaryEngine(
+        sim, group, (AdversarySpec(kind="churn_storm", at=50.0, members=(2,)),)
+    ).install()
+    sim.run(until=100.0)
+    assert group.nsos[group.member_ids[2]].node.failed

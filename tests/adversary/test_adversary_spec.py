@@ -1,0 +1,172 @@
+"""Validation and serialisation of the declarative adversary layer."""
+
+import pytest
+
+from repro.adversary import (
+    PRESETS,
+    AdversarySpec,
+    both,
+    intermittent,
+    seq,
+)
+from repro.adversary.spec import FLAG_STRATEGIES, STRATEGY_KINDS
+from repro.experiments import ScenarioSpec
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        AdversarySpec(kind="meteor", member=0)
+
+
+def test_leaf_strategies_need_a_member():
+    for kind in tuple(FLAG_STRATEGIES) + ("delay_skew", "spurious_signal"):
+        with pytest.raises(ValueError):
+            AdversarySpec(kind=kind)
+
+
+def test_negative_activation_rejected():
+    with pytest.raises(ValueError):
+        AdversarySpec(kind="mute", member=0, at=-1.0)
+
+
+def test_until_must_follow_at():
+    with pytest.raises(ValueError):
+        AdversarySpec(kind="mute", member=0, at=100.0, until=50.0)
+
+
+def test_combinator_needs_children():
+    with pytest.raises(ValueError):
+        AdversarySpec(kind="both")
+
+
+def test_leaf_takes_no_children():
+    child = AdversarySpec(kind="mute", member=0)
+    with pytest.raises(ValueError):
+        AdversarySpec(kind="mute", member=0, children=(child,))
+
+
+def test_churn_storm_needs_members():
+    with pytest.raises(ValueError):
+        AdversarySpec(kind="churn_storm")
+    AdversarySpec(kind="churn_storm", members=(1, 2))  # fine
+
+
+def test_delay_skew_needs_positive_extra():
+    with pytest.raises(ValueError):
+        AdversarySpec(kind="delay_skew", member=0, extra_ms=0.0)
+
+
+def test_intermittent_validations():
+    child = AdversarySpec(kind="mute", member=0)
+    # needs until, a sane period and duty, and a toggleable child
+    with pytest.raises(ValueError):
+        AdversarySpec(kind="intermittent", at=0.0, period=10.0, children=(child,))
+    with pytest.raises(ValueError):
+        intermittent(child, at=0.0, until=100.0, period=500.0)
+    with pytest.raises(ValueError):
+        intermittent(child, at=0.0, until=100.0, period=50.0, duty=1.5)
+    with pytest.raises(ValueError):
+        intermittent(
+            AdversarySpec(kind="spurious_signal", member=0),
+            at=0.0, until=100.0, period=50.0,
+        )
+    intermittent(child, at=0.0, until=100.0, period=50.0)  # fine
+
+
+def test_seq_children_need_bounded_windows():
+    unbounded = AdversarySpec(kind="mute", member=0)
+    with pytest.raises(ValueError):
+        seq(unbounded)
+    # one-shot and windowed children are fine
+    seq(
+        AdversarySpec(kind="mute", member=0, until=100.0),
+        AdversarySpec(kind="spurious_signal", member=1),
+        AdversarySpec(kind="churn_storm", members=(2,), spacing=0.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# structure helpers
+# ----------------------------------------------------------------------
+def test_duration_per_kind():
+    assert AdversarySpec(kind="spurious_signal", member=0).duration() == 0.0
+    assert AdversarySpec(kind="mute", member=0).duration() is None
+    assert AdversarySpec(kind="mute", member=0, at=10.0, until=60.0).duration() == 50.0
+    storm = AdversarySpec(kind="churn_storm", members=(1, 2, 3), spacing=100.0)
+    assert storm.duration() == 200.0
+
+
+def test_leaves_flatten_combinators():
+    tree = both(
+        seq(
+            AdversarySpec(kind="scramble_burst", member=0, until=100.0),
+            AdversarySpec(kind="corrupt", member=1, until=100.0),
+        ),
+        AdversarySpec(kind="spurious_signal", member=2),
+    )
+    kinds = sorted(leaf.kind for leaf in tree.leaves())
+    assert kinds == ["corrupt", "scramble_burst", "spurious_signal"]
+    assert tree.flag_members() == {0, 1}
+
+
+def test_roundtrip_nested():
+    tree = intermittent(
+        AdversarySpec(kind="delay_skew", member=1, extra_ms=25.0),
+        at=100.0,
+        until=500.0,
+        period=100.0,
+        duty=0.25,
+    )
+    assert AdversarySpec.from_dict(tree.to_dict()) == tree
+
+
+def test_flag_strategies_name_real_faultplan_flags():
+    from repro.core.faults import FaultPlan
+
+    known = set(FaultPlan().flag_names())
+    for kind, flags in FLAG_STRATEGIES.items():
+        assert set(flags) <= known, f"{kind} drives unknown FaultPlan flags"
+
+
+def test_presets_cover_every_single_pair_strategy():
+    for kind in STRATEGY_KINDS:
+        if kind == "churn_storm":
+            continue  # multi-member, no single canonical target
+        assert kind in PRESETS
+        assert PRESETS[kind].kind == kind
+
+
+# ----------------------------------------------------------------------
+# ScenarioSpec integration
+# ----------------------------------------------------------------------
+def test_scenario_spec_roundtrip_with_adversaries():
+    spec = ScenarioSpec(
+        adversaries=(
+            AdversarySpec(kind="equivocate", at=300.0, member=0),
+            seq(
+                AdversarySpec(kind="mute", member=1, until=100.0),
+                AdversarySpec(kind="spurious_signal", member=2),
+                at=500.0,
+            ),
+        )
+    )
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_byzantine_members_includes_adversary_targets():
+    spec = ScenarioSpec(
+        n_members=6,
+        adversaries=(
+            both(
+                AdversarySpec(kind="equivocate", member=3),
+                AdversarySpec(kind="tamper_signature", member=1),
+            ),
+            # non-FaultPlan strategies do not force a ByzantineFso build
+            AdversarySpec(kind="spurious_signal", member=5),
+            AdversarySpec(kind="churn_storm", members=(4,)),
+        ),
+    )
+    assert spec.byzantine_members == (1, 3)

@@ -1,0 +1,126 @@
+"""The audited side of the experiments layer: every registered
+adversarial scenario passes its oracles deterministically, campaigns
+can audit per run and aggregate the verdicts, and the worker clamp
+keeps small boxes honest."""
+
+import multiprocessing
+
+import pytest
+
+from repro.analysis import audit_summary
+from repro.experiments import (
+    Campaign,
+    audit_scenario,
+    clamp_jobs,
+    get_scenario,
+    scenario_names,
+)
+
+ADVERSARIAL = [name for name in scenario_names() if name.startswith("adv_")]
+
+
+def test_registry_has_the_adversarial_catalogue():
+    assert len(ADVERSARIAL) >= 8
+    # one scenario per leaf strategy family plus the combinators
+    for expected in (
+        "adv_equivocation",
+        "adv_replay",
+        "adv_selective_mute",
+        "adv_tamper_signature",
+        "adv_scramble_burst",
+        "adv_delay_skew",
+        "adv_intermittent_mute",
+        "adv_churn_storm",
+        "adv_clean_baseline",
+    ):
+        assert expected in ADVERSARIAL
+
+
+@pytest.mark.parametrize("name", ADVERSARIAL)
+def test_adversarial_scenario_passes_its_oracles(name):
+    scenario = get_scenario(name)
+    for system, _label, spec in scenario.expand():
+        run = audit_scenario(spec, scenario=name)
+        assert run.report.ok, f"{name} [{system}]:\n{run.report.render()}"
+        if spec.adversaries and name != "adv_clean_baseline":
+            assert run.report.stats["fail_signals"] >= 1.0 or name == "adv_churn_storm"
+
+
+def test_adversarial_scenarios_are_deterministic():
+    scenario = get_scenario("adv_replay")
+    _system, _label, spec = scenario.expand()[0]
+    first = audit_scenario(spec, scenario=scenario.name).report.to_dict()
+    second = audit_scenario(spec, scenario=scenario.name).report.to_dict()
+    assert first == second
+
+
+def test_pbft_specs_are_not_auditable():
+    scenario = get_scenario("pbft_head_to_head")
+    _system, _label, spec = next(
+        (s, x, sp) for s, x, sp in scenario.expand() if sp.system == "pbft"
+    )
+    with pytest.raises(ValueError):
+        audit_scenario(spec)
+
+
+# ----------------------------------------------------------------------
+# campaign integration
+# ----------------------------------------------------------------------
+def test_campaign_audit_mode_annotates_records():
+    campaign = Campaign(get_scenario("adv_clean_baseline"), audit=True)
+    records = campaign.execute(jobs=1)
+    assert records
+    for record in records:
+        assert record.metrics["audit_ok"] == 1.0
+        assert record.metrics["audit_violations"] == 0.0
+    summary = audit_summary(records)
+    assert summary["audited"] == len(records)
+    assert summary["failed"] == 0
+    assert summary["failing_cells"] == []
+
+
+def test_audit_summary_reports_failures():
+    class FakeRecord:
+        def __init__(self, ok):
+            self.scenario = "s"
+            self.system = "fs-newtop"
+            self.x_label = "x"
+            self.repeat = 0
+            self.metrics = {"audit_ok": 1.0 if ok else 0.0, "audit_violations": 0.0 if ok else 2.0}
+
+    records = [FakeRecord(True), FakeRecord(False)]
+    summary = audit_summary(records)
+    assert summary == {
+        "audited": 2,
+        "failed": 1,
+        "violations": 2,
+        "failing_cells": [("s", "fs-newtop", "x", 0)],
+    }
+
+
+def test_unaudited_records_are_ignored_by_summary():
+    class Plain:
+        metrics = {"throughput_msgs_per_s": 1.0}
+
+    assert audit_summary([Plain()])["audited"] == 0
+
+
+# ----------------------------------------------------------------------
+# worker clamp
+# ----------------------------------------------------------------------
+def test_clamp_jobs_honours_cpu_ceiling():
+    ceiling = max(1, multiprocessing.cpu_count() - 1)
+    assert clamp_jobs(None, tasks=100) == ceiling
+    assert clamp_jobs(10_000, tasks=100) == ceiling
+    assert clamp_jobs(1, tasks=100) == 1
+
+
+def test_clamp_jobs_never_exceeds_tasks_or_drops_below_one():
+    assert clamp_jobs(8, tasks=1) == 1
+    assert clamp_jobs(None, tasks=0) == 1
+
+
+def test_clamp_logs_effective_value(caplog):
+    with caplog.at_level("INFO", logger="repro.experiments.campaign"):
+        clamp_jobs(10_000, tasks=4)
+    assert any("clamped" in message or "worker" in message for message in caplog.messages)

@@ -1,0 +1,285 @@
+"""Unit tests of the invariant oracles over synthetic trace streams.
+
+Each test hand-feeds :class:`TraceRecord`s through an
+:class:`InvariantMonitor` wired to a toy two-pair topology -- no
+simulation, so every oracle's verdict logic is exercised directly,
+including the violation paths a healthy run never reaches.
+"""
+
+from repro.invariants import (
+    AuditConfig,
+    InvariantMonitor,
+    PairTopology,
+    Topology,
+)
+from repro.sim import Simulator
+from repro.sim.trace import TraceRecord
+
+TOPOLOGY = Topology(
+    system="fs-newtop",
+    members=("member-0", "member-1"),
+    pairs=(
+        PairTopology("member-0.gc", "member-0", "member-0", "member-0-b"),
+        PairTopology("member-1.gc", "member-1", "member-1", "member-1-b"),
+    ),
+)
+
+
+class Harness:
+    def __init__(self, **config):
+        self.sim = Simulator(seed=7)
+        self.monitor = InvariantMonitor(
+            self.sim, TOPOLOGY, config=AuditConfig(**config)
+        )
+
+    def feed(self, time, category, source, event, **details):
+        self.monitor._observe(
+            TraceRecord(
+                time=time,
+                category=category,
+                source=source,
+                event=event,
+                details=tuple(sorted(details.items())),
+            )
+        )
+
+    def verdict(self, oracle):
+        report = self.monitor.finish()
+        return next(v for v in report.verdicts if v.oracle == oracle)
+
+    # convenience event builders -----------------------------------------
+    def send(self, t, member, key):
+        self.feed(t, "app", f"{member}.inv", "send", key=key, service="symmetric_total")
+
+    def deliver(self, t, member, key, sender="member-0", service="symmetric_total"):
+        self.feed(
+            t, "app", f"{member}.inv", "deliver", key=key, sender=sender, service=service
+        )
+
+    def activate(self, t, fs, role="leader", flags=("corrupt_outputs",)):
+        self.feed(t, "adversary", f"{fs}/{role}", "activate", flags=tuple(flags))
+
+    def manifest(self, t, fs, event="corrupted-output"):
+        self.feed(t, "fault", f"{fs}/leader", event)
+
+    def signal(self, t, fs, reason="output-mismatch"):
+        self.feed(t, "fso", f"{fs}/leader", "fail-signal", reason=reason)
+
+
+# ----------------------------------------------------------------------
+# total order
+# ----------------------------------------------------------------------
+def test_total_order_accepts_set_differences():
+    h = Harness()
+    for t, key in ((1, "a"), (2, "b"), (3, "c")):
+        h.deliver(t, "member-0", key)
+    for t, key in ((1, "a"), (3, "c")):  # b never arrived here: fine
+        h.deliver(t, "member-1", key)
+    assert h.verdict("total-order").ok
+
+
+def test_total_order_flags_inversions():
+    h = Harness()
+    h.deliver(1, "member-0", "a")
+    h.deliver(2, "member-0", "b")
+    h.deliver(1, "member-1", "b")
+    h.deliver(2, "member-1", "a")
+    verdict = h.verdict("total-order")
+    assert not verdict.ok
+    assert "different orders" in verdict.violations[0].message
+
+
+def test_total_order_flags_duplicates():
+    h = Harness()
+    h.deliver(1, "member-0", "a")
+    h.deliver(2, "member-0", "a")
+    assert not h.verdict("total-order").ok
+
+
+def test_total_order_ignores_non_total_services():
+    h = Harness()
+    h.deliver(1, "member-0", "a", service="reliable")
+    h.deliver(1, "member-1", "b", service="reliable")
+    verdict = h.verdict("total-order")
+    assert verdict.ok and verdict.checked == 0
+
+
+def test_total_order_respects_partitions():
+    h = Harness()
+    # halves diverge after a partition -- allowed across sides
+    h.feed(0, "adversary", "fault-plan", "faultplan", kind="partition", groups=[[0], [1]])
+    h.deliver(1, "member-0", "a")
+    h.deliver(2, "member-0", "b")
+    h.deliver(1, "member-1", "b")
+    h.deliver(2, "member-1", "a")
+    assert h.verdict("total-order").ok
+
+
+# ----------------------------------------------------------------------
+# validity
+# ----------------------------------------------------------------------
+def test_validity_needs_a_matching_send():
+    h = Harness()
+    h.send(1, "member-0", "real")
+    h.deliver(2, "member-1", "real")
+    h.deliver(3, "member-1", "fabricated")
+    verdict = h.verdict("validity")
+    assert not verdict.ok
+    assert len(verdict.violations) == 1
+    assert "nobody sent" in verdict.violations[0].message
+
+
+# ----------------------------------------------------------------------
+# fail-signal accuracy / completeness
+# ----------------------------------------------------------------------
+def test_unexpected_signal_is_a_false_signal():
+    h = Harness()
+    h.signal(100, "member-1.gc")
+    verdict = h.verdict("fail-signal")
+    assert not verdict.ok
+    assert "false fail-signal" in verdict.violations[0].message
+
+
+def test_signal_after_activation_is_accurate():
+    h = Harness()
+    h.activate(50, "member-1.gc")
+    h.manifest(60, "member-1.gc")
+    h.signal(100, "member-1.gc")
+    assert h.verdict("fail-signal").ok
+
+
+def test_signal_allowed_after_node_crash():
+    h = Harness()
+    h.feed(40, "adversary", "fault-plan", "faultplan", kind="crash", member=1)
+    h.signal(100, "member-1.gc")
+    assert h.verdict("fail-signal").ok
+
+
+def test_manifested_misbehaviour_requires_a_signal():
+    h = Harness()
+    h.activate(50, "member-0.gc")
+    h.manifest(60, "member-0.gc")
+    verdict = h.verdict("fail-signal")
+    assert not verdict.ok
+    assert "no fail-signal followed" in verdict.violations[0].message
+
+
+def test_unmanifested_misbehaviour_requires_nothing():
+    h = Harness()
+    h.activate(50, "member-0.gc")  # never struck: no traffic in window
+    assert h.verdict("fail-signal").ok
+
+
+def test_detection_deadline_enforced():
+    h = Harness(detection_deadline_ms=100.0)
+    h.activate(50, "member-0.gc")
+    h.manifest(60, "member-0.gc")
+    h.signal(300, "member-0.gc")
+    verdict = h.verdict("fail-signal")
+    assert not verdict.ok
+    assert "deadline" in verdict.violations[0].message
+
+
+# ----------------------------------------------------------------------
+# double-sign soundness
+# ----------------------------------------------------------------------
+def test_forwarded_value_must_be_vouched_by_correct_side():
+    h = Harness()
+    h.activate(10, "member-0.gc", role="leader")
+    h.feed(20, "fso", "member-0.gc/leader", "single", corr=[0, 0], digest="evil")
+    h.feed(21, "fso", "member-0.gc/follower", "single", corr=[0, 0], digest="good")
+    h.feed(30, "inbox", "inbox@member-1", "output-forwarded", fs="member-0.gc", digest="good")
+    h.feed(31, "inbox", "inbox@member-1", "output-forwarded", fs="member-0.gc", digest="evil")
+    verdict = h.verdict("double-sign-soundness")
+    assert not verdict.ok
+    assert len(verdict.violations) == 1  # "good" passed, "evil" flagged
+    assert "never vouched" in verdict.violations[0].message
+
+
+# ----------------------------------------------------------------------
+# equivocation evidence
+# ----------------------------------------------------------------------
+def test_equivocation_evidence_convicts_declared_equivocator():
+    h = Harness()
+    h.activate(10, "member-0.gc", flags=("equivocate",))
+    h.manifest(20, "member-0.gc", event="equivocated-single")
+    h.feed(21, "fso", "member-0.gc/follower", "single-accepted",
+           corr=[5, 0], digest="x", signer="member-0.gc#A")
+    h.feed(22, "fso", "member-0.gc/follower", "single-accepted",
+           corr=[5, 0], digest="y", signer="member-0.gc#A")
+    assert h.verdict("equivocation-evidence").ok
+
+
+def test_evidence_against_correct_signer_is_a_violation():
+    h = Harness()
+    h.feed(21, "fso", "member-1.gc/follower", "single-accepted",
+           corr=[5, 0], digest="x", signer="member-1.gc#A")
+    h.feed(22, "fso", "member-1.gc/follower", "single-accepted",
+           corr=[5, 0], digest="y", signer="member-1.gc#A")
+    verdict = h.verdict("equivocation-evidence")
+    assert not verdict.ok
+    assert "fabricated" in verdict.violations[0].message
+
+
+def test_conflicting_sides_are_not_equivocation():
+    # leader corrupt, follower honest: different signers, no conviction
+    h = Harness()
+    h.activate(10, "member-0.gc")
+    h.feed(21, "fso", "member-0.gc/follower", "single-accepted",
+           corr=[5, 0], digest="x", signer="member-0.gc#A")
+    h.feed(22, "fso", "member-0.gc/leader", "single-accepted",
+           corr=[5, 0], digest="y", signer="member-0.gc#B")
+    assert h.verdict("equivocation-evidence").ok
+
+
+def test_manifested_equivocation_needs_evidence_or_signal():
+    h = Harness()
+    h.activate(10, "member-0.gc", flags=("equivocate",))
+    h.manifest(20, "member-0.gc", event="equivocated-single")
+    verdict = h.verdict("equivocation-evidence")
+    assert not verdict.ok
+    assert "neither" in verdict.violations[0].message
+
+
+# ----------------------------------------------------------------------
+# no-forgery
+# ----------------------------------------------------------------------
+def test_forgery_must_be_rejected():
+    h = Harness()
+    h.activate(10, "member-0.gc", flags=("forge_signature",))
+    h.feed(20, "fault", "member-0.gc/leader", "forged-single")
+    verdict = h.verdict("no-forgery")
+    assert not verdict.ok
+    assert "A5" in verdict.violations[0].message
+
+
+def test_rejected_forgery_is_fine():
+    h = Harness()
+    h.activate(10, "member-0.gc", flags=("forge_signature",))
+    h.feed(20, "fault", "member-0.gc/leader", "forged-single")
+    h.feed(21, "fso", "member-0.gc/follower", "single-rejected", claimed="member-0.gc#A")
+    h.signal(30, "member-0.gc", reason="compare-timeout")
+    assert h.verdict("no-forgery").ok
+
+
+# ----------------------------------------------------------------------
+# report plumbing
+# ----------------------------------------------------------------------
+def test_report_shape_and_rendering():
+    h = Harness()
+    h.signal(100, "member-1.gc")
+    report = h.monitor.finish()
+    assert not report.ok
+    assert report.system == "fs-newtop"
+    rendered = report.render()
+    assert "FAIL" in rendered and "false fail-signal" in rendered
+    data = report.to_dict()
+    assert data["ok"] is False
+    assert any(not v["ok"] for v in data["verdicts"])
+
+
+def test_violation_cap_respected():
+    h = Harness(max_violations_per_oracle=3)
+    for i in range(10):
+        h.deliver(float(i), "member-0", f"fabricated-{i}")
+    assert len(h.verdict("validity").violations) == 3

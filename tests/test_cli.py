@@ -148,3 +148,63 @@ def test_bench_unreadable_baseline_rejected(tmp_path, capsys):
                  "--out", str(tmp_path / "r.json"),
                  "--check", str(tmp_path / "nope.json")]) == 2
     assert "cannot read baseline" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# audit subcommand
+# ----------------------------------------------------------------------
+def test_audit_passes_on_clean_scenario(capsys):
+    assert main(["audit", "--scenario", "adv_clean_baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: PASS" in out
+    assert "0 failing" in out
+
+
+def test_audit_unknown_scenario_rejected(capsys):
+    assert main(["audit", "--scenario", "adv_warp"]) == 2
+    assert "adv_warp" in capsys.readouterr().out
+
+
+def test_audit_unknown_adversary_rejected(capsys):
+    assert main(["audit", "--scenario", "adv_clean_baseline",
+                 "--adversary", "meteor"]) == 2
+    assert "unknown adversary" in capsys.readouterr().out
+
+
+def test_audit_overlays_named_adversary(capsys):
+    code = main(["audit", "--scenario", "adv_clean_baseline",
+                 "--adversary", "selective_mute", "--member", "1", "--at", "200"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "adversary overlay: selective_mute" in out
+    assert "fail_signals=1" in out
+
+
+def test_audit_fails_nonzero_when_detection_is_broken(monkeypatch, capsys):
+    from repro.core.fso import Fso
+
+    monkeypatch.setattr(Fso, "_start_signaling", lambda self, reason: None)
+    assert main(["audit", "--scenario", "adv_selective_mute"]) == 1
+    out = capsys.readouterr().out
+    assert "verdict: FAIL" in out
+    assert "no fail-signal followed" in out
+
+
+def test_audit_pair_adversary_skips_newtop_cleanly(capsys):
+    # partition_heal is newtop-only: every cell is skipped with a note,
+    # so nothing is auditable -- a clean error, not a traceback.
+    code = main(["audit", "--scenario", "partition_heal", "--adversary", "mute"])
+    assert code == 2
+    out = capsys.readouterr().out
+    assert "fs-newtop only" in out
+    assert "nothing auditable" in out
+    assert "Traceback" not in out
+
+
+def test_audit_bad_overlay_overrides_rejected_cleanly(capsys):
+    assert main(["audit", "--scenario", "adv_clean_baseline",
+                 "--adversary", "mute", "--member", "9"]) == 2
+    assert "only 4 members" in capsys.readouterr().out
+    assert main(["audit", "--scenario", "adv_clean_baseline",
+                 "--adversary", "mute", "--at", "-5"]) == 2
+    assert "bad adversary override" in capsys.readouterr().out
