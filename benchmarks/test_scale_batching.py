@@ -1,0 +1,65 @@
+"""Scale A/B -- the batched compare path vs the paper's per-output path.
+
+Beyond the paper: the ``scale_batch_ab`` scenario drives an 8-member
+FS-NewTOP group at a 10ms per-member interval (deep crypto saturation)
+and sweeps the batching knob from off to ``max_batch=16``.
+
+Shape to reproduce:
+* the batched path orders the same messages with materially fewer
+  signing operations per ordered message (the amortisation);
+* at this load the amortisation converts into real fig-7-style
+  throughput: batched beats unbatched;
+* detection soundness is untouched -- zero fail-signals on every point.
+
+All metrics are simulated-time and deterministic, so the assertions are
+exact, not statistical.  The benchmark trims the sweep to the off/b8
+endpoints and a reduced message count to stay CI-sized; the full grid is
+``python -m repro campaign --scenario scale_batch_ab``.
+"""
+
+from repro.analysis import format_series_table
+from repro.experiments import get_scenario, run_scenario
+
+from benchmarks.conftest import publish
+
+SCENARIO = get_scenario("scale_batch_ab")
+POINTS = [p for p in SCENARIO.sweep if p.label in ("off", "b8")]
+
+
+def _sweep():
+    metrics = []
+    for point in POINTS:
+        spec = SCENARIO.spec_for("fs-newtop", point).replace(messages_per_member=8)
+        metrics.append(run_scenario(spec).metrics)
+    return metrics
+
+
+def test_scale_batching_ab(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    unbatched, batched = results
+    labels = [p.label for p in POINTS]
+    table = format_series_table(
+        "Scale A/B: batched vs unbatched compare path (n=8, 10ms interval)",
+        "metric",
+        ["throughput (msg/s)", "signatures/ordered", "batch mean size", "fail-signals"],
+        {
+            label: [
+                m["throughput_msgs_per_s"],
+                m["signatures_per_ordered"],
+                m["batch_mean_size"],
+                m["fail_signals"],
+            ]
+            for label, m in zip(labels, results)
+        },
+    )
+    publish("scale_batching_ab", table)
+
+    # Same workload fully ordered either way; batching must not cost
+    # correctness or raise a single spurious signal.
+    assert unbatched["ordered"] == batched["ordered"] == 64.0
+    assert unbatched["fail_signals"] == 0.0
+    assert batched["fail_signals"] == 0.0
+    # The tentpole claim: amortised crypto becomes throughput at load.
+    assert batched["signatures_per_ordered"] < unbatched["signatures_per_ordered"] * 0.7
+    assert batched["throughput_msgs_per_s"] > unbatched["throughput_msgs_per_s"] * 1.2
+    assert batched["batch_mean_size"] > 1.3

@@ -5,6 +5,7 @@ from repro.analysis.aggregate import (
     aggregate,
     aggregate_records,
     audit_summary,
+    batching_summary,
 )
 from repro.analysis.metrics import LatencyRecorder, Summary, summarize
 from repro.analysis.tables import format_series_table
@@ -16,6 +17,7 @@ __all__ = [
     "aggregate",
     "aggregate_records",
     "audit_summary",
+    "batching_summary",
     "format_series_table",
     "summarize",
 ]

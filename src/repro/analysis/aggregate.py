@@ -67,6 +67,67 @@ def aggregate_records(
     return {group: aggregate(values) for group, values in grouped.items()}
 
 
+def batching_summary(records: typing.Iterable) -> dict:
+    """Campaign-level roll-up of the crypto-amortisation metrics.
+
+    Reads the ``batches_signed`` / ``batch_mean_size`` /
+    ``signatures_per_ordered`` metrics the ordering runner emits (see
+    :func:`repro.experiments.runner._batching_metrics`) and aggregates
+    them per ``(system, x_label)`` cell, splitting batched from
+    unbatched cells -- the two sides of a batched-vs-unbatched A/B.
+    Cells that signed nothing at all (``newtop``/``pbft`` runs, which
+    carry the keys zero-filled) are not meaningful comparators and are
+    excluded entirely; returns an empty dict when nothing remains.
+    Cells that signed but ordered nothing (a collapsed sweep point --
+    every pair fail-signalled) have no meaningful per-message cost and
+    are reported separately under ``degenerate_cells`` rather than
+    silently flattering the amortisation ratio.
+    """
+    cells: dict = {}
+    for record in records:
+        if record.metrics.get("signatures", 0.0) <= 0.0:
+            continue
+        cells.setdefault((record.system, record.x_label), []).append(record.metrics)
+    if not cells:
+        return {}
+    batched: dict = {}
+    unbatched: dict = {}
+    degenerate: list = []
+    for cell, metrics_list in cells.items():
+        per_ordered = [
+            m["signatures_per_ordered"]
+            for m in metrics_list
+            if m.get("signatures_per_ordered", 0.0) > 0.0
+        ]
+        if not per_ordered:
+            degenerate.append(cell)
+            continue
+        sigs = aggregate(per_ordered)
+        sizes = [m.get("batch_mean_size", 0.0) for m in metrics_list]
+        summary = {
+            "signatures_per_ordered": sigs,
+            "batch_mean_size": sum(sizes) / len(sizes),
+        }
+        if any(m.get("batches_signed", 0.0) > 0 for m in metrics_list):
+            batched[cell] = summary
+        else:
+            unbatched[cell] = summary
+    out = {
+        "batched_cells": batched,
+        "unbatched_cells": unbatched,
+        "degenerate_cells": sorted(degenerate),
+    }
+    if batched and unbatched:
+        mean = lambda side: sum(  # noqa: E731 - tiny local reducer
+            s["signatures_per_ordered"].mean for s in side.values()
+        ) / len(side)
+        batched_mean, unbatched_mean = mean(batched), mean(unbatched)
+        out["amortisation"] = (
+            unbatched_mean / batched_mean if batched_mean > 0 else float("inf")
+        )
+    return out
+
+
 def audit_summary(records: typing.Iterable) -> dict:
     """Campaign-level roll-up of audited runs.
 

@@ -33,7 +33,7 @@ from repro.corba.orb import ObjectRef
 from repro.core.messages import FsOutput
 from repro.crypto.canonical import canonical_encode
 from repro.crypto.signing import HmacScheme, RsaScheme
-from repro.experiments.spec import ScenarioSpec
+from repro.experiments.spec import BatchingSpec, ScenarioSpec
 from repro.sim.scheduler import Simulator
 
 #: Report schema version (bump on incompatible layout changes).
@@ -153,6 +153,22 @@ FIG7_MINI_SPEC = ScenarioSpec(
     seed=1,
     settle_ms=10_000.0,
 )
+#: The same fig-7 shape driven hard (10ms per-member interval) through
+#: the *batched* compare path -- the macro benchmark of the batching
+#: layer's host-time cost.  Its simulated-time win is asserted by
+#: benchmarks/test_scale_batching.py; here we gate the wall-clock.
+SCALE_BATCHED_MINI_SPEC = ScenarioSpec(
+    system="fs-newtop",
+    n_members=8,
+    messages_per_member=8,
+    interval=10.0,
+    message_size=3,
+    seed=1,
+    settle_ms=10_000.0,
+    batching=BatchingSpec(max_batch=8, max_delay_ms=4.0, max_inflight=4),
+)
+#: The unbatched control of the same high-rate configuration.
+SCALE_UNBATCHED_MINI_SPEC = SCALE_BATCHED_MINI_SPEC.replace(batching=None)
 
 
 def _run_mini(spec: ScenarioSpec) -> int:
@@ -171,6 +187,14 @@ def _bench_fig7_mini() -> int:
     return _run_mini(FIG7_MINI_SPEC)
 
 
+def _bench_scale_batched_mini() -> int:
+    return _run_mini(SCALE_BATCHED_MINI_SPEC)
+
+
+def _bench_scale_unbatched_mini() -> int:
+    return _run_mini(SCALE_UNBATCHED_MINI_SPEC)
+
+
 #: The fixed suite, in execution order.  Values return the op count.
 SUITE: dict[str, typing.Callable[[], int]] = {
     "encode_fresh": _bench_encode_fresh,
@@ -180,6 +204,8 @@ SUITE: dict[str, typing.Callable[[], int]] = {
     "sim_events": _bench_sim_events,
     "fig6_mini": _bench_fig6_mini,
     "fig7_mini": _bench_fig7_mini,
+    "scale_batched_mini": _bench_scale_batched_mini,
+    "scale_unbatched_mini": _bench_scale_unbatched_mini,
 }
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 
-from repro.analysis import aggregate_records, format_series_table
+from repro.analysis import aggregate_records, batching_summary, format_series_table
 from repro.newtop.services import ServiceType
 from repro.workloads import run_ordering_experiment
 
@@ -37,7 +37,28 @@ REPORT_METRICS = (
     ("ordered", "msgs"),
     ("fail_signals", ""),
     ("view_changes", ""),
+    ("signatures_per_ordered", "sig/msg"),
 )
+
+#: ``repro list`` groups scenarios into these families, in this order.
+#: A scenario's family is its name's prefix before the first separator;
+#: anything unrecognised lands in the stress bucket.
+SCENARIO_FAMILIES = (
+    ("fig", "Paper figures"),
+    ("adv", "Adversarial audits"),
+    ("scale", "Scale & batching"),
+    ("stress", "Stress & comparators"),
+)
+
+
+def scenario_family(name: str) -> str:
+    """The family key a scenario name sorts under in ``repro list``."""
+    prefix = name.split("_", 1)[0]
+    if prefix.startswith("fig"):
+        return "fig"
+    if prefix in ("adv", "scale"):
+        return prefix
+    return "stress"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -281,16 +302,25 @@ def _resolve_scenario(args: argparse.Namespace):
 def _cmd_list() -> int:
     from repro.experiments import scenarios
 
+    grouped: dict[str, list] = {}
     for scenario in scenarios():
-        figure = f" [{scenario.figure}]" if scenario.figure else ""
-        grid = len(scenario.sweep) * len(scenario.systems)
-        print(f"{scenario.name}{figure}")
-        print(f"  {scenario.title}")
-        print(
-            f"  systems: {', '.join(scenario.systems)} | "
-            f"sweep: {scenario.sweep_axis} x{len(scenario.sweep)} | "
-            f"grid: {grid} runs"
-        )
+        grouped.setdefault(scenario_family(scenario.name), []).append(scenario)
+    for family, heading in SCENARIO_FAMILIES:
+        members = grouped.pop(family, [])
+        if not members:
+            continue
+        print(f"== {heading} ({len(members)}) ==")
+        for scenario in members:
+            figure = f" [{scenario.figure}]" if scenario.figure else ""
+            grid = len(scenario.sweep) * len(scenario.systems)
+            print(f"{scenario.name}{figure}")
+            print(f"  {scenario.title}")
+            print(
+                f"  systems: {', '.join(scenario.systems)} | "
+                f"sweep: {scenario.sweep_axis} x{len(scenario.sweep)} | "
+                f"grid: {grid} runs"
+            )
+        print()
     return 0
 
 
@@ -362,6 +392,24 @@ def _print_summary(scenario, records) -> None:
             f"throughput ordering at {scenario.sweep_axis}={last}: "
             + " >= ".join(ordered)
         )
+    batching = batching_summary(records)
+    if batching.get("batched_cells"):
+        sizes = [s["batch_mean_size"] for s in batching["batched_cells"].values()]
+        line = (
+            f"batching: {len(batching['batched_cells'])} batched cell(s), "
+            f"mean batch size {sum(sizes) / len(sizes):.2f}"
+        )
+        if "amortisation" in batching:
+            line += (
+                f", signatures/ordered amortisation x{batching['amortisation']:.2f} "
+                f"vs unbatched cells"
+            )
+        if batching.get("degenerate_cells"):
+            line += (
+                f" ({len(batching['degenerate_cells'])} cell(s) signed but "
+                f"ordered nothing; excluded)"
+            )
+        print(line)
     if scenario.expected:
         print(f"expected: {scenario.expected}")
 

@@ -21,9 +21,13 @@ Main entry points:
 * :class:`Fso` -- one wrapper object (leader or follower);
 * :class:`FsOutputInbox` -- validates, de-duplicates and unwraps FS
   outputs for non-FS consumers;
-* :mod:`repro.core.faults` -- Byzantine fault injection.
+* :mod:`repro.core.faults` -- Byzantine fault injection;
+* :mod:`repro.core.batching` -- the batched, pipelined compare path
+  (:class:`BatchPolicy` / :class:`BatchAccumulator`), enabled via
+  ``FsoConfig(batch_max=N)``.
 """
 
+from repro.core.batching import BatchAccumulator, BatchPolicy
 from repro.core.config import FsoConfig
 from repro.core.errors import FsError, FsWiringError
 from repro.core.failsignal import FsProcess, make_fail_signal
@@ -37,6 +41,8 @@ from repro.core.routes import FsRouteTable
 from repro.core.transform import FsEnvironment
 
 __all__ = [
+    "BatchAccumulator",
+    "BatchPolicy",
     "ByzantineFso",
     "FailSignal",
     "FailSilentFso",

@@ -1,0 +1,207 @@
+"""Output batching for fail-signal pairs.
+
+At high request rates the per-output crypto of the compare stage (one
+single-signature, one verification and one countersignature per output)
+dominates the wrapper's CPU lane: the RSA private-key exponentiation has
+a large size-independent base cost, so signing one digest over a *batch*
+of outputs amortises that base across the whole batch -- the same lever
+PBFT-style systems pull with request batching.
+
+This module holds the policy and the accumulator; the protocol changes
+(batch signing, batch comparison, batch countersigning, batch-aware
+unpacking) live in :mod:`repro.core.fso` and :mod:`repro.core.inbox`.
+
+Design constraints the accumulator honours:
+
+* **Per-target batches.** Outputs are grouped by destination object, so
+  a flushed batch travels to exactly one destination's endpoints and
+  per-destination FIFO is preserved end to end.
+* **Bounded holding time.** A batch flushes when it reaches
+  ``max_batch`` outputs, when ``max_delay_ms`` has elapsed since it was
+  opened, or on an explicit barrier -- so the extra latency a batched
+  output can pick up is bounded by a configuration constant and the
+  section 2.2 comparison timeouts stay sound after adding that constant
+  as slack.
+* **K batches in flight (pipelining).** At most ``max_inflight``
+  flushed batches may be awaiting comparison at once; further flushes
+  are deferred (the batch keeps accumulating) until a batch retires.
+  Deferral never drops anything and cannot deadlock: deferred outputs
+  are not yet signed, so no comparison timeout is running against them,
+  and the peer's matching candidates simply wait in its ECM pool.
+* **Determinism.** The accumulator holds no randomness and iterates
+  insertion-ordered structures only; identical runs flush identical
+  batches.
+
+The accumulator is simulator-agnostic: the owner supplies the flush
+callback and timer hooks, which keeps the class unit-testable without a
+running simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BatchPolicy:
+    """Batching knobs of one fail-signal pair.
+
+    * ``max_batch`` -- flush a target's batch once it holds this many
+      outputs (1 disables batching entirely);
+    * ``max_delay_ms`` -- flush an open batch at the latest this long
+      after its first output was added;
+    * ``max_inflight`` -- how many flushed-but-unmatched batches the
+      pipelined sequencer keeps in flight before deferring flushes.
+    """
+
+    max_batch: int = 8
+    max_delay_ms: float = 4.0
+    max_inflight: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_ms <= 0:
+            raise ValueError(f"max_delay_ms must be > 0, got {self.max_delay_ms}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+
+
+#: A batch target key: ``(node, key)`` of the outputs' destination ref.
+TargetKey = typing.Tuple[str, str]
+
+
+class BatchAccumulator:
+    """Per-target output accumulation with an in-flight cap.
+
+    The owner wires three callbacks:
+
+    * ``flush_fn(target_key, entries)`` -- a batch is ready: sign and
+      forward it (the accumulator has already counted it in flight);
+    * ``start_timer(target_key, open_no, delay_ms)`` / ``cancel_timer
+      (target_key, open_no)`` -- arm/disarm the max-delay timer of one
+      opened batch; on expiry the owner calls :meth:`on_delay_expired`
+      with the same ``(target_key, open_no)``.
+
+    ``open_no`` is a monotonically increasing generation number so a
+    stale timer (for a batch that already flushed on size) is ignored.
+    """
+
+    def __init__(
+        self,
+        policy: BatchPolicy,
+        flush_fn: typing.Callable[[TargetKey, list], None],
+        start_timer: typing.Callable[[TargetKey, int, float], None],
+        cancel_timer: typing.Callable[[TargetKey, int], None],
+    ) -> None:
+        self.policy = policy
+        self._flush_fn = flush_fn
+        self._start_timer = start_timer
+        self._cancel_timer = cancel_timer
+        self._pending: dict[TargetKey, list] = {}
+        self._open_no: dict[TargetKey, int] = {}
+        self._next_open = 0
+        # Insertion-ordered set of targets whose flush was deferred by
+        # the in-flight cap.
+        self._deferred: dict[TargetKey, None] = {}
+        self.in_flight = 0
+        # -- statistics (read by the metrics layer) ----------------------
+        self.batches_flushed = 0
+        self.outputs_flushed = 0
+        self.max_batch_flushed = 0
+        self.deferrals = 0
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+    def add(self, target_key: TargetKey, entry: typing.Any) -> None:
+        """Queue one output entry for ``target_key``; may flush."""
+        pending = self._pending.get(target_key)
+        if pending is None:
+            pending = self._pending[target_key] = []
+            open_no = self._next_open
+            self._next_open += 1
+            self._open_no[target_key] = open_no
+            self._start_timer(target_key, open_no, self.policy.max_delay_ms)
+        pending.append(entry)
+        if len(pending) >= self.policy.max_batch:
+            self._try_flush(target_key)
+
+    def on_delay_expired(self, target_key: TargetKey, open_no: int) -> None:
+        """Max-delay timer callback; stale generations are ignored.
+
+        The delay bound is *hard*: it flushes past the in-flight cap.
+        Only size-triggered flushes defer to the cap -- otherwise two
+        peers deferring different targets can cross-starve each other's
+        compare stages until the section 2.2 timeouts fire, and the
+        ``max_delay_ms`` slack added to those timeouts would be a lie.
+        """
+        if self._open_no.get(target_key) != open_no:
+            return
+        if self._pending.get(target_key):
+            self._flush(target_key)
+
+    def retire_batch(self) -> None:
+        """One in-flight batch fully matched: free its slot and run any
+        deferred flushes that now fit."""
+        if self.in_flight > 0:
+            self.in_flight -= 1
+        while self._deferred and self.in_flight < self.policy.max_inflight:
+            target_key = next(iter(self._deferred))
+            del self._deferred[target_key]
+            if self._pending.get(target_key):
+                self._flush(target_key)
+
+    def barrier(self) -> None:
+        """Explicit barrier: flush every pending batch *now*, in-flight
+        cap notwithstanding (used at teardown and by tests)."""
+        for target_key in list(self._pending):
+            if self._pending[target_key]:
+                self._flush(target_key)
+
+    def clear(self) -> list[tuple[TargetKey, int]]:
+        """Drop all pending state (the pair is signalling); returns the
+        ``(target_key, open_no)`` pairs whose timers the owner must
+        cancel."""
+        timers = list(self._open_no.items())
+        self._pending.clear()
+        self._open_no.clear()
+        self._deferred.clear()
+        return timers
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _try_flush(self, target_key: TargetKey) -> None:
+        if self.in_flight >= self.policy.max_inflight:
+            if target_key not in self._deferred:
+                self._deferred[target_key] = None
+                self.deferrals += 1
+            return
+        self._flush(target_key)
+
+    def _flush(self, target_key: TargetKey) -> None:
+        entries = self._pending.pop(target_key)
+        open_no = self._open_no.pop(target_key)
+        self._cancel_timer(target_key, open_no)
+        self._deferred.pop(target_key, None)
+        self.in_flight += 1
+        self.batches_flushed += 1
+        self.outputs_flushed += len(entries)
+        if len(entries) > self.max_batch_flushed:
+            self.max_batch_flushed = len(entries)
+        self._flush_fn(target_key, entries)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def pending_count(self, target_key: TargetKey | None = None) -> int:
+        if target_key is not None:
+            return len(self._pending.get(target_key, ()))
+        return sum(len(v) for v in self._pending.values())
+
+    def mean_batch_size(self) -> float:
+        if self.batches_flushed == 0:
+            return 0.0
+        return self.outputs_flushed / self.batches_flushed

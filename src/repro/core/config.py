@@ -15,11 +15,25 @@ class FsoConfig:
 
     The paper's implementation uses κ = σ = 2 (Appendix A) and t1 = 0,
     t2 = 2δ for the follower's input-reconciliation timers.
+
+    Batching (beyond the paper; see :mod:`repro.core.batching`):
+
+    * ``batch_max`` -- outputs per compare batch; 1 (the default) keeps
+      the paper's per-output sign/compare/countersign path byte-for-
+      byte;
+    * ``batch_delay_ms`` -- longest an open batch may accumulate before
+      flushing; added as slack to the comparison timeouts because the
+      peer may lawfully hold its counterpart that long before signing;
+    * ``batch_inflight`` -- flushed-but-unmatched batches the pipelined
+      sequencer keeps in flight per wrapper.
     """
 
     delta: float = 2.0
     kappa: float = 2.0
     sigma: float = 2.0
+    batch_max: int = 1
+    batch_delay_ms: float = 4.0
+    batch_inflight: int = 4
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -29,6 +43,17 @@ class FsoConfig:
                 f"kappa and sigma are ratio bounds and must be >= 1, got "
                 f"kappa={self.kappa}, sigma={self.sigma}"
             )
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.batch_delay_ms <= 0:
+            raise ValueError(f"batch_delay_ms must be > 0, got {self.batch_delay_ms}")
+        if self.batch_inflight < 1:
+            raise ValueError(f"batch_inflight must be >= 1, got {self.batch_inflight}")
+
+    @property
+    def batching(self) -> bool:
+        """Whether the batched compare path is active."""
+        return self.batch_max > 1
 
     # ------------------------------------------------------------------
     # section 2.2 timeout formulas

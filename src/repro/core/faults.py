@@ -34,7 +34,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.fso import Fso
-from repro.core.messages import FsInput, SingleSigned
+from repro.core.messages import BatchSingle, FsInput, OutputBatch, SingleSigned
 from repro.crypto.signing import Signature, Signed
 
 
@@ -79,7 +79,7 @@ class ByzantineFso(Fso):
         super().__init__(*args, **kwargs)
         self.faults = FaultPlan()
         self._held_input: FsInput | None = None
-        self._stale_single: SingleSigned | None = None
+        self._stale_single: SingleSigned | BatchSingle | None = None
 
     # -- wrong results -------------------------------------------------
     def _handle_output(self, seq: int, idx: int, request, pi: float) -> None:
@@ -95,21 +95,19 @@ class ByzantineFso(Fso):
         if self.faults.mute_lan:
             self.trace("fault", "muted", kind=type(payload).__name__)
             return
-        if isinstance(payload, SingleSigned):
+        if isinstance(payload, (SingleSigned, BatchSingle)):
             if self.faults.drop_singles:
                 self.trace("fault", "dropped-single")
                 return
             if self.faults.forge_signature:
-                forged = SingleSigned(
-                    signed=Signed(
-                        payload=payload.signed.payload,
-                        signature=Signature(
-                            payload.signed.signature.signer, b"\x00" * 32
-                        ),
-                    )
+                forged_signed = Signed(
+                    payload=payload.signed.payload,
+                    signature=Signature(
+                        payload.signed.signature.signer, b"\x00" * 32
+                    ),
                 )
                 self.trace("fault", "forged-single")
-                super()._lan_send(forged)
+                super()._lan_send(type(payload)(signed=forged_signed))
                 return
             if self.faults.replay_singles:
                 if self._stale_single is not None:
@@ -118,7 +116,7 @@ class ByzantineFso(Fso):
                     self.trace(
                         "fault",
                         "replayed-single",
-                        stale=list(self._stale_single.signed.payload.correlation),
+                        stale=self._stale_correlation(self._stale_single),
                     )
                     super()._lan_send(self._stale_single)
                     return
@@ -129,16 +127,32 @@ class ByzantineFso(Fso):
                 # ourselves*), followed by the honest one.  The peer now
                 # holds two validly signed, conflicting candidates for
                 # one slot -- double-sign evidence.
-                output = payload.signed.payload
-                tampered = dataclasses.replace(
-                    output, args=output.args + ("#equivocated",)
-                )
-                self.trace(
-                    "fault", "equivocated-single", corr=list(output.correlation)
-                )
-                super()._lan_send(SingleSigned(signed=self.signer.sign_payload(tampered)))
+                super()._lan_send(self._equivocated_copy(payload))
                 # fall through: the honest single follows on the FIFO link
         super()._lan_send(payload)
+
+    def _stale_correlation(self, stale) -> list:
+        inner = stale.signed.payload
+        if isinstance(inner, OutputBatch):
+            return list(inner.outputs[0].correlation) if inner.outputs else []
+        return list(inner.correlation)
+
+    def _equivocated_copy(self, payload):
+        """A validly self-signed candidate whose content conflicts with
+        the honest one for the same slot(s)."""
+        inner = payload.signed.payload
+        if isinstance(inner, OutputBatch):
+            tampered_outputs = tuple(
+                dataclasses.replace(o, args=o.args + ("#equivocated",))
+                for o in inner.outputs
+            )
+            tampered_batch = dataclasses.replace(inner, outputs=tampered_outputs)
+            first = inner.outputs[0].correlation if inner.outputs else (-1, -1)
+            self.trace("fault", "equivocated-single", corr=list(first))
+            return BatchSingle(signed=self.signer.sign_payload(tampered_batch))
+        tampered = dataclasses.replace(inner, args=inner.args + ("#equivocated",))
+        self.trace("fault", "equivocated-single", corr=list(inner.correlation))
+        return SingleSigned(signed=self.signer.sign_payload(tampered))
 
     # -- wrong order (faulty leader) -------------------------------------
     def _order_input(self, fs_input: FsInput) -> None:

@@ -21,6 +21,33 @@ Order and Compare roles of figure 1 / Appendix A:
 A signalling FSO countersigns the fail-signal blank its peer signed at
 start-up, emits it to every configured destination, ceases LAN
 interaction, and answers any further output duty with the fail-signal.
+
+**Batched compare path** (``FsoConfig.batch_max > 1``; beyond the
+paper): locally produced outputs are accumulated per destination by a
+:class:`repro.core.batching.BatchAccumulator` and signed/countersigned
+one *batch* digest at a time, with up to ``batch_inflight`` batches
+pipelined through the compare stage.  Comparison, timeouts, dedup keys
+and trace events all stay per-output, so detection semantics and the
+invariant oracles are unchanged; only the crypto is amortised.
+
+**Invariants this module maintains** (what the :mod:`repro.invariants`
+oracles are sound against):
+
+* every output the pair transmits was *vouched for* by both wrappers: a
+  ``fso``/``single`` trace record with the output's content digest is
+  emitted by each side before its (batch) signature leaves the node, and
+  a ``DoubleSigned`` only forms over content both sides signed;
+* each correlation slot ``(input_seq, output_idx)`` is signed at most
+  once per wrapper per content -- two validly signed, conflicting
+  candidates for one slot are possible only if a wrapper really signed
+  both (double-sign evidence, unforgeable under A5);
+* a wrapper that detects mismatch, starvation (section 2.2 timeouts),
+  ordering silence (t2) or double-sign evidence stops transmitting
+  outputs *before* emitting its fail-signal, and a signalling wrapper
+  never re-enters the compare path;
+* transmit order per destination equals production order (unbatched:
+  per-output production counter; batched: the peer's sequential batch
+  numbers), regardless of CPU-lane completion order.
 """
 
 from __future__ import annotations
@@ -32,15 +59,18 @@ import typing
 
 from repro.corba.node import Node
 from repro.corba.orb import ObjectRef, Request, Servant
+from repro.core.batching import BatchAccumulator, BatchPolicy
 from repro.core.config import FsoConfig
 from repro.core.errors import FsWiringError
 from repro.core.messages import (
+    BatchSingle,
     FailSignal,
     ForwardedInput,
     FsInput,
     FsOutput,
     FsRegistry,
     OrderedInput,
+    OutputBatch,
     SingleSigned,
 )
 from repro.core.routes import FsRouteTable
@@ -67,6 +97,8 @@ class _IcmpEntry:
     prod_no: int
     pi: float
     tau: float
+    produced_at: float = 0.0
+    signed_at: float = 0.0  # batched path: when our (batch) signature completed
 
 
 @dataclasses.dataclass(slots=True)
@@ -75,6 +107,24 @@ class _DsReady:
 
     output: FsOutput
     double_signed: DoubleSigned
+
+
+@dataclasses.dataclass(slots=True)
+class _PeerBatch:
+    """One peer candidate batch moving through the compare stage:
+    countersigned (once) when every output inside has matched."""
+
+    signed: Signed  # payload is an OutputBatch
+    remaining: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class _EcmpBatchEntry:
+    """ECM pool entry of the batched path: one peer output plus the
+    batch whose signature vouches for it."""
+
+    output: FsOutput
+    batch: _PeerBatch
 
 
 class Fso(Process, Servant):
@@ -127,13 +177,60 @@ class Fso(Process, Servant):
 
         # --- compare state ----------------------------------------------------
         self._icmp: dict[tuple[int, int], _IcmpEntry] = {}
-        self._ecmp: dict[tuple[int, int], Signed] = {}
+        # Unbatched path stores the peer's Signed per slot; batched path
+        # stores an _EcmpBatchEntry tying the slot to its peer batch.
+        self._ecmp: dict[tuple[int, int], typing.Union[Signed, _EcmpBatchEntry]] = {}
         # ordered transmit stages (keep per-destination FIFO intact even
         # though signing bursts may complete out of order on the CPU)
         self._single_next = 0
         self._single_ready: dict[int, SingleSigned] = {}
         self._ds_next = 0
         self._ds_ready: dict[int, _DsReady] = {}
+
+        # --- batched compare state (see repro.core.batching) ------------------
+        self._accum: BatchAccumulator | None = None
+        if config.batching:
+            self._accum = BatchAccumulator(
+                BatchPolicy(
+                    max_batch=config.batch_max,
+                    max_delay_ms=config.batch_delay_ms,
+                    max_inflight=config.batch_inflight,
+                ),
+                flush_fn=self._flush_batch,
+                start_timer=self._start_batch_timer,
+                cancel_timer=self._cancel_batch_timer,
+            )
+        self._batch_counter = 0  # local batch numbering (sequential)
+        self._local_batch_of: dict[tuple[int, int], int] = {}
+        self._local_batch_pending: dict[int, int] = {}
+        # Countersigned peer batches awaiting their turn in the ordered
+        # transmit stage, keyed by the peer's batch number.
+        self._pb_ready: dict[int, DoubleSigned] = {}
+        self._pb_next = 0
+
+        # Measured drift terms of the batched path, kept as decaying
+        # maxima and fed back into the comparison timeouts in the same
+        # spirit as section 2.2's measured π and τ.  The unbatched path
+        # implicitly tolerates pair drift because every output's τ
+        # inflates with the per-output signing queue; batching deflates
+        # τ, so the drift the pair actually exhibits is measured
+        # explicitly instead:
+        #
+        # * ``_pair_lag`` -- how long after our own signature the peer's
+        #   matching candidate has recently been arriving (trailing);
+        # * ``_tau_peak`` -- the worst recent sign-and-forward time τ on
+        #   our side.  Flush timers synchronise batches into signing
+        #   *bursts*; an output straddling a window boundary pays the
+        #   peer's full burst, which mirrors our own under the A3/A4
+        #   divergence bounds, so our measured peak stands in for the
+        #   peer's (leading).
+        self._pair_lag = 0.0
+        self._tau_peak = 0.0
+
+        # --- crypto accounting (amortisation metrics) -------------------------
+        self.signatures_made = 0
+        self.batches_signed = 0
+        self.batch_outputs_signed = 0
 
         # Dedicated execution lane: the wrapper pipeline (replica
         # processing, signing, verification) runs as a high-priority
@@ -175,8 +272,30 @@ class Fso(Process, Servant):
     # ======================================================================
     def receiveNew(self, raw: typing.Any) -> None:
         """Entry point for inputs arriving over the asynchronous network:
-        plain :class:`FsInput` or a double-signed FS output/fail-signal."""
+        plain :class:`FsInput`, a double-signed FS output/fail-signal, or
+        a double-signed :class:`OutputBatch` (unpacked per output)."""
         if not self.alive:
+            return
+        if isinstance(raw, DoubleSigned) and isinstance(raw.payload, OutputBatch):
+            batch: OutputBatch = raw.payload
+            if not self._check_double(raw, batch.fs_id):
+                return
+            if self.signaled:
+                self._emit_fail_signal()
+                return
+            # One batch authentication admits every output inside; each
+            # becomes its own input with the usual per-output dedup key.
+            for output in batch.outputs:
+                if not isinstance(output, FsOutput) or output.fs_id != batch.fs_id:
+                    self.trace("fso", "batch-foreign-output", origin=batch.fs_id)
+                    continue
+                self._ingest(
+                    FsInput(
+                        method=output.method,
+                        args=output.args,
+                        input_id=("fso",) + output.dedup_key,
+                    )
+                )
             return
         fs_input = self._authenticate(raw)
         if fs_input is None:
@@ -186,6 +305,9 @@ class Fso(Process, Servant):
             # with its fail-signal.
             self._emit_fail_signal()
             return
+        self._ingest(fs_input)
+
+    def _ingest(self, fs_input: FsInput) -> None:
         if fs_input.input_id in self._seen_inputs:
             return  # duplicate copy (outputs arrive from both peer Compares)
         self._seen_inputs.add(fs_input.input_id)
@@ -286,6 +408,8 @@ class Fso(Process, Servant):
             self._on_forwarded(payload)
         elif isinstance(payload, SingleSigned):
             self._on_single(payload)
+        elif isinstance(payload, BatchSingle):
+            self._on_batch_single(payload)
         else:
             self.trace("fso", "unknown-lan-payload", kind=type(payload).__name__)
 
@@ -323,6 +447,9 @@ class Fso(Process, Servant):
             corr = args[0]
             if corr in self._icmp and not self.signaled:
                 self._start_signaling("compare-timeout")
+        elif isinstance(tag, tuple) and tag[0] == "batch":
+            if self._accum is not None and not self.signaled:
+                self._accum.on_delay_expired(args[0], args[1])
         else:  # pragma: no cover - defensive
             raise ValueError(f"{self.name}: unexpected timer {tag!r}")
 
@@ -392,19 +519,25 @@ class Fso(Process, Servant):
             prod_no=prod_no,
             pi=pi,
             tau=0.0,  # measured once signing completes
+            produced_at=self.sim.now,
         )
+        if self._accum is not None:
+            # Batched path: accumulate per destination; the accumulator
+            # flushes on size / delay / barrier into _flush_batch.
+            self._accum.add((output.target.node, output.target.key), entry)
+            return
         # Sign the candidate (CPU burst), then forward to the peer and
         # start the comparison timeout.  τ is *measured*, per section
         # 2.2 ("the time taken to sign and forward the output"), so it
         # includes CPU queueing behind other signing work.
         sign_cost = self.node.crypto_costs.sign_cost(output.wire_size)
-        produced_at = self.sim.now
-        self.lane.execute(sign_cost, self._single_signed, entry, produced_at)
+        self.signatures_made += 1
+        self.lane.execute(sign_cost, self._single_signed, entry)
 
-    def _single_signed(self, entry: _IcmpEntry, produced_at: float) -> None:
+    def _single_signed(self, entry: _IcmpEntry) -> None:
         if not self.alive or self.signaled:
             return
-        entry.tau = self.sim.now - produced_at
+        entry.tau = self.sim.now - entry.produced_at
         corr = entry.output.correlation
         self._icmp[corr] = entry
         # What this Compare *vouches for* -- the reference stream the
@@ -422,6 +555,213 @@ class Fso(Process, Servant):
             timeout = self.config.follower_compare_timeout(entry.pi, entry.tau)
         self.set_timer(("icmp", corr), timeout, corr)
         self._try_match(corr)
+
+    # ======================================================================
+    # batched compare path (sign / verify / countersign one digest per
+    # batch; see repro.core.batching and docs/PERFORMANCE.md)
+    # ======================================================================
+    def _start_batch_timer(self, target_key, open_no: int, delay_ms: float) -> None:
+        self.set_timer(("batch", target_key, open_no), delay_ms, target_key, open_no)
+
+    def _cancel_batch_timer(self, target_key, open_no: int) -> None:
+        self.cancel_timer(("batch", target_key, open_no))
+
+    def flush_batches(self) -> None:
+        """Explicit batch barrier: sign and forward everything pending
+        now, regardless of size/delay/in-flight state."""
+        if self._accum is not None and not self.signaled:
+            self._accum.barrier()
+
+    def _flush_batch(self, target_key, entries: list) -> None:
+        batch_no = self._batch_counter
+        self._batch_counter += 1
+        batch = OutputBatch(
+            fs_id=self.fs_id,
+            batch_no=batch_no,
+            outputs=tuple(entry.output for entry in entries),
+        )
+        # ONE signature for the whole batch -- the amortisation.
+        sign_cost = self.node.crypto_costs.sign_cost(batch.wire_size)
+        self.signatures_made += 1
+        self.lane.execute(sign_cost, self._batch_signed, batch, entries)
+
+    def _batch_signed(self, batch: OutputBatch, entries: list) -> None:
+        if not self.alive or self.signaled:
+            return
+        self.batches_signed += 1
+        self.batch_outputs_signed += len(entries)
+        now = self.sim.now
+        trace_on = self.sim.trace.enabled
+        self._tau_peak *= 0.9
+        for entry in entries:
+            # τ includes the accumulation wait and the lane's signing-
+            # burst queue: the timeout's στ term must cover the peer's
+            # (equally bounded) version of both.
+            entry.tau = now - entry.produced_at
+            entry.signed_at = now
+            if entry.tau > self._tau_peak:
+                self._tau_peak = entry.tau
+            corr = entry.output.correlation
+            self._icmp[corr] = entry
+            self._local_batch_of[corr] = batch.batch_no
+            if trace_on:
+                self.trace("fso", "single", corr=list(corr), digest=entry.content_key)
+        self._local_batch_pending[batch.batch_no] = len(entries)
+        self._lan_send(BatchSingle(signed=self.signer.sign_payload(batch)))
+        # Per-output comparison timeouts.  τ is taken as the worst of
+        # the entry's own and the recent peak (_tau_peak): an output
+        # straddling a flush-window boundary pays the peer's next window
+        # plus its signing burst, which our own peak mirrors.  On top,
+        # two explicit slack terms: the peer's bounded holding delay
+        # (batch_delay_ms) and σ times the measured pairing lag -- all
+        # finite, so a genuinely silent peer is still always caught.
+        slack = self.config.batch_delay_ms + self.config.sigma * self._pair_lag
+        for entry in entries:
+            corr = entry.output.correlation
+            tau = entry.tau if entry.tau > self._tau_peak else self._tau_peak
+            if self.is_leader:
+                timeout = self.config.leader_compare_timeout(entry.pi, tau)
+            else:
+                timeout = self.config.follower_compare_timeout(entry.pi, tau)
+            self.set_timer(("icmp", corr), timeout + slack, corr)
+        for entry in entries:
+            if self.signaled:
+                return  # a mid-loop mismatch already tore the pools down
+            self._try_match(entry.output.correlation)
+
+    def _on_batch_single(self, msg: BatchSingle) -> None:
+        """Peer Compare forwarded a whole batch of signed candidates."""
+        if self.signaled:
+            return
+        signed = msg.signed
+        if not isinstance(signed.payload, OutputBatch):
+            self.trace("fso", "single-bad-payload")
+            return
+        # ONE verification admits the whole batch.
+        verify_cost = self.node.crypto_costs.verify_cost(signed.payload.wire_size)
+        self.lane_in.execute(verify_cost, self._batch_verified, signed)
+
+    def _batch_verified(self, signed: Signed) -> None:
+        if not self.alive or self.signaled:
+            return
+        peer_identity = self._peer_signer_identity()
+        if signed.signer != peer_identity or not self.keystore.check_signed(signed):
+            # A corrupted/forged batch cannot be attributed; the per-
+            # output comparison timeouts catch the failure.
+            self.trace("fso", "single-rejected", claimed=signed.signer)
+            return
+        batch: OutputBatch = signed.payload
+        if batch.fs_id != self.fs_id:
+            self.trace("fso", "single-bad-payload")
+            return
+        if any(
+            not isinstance(output, FsOutput) or output.fs_id != batch.fs_id
+            for output in batch.outputs
+        ):
+            # Countersigning vouches for the WHOLE batch, so a batch
+            # carrying content we would refuse to compare (a smuggled
+            # foreign identity, a non-output) is rejected outright --
+            # only a faulty peer builds one, and the comparison
+            # timeouts convert the resulting starvation into a signal.
+            self.trace("fso", "batch-foreign-output", origin=batch.fs_id)
+            return
+        state = _PeerBatch(signed=signed, remaining=0)
+        trace_on = self.sim.trace.enabled
+        accepted: list[tuple[int, int]] = []
+        for output in batch.outputs:
+            corr = output.correlation
+            existing = self._ecmp.get(corr)
+            if existing is not None:
+                held = (
+                    existing.output if isinstance(existing, _EcmpBatchEntry)
+                    else existing.payload
+                )
+                if held.content_key() != output.content_key():
+                    # Two validly signed, conflicting candidates for one
+                    # slot: double-sign evidence (see _single_verified).
+                    self.trace(
+                        "fso",
+                        "double-sign-evidence",
+                        corr=list(corr),
+                        signer=signed.signer,
+                    )
+                    self._start_signaling("double-sign-evidence")
+                    return
+                continue  # replayed duplicate of the same content: keep the first
+            state.remaining += 1
+            self._ecmp[corr] = _EcmpBatchEntry(output=output, batch=state)
+            accepted.append(corr)
+            if trace_on:
+                self.trace(
+                    "fso",
+                    "single-accepted",
+                    corr=list(corr),
+                    digest=output.content_key(),
+                    signer=signed.signer,
+                )
+        for corr in accepted:
+            if self.signaled:
+                return
+            self._try_match(corr)
+
+    def _retire_local(self, corr: tuple[int, int]) -> None:
+        """A local batched candidate matched: when its whole batch has
+        matched, free the batch's in-flight pipeline slot."""
+        batch_no = self._local_batch_of.pop(corr, None)
+        if batch_no is None:
+            return
+        left = self._local_batch_pending.get(batch_no)
+        if left is None:
+            return
+        left -= 1
+        if left:
+            self._local_batch_pending[batch_no] = left
+        else:
+            del self._local_batch_pending[batch_no]
+            if self._accum is not None:
+                self._accum.retire_batch()
+
+    def _batch_countersigned(self, peer_signed: Signed) -> None:
+        if not self.alive or self.signaled:
+            return
+        double = self.signer.countersign(peer_signed)
+        batch: OutputBatch = peer_signed.payload
+        self._pb_ready[batch.batch_no] = double
+        # Transmit in the peer's batch order: batches may finish
+        # matching out of order, destinations still see production order.
+        while self._pb_next in self._pb_ready:
+            self._transmit_batch(self._pb_ready.pop(self._pb_next))
+            self._pb_next += 1
+
+    def _transmit_batch(self, double: DoubleSigned) -> None:
+        batch: OutputBatch = double.payload
+        if not batch.outputs:
+            return
+        self.outputs_transmitted += len(batch.outputs)
+        trace_on = self.sim.trace.enabled
+        endpoints: list[ObjectRef] = []
+        seen_targets: set[tuple[str, str]] = set()
+        for output in batch.outputs:
+            if trace_on:
+                self.trace(
+                    "fso",
+                    "output",
+                    corr=list(output.correlation),
+                    target=str(output.target),
+                    digest=output.content_key(),
+                )
+            # Honest batches share one target; resolve defensively per
+            # distinct target so a faulty peer's mixed batch still
+            # reaches every legitimate destination exactly once.
+            target_key = (output.target.node, output.target.key)
+            if target_key in seen_targets:
+                continue
+            seen_targets.add(target_key)
+            for endpoint in self.routes.resolve(output.target):
+                if endpoint not in endpoints:
+                    endpoints.append(endpoint)
+        for endpoint in endpoints:
+            self.node.orb.oneway(endpoint, "receiveNew", double)
 
     def _on_single(self, msg: SingleSigned) -> None:
         """Peer Compare forwarded a single-signed candidate output."""
@@ -447,18 +787,24 @@ class Fso(Process, Servant):
         payload: FsOutput = signed.payload
         corr = payload.correlation
         existing = self._ecmp.get(corr)
-        if existing is not None and existing.payload.content_key() != payload.content_key():
-            # Two validly signed, conflicting candidates for one slot:
-            # the peer signed both, which only a faulty Compare does.
-            # This is double-sign evidence -- unforgeable under A5.
-            self.trace(
-                "fso",
-                "double-sign-evidence",
-                corr=list(corr),
-                signer=signed.signer,
+        if existing is not None:
+            held: FsOutput = (
+                existing.output if isinstance(existing, _EcmpBatchEntry)
+                else existing.payload
             )
-            self._start_signaling("double-sign-evidence")
-            return
+            if held.content_key() != payload.content_key():
+                # Two validly signed, conflicting candidates for one
+                # slot: the peer signed both, which only a faulty
+                # Compare does.  Double-sign evidence, unforgeable
+                # under A5.
+                self.trace(
+                    "fso",
+                    "double-sign-evidence",
+                    corr=list(corr),
+                    signer=signed.signer,
+                )
+                self._start_signaling("double-sign-evidence")
+                return
         if self.sim.trace.enabled:
             self.trace(
                 "fso",
@@ -472,10 +818,11 @@ class Fso(Process, Servant):
 
     def _try_match(self, corr: tuple[int, int]) -> None:
         entry = self._icmp.get(corr)
-        peer_signed = self._ecmp.get(corr)
-        if entry is None or peer_signed is None:
+        peer_held = self._ecmp.get(corr)
+        if entry is None or peer_held is None:
             return
-        peer_output: FsOutput = peer_signed.payload
+        batched = isinstance(peer_held, _EcmpBatchEntry)
+        peer_output: FsOutput = peer_held.output if batched else peer_held.payload
         if peer_output.content_key() != entry.content_key:
             self.trace(
                 "fso",
@@ -491,8 +838,26 @@ class Fso(Process, Servant):
         del self._icmp[corr]
         del self._ecmp[corr]
         self.cancel_timer(("icmp", corr))
+        if batched:
+            self._retire_local(corr)
+            # Update the measured pairing lag: how far behind our own
+            # signature the peer's candidate for this slot arrived.
+            lag = self.sim.now - entry.signed_at
+            decayed = self._pair_lag * 0.9
+            self._pair_lag = lag if lag > decayed else decayed
+            state = peer_held.batch
+            state.remaining -= 1
+            if state.remaining == 0:
+                # Whole peer batch matched: ONE countersignature for it.
+                sign_cost = self.node.crypto_costs.sign_cost(
+                    state.signed.payload.wire_size
+                )
+                self.signatures_made += 1
+                self.lane.execute(sign_cost, self._batch_countersigned, state.signed)
+            return
         sign_cost = self.node.crypto_costs.sign_cost(peer_output.wire_size)
-        self.lane.execute(sign_cost, self._countersigned, entry, peer_signed)
+        self.signatures_made += 1
+        self.lane.execute(sign_cost, self._countersigned, entry, peer_held)
 
     def _countersigned(self, entry: _IcmpEntry, peer_signed: Signed) -> None:
         if not self.alive or self.signaled:
@@ -537,7 +902,14 @@ class Fso(Process, Servant):
         self._irmp_pending.clear()
         self._ds_ready.clear()
         self._single_ready.clear()
+        if self._accum is not None:
+            for target_key, open_no in self._accum.clear():
+                self._cancel_batch_timer(target_key, open_no)
+        self._local_batch_of.clear()
+        self._local_batch_pending.clear()
+        self._pb_ready.clear()
         sign_cost = self.node.crypto_costs.sign_cost(64)
+        self.signatures_made += 1
         self.lane.execute(sign_cost, self._emit_fail_signal, priority=-2)
 
     def inject_arbitrary_signal(self) -> None:

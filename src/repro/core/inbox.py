@@ -6,7 +6,24 @@ layer is intercepted, signatures stripped and duplicates suppressed"
 the double signature against the registry, suppresses the duplicate that
 arrives from the second Compare, converts fail-signals into local
 notifications, and forwards genuine outputs to the collocated target
-servant.
+servant.  A double-signed :class:`OutputBatch` is authenticated once and
+unpacked per output (the batched fast path).
+
+**Invariants this module maintains** (what the :mod:`repro.invariants`
+oracles are sound against):
+
+* nothing crosses into the environment without a valid double signature
+  whose two signers are exactly the registered pair of the claimed
+  ``fs_id`` -- including every output *inside* a batch, which must carry
+  the batch's own ``fs_id`` (no identity smuggling under a valid batch
+  signature);
+* every forwarded output is traced (``inbox``/``output-forwarded``)
+  with its per-output content digest *before* being handed on, so the
+  double-sign soundness oracle audits exactly the set of values that
+  escaped, batched or not;
+* each ``(fs_id, input_seq, output_idx)`` is forwarded at most once
+  (the second Compare's copy, and any batch re-delivery, deduplicate);
+* a fail-signal source is reported upward exactly once.
 """
 
 from __future__ import annotations
@@ -14,7 +31,7 @@ from __future__ import annotations
 import typing
 
 from repro.corba.orb import ObjectRef, Request, Servant
-from repro.core.messages import FailSignal, FsOutput, FsRegistry
+from repro.core.messages import FailSignal, FsOutput, FsRegistry, OutputBatch
 from repro.crypto.keystore import KeyStore
 from repro.crypto.signing import DoubleSigned
 
@@ -35,6 +52,8 @@ class FsOutputInbox(Servant):
         self.outputs_forwarded = 0
         self.fail_signals_received = 0
         self.rejected = 0
+        self.batches_unpacked = 0
+        self.batch_outputs_seen = 0
 
     # ------------------------------------------------------------------
     # servant method
@@ -46,6 +65,8 @@ class FsOutputInbox(Servant):
         payload = message.payload
         if isinstance(payload, FsOutput):
             self._on_output(message, payload)
+        elif isinstance(payload, OutputBatch):
+            self._on_batch(message, payload)
         elif isinstance(payload, FailSignal):
             self._on_fail_signal(message, payload)
         else:
@@ -73,6 +94,24 @@ class FsOutputInbox(Servant):
         if not self._valid(message, payload.fs_id):
             self.rejected += 1
             return
+        self._forward_output(payload)
+
+    def _on_batch(self, message: DoubleSigned, batch: OutputBatch) -> None:
+        """Authenticate once, then unpack and forward per output."""
+        if not self._valid(message, batch.fs_id):
+            self.rejected += 1
+            return
+        self.batches_unpacked += 1
+        self.batch_outputs_seen += len(batch.outputs)
+        for output in batch.outputs:
+            if not isinstance(output, FsOutput) or output.fs_id != batch.fs_id:
+                # The batch signature vouches only for the signing pair's
+                # own outputs; a smuggled foreign identity is rejected.
+                self.rejected += 1
+                continue
+            self._forward_output(output)
+
+    def _forward_output(self, payload: FsOutput) -> None:
         if payload.dedup_key in self._seen_outputs:
             return  # the second Compare's copy
         self._seen_outputs.add(payload.dedup_key)

@@ -17,7 +17,15 @@ Traffic inside the pair (over the synchronous LAN):
 * :class:`ForwardedInput` -- follower -> leader: an input the follower
   saw but the leader has not ordered yet (the t1 path);
 * :class:`SingleSigned` -- Compare -> Compare': a locally produced
-  output, signed once, awaiting comparison.
+  output, signed once, awaiting comparison;
+* :class:`BatchSingle` -- Compare -> Compare' (batched path): a whole
+  :class:`OutputBatch` of locally produced outputs under ONE signature.
+
+Batched traffic out of the pair re-uses :class:`DoubleSigned` with an
+:class:`OutputBatch` payload: one batch signature pair authenticates
+every output inside, and receivers unpack per output (dedup keys and
+content digests stay per-output, so the invariant oracles observe the
+same per-message facts on batched and unbatched runs).
 """
 
 from __future__ import annotations
@@ -123,6 +131,34 @@ class FailSignal:
         return HEADER_BYTES + len(self.fs_id)
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class OutputBatch:
+    """A run of outputs of one FS process, signed as a unit.
+
+    All outputs share the batch's ``fs_id`` (receivers enforce this so a
+    faulty pair cannot smuggle another pair's identity inside its own
+    validly signed batch) and -- on the honest path -- a single
+    destination, because the accumulator batches per target.
+    ``batch_no`` is the producer's sequential batch counter; receivers
+    transmit countersigned batches in this order, which preserves
+    per-destination FIFO across out-of-order match completions.
+    """
+
+    fs_id: str
+    batch_no: int
+    outputs: tuple  # of FsOutput
+
+    @property
+    def wire_size(self) -> int:
+        cached = _body_size_cache.get(self)
+        if cached is None:
+            cached = HEADER_BYTES + len(self.fs_id) + 16
+            for output in self.outputs:
+                cached += output.wire_size - HEADER_BYTES + 8
+            _body_size_cache.put(self, cached)
+        return cached
+
+
 # ----------------------------------------------------------------------
 # intra-pair LAN messages
 # ----------------------------------------------------------------------
@@ -154,6 +190,19 @@ class SingleSigned:
     """Compare -> Compare': single-signed candidate output."""
 
     signed: Signed  # payload is an FsOutput
+
+    @property
+    def wire_size(self) -> int:
+        payload = self.signed.payload
+        inner = payload.wire_size if hasattr(payload, "wire_size") else 64
+        return 80 + inner  # signature + framing
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BatchSingle:
+    """Compare -> Compare': single-signed candidate output *batch*."""
+
+    signed: Signed  # payload is an OutputBatch
 
     @property
     def wire_size(self) -> int:

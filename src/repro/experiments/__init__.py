@@ -54,6 +54,7 @@ from repro.experiments.runner import (
 from repro.experiments.spec import (
     CALM_LAN,
     SPIKY_NET,
+    BatchingSpec,
     DelaySpec,
     FaultEvent,
     ScenarioSpec,
@@ -62,6 +63,7 @@ from repro.experiments.store import ResultStore
 
 __all__ = [
     "AuditedRun",
+    "BatchingSpec",
     "CALM_LAN",
     "Campaign",
     "DelaySpec",

@@ -5,6 +5,24 @@ live simulation: it builds the system under test, schedules the fault
 plan, drives the workload and flattens the measurements into a
 JSON-able metrics dict.  The CLI, the campaign runner and the benchmark
 harness all call in here, so their configurations cannot drift.
+
+**Invariants this module maintains** (what the :mod:`repro.invariants`
+oracles -- and every cross-run comparison -- are sound against):
+
+* a spec is *complete*: everything that shapes a run (system, sizes,
+  delay model, fault plan, adversaries, batching, seed) comes from the
+  spec, so equal specs produce bit-identical metrics on any machine and
+  worker count;
+* measurement runs and audit runs execute the *same* simulation -- the
+  only difference is whether the trace recorder is live (listener-only,
+  nothing stored) for the oracles to consume; metrics are never read
+  from trace state, so auditing cannot perturb what is measured;
+* the fault plan is announced to the trace *before* it is applied
+  (``adversary``/``faultplan`` records), so the oracles always learn
+  which pairs are expected to misbehave no later than the misbehaviour
+  itself;
+* per-run caches are cleared after every run inside the GC pause, so
+  one run's memoised state can never leak into the next run's timings.
 """
 
 from __future__ import annotations
@@ -17,6 +35,7 @@ from repro.analysis.metrics import summarize
 from repro.baselines.pbft import PbftCluster
 from repro.invariants import AuditConfig, AuditReport, InvariantMonitor, topology_of
 from repro.perf import clear_caches, gc_paused
+from repro.core.config import FsoConfig
 from repro.core.fso import FsoRole
 from repro.crypto.costmodel import CryptoCostModel
 from repro.experiments.spec import ScenarioSpec
@@ -141,6 +160,12 @@ def build_ordering_group(
         )
         if spec.crypto_scale != 1.0:
             kwargs["crypto_costs"] = CryptoCostModel().scaled(spec.crypto_scale)
+        if spec.batching is not None:
+            kwargs["fso_config"] = FsoConfig(
+                batch_max=spec.batching.max_batch,
+                batch_delay_ms=spec.batching.max_delay_ms,
+                batch_inflight=spec.batching.max_inflight,
+            )
         kwargs.update(overrides)
         return ByzantineTolerantGroup(sim, n_members=spec.n_members, **kwargs)
     raise ValueError(f"not an ordering system: {spec.system!r}")
@@ -208,13 +233,41 @@ def _suspicion_count(group: AnyGroup) -> int:
     return sum(len(s.suspicions_raised) for s in group.suspectors.values())
 
 
+def _batching_metrics(group: AnyGroup) -> dict[str, float]:
+    """Crypto-amortisation counters of a run, summed over every wrapper.
+
+    ``signatures`` counts every signing operation actually performed
+    (singles/batches, countersignatures, fail-signals), so
+    ``signatures_per_ordered`` is the amortised cost figure a batched
+    vs unbatched A/B compares.  All zeros for systems without
+    fail-signal pairs.
+    """
+    if not isinstance(group, ByzantineTolerantGroup):
+        return {"signatures": 0.0, "batches_signed": 0.0, "batch_outputs": 0.0,
+                "batch_mean_size": 0.0}
+    signatures = batches = outputs = 0
+    for member_id in group.member_ids:
+        process = group.members[member_id].fs_process
+        for fso in (process.leader, process.follower):
+            signatures += fso.signatures_made
+            batches += fso.batches_signed
+            outputs += fso.batch_outputs_signed
+    return {
+        "signatures": float(signatures),
+        "batches_signed": float(batches),
+        "batch_outputs": float(outputs),
+        "batch_mean_size": outputs / batches if batches else 0.0,
+    }
+
+
 def _ordering_metrics(workload: OrderingWorkload, result: ExperimentResult) -> dict[str, float]:
     group = workload.group
     view_changes = sum(len(group.views(m)) for m in group.member_ids)
-    return {
+    ordered = float(workload.recorder.fully_delivered(workload.n_members))
+    metrics = {
         # Messages ordered at *every* member -- comparable with PBFT's
         # fully-executed request count.
-        "ordered": float(workload.recorder.fully_delivered(workload.n_members)),
+        "ordered": ordered,
         "latency_mean_ms": result.latency.mean,
         "latency_p95_ms": result.latency.p95,
         "completion_mean_ms": result.completion_latency.mean,
@@ -225,6 +278,11 @@ def _ordering_metrics(workload: OrderingWorkload, result: ExperimentResult) -> d
         "suspicions": float(_suspicion_count(group)),
         "view_changes": float(view_changes),
     }
+    metrics.update(_batching_metrics(group))
+    metrics["signatures_per_ordered"] = (
+        metrics["signatures"] / ordered if ordered else 0.0
+    )
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -321,6 +379,13 @@ def _run_pbft(spec: ScenarioSpec) -> dict[str, float]:
         "fail_signals": 0.0,
         "suspicions": 0.0,
         "view_changes": float(view_changes),
+        # The comparator signs nothing; keep the amortisation keys so
+        # cross-system tables stay rectangular.
+        "signatures": 0.0,
+        "batches_signed": 0.0,
+        "batch_outputs": 0.0,
+        "batch_mean_size": 0.0,
+        "signatures_per_ordered": 0.0,
     }
 
 

@@ -78,6 +78,43 @@ class DelaySpec:
         return cls(**data)
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class BatchingSpec:
+    """Declarative description of the fail-signal batching layer.
+
+    Present on a spec => the ``fs-newtop`` wrappers run the batched
+    compare path (one signature/verification/countersignature per
+    *batch* of outputs instead of per output; see
+    :mod:`repro.core.batching` and docs/PERFORMANCE.md).  Ignored by
+    ``newtop`` and ``pbft``, which have no fail-signal pairs.
+
+    * ``max_batch`` -- outputs per batch before a size-triggered flush;
+    * ``max_delay_ms`` -- hard bound on how long an open batch may
+      accumulate (the latency the batched path may add per output);
+    * ``max_inflight`` -- batches the pipelined sequencer keeps in
+      flight per wrapper before size-flushes defer.
+    """
+
+    max_batch: int = 8
+    max_delay_ms: float = 4.0
+    max_inflight: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_ms <= 0:
+            raise ValueError(f"max_delay_ms must be > 0, got {self.max_delay_ms}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchingSpec":
+        return cls(**data)
+
+
 #: The paper's benchmark LAN: lightly loaded, sub-millisecond-ish.
 CALM_LAN = DelaySpec(kind="uniform", low=0.3, high=1.2)
 
@@ -167,6 +204,7 @@ class ScenarioSpec:
     delay: DelaySpec = CALM_LAN
     faults: tuple[FaultEvent, ...] = ()
     adversaries: tuple[AdversarySpec, ...] = ()
+    batching: BatchingSpec | None = None
     crypto_scale: float = 1.0
     collapsed: bool = True
     suspectors: bool = False
@@ -213,6 +251,7 @@ class ScenarioSpec:
         data["delay"] = self.delay.to_dict()
         data["faults"] = [e.to_dict() for e in self.faults]
         data["adversaries"] = [a.to_dict() for a in self.adversaries]
+        data["batching"] = self.batching.to_dict() if self.batching else None
         return data
 
     @classmethod
@@ -222,5 +261,9 @@ class ScenarioSpec:
         fields["faults"] = tuple(FaultEvent.from_dict(e) for e in fields.get("faults", ()))
         fields["adversaries"] = tuple(
             AdversarySpec.from_dict(a) for a in fields.get("adversaries", ())
+        )
+        batching = fields.get("batching")
+        fields["batching"] = (
+            BatchingSpec.from_dict(batching) if batching is not None else None
         )
         return cls(**fields)

@@ -1,0 +1,245 @@
+"""The batched compare path: accumulator units and pair integration."""
+
+import pytest
+
+from repro.core import FsoConfig
+from repro.core.batching import BatchAccumulator, BatchPolicy
+from repro.core.faults import ByzantineFso
+
+from tests.core.conftest import FsRig
+
+# ----------------------------------------------------------------------
+# BatchAccumulator units (no simulator needed)
+# ----------------------------------------------------------------------
+
+
+class AccumRig:
+    """Accumulator with recorded callbacks."""
+
+    def __init__(self, **policy):
+        self.flushed = []
+        self.timers_started = []
+        self.timers_cancelled = []
+        self.accum = BatchAccumulator(
+            BatchPolicy(**policy),
+            flush_fn=lambda key, entries: self.flushed.append((key, list(entries))),
+            start_timer=lambda key, no, delay: self.timers_started.append((key, no, delay)),
+            cancel_timer=lambda key, no: self.timers_cancelled.append((key, no)),
+        )
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        BatchPolicy(max_batch=0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_delay_ms=0.0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_inflight=0)
+
+
+def test_flush_on_size():
+    rig = AccumRig(max_batch=3)
+    for i in range(3):
+        rig.accum.add(("n", "t"), i)
+    assert rig.flushed == [(("n", "t"), [0, 1, 2])]
+    # The open batch's delay timer was armed once and cancelled at flush.
+    assert rig.timers_started == [(("n", "t"), 0, 4.0)]
+    assert rig.timers_cancelled == [(("n", "t"), 0)]
+
+
+def test_flush_on_delay_is_a_hard_bound():
+    rig = AccumRig(max_batch=8, max_inflight=1)
+    rig.accum.add(("n", "a"), "x")
+    # Fill the pipeline so a size flush would defer...
+    rig.accum.in_flight = 1
+    # ...but the delay timer flushes regardless (the timeout slack the
+    # compare stage adds assumes max_delay_ms is a hard bound).
+    rig.accum.on_delay_expired(("n", "a"), 0)
+    assert rig.flushed == [(("n", "a"), ["x"])]
+
+
+def test_stale_delay_timer_ignored():
+    rig = AccumRig(max_batch=2)
+    rig.accum.add(("n", "a"), 1)
+    rig.accum.add(("n", "a"), 2)  # size flush; generation 0 closed
+    rig.accum.add(("n", "a"), 3)  # generation 1 opens
+    rig.accum.on_delay_expired(("n", "a"), 0)  # stale
+    assert len(rig.flushed) == 1
+    rig.accum.on_delay_expired(("n", "a"), 1)  # current
+    assert rig.flushed[1] == (("n", "a"), [3])
+
+
+def test_size_flush_defers_to_inflight_cap_until_retire():
+    rig = AccumRig(max_batch=2, max_inflight=1)
+    rig.accum.add(("n", "a"), 1)
+    rig.accum.add(("n", "a"), 2)  # flush #1, occupies the only slot
+    rig.accum.add(("n", "b"), 3)
+    rig.accum.add(("n", "b"), 4)  # size reached but deferred
+    assert len(rig.flushed) == 1
+    assert rig.accum.deferrals == 1
+    rig.accum.retire_batch()  # slot freed -> deferred flush runs
+    assert rig.flushed[1] == (("n", "b"), [3, 4])
+    assert rig.accum.in_flight == 1
+
+
+def test_barrier_flushes_everything_past_the_cap():
+    rig = AccumRig(max_batch=8, max_inflight=1)
+    rig.accum.add(("n", "a"), 1)
+    rig.accum.add(("n", "b"), 2)
+    rig.accum.in_flight = 1
+    rig.accum.barrier()
+    assert sorted(key for key, _ in rig.flushed) == [("n", "a"), ("n", "b")]
+
+
+def test_clear_returns_timers_to_cancel():
+    rig = AccumRig(max_batch=8)
+    rig.accum.add(("n", "a"), 1)
+    rig.accum.add(("n", "b"), 2)
+    timers = rig.accum.clear()
+    assert sorted(timers) == [(("n", "a"), 0), (("n", "b"), 1)]
+    assert rig.accum.pending_count() == 0
+
+
+def test_statistics():
+    rig = AccumRig(max_batch=2)
+    for i in range(4):
+        rig.accum.add(("n", "a"), i)
+    rig.accum.add(("n", "a"), 99)
+    rig.accum.on_delay_expired(("n", "a"), 2)
+    assert rig.accum.batches_flushed == 3
+    assert rig.accum.outputs_flushed == 5
+    assert rig.accum.max_batch_flushed == 2
+    assert rig.accum.mean_batch_size() == pytest.approx(5 / 3)
+
+
+# ----------------------------------------------------------------------
+# pair integration: the rig with batching switched on
+# ----------------------------------------------------------------------
+
+BATCHED = FsoConfig(delta=2.0, batch_max=4, batch_delay_ms=4.0, batch_inflight=4)
+
+
+def test_batched_outputs_reach_destination_exactly_once_in_order():
+    rig = FsRig(config=BATCHED)
+    for n in range(1, 13):
+        rig.submit("add", n)
+    rig.run()
+    assert rig.sink.values == [sum(range(1, k + 1)) for k in range(1, 13)]
+    assert rig.inbox.outputs_forwarded == 12
+    assert rig.inbox.rejected == 0
+    assert not rig.fs.signaled
+    # The batched wire format was actually used.
+    assert rig.inbox.batches_unpacked > 0
+    assert rig.fs.leader.batches_signed > 0
+
+
+def test_batching_amortises_signatures():
+    results = {}
+    for label, config in (("unbatched", None), ("batched", BATCHED)):
+        rig = FsRig(config=config)
+        for n in range(1, 25):
+            rig.submit("add", n)
+        rig.run()
+        assert rig.sink.values == [sum(range(1, k + 1)) for k in range(1, 25)]
+        results[label] = (
+            rig.fs.leader.signatures_made + rig.fs.follower.signatures_made
+        )
+    # 24 outputs per side: unbatched pays sign+countersign each; batched
+    # pays per batch.  Strictly fewer, by a wide margin.
+    assert results["batched"] < results["unbatched"] * 0.7
+
+
+def test_flush_batches_is_an_explicit_barrier():
+    # A huge window and batch size: nothing would flush on its own for
+    # a long time; the explicit barrier forces it out now.
+    config = FsoConfig(delta=2.0, batch_max=64, batch_delay_ms=10_000.0)
+    rig = FsRig(config=config)
+    rig.submit("add", 1)
+    rig.run(until=200.0)
+    assert rig.sink.values == []
+    rig.fs.leader.flush_batches()
+    rig.fs.follower.flush_batches()
+    rig.run(until=400.0)
+    assert rig.sink.values == [1]
+
+
+def test_batched_corrupt_output_still_converts_into_fail_signal():
+    rig = FsRig(config=BATCHED, leader_fso_class=ByzantineFso)
+    rig.submit("add", 1)
+    rig.run(until=100.0)
+    rig.fs.leader.go_byzantine(corrupt_outputs=True)
+    for n in range(2, 8):
+        rig.submit("add", n)
+    rig.run()
+    assert rig.fs.signaled
+    assert rig.fail_signals == ["counter"]
+    # The corrupted value never crossed the double-signature check.
+    assert all(v in [sum(range(1, k + 1)) for k in range(1, 8)] for v in rig.sink.values)
+
+
+def test_batched_equivocation_yields_evidence_or_mismatch_signal():
+    rig = FsRig(config=BATCHED, leader_fso_class=ByzantineFso)
+    rig.submit("add", 1)
+    rig.run(until=100.0)
+    rig.fs.leader.go_byzantine(equivocate=True)
+    for n in range(2, 8):
+        rig.submit("add", n)
+    rig.run()
+    assert rig.fs.signaled
+    assert rig.fs.follower.signal_reason in ("double-sign-evidence", "output-mismatch")
+
+
+def test_batched_mute_caught_by_compare_timeout():
+    rig = FsRig(config=BATCHED, leader_fso_class=ByzantineFso)
+    rig.submit("add", 1)
+    rig.run(until=100.0)
+    rig.fs.leader.go_byzantine(mute_lan=True)
+    rig.submit("add", 2)
+    rig.run()
+    assert rig.fs.follower.signaled
+    assert rig.fail_signals == ["counter"]
+
+
+def test_foreign_output_poisons_the_whole_peer_batch():
+    """A batch smuggling another pair's fs_id is rejected outright --
+    the receiver must never countersign content it refused to compare;
+    the resulting starvation becomes a compare-timeout signal."""
+    import dataclasses
+
+    from repro.core.fso import Fso
+    from repro.core.messages import BatchSingle, OutputBatch
+
+    rig = FsRig(config=BATCHED)
+    original = Fso._lan_send
+
+    def smuggle(self, payload):
+        if isinstance(payload, BatchSingle) and self is rig.fs.leader:
+            batch = payload.signed.payload
+            foreign = dataclasses.replace(batch.outputs[0], fs_id="other.pair")
+            tampered = OutputBatch(
+                fs_id=batch.fs_id,
+                batch_no=batch.batch_no,
+                outputs=batch.outputs + (foreign,),
+            )
+            payload = BatchSingle(signed=self.signer.sign_payload(tampered))
+        original(self, payload)
+
+    rig.fs.leader._lan_send = smuggle.__get__(rig.fs.leader)
+    rig.submit("add", 1)
+    rig.run()
+    # The follower refused the poisoned batch wholesale: nothing from it
+    # was countersigned or transmitted, and the pair signalled.
+    assert rig.fs.follower.outputs_transmitted == 0
+    assert rig.fs.signaled
+    assert rig.sink.values in ([], [1])  # leader's own honest copy at most
+
+
+def test_batched_and_unbatched_deliver_identical_values():
+    values = {}
+    for label, config in (("unbatched", None), ("batched", BATCHED)):
+        rig = FsRig(seed=3, config=config)
+        for n in range(1, 31):
+            rig.submit("add", n)
+        rig.run()
+        values[label] = rig.sink.values
+    assert values["batched"] == values["unbatched"]

@@ -1,0 +1,89 @@
+"""Documentation link integrity.
+
+Scans every Markdown file in the repository for internal references --
+relative links, and intra-repo file mentions in link targets -- and
+checks they resolve.  External (http/mailto) links are out of scope;
+anchors are checked against the target file's headings using GitHub's
+slug rules (lowercase, spaces to dashes, punctuation dropped).
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+#: Markdown files under docs-link discipline.
+DOC_FILES = sorted(
+    p
+    for p in [REPO / "README.md", *(REPO / "docs").glob("*.md")]
+    if p.exists()
+)
+
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set[str]:
+    return {github_slug(h) for h in HEADING.findall(path.read_text())}
+
+
+def internal_links(path: pathlib.Path):
+    for target in LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_internal_links_resolve(doc):
+    problems = []
+    for target in internal_links(doc):
+        raw_path, _, anchor = target.partition("#")
+        resolved = (doc.parent / raw_path).resolve() if raw_path else doc
+        if raw_path and not resolved.exists():
+            problems.append(f"{target}: file {raw_path!r} does not exist")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(resolved):
+                problems.append(
+                    f"{target}: no heading for anchor #{anchor} in {resolved.name}"
+                )
+    assert not problems, f"{doc.name}: " + "; ".join(problems)
+
+
+def test_docs_corpus_is_nonempty():
+    names = {p.name for p in DOC_FILES}
+    assert {
+        "README.md",
+        "API.md",
+        "ARCHITECTURE.md",
+        "PERFORMANCE.md",
+        "SCENARIOS.md",
+        "TUTORIAL.md",
+    } <= names
+
+
+def test_mentioned_repo_paths_exist():
+    """Qualified paths like ``benchmarks/perf_baseline.json`` or
+    ``repro/core/fso.py`` mentioned in prose/code spans must exist in
+    the tree.  Bare filenames (``fso.py``) are contextual prose and not
+    checked."""
+    mention = re.compile(r"`([\w./-]*/[\w.-]+\.(?:py|json|jsonl|md|yml|toml|txt))`")
+    problems = []
+    for doc in DOC_FILES:
+        for raw in mention.findall(doc.read_text()):
+            if "results/" in raw or "<" in raw:
+                continue  # runtime outputs (gitignored), placeholders
+            candidates = [REPO / raw, REPO / "src" / raw, doc.parent / raw]
+            if not any(c.exists() for c in candidates):
+                problems.append(f"{doc.name}: `{raw}`")
+    assert not problems, "dangling file mentions: " + "; ".join(problems)

@@ -1,0 +1,160 @@
+"""BatchingSpec plumbing, the scale_* family, and batched-run soundness."""
+
+import pytest
+
+from repro.analysis import batching_summary
+from repro.experiments import (
+    BatchingSpec,
+    Campaign,
+    ScenarioSpec,
+    audit_scenario,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+#: A deliberately small high-load configuration: 4 members streaming
+#: every 15ms -- enough pressure that batching visibly amortises, small
+#: enough for the unit suite.
+HIGH_LOAD = ScenarioSpec(
+    system="fs-newtop",
+    n_members=4,
+    messages_per_member=8,
+    interval=15.0,
+    message_size=3,
+    seed=1,
+    settle_ms=15_000.0,
+)
+BATCHED = HIGH_LOAD.replace(batching=BatchingSpec(max_batch=8))
+
+
+# ----------------------------------------------------------------------
+# spec plumbing
+# ----------------------------------------------------------------------
+def test_batching_spec_validation():
+    with pytest.raises(ValueError):
+        BatchingSpec(max_batch=0)
+    with pytest.raises(ValueError):
+        BatchingSpec(max_delay_ms=-1.0)
+    with pytest.raises(ValueError):
+        BatchingSpec(max_inflight=0)
+
+
+def test_batching_spec_roundtrips_through_dict():
+    spec = BATCHED
+    assert spec.to_dict()["batching"] == {
+        "max_batch": 8,
+        "max_delay_ms": 4.0,
+        "max_inflight": 4,
+    }
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+    assert ScenarioSpec.from_dict(HIGH_LOAD.to_dict()).batching is None
+
+
+def test_scale_family_registered():
+    names = scenario_names()
+    for expected in ("scale_batch_ab", "scale_groups", "scale_high_rate"):
+        assert expected in names
+    ab = get_scenario("scale_batch_ab")
+    assert [p.label for p in ab.sweep] == ["off", "b4", "b8", "b16"]
+    assert ab.spec_for("fs-newtop", ab.sweep[0]).batching is None
+    assert ab.spec_for("fs-newtop", ab.sweep[2]).batching == BatchingSpec(max_batch=8)
+
+
+# ----------------------------------------------------------------------
+# batched runs: determinism, soundness, amortisation
+# ----------------------------------------------------------------------
+def test_batched_run_is_deterministic():
+    first = run_scenario(BATCHED)
+    second = run_scenario(BATCHED)
+    assert first.metrics == second.metrics
+
+
+def test_batched_beats_unbatched_at_high_load():
+    unbatched = run_scenario(HIGH_LOAD).metrics
+    batched = run_scenario(BATCHED).metrics
+    # Same workload fully ordered on both paths, no spurious signals.
+    assert batched["ordered"] == unbatched["ordered"] == 32.0
+    assert batched["fail_signals"] == unbatched["fail_signals"] == 0.0
+    # The amortisation: fewer signing operations per ordered message,
+    # and more ordered messages per second.
+    assert batched["signatures_per_ordered"] < unbatched["signatures_per_ordered"]
+    assert batched["throughput_msgs_per_s"] > unbatched["throughput_msgs_per_s"]
+    assert batched["batch_mean_size"] > 1.0
+    assert unbatched["batches_signed"] == 0.0
+
+
+def test_batched_audit_passes_all_oracles():
+    audited = audit_scenario(BATCHED.replace(collapsed=False), scenario="batched")
+    assert audited.report.ok, audited.report.render()
+    # All six oracles ran against real traffic.
+    checked = {v.oracle: v.checked for v in audited.report.verdicts}
+    assert checked["total-order"] > 0
+    assert checked["double-sign-soundness"] > 0
+
+
+def test_campaign_batching_summary():
+    scenario = get_scenario("scale_batch_ab")
+    # Shrink the grid for the unit suite: off vs b8, tiny load.
+    campaign = Campaign(scenario, repeats=1)
+    tasks = [
+        t
+        for t in campaign.plan()
+        if t.x_label in ("off", "b8")
+    ]
+    from repro.experiments.campaign import execute_task
+
+    records = [
+        execute_task(
+            type(t)(
+                scenario=t.scenario,
+                system=t.system,
+                x_label=t.x_label,
+                repeat=t.repeat,
+                spec=t.spec.replace(
+                    n_members=3, messages_per_member=4, settle_ms=10_000.0
+                ),
+            )
+        )
+        for t in tasks
+    ]
+    summary = batching_summary(records)
+    assert ("fs-newtop", "b8") in summary["batched_cells"]
+    assert ("fs-newtop", "off") in summary["unbatched_cells"]
+    assert summary["amortisation"] > 1.0
+    assert summary["degenerate_cells"] == []
+
+
+def test_batching_summary_excludes_non_signing_and_degenerate_cells():
+    import dataclasses
+
+    @dataclasses.dataclass
+    class FakeRecord:
+        system: str
+        x_label: str
+        metrics: dict
+
+    records = [
+        # newtop comparator: signs nothing -- not an unbatched comparator.
+        FakeRecord("newtop", 8, {"signatures": 0.0, "signatures_per_ordered": 0.0}),
+        # collapsed batched cell: signed plenty, ordered nothing.
+        FakeRecord(
+            "fs-newtop",
+            "b8",
+            {"signatures": 500.0, "signatures_per_ordered": 0.0,
+             "batches_signed": 100.0, "batch_mean_size": 2.0},
+        ),
+        # healthy unbatched cell.
+        FakeRecord(
+            "fs-newtop",
+            "off",
+            {"signatures": 800.0, "signatures_per_ordered": 100.0,
+             "batches_signed": 0.0, "batch_mean_size": 0.0},
+        ),
+    ]
+    summary = batching_summary(records)
+    assert summary["degenerate_cells"] == [("fs-newtop", "b8")]
+    assert list(summary["unbatched_cells"]) == [("fs-newtop", "off")]
+    assert summary["batched_cells"] == {}
+    # No batched comparators survive, so no amortisation ratio is claimed.
+    assert "amortisation" not in summary

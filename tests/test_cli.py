@@ -45,6 +45,35 @@ def test_list_subcommand_catalogues_scenarios(capsys):
         assert name in out
 
 
+def test_list_groups_scenarios_by_family(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    # Family headings appear, in catalogue order.
+    positions = [
+        out.index("== Paper figures"),
+        out.index("== Adversarial audits"),
+        out.index("== Scale & batching"),
+        out.index("== Stress & comparators"),
+    ]
+    assert positions == sorted(positions)
+    # Every scenario sits under its family heading.
+    assert positions[0] < out.index("fig6_latency") < positions[1]
+    assert positions[1] < out.index("adv_equivocation") < positions[2]
+    assert positions[2] < out.index("scale_batch_ab") < positions[3]
+    assert positions[3] < out.index("pbft_head_to_head")
+
+
+def test_scenario_family_mapping():
+    from repro.cli import scenario_family
+
+    assert scenario_family("fig6_latency") == "fig"
+    assert scenario_family("fig7_throughput") == "fig"
+    assert scenario_family("adv_replay") == "adv"
+    assert scenario_family("scale_groups") == "scale"
+    assert scenario_family("pbft_head_to_head") == "stress"
+    assert scenario_family("mixed_rw") == "stress"
+
+
 def test_run_subcommand_unknown_scenario(capsys):
     assert main(["run", "--scenario", "fig99_warp"]) == 2
     assert "fig99_warp" in capsys.readouterr().out
