@@ -1,0 +1,140 @@
+"""Scale-out -- sharded multi-group ordering vs the single-group ceiling.
+
+Beyond the paper: the ``scale_shard_ab`` scenario deploys the same 8
+members (and the identical keyed workload) as S=1/2/4/8 independent
+FS-NewTOP groups.  The single 8-member group sits deep in multicast
+fan-out and crypto contention at the 10ms interval; four 2-member
+shards order the same aggregate load almost embarrassingly in parallel.
+
+Shape to reproduce:
+* aggregate throughput multiplies with shard count -- >= 2.5x at S=4
+  vs S=1 (the tentpole acceptance number; measured ~10x+ here);
+* the same messages are fully ordered at every S, with zero
+  fail-signals and the load spread evenly over shards;
+* with a cross-shard ratio, the two-phase barrier orders every
+  multi-key operation at a bounded latency premium, audited by the
+  cross-shard oracle.
+
+All metrics are simulated-time and deterministic, so the assertions are
+exact, not statistical.  The S=8 point adds little shape on top of S=4
+and is marked ``slow`` (run with ``--runslow``) to keep tier-1 lean.
+"""
+
+import pytest
+
+from repro.analysis import format_series_table
+from repro.experiments import audit_scenario, get_scenario, run_scenario
+
+from benchmarks.conftest import publish
+
+SCENARIO = get_scenario("scale_shard_ab")
+XRATIO = get_scenario("scale_shard_xratio")
+
+
+def _cell(scenario, label):
+    point = next(p for p in scenario.sweep if p.label == label)
+    return scenario.spec_for("fs-newtop", point)
+
+
+def _run_points(scenario, labels):
+    return {label: run_scenario(_cell(scenario, label)).metrics for label in labels}
+
+
+def test_scale_sharding_ab(benchmark):
+    results = benchmark.pedantic(
+        _run_points, args=(SCENARIO, ("S1", "S2", "S4")), rounds=1, iterations=1
+    )
+    table = format_series_table(
+        "Scale-out A/B: S shards over 8 members (10ms interval, keyed)",
+        "metric",
+        [
+            "throughput (msg/s)",
+            "per-shard throughput",
+            "load imbalance (x)",
+            "fail-signals",
+        ],
+        {
+            label: [
+                m["throughput_msgs_per_s"],
+                m["per_shard_throughput"],
+                m["load_imbalance"],
+                m["fail_signals"],
+            ]
+            for label, m in results.items()
+        },
+    )
+    publish("scale_sharding_ab", table)
+
+    single, two, four = results["S1"], results["S2"], results["S4"]
+    # Identical keyed load fully ordered at every S; scaling out must
+    # not cost correctness or raise a single spurious signal.
+    assert single["ordered"] == two["ordered"] == four["ordered"] == 96.0
+    for metrics in results.values():
+        assert metrics["fail_signals"] == 0.0
+        assert metrics["cross_shard_ops"] == 0.0  # shard-local traffic only
+    # The tentpole acceptance: >= 2.5x aggregate throughput at S=4.
+    assert four["throughput_msgs_per_s"] >= single["throughput_msgs_per_s"] * 2.5
+    # Monotone in between, and the keyspace spreads the load evenly.
+    assert two["throughput_msgs_per_s"] > single["throughput_msgs_per_s"]
+    assert four["load_imbalance"] <= 1.5
+
+
+@pytest.mark.slow
+def test_scale_sharding_s8(benchmark):
+    """The widest deployment: 8 single-member shards."""
+    results = benchmark.pedantic(
+        _run_points, args=(SCENARIO, ("S1", "S8")), rounds=1, iterations=1
+    )
+    single, eight = results["S1"], results["S8"]
+    assert eight["ordered"] == single["ordered"] == 96.0
+    assert eight["fail_signals"] == 0.0
+    assert eight["throughput_msgs_per_s"] >= single["throughput_msgs_per_s"] * 2.5
+
+
+def test_cross_shard_barrier_under_load(benchmark):
+    results = benchmark.pedantic(
+        _run_points, args=(XRATIO, ("0%", "20%")), rounds=1, iterations=1
+    )
+    local_only, mixed = results["0%"], results["20%"]
+    table = format_series_table(
+        "Cross-shard ratio at S=4 (two-phase barrier)",
+        "metric",
+        [
+            "throughput (msg/s)",
+            "cross-shard ops",
+            "cross-shard ordered",
+            "cross-shard latency (ms)",
+            "local latency (ms)",
+        ],
+        {
+            label: [
+                m["throughput_msgs_per_s"],
+                m["cross_shard_ops"],
+                m["cross_shard_ordered"],
+                m["cross_shard_latency_mean_ms"],
+                m["latency_mean_ms"],
+            ]
+            for label, m in results.items()
+        },
+    )
+    publish("scale_sharding_xratio", table)
+
+    # Every multi-key operation the workload offered was barrier-
+    # sequenced to completion across both its shards.
+    assert mixed["cross_shard_ops"] > 0
+    assert mixed["cross_shard_ordered"] == mixed["cross_shard_ops"]
+    assert mixed["fail_signals"] == 0.0
+    # The barrier costs something (two ordered multicasts per involved
+    # shard) but not the farm: throughput degrades, never collapses.
+    assert mixed["throughput_msgs_per_s"] < local_only["throughput_msgs_per_s"]
+    assert mixed["throughput_msgs_per_s"] > local_only["throughput_msgs_per_s"] * 0.3
+    assert mixed["cross_shard_latency_mean_ms"] > 0.0
+
+
+def test_sharded_cells_audit_clean():
+    """The seven oracles (six existing + cross-shard) pass on sharded
+    deployments with live cross-shard traffic."""
+    for scenario, label in ((SCENARIO, "S2"), (XRATIO, "20%")):
+        run = audit_scenario(_cell(scenario, label), scenario=scenario.name)
+        assert len(run.report.verdicts) == 7
+        assert run.report.ok, run.report.render()

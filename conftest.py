@@ -1,0 +1,32 @@
+"""Repository-wide pytest configuration.
+
+Registers the ``slow`` marker and skips slow tests by default so tier-1
+(`pytest -x -q`) stays CI-sized on a 1-core runner; opt in with
+``pytest --runslow``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (large-S shard benchmarks etc.)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark; skipped unless --runslow is given"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow benchmark; run with --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -23,6 +23,7 @@ from repro.adversary.spec import (
 )
 from repro.core.fso import FsoRole
 from repro.fsnewtop.system import ByzantineTolerantGroup
+from repro.shard.group import ShardedGroup
 from repro.sim.scheduler import Simulator
 
 
@@ -42,7 +43,8 @@ class AdversaryEngine:
         self.sim = sim
         self.group = group
         self.adversaries = tuple(adversaries)
-        self._is_fs = isinstance(group, ByzantineTolerantGroup)
+        self._is_sharded = isinstance(group, ShardedGroup)
+        self._is_fs = isinstance(group, ByzantineTolerantGroup) or self._is_sharded
 
     # ------------------------------------------------------------------
     # public API
@@ -71,6 +73,11 @@ class AdversaryEngine:
                 raise AdversaryWiringError(
                     f"adversary {leaf.kind!r} drives fail-signal pair hooks; "
                     f"the group under test has none (fs-newtop only)"
+                )
+            if leaf.kind == "shard_reorder" and not self._is_sharded:
+                raise AdversaryWiringError(
+                    "adversary 'shard_reorder' corrupts the cross-shard "
+                    "coordinator; the group under test is not sharded"
                 )
 
     # ------------------------------------------------------------------
@@ -122,6 +129,13 @@ class AdversaryEngine:
         if spec.kind == "spurious_signal":
             member = typing.cast(int, spec.member)
             return [(start, self._spurious_action(member))], start
+        if spec.kind == "shard_reorder":
+            actions = [(start, self._shard_reorder_action(on=True))]
+            end = start
+            if spec.until is not None:
+                end = start - spec.at + spec.until
+                actions.append((end, self._shard_reorder_action(on=False)))
+            return actions, end
         if spec.kind == "delay_skew":
             member = typing.cast(int, spec.member)
             actions = [(start, self._skew_action(member, spec.extra_ms, on=True))]
@@ -183,6 +197,20 @@ class AdversaryEngine:
                 process.link.inject_extra_delay(src, extra_ms)
             else:
                 process.link.clear_injected_delay(src)
+
+        return action
+
+    def _shard_reorder_action(self, on: bool) -> typing.Callable[[], None]:
+        def action() -> None:
+            # Coordinator corruption targets no fail-signal pair, so the
+            # trace carries no `fs`: the cross-shard oracle must flag
+            # the resulting divergence on its own evidence.
+            self._trace(
+                "activate" if on else "deactivate",
+                kind="shard_reorder",
+                expect="violation",
+            )
+            self.group.coordinator.corrupt_commits(on)
 
         return action
 

@@ -26,7 +26,11 @@ Leaf strategies
 * ``spurious_signal`` -- failure mode fs2: a healthy wrapper emits its
   fail-signal spontaneously (one-shot);
 * ``churn_storm`` -- a burst of node crashes: ``members`` go down one
-  after another, ``spacing`` ms apart.
+  after another, ``spacing`` ms apart;
+* ``shard_reorder`` -- the cross-shard coordinator of a sharded
+  deployment equivocates on final sequence numbers (different shards
+  are told different sequences); needs a :class:`repro.shard`
+  deployment under test.
 
 Combinators
 -----------
@@ -58,15 +62,18 @@ FLAG_STRATEGIES: dict[str, tuple[str, ...]] = {
     "scramble_burst": ("scramble_order",),
 }
 
-#: Leaf strategies outside the FaultPlan hooks.
-OTHER_STRATEGIES = ("delay_skew", "spurious_signal", "churn_storm")
+#: Leaf strategies outside the FaultPlan hooks.  ``shard_reorder``
+#: targets the cross-shard coordinator of a sharded deployment (see
+#: :mod:`repro.shard`): it equivocates on final sequence numbers, the
+#: violation the ``cross-shard-order`` oracle must flag.
+OTHER_STRATEGIES = ("delay_skew", "spurious_signal", "churn_storm", "shard_reorder")
 
 STRATEGY_KINDS: tuple[str, ...] = tuple(FLAG_STRATEGIES) + OTHER_STRATEGIES
 COMBINATOR_KINDS = ("seq", "both", "intermittent")
 
 #: Strategies that can be switched off again (usable under
 #: ``intermittent`` and requiring ``until`` inside ``seq``).
-TOGGLEABLE_KINDS = tuple(FLAG_STRATEGIES) + ("delay_skew",)
+TOGGLEABLE_KINDS = tuple(FLAG_STRATEGIES) + ("delay_skew", "shard_reorder")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -267,4 +274,8 @@ PRESETS: dict[str, AdversarySpec] = {
     "scramble_burst": AdversarySpec(kind="scramble_burst", at=300.0, member=0),
     "delay_skew": AdversarySpec(kind="delay_skew", at=300.0, member=0, extra_ms=50.0),
     "spurious_signal": AdversarySpec(kind="spurious_signal", at=300.0, member=0),
+    # Active from t=0: sharded scenarios finish their cross-shard
+    # commits well before the 300ms the adv_* presets use, and a
+    # corruption that starts after the last commit demonstrates nothing.
+    "shard_reorder": AdversarySpec(kind="shard_reorder", at=0.0),
 }

@@ -6,6 +6,7 @@ from repro.analysis.aggregate import (
     aggregate_records,
     audit_summary,
     batching_summary,
+    shard_summary,
 )
 from repro.analysis.metrics import LatencyRecorder, Summary, summarize
 from repro.analysis.tables import format_series_table
@@ -19,5 +20,6 @@ __all__ = [
     "audit_summary",
     "batching_summary",
     "format_series_table",
+    "shard_summary",
     "summarize",
 ]

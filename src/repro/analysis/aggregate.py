@@ -128,6 +128,53 @@ def batching_summary(records: typing.Iterable) -> dict:
     return out
 
 
+def shard_summary(records: typing.Iterable) -> dict:
+    """Campaign-level roll-up of the sharded-deployment metrics.
+
+    Sharded runs carry ``shards`` / ``per_shard_throughput`` /
+    ``load_imbalance`` / ``cross_shard_*`` metrics (see
+    :meth:`repro.workloads.ordering.ShardedOrderingWorkload.shard_metrics`).
+    Returns an empty dict when no record is sharded.  When both
+    single-shard and multi-shard cells are present (a scale_shard_ab
+    style sweep), ``scaling`` reports the aggregate-throughput ratio of
+    the widest deployment over the S=1 mean -- the headline number of
+    the scale-out story.
+    """
+    sharded = [r for r in records if r.metrics.get("shards", 0.0) >= 1.0]
+    if not sharded:
+        return {}
+    out: dict = {
+        "sharded_cells": len(sharded),
+        "max_shards": int(max(r.metrics["shards"] for r in sharded)),
+        "mean_load_imbalance": sum(r.metrics.get("load_imbalance", 0.0) for r in sharded)
+        / len(sharded),
+    }
+    cross = [r for r in sharded if r.metrics.get("cross_shard_ops", 0.0) > 0]
+    if cross:
+        out["cross_shard_ops"] = int(sum(r.metrics["cross_shard_ops"] for r in cross))
+        out["cross_shard_ordered"] = int(
+            sum(r.metrics.get("cross_shard_ordered", 0.0) for r in cross)
+        )
+        out["cross_shard_latency_mean_ms"] = sum(
+            r.metrics.get("cross_shard_latency_mean_ms", 0.0) for r in cross
+        ) / len(cross)
+    single = [
+        r.metrics["throughput_msgs_per_s"]
+        for r in sharded
+        if r.metrics["shards"] == 1.0
+    ]
+    widest = [
+        r.metrics["throughput_msgs_per_s"]
+        for r in sharded
+        if r.metrics["shards"] == out["max_shards"]
+    ]
+    if single and widest and out["max_shards"] > 1:
+        base = sum(single) / len(single)
+        if base > 0:
+            out["scaling"] = (sum(widest) / len(widest)) / base
+    return out
+
+
 def audit_summary(records: typing.Iterable) -> dict:
     """Campaign-level roll-up of audited runs.
 

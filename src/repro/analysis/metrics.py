@@ -56,14 +56,20 @@ class LatencyRecorder:
     def __init__(self) -> None:
         self._sent_at: dict = {}
         self._deliveries: dict = {}
+        self._expected: dict = {}
         self.per_delivery: list[float] = []
         self.first_send: float | None = None
         self.last_delivery: float | None = None
 
-    def sent(self, key, time: float) -> None:
+    def sent(self, key, time: float, expected: int | None = None) -> None:
+        """Record one send.  ``expected`` overrides, for this key only,
+        the member count that makes the message *fully delivered* --
+        sharded workloads pass the involved shards' member total."""
         if key in self._sent_at:
             raise ValueError(f"duplicate send for {key!r}")
         self._sent_at[key] = time
+        if expected is not None:
+            self._expected[key] = expected
         if self.first_send is None or time < self.first_send:
             self.first_send = time
 
@@ -87,16 +93,37 @@ class LatencyRecorder:
         return len(self._sent_at)
 
     def completion_latencies(self, n_members: int) -> list[float]:
-        """Latency until the last of ``n_members`` delivered, for every
-        fully delivered message."""
+        """Latency until the last expected member delivered, for every
+        fully delivered message (``n_members`` unless the send recorded
+        its own expected count)."""
         out = []
         for key, members in self._deliveries.items():
-            if len(members) >= n_members:
+            if len(members) >= self._expected.get(key, n_members):
                 out.append(max(members.values()) - self._sent_at[key])
         return out
 
+    def completion_of(self, key, n_members: int) -> float | None:
+        """This key's completion latency, or ``None`` if not yet fully
+        delivered."""
+        members = self._deliveries.get(key)
+        if members is None or len(members) < self._expected.get(key, n_members):
+            return None
+        return max(members.values()) - self._sent_at[key]
+
+    def completed_keys(self, n_members: int) -> list:
+        """Every fully delivered key (expected-count aware)."""
+        return [
+            key
+            for key, members in self._deliveries.items()
+            if len(members) >= self._expected.get(key, n_members)
+        ]
+
     def fully_delivered(self, n_members: int) -> int:
-        return sum(1 for members in self._deliveries.values() if len(members) >= n_members)
+        return sum(
+            1
+            for key, members in self._deliveries.items()
+            if len(members) >= self._expected.get(key, n_members)
+        )
 
     def throughput_msgs_per_s(self, n_members: int) -> float:
         """Fully ordered messages per wall-clock second (virtual time),

@@ -33,7 +33,7 @@ from repro.corba.orb import ObjectRef
 from repro.core.messages import FsOutput
 from repro.crypto.canonical import canonical_encode
 from repro.crypto.signing import HmacScheme, RsaScheme
-from repro.experiments.spec import BatchingSpec, ScenarioSpec
+from repro.experiments.spec import BatchingSpec, ScenarioSpec, ShardSpec
 from repro.sim.scheduler import Simulator
 
 #: Report schema version (bump on incompatible layout changes).
@@ -169,6 +169,20 @@ SCALE_BATCHED_MINI_SPEC = ScenarioSpec(
 )
 #: The unbatched control of the same high-rate configuration.
 SCALE_UNBATCHED_MINI_SPEC = SCALE_BATCHED_MINI_SPEC.replace(batching=None)
+#: The batched high-rate shape deployed as four 2-member shards: the
+#: wall-clock cost of the sharded facade (router, agents, S group
+#: builds) on shard-local keyed traffic.  Its simulated-time win is
+#: asserted by benchmarks/test_scale_sharding.py; here we gate host
+#: time.
+SCALE_SHARD4_MINI_SPEC = SCALE_BATCHED_MINI_SPEC.replace(
+    shard=ShardSpec(shards=4)
+)
+#: A two-shard run where a fifth of writes cross shards -- the
+#: two-phase barrier (reserve/commit multicasts plus holdback) on the
+#: host-time hot path.
+SCALE_SHARD_XS_MINI_SPEC = SCALE_BATCHED_MINI_SPEC.replace(
+    shard=ShardSpec(shards=2, cross_shard_ratio=0.2)
+)
 
 
 def _run_mini(spec: ScenarioSpec) -> int:
@@ -195,6 +209,14 @@ def _bench_scale_unbatched_mini() -> int:
     return _run_mini(SCALE_UNBATCHED_MINI_SPEC)
 
 
+def _bench_scale_shard4_mini() -> int:
+    return _run_mini(SCALE_SHARD4_MINI_SPEC)
+
+
+def _bench_scale_shard_xs_mini() -> int:
+    return _run_mini(SCALE_SHARD_XS_MINI_SPEC)
+
+
 #: The fixed suite, in execution order.  Values return the op count.
 SUITE: dict[str, typing.Callable[[], int]] = {
     "encode_fresh": _bench_encode_fresh,
@@ -206,6 +228,8 @@ SUITE: dict[str, typing.Callable[[], int]] = {
     "fig7_mini": _bench_fig7_mini,
     "scale_batched_mini": _bench_scale_batched_mini,
     "scale_unbatched_mini": _bench_scale_unbatched_mini,
+    "scale_shard4_mini": _bench_scale_shard4_mini,
+    "scale_shard_xs_mini": _bench_scale_shard_xs_mini,
 }
 
 

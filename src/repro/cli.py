@@ -24,13 +24,20 @@ from __future__ import annotations
 import argparse
 import pathlib
 
-from repro.analysis import aggregate_records, batching_summary, format_series_table
+from repro.analysis import (
+    aggregate_records,
+    batching_summary,
+    format_series_table,
+    shard_summary,
+)
 from repro.newtop.services import ServiceType
 from repro.workloads import run_ordering_experiment
 
 SUBCOMMANDS = ("list", "run", "campaign", "report", "bench", "audit")
 
-#: Metrics the report prints, in order, with display units.
+#: Metrics the report prints, in order, with display units.  The shard
+#: columns only appear for runs that carry them (sharded deployments);
+#: a metric absent from every record prints no table.
 REPORT_METRICS = (
     ("throughput_msgs_per_s", "msg/s"),
     ("latency_mean_ms", "ms"),
@@ -38,6 +45,9 @@ REPORT_METRICS = (
     ("fail_signals", ""),
     ("view_changes", ""),
     ("signatures_per_ordered", "sig/msg"),
+    ("per_shard_throughput", "msg/s"),
+    ("cross_shard_latency_mean_ms", "ms"),
+    ("load_imbalance", "x"),
 )
 
 #: ``repro list`` groups scenarios into these families, in this order.
@@ -113,7 +123,12 @@ def build_command_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="catalogue the registered scenarios")
+    lister = sub.add_parser("list", help="catalogue the registered scenarios")
+    lister.add_argument(
+        "--family",
+        help="only list this family (fig/adv/scale/stress) or scenarios "
+        "whose name starts with this prefix (e.g. scale_shard)",
+    )
 
     run = sub.add_parser("run", help="run one scenario's grid once and print tables")
     run.add_argument("--scenario", required=True, help="registered scenario name")
@@ -121,6 +136,18 @@ def build_command_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
     run.add_argument(
         "--jobs", type=_positive_int, default=1, help="parallel worker processes"
+    )
+    run.add_argument(
+        "--shards",
+        type=_positive_int,
+        help="deploy as this many keyspace shards (fs-newtop scenarios; "
+        "overrides the scenario's base, sweep points still win)",
+    )
+    run.add_argument(
+        "--cross-shard-ratio",
+        type=float,
+        help="with --shards: fraction of writes spanning two shards "
+        "(default: the scenario's, else 0)",
     )
 
     campaign = sub.add_parser(
@@ -299,14 +326,32 @@ def _resolve_scenario(args: argparse.Namespace):
     return scenario, systems
 
 
-def _cmd_list() -> int:
+def _cmd_list(family: str | None = None) -> int:
     from repro.experiments import scenarios
 
+    catalogue = scenarios()
+    if family is not None:
+        catalogue = [
+            scenario
+            for scenario in catalogue
+            if scenario_family(scenario.name) == family
+            or scenario.name.startswith(family)
+        ]
+        if not catalogue:
+            known = sorted(
+                {key for key, __ in SCENARIO_FAMILIES}
+                | {scenario_family(s.name) for s in scenarios()}
+            )
+            print(
+                f"error: no scenarios in family {family!r}; known families: "
+                f"{', '.join(known)} (or any scenario-name prefix)"
+            )
+            return 2
     grouped: dict[str, list] = {}
-    for scenario in scenarios():
+    for scenario in catalogue:
         grouped.setdefault(scenario_family(scenario.name), []).append(scenario)
-    for family, heading in SCENARIO_FAMILIES:
-        members = grouped.pop(family, [])
+    for family_key, heading in SCENARIO_FAMILIES:
+        members = grouped.pop(family_key, [])
         if not members:
             continue
         print(f"== {heading} ({len(members)}) ==")
@@ -410,6 +455,25 @@ def _print_summary(scenario, records) -> None:
                 f"ordered nothing; excluded)"
             )
         print(line)
+    sharding = shard_summary(records)
+    if sharding:
+        line = (
+            f"sharding: {sharding['sharded_cells']} sharded cell(s) up to "
+            f"S={sharding['max_shards']}, mean load imbalance "
+            f"x{sharding['mean_load_imbalance']:.2f}"
+        )
+        if "scaling" in sharding:
+            line += (
+                f", aggregate throughput x{sharding['scaling']:.2f} at "
+                f"S={sharding['max_shards']} vs S=1"
+            )
+        if sharding.get("cross_shard_ops"):
+            line += (
+                f"; {sharding['cross_shard_ordered']}/{sharding['cross_shard_ops']} "
+                f"cross-shard ops ordered, mean "
+                f"{sharding['cross_shard_latency_mean_ms']:.1f}ms"
+            )
+        print(line)
     if scenario.expected:
         print(f"expected: {scenario.expected}")
 
@@ -423,6 +487,44 @@ def _print_results(scenario, records) -> None:
     _print_summary(scenario, records)
 
 
+def _apply_shard_override(scenario, systems, args):
+    """The ``repro run --shards`` overlay: re-base the scenario on a
+    ShardSpec.  Returns the (possibly rewritten) scenario, or ``None``
+    after printing an error.  Sweep points that set their own ``shard``
+    (the scale_shard family) still win over the overlay."""
+    import dataclasses as _dataclasses
+
+    from repro.experiments import ShardSpec
+
+    chosen = systems if systems else scenario.systems
+    not_fs = [s for s in chosen if s != "fs-newtop"]
+    if not_fs:
+        print(
+            f"error: --shards needs fs-newtop runs only; drop "
+            f"{', '.join(not_fs)} with --systems fs-newtop"
+        )
+        return None
+    base_shard = scenario.base.shard
+    ratio = args.cross_shard_ratio
+    if ratio is None:
+        ratio = base_shard.cross_shard_ratio if base_shard is not None else 0.0
+    keyspace = base_shard.keyspace if base_shard is not None else 64
+    try:
+        shard = ShardSpec(
+            shards=args.shards, cross_shard_ratio=ratio, keyspace=keyspace
+        )
+        base = scenario.base.replace(system="fs-newtop", shard=shard)
+        if base.n_members % shard.shards:
+            raise ValueError(
+                f"scenario {scenario.name!r} has {base.n_members} members, "
+                f"not divisible into {shard.shards} shards"
+            )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return None
+    return _dataclasses.replace(scenario, base=base)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import Campaign
 
@@ -430,8 +532,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if resolved is None:
         return 2
     scenario, systems = resolved
+    if args.shards is not None:
+        scenario = _apply_shard_override(scenario, systems, args)
+        if scenario is None:
+            return 2
+    elif args.cross_shard_ratio is not None:
+        print("error: --cross-shard-ratio needs --shards")
+        return 2
     campaign = Campaign(scenario, repeats=1, base_seed=args.seed, systems=systems)
-    records = campaign.execute(jobs=args.jobs)
+    try:
+        records = campaign.execute(jobs=args.jobs)
+    except ValueError as exc:
+        if args.shards is None:
+            raise
+        # A sweep point can override what the --shards overlay checked
+        # (e.g. an n_members sweep that breaks divisibility).
+        print(f"error: {exc}")
+        return 2
     _print_results(scenario, records)
     return 0
 
@@ -628,7 +745,7 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] in SUBCOMMANDS:
         args = build_command_parser().parse_args(argv)
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args.family)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "campaign":

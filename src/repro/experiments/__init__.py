@@ -58,6 +58,7 @@ from repro.experiments.spec import (
     DelaySpec,
     FaultEvent,
     ScenarioSpec,
+    ShardSpec,
 )
 from repro.experiments.store import ResultStore
 
@@ -75,6 +76,7 @@ __all__ = [
     "SPIKY_NET",
     "Scenario",
     "ScenarioSpec",
+    "ShardSpec",
     "SweepPoint",
     "UnknownScenarioError",
     "audit_scenario",

@@ -42,10 +42,15 @@ from repro.experiments.spec import ScenarioSpec
 from repro.fsnewtop.system import ByzantineTolerantGroup
 from repro.net.network import Network
 from repro.newtop.system import CrashTolerantGroup
+from repro.shard.group import ShardedGroup, build_sharded_group
 from repro.sim.scheduler import Simulator
-from repro.workloads.ordering import ExperimentResult, OrderingWorkload
+from repro.workloads.ordering import (
+    ExperimentResult,
+    OrderingWorkload,
+    ShardedOrderingWorkload,
+)
 
-AnyGroup = typing.Union[CrashTolerantGroup, ByzantineTolerantGroup]
+AnyGroup = typing.Union[CrashTolerantGroup, ByzantineTolerantGroup, ShardedGroup]
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -190,20 +195,41 @@ def _run_ordering(
         sim.trace.enabled = False  # measurement runs do not pay for tracing
     else:
         sim.trace.store = False  # oracles listen; nothing is stored
-    group = build_ordering_group(sim, spec, **system_kwargs)
+    if spec.shard is not None:
+        if system_kwargs:
+            raise ValueError(
+                "system overrides are not supported on sharded specs "
+                f"(got {sorted(system_kwargs)})"
+            )
+        group: AnyGroup = build_sharded_group(sim, spec)
+    else:
+        group = build_ordering_group(sim, spec, **system_kwargs)
     if monitor_config is not None:
         monitor = InvariantMonitor(
             sim, topology_of(group), config=monitor_config, scenario=scenario
         )
-    workload = OrderingWorkload(
-        sim,
-        group,
-        messages_per_member=spec.messages_per_member,
-        interval=spec.interval,
-        message_size=spec.message_size,
-        service=spec.service,
-        write_ratio=spec.write_ratio,
-    )
+    if spec.shard is not None:
+        workload: OrderingWorkload = ShardedOrderingWorkload(
+            sim,
+            group,
+            messages_per_member=spec.messages_per_member,
+            interval=spec.interval,
+            message_size=spec.message_size,
+            service=spec.service,
+            write_ratio=spec.write_ratio,
+            keyspace=spec.shard.keyspace,
+            cross_shard_ratio=spec.shard.cross_shard_ratio,
+        )
+    else:
+        workload = OrderingWorkload(
+            sim,
+            group,
+            messages_per_member=spec.messages_per_member,
+            interval=spec.interval,
+            message_size=spec.message_size,
+            service=spec.service,
+            write_ratio=spec.write_ratio,
+        )
     _schedule_faults(sim, group, spec)
     if spec.adversaries:
         AdversaryEngine(sim, group, spec.adversaries).install()
@@ -225,10 +251,22 @@ def run_ordering_spec(
     return workload.result(spec.system)
 
 
-def _suspicion_count(group: AnyGroup) -> int:
+def _fs_groups(group: AnyGroup) -> tuple[ByzantineTolerantGroup, ...]:
+    """The fail-signal groups backing a run (one, or one per shard)."""
     if isinstance(group, ByzantineTolerantGroup):
+        return (group,)
+    if isinstance(group, ShardedGroup):
+        return tuple(group.shard_groups)
+    return ()
+
+
+def _suspicion_count(group: AnyGroup) -> int:
+    fs_groups = _fs_groups(group)
+    if fs_groups:
         return sum(
-            len(group.member(m).suspector.suspicions_raised) for m in group.member_ids
+            len(g.member(m).suspector.suspicions_raised)
+            for g in fs_groups
+            for m in g.member_ids
         )
     return sum(len(s.suspicions_raised) for s in group.suspectors.values())
 
@@ -242,16 +280,18 @@ def _batching_metrics(group: AnyGroup) -> dict[str, float]:
     vs unbatched A/B compares.  All zeros for systems without
     fail-signal pairs.
     """
-    if not isinstance(group, ByzantineTolerantGroup):
+    fs_groups = _fs_groups(group)
+    if not fs_groups:
         return {"signatures": 0.0, "batches_signed": 0.0, "batch_outputs": 0.0,
                 "batch_mean_size": 0.0}
     signatures = batches = outputs = 0
-    for member_id in group.member_ids:
-        process = group.members[member_id].fs_process
-        for fso in (process.leader, process.follower):
-            signatures += fso.signatures_made
-            batches += fso.batches_signed
-            outputs += fso.batch_outputs_signed
+    for fs_group in fs_groups:
+        for member_id in fs_group.member_ids:
+            process = fs_group.members[member_id].fs_process
+            for fso in (process.leader, process.follower):
+                signatures += fso.signatures_made
+                batches += fso.batches_signed
+                outputs += fso.batch_outputs_signed
     return {
         "signatures": float(signatures),
         "batches_signed": float(batches),
@@ -282,6 +322,8 @@ def _ordering_metrics(workload: OrderingWorkload, result: ExperimentResult) -> d
     metrics["signatures_per_ordered"] = (
         metrics["signatures"] / ordered if ordered else 0.0
     )
+    if isinstance(workload, ShardedOrderingWorkload):
+        metrics.update(workload.shard_metrics())
     return metrics
 
 

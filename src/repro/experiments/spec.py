@@ -115,6 +115,48 @@ class BatchingSpec:
         return cls(**data)
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """Declarative description of the keyspace-sharded deployment.
+
+    Present on a spec => the runner builds ``shards`` independent
+    FS-NewTOP groups of ``n_members / shards`` members each, plus the
+    :mod:`repro.shard` router and cross-shard barrier, and the ordering
+    workload becomes *keyed*: every send carries a key drawn from a
+    ``keyspace``-sized key set, routed to the shard that owns it.
+    A ``cross_shard_ratio`` fraction of writes become multi-key
+    operations spanning two shards, sequenced by the two-phase barrier.
+
+    ``shards=1`` is the differential control: one group, every key
+    local, construction byte-identical to the unsharded path.
+    Sharding is fs-newtop only (the shards *are* fail-signal groups).
+    """
+
+    shards: int = 1
+    cross_shard_ratio: float = 0.0
+    keyspace: int = 64
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if not 0.0 <= self.cross_shard_ratio <= 1.0:
+            raise ValueError(
+                f"cross_shard_ratio must be in [0,1], got {self.cross_shard_ratio}"
+            )
+        if self.keyspace < self.shards:
+            raise ValueError(
+                f"keyspace ({self.keyspace}) must cover every shard "
+                f"({self.shards}) with at least one key"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardSpec":
+        return cls(**data)
+
+
 #: The paper's benchmark LAN: lightly loaded, sub-millisecond-ish.
 CALM_LAN = DelaySpec(kind="uniform", low=0.3, high=1.2)
 
@@ -205,6 +247,7 @@ class ScenarioSpec:
     faults: tuple[FaultEvent, ...] = ()
     adversaries: tuple[AdversarySpec, ...] = ()
     batching: BatchingSpec | None = None
+    shard: ShardSpec | None = None
     crypto_scale: float = 1.0
     collapsed: bool = True
     suspectors: bool = False
@@ -223,6 +266,16 @@ class ScenarioSpec:
             raise ValueError(f"write_ratio must be in [0,1], got {self.write_ratio}")
         if self.messages_per_member < 1:
             raise ValueError(f"need at least one message, got {self.messages_per_member}")
+        if self.shard is not None:
+            if self.system != "fs-newtop":
+                raise ValueError(
+                    f"sharding needs the fs-newtop system, got {self.system!r}"
+                )
+            if self.faults:
+                raise ValueError(
+                    "fault plans are not supported on sharded specs yet; "
+                    "use adversaries instead"
+                )
 
     # ------------------------------------------------------------------
     # derived views
@@ -252,6 +305,7 @@ class ScenarioSpec:
         data["faults"] = [e.to_dict() for e in self.faults]
         data["adversaries"] = [a.to_dict() for a in self.adversaries]
         data["batching"] = self.batching.to_dict() if self.batching else None
+        data["shard"] = self.shard.to_dict() if self.shard else None
         return data
 
     @classmethod
@@ -266,4 +320,6 @@ class ScenarioSpec:
         fields["batching"] = (
             BatchingSpec.from_dict(batching) if batching is not None else None
         )
+        shard = fields.get("shard")
+        fields["shard"] = ShardSpec.from_dict(shard) if shard is not None else None
         return cls(**fields)

@@ -68,6 +68,10 @@ class ByzantineTolerantGroup:
         Member indices whose wrappers are :class:`ByzantineFso`
         (fault plans start disabled; switch on via
         :meth:`byzantine_fso`).
+    member_prefix:
+        Prefix of the generated member ids (default ``member-``).  The
+        sharded deployment (:mod:`repro.shard`) gives each shard its
+        own prefix so trace sources stay globally unique.
     """
 
     def __init__(
@@ -85,6 +89,7 @@ class ByzantineTolerantGroup:
         scheme: SignatureScheme | None = None,
         collapsed: bool = True,
         byzantine_members: typing.Iterable[int] = (),
+        member_prefix: str = "member-",
     ) -> None:
         if n_members < 1:
             raise ValueError(f"need at least one member, got {n_members}")
@@ -95,7 +100,7 @@ class ByzantineTolerantGroup:
             sim, default_delay=delay if delay is not None else UniformDelay(0.3, 1.2)
         )
         self.env = FsEnvironment(sim, scheme=scheme, config=fso_config)
-        self.member_ids = [f"member-{i}" for i in range(n_members)]
+        self.member_ids = [f"{member_prefix}{i}" for i in range(n_members)]
         self.members: dict[str, FsMember] = {m: FsMember(m) for m in self.member_ids}
         byzantine_set = {self.member_ids[i] for i in byzantine_members}
 

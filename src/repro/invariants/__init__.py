@@ -28,6 +28,7 @@ from repro.invariants.monitor import (
 from repro.invariants.oracles import (
     ALL_ORACLES,
     TOTAL_SERVICES,
+    CrossShardOrderOracle,
     DoubleSignSoundnessOracle,
     EquivocationEvidenceOracle,
     FailSignalOracle,
@@ -43,6 +44,7 @@ __all__ = [
     "AuditConfig",
     "AuditReport",
     "AuditState",
+    "CrossShardOrderOracle",
     "DoubleSignSoundnessOracle",
     "EquivocationEvidenceOracle",
     "FailSignalOracle",

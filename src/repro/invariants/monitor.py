@@ -31,6 +31,7 @@ import dataclasses
 import typing
 
 from repro.invariants.oracles import (
+    CrossShardOrderOracle,
     DoubleSignSoundnessOracle,
     EquivocationEvidenceOracle,
     FailSignalOracle,
@@ -58,11 +59,17 @@ class PairTopology:
 
 @dataclasses.dataclass(frozen=True)
 class Topology:
-    """The static shape of the system under audit."""
+    """The static shape of the system under audit.
+
+    ``shards`` is non-empty for sharded deployments: one member tuple
+    per shard, in shard order.  The cross-shard oracle uses it to scope
+    per-shard checks and attribute violations to shards.
+    """
 
     system: str
     members: tuple[str, ...]
     pairs: tuple[PairTopology, ...] = ()
+    shards: tuple[tuple[str, ...], ...] = ()
 
     def pair_of_member(self, member_id: str) -> PairTopology | None:
         for pair in self.pairs:
@@ -76,22 +83,45 @@ class Topology:
                 return (pair.leader_node, pair.follower_node)
         return None
 
+    def shard_of_member(self, member_id: str) -> int | None:
+        for index, shard in enumerate(self.shards):
+            if member_id in shard:
+                return index
+        return None
+
+
+def _fs_pairs(group: typing.Any) -> tuple[PairTopology, ...]:
+    return tuple(
+        PairTopology(
+            fs_id=member.fs_process.fs_id,
+            member=member_id,
+            leader_node=member.primary_node.name,
+            follower_node=member.backup_node.name,
+        )
+        for member_id, member in group.members.items()
+    )
+
 
 def topology_of(group: typing.Any) -> Topology:
-    """Describe a live group (fs-newtop or newtop) for the monitor."""
+    """Describe a live group (fs-newtop, newtop or sharded) for the
+    monitor."""
     from repro.fsnewtop.system import ByzantineTolerantGroup
+    from repro.shard.group import ShardedGroup
 
-    if isinstance(group, ByzantineTolerantGroup):
-        pairs = tuple(
-            PairTopology(
-                fs_id=member.fs_process.fs_id,
-                member=member_id,
-                leader_node=member.primary_node.name,
-                follower_node=member.backup_node.name,
-            )
-            for member_id, member in group.members.items()
+    if isinstance(group, ShardedGroup):
+        pairs: tuple[PairTopology, ...] = ()
+        for shard_group in group.shard_groups:
+            pairs += _fs_pairs(shard_group)
+        return Topology(
+            system="fs-newtop",
+            members=tuple(group.member_ids),
+            pairs=pairs,
+            shards=tuple(tuple(g.member_ids) for g in group.shard_groups),
         )
-        return Topology(system="fs-newtop", members=tuple(group.member_ids), pairs=pairs)
+    if isinstance(group, ByzantineTolerantGroup):
+        return Topology(
+            system="fs-newtop", members=tuple(group.member_ids), pairs=_fs_pairs(group)
+        )
     return Topology(system="newtop", members=tuple(group.member_ids))
 
 
@@ -297,6 +327,7 @@ class InvariantMonitor:
                 DoubleSignSoundnessOracle(),
                 EquivocationEvidenceOracle(),
                 NoForgeryOracle(),
+                CrossShardOrderOracle(),
             )
         )
         if not sim.trace.enabled:

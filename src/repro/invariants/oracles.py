@@ -5,7 +5,7 @@ Each oracle folds the trace stream into a small amount of state
 They receive the shared :class:`~repro.invariants.monitor.AuditState`
 by argument, so they stay import-free of the monitor itself.
 
-The six oracles check the guarantees the paper claims for fail-signal
+The oracles check the guarantees the paper claims for fail-signal
 pairs (and the base guarantees of the ordering systems):
 
 * **total-order** -- correct members deliver totally-ordered messages
@@ -23,7 +23,12 @@ pairs (and the base guarantees of the ordering systems):
   candidates for one slot are blamed on a pair iff that pair really
   equivocated (evidence cannot be fabricated against a correct pair);
 * **no-forgery** -- every forged signature the adversary injected was
-  rejected by verification (assumption A5 holds end-to-end).
+  rejected by verification (assumption A5 holds end-to-end);
+* **cross-shard-order** -- operations spanning shards (see
+  :mod:`repro.shard`) are released in one global sequence order at
+  every member, the coordinator never equivocates on sequence numbers,
+  and no shard's order is tainted by an unquarantined equivocation.
+  Vacuous on unsharded runs.
 """
 
 from __future__ import annotations
@@ -326,6 +331,173 @@ class NoForgeryOracle(Oracle):
         return self._verdict(state)
 
 
+class CrossShardOrderOracle(Oracle):
+    """Cross-shard operations form one global order consistent with
+    every shard -- and no shard's contribution to it is tainted.
+
+    The :mod:`repro.shard` barrier traces its protocol under the
+    ``shard`` category: the router's ``submit`` (op -> involved shards)
+    and ``commit`` (op -> final sequence), and every member agent's
+    ``release`` (op delivered to the application at this member, with
+    the sequence the member saw).  The oracle folds those into four
+    checks:
+
+    * **monotonicity** -- each member releases cross-shard operations
+      in strictly increasing ``(final_seq, op)`` order; since sequence
+      numbers are global, this makes any two members' common operations
+      identically ordered;
+    * **sequence agreement** -- every member (and the router's commit
+      record) saw the *same* final sequence for an operation; a
+      coordinator equivocating on sequence numbers is caught here;
+    * **accounting** -- releases happen only for submitted-and-
+      committed operations, only at members of the involved shards, at
+      most once per member; and every committed operation reaches every
+      non-crashed member of every involved shard;
+    * **shard integrity** -- double-sign evidence inside a shard (two
+      validly signed conflicting candidates from one signer) without a
+      quarantining fail-signal taints every sequence the shard
+      reserved, and is flagged.
+
+    Vacuously green on unsharded runs (no ``shard`` traces, no shard
+    topology).
+    """
+
+    name = "cross-shard-order"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._submitted: dict[str, tuple[int, ...]] = {}
+        self._committed: dict[str, int] = {}
+        #: member -> [(release time, op, seq)]
+        self._releases: dict[str, list[tuple[float, str, int]]] = {}
+        self._accepted: dict[tuple[str, tuple], set[str]] = {}
+
+    def observe(self, rec: TraceRecord, state) -> None:
+        if rec.category == "shard":
+            if rec.event == "submit":
+                self._submitted[str(rec.detail("op"))] = tuple(
+                    int(s) for s in rec.detail("shards") or ()
+                )
+            elif rec.event == "commit":
+                self._committed.setdefault(
+                    str(rec.detail("op")), int(rec.detail("seq"))
+                )
+            elif rec.event == "release":
+                member = rec.source[: -len(".agent")]
+                self._releases.setdefault(member, []).append(
+                    (rec.time, str(rec.detail("op")), int(rec.detail("seq")))
+                )
+                self.checked += 1
+        elif (
+            rec.category == "fso"
+            and rec.event == "single-accepted"
+            and state.topology.shards
+        ):
+            signer = str(rec.detail("signer"))
+            corr = tuple(rec.detail("corr") or ())
+            self._accepted.setdefault((signer, corr), set()).add(
+                str(rec.detail("digest"))
+            )
+
+    def finish(self, state) -> OracleVerdict:
+        topology = state.topology
+        seen_seq: dict[str, int] = dict(self._committed)
+        released_at: dict[str, set[str]] = {}
+        for member, releases in sorted(self._releases.items()):
+            shard = topology.shard_of_member(member)
+            previous: tuple[int, str] | None = None
+            seen_ops: set[str] = set()
+            for __, op, seq in releases:
+                if op in seen_ops:
+                    self._flag(state, f"{member} released {op} twice", source=member)
+                seen_ops.add(op)
+                released_at.setdefault(op, set()).add(member)
+                involved = self._submitted.get(op)
+                if involved is None or op not in self._committed:
+                    self._flag(
+                        state,
+                        f"{member} released {op} which was never "
+                        f"{'submitted' if involved is None else 'committed'}",
+                        source=member,
+                    )
+                elif shard is not None and shard not in involved:
+                    self._flag(
+                        state,
+                        f"{member} (shard {shard}) released {op} which only "
+                        f"involves shards {involved}",
+                        source=member,
+                    )
+                expected = seen_seq.setdefault(op, seq)
+                if seq != expected:
+                    self._flag(
+                        state,
+                        f"{member} released {op} at sequence {seq} but it was "
+                        f"committed at {expected} (coordinator equivocation?)",
+                        source=member,
+                    )
+                if previous is not None and (seq, op) <= previous:
+                    self._flag(
+                        state,
+                        f"{member} released {op} (seq {seq}) after "
+                        f"{previous[1]} (seq {previous[0]}) -- cross-shard "
+                        f"order violated",
+                        source=member,
+                    )
+                previous = (seq, op)
+        # Completeness: a committed op reaches every live member of
+        # every involved shard.
+        for op, involved in sorted(self._submitted.items()):
+            if op not in self._committed:
+                continue
+            self.checked += 1
+            for shard in involved:
+                if shard >= len(topology.shards):
+                    continue
+                for member in topology.shards[shard]:
+                    pair = topology.pair_of_member(member)
+                    node = pair.leader_node if pair is not None else member
+                    if node in state.crashed_nodes:
+                        continue
+                    if member not in released_at.get(op, ()):
+                        self._flag(
+                            state,
+                            f"committed op {op} was never released at {member} "
+                            f"(shard {shard})",
+                            source=member,
+                        )
+        # Shard integrity: unquarantined equivocation inside a shard --
+        # either hard evidence (two validly signed conflicting
+        # candidates from one signer) or a declared equivocation that
+        # manifested, with no fail-signal excluding the pair either way.
+        tainted: set[str] = set()
+        candidates = {
+            signer.split("#", 1)[0]
+            for (signer, __), digests in self._accepted.items()
+            if len(digests) >= 2
+        }
+        if topology.shards:
+            candidates.update(
+                fs_id
+                for fs_id, fault in state.faults.items()
+                if "equivocate" in fault.kinds
+                and state.first_manifest.get(fs_id) is not None
+            )
+        for fs_id in sorted(candidates):
+            if fs_id in tainted or fs_id in state.signals:
+                continue
+            tainted.add(fs_id)
+            member = fs_id[: -len(".gc")] if fs_id.endswith(".gc") else fs_id
+            shard = topology.shard_of_member(member)
+            self._flag(
+                state,
+                f"shard-local equivocation by {fs_id} (shard {shard}) was never "
+                f"quarantined by a fail-signal -- every sequence shard {shard} "
+                f"reserved is tainted",
+                source=fs_id,
+            )
+        return self._verdict(state)
+
+
 ALL_ORACLES: tuple[typing.Type[Oracle], ...] = (
     TotalOrderOracle,
     ValidityOracle,
@@ -333,4 +505,5 @@ ALL_ORACLES: tuple[typing.Type[Oracle], ...] = (
     DoubleSignSoundnessOracle,
     EquivocationEvidenceOracle,
     NoForgeryOracle,
+    CrossShardOrderOracle,
 )

@@ -1,0 +1,38 @@
+"""Horizontal scale-out: keyspace-sharded multi-group ordering.
+
+The paper evaluates one fail-signal ordering group; this package
+multiplies throughput with group count.  A :class:`ShardRouter`
+partitions the keyspace over S independent FS-NewTOP groups
+(*shards*), each reusing the existing :class:`repro.core.fso.Fso`
+batching path unchanged, and a :class:`CrossShardCoordinator` runs a
+two-phase sequence-reservation (Skeen-style: reserve a slot in every
+involved shard's total order, commit at the maximum) so multi-key
+operations spanning shards get one global order consistent with every
+per-shard order.
+
+Layers:
+
+* :mod:`repro.shard.router` -- stable rendezvous (HRW) key->shard
+  mapping: re-sizing the shard set only moves the keys it must;
+* :mod:`repro.shard.barrier` -- the cross-shard sequencing protocol
+  (coordinator plus the per-member holdback agents);
+* :mod:`repro.shard.group` -- :class:`ShardedGroup`, the facade that
+  makes S groups drivable (and auditable) like one.
+
+The unsharded path is untouched: a spec without a
+:class:`repro.experiments.spec.ShardSpec` never builds a router, a
+barrier or an agent, and a single-shard (S=1) run is byte-identical to
+the unsharded one (asserted by ``tests/shard/test_differential.py``).
+"""
+
+from repro.shard.barrier import CrossShardCoordinator, ShardBarrierAgent
+from repro.shard.group import ShardedGroup, build_sharded_group
+from repro.shard.router import ShardRouter
+
+__all__ = [
+    "CrossShardCoordinator",
+    "ShardBarrierAgent",
+    "ShardRouter",
+    "ShardedGroup",
+    "build_sharded_group",
+]

@@ -1,0 +1,220 @@
+"""The cross-shard barrier: two-phase sequence reservation.
+
+A multi-key operation whose keys live on different shards must appear
+in one global order consistent with every involved shard's total
+order.  The protocol is Skeen-style total-order multicast over groups:
+
+1. **Reserve** -- the coordinator multicasts a ``reserve`` marker for
+   the operation through every involved shard's ordering service.
+   Each member, on delivering the reserve *in its shard's total
+   order*, advances a per-shard logical clock and records the clock
+   value as that shard's *proposal* for the operation.  Because the
+   clock is driven purely by the shard's ordered stream, every member
+   of a shard computes the same proposal.
+2. **Commit** -- once the coordinator has the proposal from every
+   involved shard (reported by the shard's *proxy*, its first member),
+   the final sequence number is the maximum proposal.  The coordinator
+   multicasts a ``commit`` carrying the final sequence (and the
+   operation's payload) through each involved shard.
+
+Members hold committed operations back and release them to the
+application in ``(final_seq, op_id)`` order; an operation is released
+only when no reserved-but-uncommitted operation could still commit
+with a smaller final sequence (every proposal is a lower bound on its
+final sequence).  Since all shards release cross-shard operations in
+the same ``(final_seq, op_id)`` order, the global order is consistent
+with every per-shard order by construction -- the property the
+``cross-shard-order`` oracle (:mod:`repro.invariants.oracles`) checks.
+
+Shard-local traffic never enters the holdback: single-key messages
+pass straight through, so a run with no cross-shard operations is
+byte-identical to one without the agents installed.
+
+The coordinator is co-located with the shard proxies (its reservation
+reports are local calls, its multicasts pay the full ordering cost);
+coordinator fault-tolerance is out of scope for this layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Marker field distinguishing barrier-protocol payloads from
+#: application payloads inside a shard's ordered stream.
+PROTOCOL_FIELD = "_xs"
+
+
+def is_protocol(value: typing.Any) -> bool:
+    """Whether a delivered value is barrier-protocol traffic."""
+    return isinstance(value, dict) and PROTOCOL_FIELD in value
+
+
+@dataclasses.dataclass
+class _PendingOp:
+    """Coordinator-side state of one in-flight cross-shard operation."""
+
+    involved: tuple[int, ...]
+    payload: dict
+    proposals: dict[int, int] = dataclasses.field(default_factory=dict)
+
+
+class CrossShardCoordinator:
+    """Runs the two-phase reservation for every cross-shard operation.
+
+    ``send(shard, value)`` must multicast ``value`` through the given
+    shard's totally-ordered service (the :class:`ShardedGroup` wires it
+    to the shard proxy's invocation layer).
+    """
+
+    def __init__(
+        self, sim, shards: int, send: typing.Callable[[int, dict], None]
+    ) -> None:
+        self.sim = sim
+        self.shards = shards
+        self._send = send
+        self._pending: dict[str, _PendingOp] = {}
+        self._corrupt = False
+        self.ops_started = 0
+        self.ops_committed = 0
+
+    def corrupt_commits(self, on: bool) -> None:
+        """Adversary hook (``shard_reorder``): equivocate on the final
+        sequence, sending different numbers to different shards.  The
+        cross-shard oracle must flag the resulting order divergence."""
+        self._corrupt = bool(on)
+
+    # ------------------------------------------------------------------
+    # phase 1: reserve
+    # ------------------------------------------------------------------
+    def begin(self, op_id: str, involved: typing.Sequence[int], payload: dict) -> None:
+        """Start the reservation for one multi-shard operation."""
+        shards = tuple(sorted(set(involved)))
+        if len(shards) < 2:
+            raise ValueError(f"op {op_id!r} involves {shards}; use a plain multicast")
+        if op_id in self._pending:
+            raise ValueError(f"duplicate cross-shard op id {op_id!r}")
+        self._pending[op_id] = _PendingOp(involved=shards, payload=dict(payload))
+        self.ops_started += 1
+        self.sim.trace.record(
+            self.sim.now, "shard", "router", "submit", op=op_id, shards=list(shards)
+        )
+        for shard in shards:
+            self._send(shard, {PROTOCOL_FIELD: "reserve", "op": op_id, "g": list(shards)})
+
+    # ------------------------------------------------------------------
+    # phase 2: commit at the maximum proposal
+    # ------------------------------------------------------------------
+    def on_proposal(self, shard: int, op_id: str, proposal: int) -> None:
+        """A shard proxy reports its shard's reservation clock value."""
+        entry = self._pending.get(op_id)
+        if entry is None or shard not in entry.involved:
+            return
+        entry.proposals.setdefault(shard, proposal)
+        if len(entry.proposals) < len(entry.involved):
+            return
+        final = max(entry.proposals.values())
+        del self._pending[op_id]
+        self.ops_committed += 1
+        self.sim.trace.record(
+            self.sim.now, "shard", "router", "commit", op=op_id, seq=final
+        )
+        for rank, target in enumerate(entry.involved):
+            seq = final + 17 * rank if self._corrupt else final
+            value = {PROTOCOL_FIELD: "commit", "op": op_id, "q": seq}
+            value.update(entry.payload)
+            self._send(target, value)
+
+
+class ShardBarrierAgent:
+    """One member's holdback stage between its shard's ordered stream
+    and the application.
+
+    Installed as the invocation layer's ``on_deliver`` hook; the
+    application-facing hook moves to :attr:`on_deliver`.  Non-protocol
+    messages pass through untouched (and synchronously), so the agent
+    is invisible to runs without cross-shard traffic.
+    """
+
+    def __init__(
+        self,
+        sim,
+        member_id: str,
+        shard: int,
+        coordinator: CrossShardCoordinator,
+        is_proxy: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.member_id = member_id
+        self.shard = shard
+        self.coordinator = coordinator
+        self.is_proxy = is_proxy
+        self.on_deliver: typing.Callable | None = None
+        self.clock = 0
+        #: op -> this shard's proposal, for reserved-not-yet-committed ops.
+        self.reserved: dict[str, int] = {}
+        #: op -> (final_seq, delivered message), held for release.
+        self.committed: dict[str, tuple[int, typing.Any]] = {}
+        self.released = 0
+
+    # ------------------------------------------------------------------
+    def handle(self, message) -> None:
+        """The invocation layer's delivery callback."""
+        value = message.value
+        if is_protocol(value):
+            if value[PROTOCOL_FIELD] == "reserve":
+                self._on_reserve(value)
+            else:
+                self._on_commit(value, message)
+            return
+        if self.on_deliver is not None:
+            self.on_deliver(message)
+
+    # ------------------------------------------------------------------
+    def _on_reserve(self, value: dict) -> None:
+        op_id = value["op"]
+        self.clock += 1
+        self.reserved[op_id] = self.clock
+        if self.is_proxy:
+            self.coordinator.on_proposal(self.shard, op_id, self.clock)
+
+    def _on_commit(self, value: dict, message) -> None:
+        op_id = value["op"]
+        seq = int(value["q"])
+        self.clock = max(self.clock, seq)
+        self.reserved.pop(op_id, None)
+        self.committed[op_id] = (seq, message)
+        self._drain()
+
+    def _drain(self) -> None:
+        while self.committed:
+            op_id, (seq, message) = min(
+                self.committed.items(), key=lambda item: (item[1][0], item[0])
+            )
+            if self.reserved:
+                floor = min(
+                    (proposal, pending_op)
+                    for pending_op, proposal in self.reserved.items()
+                )
+                # Any reserved op's final sequence is >= its proposal, so
+                # (seq, op_id) below the floor cannot be overtaken.
+                if floor <= (seq, op_id):
+                    return
+            del self.committed[op_id]
+            self._release(op_id, seq, message)
+
+    def _release(self, op_id: str, seq: int, message) -> None:
+        self.released += 1
+        self.sim.trace.record(
+            self.sim.now,
+            "shard",
+            f"{self.member_id}.agent",
+            "release",
+            op=op_id,
+            seq=seq,
+            shard=self.shard,
+        )
+        if self.on_deliver is not None:
+            self.on_deliver(
+                dataclasses.replace(message, delivered_at=self.sim.now)
+            )

@@ -1,0 +1,232 @@
+"""The sharded deployment facade.
+
+A :class:`ShardedGroup` wraps S independent
+:class:`~repro.fsnewtop.system.ByzantineTolerantGroup` instances (each
+with its own network, PKI environment and member namespace) behind the
+single-group API the workloads, the adversary engine and the invariant
+monitor already speak: global member ids, index-addressed fault hooks,
+aggregated network statistics.  The cross-shard machinery -- router,
+coordinator and per-member holdback agents -- is wired here.
+
+**Naming invariant:** a single-shard deployment (S=1) uses the default
+group/member/network names, so its construction -- and therefore its
+trace stream -- is byte-identical to the unsharded path
+(``tests/shard/test_differential.py`` asserts this).  With S > 1,
+shard ``s`` gets group name ``shard<s>``, member prefix
+``s<s>-member-`` and network ``net-s<s>``, keeping every trace source
+globally unique for the oracles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.shard.barrier import CrossShardCoordinator, ShardBarrierAgent
+from repro.shard.router import ShardRouter
+
+
+@dataclasses.dataclass
+class _AggregateStats:
+    """Summed traffic counters across every shard network."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+
+
+class _AggregateNetwork:
+    """Read-only ``.stats`` facade over the per-shard networks."""
+
+    def __init__(self, groups: typing.Sequence) -> None:
+        self._groups = groups
+
+    @property
+    def stats(self) -> _AggregateStats:
+        total = _AggregateStats()
+        for group in self._groups:
+            stats = group.network.stats
+            total.messages_sent += stats.messages_sent
+            total.messages_delivered += stats.messages_delivered
+            total.messages_dropped += stats.messages_dropped
+            total.bytes_sent += stats.bytes_sent
+        return total
+
+
+class ShardedGroup:
+    """S independent FS-NewTOP groups drivable (and auditable) as one."""
+
+    #: Duck-typed capability flag: the adversary engine accepts this
+    #: group for fail-signal-pair strategies.
+    has_fs_pairs = True
+
+    def __init__(self, sim, groups: typing.Sequence, router: ShardRouter) -> None:
+        if router.shards != len(groups):
+            raise ValueError(
+                f"router partitions {router.shards} shards but {len(groups)} "
+                f"groups were built"
+            )
+        self.sim = sim
+        self.shard_groups = list(groups)
+        self.router = router
+        self.network = _AggregateNetwork(self.shard_groups)
+        self.member_ids: list[str] = []
+        self.member_shard: dict[str, int] = {}
+        self._member_group: dict[str, typing.Any] = {}
+        for shard, group in enumerate(self.shard_groups):
+            for member_id in group.member_ids:
+                if member_id in self.member_shard:
+                    raise ValueError(f"duplicate member id across shards: {member_id}")
+                self.member_ids.append(member_id)
+                self.member_shard[member_id] = shard
+                self._member_group[member_id] = group
+        self.coordinator = CrossShardCoordinator(
+            sim, len(self.shard_groups), self._send_protocol
+        )
+        self._next_op = 0
+        self.agents: dict[str, ShardBarrierAgent] = {}
+        for shard, group in enumerate(self.shard_groups):
+            for index, member_id in enumerate(group.member_ids):
+                agent = ShardBarrierAgent(
+                    sim, member_id, shard, self.coordinator, is_proxy=(index == 0)
+                )
+                invocation = group.members[member_id].invocation
+                agent.on_deliver = invocation.on_deliver
+                invocation.on_deliver = agent.handle
+                self.agents[member_id] = agent
+
+    # ------------------------------------------------------------------
+    # shard views
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self.shard_groups)
+
+    def shard_of_member(self, member: int | str) -> int:
+        if isinstance(member, int):
+            member = self.member_ids[member]
+        return self.member_shard[member]
+
+    def shard_size(self, shard: int) -> int:
+        return len(self.shard_groups[shard].member_ids)
+
+    def proxy_of(self, shard: int) -> str:
+        """The member whose invocation layer carries protocol traffic
+        (and whose holdback agent reports reservation proposals)."""
+        return self.shard_groups[shard].member_ids[0]
+
+    # ------------------------------------------------------------------
+    # single-group API (global member addressing)
+    # ------------------------------------------------------------------
+    def member(self, index_or_id: int | str):
+        if isinstance(index_or_id, int):
+            index_or_id = self.member_ids[index_or_id]
+        return self._member_group[index_or_id].members[index_or_id]
+
+    def _group_of(self, index_or_id: int | str):
+        if isinstance(index_or_id, int):
+            index_or_id = self.member_ids[index_or_id]
+        return self._member_group[index_or_id], index_or_id
+
+    def multicast(self, member: int | str, service: str, value: typing.Any) -> None:
+        """Multicast within the sender's own shard."""
+        group, member_id = self._group_of(member)
+        group.multicast(member_id, service, value)
+
+    def deliveries(self, member: int | str) -> list:
+        group, member_id = self._group_of(member)
+        return group.deliveries(member_id)
+
+    def views(self, member: int | str) -> list:
+        group, member_id = self._group_of(member)
+        return group.views(member_id)
+
+    def fs_process_of(self, member: int | str):
+        group, member_id = self._group_of(member)
+        return group.fs_process_of(member_id)
+
+    def byzantine_fso(self, member: int | str, role):
+        group, member_id = self._group_of(member)
+        return group.byzantine_fso(member_id, role)
+
+    def crash_primary(self, member: int | str) -> None:
+        group, member_id = self._group_of(member)
+        group.crash_primary(member_id)
+
+    def crash_backup(self, member: int | str) -> None:
+        group, member_id = self._group_of(member)
+        group.crash_backup(member_id)
+
+    # ------------------------------------------------------------------
+    # cross-shard operations
+    # ------------------------------------------------------------------
+    def submit(
+        self, origin: int | str, value: dict, keys: typing.Sequence[str]
+    ) -> tuple[int, ...]:
+        """Route one keyed operation; returns the shards it touches.
+
+        Single-shard operations go straight into the owning shard's
+        ordering service -- from the origin member when it lives there,
+        else from the shard proxy.  Multi-shard operations run the
+        two-phase barrier.
+        """
+        involved = self.router.shards_of(keys)
+        __, origin_id = self._group_of(origin)
+        if len(involved) == 1:
+            shard = involved[0]
+            sender = origin_id if self.member_shard[origin_id] == shard else self.proxy_of(shard)
+            self.multicast(sender, "symmetric_total", value)
+            return involved
+        op_id = f"x{self._next_op:06d}"
+        self._next_op += 1
+        self.coordinator.begin(op_id, involved, value)
+        return involved
+
+    def _send_protocol(self, shard: int, value: dict) -> None:
+        self.multicast(self.proxy_of(shard), "symmetric_total", value)
+
+    def nodes_used(self) -> int:
+        return sum(group.nodes_used() for group in self.shard_groups)
+
+
+def build_sharded_group(sim, spec) -> ShardedGroup:
+    """Construct the S-shard deployment a spec's ShardSpec describes.
+
+    Every shard is built through the same
+    :func:`repro.experiments.runner.build_ordering_group` path the
+    unsharded runner uses, so a single-shard deployment is constructed
+    -- argument for argument -- exactly like the unsharded one.
+    """
+    from repro.experiments.runner import build_ordering_group
+    from repro.net.network import Network
+
+    shard_spec = spec.shard
+    if shard_spec is None:
+        raise ValueError("spec has no ShardSpec; use build_ordering_group")
+    if spec.system != "fs-newtop":
+        raise ValueError(f"sharding needs the fs-newtop system, got {spec.system!r}")
+    shards = shard_spec.shards
+    if spec.n_members % shards:
+        raise ValueError(
+            f"n_members={spec.n_members} is not divisible into {shards} shards"
+        )
+    per_shard = spec.n_members // shards
+    shard_view = spec.replace(n_members=per_shard, shard=None)
+    byzantine = spec.byzantine_members
+    groups = []
+    for shard in range(shards):
+        local_byzantine = tuple(
+            index - shard * per_shard
+            for index in byzantine
+            if shard * per_shard <= index < (shard + 1) * per_shard
+        )
+        overrides: dict[str, typing.Any] = {"byzantine_members": local_byzantine}
+        if shards > 1:
+            overrides["group"] = f"shard{shard}"
+            overrides["member_prefix"] = f"s{shard}-member-"
+            overrides["network"] = Network(
+                sim, default_delay=spec.delay.build(), name=f"net-s{shard}"
+            )
+        groups.append(build_ordering_group(sim, shard_view, **overrides))
+    return ShardedGroup(sim, groups, ShardRouter(shards))

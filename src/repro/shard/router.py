@@ -1,0 +1,63 @@
+"""Stable key->shard routing.
+
+The router uses rendezvous (highest-random-weight) hashing: every
+(key, shard) pair gets a deterministic score and a key lives on the
+highest-scoring shard.  The property that matters for operations --
+and that ``tests/shard/test_router_properties.py`` property-tests --
+is *minimal re-mapping under membership churn*: growing the shard set
+from S to S+1 moves only the keys the new shard wins (roughly a
+1/(S+1) fraction), and shrinking it moves only the removed shard's
+keys.  A mod-S mapping would reshuffle almost everything.
+
+Scores are derived from SHA-256, so the mapping is identical on every
+machine and Python build (no ``hash()`` randomisation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing
+
+
+def _score(key: str, shard: int) -> int:
+    digest = hashlib.sha256(f"{key}|shard-{shard}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardRouter:
+    """Deterministic keyspace partition over ``shards`` groups."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.shards = shards
+        self._memo: dict[str, int] = {}
+
+    def shard_of(self, key: str) -> int:
+        """The shard owning ``key`` (rendezvous winner)."""
+        owner = self._memo.get(key)
+        if owner is None:
+            owner = max(range(self.shards), key=lambda s: _score(key, s))
+            self._memo[key] = owner
+        return owner
+
+    def shards_of(self, keys: typing.Iterable[str]) -> tuple[int, ...]:
+        """The sorted set of shards an operation over ``keys`` touches."""
+        return tuple(sorted({self.shard_of(key) for key in keys}))
+
+    def owned_keys(self, shard: int, keys: typing.Sequence[str]) -> list[str]:
+        """The subset of ``keys`` living on ``shard``, in input order."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.shards})")
+        return [key for key in keys if self.shard_of(key) == shard]
+
+
+def keyspace(size: int) -> list[str]:
+    """The canonical keyspace the keyed workloads draw from.
+
+    Key names are zero-padded so lexicographic order equals index
+    order -- pools sliced from this list stay deterministic.
+    """
+    if size < 1:
+        raise ValueError(f"keyspace needs at least one key, got {size}")
+    return [f"key-{i:04d}" for i in range(size)]

@@ -3,7 +3,13 @@
 from repro.workloads.ordering import (
     ExperimentResult,
     OrderingWorkload,
+    ShardedOrderingWorkload,
     run_ordering_experiment,
 )
 
-__all__ = ["ExperimentResult", "OrderingWorkload", "run_ordering_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "OrderingWorkload",
+    "ShardedOrderingWorkload",
+    "run_ordering_experiment",
+]

@@ -56,6 +56,12 @@ class OrderingWorkload:
     ``reliable`` service.  Writes and reads interleave deterministically
     (Bresenham spacing over the send sequence), so the mix is identical
     across systems and seeds.
+
+    ``keyspace`` switches on *keyed* traffic: every send carries a key
+    drawn round-robin from a ``keyspace``-sized key set (the payload
+    gains a ``"k"`` field; everything else is unchanged).  Keyed
+    traffic is what the shard router partitions -- the unsharded keyed
+    run is the differential control of the single-shard deployment.
     """
 
     def __init__(
@@ -67,6 +73,7 @@ class OrderingWorkload:
         message_size: int = 3,
         service: str = ServiceType.SYMMETRIC_TOTAL.value,
         write_ratio: float = 1.0,
+        keyspace: int | None = None,
     ) -> None:
         if not 0.0 <= write_ratio <= 1.0:
             raise ValueError(f"write_ratio must be in [0,1], got {write_ratio}")
@@ -77,6 +84,11 @@ class OrderingWorkload:
         self.message_size = message_size
         self.service = service
         self.write_ratio = write_ratio
+        self.keys: list[str] | None = None
+        if keyspace is not None:
+            from repro.shard.router import keyspace as make_keyspace
+
+            self.keys = make_keyspace(keyspace)
         self.recorder = LatencyRecorder()
         self.n_members = len(group.member_ids)
 
@@ -96,30 +108,42 @@ class OrderingWorkload:
                 # of k * write_ratio advances.
                 is_write = int((sends + 1) * self.write_ratio) > int(sends * self.write_ratio)
                 sends += 1
-                self.sim.schedule(at, self._send, key, member, round_no, body, is_write)
+                self.sim.schedule(at, self._send, key, index, member, round_no, body, is_write)
         self.sim.run(
             until=self.messages_per_member * self.interval + settle_ms,
             max_events=200_000_000,
         )
 
-    def _send(self, key, member: str, round_no: int, body: bytes, is_write: bool) -> None:
+    def _key_for(self, index: int, round_no: int) -> str:
+        """The key member ``index`` uses in ``round_no`` (round-robin
+        over the key set, offset per member)."""
+        assert self.keys is not None
+        return self.keys[(index * self.messages_per_member + round_no) % len(self.keys)]
+
+    def _send(
+        self, key, index: int, member: str, round_no: int, body: bytes, is_write: bool
+    ) -> None:
         self.recorder.sent(key, self.sim.now)
         service = self.service if is_write else ServiceType.RELIABLE.value
-        self.group.multicast(member, service, {"r": round_no, "s": member, "b": body})
+        value: dict = {"r": round_no, "s": member, "b": body}
+        if self.keys is not None:
+            value["k"] = self._key_for(index, round_no)
+        self.group.multicast(member, service, value)
+
+    def _recording_hook(self, member: str, previous):
+        def record(message):
+            value = message.value
+            if isinstance(value, dict) and "r" in value and "s" in value:
+                self.recorder.delivered((value["s"], value["r"]), member, message.delivered_at)
+            if previous is not None:
+                previous(message)
+
+        return record
 
     def _hook_deliveries(self) -> None:
         for member in self.group.member_ids:
             invocation = self._invocation_of(member)
-            previous = invocation.on_deliver
-
-            def record(message, member=member, previous=previous):
-                value = message.value
-                if isinstance(value, dict) and "r" in value and "s" in value:
-                    self.recorder.delivered((value["s"], value["r"]), member, message.delivered_at)
-                if previous is not None:
-                    previous(message)
-
-            invocation.on_deliver = record
+            invocation.on_deliver = self._recording_hook(member, invocation.on_deliver)
 
     def _invocation_of(self, member: str):
         if isinstance(self.group, ByzantineTolerantGroup):
@@ -152,6 +176,163 @@ class OrderingWorkload:
             network_bytes=self.group.network.stats.bytes_sent,
             fail_signals=self.fail_signal_count(),
         )
+
+
+class ShardedOrderingWorkload(OrderingWorkload):
+    """The keyed workload against a :class:`repro.shard.ShardedGroup`.
+
+    Every member streams shard-local keyed traffic exactly like the
+    base workload (the keys it draws are the ones its own shard owns,
+    so the schedule and payloads of a single-shard run match the
+    unsharded keyed run byte for byte).  A ``cross_shard_ratio``
+    fraction of writes instead become two-key operations spanning the
+    sender's shard and a rotating partner shard, submitted through the
+    cross-shard barrier.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        group,
+        messages_per_member: int = 20,
+        interval: float = 120.0,
+        message_size: int = 3,
+        service: str = ServiceType.SYMMETRIC_TOTAL.value,
+        write_ratio: float = 1.0,
+        keyspace: int = 64,
+        cross_shard_ratio: float = 0.0,
+    ) -> None:
+        super().__init__(
+            sim,
+            group,
+            messages_per_member=messages_per_member,
+            interval=interval,
+            message_size=message_size,
+            service=service,
+            write_ratio=write_ratio,
+            keyspace=keyspace,
+        )
+        if not 0.0 <= cross_shard_ratio <= 1.0:
+            raise ValueError(
+                f"cross_shard_ratio must be in [0,1], got {cross_shard_ratio}"
+            )
+        self.cross_shard_ratio = cross_shard_ratio
+        assert self.keys is not None
+        self._pools = {
+            shard: group.router.owned_keys(shard, self.keys)
+            for shard in range(group.shards)
+        }
+        empty = [shard for shard, pool in self._pools.items() if not pool]
+        if empty:
+            raise ValueError(
+                f"shards {empty} own no keys; grow the keyspace "
+                f"(currently {len(self.keys)} keys over {group.shards} shards)"
+            )
+        self._writes = 0
+        self._xs_count = 0
+        self._xs_keys: set = set()
+        self._home: dict = {}
+
+    # ------------------------------------------------------------------
+    def _key_for(self, index: int, round_no: int) -> str:
+        pool = self._pools[self.group.shard_of_member(self.group.member_ids[index])]
+        return pool[(index * self.messages_per_member + round_no) % len(pool)]
+
+    def _take_cross_shard(self) -> bool:
+        count = self._writes
+        self._writes += 1
+        ratio = self.cross_shard_ratio
+        return int((count + 1) * ratio) > int(count * ratio)
+
+    def _send(
+        self, key, index: int, member: str, round_no: int, body: bytes, is_write: bool
+    ) -> None:
+        home = self.group.shard_of_member(member)
+        if is_write and self._take_cross_shard() and self.group.shards > 1:
+            self._send_cross_shard(key, index, member, round_no, body, home)
+            return
+        self.recorder.sent(key, self.sim.now, expected=self.group.shard_size(home))
+        self._home[key] = home
+        service = self.service if is_write else ServiceType.RELIABLE.value
+        value = {"r": round_no, "s": member, "b": body, "k": self._key_for(index, round_no)}
+        self.group.multicast(member, service, value)
+
+    def _send_cross_shard(
+        self, key, index: int, member: str, round_no: int, body: bytes, home: int
+    ) -> None:
+        shards = self.group.shards
+        partner = (home + 1 + self._xs_count % (shards - 1)) % shards
+        self._xs_count += 1
+        own_key = self._key_for(index, round_no)
+        partner_pool = self._pools[partner]
+        partner_key = partner_pool[
+            (index * self.messages_per_member + round_no) % len(partner_pool)
+        ]
+        expected = self.group.shard_size(home) + self.group.shard_size(partner)
+        self.recorder.sent(key, self.sim.now, expected=expected)
+        self._home[key] = home
+        self._xs_keys.add(key)
+        value = {"r": round_no, "s": member, "b": body, "k": [own_key, partner_key]}
+        self.group.submit(member, value, (own_key, partner_key))
+
+    def _hook_deliveries(self) -> None:
+        # Record *released* deliveries: the holdback agents sit between
+        # the invocation layer and this hook, so cross-shard operations
+        # are timed at their barrier release.
+        for member in self.group.member_ids:
+            agent = self.group.agents[member]
+            agent.on_deliver = self._recording_hook(member, agent.on_deliver)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def fail_signal_count(self) -> int:
+        return sum(
+            shard_group.members[m].fs_process.signaled
+            for shard_group in self.group.shard_groups
+            for m in shard_group.member_ids
+        )
+
+    def shard_metrics(self) -> dict[str, float]:
+        """The shard-aware metrics of one run.
+
+        ``per_shard_throughput`` is the mean per-shard rate of fully
+        ordered *shard-local* messages over the run's span (aggregate
+        throughput divided by S when perfectly balanced);
+        ``load_imbalance`` is the hottest shard's ordered count over
+        the per-shard mean (1.0 = perfectly balanced).
+        """
+        shards = self.group.shards
+        recorder = self.recorder
+        span_s = 0.0
+        if recorder.first_send is not None and recorder.last_delivery is not None:
+            span_s = max(recorder.last_delivery - recorder.first_send, 0.0) / 1000.0
+        local_done = [0] * shards
+        for key in recorder.completed_keys(self.n_members):
+            if key not in self._xs_keys:
+                local_done[self._home[key]] += 1
+        total_local = sum(local_done)
+        per_shard = (total_local / shards) / span_s if span_s > 0 else 0.0
+        imbalance = (
+            max(local_done) / (total_local / shards) if total_local else 0.0
+        )
+        xs_latencies = [
+            latency
+            for latency in (
+                recorder.completion_of(key, self.n_members) for key in self._xs_keys
+            )
+            if latency is not None
+        ]
+        return {
+            "shards": float(shards),
+            "per_shard_throughput": per_shard,
+            "load_imbalance": imbalance,
+            "cross_shard_ops": float(len(self._xs_keys)),
+            "cross_shard_ordered": float(len(xs_latencies)),
+            "cross_shard_latency_mean_ms": (
+                sum(xs_latencies) / len(xs_latencies) if xs_latencies else 0.0
+            ),
+        }
 
 
 def run_ordering_experiment(

@@ -1,0 +1,128 @@
+"""Property-based round-trip tests of the canonical encoding.
+
+``canonical_encode`` has no production decoder (signatures only ever
+need the forward direction), so the round-trip partner lives here: a
+reference decoder for the tag format.  Hypothesis then checks the
+properties the signing stack relies on:
+
+* decode(encode(v)) == v -- the encoding loses nothing (so two values
+  with equal encodings are equal: injectivity);
+* the encoding is insensitive to dict insertion order (two replicas
+  marshalling the same mapping sign the same bytes);
+* encoding is pure -- repeated calls (cache hit path included) return
+  identical bytes.
+"""
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.crypto.canonical import canonical_encode
+
+
+# ----------------------------------------------------------------------
+# reference decoder (test-only inverse of the tag format)
+# ----------------------------------------------------------------------
+def _take_length(data: bytes, at: int) -> tuple[int, int]:
+    return struct.unpack_from(">I", data, at)[0], at + 4
+
+
+def _decode(data: bytes, at: int):
+    tag = data[at : at + 1]
+    at += 1
+    if tag == b"N":
+        return None, at
+    if tag == b"T":
+        return True, at
+    if tag == b"F":
+        return False, at
+    if tag == b"I":
+        length, at = _take_length(data, at)
+        return int(data[at : at + length].decode("ascii")), at + length
+    if tag == b"D":
+        return struct.unpack_from(">d", data, at)[0], at + 8
+    if tag == b"S":
+        length, at = _take_length(data, at)
+        return data[at : at + length].decode("utf-8"), at + length
+    if tag == b"B":
+        length, at = _take_length(data, at)
+        return bytes(data[at : at + length]), at + length
+    if tag in (b"L", b"U"):
+        count, at = _take_length(data, at)
+        items = []
+        for __ in range(count):
+            item, at = _decode(data, at)
+            items.append(item)
+        return (items if tag == b"L" else tuple(items)), at
+    if tag == b"M":
+        count, at = _take_length(data, at)
+        mapping = {}
+        for __ in range(count):
+            key, at = _decode(data, at)
+            value, at = _decode(data, at)
+            mapping[key] = value
+        return mapping, at
+    raise AssertionError(f"unexpected tag {tag!r} at offset {at - 1}")
+
+
+def canonical_decode(data: bytes):
+    value, end = _decode(data, 0)
+    assert end == len(data), "trailing bytes after a complete value"
+    return value
+
+
+# ----------------------------------------------------------------------
+# value strategy: everything the wire format round-trips exactly
+# ----------------------------------------------------------------------
+SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False),  # NaN != NaN would break the equality check
+    st.text(max_size=24),
+    st.binary(max_size=24),
+)
+
+VALUES = st.recursive(
+    SCALARS,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(value=VALUES)
+@settings(max_examples=120, deadline=None)
+def test_encode_decode_round_trip(value):
+    assert canonical_decode(canonical_encode(value)) == value
+
+
+@given(value=VALUES)
+@settings(max_examples=60, deadline=None)
+def test_encoding_is_pure(value):
+    first = canonical_encode(value)
+    perf.clear_caches()
+    assert canonical_encode(value) == first
+
+
+@given(mapping=st.dictionaries(st.text(max_size=8), SCALARS, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_dict_insertion_order_is_canonicalised(mapping):
+    reversed_insertion = dict(reversed(list(mapping.items())))
+    assert canonical_encode(mapping) == canonical_encode(reversed_insertion)
+
+
+@given(
+    left=st.integers(min_value=-1000, max_value=1000),
+    right=st.integers(min_value=-1000, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_distinct_ints_encode_distinctly(left, right):
+    # The memoised small-int path must never alias two values.
+    if left != right:
+        assert canonical_encode(left) != canonical_encode(right)

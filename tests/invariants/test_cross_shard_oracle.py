@@ -1,0 +1,218 @@
+"""The cross-shard oracle: unit checks plus full-stack negative controls.
+
+The oracle must stay green on every healthy sharded run (and stay
+vacuous on unsharded runs), and it must flag the two ways a sharded
+deployment can lie about order: a coordinator equivocating on final
+sequence numbers (``shard_reorder``), and a shard whose local order is
+tainted by an unquarantined equivocation.
+"""
+
+from repro.adversary.spec import AdversarySpec
+from repro.core.fso import Fso
+from repro.experiments import ScenarioSpec, ShardSpec, audit_scenario
+from repro.invariants import AuditConfig, InvariantMonitor, PairTopology, Topology
+from repro.sim import Simulator
+from repro.sim.trace import TraceRecord
+
+SHARDED_SPEC = ScenarioSpec(
+    system="fs-newtop",
+    n_members=4,
+    messages_per_member=6,
+    interval=50.0,
+    seed=1,
+    settle_ms=15_000.0,
+    shard=ShardSpec(shards=2, cross_shard_ratio=0.25, keyspace=32),
+)
+
+
+def _verdict(report, oracle="cross-shard-order"):
+    return next(v for v in report.verdicts if v.oracle == oracle)
+
+
+# ----------------------------------------------------------------------
+# full-stack behaviour
+# ----------------------------------------------------------------------
+def test_clean_sharded_run_passes_all_seven_oracles():
+    run = audit_scenario(SHARDED_SPEC, scenario="xs/clean")
+    assert run.report.ok, run.report.render()
+    assert len(run.report.verdicts) == 7
+    verdict = _verdict(run.report)
+    assert verdict.checked > 0  # it really audited cross-shard traffic
+
+
+def test_unsharded_run_keeps_the_oracle_vacuously_green():
+    run = audit_scenario(
+        SHARDED_SPEC.replace(shard=None), scenario="xs/unsharded"
+    )
+    assert run.report.ok, run.report.render()
+    verdict = _verdict(run.report)
+    assert verdict.checked == 0 and not verdict.violations
+
+
+def test_shard_reorder_adversary_is_flagged():
+    """Negative control 1: a coordinator equivocating on sequence
+    numbers (injected via repro.adversary) breaks the global order."""
+    spec = SHARDED_SPEC.replace(
+        adversaries=(AdversarySpec(kind="shard_reorder", at=0.0),)
+    )
+    run = audit_scenario(spec, scenario="xs/reorder")
+    assert not run.report.ok
+    verdict = _verdict(run.report)
+    assert verdict.violations
+    messages = " ".join(v.message for v in verdict.violations)
+    assert "committed at" in messages  # the sequence-agreement check fired
+
+
+def test_unquarantined_shard_equivocation_is_flagged(monkeypatch):
+    """Negative control 2: a shard-local equivocation (injected via
+    repro.adversary) whose fail-signal never fires taints the shard."""
+    monkeypatch.setattr(Fso, "_start_signaling", lambda self, reason: None)
+    spec = SHARDED_SPEC.replace(
+        adversaries=(AdversarySpec(kind="equivocate", at=100.0, member=0),),
+        collapsed=False,
+    )
+    run = audit_scenario(spec, scenario="xs/equivocate")
+    assert not run.report.ok
+    verdict = _verdict(run.report)
+    messages = " ".join(v.message for v in verdict.violations)
+    assert "shard-local equivocation" in messages
+
+
+def test_quarantined_shard_equivocation_passes():
+    """The same attack with detection intact: the pair fail-signals,
+    the shard's order is quarantined, the oracle stays green."""
+    spec = SHARDED_SPEC.replace(
+        adversaries=(AdversarySpec(kind="equivocate", at=100.0, member=0),),
+        collapsed=False,
+    )
+    run = audit_scenario(spec, scenario="xs/equivocate-detected")
+    assert run.report.ok, run.report.render()
+    assert run.result.metrics["fail_signals"] >= 1.0
+
+
+# ----------------------------------------------------------------------
+# unit checks over synthetic traces
+# ----------------------------------------------------------------------
+TOPOLOGY = Topology(
+    system="fs-newtop",
+    members=("s0-member-0", "s0-member-1", "s1-member-0", "s1-member-1"),
+    pairs=(
+        PairTopology("s0-member-0.gc", "s0-member-0", "s0-member-0", "s0-member-0-b"),
+        PairTopology("s0-member-1.gc", "s0-member-1", "s0-member-1", "s0-member-1-b"),
+        PairTopology("s1-member-0.gc", "s1-member-0", "s1-member-0", "s1-member-0-b"),
+        PairTopology("s1-member-1.gc", "s1-member-1", "s1-member-1", "s1-member-1-b"),
+    ),
+    shards=(("s0-member-0", "s0-member-1"), ("s1-member-0", "s1-member-1")),
+)
+
+ALL_MEMBERS = TOPOLOGY.members
+
+
+class Harness:
+    def __init__(self):
+        self.sim = Simulator(seed=7)
+        self.monitor = InvariantMonitor(self.sim, TOPOLOGY, config=AuditConfig())
+
+    def feed(self, time, category, source, event, **details):
+        self.monitor._observe(
+            TraceRecord(
+                time=time,
+                category=category,
+                source=source,
+                event=event,
+                details=tuple(sorted(details.items())),
+            )
+        )
+
+    def submit(self, t, op, shards=(0, 1)):
+        self.feed(t, "shard", "router", "submit", op=op, shards=list(shards))
+
+    def commit(self, t, op, seq):
+        self.feed(t, "shard", "router", "commit", op=op, seq=seq)
+
+    def release(self, t, member, op, seq):
+        shard = TOPOLOGY.shard_of_member(member)
+        self.feed(t, "shard", f"{member}.agent", "release", op=op, seq=seq, shard=shard)
+
+    def release_everywhere(self, t, op, seq):
+        for member in ALL_MEMBERS:
+            self.release(t, member, op, seq)
+
+    def verdict(self):
+        report = self.monitor.finish()
+        return next(v for v in report.verdicts if v.oracle == "cross-shard-order")
+
+
+def test_unit_clean_protocol_run_passes():
+    h = Harness()
+    h.submit(1.0, "x1")
+    h.commit(2.0, "x1", 1)
+    h.release_everywhere(3.0, "x1", 1)
+    h.submit(4.0, "x2")
+    h.commit(5.0, "x2", 2)
+    h.release_everywhere(6.0, "x2", 2)
+    verdict = h.verdict()
+    assert not verdict.violations and verdict.checked > 0
+
+
+def test_unit_out_of_order_release_is_flagged():
+    h = Harness()
+    for op, seq in (("x1", 1), ("x2", 2)):
+        h.submit(1.0, op)
+        h.commit(2.0, op, seq)
+    for member in ALL_MEMBERS[1:]:
+        h.release(3.0, member, "x1", 1)
+        h.release(3.5, member, "x2", 2)
+    h.release(3.0, ALL_MEMBERS[0], "x2", 2)  # inverted at one member
+    h.release(3.5, ALL_MEMBERS[0], "x1", 1)
+    verdict = h.verdict()
+    assert any("order violated" in v.message for v in verdict.violations)
+
+
+def test_unit_conflicting_sequences_are_flagged():
+    h = Harness()
+    h.submit(1.0, "x1")
+    h.commit(2.0, "x1", 5)
+    for member in TOPOLOGY.shards[0]:
+        h.release(3.0, member, "x1", 5)
+    for member in TOPOLOGY.shards[1]:
+        h.release(3.0, member, "x1", 9)  # told a different final seq
+    verdict = h.verdict()
+    assert any("committed at" in v.message for v in verdict.violations)
+
+
+def test_unit_release_without_commit_is_flagged():
+    h = Harness()
+    h.release(1.0, ALL_MEMBERS[0], "ghost", 1)
+    verdict = h.verdict()
+    assert any("never submitted" in v.message for v in verdict.violations)
+
+
+def test_unit_partial_release_is_incomplete():
+    h = Harness()
+    h.submit(1.0, "x1")
+    h.commit(2.0, "x1", 1)
+    for member in ALL_MEMBERS[:-1]:
+        h.release(3.0, member, "x1", 1)
+    verdict = h.verdict()
+    assert any("never released at" in v.message for v in verdict.violations)
+
+
+def test_unit_double_release_is_flagged():
+    h = Harness()
+    h.submit(1.0, "x1")
+    h.commit(2.0, "x1", 1)
+    h.release_everywhere(3.0, "x1", 1)
+    h.release(4.0, ALL_MEMBERS[0], "x1", 1)
+    verdict = h.verdict()
+    assert any("twice" in v.message for v in verdict.violations)
+
+
+def test_unit_wrong_shard_release_is_flagged():
+    h = Harness()
+    h.submit(1.0, "x1", shards=(0,))
+    # Force a commit record so only the routing check can fire.
+    h.commit(2.0, "x1", 1)
+    h.release(3.0, "s1-member-0", "x1", 1)
+    verdict = h.verdict()
+    assert any("only involves shards" in v.message for v in verdict.violations)

@@ -1,0 +1,107 @@
+"""Differential tests: the sharded path against its controls.
+
+The load-bearing guarantee is that sharding is *pay-for-what-you-use*:
+
+* a single-shard (S=1) deployment is byte-identical -- same trace
+  fingerprint, same ordered output -- to the plain keyed workload on
+  an unsharded group;
+* a spec without a ShardSpec never touches the shard machinery at all
+  (covered by the whole pre-existing suite staying green).
+"""
+
+from repro.experiments.runner import build_ordering_group
+from repro.experiments.spec import ScenarioSpec, ShardSpec
+from repro.perf import clear_caches
+from repro.shard.group import build_sharded_group
+from repro.sim.scheduler import Simulator
+from repro.workloads.ordering import OrderingWorkload, ShardedOrderingWorkload
+
+SPEC = ScenarioSpec(
+    system="fs-newtop",
+    n_members=4,
+    messages_per_member=5,
+    interval=80.0,
+    seed=3,
+    settle_ms=10_000.0,
+)
+KEYSPACE = 32
+
+
+def _ordered_output(group, member_ids):
+    return {
+        member: [
+            (message.value["s"], message.value["r"], message.value.get("k"))
+            for message in group.deliveries(member)
+        ]
+        for member in member_ids
+    }
+
+
+def _run_unsharded_keyed():
+    sim = Simulator(seed=SPEC.seed)
+    group = build_ordering_group(sim, SPEC)
+    workload = OrderingWorkload(
+        sim,
+        group,
+        messages_per_member=SPEC.messages_per_member,
+        interval=SPEC.interval,
+        message_size=SPEC.message_size,
+        keyspace=KEYSPACE,
+    )
+    workload.run(settle_ms=SPEC.settle_ms)
+    clear_caches()
+    return sim.trace.fingerprint(), _ordered_output(group, group.member_ids), workload
+
+
+def _run_sharded(shards: int):
+    sim = Simulator(seed=SPEC.seed)
+    spec = SPEC.replace(shard=ShardSpec(shards=shards, keyspace=KEYSPACE))
+    group = build_sharded_group(sim, spec)
+    workload = ShardedOrderingWorkload(
+        sim,
+        group,
+        messages_per_member=SPEC.messages_per_member,
+        interval=SPEC.interval,
+        message_size=SPEC.message_size,
+        keyspace=KEYSPACE,
+    )
+    workload.run(settle_ms=SPEC.settle_ms)
+    clear_caches()
+    return sim.trace.fingerprint(), _ordered_output(group, group.member_ids), workload
+
+
+def test_single_shard_trace_is_byte_identical_to_unsharded():
+    unsharded_print, unsharded_out, __ = _run_unsharded_keyed()
+    sharded_print, sharded_out, __ = _run_sharded(shards=1)
+    assert sharded_print == unsharded_print
+    assert sharded_out == unsharded_out
+
+
+def test_single_shard_metrics_match_unsharded():
+    __, __, unsharded = _run_unsharded_keyed()
+    __, __, sharded = _run_sharded(shards=1)
+    base = unsharded.result("fs-newtop")
+    one = sharded.result("fs-newtop")
+    assert one.throughput_msgs_per_s == base.throughput_msgs_per_s
+    assert one.latency.mean == base.latency.mean
+    assert one.network_messages == base.network_messages
+    assert one.network_bytes == base.network_bytes
+
+
+def test_two_shards_order_the_same_keyed_load_per_shard():
+    """Same total keyed load at S=2: every message fully ordered inside
+    its shard, with per-shard prefix agreement."""
+    __, out, workload = _run_sharded(shards=2)
+    group = workload.group
+    assert workload.recorder.fully_delivered(workload.n_members) == (
+        SPEC.n_members * SPEC.messages_per_member
+    )
+    for shard_group in group.shard_groups:
+        sequences = [out[m] for m in shard_group.member_ids]
+        assert all(seq == sequences[0] for seq in sequences[1:])
+
+
+def test_sharded_run_is_seed_deterministic():
+    first = _run_sharded(shards=2)[0]
+    second = _run_sharded(shards=2)[0]
+    assert first == second

@@ -1,0 +1,63 @@
+"""Property-based tests of the shard router.
+
+The property that makes rendezvous hashing the right router is
+*stability under membership churn*: re-sizing the shard set must move
+only the keys it has to.  Hypothesis drives arbitrary keys and shard
+counts through the mapping; a mod-S router fails these immediately.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.router import ShardRouter, keyspace
+
+KEYS = st.text(min_size=0, max_size=40)
+SHARDS = st.integers(min_value=1, max_value=9)
+
+
+@given(key=KEYS, shards=SHARDS)
+@settings(max_examples=60, deadline=None)
+def test_mapping_is_deterministic_and_in_range(key, shards):
+    router = ShardRouter(shards)
+    owner = router.shard_of(key)
+    assert 0 <= owner < shards
+    # Same answer from a fresh router (no per-instance state involved).
+    assert ShardRouter(shards).shard_of(key) == owner
+
+
+@given(key=KEYS, shards=SHARDS)
+@settings(max_examples=60, deadline=None)
+def test_growing_the_shard_set_only_moves_keys_to_the_new_shard(key, shards):
+    before = ShardRouter(shards).shard_of(key)
+    after = ShardRouter(shards + 1).shard_of(key)
+    assert after == before or after == shards
+
+
+@given(key=KEYS, shards=st.integers(min_value=2, max_value=9))
+@settings(max_examples=60, deadline=None)
+def test_shrinking_only_remaps_the_removed_shards_keys(key, shards):
+    before = ShardRouter(shards).shard_of(key)
+    after = ShardRouter(shards - 1).shard_of(key)
+    if before != shards - 1:  # key did not live on the removed shard
+        assert after == before
+
+
+@given(shards=st.integers(min_value=2, max_value=8))
+@settings(max_examples=20, deadline=None)
+def test_owned_keys_partition_the_keyspace(shards):
+    keys = keyspace(256)
+    router = ShardRouter(shards)
+    pools = [router.owned_keys(shard, keys) for shard in range(shards)]
+    flattened = [key for pool in pools for key in pool]
+    assert sorted(flattened) == sorted(keys)  # disjoint and complete
+    # The scenario keyspaces rely on every shard owning something.
+    assert all(pools), [len(pool) for pool in pools]
+
+
+@given(keys=st.lists(KEYS, max_size=12), shards=SHARDS)
+@settings(max_examples=60, deadline=None)
+def test_shards_of_is_the_sorted_owner_set(keys, shards):
+    router = ShardRouter(shards)
+    involved = router.shards_of(keys)
+    assert list(involved) == sorted(set(involved))
+    assert set(involved) == {router.shard_of(key) for key in keys}

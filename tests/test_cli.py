@@ -79,6 +79,29 @@ def test_run_subcommand_unknown_scenario(capsys):
     assert "fig99_warp" in capsys.readouterr().out
 
 
+def test_list_family_filters_the_catalogue(capsys):
+    assert main(["list", "--family", "scale_shard"]) == 0
+    out = capsys.readouterr().out
+    assert "scale_shard_ab" in out
+    assert "scale_shard_xratio" in out
+    assert "fig6_latency" not in out
+    assert "scale_batch_ab" not in out  # prefix match, not family match
+
+
+def test_list_family_accepts_family_keys(capsys):
+    assert main(["list", "--family", "fig"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6_latency" in out
+    assert "adv_equivocation" not in out
+
+
+def test_list_unknown_family_exits_nonzero(capsys):
+    assert main(["list", "--family", "warp9"]) == 2
+    out = capsys.readouterr().out
+    assert "no scenarios in family 'warp9'" in out
+    assert "known families" in out
+
+
 def test_run_subcommand_prints_tables(capsys):
     code = main(["run", "--scenario", "partition_heal"])
     assert code == 0
@@ -116,6 +139,61 @@ def test_campaign_and_report_roundtrip(tmp_path, capsys):
 
 def test_report_missing_file(tmp_path, capsys):
     assert main(["report", "--results", str(tmp_path / "nope.jsonl")]) == 2
+
+
+# ----------------------------------------------------------------------
+# sharded runs: repro run --shards and the report's shard columns
+# ----------------------------------------------------------------------
+def test_run_sharded_scenario_prints_shard_tables(capsys):
+    assert main(["run", "--scenario", "scale_shard_smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "per_shard_throughput" in out
+    assert "cross_shard_latency_mean_ms" in out
+    assert "load_imbalance" in out
+    assert "sharding:" in out
+
+
+def test_run_shards_override(capsys):
+    code = main(["run", "--scenario", "scale_shard_smoke", "--shards", "4",
+                 "--cross-shard-ratio", "0.25"])
+    assert code == 0
+    assert "up to S=4" in capsys.readouterr().out
+
+
+def test_run_shards_rejects_indivisible_group(capsys):
+    assert main(["run", "--scenario", "scale_shard_smoke", "--shards", "3"]) == 2
+    assert "not divisible" in capsys.readouterr().out
+
+
+def test_run_shards_rejects_non_fs_systems(capsys):
+    assert main(["run", "--scenario", "fig6_latency", "--shards", "2"]) == 2
+    assert "--systems fs-newtop" in capsys.readouterr().out
+
+
+def test_run_cross_shard_ratio_needs_shards(capsys):
+    code = main(["run", "--scenario", "scale_shard_smoke",
+                 "--cross-shard-ratio", "0.5"])
+    assert code == 2
+    assert "--cross-shard-ratio needs --shards" in capsys.readouterr().out
+
+
+def test_sharded_campaign_report_shows_shard_columns(tmp_path, capsys):
+    out_path = tmp_path / "shard.jsonl"
+    assert main(["campaign", "--scenario", "scale_shard_smoke",
+                 "--out", str(out_path)]) == 0
+    capsys.readouterr()
+    assert main(["report", "--results", str(out_path)]) == 0
+    report_out = capsys.readouterr().out
+    assert "per_shard_throughput" in report_out
+    assert "load_imbalance" in report_out
+    assert "sharding:" in report_out
+
+
+def test_audit_sharded_scenario_passes(capsys):
+    assert main(["audit", "--scenario", "scale_shard_smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "cross-shard-order" in out
+    assert "verdict: PASS" in out
 
 
 # ----------------------------------------------------------------------
