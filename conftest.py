@@ -21,6 +21,12 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running benchmark; skipped unless --runslow is given"
     )
+    config.addinivalue_line(
+        "markers",
+        "realtime: drives the wall-clock asyncio transport and sleeps real "
+        "time; the whole subset stays under ~10s (deselect with -m 'not "
+        "realtime')",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

@@ -24,7 +24,8 @@ from repro.adversary.spec import (
 from repro.core.fso import FsoRole
 from repro.fsnewtop.system import ByzantineTolerantGroup
 from repro.shard.group import ShardedGroup
-from repro.sim.scheduler import Simulator
+if typing.TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 class AdversaryWiringError(ValueError):
@@ -36,7 +37,7 @@ class AdversaryEngine:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         group: typing.Any,
         adversaries: typing.Sequence[AdversarySpec],
     ) -> None:

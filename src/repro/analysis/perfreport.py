@@ -189,7 +189,7 @@ def _run_mini(spec: ScenarioSpec) -> int:
     from repro.experiments.runner import _run_ordering
 
     perf.clear_caches()
-    workload, _monitor = _run_ordering(spec)
+    workload, _monitor, _transport = _run_ordering(spec)
     return workload.sim.events_processed
 
 

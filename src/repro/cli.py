@@ -149,6 +149,7 @@ def build_command_parser() -> argparse.ArgumentParser:
         help="with --shards: fraction of writes spanning two shards "
         "(default: the scenario's, else 0)",
     )
+    _add_transport_arguments(run)
 
     campaign = sub.add_parser(
         "campaign", help="run a scenario's grid with repeats, in parallel, to JSONL"
@@ -234,7 +235,36 @@ def build_command_parser() -> argparse.ArgumentParser:
         default=5000.0,
         help="detection deadline after first manifestation, ms (default 5000)",
     )
+    _add_transport_arguments(audit)
     return parser
+
+
+def _add_transport_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--transport`` overlay flags (run and audit)."""
+    parser.add_argument(
+        "--transport",
+        choices=("sim", "asyncio"),
+        help="clock backend: 'sim' (default, discrete-event) or 'asyncio' "
+        "(wall clock with host-calibrated deadlines)",
+    )
+    parser.add_argument(
+        "--tcp",
+        action="store_true",
+        help="with --transport asyncio: carry messages over localhost TCP "
+        "frames instead of in-process queues",
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        help="with --transport asyncio: wall seconds per virtual second "
+        "(0.5 = run the virtual timeline at double wall speed)",
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="with --transport asyncio: skip host calibration and keep the "
+        "spec's cost-model deadlines",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -525,6 +555,48 @@ def _apply_shard_override(scenario, systems, args):
     return _dataclasses.replace(scenario, base=base)
 
 
+def _parse_transport_override(args):
+    """The ``--transport`` overlay: build the TransportSpec the flags
+    describe.  Returns ``(ok, spec_or_None)``; prints an error and
+    returns ``(False, None)`` on a bad combination."""
+    from repro.experiments.spec import TransportSpec
+
+    if args.transport is None:
+        if args.tcp or args.time_scale is not None or args.no_calibrate:
+            print("error: --tcp/--time-scale/--no-calibrate need --transport asyncio")
+            return False, None
+        return True, None
+    try:
+        spec = TransportSpec(
+            kind=args.transport,
+            tcp=args.tcp,
+            time_scale=args.time_scale if args.time_scale is not None else 1.0,
+            calibrate=not args.no_calibrate,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return False, None
+    return True, spec
+
+
+def _apply_transport_override(scenario, systems, transport):
+    """Pin every grid cell of a scenario to a TransportSpec.  The live
+    backends only drive the ordering systems, so a scenario that also
+    runs pbft needs a ``--systems`` subset first."""
+    import dataclasses as _dataclasses
+
+    chosen = systems if systems else scenario.systems
+    if transport.live and "pbft" in chosen:
+        print(
+            "error: --transport asyncio cannot drive pbft; drop it with "
+            "--systems (e.g. --systems fs-newtop)"
+        )
+        return None
+    return _dataclasses.replace(
+        scenario, base=scenario.base.replace(transport=transport)
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import Campaign
 
@@ -539,6 +611,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.cross_shard_ratio is not None:
         print("error: --cross-shard-ratio needs --shards")
         return 2
+    ok, transport = _parse_transport_override(args)
+    if not ok:
+        return 2
+    if transport is not None:
+        scenario = _apply_transport_override(scenario, systems, transport)
+        if scenario is None:
+            return 2
     campaign = Campaign(scenario, repeats=1, base_seed=args.seed, systems=systems)
     try:
         records = campaign.execute(jobs=args.jobs)
@@ -650,6 +729,9 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: bad adversary override: {exc}")
             return 2
+    ok, transport = _parse_transport_override(args)
+    if not ok:
+        return 2
     config = AuditConfig(detection_deadline_ms=args.deadline)
 
     failures = 0
@@ -675,6 +757,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                 )
                 return 2
             spec = spec.replace(adversaries=spec.adversaries + (overlay,))
+        if transport is not None:
+            spec = spec.replace(transport=transport)
         spec = spec.replace(seed=spec.seed + args.seed)
         try:
             run = audit_scenario(spec, config=config, scenario=scenario.name)

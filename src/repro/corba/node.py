@@ -11,7 +11,10 @@ from repro.corba.orb import ObjectRef, Orb, Servant
 from repro.crypto.costmodel import CryptoCostModel
 from repro.net.network import Network
 from repro.sim.resources import CpuResource, ThreadPool
-from repro.sim.scheduler import Simulator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 class Node:
@@ -19,7 +22,7 @@ class Node:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         name: str,
         network: Network,
         cores: int = 2,

@@ -17,7 +17,8 @@ from repro.corba.interceptors import ClientInterceptor, ServerInterceptor
 from repro.net.message import HEADER_BYTES, wire_size
 from repro.net.network import Network
 from repro.sim.resources import CpuResource, ThreadPool
-from repro.sim.scheduler import Simulator
+if typing.TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -119,7 +120,7 @@ class Orb:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         address: str,
         network: Network,
         cpu: CpuResource,

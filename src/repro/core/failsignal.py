@@ -12,7 +12,10 @@ from repro.core.messages import FailSignal, FsInput, FsRegistry
 from repro.core.routes import FsRouteTable
 from repro.crypto.keystore import KeyStore
 from repro.net.links import SynchronousLink
-from repro.sim.scheduler import Simulator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 def _capture_interceptor_for(node: Node) -> FsCaptureInterceptor:
@@ -39,7 +42,7 @@ class FsProcess:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         fs_id: str,
         leader: Fso,
         follower: Fso,
@@ -91,7 +94,7 @@ class FsProcess:
 
 
 def make_fail_signal(
-    sim: Simulator,
+    sim: Clock,
     fs_id: str,
     leader_node: Node,
     follower_node: Node,

@@ -79,7 +79,8 @@ from repro.crypto.signing import DoubleSigned, Signed, Signer
 from repro.net.links import SynchronousLink
 from repro.net.message import Envelope
 from repro.sim.process import Process
-from repro.sim.scheduler import Simulator
+if typing.TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 class FsoRole(enum.Enum):
@@ -132,7 +133,7 @@ class Fso(Process, Servant):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         node: Node,
         fs_id: str,
         role: FsoRole,

@@ -18,7 +18,10 @@ from repro.core.messages import FsRegistry
 from repro.core.routes import FsRouteTable
 from repro.crypto.keystore import KeyStore
 from repro.crypto.signing import HmacScheme, SignatureScheme
-from repro.sim.scheduler import Simulator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 class FsEnvironment:
@@ -26,7 +29,7 @@ class FsEnvironment:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         scheme: SignatureScheme | None = None,
         config: FsoConfig | None = None,
     ) -> None:

@@ -44,6 +44,7 @@ from repro.net.network import Network
 from repro.newtop.system import CrashTolerantGroup
 from repro.shard.group import ShardedGroup, build_sharded_group
 from repro.sim.scheduler import Simulator
+from repro.transport import CalibrationResult, Clock, Transport, build_transport, calibrate
 from repro.workloads.ordering import (
     ExperimentResult,
     OrderingWorkload,
@@ -130,16 +131,44 @@ def _apply_fault(group: AnyGroup, event) -> None:
         raise ValueError(f"unknown fault kind {event.kind!r}")
 
 
-def _schedule_faults(sim: Simulator, group: AnyGroup, spec: ScenarioSpec) -> None:
+def _schedule_faults(sim, group: AnyGroup, spec: ScenarioSpec) -> None:
     for event in spec.faults:
         sim.schedule(event.at, _apply_fault, group, event)
+
+
+# ----------------------------------------------------------------------
+# transports & calibration
+# ----------------------------------------------------------------------
+def live_overrides(
+    spec: ScenarioSpec, calibration: CalibrationResult | None
+) -> dict[str, typing.Any]:
+    """Group-constructor overrides a calibrated live run applies.
+
+    The measured cost model replaces the simulator's defaults so charged
+    service times track real crypto time, and the calibrated delta
+    replaces the cost-model deadline base (batch shape is preserved).
+    fs-newtop only -- the other systems sign nothing.
+    """
+    if calibration is None or spec.system != "fs-newtop":
+        return {}
+    base = FsoConfig()
+    if spec.batching is not None:
+        base = FsoConfig(
+            batch_max=spec.batching.max_batch,
+            batch_delay_ms=spec.batching.max_delay_ms,
+            batch_inflight=spec.batching.max_inflight,
+        )
+    return {
+        "crypto_costs": calibration.crypto_cost_model(),
+        "fso_config": calibration.fso_config(base),
+    }
 
 
 # ----------------------------------------------------------------------
 # ordering systems (newtop / fs-newtop)
 # ----------------------------------------------------------------------
 def build_ordering_group(
-    sim: Simulator, spec: ScenarioSpec, **overrides: typing.Any
+    sim: Clock, spec: ScenarioSpec, **overrides: typing.Any
 ) -> AnyGroup:
     """Construct the group a spec describes (``newtop``/``fs-newtop``).
 
@@ -181,29 +210,51 @@ def _run_ordering(
     monitor_config: AuditConfig | None = None,
     scenario: str | None = None,
     **system_kwargs: typing.Any,
-) -> tuple[OrderingWorkload, InvariantMonitor | None]:
+) -> tuple[OrderingWorkload, InvariantMonitor | None, Transport]:
     """Build and run an ordering spec.
 
     With ``monitor_config`` set this becomes an *audit* run: the trace
     recorder stays live (listeners only -- nothing is stored) and an
     :class:`InvariantMonitor` rides along; call ``monitor.finish()``
     after the run for the report.  Measurement runs keep tracing off.
+
+    The spec's :class:`~repro.experiments.spec.TransportSpec` picks the
+    clock: the default simulator path is construction-for-construction
+    identical to building the :class:`Simulator` directly, while a live
+    transport supplies the network(s), wall-clock timers and (when
+    enabled) the host-calibrated deadlines.
     """
-    sim = Simulator(seed=spec.seed)
+    transport = build_transport(spec.transport, seed=spec.seed)
+    sim = transport.clock
+    live = spec.transport is not None and spec.transport.live
     monitor = None
     if monitor_config is None:
         sim.trace.enabled = False  # measurement runs do not pay for tracing
     else:
         sim.trace.store = False  # oracles listen; nothing is stored
+    calibration = None
+    if live and spec.transport.calibrate:
+        calibration = calibrate(tcp=spec.transport.tcp)
+    overrides = dict(live_overrides(spec, calibration))
     if spec.shard is not None:
         if system_kwargs:
             raise ValueError(
                 "system overrides are not supported on sharded specs "
                 f"(got {sorted(system_kwargs)})"
             )
-        group: AnyGroup = build_sharded_group(sim, spec)
+        group: AnyGroup = build_sharded_group(
+            sim,
+            spec,
+            transport=transport if live else None,
+            overrides=overrides or None,
+        )
     else:
-        group = build_ordering_group(sim, spec, **system_kwargs)
+        if live:
+            overrides["network"] = transport.make_network(
+                default_delay=spec.delay.build()
+            )
+        overrides.update(system_kwargs)
+        group = build_ordering_group(sim, spec, **overrides)
     if monitor_config is not None:
         monitor = InvariantMonitor(
             sim, topology_of(group), config=monitor_config, scenario=scenario
@@ -233,13 +284,34 @@ def _run_ordering(
     _schedule_faults(sim, group, spec)
     if spec.adversaries:
         AdversaryEngine(sim, group, spec.adversaries).install()
-    with gc_paused():  # host-time only; see repro.perf
-        workload.run(settle_ms=spec.settle_ms)
-        # Entries keyed to this run's (now dead) messages would only
-        # cause eviction churn in the next run and inflate the final
-        # collection; dropping them inside the pause frees by refcount.
-        clear_caches()
-    return workload, monitor
+    transport.calibration = calibration  # type: ignore[attr-defined]
+    try:
+        with gc_paused():  # host-time only; see repro.perf
+            workload.run(settle_ms=spec.settle_ms)
+            # Entries keyed to this run's (now dead) messages would only
+            # cause eviction churn in the next run and inflate the final
+            # collection; dropping them inside the pause frees by refcount.
+            clear_caches()
+    finally:
+        transport.close()
+    return workload, monitor, transport
+
+
+def transport_metrics(transport: Transport) -> dict[str, float]:
+    """Wall-clock observations of a live run, flattened for the report.
+
+    Empty for the simulator.  ``deadline_margin_ms`` is how much of the
+    (calibrated) delta bound the worst observed timer slack left unused
+    -- the headroom between this run and a spurious fail-signal.
+    """
+    metrics = dict(transport.wall_metrics())
+    if not metrics:
+        return metrics
+    calibration = getattr(transport, "calibration", None)
+    delta = calibration.delta_ms if calibration is not None else FsoConfig().delta
+    metrics["calibrated_delta_ms"] = delta
+    metrics["deadline_margin_ms"] = delta - metrics.get("timer_slack_max_ms", 0.0)
+    return metrics
 
 
 def run_ordering_spec(
@@ -247,7 +319,7 @@ def run_ordering_spec(
 ) -> ExperimentResult:
     """Run an ordering spec and return the rich per-run result (the
     interface :func:`repro.workloads.run_ordering_experiment` wraps)."""
-    workload, _monitor = _run_ordering(spec, **system_kwargs)
+    workload, _monitor, _transport = _run_ordering(spec, **system_kwargs)
     return workload.result(spec.system)
 
 
@@ -438,9 +510,11 @@ def run_scenario(spec: ScenarioSpec) -> RunResult:
     """Execute one spec and return its flattened metrics."""
     if spec.system == "pbft":
         return RunResult(spec=spec, metrics=_run_pbft(spec))
-    workload, _monitor = _run_ordering(spec)
+    workload, _monitor, transport = _run_ordering(spec)
     result = workload.result(spec.system)
-    return RunResult(spec=spec, metrics=_ordering_metrics(workload, result))
+    metrics = _ordering_metrics(workload, result)
+    metrics.update(transport_metrics(transport))
+    return RunResult(spec=spec, metrics=metrics)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -471,12 +545,14 @@ def audit_scenario(
     if spec.system == "pbft":
         raise ValueError("audit runs need an ordering system (newtop / fs-newtop)")
     audit_config = config if config is not None else AuditConfig()
-    workload, monitor = _run_ordering(
+    workload, monitor, transport = _run_ordering(
         spec, monitor_config=audit_config, scenario=scenario
     )
     assert monitor is not None
     result = workload.result(spec.system)
+    metrics = _ordering_metrics(workload, result)
+    metrics.update(transport_metrics(transport))
     return AuditedRun(
-        result=RunResult(spec=spec, metrics=_ordering_metrics(workload, result)),
+        result=RunResult(spec=spec, metrics=metrics),
         report=monitor.finish(),
     )

@@ -157,6 +157,57 @@ class ShardSpec:
         return cls(**data)
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class TransportSpec:
+    """Declarative description of the run's transport backend.
+
+    ``kind`` selects it (:data:`repro.transport.TRANSPORT_KINDS`):
+    ``sim`` is the discrete-event simulator (the default when a spec
+    carries no transport at all), ``asyncio`` runs the same protocol
+    stack on wall-clock timers with per-member asyncio queues.
+
+    * ``tcp`` -- asyncio only: route member-to-member traffic over
+      localhost TCP using the canonical wire codec instead of
+      in-process queues alone;
+    * ``time_scale`` -- asyncio only: wall seconds per virtual second
+      (``0.5`` runs the scenario's timeline at twice wall speed; host
+      timer jitter is *not* scaled, so compression narrows margins);
+    * ``calibrate`` -- asyncio only: measure host signing/verify/timer
+      latency at startup and derive the live detection deadlines
+      (:mod:`repro.transport.calibration`) instead of trusting the
+      simulator's cost-model defaults.
+    """
+
+    kind: str = "sim"
+    tcp: bool = False
+    time_scale: float = 1.0
+    calibrate: bool = True
+
+    def __post_init__(self) -> None:
+        from repro.transport.base import TRANSPORT_KINDS
+
+        if self.kind not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"unknown transport kind {self.kind!r}, want one of {TRANSPORT_KINDS}"
+            )
+        if self.time_scale <= 0:
+            raise ValueError(f"time_scale must be > 0, got {self.time_scale}")
+        if self.kind == "sim" and self.tcp:
+            raise ValueError("tcp transport needs kind='asyncio'")
+
+    @property
+    def live(self) -> bool:
+        """True for wall-clock backends (anything but the simulator)."""
+        return self.kind != "sim"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransportSpec":
+        return cls(**data)
+
+
 #: The paper's benchmark LAN: lightly loaded, sub-millisecond-ish.
 CALM_LAN = DelaySpec(kind="uniform", low=0.3, high=1.2)
 
@@ -256,6 +307,7 @@ class ScenarioSpec:
     suspector_max_misses: int = 2
     view_timeout: float = 500.0  # pbft only
     settle_ms: float = 120_000.0
+    transport: TransportSpec | None = None
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -275,6 +327,12 @@ class ScenarioSpec:
                 raise ValueError(
                     "fault plans are not supported on sharded specs yet; "
                     "use adversaries instead"
+                )
+        if self.transport is not None and self.transport.live:
+            if self.system == "pbft":
+                raise ValueError(
+                    "the pbft comparator runs on the simulator only; "
+                    "live transports need an ordering system"
                 )
 
     # ------------------------------------------------------------------
@@ -306,6 +364,7 @@ class ScenarioSpec:
         data["adversaries"] = [a.to_dict() for a in self.adversaries]
         data["batching"] = self.batching.to_dict() if self.batching else None
         data["shard"] = self.shard.to_dict() if self.shard else None
+        data["transport"] = self.transport.to_dict() if self.transport else None
         return data
 
     @classmethod
@@ -322,4 +381,8 @@ class ScenarioSpec:
         )
         shard = fields.get("shard")
         fields["shard"] = ShardSpec.from_dict(shard) if shard is not None else None
+        transport = fields.get("transport")
+        fields["transport"] = (
+            TransportSpec.from_dict(transport) if transport is not None else None
+        )
         return cls(**fields)

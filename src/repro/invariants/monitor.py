@@ -43,6 +43,9 @@ from repro.invariants.oracles import (
 from repro.invariants.report import AuditReport
 from repro.sim.trace import TraceRecord
 
+if typing.TYPE_CHECKING:
+    from repro.transport.base import Clock
+
 
 # ----------------------------------------------------------------------
 # static topology (configuration, not behaviour)
@@ -306,7 +309,7 @@ class InvariantMonitor:
 
     def __init__(
         self,
-        sim,
+        sim: Clock,
         topology: Topology,
         config: AuditConfig | None = None,
         scenario: str | None = None,

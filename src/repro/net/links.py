@@ -9,13 +9,14 @@ message later than δ (via fault injection) must be explicit.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
 from repro.net.delay import ConstantDelay, DelayModel
 from repro.net.errors import SynchronyViolation
 from repro.net.message import Envelope, wire_size
 from repro.net.network import Endpoint, NetworkStats
-from repro.sim.scheduler import Simulator
+if TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 class SynchronousLink:
@@ -32,7 +33,7 @@ class SynchronousLink:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         name: str,
         delta: float,
         delay: DelayModel | None = None,

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Protocol
+from typing import Any, Callable, Protocol, TYPE_CHECKING
 
 from repro.net.delay import DelayModel, UniformDelay
 from repro.net.errors import AddressUnknown
 from repro.net.message import Envelope, wire_size
-from repro.sim.scheduler import Simulator
+if TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 class Endpoint(Protocol):
@@ -42,7 +43,7 @@ class Network:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         default_delay: DelayModel | None = None,
         fifo: bool = True,
         name: str = "net",

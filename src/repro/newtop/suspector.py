@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from repro.corba.orb import ObjectRef, Servant
 from repro.sim.process import Process
-from repro.sim.scheduler import Simulator
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 class PingSuspector(Process, Servant):
@@ -38,7 +41,7 @@ class PingSuspector(Process, Servant):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         member_id: str,
         group: str,
         interval: float = 200.0,

@@ -11,7 +11,8 @@ from repro.net.network import Network
 from repro.newtop.nso import Nso
 from repro.newtop.suspector import PingSuspector
 from repro.newtop.views import View
-from repro.sim.scheduler import Simulator
+if typing.TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 class CrashTolerantGroup:
@@ -24,7 +25,7 @@ class CrashTolerantGroup:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         n_members: int,
         group: str = "group",
         network: Network | None = None,

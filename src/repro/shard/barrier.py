@@ -40,6 +40,9 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+if typing.TYPE_CHECKING:
+    from repro.transport.base import Clock
+
 #: Marker field distinguishing barrier-protocol payloads from
 #: application payloads inside a shard's ordered stream.
 PROTOCOL_FIELD = "_xs"
@@ -68,7 +71,7 @@ class CrossShardCoordinator:
     """
 
     def __init__(
-        self, sim, shards: int, send: typing.Callable[[int, dict], None]
+        self, sim: Clock, shards: int, send: typing.Callable[[int, dict], None]
     ) -> None:
         self.sim = sim
         self.shards = shards
@@ -138,7 +141,7 @@ class ShardBarrierAgent:
 
     def __init__(
         self,
-        sim,
+        sim: Clock,
         member_id: str,
         shard: int,
         coordinator: CrossShardCoordinator,

@@ -23,6 +23,9 @@ import dataclasses
 import typing
 
 from repro.shard.barrier import CrossShardCoordinator, ShardBarrierAgent
+
+if typing.TYPE_CHECKING:
+    from repro.transport.base import Clock
 from repro.shard.router import ShardRouter
 
 
@@ -61,7 +64,9 @@ class ShardedGroup:
     #: group for fail-signal-pair strategies.
     has_fs_pairs = True
 
-    def __init__(self, sim, groups: typing.Sequence, router: ShardRouter) -> None:
+    def __init__(
+        self, sim: Clock, groups: typing.Sequence, router: ShardRouter
+    ) -> None:
         if router.shards != len(groups):
             raise ValueError(
                 f"router partitions {router.shards} shards but {len(groups)} "
@@ -190,13 +195,20 @@ class ShardedGroup:
         return sum(group.nodes_used() for group in self.shard_groups)
 
 
-def build_sharded_group(sim, spec) -> ShardedGroup:
+def build_sharded_group(
+    sim: Clock, spec, transport=None, overrides=None
+) -> ShardedGroup:
     """Construct the S-shard deployment a spec's ShardSpec describes.
 
     Every shard is built through the same
     :func:`repro.experiments.runner.build_ordering_group` path the
     unsharded runner uses, so a single-shard deployment is constructed
     -- argument for argument -- exactly like the unsharded one.
+
+    A live ``transport`` supplies each shard's network (the asyncio
+    backend's queue/TCP fabric); ``None`` keeps the simulator-native
+    construction byte-identical to before the transport layer existed.
+    ``overrides`` (e.g. a calibrated cost model) apply to every shard.
     """
     from repro.experiments.runner import build_ordering_group
     from repro.net.network import Network
@@ -221,12 +233,19 @@ def build_sharded_group(sim, spec) -> ShardedGroup:
             for index in byzantine
             if shard * per_shard <= index < (shard + 1) * per_shard
         )
-        overrides: dict[str, typing.Any] = {"byzantine_members": local_byzantine}
+        shard_overrides: dict[str, typing.Any] = dict(overrides or {})
+        shard_overrides["byzantine_members"] = local_byzantine
+        net_name = "net" if shards == 1 else f"net-s{shard}"
         if shards > 1:
-            overrides["group"] = f"shard{shard}"
-            overrides["member_prefix"] = f"s{shard}-member-"
-            overrides["network"] = Network(
-                sim, default_delay=spec.delay.build(), name=f"net-s{shard}"
+            shard_overrides["group"] = f"shard{shard}"
+            shard_overrides["member_prefix"] = f"s{shard}-member-"
+        if transport is not None:
+            shard_overrides["network"] = transport.make_network(
+                default_delay=spec.delay.build(), name=net_name
             )
-        groups.append(build_ordering_group(sim, shard_view, **overrides))
+        elif shards > 1:
+            shard_overrides["network"] = Network(
+                sim, default_delay=spec.delay.build(), name=net_name
+            )
+        groups.append(build_ordering_group(sim, shard_view, **shard_overrides))
     return ShardedGroup(sim, groups, ShardRouter(shards))

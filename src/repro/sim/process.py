@@ -8,10 +8,11 @@ execution model that keeps the whole system deterministic.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
 from repro.sim.events import EventHandle
-from repro.sim.scheduler import Simulator
+if TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 class Process:
@@ -21,7 +22,7 @@ class Process:
     callbacks scheduled through :meth:`set_timer`).
     """
 
-    def __init__(self, sim: Simulator, name: str) -> None:
+    def __init__(self, sim: Clock, name: str) -> None:
         self.sim = sim
         self.name = name
         self._timers: dict[str, EventHandle] = {}

@@ -17,9 +17,10 @@ from __future__ import annotations
 import dataclasses
 import heapq
 from collections import deque
-from typing import Any, Callable
+from typing import Any, Callable, TYPE_CHECKING
 
-from repro.sim.scheduler import Simulator
+if TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 
 @dataclasses.dataclass
@@ -71,7 +72,7 @@ class CpuResource:
     #: Priority used by FSO replica processing and signing work.
     HIGH_PRIORITY = -1
 
-    def __init__(self, sim: Simulator, cores: int = 1, name: str = "cpu") -> None:
+    def __init__(self, sim: Clock, cores: int = 1, name: str = "cpu") -> None:
         if cores < 1:
             raise ValueError(f"cores must be >= 1, got {cores}")
         self.sim = sim
@@ -169,7 +170,7 @@ class ThreadPool:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         cpu: CpuResource,
         size: int = 10,
         name: str = "pool",

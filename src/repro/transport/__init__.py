@@ -1,0 +1,56 @@
+"""Pluggable transports: one protocol stack, two clocks.
+
+The protocol objects (FS wrappers, ORBs, group assemblies) talk to a
+structural :class:`~repro.transport.base.Clock` and move messages
+through a :class:`~repro.net.network.Network`; a
+:class:`~repro.transport.base.Transport` bundles a concrete clock with
+its network factory.  :func:`build_transport` turns the declarative
+:class:`~repro.experiments.spec.TransportSpec` into the right bundle:
+
+* ``sim`` -- :class:`~repro.transport.sim.SimTransport`, the
+  discrete-event simulator (byte-identical to driving it directly);
+* ``asyncio`` -- :class:`~repro.transport.aio.AsyncioTransport`,
+  wall-clock timers over an event loop, per-member delivery queues and
+  an optional localhost TCP hop, with
+  :func:`~repro.transport.calibration.calibrate` deriving the live
+  detection deadlines from measured host latencies.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.transport.base import TRANSPORT_KINDS, Clock, TimerHandle, Transport
+from repro.transport.calibration import CalibrationResult, calibrate
+from repro.transport.sim import SimTransport
+
+if typing.TYPE_CHECKING:
+    from repro.experiments.spec import TransportSpec
+
+__all__ = [
+    "TRANSPORT_KINDS",
+    "CalibrationResult",
+    "Clock",
+    "SimTransport",
+    "TimerHandle",
+    "Transport",
+    "build_transport",
+    "calibrate",
+]
+
+
+def build_transport(
+    spec: "TransportSpec | None" = None, seed: int = 0
+) -> Transport:
+    """Construct the transport a spec describes (``None`` means sim)."""
+    if spec is None or spec.kind == "sim":
+        return SimTransport(seed=seed)
+    if spec.kind == "asyncio":
+        from repro.transport.aio import AsyncioTransport
+
+        return AsyncioTransport(
+            seed=seed, tcp=spec.tcp, time_scale=spec.time_scale
+        )
+    raise ValueError(
+        f"unknown transport kind {spec.kind!r}, want one of {TRANSPORT_KINDS}"
+    )

@@ -1,0 +1,137 @@
+"""The transport abstraction: clock, timers and message movement.
+
+Everything in the protocol stack -- the FS wrappers, the inbox and
+invocation layers, the group assemblies, the networks -- schedules work
+and reads time through one structural interface, :class:`Clock`, and
+moves messages through a :class:`repro.net.network.Network` owned by a
+:class:`Transport`.  Two transports implement the interface:
+
+* :class:`repro.transport.sim.SimTransport` wraps the discrete-event
+  :class:`repro.sim.scheduler.Simulator`; behaviour (and therefore the
+  trace stream) is byte-identical to driving the simulator directly.
+* :class:`repro.transport.aio.AsyncioTransport` runs the same object
+  graph on an asyncio event loop with wall-clock timers, in-process
+  queues per member and an optional localhost TCP hop.
+
+The protocols are *structural* (:class:`typing.Protocol`): the existing
+``Simulator`` satisfies :class:`Clock` without inheriting from anything,
+which is what keeps the sim path bit-for-bit unchanged.  Time is in
+milliseconds on every clock; only its relation to the host's wall clock
+differs.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+if typing.TYPE_CHECKING:
+    from repro.net.delay import DelayModel
+    from repro.net.network import Network
+    from repro.sim.trace import TraceRecorder
+
+#: Transport kinds :func:`build_transport` knows how to construct.
+TRANSPORT_KINDS = ("sim", "asyncio")
+
+
+@typing.runtime_checkable
+class TimerHandle(typing.Protocol):
+    """Cancellation handle for a scheduled callback.
+
+    :class:`repro.sim.events.Event` is the canonical implementation;
+    both clocks hand the event object itself back as the handle.
+    """
+
+    cancelled: bool
+
+    def cancel(self) -> bool:
+        """Cancel the timer; ``False`` if it was already cancelled."""
+        ...
+
+
+@typing.runtime_checkable
+class Clock(typing.Protocol):
+    """Time, timers, named randomness and the trace stream.
+
+    This is the full surface the protocol stack uses.  The contract both
+    implementations honour:
+
+    * ``now`` is milliseconds, monotone non-decreasing;
+    * timers fire in ``(deadline, priority, seq)`` order -- ties resolve
+      by scheduling order, lower ``priority`` first;
+    * ``rng(stream)`` depends only on ``(seed, stream)`` and the
+      caller's own draw order, never on other components;
+    * ``run`` drives the clock until ``until`` (inclusive), the work
+      drains, or ``max_events`` callbacks have fired (then it raises
+      :class:`repro.sim.errors.SimulationLimitExceeded`).
+    """
+
+    trace: "TraceRecorder"
+
+    @property
+    def now(self) -> float: ...
+
+    @property
+    def seed(self) -> int: ...
+
+    @property
+    def events_processed(self) -> int: ...
+
+    def rng(self, stream: str) -> random.Random: ...
+
+    def schedule(
+        self,
+        delay: float,
+        callback: typing.Callable[..., None],
+        *args: typing.Any,
+        priority: int = 0,
+    ) -> TimerHandle: ...
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: typing.Callable[..., None],
+        *args: typing.Any,
+        priority: int = 0,
+    ) -> TimerHandle: ...
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None: ...
+
+
+class Transport:
+    """A clock plus the network factory bound to it.
+
+    Subclasses provide ``kind``, build their clock in ``__init__`` and
+    implement :meth:`make_network`.  The runner builds exactly one
+    transport per run, asks it for the network(s) the group assembly
+    should use, drives the workload (which calls ``clock.run`` through
+    the group's ``sim`` handle) and finally reads :meth:`wall_metrics`.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+
+    def make_network(
+        self,
+        default_delay: "DelayModel | None" = None,
+        name: str = "net",
+    ) -> "Network":
+        raise NotImplementedError
+
+    def wall_metrics(self) -> dict[str, float]:
+        """Wall-clock observations of the run (empty for the simulator:
+        its virtual time has no wall-clock meaning)."""
+        return {}
+
+    def close(self) -> None:
+        """Release transport resources (sockets, event loop)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info: typing.Any) -> None:
+        self.close()

@@ -1,0 +1,38 @@
+"""The simulated transport: pure delegation to the discrete-event stack.
+
+``SimTransport`` adds nothing on top of :class:`Simulator` +
+:class:`Network` -- it *is* today's path behind the transport interface,
+so a run routed through it is byte-identical (trace fingerprint and all)
+to one that builds the simulator and network by hand.
+``tests/transport/test_sim_equivalence.py`` pins this.
+"""
+
+from __future__ import annotations
+
+from repro.net.delay import DelayModel
+from repro.net.network import Network
+from repro.sim.scheduler import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.transport.base import Transport
+
+
+class SimTransport(Transport):
+    """Virtual-time transport over the discrete-event simulator."""
+
+    kind = "sim"
+
+    def __init__(self, seed: int = 0, trace: TraceRecorder | None = None) -> None:
+        super().__init__(Simulator(seed=seed, trace=trace))
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.clock  # type: ignore[return-value]
+
+    def make_network(
+        self,
+        default_delay: DelayModel | None = None,
+        name: str = "net",
+    ) -> Network:
+        if default_delay is None:
+            return Network(self.clock, name=name)
+        return Network(self.clock, default_delay=default_delay, name=name)

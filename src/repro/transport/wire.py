@@ -1,0 +1,218 @@
+"""Wire codec for the TCP transport hop.
+
+The canonical encoding (:mod:`repro.crypto.canonical`) was built for
+signing -- deterministic bytes, forward direction only.  The localhost
+TCP mode of :class:`repro.transport.aio.AsyncioTransport` reuses it as
+the wire format, which needs the inverse: a decoder, including the
+object tag ``O`` that signing never needs to invert.
+
+Objects decode through a *type registry* keyed by dataclass qualname.
+Every protocol message class reachable from an :class:`Envelope`
+payload (requests, replies, signed containers, GC/view messages) is
+registered at import time; unknown qualnames raise
+:class:`WireDecodeError` rather than instantiating arbitrary types.
+
+Frames on the socket are length-prefixed: a 4-byte big-endian payload
+length followed by the canonical bytes of the envelope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any
+
+from repro.crypto.canonical import canonical_encode
+
+#: Maximum accepted frame payload, bytes.  Localhost protocol traffic is
+#: tiny; anything larger is a corrupt or hostile frame.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class WireDecodeError(ValueError):
+    """Raised for malformed frames or unregistered object types."""
+
+
+# ----------------------------------------------------------------------
+# type registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type] = {}
+
+
+def register_wire_type(cls: type) -> type:
+    """Register a dataclass for decoding; duplicate qualnames must be
+    the same class (re-imports are fine, collisions are not)."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    name = cls.__qualname__
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"wire qualname collision: {name!r}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def register_module_dataclasses(module: Any) -> None:
+    """Register every public dataclass a module defines."""
+    for attr in vars(module).values():
+        if (
+            isinstance(attr, type)
+            and dataclasses.is_dataclass(attr)
+            and attr.__module__ == module.__name__
+        ):
+            register_wire_type(attr)
+
+
+def _register_protocol_types() -> None:
+    """The closed set of types that may ride an envelope payload."""
+    import repro.corba.anytype
+    import repro.corba.marshal
+    import repro.corba.orb
+    import repro.core.batching
+    import repro.core.messages
+    import repro.crypto.signing
+    import repro.fsnewtop.voting
+    import repro.net.message
+    import repro.newtop.gc.messages
+    import repro.newtop.gc.symmetric
+    import repro.newtop.invocation
+    import repro.newtop.views
+    import repro.shard.barrier
+
+    for module in (
+        repro.net.message,
+        repro.corba.anytype,
+        repro.corba.marshal,
+        repro.corba.orb,
+        repro.core.messages,
+        repro.core.batching,
+        repro.crypto.signing,
+        repro.fsnewtop.voting,
+        repro.newtop.views,
+        repro.newtop.gc.messages,
+        repro.newtop.gc.symmetric,
+        repro.newtop.invocation,
+        repro.shard.barrier,
+    ):
+        register_module_dataclasses(module)
+
+
+_register_protocol_types()
+
+
+# ----------------------------------------------------------------------
+# decoder (inverse of repro.crypto.canonical's tag format)
+# ----------------------------------------------------------------------
+def _take_length(data: bytes, at: int) -> tuple[int, int]:
+    if at + 4 > len(data):
+        raise WireDecodeError(f"truncated length at offset {at}")
+    return struct.unpack_from(">I", data, at)[0], at + 4
+
+
+def _construct(cls: type, values: dict[str, Any]) -> Any:
+    try:
+        return cls(**values)
+    except TypeError:
+        # Types with init=False fields (lazy wire-size memos and the
+        # like) cannot be rebuilt through __init__; restore field state
+        # directly.  object.__setattr__ also handles frozen classes.
+        obj = cls.__new__(cls)
+        for key, value in values.items():
+            object.__setattr__(obj, key, value)
+        return obj
+
+
+def _decode(data: bytes, at: int) -> tuple[Any, int]:
+    if at >= len(data):
+        raise WireDecodeError("truncated value")
+    tag = data[at : at + 1]
+    at += 1
+    if tag == b"N":
+        return None, at
+    if tag == b"T":
+        return True, at
+    if tag == b"F":
+        return False, at
+    if tag == b"I":
+        length, at = _take_length(data, at)
+        return int(data[at : at + length].decode("ascii")), at + length
+    if tag == b"D":
+        return struct.unpack_from(">d", data, at)[0], at + 8
+    if tag == b"S":
+        length, at = _take_length(data, at)
+        return data[at : at + length].decode("utf-8"), at + length
+    if tag == b"B":
+        length, at = _take_length(data, at)
+        return bytes(data[at : at + length]), at + length
+    if tag in (b"L", b"U"):
+        count, at = _take_length(data, at)
+        items = []
+        for __ in range(count):
+            item, at = _decode(data, at)
+            items.append(item)
+        return (items if tag == b"L" else tuple(items)), at
+    if tag == b"M":
+        count, at = _take_length(data, at)
+        mapping = {}
+        for __ in range(count):
+            key, at = _decode(data, at)
+            value, at = _decode(data, at)
+            mapping[key] = value
+        return mapping, at
+    if tag == b"O":
+        length, at = _take_length(data, at)
+        qualname = data[at : at + length].decode("utf-8")
+        at += length
+        count, at = _take_length(data, at)
+        cls = _REGISTRY.get(qualname)
+        if cls is None:
+            raise WireDecodeError(f"unregistered wire type {qualname!r}")
+        values: dict[str, Any] = {}
+        for __ in range(count):
+            name, at = _decode(data, at)
+            value, at = _decode(data, at)
+            values[name] = value
+        return _construct(cls, values), at
+    raise WireDecodeError(f"unexpected tag {tag!r} at offset {at - 1}")
+
+
+def wire_decode(data: bytes) -> Any:
+    """Decode one canonical value; trailing bytes are an error."""
+    value, end = _decode(bytes(data), 0)
+    if end != len(data):
+        raise WireDecodeError(f"{len(data) - end} trailing bytes after value")
+    return value
+
+
+def wire_encode(value: Any) -> bytes:
+    """Canonical bytes of a value (the signing encoder, reused)."""
+    return canonical_encode(value)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def frame(payload: bytes) -> bytes:
+    """Length-prefix a payload for the socket."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireDecodeError(f"frame of {len(payload)} bytes exceeds limit")
+    return struct.pack(">I", len(payload)) + payload
+
+
+async def read_frame(reader: Any) -> bytes | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireDecodeError("connection closed mid-header") from exc
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME_BYTES:
+        raise WireDecodeError(f"frame of {length} bytes exceeds limit")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireDecodeError("connection closed mid-frame") from exc

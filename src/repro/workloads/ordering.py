@@ -17,7 +17,8 @@ from repro.analysis.metrics import LatencyRecorder, Summary, summarize
 from repro.fsnewtop.system import ByzantineTolerantGroup
 from repro.newtop.services import ServiceType
 from repro.newtop.system import CrashTolerantGroup
-from repro.sim.scheduler import Simulator
+if typing.TYPE_CHECKING:
+    from repro.transport.base import Clock
 
 AnyGroup = typing.Union[CrashTolerantGroup, ByzantineTolerantGroup]
 
@@ -66,7 +67,7 @@ class OrderingWorkload:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         group: AnyGroup,
         messages_per_member: int = 20,
         interval: float = 120.0,
@@ -192,7 +193,7 @@ class ShardedOrderingWorkload(OrderingWorkload):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Clock,
         group,
         messages_per_member: int = 20,
         interval: float = 120.0,

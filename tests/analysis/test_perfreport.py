@@ -82,6 +82,14 @@ def test_run_suite_subset_and_report_roundtrip(tmp_path):
     assert perfreport.check_passed(perfreport.compare(loaded, loaded))
 
 
+def test_run_suite_executes_a_macro_bench():
+    # The macro benches drive _run_ordering end to end; this pins the
+    # runner's return shape so a refactor there cannot silently break
+    # `repro bench` while the micro benches keep passing.
+    results = perfreport.run_suite(["fig6_mini"], repeats=1)
+    assert results["fig6_mini"].ops > 0
+
+
 def test_run_suite_rejects_unknown_and_bad_repeats():
     with pytest.raises(KeyError):
         perfreport.run_suite(["no_such_bench"])

@@ -1,0 +1,32 @@
+"""Fixtures for deterministic transport tests.
+
+The timer unit tests must not sleep, so they run the
+:class:`~repro.transport.aio.AsyncioClock` on a
+:class:`fake_loop.FakeTimeLoop` -- a selector event loop whose
+``time()`` only moves when a test calls ``advance``.  ``call_at``
+wakeups scheduled by the clock become due exactly when the test says
+so, making timer ordering, clamping and cancellation fully
+deterministic.  Only the small ``realtime``-marked subset runs a real
+loop.
+"""
+
+import pytest
+
+from fake_loop import FakeTimeLoop
+
+from repro.transport.aio import AsyncioClock
+
+
+@pytest.fixture
+def fake_loop():
+    loop = FakeTimeLoop()
+    yield loop
+    loop.close()
+
+
+@pytest.fixture
+def fake_clock(fake_loop):
+    """An :class:`AsyncioClock` bound to the fake loop, epoch fixed."""
+    clock = AsyncioClock(seed=0, loop=fake_loop)
+    clock.bind()
+    return clock

@@ -1,0 +1,36 @@
+"""A test-controlled event loop: time only moves when told to.
+
+``advance`` moves the fake clock and then pumps the loop without
+blocking: each pump runs ``asyncio.sleep(0)`` to completion, which
+executes every ready callback plus every ``call_at`` timer whose
+deadline is now in the past.  Several rounds let callback chains
+settle.  This is what makes the AsyncioClock timer tests deterministic
+and sleep-free.
+"""
+
+import asyncio
+
+
+class FakeTimeLoop(asyncio.SelectorEventLoop):
+    """A selector event loop whose ``time()`` is test-controlled."""
+
+    #: Arbitrary nonzero epoch so tests cannot confuse loop time 0 with
+    #: virtual time 0.
+    EPOCH = 1000.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._fake_now = self.EPOCH
+
+    def time(self) -> float:
+        return self._fake_now
+
+    def advance(self, seconds: float, rounds: int = 10) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot rewind the clock by {seconds}")
+        self._fake_now += seconds
+        self.pump(rounds)
+
+    def pump(self, rounds: int = 10) -> None:
+        for __ in range(rounds):
+            self.run_until_complete(asyncio.sleep(0))

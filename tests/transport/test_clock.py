@@ -1,0 +1,234 @@
+"""AsyncioClock unit tests on the fake (non-sleeping) loop.
+
+Everything here must hold for the wall-clock backend to be a faithful
+:class:`~repro.transport.base.Clock`: the simulator's ``(deadline,
+priority, seq)`` firing discipline, the same seeded rng-stream
+derivation, cancellation, and the clamp-don't-raise stance on
+slightly-past absolute deadlines that real time forces.
+"""
+
+import pytest
+
+from repro.sim.errors import SchedulingInPastError, SimulationLimitExceeded
+from repro.sim.scheduler import Simulator
+from repro.transport.aio import AsyncioClock, backoff_delays
+
+
+def _recorder(into):
+    def record(label):
+        into.append(label)
+
+    return record
+
+
+# ----------------------------------------------------------------------
+# firing discipline
+# ----------------------------------------------------------------------
+def test_timers_fire_in_deadline_order(fake_clock, fake_loop):
+    fired = []
+    record = _recorder(fired)
+    fake_clock.schedule(30.0, record, "c")
+    fake_clock.schedule(10.0, record, "a")
+    fake_clock.schedule(20.0, record, "b")
+    fake_loop.advance(0.05)
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_deadline_breaks_ties_by_priority_then_seq(fake_clock, fake_loop):
+    fired = []
+    record = _recorder(fired)
+    fake_clock.schedule(5.0, record, "late", priority=1)
+    fake_clock.schedule(5.0, record, "first", priority=-1)
+    fake_clock.schedule(5.0, record, "second", priority=0)
+    fake_clock.schedule(5.0, record, "third", priority=0)
+    fake_loop.advance(0.01)
+    assert fired == ["first", "second", "third", "late"]
+
+
+def test_partial_advance_fires_only_due_timers(fake_clock, fake_loop):
+    fired = []
+    record = _recorder(fired)
+    fake_clock.schedule(10.0, record, "early")
+    fake_clock.schedule(40.0, record, "late")
+    fake_loop.advance(0.02)
+    assert fired == ["early"]
+    fake_loop.advance(0.03)
+    assert fired == ["early", "late"]
+
+
+def test_callback_may_schedule_more_work(fake_clock, fake_loop):
+    fired = []
+
+    def chain(label, next_delay):
+        fired.append(label)
+        if next_delay is not None:
+            fake_clock.schedule(next_delay, chain, f"{label}+", None)
+
+    fake_clock.schedule(5.0, chain, "a", 5.0)
+    fake_loop.advance(0.02)
+    # "a" fired at the advanced time, so "a+" sits 5ms past *that*.
+    assert fired == ["a"]
+    fake_loop.advance(0.02)
+    assert fired == ["a", "a+"]
+
+
+# ----------------------------------------------------------------------
+# cancellation
+# ----------------------------------------------------------------------
+def test_cancelled_timer_never_fires(fake_clock, fake_loop):
+    fired = []
+    record = _recorder(fired)
+    keep = fake_clock.schedule(10.0, record, "keep")
+    drop = fake_clock.schedule(5.0, record, "drop")
+    drop.cancel()
+    fake_loop.advance(0.02)
+    assert fired == ["keep"]
+    assert drop.cancelled and not keep.cancelled
+
+
+def test_cancelling_the_head_still_arms_later_timers(fake_clock, fake_loop):
+    fired = []
+    record = _recorder(fired)
+    head = fake_clock.schedule(1.0, record, "head")
+    fake_clock.schedule(30.0, record, "tail")
+    head.cancel()
+    fake_loop.advance(0.05)
+    assert fired == ["tail"]
+
+
+# ----------------------------------------------------------------------
+# scheduling edge cases
+# ----------------------------------------------------------------------
+def test_negative_relative_delay_raises(fake_clock):
+    with pytest.raises(SchedulingInPastError):
+        fake_clock.schedule(-0.001, lambda: None)
+
+
+def test_schedule_at_clamps_past_deadlines(fake_clock, fake_loop):
+    # Wall time advances under callers between computing a deadline and
+    # scheduling it, so a slightly-past absolute time clamps to "now"
+    # (the simulator, whose time cannot move underneath anyone, raises).
+    fired = []
+    fake_clock.schedule_at(-500.0, _recorder(fired), "clamped")
+    fake_loop.advance(0.001)
+    assert fired == ["clamped"]
+
+
+def test_now_is_zero_before_bind(fake_loop):
+    clock = AsyncioClock(seed=0, loop=fake_loop)
+    assert clock.now == 0.0
+    clock.bind()
+    fake_loop.advance(0.25)
+    assert clock.now == pytest.approx(250.0)
+
+
+def test_time_scale_stretches_virtual_time(fake_loop):
+    clock = AsyncioClock(seed=0, loop=fake_loop, time_scale=0.5)
+    clock.bind()
+    fake_loop.advance(1.0)
+    # 0.5 wall seconds per virtual second: 1s wall = 2000 virtual ms.
+    assert clock.now == pytest.approx(2000.0)
+
+
+def test_bad_time_scale_rejected():
+    with pytest.raises(ValueError):
+        AsyncioClock(time_scale=0.0)
+
+
+# ----------------------------------------------------------------------
+# rng streams
+# ----------------------------------------------------------------------
+def test_rng_streams_match_the_simulator():
+    sim, clock = Simulator(seed=42), AsyncioClock(seed=42)
+    for stream in ("net/net", "keys/fs-0", "workload"):
+        assert sim.rng(stream).random() == clock.rng(stream).random()
+
+
+def test_rng_stream_is_cached_not_reseeded():
+    clock = AsyncioClock(seed=7)
+    first = clock.rng("s").random()
+    assert clock.rng("s").random() != first  # same generator, advanced
+
+
+# ----------------------------------------------------------------------
+# run(): budget, quiescence, failure surfacing (tiny real loops)
+# ----------------------------------------------------------------------
+def test_event_budget_aborts_runaway_loops():
+    clock = AsyncioClock(seed=0)
+    clock.idle_grace_s = 0.01
+
+    def reschedule():
+        clock.schedule(0.0, reschedule)
+
+    clock.schedule(0.0, reschedule)
+    try:
+        with pytest.raises(SimulationLimitExceeded):
+            clock.run(max_events=50)
+        assert clock.events_processed <= 51
+    finally:
+        clock.close()
+
+
+def test_quiescent_run_returns_without_sleeping_to_until():
+    clock = AsyncioClock(seed=0)
+    clock.idle_grace_s = 0.01
+    fired = []
+    clock.schedule(1.0, _recorder(fired), "x")
+    try:
+        clock.run(until=60_000.0)  # a generous settle window
+        assert fired == ["x"]
+        assert clock.wall_elapsed_s < 5.0  # exited at quiescence instead
+    finally:
+        clock.close()
+
+
+def test_callback_exception_fails_the_run():
+    clock = AsyncioClock(seed=0)
+    clock.idle_grace_s = 0.01
+
+    def boom():
+        raise RuntimeError("callback exploded")
+
+    clock.schedule(0.0, boom)
+    try:
+        with pytest.raises(RuntimeError, match="callback exploded"):
+            clock.run()
+    finally:
+        clock.close()
+
+
+def test_timer_lag_statistics_accumulate():
+    clock = AsyncioClock(seed=0)
+    clock.idle_grace_s = 0.01
+    clock.schedule(0.5, lambda: None)
+    try:
+        clock.run()
+    finally:
+        clock.close()
+    assert clock.timer_lag_count == 1
+    assert clock.timer_lag_max >= 0.0
+    assert clock.timer_lag_mean == pytest.approx(clock.timer_lag_sum)
+
+
+# ----------------------------------------------------------------------
+# reconnect backoff schedule (pure)
+# ----------------------------------------------------------------------
+def test_backoff_schedule_shape():
+    assert backoff_delays() == [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+    assert backoff_delays(base_ms=10.0, cap_ms=25.0) == [
+        10.0, 20.0, 25.0, 25.0, 25.0, 25.0,
+    ]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"base_ms": 0.0},
+        {"factor": 0.5},
+        {"retries": -1},
+        {"cap_ms": 0.5},
+    ],
+)
+def test_backoff_rejects_bad_shapes(kwargs):
+    with pytest.raises(ValueError):
+        backoff_delays(**kwargs)

@@ -1,0 +1,138 @@
+"""Property-based transport tests.
+
+Two serialisation round-trips (``TransportSpec`` rides scenario specs
+into worker processes; ``CalibrationResult`` rides run reports) and the
+core scheduling property: under arbitrary schedule/cancel
+interleavings, timers fire in exactly ``(deadline, priority, seq)``
+order on *both* clocks -- the discrete-event simulator and the
+wall-clock :class:`~repro.transport.aio.AsyncioClock` (driven here on
+the fake loop, so no real sleeping).
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.spec import TransportSpec
+from repro.sim.scheduler import Simulator
+from repro.transport.aio import AsyncioClock
+from repro.transport.calibration import CalibrationResult
+
+from fake_loop import FakeTimeLoop
+
+
+# ----------------------------------------------------------------------
+# serialisation round-trips
+# ----------------------------------------------------------------------
+@st.composite
+def transport_specs(draw):
+    kind = draw(st.sampled_from(("sim", "asyncio")))
+    tcp = draw(st.booleans()) if kind == "asyncio" else False
+    return TransportSpec(
+        kind=kind,
+        tcp=tcp,
+        time_scale=draw(st.floats(0.01, 100.0, allow_nan=False)),
+        calibrate=draw(st.booleans()),
+    )
+
+
+@given(spec=transport_specs())
+def test_transport_spec_round_trips(spec):
+    restored = TransportSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert restored == spec
+
+
+_MS = st.floats(0.0, 1e4, allow_nan=False)
+
+
+@given(
+    result=st.builds(
+        CalibrationResult,
+        samples=st.integers(0, 10_000),
+        payload_bytes=st.integers(0, 1 << 20),
+        sign_mean_ms=_MS,
+        sign_p95_ms=_MS,
+        verify_mean_ms=_MS,
+        verify_p95_ms=_MS,
+        countersign_mean_ms=_MS,
+        countersign_p95_ms=_MS,
+        timer_lag_mean_ms=_MS,
+        timer_lag_p95_ms=_MS,
+        timer_lag_max_ms=_MS,
+        base_delta_ms=_MS,
+        safety=st.floats(0.001, 100.0, allow_nan=False),
+        delta_ms=st.floats(0.001, 1e6, allow_nan=False),
+    )
+)
+def test_calibration_result_round_trips(result):
+    restored = CalibrationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert restored == result
+
+
+# ----------------------------------------------------------------------
+# timer-ordering property on both clocks
+# ----------------------------------------------------------------------
+@st.composite
+def timer_programs(draw):
+    """A batch of (delay_ms, priority) timers plus a cancellation set."""
+    timers = draw(
+        st.lists(
+            st.tuples(st.floats(0.0, 50.0, allow_nan=False), st.integers(-2, 2)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    cancelled = draw(
+        st.sets(st.integers(0, len(timers) - 1), max_size=len(timers))
+    )
+    return timers, cancelled
+
+
+def _expected_order(timers, cancelled):
+    entries = [
+        (delay, priority, seq)
+        for seq, (delay, priority) in enumerate(timers)
+        if seq not in cancelled
+    ]
+    return [seq for __, __, seq in sorted(entries)]
+
+
+def _fire_on_simulator(timers, cancelled):
+    sim = Simulator(seed=0)
+    fired: list[int] = []
+    handles = [
+        sim.schedule(delay, fired.append, seq, priority=priority)
+        for seq, (delay, priority) in enumerate(timers)
+    ]
+    for seq in cancelled:
+        handles[seq].cancel()
+    sim.run()
+    return fired
+
+
+def _fire_on_asyncio_clock(timers, cancelled):
+    loop = FakeTimeLoop()
+    try:
+        clock = AsyncioClock(seed=0, loop=loop)
+        clock.bind()
+        fired: list[int] = []
+        handles = [
+            clock.schedule(delay, fired.append, seq, priority=priority)
+            for seq, (delay, priority) in enumerate(timers)
+        ]
+        for seq in cancelled:
+            handles[seq].cancel()
+        loop.advance(0.1)  # past every 50ms-max deadline
+        return fired
+    finally:
+        loop.close()
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=timer_programs())
+def test_timers_fire_in_deadline_order_on_both_clocks(program):
+    timers, cancelled = program
+    expected = _expected_order(timers, cancelled)
+    assert _fire_on_simulator(timers, cancelled) == expected
+    assert _fire_on_asyncio_clock(timers, cancelled) == expected

@@ -1,0 +1,106 @@
+"""Regression pins: the sim backend is byte-identical to pre-transport.
+
+The transport refactor's hard promise is that the default simulator
+path did not move: same construction, same rng streams, same event
+order, same trace bytes.  The hashes below were captured on the
+pre-refactor tree (fig6-style, batched, S=1 sharded and plain newtop
+runs); any drift in these fingerprints means the refactor changed
+simulated behaviour and must be treated as a bug, not re-pinned
+casually.
+
+The second half proves :class:`~repro.transport.sim.SimTransport` is
+pure delegation: routing the same runs through the transport facade
+produces the same bytes.
+"""
+
+import pytest
+
+from repro.experiments.runner import build_ordering_group
+from repro.experiments.spec import BatchingSpec, ScenarioSpec, ShardSpec
+from repro.perf import clear_caches
+from repro.shard.group import build_sharded_group
+from repro.sim.scheduler import Simulator
+from repro.transport import SimTransport
+from repro.workloads.ordering import OrderingWorkload, ShardedOrderingWorkload
+
+SPECS = {
+    "fig6_style": ScenarioSpec(
+        system="fs-newtop", n_members=3, messages_per_member=4,
+        interval=40.0, message_size=3, seed=7, settle_ms=500.0,
+    ),
+    "batched": ScenarioSpec(
+        system="fs-newtop", n_members=3, messages_per_member=4,
+        interval=40.0, message_size=3, seed=11, settle_ms=500.0,
+        batching=BatchingSpec(max_batch=4, max_delay_ms=6.0, max_inflight=2),
+    ),
+    "sharded_s1": ScenarioSpec(
+        system="fs-newtop", n_members=4, messages_per_member=3,
+        interval=50.0, message_size=3, seed=5, settle_ms=500.0,
+        shard=ShardSpec(shards=1),
+    ),
+    "newtop": ScenarioSpec(
+        system="newtop", n_members=3, messages_per_member=4,
+        interval=40.0, message_size=3, seed=3, settle_ms=500.0,
+    ),
+}
+
+#: Captured on the pre-refactor tree (commit 3c91bcd lineage), before
+#: repro.transport existed.
+PINNED = {
+    "fig6_style": "4efb5369e033f6badc6040c8bb29abd0496ceb46d5c62b2be764aba9b7c93ec5",
+    "batched": "8d215782c2c3ff637ba6c6c091024397911add54c202cb8bea847f5e3de3224d",
+    "sharded_s1": "0080436c8420d2241fe52b3ac1342c05f4d64b55602eab25e8912c5b63697cd5",
+    "newtop": "d1cef1736c5099d4a3f2197e9cf91ef5ed1bedad07c30119543a42ab83ff9a7c",
+}
+
+
+def _trace_fingerprint(spec: ScenarioSpec, sim) -> str:
+    """Mirror the runner's sim-path construction, trace stored."""
+    if spec.shard is not None:
+        group = build_sharded_group(sim, spec)
+        workload = ShardedOrderingWorkload(
+            sim,
+            group,
+            messages_per_member=spec.messages_per_member,
+            interval=spec.interval,
+            message_size=spec.message_size,
+            service=spec.service,
+            write_ratio=spec.write_ratio,
+            keyspace=spec.shard.keyspace,
+            cross_shard_ratio=spec.shard.cross_shard_ratio,
+        )
+    else:
+        group = build_ordering_group(sim, spec)
+        workload = OrderingWorkload(
+            sim,
+            group,
+            messages_per_member=spec.messages_per_member,
+            interval=spec.interval,
+            message_size=spec.message_size,
+            service=spec.service,
+            write_ratio=spec.write_ratio,
+        )
+    workload.run(settle_ms=spec.settle_ms)
+    clear_caches()
+    return sim.trace.fingerprint()
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_sim_traces_match_pre_refactor_pins(name):
+    spec = SPECS[name]
+    assert _trace_fingerprint(spec, Simulator(seed=spec.seed)) == PINNED[name]
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_sim_transport_is_pure_delegation(name):
+    spec = SPECS[name]
+    with SimTransport(seed=spec.seed) as transport:
+        assert transport.kind == "sim"
+        assert _trace_fingerprint(spec, transport.clock) == PINNED[name]
+
+
+def test_sim_transport_exposes_the_simulator():
+    transport = SimTransport(seed=3)
+    assert isinstance(transport.simulator, Simulator)
+    assert transport.clock is transport.simulator
+    assert transport.wall_metrics() == {}

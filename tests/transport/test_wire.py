@@ -1,0 +1,196 @@
+"""Wire codec tests: the canonical encoding must invert exactly.
+
+The TCP hop reuses the signing encoder as its wire format, so the
+decoder here is the only inverse in the codebase -- every protocol
+object that can ride an :class:`~repro.net.message.Envelope` must
+round-trip bit-exactly, and malformed or unregistered input must fail
+loudly instead of instantiating arbitrary types.
+"""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.core.messages import FsInput
+from repro.crypto.signing import Signature
+from repro.net.message import Envelope
+from repro.transport.wire import (
+    MAX_FRAME_BYTES,
+    WireDecodeError,
+    frame,
+    read_frame,
+    register_wire_type,
+    wire_decode,
+    wire_encode,
+)
+
+
+# ----------------------------------------------------------------------
+# round-trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        2**70,
+        3.25,
+        "",
+        "héllo",
+        b"",
+        b"\x00\xff",
+        [1, "two", None],
+        (1, (2, (3,))),
+        {"k": [True, 2.0], "nested": {"a": b"b"}},
+    ],
+)
+def test_primitive_round_trip(value):
+    assert wire_decode(wire_encode(value)) == value
+
+
+def test_tuple_and_list_stay_distinct():
+    assert wire_decode(wire_encode((1, 2))) == (1, 2)
+    assert isinstance(wire_decode(wire_encode((1, 2))), tuple)
+    assert isinstance(wire_decode(wire_encode([1, 2])), list)
+
+
+def test_envelope_with_protocol_payload_round_trips():
+    payload = FsInput(method="m", args=(1, "x"), input_id=("a", 1))
+    envelope = Envelope(
+        src="a", dst="b", payload=payload, size=10, sent_at=1.5, msg_id=3
+    )
+    decoded = wire_decode(wire_encode(envelope))
+    assert decoded == envelope
+    assert isinstance(decoded.payload, FsInput)
+
+
+def test_signature_round_trips():
+    sig = Signature(signer="member-0", value=b"\x01\x02")
+    assert wire_decode(wire_encode(sig)) == sig
+
+
+# ----------------------------------------------------------------------
+# registry discipline
+# ----------------------------------------------------------------------
+def test_unregistered_dataclass_is_rejected_on_decode():
+    @dataclasses.dataclass(frozen=True)
+    class Sneaky:
+        x: int = 1
+
+    with pytest.raises(WireDecodeError, match="unregistered wire type"):
+        wire_decode(wire_encode(Sneaky()))
+
+
+def test_register_requires_a_dataclass():
+    with pytest.raises(TypeError):
+        register_wire_type(int)
+
+
+def test_register_is_idempotent_but_rejects_collisions():
+    @dataclasses.dataclass(frozen=True)
+    class Original:
+        x: int = 0
+
+    @dataclasses.dataclass(frozen=True)
+    class Impostor:
+        x: int = 0
+
+    register_wire_type(Original)
+    register_wire_type(Original)  # re-registration is fine
+    Impostor.__qualname__ = Original.__qualname__
+    with pytest.raises(ValueError, match="collision"):
+        register_wire_type(Impostor)
+
+
+# ----------------------------------------------------------------------
+# malformed input
+# ----------------------------------------------------------------------
+def test_trailing_bytes_rejected():
+    with pytest.raises(WireDecodeError, match="trailing"):
+        wire_decode(wire_encode(1) + b"x")
+
+
+def test_truncated_value_rejected():
+    encoded = wire_encode("hello world")
+    with pytest.raises(WireDecodeError):
+        wire_decode(encoded[: len(encoded) - 3])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(WireDecodeError, match="unexpected tag"):
+        wire_decode(b"Z")
+
+
+def test_empty_input_rejected():
+    with pytest.raises(WireDecodeError):
+        wire_decode(b"")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def test_frame_prefixes_length():
+    assert frame(b"abc") == b"\x00\x00\x00\x03abc"
+
+
+def test_oversized_frame_rejected_on_encode():
+    with pytest.raises(WireDecodeError, match="exceeds limit"):
+        frame(b"\x00" * (MAX_FRAME_BYTES + 1))
+
+
+def _drain(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+def test_read_frame_round_trip_and_clean_eof():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame(b"one") + frame(b"two"))
+        reader.feed_eof()
+        first = await read_frame(reader)
+        second = await read_frame(reader)
+        third = await read_frame(reader)
+        return first, second, third
+
+    assert _drain(scenario()) == (b"one", b"two", None)
+
+
+def test_read_frame_rejects_eof_mid_header():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"\x00\x00")  # half a length prefix
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    with pytest.raises(WireDecodeError, match="mid-header"):
+        _drain(scenario())
+
+
+def test_read_frame_rejects_eof_mid_frame():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame(b"full payload")[:-4])
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    with pytest.raises(WireDecodeError, match="mid-frame"):
+        _drain(scenario())
+
+
+def test_read_frame_rejects_oversized_declared_length():
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"\xff\xff\xff\xff")
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    with pytest.raises(WireDecodeError, match="exceeds limit"):
+        _drain(scenario())
