@@ -38,6 +38,16 @@ setup(
             "repro=repro.cli:main",
         ],
     },
+    extras_require={
+        # The stdlib HTTP/SSE server needs none of these; the extra
+        # only feeds the optional FastAPI adapter (repro.service.app)
+        # and its test client.  See docs/SERVICE.md.
+        "service": [
+            "fastapi",
+            "uvicorn",
+            "httpx",
+        ],
+    },
     classifiers=[
         "Development Status :: 4 - Beta",
         "Intended Audience :: Science/Research",

@@ -6,6 +6,7 @@ from repro.analysis.aggregate import (
     aggregate_records,
     audit_summary,
     batching_summary,
+    service_summary,
     shard_summary,
 )
 from repro.analysis.metrics import LatencyRecorder, Summary, summarize
@@ -20,6 +21,7 @@ __all__ = [
     "audit_summary",
     "batching_summary",
     "format_series_table",
+    "service_summary",
     "shard_summary",
     "summarize",
 ]

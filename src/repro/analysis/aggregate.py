@@ -175,6 +175,44 @@ def shard_summary(records: typing.Iterable) -> dict:
     return out
 
 
+def service_summary(records: typing.Iterable) -> dict:
+    """Campaign-level roll-up of gateway-served runs.
+
+    Served runs carry ``service_*`` metrics (see
+    :meth:`repro.service.workload.ServiceWorkload.service_metrics`).
+    Returns an empty dict when no record was served.  ``admission_rate``
+    is admitted over offered (admitted + rejected); ``feed_violations``
+    sums stream gaps and cross-subscriber mismatches -- any non-zero
+    value is a delivered-order bug a release must not ship with.
+    """
+    served = [r for r in records if "service_admitted" in r.metrics]
+    if not served:
+        return {}
+    admitted = sum(r.metrics["service_admitted"] for r in served)
+    rejected = sum(r.metrics.get("service_rejected", 0.0) for r in served)
+    offered = admitted + rejected
+    return {
+        "served_cells": len(served),
+        "admitted": int(admitted),
+        "rejected": int(rejected),
+        "admission_rate": admitted / offered if offered else 0.0,
+        "sessions_done": int(
+            sum(r.metrics.get("service_sessions_done", 0.0) for r in served)
+        ),
+        "gave_up": int(sum(r.metrics.get("service_gave_up", 0.0) for r in served)),
+        "feed_violations": int(
+            sum(
+                r.metrics.get("service_stream_gaps", 0.0)
+                + r.metrics.get("service_stream_mismatches", 0.0)
+                for r in served
+            )
+        ),
+        "submit_p99_ms": max(
+            r.metrics.get("service_submit_p99_ms", 0.0) for r in served
+        ),
+    }
+
+
 def audit_summary(records: typing.Iterable) -> dict:
     """Campaign-level roll-up of audited runs.
 

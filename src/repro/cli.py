@@ -28,12 +28,13 @@ from repro.analysis import (
     aggregate_records,
     batching_summary,
     format_series_table,
+    service_summary,
     shard_summary,
 )
 from repro.newtop.services import ServiceType
 from repro.workloads import run_ordering_experiment
 
-SUBCOMMANDS = ("list", "run", "campaign", "report", "bench", "audit")
+SUBCOMMANDS = ("list", "run", "campaign", "report", "bench", "audit", "serve")
 
 #: Metrics the report prints, in order, with display units.  The shard
 #: columns only appear for runs that carry them (sharded deployments);
@@ -48,6 +49,10 @@ REPORT_METRICS = (
     ("per_shard_throughput", "msg/s"),
     ("cross_shard_latency_mean_ms", "ms"),
     ("load_imbalance", "x"),
+    ("service_admitted", "ops"),
+    ("service_rejected", "ops"),
+    ("service_submit_p50_ms", "ms"),
+    ("service_submit_p99_ms", "ms"),
 )
 
 #: ``repro list`` groups scenarios into these families, in this order.
@@ -57,6 +62,7 @@ SCENARIO_FAMILIES = (
     ("fig", "Paper figures"),
     ("adv", "Adversarial audits"),
     ("scale", "Scale & batching"),
+    ("svc", "Client-facing service"),
     ("stress", "Stress & comparators"),
 )
 
@@ -66,7 +72,7 @@ def scenario_family(name: str) -> str:
     prefix = name.split("_", 1)[0]
     if prefix.startswith("fig"):
         return "fig"
-    if prefix in ("adv", "scale"):
+    if prefix in ("adv", "scale", "svc"):
         return prefix
     return "stress"
 
@@ -236,6 +242,33 @@ def build_command_parser() -> argparse.ArgumentParser:
         help="detection deadline after first manifestation, ms (default 5000)",
     )
     _add_transport_arguments(audit)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the ordering service: an HTTP gateway over a live group",
+    )
+    serve.add_argument(
+        "--scenario",
+        help="base the deployment on this registered scenario's spec "
+        "(default: a 4-member fs-newtop group)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8420, help="bind port (0 = pick a free one)"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        help="deploy as this many keyspace shards",
+    )
+    serve.add_argument(
+        "--for",
+        dest="duration",
+        type=float,
+        help="serve for this many seconds, then exit (default: until Ctrl-C)",
+    )
+    _add_transport_arguments(serve)
     return parser
 
 
@@ -503,6 +536,19 @@ def _print_summary(scenario, records) -> None:
                 f"cross-shard ops ordered, mean "
                 f"{sharding['cross_shard_latency_mean_ms']:.1f}ms"
             )
+        print(line)
+    service = service_summary(records)
+    if service:
+        line = (
+            f"service: {service['served_cells']} served cell(s), "
+            f"{service['admitted']} admitted / {service['rejected']} shed "
+            f"({service['admission_rate']:.0%} admission), "
+            f"submit p99 {service['submit_p99_ms']:.1f}ms"
+        )
+        if service["gave_up"]:
+            line += f"; {service['gave_up']} session(s) gave up"
+        if service["feed_violations"]:
+            line += f"; FEED VIOLATIONS: {service['feed_violations']}"
         print(line)
     if scenario.expected:
         print(f"expected: {scenario.expected}")
@@ -780,6 +826,78 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments import ShardSpec, UnknownScenarioError, get_scenario
+    from repro.experiments.spec import ScenarioSpec, TransportSpec
+    from repro.service.serve import build_server, describe
+
+    if args.scenario is not None:
+        try:
+            spec = get_scenario(args.scenario).base
+        except UnknownScenarioError as exc:
+            print(f"error: {exc}")
+            return 2
+        if spec.system == "pbft":
+            print(f"error: scenario {args.scenario!r} is pbft-based; "
+                  "the gateway fronts the ordering systems only")
+            return 2
+    else:
+        spec = ScenarioSpec(system="fs-newtop", n_members=4)
+    ok, transport = _parse_transport_override(args)
+    if not ok:
+        return 2
+    if transport is None:
+        transport = TransportSpec(kind="asyncio")
+    elif not transport.live:
+        print("error: repro serve needs a live transport (--transport asyncio)")
+        return 2
+    try:
+        overrides: dict = {"transport": transport, "seed": spec.seed + args.seed}
+        if args.shards is not None:
+            base_shard = spec.shard
+            overrides["shard"] = ShardSpec(
+                shards=args.shards,
+                cross_shard_ratio=(
+                    base_shard.cross_shard_ratio if base_shard is not None else 0.0
+                ),
+                keyspace=base_shard.keyspace if base_shard is not None else 64,
+            )
+            if spec.n_members % args.shards:
+                raise ValueError(
+                    f"{spec.n_members} members do not divide into "
+                    f"{args.shards} shards"
+                )
+        spec = spec.replace(**overrides)
+        handle = build_server(spec, host=args.host, port=args.port)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(describe(handle))
+
+    # The socket binds inside a clock starter, so with --port 0 the
+    # real port is only known once the run is underway: announce from
+    # a second starter that waits for the bind.
+    async def _announce() -> None:
+        import asyncio
+
+        while handle.server.port == 0:
+            await asyncio.sleep(0.005)
+        if args.duration is not None:
+            print(f"serving on {handle.server.address} for {args.duration:g}s")
+        else:
+            print(f"serving on {handle.server.address} (Ctrl-C to stop)")
+
+    handle.clock.add_starter(_announce)
+    if args.duration is not None:
+        handle.run(until_ms=args.duration * 1000.0)
+        return 0
+    try:
+        handle.run_forever()
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis import perfreport
 
@@ -838,6 +956,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "audit":
             return _cmd_audit(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_report(args)
     return _legacy_main(argv)
 

@@ -59,6 +59,7 @@ from repro.experiments.spec import (
     FaultEvent,
     ScenarioSpec,
     ShardSpec,
+    TransportSpec,
 )
 from repro.experiments.store import ResultStore
 
@@ -78,6 +79,7 @@ __all__ = [
     "ScenarioSpec",
     "ShardSpec",
     "SweepPoint",
+    "TransportSpec",
     "UnknownScenarioError",
     "audit_scenario",
     "build_ordering_group",

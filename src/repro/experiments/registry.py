@@ -26,6 +26,7 @@ from repro.experiments.spec import (
     ScenarioSpec,
     ShardSpec,
 )
+from repro.service.spec import ServiceSpec
 
 
 class UnknownScenarioError(ValueError):
@@ -759,6 +760,146 @@ register(
         systems=("fs-newtop",),
         sweep_axis="variant",
         sweep=(SweepPoint(label="2x2", overrides={}),),
+    )
+)
+
+# ----------------------------------------------------------------------
+# svc_*: the client-facing ordering service (repro.service) -- a
+# gateway with admission control fronting the group, driven by a
+# closed-loop session fleet (see docs/SERVICE.md)
+# ----------------------------------------------------------------------
+register(
+    Scenario(
+        name="svc_fleet_smoke",
+        title="Service: gateway smoke fleet over two shards (CI-sized)",
+        description=(
+            "A 2x2 sharded deployment behind the ordering gateway; 64 "
+            "closed-loop sessions submit 2 zipf-keyed operations each "
+            "through admission control, while 3 streaming subscribers "
+            "verify the sequence-numbered delivery feed and reconnect "
+            "every 25 events.  Seconds, not minutes -- the CI smoke cell."
+        ),
+        expected=(
+            "every session completes, zero feed gaps or cross-subscriber "
+            "mismatches, zero fail-signals, all seven oracles green."
+        ),
+        base=ScenarioSpec(
+            system="fs-newtop",
+            n_members=4,
+            messages_per_member=2,
+            interval=50.0,
+            seed=1,
+            shard=ShardSpec(shards=2, keyspace=32),
+            gateway=ServiceSpec(
+                clients=4,
+                rate_limit_per_s=500.0,
+                burst=50,
+                max_inflight=128,
+                sessions=64,
+                ops_per_session=2,
+                think_ms=30.0,
+                subscribers=3,
+                reconnect_every=25,
+            ),
+            settle_ms=15_000.0,
+        ),
+        systems=("fs-newtop",),
+        sweep_axis="variant",
+        sweep=(SweepPoint(label="2x2", overrides={}),),
+    )
+)
+
+register(
+    Scenario(
+        name="svc_fleet_1k",
+        title="Service: 1000-session fleet through the gateway (e2e audit)",
+        description=(
+            "The end-to-end acceptance run: 1000 closed-loop sessions "
+            "(2 zipf-keyed operations each) submitted through the "
+            "gateway's admission control into a batched 2x4 sharded "
+            "deployment, with 4 reconnecting feed subscribers.  Sized "
+            "so a generous per-client budget admits everything -- "
+            "shedding is svc_overload's job."
+        ),
+        expected=(
+            "all 2000 operations admitted and sequenced, every session "
+            "completes, zero feed gaps/mismatches, zero fail-signals, "
+            "all seven oracles green -- on the simulator and on the "
+            "asyncio transport."
+        ),
+        base=ScenarioSpec(
+            system="fs-newtop",
+            n_members=8,
+            messages_per_member=2,
+            interval=40.0,
+            seed=1,
+            batching=SCALE_BATCHING,
+            shard=ShardSpec(shards=2, keyspace=64),
+            gateway=ServiceSpec(
+                clients=8,
+                rate_limit_per_s=2000.0,
+                burst=200,
+                max_inflight=512,
+                sessions=1000,
+                ops_per_session=2,
+                think_ms=40.0,
+                subscribers=4,
+                reconnect_every=100,
+                # Ramp the fleet over five seconds (~200 arrivals/s,
+                # matching the batched pipeline's drain rate) and give
+                # sessions caught by the inflight cap a retry budget
+                # that outlasts the drain.
+                ramp_ms=5_000.0,
+                retry_after_ms=250.0,
+                max_retries=64,
+            ),
+            settle_ms=30_000.0,
+        ),
+        systems=("fs-newtop",),
+        sweep_axis="variant",
+        sweep=(SweepPoint(label="1k-sessions", overrides={}),),
+    )
+)
+
+register(
+    Scenario(
+        name="svc_overload",
+        title="Service: deliberate overload -- shed via 429, stay correct",
+        description=(
+            "200 aggressive sessions (5ms think time) against a tiny "
+            "admission budget: 20 ops/s/client with burst 5, inflight "
+            "capped at 16.  The gateway must shed the excess with 429s "
+            "and retry hints while everything it *does* admit is "
+            "ordered and streamed without a single violation."
+        ),
+        expected=(
+            "substantial rate-limit and overload rejections; zero feed "
+            "gaps or mismatches among admitted operations; zero "
+            "fail-signals; all seven oracles green -- overload degrades "
+            "admission, never correctness."
+        ),
+        base=ScenarioSpec(
+            system="fs-newtop",
+            n_members=4,
+            messages_per_member=2,
+            interval=50.0,
+            seed=1,
+            gateway=ServiceSpec(
+                clients=4,
+                rate_limit_per_s=20.0,
+                burst=5,
+                max_inflight=16,
+                sessions=200,
+                ops_per_session=2,
+                think_ms=5.0,
+                subscribers=2,
+                max_retries=4,
+            ),
+            settle_ms=15_000.0,
+        ),
+        systems=("fs-newtop",),
+        sweep_axis="variant",
+        sweep=(SweepPoint(label="shed", overrides={}),),
     )
 )
 

@@ -44,7 +44,14 @@ from repro.net.network import Network
 from repro.newtop.system import CrashTolerantGroup
 from repro.shard.group import ShardedGroup, build_sharded_group
 from repro.sim.scheduler import Simulator
-from repro.transport import CalibrationResult, Clock, Transport, build_transport, calibrate
+from repro.transport import (
+    SERVICE_FLOOR_MS,
+    CalibrationResult,
+    Clock,
+    Transport,
+    build_transport,
+    calibrate,
+)
 from repro.workloads.ordering import (
     ExperimentResult,
     OrderingWorkload,
@@ -234,7 +241,12 @@ def _run_ordering(
         sim.trace.store = False  # oracles listen; nothing is stored
     calibration = None
     if live and spec.transport.calibrate:
-        calibration = calibrate(tcp=spec.transport.tcp)
+        # A served run puts the whole client fleet on the protocol's
+        # loop; start the delta derivation from the loaded floor.
+        kwargs = {"tcp": spec.transport.tcp}
+        if spec.gateway is not None:
+            kwargs["base_delta_ms"] = SERVICE_FLOOR_MS
+        calibration = calibrate(**kwargs)
     overrides = dict(live_overrides(spec, calibration))
     if spec.shard is not None:
         if system_kwargs:
@@ -259,8 +271,18 @@ def _run_ordering(
         monitor = InvariantMonitor(
             sim, topology_of(group), config=monitor_config, scenario=scenario
         )
-    if spec.shard is not None:
-        workload: OrderingWorkload = ShardedOrderingWorkload(
+    if spec.gateway is not None:
+        from repro.service.workload import ServiceWorkload
+
+        workload: OrderingWorkload = ServiceWorkload(
+            sim,
+            group,
+            spec.gateway,
+            message_size=spec.message_size,
+            keyspace=spec.shard.keyspace if spec.shard is not None else None,
+        )
+    elif spec.shard is not None:
+        workload = ShardedOrderingWorkload(
             sim,
             group,
             messages_per_member=spec.messages_per_member,
@@ -396,6 +418,9 @@ def _ordering_metrics(workload: OrderingWorkload, result: ExperimentResult) -> d
     )
     if isinstance(workload, ShardedOrderingWorkload):
         metrics.update(workload.shard_metrics())
+    service_metrics = getattr(workload, "service_metrics", None)
+    if service_metrics is not None:
+        metrics.update(service_metrics())
     return metrics
 
 

@@ -20,6 +20,7 @@ import dataclasses
 import typing
 
 from repro.adversary.spec import AdversarySpec
+from repro.service.spec import ServiceSpec
 from repro.net.delay import (
     ConstantDelay,
     DelayModel,
@@ -308,6 +309,7 @@ class ScenarioSpec:
     view_timeout: float = 500.0  # pbft only
     settle_ms: float = 120_000.0
     transport: TransportSpec | None = None
+    gateway: ServiceSpec | None = None
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -334,6 +336,11 @@ class ScenarioSpec:
                     "the pbft comparator runs on the simulator only; "
                     "live transports need an ordering system"
                 )
+        if self.gateway is not None and self.system == "pbft":
+            raise ValueError(
+                "the service gateway fronts the ordering systems only; "
+                "pbft has no multicast surface to serve"
+            )
 
     # ------------------------------------------------------------------
     # derived views
@@ -365,6 +372,7 @@ class ScenarioSpec:
         data["batching"] = self.batching.to_dict() if self.batching else None
         data["shard"] = self.shard.to_dict() if self.shard else None
         data["transport"] = self.transport.to_dict() if self.transport else None
+        data["gateway"] = self.gateway.to_dict() if self.gateway else None
         return data
 
     @classmethod
@@ -384,5 +392,9 @@ class ScenarioSpec:
         transport = fields.get("transport")
         fields["transport"] = (
             TransportSpec.from_dict(transport) if transport is not None else None
+        )
+        gateway = fields.get("gateway")
+        fields["gateway"] = (
+            ServiceSpec.from_dict(gateway) if gateway is not None else None
         )
         return cls(**fields)

@@ -1,0 +1,112 @@
+"""Optional FastAPI adapter over the gateway.
+
+The canonical front end is the dependency-free server in
+:mod:`repro.service.http`; this module offers the same four endpoints
+as a FastAPI application for deployments that want the usual ASGI
+ecosystem (OpenAPI docs, middleware, uvicorn workers).  FastAPI is an
+*optional* extra -- ``pip install repro[service]`` -- and this module
+import-gates it: importing :func:`create_app` is always safe, calling
+it without the extra raises an informative :class:`ImportError`.
+
+The SSE stream is served from the gateway's subscription feed exactly
+like the stdlib server: replay from the ``from`` cursor, then live
+events, each carrying ``id: <shard>:<seq>``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import typing
+
+from repro.service.gateway import OrderingGateway
+
+_INSTALL_HINT = (
+    "FastAPI is not installed; the service extra is optional. "
+    "Install it with `pip install repro[service]` (fastapi + uvicorn + httpx), "
+    "or use the dependency-free stdlib server: `repro serve` binds "
+    "repro.service.http.ServiceHttpServer and needs no extras."
+)
+
+
+def create_app(gateway: OrderingGateway) -> typing.Any:
+    """A FastAPI application serving the gateway's four endpoints.
+
+    Raises :class:`ImportError` with install instructions when the
+    ``repro[service]`` extra is not installed.
+    """
+    try:
+        import fastapi
+        from fastapi import responses
+    except ImportError as exc:  # pragma: no cover - extra not installed in CI
+        raise ImportError(_INSTALL_HINT) from exc
+
+    app = fastapi.FastAPI(title="fs-newtop ordering service", version="1.0")
+
+    def client_of(request: fastapi.Request) -> str | None:
+        auth = request.headers.get("authorization", "")
+        key = auth[7:].strip() if auth.lower().startswith("bearer ") else None
+        key = key or request.headers.get("x-api-key")
+        return gateway.registry.authenticate(key)
+
+    def require_auth(request: fastapi.Request) -> str:
+        client = client_of(request)
+        if client is None:
+            raise fastapi.HTTPException(status_code=401, detail="unauthorized")
+        return client
+
+    @app.get("/healthz")
+    def healthz() -> dict:
+        return {"status": "ok", "now_ms": round(gateway.sim.now, 3)}
+
+    @app.get("/v1/status")
+    def status(request: fastapi.Request) -> dict:
+        require_auth(request)
+        return gateway.status()
+
+    @app.post("/v1/submit")
+    async def submit(request: fastapi.Request) -> responses.JSONResponse:
+        document = await request.json() if await request.body() else {}
+        auth = request.headers.get("authorization", "")
+        key = auth[7:].strip() if auth.lower().startswith("bearer ") else None
+        outcome = gateway.submit(
+            key or request.headers.get("x-api-key"),
+            payload=document.get("payload"),
+            key=document.get("key"),
+        )
+        headers = {}
+        if outcome.retry_after_ms is not None:
+            headers["Retry-After"] = str(
+                max(1, math.ceil(outcome.retry_after_ms / 1000.0))
+            )
+        return responses.JSONResponse(
+            outcome.to_dict(), status_code=outcome.status, headers=headers
+        )
+
+    @app.get("/v1/stream")
+    async def stream(request: fastapi.Request) -> responses.StreamingResponse:
+        import asyncio
+
+        require_auth(request)
+        cursors: dict[int, int] = {}
+        spec = request.query_params.get("from") or request.headers.get(
+            "last-event-id", ""
+        )
+        for part in filter(None, spec.split(",")):
+            shard_s, _, seq_s = part.strip().partition(":")
+            cursors[int(shard_s)] = int(seq_s)
+        queue: asyncio.Queue = asyncio.Queue()
+        subscription = gateway.subscribe(queue.put_nowait, from_seq=cursors)
+
+        async def events() -> typing.AsyncIterator[bytes]:
+            try:
+                while True:
+                    event = await queue.get()
+                    data = json.dumps(event.to_dict())
+                    yield f"id: {event.shard}:{event.seq}\ndata: {data}\n\n".encode()
+            finally:
+                subscription.close()
+
+        return responses.StreamingResponse(events(), media_type="text/event-stream")
+
+    return app

@@ -1,0 +1,65 @@
+"""API-key authentication for the gateway.
+
+Keys are opaque bearer tokens mapped to client ids.  For simulated
+fleets and for ``repro serve`` without an explicit key file, keys are
+*derived* deterministically from a seed (HMAC-style digest over the
+client id), so a campaign worker, the operator terminal and a test all
+agree on the fleet's credentials without shipping a secret store.
+Derivation is a convenience, not a security claim -- a deployment
+supplies its own keys via :meth:`ApiKeyRegistry.issue`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def derive_key(client_id: str, seed: int = 0) -> str:
+    """The deterministic API key of ``client_id`` under ``seed``."""
+    digest = hashlib.sha256(f"fs-newtop-service/{seed}/{client_id}".encode())
+    return f"sk-{digest.hexdigest()[:32]}"
+
+
+class ApiKeyRegistry:
+    """Bearer-token -> client-id lookup with O(1) authentication."""
+
+    def __init__(self) -> None:
+        self._by_key: dict[str, str] = {}
+        self._by_client: dict[str, str] = {}
+
+    @classmethod
+    def generate(cls, clients: int, seed: int = 0) -> "ApiKeyRegistry":
+        """A registry of ``clients`` derived keys: ``client-0`` ...;
+        the fleet workload and ``repro serve`` both build theirs here."""
+        registry = cls()
+        for index in range(clients):
+            client_id = f"client-{index}"
+            registry.issue(client_id, derive_key(client_id, seed))
+        return registry
+
+    def issue(self, client_id: str, key: str) -> str:
+        """Register (or rotate) ``client_id``'s key; returns the key."""
+        if key in self._by_key and self._by_key[key] != client_id:
+            raise ValueError(f"key already issued to {self._by_key[key]!r}")
+        previous = self._by_client.get(client_id)
+        if previous is not None:
+            del self._by_key[previous]
+        self._by_key[key] = client_id
+        self._by_client[client_id] = key
+        return key
+
+    def authenticate(self, key: str | None) -> str | None:
+        """The client id behind a presented key, or ``None``."""
+        if not key:
+            return None
+        return self._by_key.get(key)
+
+    def key_of(self, client_id: str) -> str:
+        return self._by_client[client_id]
+
+    @property
+    def client_ids(self) -> list[str]:
+        return sorted(self._by_client)
+
+    def __len__(self) -> int:
+        return len(self._by_key)

@@ -1,0 +1,411 @@
+"""The client-facing ordering gateway.
+
+An :class:`OrderingGateway` sits between external clients and a running
+group (unsharded or :class:`~repro.shard.group.ShardedGroup`) and owns
+the three things a served deployment adds to the protocol stack:
+
+* **admission control** -- authenticate the API key, charge the
+  client's token bucket, and check the inflight cap, in that order;
+  every rejection carries a machine-readable reason and (for 429s) a
+  retry hint in milliseconds;
+* **injection** -- admitted operations are wrapped in a payload
+  envelope (``{"op", "c", "b"[, "k"]}``) and multicast into the
+  ordering service from a round-robin member of the key's owning shard,
+  so the protocol layers (and therefore the invariant oracles) see
+  perfectly ordinary keyed traffic;
+* **the delivery feed** -- the gateway observes every member's
+  delivered stream; the first member of each shard acts as the
+  *sequencer observer*, assigning the shard's delivered-order sequence
+  numbers (1, 2, ...).  Total order guarantees every other member of
+  that shard delivers the same prefix, so subscribers on different
+  members would see identical feeds -- which is exactly what clients
+  replay-check.  Subscribers resume from their last acked sequence
+  number after a reconnect.
+
+The gateway never schedules anything and stores no live objects beyond
+the group it fronts: it is clock-agnostic (sim or asyncio) and safe to
+drive from an audited run -- admitted traffic is indistinguishable from
+workload traffic to the seven oracles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.analysis.metrics import _percentile
+from repro.service.auth import ApiKeyRegistry
+from repro.service.ratelimit import RateLimiter
+from repro.service.spec import ServiceSpec
+
+if typing.TYPE_CHECKING:
+    from repro.transport.base import Clock
+
+#: Machine-readable admission outcomes (``SubmitOutcome.reason``).
+ACCEPTED = "accepted"
+UNAUTHORIZED = "unauthorized"
+RATE_LIMITED = "rate_limited"
+OVERLOADED = "overloaded"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SubmitOutcome:
+    """One admission decision, HTTP-shaped but transport-free."""
+
+    status: int  # 202 | 401 | 429
+    reason: str  # ACCEPTED / UNAUTHORIZED / RATE_LIMITED / OVERLOADED
+    op_id: str | None = None
+    client: str | None = None
+    shard: int | None = None
+    retry_after_ms: float | None = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.status == 202
+
+    def to_dict(self) -> dict:
+        data = {"status": self.status, "reason": self.reason}
+        if self.op_id is not None:
+            data["op_id"] = self.op_id
+        if self.shard is not None:
+            data["shard"] = self.shard
+        if self.retry_after_ms is not None:
+            data["retry_after_ms"] = round(self.retry_after_ms, 3)
+        return data
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DeliveryEvent:
+    """One sequenced delivery on the feed.
+
+    ``seq`` is the delivered-order position within ``shard`` (1-based,
+    gap-free per shard); clients verify total order end-to-end by
+    checking the (shard, seq) stream they receive is gapless and that
+    independent subscribers agree on the ``seq -> op_id`` mapping.
+    """
+
+    seq: int
+    shard: int
+    op_id: str
+    client: str
+    key: str | None
+    submitted_at: float
+    delivered_at: float
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "shard": self.shard,
+            "op_id": self.op_id,
+            "client": self.client,
+            "key": self.key,
+            "submitted_at": round(self.submitted_at, 3),
+            "delivered_at": round(self.delivered_at, 3),
+        }
+
+
+@dataclasses.dataclass(slots=True)
+class _PendingOp:
+    op_id: str
+    client: str
+    key: str | None
+    shard: int
+    submitted_at: float
+
+
+class Subscription:
+    """One feed consumer; tracks its per-shard cursor for resumption."""
+
+    def __init__(
+        self,
+        gateway: "OrderingGateway",
+        callback: typing.Callable[[DeliveryEvent], None],
+    ) -> None:
+        self._gateway = gateway
+        self.callback = callback
+        self.cursors: dict[int, int] = {}
+        self.events_seen = 0
+        self.closed = False
+
+    def push(self, event: DeliveryEvent) -> None:
+        if self.closed:
+            return
+        self.cursors[event.shard] = event.seq
+        self.events_seen += 1
+        self.callback(event)
+
+    def close(self) -> None:
+        """Detach from the feed; the cursors survive for resumption."""
+        if not self.closed:
+            self.closed = True
+            self._gateway._drop_subscription(self)
+
+
+class OrderingGateway:
+    """Admission control plus the sequenced delivery feed, one group."""
+
+    def __init__(
+        self,
+        sim: "Clock",
+        group: typing.Any,
+        spec: ServiceSpec | None = None,
+        registry: ApiKeyRegistry | None = None,
+        service: str = "symmetric_total",
+    ) -> None:
+        self.sim = sim
+        self.group = group
+        self.spec = spec if spec is not None else ServiceSpec()
+        self.registry = (
+            registry
+            if registry is not None
+            else ApiKeyRegistry.generate(self.spec.clients, seed=self.spec.key_seed)
+        )
+        self.limiter = RateLimiter(self.spec.burst, self.spec.rate_limit_per_s)
+        self.service = service
+        # -- shard topology ------------------------------------------------
+        if hasattr(group, "shard_groups"):  # ShardedGroup facade
+            self._shard_members: list[list[str]] = [
+                list(g.member_ids) for g in group.shard_groups
+            ]
+            self._shard_of = {
+                member: shard
+                for shard, members in enumerate(self._shard_members)
+                for member in members
+            }
+            self._router = group.router
+        else:
+            self._shard_members = [list(group.member_ids)]
+            self._shard_of = {m: 0 for m in group.member_ids}
+            self._router = None
+        self._observers = {members[0] for members in self._shard_members}
+        self._rr = [0] * len(self._shard_members)
+        self._rr_shard = 0
+        # -- feed state ----------------------------------------------------
+        self._pending: dict[str, _PendingOp] = {}
+        self._next_op = 0
+        self._next_seq = [0] * len(self._shard_members)
+        self.logs: list[list[DeliveryEvent]] = [[] for _ in self._shard_members]
+        self._subscriptions: list[Subscription] = []
+        #: Optional observer of *every* member-level delivery of a
+        #: gateway op -- the fleet workload's latency recorder hook.
+        self.on_member_delivery: typing.Callable[[str, str, float], None] | None = None
+        #: Optional observer of sequenced events (fires once per op,
+        #: at its shard observer's delivery) -- session completion hook.
+        self.on_sequenced: typing.Callable[[DeliveryEvent], None] | None = None
+        # -- counters ------------------------------------------------------
+        self.admitted = 0
+        self.sequenced = 0
+        self.rejected_auth = 0
+        self.rejected_rate = 0
+        self.rejected_overload = 0
+        self.inflight_peak = 0
+        self.stream_events = 0
+        self._latencies: list[float] = []
+        self._hook_deliveries()
+
+    # ------------------------------------------------------------------
+    # shard plumbing
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self._shard_members)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)
+
+    def shard_of_key(self, key: str | None) -> int:
+        """The shard that orders operations on ``key`` (round-robin for
+        keyless submits)."""
+        if key is not None and self._router is not None:
+            return self._router.shards_of((key,))[0]
+        shard = self._rr_shard
+        self._rr_shard = (shard + 1) % self.shards
+        return shard
+
+    def _sender_of(self, shard: int) -> str:
+        members = self._shard_members[shard]
+        index = self._rr[shard]
+        self._rr[shard] = (index + 1) % len(members)
+        return members[index]
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        api_key: str | None,
+        payload: typing.Any = None,
+        key: str | None = None,
+    ) -> SubmitOutcome:
+        """Admit (or shed) one client operation.
+
+        Admission order is auth -> rate limit -> inflight cap, so an
+        unauthenticated flood can never exhaust a client's bucket and a
+        rate-limited client can never consume inflight headroom.
+        """
+        client = self.registry.authenticate(api_key)
+        if client is None:
+            self.rejected_auth += 1
+            return SubmitOutcome(status=401, reason=UNAUTHORIZED)
+        retry_after = self.limiter.try_take(client, self.sim.now)
+        if retry_after > 0:
+            self.rejected_rate += 1
+            return SubmitOutcome(
+                status=429,
+                reason=RATE_LIMITED,
+                client=client,
+                retry_after_ms=retry_after,
+            )
+        if len(self._pending) >= self.spec.max_inflight:
+            self.rejected_overload += 1
+            return SubmitOutcome(
+                status=429,
+                reason=OVERLOADED,
+                client=client,
+                retry_after_ms=self.spec.retry_after_ms,
+            )
+        shard = self.shard_of_key(key)
+        op_id = f"op-{self._next_op:08d}"
+        self._next_op += 1
+        now = self.sim.now
+        self._pending[op_id] = _PendingOp(op_id, client, key, shard, now)
+        self.admitted += 1
+        if len(self._pending) > self.inflight_peak:
+            self.inflight_peak = len(self._pending)
+        value: dict = {"op": op_id, "c": client, "b": payload}
+        if key is not None:
+            value["k"] = key
+        self.group.multicast(self._sender_of(shard), self.service, value)
+        return SubmitOutcome(
+            status=202, reason=ACCEPTED, op_id=op_id, client=client, shard=shard
+        )
+
+    # ------------------------------------------------------------------
+    # the delivery feed
+    # ------------------------------------------------------------------
+    def _hook_deliveries(self) -> None:
+        for member, point in self._delivery_points().items():
+            point.on_deliver = self._delivery_hook(member, point.on_deliver)
+
+    def _delivery_points(self) -> dict[str, typing.Any]:
+        """Per-member objects carrying the ``on_deliver`` hook: the
+        post-holdback barrier agents of a sharded group, else the
+        invocation layers."""
+        group = self.group
+        if hasattr(group, "agents"):
+            return {m: group.agents[m] for m in group.member_ids}
+        if hasattr(group, "members"):  # ByzantineTolerantGroup
+            return {m: group.members[m].invocation for m in group.member_ids}
+        return {m: group.nsos[m].invocation for m in group.member_ids}
+
+    def _delivery_hook(self, member: str, previous):
+        def hook(message) -> None:
+            value = message.value
+            if isinstance(value, dict) and "op" in value:
+                self._on_delivery(member, value["op"], message.delivered_at)
+            if previous is not None:
+                previous(message)
+
+        return hook
+
+    def _on_delivery(self, member: str, op_id: str, delivered_at: float) -> None:
+        if self.on_member_delivery is not None:
+            self.on_member_delivery(op_id, member, delivered_at)
+        if member not in self._observers:
+            return
+        pending = self._pending.pop(op_id, None)
+        if pending is None:
+            return  # duplicate observer delivery, or an op of another gateway
+        shard = self._shard_of[member]
+        self._next_seq[shard] += 1
+        event = DeliveryEvent(
+            seq=self._next_seq[shard],
+            shard=shard,
+            op_id=op_id,
+            client=pending.client,
+            key=pending.key,
+            submitted_at=pending.submitted_at,
+            delivered_at=delivered_at,
+        )
+        self.logs[shard].append(event)
+        self.sequenced += 1
+        self._latencies.append(delivered_at - pending.submitted_at)
+        if self.on_sequenced is not None:
+            self.on_sequenced(event)
+        for subscription in list(self._subscriptions):
+            self.stream_events += 1
+            subscription.push(event)
+
+    def subscribe(
+        self,
+        callback: typing.Callable[[DeliveryEvent], None],
+        from_seq: dict[int, int] | None = None,
+    ) -> Subscription:
+        """Attach a feed consumer.
+
+        ``from_seq`` maps shard -> last acked sequence number; every
+        logged event after that cursor is replayed synchronously before
+        live events flow, so a reconnecting subscriber resumes gap-free.
+        """
+        subscription = Subscription(self, callback)
+        if from_seq:
+            subscription.cursors.update(from_seq)
+        for shard, log in enumerate(self.logs):
+            cursor = (from_seq or {}).get(shard, 0)
+            if cursor > self._next_seq[shard]:
+                raise ValueError(
+                    f"cannot resume shard {shard} from seq {cursor}: only "
+                    f"{self._next_seq[shard]} events were sequenced"
+                )
+            for event in log[cursor:]:
+                self.stream_events += 1
+                subscription.push(event)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def _drop_subscription(self, subscription: Subscription) -> None:
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """The ``GET /v1/status`` document."""
+        return {
+            "now_ms": round(self.sim.now, 3),
+            "shards": self.shards,
+            "members": len(self._shard_of),
+            "inflight": self.inflight,
+            "max_inflight": self.spec.max_inflight,
+            "admitted": self.admitted,
+            "sequenced": self.sequenced,
+            "rejected": {
+                "auth": self.rejected_auth,
+                "rate_limited": self.rejected_rate,
+                "overloaded": self.rejected_overload,
+            },
+            "next_seq": {
+                str(shard): seq for shard, seq in enumerate(self._next_seq)
+            },
+            "subscribers": len(self._subscriptions),
+            "clients": len(self.registry),
+        }
+
+    def service_metrics(self) -> dict[str, float]:
+        """Flat metrics for the experiment runner / ``repro report``."""
+        rejected = self.rejected_auth + self.rejected_rate + self.rejected_overload
+        ordered = sorted(self._latencies)
+        return {
+            "service_admitted": float(self.admitted),
+            "service_sequenced": float(self.sequenced),
+            "service_rejected": float(rejected),
+            "service_rejected_auth": float(self.rejected_auth),
+            "service_rejected_rate": float(self.rejected_rate),
+            "service_rejected_overload": float(self.rejected_overload),
+            "service_inflight_peak": float(self.inflight_peak),
+            "service_stream_events": float(self.stream_events),
+            "service_submit_p50_ms": _percentile(ordered, 0.5) if ordered else 0.0,
+            "service_submit_p99_ms": _percentile(ordered, 0.99) if ordered else 0.0,
+        }

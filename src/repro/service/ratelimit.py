@@ -1,0 +1,71 @@
+"""Per-client token-bucket rate limiting.
+
+Buckets are *clock-driven*: they never schedule anything, they are
+refilled lazily from the timestamps the caller passes in (virtual
+milliseconds from whichever :class:`~repro.transport.base.Clock` the
+run uses).  That keeps admission control identical -- decision for
+decision -- between the discrete-event simulator and the wall-clock
+asyncio backend, and makes every edge unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """The classic bucket: ``capacity`` tokens, ``rate_per_s`` refill.
+
+    ``try_take`` either admits (returns ``0.0``) or returns the time in
+    milliseconds until one token will be available -- the exact
+    ``Retry-After`` hint a 429 carries.
+    """
+
+    def __init__(self, capacity: int, rate_per_s: float) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        self.capacity = float(capacity)
+        self.rate_per_ms = rate_per_s / 1000.0
+        self.tokens = float(capacity)
+        self._refilled_at = 0.0
+
+    def _refill(self, now_ms: float) -> None:
+        elapsed = now_ms - self._refilled_at
+        if elapsed > 0:
+            self.tokens = min(self.capacity, self.tokens + elapsed * self.rate_per_ms)
+            self._refilled_at = now_ms
+
+    def try_take(self, now_ms: float) -> float:
+        """Admit one request at ``now_ms``: ``0.0``, or the retry-after
+        hint in ms when the bucket is empty."""
+        self._refill(now_ms)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate_per_ms
+
+    def available(self, now_ms: float) -> float:
+        """Tokens available at ``now_ms`` (refills first)."""
+        self._refill(now_ms)
+        return self.tokens
+
+
+class RateLimiter:
+    """One :class:`TokenBucket` per client id, created on first use."""
+
+    def __init__(self, capacity: int, rate_per_s: float) -> None:
+        self.capacity = capacity
+        self.rate_per_s = rate_per_s
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def bucket_of(self, client_id: str) -> TokenBucket:
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(self.capacity, self.rate_per_s)
+            self._buckets[client_id] = bucket
+        return bucket
+
+    def try_take(self, client_id: str, now_ms: float) -> float:
+        """Admit one request for ``client_id``; see
+        :meth:`TokenBucket.try_take`."""
+        return self.bucket_of(client_id).try_take(now_ms)

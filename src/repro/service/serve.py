@@ -1,0 +1,114 @@
+"""The ``repro serve`` runtime: a live gateway on a real socket.
+
+Builds the deployment a :class:`~repro.experiments.spec.ScenarioSpec`
+describes -- on the asyncio transport, optionally sharded, optionally
+over localhost TCP -- puts an :class:`~repro.service.gateway.
+OrderingGateway` in front of it, binds the stdlib HTTP/SSE server from
+:mod:`repro.service.http`, prints the fleet's derived API keys, and
+runs until interrupted.  See docs/SERVICE.md for the operator guide.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.service.gateway import OrderingGateway
+from repro.service.http import ServiceHttpServer
+from repro.service.spec import ServiceSpec
+
+if typing.TYPE_CHECKING:
+    from repro.experiments.spec import ScenarioSpec
+
+
+class ServeHandle:
+    """What :func:`build_server` assembled, ready to run or inspect."""
+
+    def __init__(self, transport, gateway, server) -> None:
+        self.transport = transport
+        self.clock = transport.clock
+        self.gateway = gateway
+        self.server = server
+
+    def run_forever(self) -> None:
+        """Serve until interrupted (no quiescence exit: a server idles)."""
+        self.clock.add_idle_check(lambda: False)
+        try:
+            self.clock.run()
+        finally:
+            self.transport.close()
+
+    def run(self, until_ms: float) -> None:
+        """Serve for a bounded virtual window (tests, demos).
+
+        Like :meth:`run_forever`, the server must outlive quiescence
+        -- an empty timer heap just means no client has called yet --
+        so the idle check keeps the clock alive until the window ends.
+        """
+        self.clock.add_idle_check(lambda: False)
+        try:
+            self.clock.run(until=until_ms)
+        finally:
+            self.transport.close()
+
+
+def build_server(
+    spec: "ScenarioSpec", host: str = "127.0.0.1", port: int = 0
+) -> ServeHandle:
+    """Assemble transport, group, gateway and HTTP server for a spec.
+
+    The spec must carry a *live* transport (``repro serve`` forces the
+    asyncio backend); its ``gateway`` field configures admission
+    control (a default :class:`ServiceSpec` when absent).  The server
+    is registered as a clock starter, so it binds when the run starts;
+    with ``port=0`` the kernel picks a free port, available as
+    ``handle.server.port`` after binding.
+    """
+    # Imported lazily: repro.experiments imports this package's spec.
+    from repro.experiments.runner import (
+        build_ordering_group,
+        build_sharded_group,
+        live_overrides,
+    )
+    from repro.transport import SERVICE_FLOOR_MS, build_transport, calibrate
+
+    if spec.transport is None or not spec.transport.live:
+        raise ValueError("repro serve needs a live transport (e.g. --transport asyncio)")
+    transport = build_transport(spec.transport, seed=spec.seed)
+    clock = transport.clock
+    clock.trace.enabled = False
+    calibration = (
+        # A server always has the gateway on the loop: use the loaded floor.
+        calibrate(tcp=spec.transport.tcp, base_delta_ms=SERVICE_FLOOR_MS)
+        if spec.transport.calibrate
+        else None
+    )
+    overrides = dict(live_overrides(spec, calibration))
+    if spec.shard is not None:
+        group = build_sharded_group(
+            clock, spec, transport=transport, overrides=overrides or None
+        )
+    else:
+        overrides["network"] = transport.make_network(default_delay=spec.delay.build())
+        group = build_ordering_group(clock, spec, **overrides)
+    service_spec = spec.gateway if spec.gateway is not None else ServiceSpec()
+    gateway = OrderingGateway(clock, group, service_spec, service=spec.service)
+    server = ServiceHttpServer(clock, gateway, host=host, port=port)
+    clock.add_starter(server.start)
+    return ServeHandle(transport, gateway, server)
+
+
+def describe(handle: ServeHandle) -> str:
+    """The operator banner ``repro serve`` prints: endpoints and keys."""
+    gateway = handle.gateway
+    spec = gateway.spec
+    lines = [
+        f"ordering service: {gateway.shards} shard(s), "
+        f"{len(gateway.group.member_ids)} members",
+        f"admission: {spec.rate_limit_per_s:g} ops/s/client (burst {spec.burst}), "
+        f"inflight cap {spec.max_inflight}",
+        "endpoints: POST /v1/submit  GET /v1/stream  GET /v1/status  GET /healthz",
+        "api keys:",
+    ]
+    for client_id in gateway.registry.client_ids:
+        lines.append(f"  {client_id}: {gateway.registry.key_of(client_id)}")
+    return "\n".join(lines)

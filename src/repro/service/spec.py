@@ -1,0 +1,118 @@
+"""Declarative description of the client-facing gateway.
+
+A :class:`ServiceSpec` on a :class:`~repro.experiments.spec.ScenarioSpec`
+turns the run into a *served* one: instead of the fixed-rate paper
+workload, a closed-loop client fleet (:class:`repro.service.workload.
+ServiceWorkload`) drives an :class:`~repro.service.gateway.
+OrderingGateway` sitting in front of the group.  Like every other spec
+in the experiments layer it is value-only -- JSON-serialisable,
+picklable across campaign workers, and validated at construction.
+
+The admission-control knobs mirror what the live HTTP front end
+(:mod:`repro.service.http`) enforces: per-client token buckets
+(``rate_limit_per_s`` / ``burst``) and the gateway inflight cap
+(``max_inflight`` -- the admission-side reflection of the batching
+pipeline's own ``max_inflight``; once this many admitted operations
+are awaiting their delivered-order sequence number, further submits
+are shed with a retry hint instead of deepening the queue).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ServiceSpec:
+    """The gateway, its admission control, and the client fleet.
+
+    Gateway knobs:
+
+    * ``clients`` -- distinct API keys issued (deterministically derived
+      from ``key_seed``; see :mod:`repro.service.auth`);
+    * ``rate_limit_per_s`` / ``burst`` -- per-client token bucket:
+      sustained refill rate and bucket capacity;
+    * ``max_inflight`` -- admitted-but-not-yet-sequenced cap; hitting it
+      rejects with ``overloaded`` (HTTP 429) and a retry hint;
+    * ``retry_after_ms`` -- the ``Retry-After`` hint returned on an
+      overload rejection (rate-limit rejections compute the exact
+      token-availability time instead).
+
+    Fleet knobs (virtual time, so identical on sim and asyncio clocks):
+
+    * ``sessions`` x ``ops_per_session`` closed-loop sessions, each
+      submitting its next operation only after the previous one was
+      sequenced, thinking ``think_ms`` (exponential, deterministic rng
+      stream) between operations;
+    * ``zipf_s`` -- key-popularity skew over a ``keyspace``-sized key
+      set (sharded runs use the ShardSpec's keyspace instead);
+    * ``subscribers`` streaming consumers verifying the delivery feed,
+      each dropping and resuming from its last acked sequence number
+      every ``reconnect_every`` events (0 = never reconnect);
+    * ``max_retries`` -- shed submits are retried this many times with
+      the returned retry hint before the session gives up;
+    * ``ramp_ms`` -- window over which session starts are staggered
+      (0 = one think window).  Large fleets need a real ramp: a
+      thousand sessions arriving within one think window is a
+      thundering herd no deployment admits, and on the wall-clock
+      transport the burst starves heartbeat timers.
+    """
+
+    clients: int = 4
+    rate_limit_per_s: float = 200.0
+    burst: int = 20
+    max_inflight: int = 256
+    retry_after_ms: float = 100.0
+    sessions: int = 32
+    ops_per_session: int = 4
+    think_ms: float = 50.0
+    zipf_s: float = 1.1
+    keyspace: int = 64
+    subscribers: int = 2
+    reconnect_every: int = 0
+    max_retries: int = 8
+    ramp_ms: float = 0.0
+    key_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.rate_limit_per_s <= 0:
+            raise ValueError(
+                f"rate_limit_per_s must be > 0, got {self.rate_limit_per_s}"
+            )
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.retry_after_ms <= 0:
+            raise ValueError(f"retry_after_ms must be > 0, got {self.retry_after_ms}")
+        if self.sessions < 1:
+            raise ValueError(f"sessions must be >= 1, got {self.sessions}")
+        if self.ops_per_session < 1:
+            raise ValueError(
+                f"ops_per_session must be >= 1, got {self.ops_per_session}"
+            )
+        if self.think_ms <= 0:
+            raise ValueError(f"think_ms must be > 0, got {self.think_ms}")
+        if self.zipf_s < 0:
+            raise ValueError(f"zipf_s must be >= 0, got {self.zipf_s}")
+        if self.keyspace < 1:
+            raise ValueError(f"keyspace must be >= 1, got {self.keyspace}")
+        if self.subscribers < 0:
+            raise ValueError(f"subscribers must be >= 0, got {self.subscribers}")
+        if self.reconnect_every < 0:
+            raise ValueError(
+                f"reconnect_every must be >= 0, got {self.reconnect_every}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.ramp_ms < 0:
+            raise ValueError(f"ramp_ms must be >= 0, got {self.ramp_ms}")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceSpec":
+        return cls(**data)

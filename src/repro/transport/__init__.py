@@ -21,7 +21,7 @@ from __future__ import annotations
 import typing
 
 from repro.transport.base import TRANSPORT_KINDS, Clock, TimerHandle, Transport
-from repro.transport.calibration import CalibrationResult, calibrate
+from repro.transport.calibration import SERVICE_FLOOR_MS, CalibrationResult, calibrate
 from repro.transport.sim import SimTransport
 
 if typing.TYPE_CHECKING:
@@ -30,6 +30,7 @@ if typing.TYPE_CHECKING:
 __all__ = [
     "TRANSPORT_KINDS",
     "CalibrationResult",
+    "SERVICE_FLOOR_MS",
     "Clock",
     "SimTransport",
     "TimerHandle",

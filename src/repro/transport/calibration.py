@@ -226,6 +226,18 @@ def probe_tcp_lag(
     return lags
 
 
+#: Delta floor for served runs (a gateway fleet on the protocol's
+#: loop).  The idle probe cannot see the contention a thousand
+#: closed-loop sessions and their submit bursts add between timer
+#: wakeups -- the same blind spot ``tcp_floor_ms`` covers for socket
+#: servicing -- so a served calibration starts from this floor instead
+#: of the idle ``base_delta_ms``.  Sized so t2 = 2*delta comfortably
+#: absorbs the multi-hundred-millisecond stalls (allocator/GC pauses
+#: under tens of thousands of live envelopes) a loaded CPython loop
+#: exhibits.
+SERVICE_FLOOR_MS = 100.0
+
+
 def calibrate(
     scheme: SignatureScheme | None = None,
     samples: int = 48,

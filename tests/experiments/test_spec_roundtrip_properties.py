@@ -22,6 +22,7 @@ from repro.experiments.spec import (
     ScenarioSpec,
     ShardSpec,
 )
+from repro.service.spec import ServiceSpec
 
 DELAYS = st.one_of(
     st.builds(DelaySpec, kind=st.just("constant"), value=st.floats(0.1, 50.0)),
@@ -102,6 +103,29 @@ ADVERSARIES = st.lists(
 ).map(tuple)
 
 
+GATEWAYS = st.one_of(
+    st.none(),
+    st.builds(
+        ServiceSpec,
+        clients=st.integers(1, 16),
+        rate_limit_per_s=st.floats(1.0, 5000.0),
+        burst=st.integers(1, 500),
+        max_inflight=st.integers(1, 2048),
+        retry_after_ms=st.floats(1.0, 1000.0),
+        sessions=st.integers(1, 2000),
+        ops_per_session=st.integers(1, 16),
+        think_ms=st.floats(0.5, 500.0),
+        zipf_s=st.floats(0.0, 3.0),
+        keyspace=st.integers(1, 256),
+        subscribers=st.integers(0, 8),
+        reconnect_every=st.integers(0, 200),
+        max_retries=st.integers(0, 64),
+        ramp_ms=st.floats(0.0, 10_000.0),
+        key_seed=st.integers(0, 2**16),
+    ),
+)
+
+
 def scenario_specs():
     return st.builds(
         ScenarioSpec,
@@ -119,7 +143,14 @@ def scenario_specs():
         shard=SHARDS,
         crypto_scale=st.floats(0.1, 4.0),
         collapsed=st.booleans(),
+        gateway=GATEWAYS,
     )
+
+
+@given(gateway=GATEWAYS.filter(lambda g: g is not None))
+@settings(max_examples=40, deadline=None)
+def test_service_spec_round_trips(gateway):
+    assert ServiceSpec.from_dict(json.loads(json.dumps(gateway.to_dict()))) == gateway
 
 
 @given(spec=scenario_specs())

@@ -1,0 +1,32 @@
+"""The FastAPI adapter is an optional extra, gated at import time."""
+
+import importlib.util
+
+import pytest
+
+from repro.service.app import create_app
+
+_HAVE_FASTAPI = importlib.util.find_spec("fastapi") is not None
+
+
+@pytest.mark.skipif(_HAVE_FASTAPI, reason="fastapi installed; the gate is open")
+def test_missing_fastapi_names_the_extra_and_the_fallback():
+    with pytest.raises(ImportError) as excinfo:
+        create_app(gateway=None)
+    message = str(excinfo.value)
+    assert "repro[service]" in message
+    assert "repro serve" in message  # points at the stdlib alternative
+
+
+@pytest.mark.skipif(not _HAVE_FASTAPI, reason="fastapi not installed")
+def test_create_app_builds_with_fastapi_present():
+    from repro.experiments.runner import build_ordering_group
+    from repro.experiments.spec import ScenarioSpec
+    from repro.service import OrderingGateway
+    from repro.sim.scheduler import Simulator
+
+    sim = Simulator(seed=1)
+    group = build_ordering_group(sim, ScenarioSpec(system="fs-newtop", seed=1))
+    app = create_app(OrderingGateway(sim, group))
+    paths = {route.path for route in app.routes}
+    assert {"/healthz", "/v1/status", "/v1/submit", "/v1/stream"} <= paths

@@ -1,0 +1,43 @@
+"""API-key derivation and registry edges."""
+
+import pytest
+
+from repro.service.auth import ApiKeyRegistry, derive_key
+
+
+def test_derived_keys_are_deterministic_and_seed_scoped():
+    assert derive_key("client-0", seed=7) == derive_key("client-0", seed=7)
+    assert derive_key("client-0", seed=7) != derive_key("client-0", seed=8)
+    assert derive_key("client-0", seed=7) != derive_key("client-1", seed=7)
+    assert derive_key("client-0").startswith("sk-")
+
+
+def test_generate_issues_one_key_per_client():
+    registry = ApiKeyRegistry.generate(3, seed=5)
+    assert len(registry) == 3
+    assert registry.client_ids == ["client-0", "client-1", "client-2"]
+    for client_id in registry.client_ids:
+        assert registry.authenticate(registry.key_of(client_id)) == client_id
+
+
+def test_authenticate_rejects_unknown_empty_and_none():
+    registry = ApiKeyRegistry.generate(2)
+    assert registry.authenticate("sk-not-a-key") is None
+    assert registry.authenticate("") is None
+    assert registry.authenticate(None) is None
+
+
+def test_rotation_revokes_the_previous_key():
+    registry = ApiKeyRegistry()
+    old = registry.issue("alice", "sk-old")
+    registry.issue("alice", "sk-new")
+    assert registry.authenticate(old) is None
+    assert registry.authenticate("sk-new") == "alice"
+    assert len(registry) == 1
+
+
+def test_cross_client_key_reuse_is_rejected():
+    registry = ApiKeyRegistry()
+    registry.issue("alice", "sk-shared")
+    with pytest.raises(ValueError, match="already issued"):
+        registry.issue("bob", "sk-shared")

@@ -1,0 +1,215 @@
+"""The stdlib HTTP/SSE front end on a real socket.
+
+Each test builds the full ``repro serve`` stack -- asyncio transport,
+ordering group, gateway, :class:`ServiceHttpServer` on an ephemeral
+port -- and drives it with a raw asyncio client.  A permanent idle
+check keeps the run alive (a server idles by design); the client
+coroutine ends the run by failing the clock with a sentinel.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments.spec import ScenarioSpec, TransportSpec
+from repro.service import ServiceSpec
+from repro.service.serve import build_server
+
+pytestmark = pytest.mark.realtime
+
+
+class _Done(Exception):
+    """Sentinel the client raises through the clock to end the run."""
+
+
+def run_live(service_spec, client, n_members=4, seed=3):
+    """Serve a fresh stack and run ``client(handle)`` against it."""
+    spec = ScenarioSpec(
+        system="fs-newtop",
+        n_members=n_members,
+        seed=seed,
+        transport=TransportSpec(kind="asyncio"),
+        gateway=service_spec,
+    )
+    handle = build_server(spec, port=0)
+    clock = handle.clock
+    clock.add_idle_check(lambda: False)  # never quiesce; the client decides
+    box = {}
+
+    async def driver():
+        try:
+            while not handle.server.port:  # wait for the listener to bind
+                await asyncio.sleep(0.005)
+            box["value"] = await asyncio.wait_for(client(handle), timeout=20.0)
+        except BaseException as exc:
+            box["error"] = exc
+        finally:
+            clock.fail(_Done())
+
+    clock.add_starter(driver)
+    with pytest.raises(_Done):
+        handle.run(until_ms=60_000.0)
+    if "error" in box:
+        raise box["error"]
+    return box.get("value")
+
+
+def good_key(handle, index=0):
+    registry = handle.gateway.registry
+    return registry.key_of(registry.client_ids[index])
+
+
+# ----------------------------------------------------------------------
+# a minimal raw HTTP client
+# ----------------------------------------------------------------------
+async def request(port, method, path, key=None, body=None):
+    """One request over a fresh connection; returns (status, headers, json)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        payload = b"" if body is None else json.dumps(body).encode()
+        lines = [f"{method} {path} HTTP/1.1", "Host: localhost"]
+        if key is not None:
+            lines.append(f"Authorization: Bearer {key}")
+        lines.append(f"Content-Length: {len(payload)}")
+        lines.append("Connection: close")
+        lines.append("\r\n")
+        writer.write("\r\n".join(lines).encode() + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, body_bytes = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split()[1])
+    headers = {}
+    for line in head_lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(body_bytes) if body_bytes else None
+
+
+async def open_stream(port, key, cursors=None):
+    """Open /v1/stream and consume the response headers."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    path = "/v1/stream" if cursors is None else f"/v1/stream?from={cursors}"
+    writer.write(
+        (
+            f"GET {path} HTTP/1.1\r\nHost: localhost\r\n"
+            f"Authorization: Bearer {key}\r\n\r\n"
+        ).encode()
+    )
+    await writer.drain()
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+        if line in (b"\r\n", b"\n"):
+            break
+    return reader, writer
+
+
+async def read_event(reader):
+    """The next SSE event carrying data (skips the retry preamble)."""
+    while True:
+        fields = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            text = line.decode().rstrip("\n")
+            if not text:
+                break
+            name, _, value = text.partition(":")
+            fields[name.strip()] = value.strip()
+        if "data" in fields:
+            return fields["id"], json.loads(fields["data"])
+
+
+# ----------------------------------------------------------------------
+# tests
+# ----------------------------------------------------------------------
+def test_healthz_status_and_auth_edges():
+    async def client(handle):
+        port = handle.server.port
+        status, _, body = await request(port, "GET", "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        status, _, _ = await request(port, "GET", "/v1/status")
+        assert status == 401  # status needs a key
+        status, _, _ = await request(port, "GET", "/v1/status", key="sk-wrong")
+        assert status == 401
+        status, _, body = await request(
+            port, "GET", "/v1/status", key=good_key(handle)
+        )
+        assert status == 200
+        assert body["members"] == 4 and body["shards"] == 1
+        status, _, _ = await request(port, "GET", "/nope", key=good_key(handle))
+        assert status == 404
+
+    run_live(ServiceSpec(), client)
+
+
+def test_bad_key_submit_is_401_and_counted():
+    async def client(handle):
+        status, _, body = await request(
+            handle.server.port, "POST", "/v1/submit", key="sk-wrong", body={"payload": 1}
+        )
+        assert status == 401 and body["reason"] == "unauthorized"
+        assert handle.gateway.rejected_auth == 1
+
+    run_live(ServiceSpec(), client)
+
+
+def test_submitted_ops_flow_to_the_stream_in_order():
+    async def client(handle):
+        port = handle.server.port
+        key = good_key(handle)
+        reader, writer = await open_stream(port, key)
+        for i in range(3):
+            status, _, body = await request(
+                port, "POST", "/v1/submit", key=key, body={"payload": i}
+            )
+            assert status == 202 and body["op_id"].startswith("op-")
+        seen = [await read_event(reader) for _ in range(3)]
+        writer.close()
+        assert [event["seq"] for _, event in seen] == [1, 2, 3]
+        assert [event_id for event_id, _ in seen] == ["0:1", "0:2", "0:3"]
+
+    run_live(ServiceSpec(), client)
+
+
+def test_rate_limit_429_carries_the_retry_after_header():
+    async def client(handle):
+        port = handle.server.port
+        key = good_key(handle)
+        outcomes = []
+        for i in range(4):
+            status, headers, body = await request(
+                port, "POST", "/v1/submit", key=key, body={"payload": i}
+            )
+            outcomes.append((status, headers, body))
+        shed = [o for o in outcomes if o[0] == 429]
+        assert len(shed) >= 1  # burst of 2, negligible refill at 2/s
+        status, headers, body = shed[0]
+        assert body["reason"] == "rate_limited"
+        assert body["retry_after_ms"] > 0
+        assert int(headers["retry-after"]) >= 1  # whole seconds, rounded up
+
+    run_live(ServiceSpec(burst=2, rate_limit_per_s=2.0), client)
+
+
+def test_stream_resumes_from_a_cursor_after_reconnect():
+    async def client(handle):
+        port = handle.server.port
+        key = good_key(handle)
+        reader, writer = await open_stream(port, key)
+        for i in range(2):
+            await request(port, "POST", "/v1/submit", key=key, body={"payload": i})
+        first = [await read_event(reader) for _ in range(2)]
+        assert [e["seq"] for _, e in first] == [1, 2]
+        last_id = first[-1][0]
+        writer.close()
+        # An op sequenced while disconnected is replayed on resume.
+        await request(port, "POST", "/v1/submit", key=key, body={"payload": 99})
+        reader, writer = await open_stream(port, key, cursors=last_id)
+        event_id, event = await read_event(reader)
+        writer.close()
+        assert (event_id, event["seq"]) == ("0:3", 3)
+
+    run_live(ServiceSpec(), client)

@@ -1,0 +1,55 @@
+"""Token-bucket arithmetic: admission, refill, and the retry hint.
+
+Buckets are lazily refilled from caller timestamps, so every edge is
+checked with plain numbers -- no clocks, no sleeping.
+"""
+
+import pytest
+
+from repro.service.ratelimit import RateLimiter, TokenBucket
+
+
+def test_burst_is_admitted_then_exhaustion_sheds():
+    bucket = TokenBucket(capacity=3, rate_per_s=1000.0)
+    assert [bucket.try_take(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+    assert bucket.try_take(0.0) > 0.0
+
+
+def test_retry_hint_is_the_exact_time_to_one_token():
+    bucket = TokenBucket(capacity=1, rate_per_s=100.0)  # 0.1 tokens/ms
+    assert bucket.try_take(0.0) == 0.0
+    hint = bucket.try_take(0.0)
+    assert hint == pytest.approx(10.0)  # 1 token / 0.1 per ms
+    # Waiting exactly the hint admits again.
+    assert bucket.try_take(hint) == 0.0
+
+
+def test_refill_is_proportional_and_capped():
+    bucket = TokenBucket(capacity=5, rate_per_s=1000.0)  # 1 token/ms
+    for _ in range(5):
+        bucket.try_take(0.0)
+    assert bucket.available(2.0) == pytest.approx(2.0)
+    # A long idle period refills to capacity, never beyond.
+    assert bucket.available(10_000.0) == pytest.approx(5.0)
+
+
+def test_mid_bucket_partial_refill_halves_the_hint():
+    bucket = TokenBucket(capacity=1, rate_per_s=100.0)
+    bucket.try_take(0.0)
+    hint = bucket.try_take(5.0)  # 0.5 tokens refilled by then
+    assert hint == pytest.approx(5.0)
+
+
+def test_limiter_isolates_clients():
+    limiter = RateLimiter(capacity=1, rate_per_s=10.0)
+    assert limiter.try_take("a", 0.0) == 0.0
+    assert limiter.try_take("a", 0.0) > 0.0  # a is exhausted
+    assert limiter.try_take("b", 0.0) == 0.0  # b is untouched
+    assert limiter.bucket_of("a") is not limiter.bucket_of("b")
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=0, rate_per_s=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=1, rate_per_s=0.0)

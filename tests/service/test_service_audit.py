@@ -1,0 +1,49 @@
+"""The registered service scenarios through the full invariant audit.
+
+These are the end-to-end gates: a client fleet drives the gateway,
+the gateway drives the (possibly sharded) group, and all seven
+invariant oracles watch the trace.  ``svc_fleet_smoke`` and
+``svc_overload`` run on every tier-1 pass; the 1000-session fleet is
+behind ``--runslow``.
+"""
+
+import pytest
+
+from repro.experiments.registry import get_scenario
+from repro.experiments.runner import audit_scenario
+
+
+def _audited(name):
+    scenario = get_scenario(name)
+    run = audit_scenario(scenario.base)
+    assert run.report.ok, run.report.render()
+    return run.result.metrics
+
+
+def test_svc_fleet_smoke_passes_every_oracle():
+    metrics = _audited("svc_fleet_smoke")
+    assert metrics["service_sessions_done"] == metrics["service_sessions"]
+    assert metrics["service_stream_gaps"] == 0
+    assert metrics["service_stream_mismatches"] == 0
+    assert metrics["service_reconnects"] > 0
+    assert metrics["fail_signals"] == 0  # no spurious fail-signals
+
+
+def test_svc_overload_sheds_without_violations():
+    metrics = _audited("svc_overload")
+    # The point of the scenario: real shedding, zero correctness cost.
+    assert metrics["service_rejected"] > 0
+    assert metrics["service_stream_gaps"] == 0
+    assert metrics["service_stream_mismatches"] == 0
+    assert metrics["service_sequenced"] == metrics["service_admitted"]
+    assert metrics["fail_signals"] == 0
+
+
+@pytest.mark.slow
+def test_svc_fleet_1k_sessions_pass_every_oracle():
+    metrics = _audited("svc_fleet_1k")
+    assert metrics["service_sessions"] == 1000
+    assert metrics["service_sessions_done"] == 1000
+    assert metrics["service_stream_gaps"] == 0
+    assert metrics["service_stream_mismatches"] == 0
+    assert metrics["fail_signals"] == 0

@@ -1,0 +1,59 @@
+"""ServiceSpec validation and its ScenarioSpec integration."""
+
+import pytest
+
+from repro.experiments.spec import ScenarioSpec
+from repro.service import ServiceSpec
+
+
+def test_roundtrips_through_json_values():
+    spec = ServiceSpec(
+        clients=2,
+        rate_limit_per_s=50.0,
+        burst=5,
+        max_inflight=32,
+        sessions=100,
+        ops_per_session=3,
+        reconnect_every=10,
+    )
+    assert ServiceSpec.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"clients": 0},
+        {"rate_limit_per_s": 0.0},
+        {"burst": 0},
+        {"max_inflight": 0},
+        {"retry_after_ms": 0.0},
+        {"sessions": 0},
+        {"ops_per_session": 0},
+        {"think_ms": 0.0},
+        {"zipf_s": -0.1},
+        {"keyspace": 0},
+        {"subscribers": -1},
+        {"reconnect_every": -1},
+        {"max_retries": -1},
+        {"ramp_ms": -1.0},
+    ],
+)
+def test_validation_rejects_degenerate_values(overrides):
+    with pytest.raises(ValueError):
+        ServiceSpec(**overrides)
+
+
+def test_scenario_spec_carries_and_roundtrips_the_gateway():
+    spec = ScenarioSpec(gateway=ServiceSpec(sessions=7))
+    data = spec.to_dict()
+    assert data["gateway"]["sessions"] == 7
+    assert ScenarioSpec.from_dict(data) == spec
+    # Absent stays absent.
+    bare = ScenarioSpec()
+    assert bare.to_dict()["gateway"] is None
+    assert ScenarioSpec.from_dict(bare.to_dict()).gateway is None
+
+
+def test_gateway_on_pbft_is_rejected():
+    with pytest.raises(ValueError, match="ordering systems"):
+        ScenarioSpec(system="pbft", gateway=ServiceSpec())
