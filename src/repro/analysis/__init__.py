@@ -6,10 +6,11 @@ from repro.analysis.aggregate import (
     aggregate_records,
     audit_summary,
     batching_summary,
+    obs_summary,
     service_summary,
     shard_summary,
 )
-from repro.analysis.metrics import LatencyRecorder, Summary, summarize
+from repro.analysis.metrics import LatencyRecorder, Summary, percentile, summarize
 from repro.analysis.tables import format_series_table
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "audit_summary",
     "batching_summary",
     "format_series_table",
+    "obs_summary",
+    "percentile",
     "service_summary",
     "shard_summary",
     "summarize",

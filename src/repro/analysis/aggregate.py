@@ -210,7 +210,46 @@ def service_summary(records: typing.Iterable) -> dict:
         "submit_p99_ms": max(
             r.metrics.get("service_submit_p99_ms", 0.0) for r in served
         ),
+        "submit_p999_ms": max(
+            r.metrics.get("service_submit_p999_ms", 0.0) for r in served
+        ),
+        "rejected_auth": int(
+            sum(r.metrics.get("service_rejected_auth", 0.0) for r in served)
+        ),
+        "rejected_rate": int(
+            sum(r.metrics.get("service_rejected_rate", 0.0) for r in served)
+        ),
+        "rejected_overload": int(
+            sum(r.metrics.get("service_rejected_overload", 0.0) for r in served)
+        ),
     }
+
+
+def obs_summary(records: typing.Iterable) -> dict:
+    """Campaign-level roll-up of the ``obs_*`` instrumentation metrics.
+
+    Instrumented runs carry the histogram summaries of
+    :meth:`repro.obs.spans.ObsHub.summary_metrics`.  Worst-case latency
+    quantiles take the max across cells (a p99 is already an upper
+    statistic; averaging them would hide the worst cell), counts sum.
+    Returns an empty dict when no record was instrumented.
+    """
+    observed = [
+        r
+        for r in records
+        if any(key.startswith("obs_") for key in r.metrics)
+    ]
+    if not observed:
+        return {}
+    out: dict = {"observed_cells": len(observed)}
+    keys = sorted({k for r in observed for k in r.metrics if k.startswith("obs_")})
+    for key in keys:
+        values = [r.metrics[key] for r in observed if key in r.metrics]
+        if key.endswith("_count") or key.endswith("_total") or key.endswith("deferrals"):
+            out[key] = sum(values)
+        else:
+            out[key] = max(values)
+    return out
 
 
 def audit_summary(records: typing.Iterable) -> dict:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import typing
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -23,8 +24,26 @@ class Summary:
         )
 
 
+def percentile(values: typing.Iterable[float], q: float) -> float:
+    """The q-th percentile (0..1) of a sample, by nearest-rank.
+
+    The repo's one percentile convention (the same the per-run
+    summaries, the live calibration and the obs histograms use): sort,
+    take the ``ceil(q * n)``-th smallest value.  An empty sample is
+    0.0 -- callers like :func:`repro.transport.calibrate` percentile
+    optional probe results that may legitimately be empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0,1], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    return _percentile(ordered, q)
+
+
 def _percentile(ordered: list[float], q: float) -> float:
-    """Nearest-rank percentile on a pre-sorted sample."""
+    """Nearest-rank percentile on a pre-sorted, non-empty sample (the
+    internal fast path under :func:`percentile`)."""
     if not ordered:
         raise ValueError("empty sample")
     rank = max(1, math.ceil(q * len(ordered)))

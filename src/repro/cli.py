@@ -17,6 +17,8 @@ Two interfaces share this entry point:
       python -m repro report --results results/fig7_throughput.jsonl
       python -m repro audit --scenario adv_equivocation
       python -m repro audit --scenario fig6_latency --adversary replay
+      python -m repro obs --scenario fig7_throughput --out obs.json
+      python -m repro obs --url http://127.0.0.1:9464/metrics
 """
 
 from __future__ import annotations
@@ -28,13 +30,14 @@ from repro.analysis import (
     aggregate_records,
     batching_summary,
     format_series_table,
+    obs_summary,
     service_summary,
     shard_summary,
 )
 from repro.newtop.services import ServiceType
 from repro.workloads import run_ordering_experiment
 
-SUBCOMMANDS = ("list", "run", "campaign", "report", "bench", "audit", "serve")
+SUBCOMMANDS = ("list", "run", "campaign", "report", "bench", "audit", "serve", "obs")
 
 #: Metrics the report prints, in order, with display units.  The shard
 #: columns only appear for runs that carry them (sharded deployments);
@@ -53,6 +56,15 @@ REPORT_METRICS = (
     ("service_rejected", "ops"),
     ("service_submit_p50_ms", "ms"),
     ("service_submit_p99_ms", "ms"),
+    ("service_submit_p999_ms", "ms"),
+    ("wall_elapsed_s", "s"),
+    ("timer_slack_mean_ms", "ms"),
+    ("timer_slack_max_ms", "ms"),
+    ("calibrated_delta_ms", "ms"),
+    ("deadline_margin_ms", "ms"),
+    ("obs_sign_p99_ms", "ms"),
+    ("obs_verify_p99_ms", "ms"),
+    ("obs_countersign_p99_ms", "ms"),
 )
 
 #: ``repro list`` groups scenarios into these families, in this order.
@@ -269,6 +281,28 @@ def build_command_parser() -> argparse.ArgumentParser:
         help="serve for this many seconds, then exit (default: until Ctrl-C)",
     )
     _add_transport_arguments(serve)
+
+    obs = sub.add_parser(
+        "obs",
+        help="snapshot an observability registry: scrape a live /metrics "
+        "endpoint or run a scenario and dump its metrics as JSON",
+    )
+    source = obs.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--url",
+        help="scrape this /metrics endpoint (Prometheus text) and re-emit "
+        "the parsed families as JSON",
+    )
+    source.add_argument(
+        "--scenario",
+        help="run this registered scenario's base spec once with "
+        "observability on and dump the registry snapshot",
+    )
+    obs.add_argument("--seed", type=int, default=0, help="base seed (default 0)")
+    obs.add_argument(
+        "--out", help="write the JSON here instead of stdout"
+    )
+    _add_transport_arguments(obs)
     return parser
 
 
@@ -297,6 +331,12 @@ def _add_transport_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="with --transport asyncio: skip host calibration and keep the "
         "spec's cost-model deadlines",
+    )
+    parser.add_argument(
+        "--obs-port",
+        type=int,
+        help="force observability on and, with --transport asyncio, serve "
+        "GET /metrics on this port during the run (0 = pick a free one)",
     )
 
 
@@ -543,12 +583,41 @@ def _print_summary(scenario, records) -> None:
             f"service: {service['served_cells']} served cell(s), "
             f"{service['admitted']} admitted / {service['rejected']} shed "
             f"({service['admission_rate']:.0%} admission), "
-            f"submit p99 {service['submit_p99_ms']:.1f}ms"
+            f"submit p99/p99.9 {service['submit_p99_ms']:.1f}/"
+            f"{service['submit_p999_ms']:.1f}ms"
         )
+        shed = [
+            f"{reason} {service[key]}"
+            for reason, key in (
+                ("auth", "rejected_auth"),
+                ("rate", "rejected_rate"),
+                ("overload", "rejected_overload"),
+            )
+            if service.get(key)
+        ]
+        if shed:
+            line += f" (shed: {', '.join(shed)})"
         if service["gave_up"]:
             line += f"; {service['gave_up']} session(s) gave up"
         if service["feed_violations"]:
             line += f"; FEED VIOLATIONS: {service['feed_violations']}"
+        print(line)
+    observability = obs_summary(records)
+    if observability:
+        line = f"obs: {observability['observed_cells']} instrumented cell(s)"
+        parts = [
+            f"{stage} p99 {observability[key]:.2f}ms"
+            for stage, key in (
+                ("sign", "obs_sign_p99_ms"),
+                ("verify", "obs_verify_p99_ms"),
+                ("countersign", "obs_countersign_p99_ms"),
+            )
+            if key in observability
+        ]
+        if parts:
+            line += ", " + ", ".join(parts)
+        if "obs_submit_p999_ms" in observability:
+            line += f", submit p99.9 {observability['obs_submit_p999_ms']:.1f}ms"
         print(line)
     if scenario.expected:
         print(f"expected: {scenario.expected}")
@@ -599,6 +668,30 @@ def _apply_shard_override(scenario, systems, args):
         print(f"error: {exc}")
         return None
     return _dataclasses.replace(scenario, base=base)
+
+
+def _with_obs_port(spec, port: int):
+    """The ``--obs-port`` overlay: force observability onto a spec.
+
+    An explicit flag opts measurement runs in (they are un-instrumented
+    by default so the perf gate sees the obs-disabled stack); on a live
+    transport it also picks the ``GET /metrics`` bind port."""
+    import dataclasses as _dataclasses
+
+    from repro.experiments.spec import ObsSpec
+
+    if spec.obs is not None:
+        return spec.replace(
+            obs=_dataclasses.replace(spec.obs, enabled=True, http_port=port)
+        )
+    return spec.replace(obs=ObsSpec(http_port=port))
+
+
+def _check_obs_port(port: int | None) -> bool:
+    if port is not None and not 0 <= port <= 65535:
+        print(f"error: --obs-port must be in [0, 65535], got {port}")
+        return False
+    return True
 
 
 def _parse_transport_override(args):
@@ -664,6 +757,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenario = _apply_transport_override(scenario, systems, transport)
         if scenario is None:
             return 2
+    if not _check_obs_port(args.obs_port):
+        return 2
+    if args.obs_port is not None:
+        import dataclasses as _dataclasses
+
+        scenario = _dataclasses.replace(
+            scenario, base=_with_obs_port(scenario.base, args.obs_port)
+        )
     campaign = Campaign(scenario, repeats=1, base_seed=args.seed, systems=systems)
     try:
         records = campaign.execute(jobs=args.jobs)
@@ -778,6 +879,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     ok, transport = _parse_transport_override(args)
     if not ok:
         return 2
+    if not _check_obs_port(args.obs_port):
+        return 2
     config = AuditConfig(detection_deadline_ms=args.deadline)
 
     failures = 0
@@ -805,6 +908,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             spec = spec.replace(adversaries=spec.adversaries + (overlay,))
         if transport is not None:
             spec = spec.replace(transport=transport)
+        if args.obs_port is not None:
+            spec = _with_obs_port(spec, args.obs_port)
         spec = spec.replace(seed=spec.seed + args.seed)
         try:
             run = audit_scenario(spec, config=config, scenario=scenario.name)
@@ -814,6 +919,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         audited += 1
         print(f"-- {scenario.name} [{system} {scenario.sweep_axis}={x_label}]")
         print(run.report.render())
+        if run.flight_bundle:
+            print(f"flight recorder bundle: {run.flight_bundle}")
         if not run.report.ok:
             failures += 1
     if audited == 0:
@@ -898,6 +1005,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    if args.url is not None:
+        if (
+            args.transport is not None
+            or args.tcp
+            or args.time_scale is not None
+            or args.no_calibrate
+            or args.obs_port is not None
+        ):
+            print("error: transport/--obs-port flags apply to --scenario mode only")
+            return 2
+        import urllib.error
+        import urllib.request
+
+        from repro.obs import parse
+
+        try:
+            with urllib.request.urlopen(args.url, timeout=10.0) as response:
+                text = response.read().decode()
+        except (OSError, ValueError, urllib.error.URLError) as exc:
+            print(f"error: cannot scrape {args.url}: {exc}")
+            return 2
+        try:
+            document = parse(text)
+        except ValueError as exc:
+            print(f"error: {args.url} is not a Prometheus text exposition: {exc}")
+            return 2
+    else:
+        from repro.experiments import (
+            UnknownScenarioError,
+            get_scenario,
+            observe_spec,
+        )
+
+        try:
+            scenario = get_scenario(args.scenario)
+        except UnknownScenarioError as exc:
+            print(f"error: {exc}")
+            return 2
+        ok, transport = _parse_transport_override(args)
+        if not ok:
+            return 2
+        if not _check_obs_port(args.obs_port):
+            return 2
+        spec = scenario.base.replace(seed=scenario.base.seed + args.seed)
+        if transport is not None:
+            spec = spec.replace(transport=transport)
+        if args.obs_port is not None:
+            spec = _with_obs_port(spec, args.obs_port)
+        document = observe_spec(spec, scenario=scenario.name)
+    payload = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(payload + "\n")
+        print(f"wrote {out}")
+    else:
+        print(payload)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis import perfreport
 
@@ -958,6 +1128,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_audit(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
         return _cmd_report(args)
     return _legacy_main(argv)
 

@@ -111,6 +111,10 @@ class BatchAccumulator:
         self.outputs_flushed = 0
         self.max_batch_flushed = 0
         self.deferrals = 0
+        # -- live observability hooks (set by the owner when an
+        #    :class:`repro.obs.spans.ObsHub` rides on the run) -----------
+        self.on_flush: typing.Callable[[int], None] | None = None
+        self.on_defer: typing.Callable[[], None] | None = None
 
     # ------------------------------------------------------------------
     # feeding
@@ -178,6 +182,8 @@ class BatchAccumulator:
             if target_key not in self._deferred:
                 self._deferred[target_key] = None
                 self.deferrals += 1
+                if self.on_defer is not None:
+                    self.on_defer()
             return
         self._flush(target_key)
 
@@ -191,6 +197,8 @@ class BatchAccumulator:
         self.outputs_flushed += len(entries)
         if len(entries) > self.max_batch_flushed:
             self.max_batch_flushed = len(entries)
+        if self.on_flush is not None:
+            self.on_flush(len(entries))
         self._flush_fn(target_key, entries)
 
     # ------------------------------------------------------------------

@@ -233,6 +233,19 @@ class Fso(Process, Servant):
         self.batches_signed = 0
         self.batch_outputs_signed = 0
 
+        # --- live observability (no-ops unless a hub rides the clock) ---------
+        from repro.obs.spans import hub_of
+
+        hub = hub_of(sim)
+        scheme = signer.scheme_name
+        self._obs_sign = hub.sign_histogram(scheme)
+        self._obs_verify = hub.verify_histogram(scheme)
+        self._obs_countersign = hub.countersign_histogram(scheme)
+        self._obs_fail_signals = hub.fail_signals
+        if self._accum is not None and hub.enabled:
+            self._accum.on_flush = hub.batch_flush_outputs.observe
+            self._accum.on_defer = hub.batch_deferrals.inc
+
         # Dedicated execution lane: the wrapper pipeline (replica
         # processing, signing, verification) runs as a high-priority
         # serial thread of its own, per section 5's prescription that
@@ -539,6 +552,7 @@ class Fso(Process, Servant):
         if not self.alive or self.signaled:
             return
         entry.tau = self.sim.now - entry.produced_at
+        self._obs_sign.observe(entry.tau)
         corr = entry.output.correlation
         self._icmp[corr] = entry
         # What this Compare *vouches for* -- the reference stream the
@@ -600,6 +614,7 @@ class Fso(Process, Servant):
             # (equally bounded) version of both.
             entry.tau = now - entry.produced_at
             entry.signed_at = now
+            self._obs_sign.observe(entry.tau)
             if entry.tau > self._tau_peak:
                 self._tau_peak = entry.tau
             corr = entry.output.correlation
@@ -640,6 +655,7 @@ class Fso(Process, Servant):
             return
         # ONE verification admits the whole batch.
         verify_cost = self.node.crypto_costs.verify_cost(signed.payload.wire_size)
+        self._obs_verify.observe(verify_cost)
         self.lane_in.execute(verify_cost, self._batch_verified, signed)
 
     def _batch_verified(self, signed: Signed) -> None:
@@ -774,6 +790,7 @@ class Fso(Process, Servant):
             self.trace("fso", "single-bad-payload")
             return
         verify_cost = self.node.crypto_costs.verify_cost(payload.wire_size)
+        self._obs_verify.observe(verify_cost)
         self.lane_in.execute(verify_cost, self._single_verified, signed)
 
     def _single_verified(self, signed: Signed) -> None:
@@ -854,10 +871,12 @@ class Fso(Process, Servant):
                     state.signed.payload.wire_size
                 )
                 self.signatures_made += 1
+                self._obs_countersign.observe(sign_cost)
                 self.lane.execute(sign_cost, self._batch_countersigned, state.signed)
             return
         sign_cost = self.node.crypto_costs.sign_cost(peer_output.wire_size)
         self.signatures_made += 1
+        self._obs_countersign.observe(sign_cost)
         self.lane.execute(sign_cost, self._countersigned, entry, peer_held)
 
     def _countersigned(self, entry: _IcmpEntry, peer_signed: Signed) -> None:
@@ -892,6 +911,7 @@ class Fso(Process, Servant):
         self.ensure_wired()
         self.signaled = True
         self.signal_reason = reason
+        self._obs_fail_signals.inc()
         self.trace("fso", "fail-signal", reason=reason)
         # Cease peer interaction: drop pools and pending timers.
         for corr in list(self._icmp):

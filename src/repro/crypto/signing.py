@@ -222,6 +222,11 @@ class Signer:
         self._private = private
         self._public = public
 
+    @property
+    def scheme_name(self) -> str:
+        """The signature scheme's class name (metric label material)."""
+        return type(self._scheme).__name__
+
     def sign_bytes(self, data: bytes) -> Signature:
         value = self._scheme.sign(self._private, data)
         if self._public is not None:

@@ -47,6 +47,7 @@ from repro.experiments.runner import (
     RunResult,
     audit_scenario,
     build_ordering_group,
+    observe_spec,
     pbft_fault_budget,
     run_ordering_spec,
     run_scenario,
@@ -57,6 +58,7 @@ from repro.experiments.spec import (
     BatchingSpec,
     DelaySpec,
     FaultEvent,
+    ObsSpec,
     ScenarioSpec,
     ShardSpec,
     TransportSpec,
@@ -70,6 +72,7 @@ __all__ = [
     "Campaign",
     "DelaySpec",
     "FaultEvent",
+    "ObsSpec",
     "ResultStore",
     "RunRecord",
     "RunResult",
@@ -86,6 +89,7 @@ __all__ = [
     "clamp_jobs",
     "derive_seed",
     "get_scenario",
+    "observe_spec",
     "pbft_fault_budget",
     "register",
     "run_ordering_spec",

@@ -38,8 +38,9 @@ from repro.perf import clear_caches, gc_paused
 from repro.core.config import FsoConfig
 from repro.core.fso import FsoRole
 from repro.crypto.costmodel import CryptoCostModel
-from repro.experiments.spec import ScenarioSpec
+from repro.experiments.spec import ObsSpec, ScenarioSpec
 from repro.fsnewtop.system import ByzantineTolerantGroup
+from repro.obs import FlightRecorder, ObsHub, install_hub
 from repro.net.network import Network
 from repro.newtop.system import CrashTolerantGroup
 from repro.shard.group import ShardedGroup, build_sharded_group
@@ -239,6 +240,21 @@ def _run_ordering(
         sim.trace.enabled = False  # measurement runs do not pay for tracing
     else:
         sim.trace.store = False  # oracles listen; nothing is stored
+    # Observability: an explicit ObsSpec wins; otherwise audit runs
+    # observe by default and measurement runs do not (the perf gate
+    # must see the obs-disabled stack).  Installed before the group is
+    # built so every layer's hub_of() lookup finds the instruments.
+    obs_spec = spec.obs
+    if obs_spec is None and monitor_config is not None:
+        obs_spec = ObsSpec()
+    hub = None
+    flight = None
+    if obs_spec is not None and obs_spec.enabled:
+        hub = install_hub(sim, ObsHub())
+        if obs_spec.flight and monitor_config is not None:
+            # The recorder is a trace listener, so it rides the same
+            # stream the oracles consume -- audit runs only.
+            flight = FlightRecorder(capacity=obs_spec.flight_events).attach(sim.trace)
     calibration = None
     if live and spec.transport.calibrate:
         # A served run puts the whole client fleet on the protocol's
@@ -247,6 +263,8 @@ def _run_ordering(
         if spec.gateway is not None:
             kwargs["base_delta_ms"] = SERVICE_FLOOR_MS
         calibration = calibrate(**kwargs)
+    if hub is not None and calibration is not None:
+        hub.calibrated_delta_ms.set(calibration.delta_ms)
     overrides = dict(live_overrides(spec, calibration))
     if spec.shard is not None:
         if system_kwargs:
@@ -303,10 +321,32 @@ def _run_ordering(
             service=spec.service,
             write_ratio=spec.write_ratio,
         )
+    if hub is not None and live and obs_spec.http_port is not None:
+        # A live run hosts GET /metrics for the duration: scrapeable by
+        # an operator (or the CI format check) while the scenario runs.
+        # The socket dies with the loop, the same way `repro serve`'s
+        # server does; gateway-backed runs also expose /v1/status.
+        from repro.service.http import ServiceHttpServer
+
+        metrics_server = ServiceHttpServer(
+            sim,
+            gateway=getattr(workload, "gateway", None),
+            port=obs_spec.http_port,
+            hub=hub,
+        )
+
+        async def _serve_metrics() -> None:
+            await metrics_server.start()
+            print(f"obs: GET /metrics on {metrics_server.address}", flush=True)
+
+        sim.add_starter(_serve_metrics)
     _schedule_faults(sim, group, spec)
     if spec.adversaries:
         AdversaryEngine(sim, group, spec.adversaries).install()
     transport.calibration = calibration  # type: ignore[attr-defined]
+    transport.obs_hub = hub  # type: ignore[attr-defined]
+    transport.obs_spec = obs_spec  # type: ignore[attr-defined]
+    transport.flight = flight  # type: ignore[attr-defined]
     try:
         with gc_paused():  # host-time only; see repro.perf
             workload.run(settle_ms=spec.settle_ms)
@@ -334,6 +374,46 @@ def transport_metrics(transport: Transport) -> dict[str, float]:
     metrics["calibrated_delta_ms"] = delta
     metrics["deadline_margin_ms"] = delta - metrics.get("timer_slack_max_ms", 0.0)
     return metrics
+
+
+def obs_metrics(transport: Transport) -> dict[str, float]:
+    """Histogram summaries of the run's obs hub, flattened.
+
+    Empty when the run carried no hub.  Also the point where the
+    deadline-margin gauge is finalised: the worst timer slack is only
+    known once the run is over.
+    """
+    hub = getattr(transport, "obs_hub", None)
+    if hub is None:
+        return {}
+    wall = transport.wall_metrics()
+    if wall:
+        delta = hub.calibrated_delta_ms.value or FsoConfig().delta
+        hub.deadline_margin_ms.set(delta - wall.get("timer_slack_max_ms", 0.0))
+    return hub.summary_metrics()
+
+
+def observe_spec(
+    spec: ScenarioSpec, scenario: str | None = None
+) -> dict[str, typing.Any]:
+    """Run a spec once with observability forced on; return the registry
+    snapshot (the ``repro obs --scenario`` backend).
+
+    An explicit :class:`~repro.experiments.spec.ObsSpec` on the spec is
+    honoured (re-enabled if switched off); otherwise a default one is
+    attached with no HTTP port -- a snapshot run has no scraper.
+    """
+    if spec.obs is None:
+        spec = spec.replace(obs=ObsSpec(http_port=None))
+    elif not spec.obs.enabled:
+        spec = spec.replace(obs=dataclasses.replace(spec.obs, enabled=True))
+    _workload, _monitor, transport = _run_ordering(spec, scenario=scenario)
+    hub = getattr(transport, "obs_hub", None)
+    if hub is None:
+        return {}
+    snapshot = hub.registry.snapshot()
+    snapshot["summary"] = hub.summary_metrics()
+    return snapshot
 
 
 def run_ordering_spec(
@@ -539,18 +619,29 @@ def run_scenario(spec: ScenarioSpec) -> RunResult:
     result = workload.result(spec.system)
     metrics = _ordering_metrics(workload, result)
     metrics.update(transport_metrics(transport))
+    metrics.update(obs_metrics(transport))
     return RunResult(spec=spec, metrics=metrics)
 
 
 @dataclasses.dataclass(frozen=True)
 class AuditedRun:
-    """One audited scenario run: the usual metrics plus the oracle report."""
+    """One audited scenario run: the usual metrics plus the oracle report.
+
+    ``flight_bundle`` is the postmortem bundle directory the flight
+    recorder dumped -- set only when the run tripped (a fail-signal on
+    the trace, or a report with violations) while obs was live.
+    """
 
     result: RunResult
     report: AuditReport
+    flight_bundle: str | None = None
 
     def to_dict(self) -> dict:
-        return {"result": self.result.to_dict(), "report": self.report.to_dict()}
+        return {
+            "result": self.result.to_dict(),
+            "report": self.report.to_dict(),
+            "flight_bundle": self.flight_bundle,
+        }
 
 
 def audit_scenario(
@@ -577,7 +668,25 @@ def audit_scenario(
     result = workload.result(spec.system)
     metrics = _ordering_metrics(workload, result)
     metrics.update(transport_metrics(transport))
+    metrics.update(obs_metrics(transport))
+    report = monitor.finish()
+    bundle = None
+    flight = getattr(transport, "flight", None)
+    if flight is not None and (flight.tripped or not report.ok):
+        obs_spec = getattr(transport, "obs_spec", None) or ObsSpec()
+        hub = getattr(transport, "obs_hub", None)
+        bundle = str(
+            flight.dump(
+                obs_spec.flight_dir,
+                scenario=scenario or spec.system,
+                spec=spec.to_dict(),
+                registry=hub.registry if hub is not None else None,
+                calibration=getattr(transport, "calibration", None),
+                report=report.to_dict(),
+            )
+        )
     return AuditedRun(
         result=RunResult(spec=spec, metrics=metrics),
-        report=monitor.finish(),
+        report=report,
+        flight_bundle=bundle,
     )

@@ -209,6 +209,47 @@ class TransportSpec:
         return cls(**data)
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class ObsSpec:
+    """Declarative description of the run's observability layer.
+
+    Present on a spec (and ``enabled``) => the runner installs an
+    :class:`~repro.obs.spans.ObsHub` on the run's clock before the
+    group is built, so every layer's instruments are live.  Absent, the
+    runner's default applies: audit runs observe, measurement runs do
+    not (observability must never perturb a benchmark).
+
+    * ``http_port`` -- live transports only: bind ``GET /metrics`` on
+      this port (``0`` = kernel-assigned, the default; ``None`` = no
+      endpoint).  Simulator runs never bind sockets;
+    * ``flight`` / ``flight_events`` -- keep a
+      :class:`~repro.obs.flight.FlightRecorder` of the most recent
+      ``flight_events`` trace records per category on audited runs;
+    * ``flight_dir`` -- where violation bundles land.
+    """
+
+    enabled: bool = True
+    http_port: int | None = 0
+    flight: bool = True
+    flight_events: int = 256
+    flight_dir: str = "results/flight"
+
+    def __post_init__(self) -> None:
+        if self.http_port is not None and not 0 <= self.http_port <= 65535:
+            raise ValueError(f"http_port must be in [0,65535], got {self.http_port}")
+        if self.flight_events < 1:
+            raise ValueError(
+                f"flight_events must be >= 1, got {self.flight_events}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObsSpec":
+        return cls(**data)
+
+
 #: The paper's benchmark LAN: lightly loaded, sub-millisecond-ish.
 CALM_LAN = DelaySpec(kind="uniform", low=0.3, high=1.2)
 
@@ -310,6 +351,7 @@ class ScenarioSpec:
     settle_ms: float = 120_000.0
     transport: TransportSpec | None = None
     gateway: ServiceSpec | None = None
+    obs: ObsSpec | None = None
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -373,6 +415,7 @@ class ScenarioSpec:
         data["shard"] = self.shard.to_dict() if self.shard else None
         data["transport"] = self.transport.to_dict() if self.transport else None
         data["gateway"] = self.gateway.to_dict() if self.gateway else None
+        data["obs"] = self.obs.to_dict() if self.obs else None
         return data
 
     @classmethod
@@ -397,4 +440,6 @@ class ScenarioSpec:
         fields["gateway"] = (
             ServiceSpec.from_dict(gateway) if gateway is not None else None
         )
+        obs = fields.get("obs")
+        fields["obs"] = ObsSpec.from_dict(obs) if obs is not None else None
         return cls(**fields)

@@ -1,0 +1,163 @@
+"""The violation flight recorder.
+
+During a healthy audited run this is nothing but bounded ring buffers:
+every :class:`~repro.sim.trace.TraceRecord` the live trace stream emits
+lands in a per-category ``deque(maxlen=...)``, so memory stays flat no
+matter how long the run is.  When something goes wrong -- a wrapper
+raises a fail-signal, or an invariant oracle's report comes back with
+violations -- :meth:`FlightRecorder.dump` writes a postmortem bundle:
+
+* ``events.jsonl`` -- the retained recent events, time-ordered;
+* ``metrics.json`` -- the run's metrics-registry snapshot (histograms
+  included), if an :class:`~repro.obs.spans.ObsHub` was installed;
+* ``calibration.json`` -- the live calibration result, if any;
+* ``spec.json`` -- the scenario spec that produced the run;
+* ``report.json`` -- the oracle report, if the run was audited;
+* ``manifest.json`` -- what tripped, when, and what the bundle holds.
+
+The bundle directory is timestamped (wall clock -- dumping happens
+after the run, off the hot path) and uniquified, so repeated violations
+never overwrite each other.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import pathlib
+import time
+import typing
+
+if typing.TYPE_CHECKING:
+    from repro.sim.trace import TraceRecord, TraceRecorder
+
+#: Files a complete bundle always contains.
+BUNDLE_MANIFEST = "manifest.json"
+BUNDLE_EVENTS = "events.jsonl"
+
+
+class FlightRecorder:
+    """Bounded per-category rings of recent trace records."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rings: dict[str, collections.deque] = {}
+        self.events_seen = 0
+        #: Fail-signal style trip events observed on the stream.
+        self.trips: list[dict] = []
+
+    @property
+    def tripped(self) -> bool:
+        return bool(self.trips)
+
+    # -- the trace listener --------------------------------------------
+    def observe(self, record: "TraceRecord") -> None:
+        ring = self._rings.get(record.category)
+        if ring is None:
+            ring = self._rings[record.category] = collections.deque(
+                maxlen=self.capacity
+            )
+        ring.append(record)
+        self.events_seen += 1
+        if record.event == "fail-signal":
+            self.trips.append(
+                {
+                    "time": record.time,
+                    "category": record.category,
+                    "source": record.source,
+                    "reason": record.detail("reason"),
+                }
+            )
+
+    def attach(self, trace: "TraceRecorder") -> "FlightRecorder":
+        trace.add_listener(self.observe)
+        return self
+
+    # -- inspection ----------------------------------------------------
+    def recent(self, category: str | None = None) -> list["TraceRecord"]:
+        """Retained records, time-ordered (one category or all)."""
+        if category is not None:
+            return list(self._rings.get(category, ()))
+        merged = [r for ring in self._rings.values() for r in ring]
+        merged.sort(key=lambda r: r.time)
+        return merged
+
+    def categories(self) -> dict[str, int]:
+        return {category: len(ring) for category, ring in self._rings.items()}
+
+    # -- the postmortem bundle -----------------------------------------
+    def dump(
+        self,
+        directory: str | pathlib.Path,
+        *,
+        scenario: str = "run",
+        spec: dict | None = None,
+        registry: typing.Any = None,
+        calibration: typing.Any = None,
+        report: dict | None = None,
+    ) -> pathlib.Path:
+        """Write the postmortem bundle; returns its directory."""
+        base = pathlib.Path(directory)
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        bundle = base / f"{scenario}-{stamp}"
+        suffix = 1
+        while bundle.exists():
+            suffix += 1
+            bundle = base / f"{scenario}-{stamp}-{suffix}"
+        bundle.mkdir(parents=True)
+
+        events = self.recent()
+        with (bundle / BUNDLE_EVENTS).open("w", encoding="utf-8") as handle:
+            for record in events:
+                handle.write(
+                    json.dumps(
+                        {
+                            "time": record.time,
+                            "category": record.category,
+                            "source": record.source,
+                            "event": record.event,
+                            "details": dict(record.details),
+                        },
+                        default=repr,
+                    )
+                )
+                handle.write("\n")
+
+        def write_json(name: str, document: typing.Any) -> None:
+            (bundle / name).write_text(
+                json.dumps(document, indent=2, default=repr) + "\n",
+                encoding="utf-8",
+            )
+
+        contents = [BUNDLE_MANIFEST, BUNDLE_EVENTS]
+        if registry is not None:
+            write_json("metrics.json", registry.snapshot())
+            contents.append("metrics.json")
+        if calibration is not None:
+            write_json("calibration.json", calibration.to_dict())
+            contents.append("calibration.json")
+        if spec is not None:
+            write_json("spec.json", spec)
+            contents.append("spec.json")
+        if report is not None:
+            write_json("report.json", report)
+            contents.append("report.json")
+        write_json(
+            BUNDLE_MANIFEST,
+            {
+                "scenario": scenario,
+                "created": stamp,
+                "capacity": self.capacity,
+                "events_seen": self.events_seen,
+                "events_retained": len(events),
+                "categories": self.categories(),
+                "trips": self.trips,
+                "contents": sorted(contents),
+            },
+        )
+        return bundle
+
+
+__all__ = ["BUNDLE_EVENTS", "BUNDLE_MANIFEST", "FlightRecorder"]

@@ -1,0 +1,170 @@
+"""Prometheus text exposition: render a registry, parse it back.
+
+:func:`render` produces version 0.0.4 text format -- ``# HELP`` /
+``# TYPE`` headers, ``_bucket{le=...}`` cumulative histogram series
+plus ``_sum`` / ``_count`` -- the payload ``GET /metrics`` serves.
+:func:`parse` is the inverse used by the round-trip tests and the CI
+format check; it is strict (a malformed line raises ``ValueError``),
+which is exactly what a format check wants.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import typing
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Content type of the exposition (what ``GET /metrics`` answers with).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(?:\{(.*)\})?"  # optional label block
+    r"\s+(\S+)$"  # value
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _labels_text(
+    labels: typing.Sequence[tuple[str, str]], extra: tuple[str, str] | None = None
+) -> str:
+    pairs = list(labels)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return format(value, ".10g")
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else format(bound, ".6g")
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The full registry in Prometheus text format (trailing newline)."""
+    lines: list[str] = []
+    for name, kind, help_text, instruments in registry.families():
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for instrument in instruments:
+            labels = instrument.labels
+            if isinstance(instrument, Histogram):
+                for bound, cumulative in instrument.cumulative_buckets():
+                    le = _labels_text(labels, ("le", _format_bound(bound)))
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} "
+                    f"{_format_value(instrument.total)}"
+                )
+                lines.append(f"{name}_count{_labels_text(labels)} {instrument.count}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(block: str | None) -> dict[str, str]:
+    if not block:
+        return {}
+    labels: dict[str, str] = {}
+    position = 0
+    # Consume the block pair by pair from the start -- anything the
+    # pattern cannot account for (stray text, bad label names) raises.
+    while position < len(block):
+        match = _LABEL_RE.match(block, position)
+        if match is None:
+            raise ValueError(f"malformed label block {block!r}")
+        labels[match.group(1)] = _unescape_label(match.group(2))
+        position = match.end()
+        if position < len(block):
+            if block[position] != ",":
+                raise ValueError(f"malformed label block {block!r}")
+            position += 1  # a trailing comma is legal exposition
+    return labels
+
+
+def parse(text: str) -> dict[str, dict]:
+    """Parse an exposition back into families.
+
+    Returns ``{family_name: {"type", "help", "samples"}}`` where each
+    sample is ``(series_name, labels_dict, value)``; ``_bucket`` /
+    ``_sum`` / ``_count`` series attach to their histogram family.
+    Raises ``ValueError`` on any line that is neither a comment nor a
+    well-formed sample -- the CI format check relies on that.
+    """
+    families: dict[str, dict] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ValueError(f"malformed comment line {line!r}")
+            name = parts[2]
+            family = families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )
+            if parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(f"malformed TYPE line {line!r}")
+                family["type"] = parts[3]
+            else:
+                family["help"] = parts[3] if len(parts) == 4 else ""
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line {line!r}")
+        series, label_block, value_text = match.groups()
+        labels = _parse_labels(label_block)
+        value = _parse_value(value_text)
+        family_name = series
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = series[: -len(suffix)] if series.endswith(suffix) else None
+            if trimmed and trimmed in families:
+                family_name = trimmed
+                break
+        family = families.setdefault(
+            family_name, {"type": "untyped", "help": "", "samples": []}
+        )
+        family["samples"].append((series, labels, value))
+    return families
+
+
+__all__ = ["CONTENT_TYPE", "parse", "render"]

@@ -201,6 +201,15 @@ class OrderingGateway:
         self.inflight_peak = 0
         self.stream_events = 0
         self._latencies: list[float] = []
+        # Live observability: no-ops unless a hub rides the clock.
+        from repro.obs.spans import hub_of
+
+        hub = hub_of(sim)
+        self._obs_admission = {
+            outcome: hub.admission(outcome)
+            for outcome in (ACCEPTED, UNAUTHORIZED, RATE_LIMITED, OVERLOADED)
+        }
+        self._obs_submit = hub.submit_ms
         self._hook_deliveries()
 
     # ------------------------------------------------------------------
@@ -247,10 +256,12 @@ class OrderingGateway:
         client = self.registry.authenticate(api_key)
         if client is None:
             self.rejected_auth += 1
+            self._obs_admission[UNAUTHORIZED].inc()
             return SubmitOutcome(status=401, reason=UNAUTHORIZED)
         retry_after = self.limiter.try_take(client, self.sim.now)
         if retry_after > 0:
             self.rejected_rate += 1
+            self._obs_admission[RATE_LIMITED].inc()
             return SubmitOutcome(
                 status=429,
                 reason=RATE_LIMITED,
@@ -259,6 +270,7 @@ class OrderingGateway:
             )
         if len(self._pending) >= self.spec.max_inflight:
             self.rejected_overload += 1
+            self._obs_admission[OVERLOADED].inc()
             return SubmitOutcome(
                 status=429,
                 reason=OVERLOADED,
@@ -271,6 +283,7 @@ class OrderingGateway:
         now = self.sim.now
         self._pending[op_id] = _PendingOp(op_id, client, key, shard, now)
         self.admitted += 1
+        self._obs_admission[ACCEPTED].inc()
         if len(self._pending) > self.inflight_peak:
             self.inflight_peak = len(self._pending)
         value: dict = {"op": op_id, "c": client, "b": payload}
@@ -330,7 +343,9 @@ class OrderingGateway:
         )
         self.logs[shard].append(event)
         self.sequenced += 1
-        self._latencies.append(delivered_at - pending.submitted_at)
+        latency = delivered_at - pending.submitted_at
+        self._latencies.append(latency)
+        self._obs_submit.observe(latency)
         if self.on_sequenced is not None:
             self.on_sequenced(event)
         for subscription in list(self._subscriptions):
@@ -373,6 +388,7 @@ class OrderingGateway:
     # ------------------------------------------------------------------
     def status(self) -> dict:
         """The ``GET /v1/status`` document."""
+        ordered = sorted(self._latencies)
         return {
             "now_ms": round(self.sim.now, 3),
             "shards": self.shards,
@@ -385,6 +401,11 @@ class OrderingGateway:
                 "auth": self.rejected_auth,
                 "rate_limited": self.rejected_rate,
                 "overloaded": self.rejected_overload,
+            },
+            "latency_ms": {
+                "p50": round(_percentile(ordered, 0.5), 3) if ordered else 0.0,
+                "p99": round(_percentile(ordered, 0.99), 3) if ordered else 0.0,
+                "p999": round(_percentile(ordered, 0.999), 3) if ordered else 0.0,
             },
             "next_seq": {
                 str(shard): seq for shard, seq in enumerate(self._next_seq)
@@ -408,4 +429,5 @@ class OrderingGateway:
             "service_stream_events": float(self.stream_events),
             "service_submit_p50_ms": _percentile(ordered, 0.5) if ordered else 0.0,
             "service_submit_p99_ms": _percentile(ordered, 0.99) if ordered else 0.0,
+            "service_submit_p999_ms": _percentile(ordered, 0.999) if ordered else 0.0,
         }

@@ -9,6 +9,8 @@ deployments that install the ``repro[service]`` extra).
 Endpoints (all JSON):
 
 * ``GET /healthz`` -- liveness, no auth;
+* ``GET /metrics`` -- Prometheus text exposition of the run's
+  :mod:`repro.obs` registry, no auth (404 when observability is off);
 * ``GET /v1/status`` -- the gateway's counters and per-shard cursors;
 * ``POST /v1/submit`` -- body ``{"payload": ..., "key": "k-3"}``;
   responds 202 with the op id and owning shard, 401 on a bad key, or
@@ -143,6 +145,18 @@ def render_response(
     return "\r\n".join(lines).encode() + body
 
 
+def render_text_response(status: int, text: str, content_type: str) -> bytes:
+    """One complete plain-text response (the ``/metrics`` exposition)."""
+    body = text.encode()
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "\r\n",
+    ]
+    return "\r\n".join(lines).encode() + body
+
+
 def format_sse(event: DeliveryEvent) -> bytes:
     """One delivery as a server-sent event (id = ``shard:seq``)."""
     data = json.dumps(event.to_dict())
@@ -176,12 +190,19 @@ class ServiceHttpServer:
     def __init__(
         self,
         clock: "AsyncioClock",
-        gateway: OrderingGateway,
+        gateway: OrderingGateway | None,
         host: str = "127.0.0.1",
         port: int = 0,
+        hub: typing.Any = None,
     ) -> None:
         self.clock = clock
+        #: May start ``None`` (a metrics-only server on an audit run
+        #: that has no service workload) and be assigned later; the
+        #: ``/v1/*`` routes 404 while it is absent.
         self.gateway = gateway
+        #: The run's :class:`repro.obs.spans.ObsHub`, when observability
+        #: is on -- serves ``GET /metrics`` in Prometheus text format.
+        self.hub = hub
         self.host = host
         self.port = port
         self._server: asyncio.AbstractServer | None = None
@@ -259,8 +280,28 @@ class ServiceHttpServer:
                 )
             )
             return False
+        if request.path == "/metrics":
+            # Unauthenticated, like /healthz: the exposition carries no
+            # client data and a scraper should not need an API key.
+            if request.method != "GET":
+                writer.write(render_response(405, {"error": "method not allowed"}))
+                return False
+            if self.hub is None:
+                writer.write(
+                    render_response(404, {"error": "observability disabled"})
+                )
+                return False
+            from repro.obs.prom import CONTENT_TYPE, render
+
+            writer.write(
+                render_text_response(200, render(self.hub.registry), CONTENT_TYPE)
+            )
+            return False
         if request.path not in ("/v1/submit", "/v1/status", "/v1/stream"):
             writer.write(render_response(404, {"error": f"no route {request.path}"}))
+            return False
+        if self.gateway is None:
+            writer.write(render_response(404, {"error": "no gateway on this run"}))
             return False
         client = self.gateway.registry.authenticate(request.api_key())
         if client is None and request.path != "/v1/submit":

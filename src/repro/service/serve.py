@@ -76,6 +76,14 @@ def build_server(
     transport = build_transport(spec.transport, seed=spec.seed)
     clock = transport.clock
     clock.trace.enabled = False
+    # Observability rides every served deployment unless the spec
+    # explicitly turns it off; install before the group is built so the
+    # wrappers/gateway pick their instruments up at construction.
+    from repro.experiments.spec import ObsSpec
+    from repro.obs import ObsHub, install_hub
+
+    obs_spec = spec.obs if spec.obs is not None else ObsSpec()
+    hub = install_hub(clock, ObsHub()) if obs_spec.enabled else None
     calibration = (
         # A server always has the gateway on the loop: use the loaded floor.
         calibrate(tcp=spec.transport.tcp, base_delta_ms=SERVICE_FLOOR_MS)
@@ -92,7 +100,9 @@ def build_server(
         group = build_ordering_group(clock, spec, **overrides)
     service_spec = spec.gateway if spec.gateway is not None else ServiceSpec()
     gateway = OrderingGateway(clock, group, service_spec, service=spec.service)
-    server = ServiceHttpServer(clock, gateway, host=host, port=port)
+    if hub is not None and calibration is not None:
+        hub.calibrated_delta_ms.set(calibration.delta_ms)
+    server = ServiceHttpServer(clock, gateway, host=host, port=port, hub=hub)
     clock.add_starter(server.start)
     return ServeHandle(transport, gateway, server)
 
@@ -106,7 +116,8 @@ def describe(handle: ServeHandle) -> str:
         f"{len(gateway.group.member_ids)} members",
         f"admission: {spec.rate_limit_per_s:g} ops/s/client (burst {spec.burst}), "
         f"inflight cap {spec.max_inflight}",
-        "endpoints: POST /v1/submit  GET /v1/stream  GET /v1/status  GET /healthz",
+        "endpoints: POST /v1/submit  GET /v1/stream  GET /v1/status  "
+        "GET /metrics  GET /healthz",
         "api keys:",
     ]
     for client_id in gateway.registry.client_ids:

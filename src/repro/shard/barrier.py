@@ -60,6 +60,7 @@ class _PendingOp:
     involved: tuple[int, ...]
     payload: dict
     proposals: dict[int, int] = dataclasses.field(default_factory=dict)
+    begun_at: float = 0.0
 
 
 class CrossShardCoordinator:
@@ -80,6 +81,13 @@ class CrossShardCoordinator:
         self._corrupt = False
         self.ops_started = 0
         self.ops_committed = 0
+        # Live observability: no-ops unless a hub rides the clock.
+        from repro.obs.spans import hub_of
+
+        hub = hub_of(sim)
+        self._obs_reserves = hub.barrier_reserves
+        self._obs_commits = hub.barrier_commits
+        self._obs_commit_ms = hub.barrier_commit_ms
 
     def corrupt_commits(self, on: bool) -> None:
         """Adversary hook (``shard_reorder``): equivocate on the final
@@ -97,8 +105,11 @@ class CrossShardCoordinator:
             raise ValueError(f"op {op_id!r} involves {shards}; use a plain multicast")
         if op_id in self._pending:
             raise ValueError(f"duplicate cross-shard op id {op_id!r}")
-        self._pending[op_id] = _PendingOp(involved=shards, payload=dict(payload))
+        self._pending[op_id] = _PendingOp(
+            involved=shards, payload=dict(payload), begun_at=self.sim.now
+        )
         self.ops_started += 1
+        self._obs_reserves.inc()
         self.sim.trace.record(
             self.sim.now, "shard", "router", "submit", op=op_id, shards=list(shards)
         )
@@ -119,6 +130,8 @@ class CrossShardCoordinator:
         final = max(entry.proposals.values())
         del self._pending[op_id]
         self.ops_committed += 1
+        self._obs_commits.inc()
+        self._obs_commit_ms.observe(self.sim.now - entry.begun_at)
         self.sim.trace.record(
             self.sim.now, "shard", "router", "commit", op=op_id, seq=final
         )

@@ -109,6 +109,8 @@ class AsyncioClock:
         self.timer_lag_count = 0
         self.timer_lag_sum = 0.0
         self.timer_lag_max = 0.0
+        #: Live metrics hub (:func:`repro.obs.spans.install_hub`).
+        self.obs_hub = None
         #: Wall seconds of sustained quiescence before a run concludes.
         self.idle_grace_s = 0.05
         self._poll_s = 0.002
@@ -271,6 +273,8 @@ class AsyncioClock:
             self.timer_lag_sum += lag
             if lag > self.timer_lag_max:
                 self.timer_lag_max = lag
+            if self.obs_hub is not None:
+                self.obs_hub.timer_lag_ms.observe(lag)
             self._events_processed += 1
             if self._budget is not None and self._events_processed > self._budget:
                 self.fail(

@@ -31,20 +31,12 @@ import dataclasses
 import random
 import time
 
+# The repo-wide nearest-rank percentile; re-exported because the
+# calibration tests (and external callers) import it from here.
+from repro.analysis.metrics import percentile
 from repro.core.config import FsoConfig
 from repro.crypto.costmodel import CryptoCostModel
 from repro.crypto.signing import HmacScheme, Signature, SignatureScheme
-
-
-def percentile(values: list[float], q: float) -> float:
-    """The q-th percentile (0..1) by nearest-rank on sorted values."""
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"q must be in [0,1], got {q}")
-    ordered = sorted(values)
-    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[rank]
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

@@ -1,0 +1,79 @@
+"""Campaign roll-ups: the service and observability summaries."""
+
+from repro.analysis import obs_summary, service_summary
+from repro.experiments.campaign import RunRecord
+
+
+def make_record(metrics, system="fs-newtop", x_label=4, repeat=0):
+    return RunRecord(
+        scenario="test",
+        system=system,
+        x_label=x_label,
+        repeat=repeat,
+        seed=0,
+        metrics=metrics,
+    )
+
+
+def test_service_summary_p999_and_rejection_reasons():
+    records = [
+        make_record(
+            {
+                "service_admitted": 90.0,
+                "service_rejected": 10.0,
+                "service_rejected_auth": 2.0,
+                "service_rejected_rate": 5.0,
+                "service_rejected_overload": 3.0,
+                "service_submit_p99_ms": 40.0,
+                "service_submit_p999_ms": 80.0,
+            }
+        ),
+        make_record(
+            {
+                "service_admitted": 10.0,
+                "service_rejected": 0.0,
+                "service_submit_p99_ms": 50.0,
+                "service_submit_p999_ms": 60.0,
+            },
+            repeat=1,
+        ),
+    ]
+    summary = service_summary(records)
+    assert summary["admitted"] == 100
+    assert summary["rejected"] == 10
+    assert summary["rejected_auth"] == 2
+    assert summary["rejected_rate"] == 5
+    assert summary["rejected_overload"] == 3
+    # Worst cell wins for upper quantiles.
+    assert summary["submit_p99_ms"] == 50.0
+    assert summary["submit_p999_ms"] == 80.0
+
+
+def test_service_summary_empty_without_served_records():
+    assert service_summary([make_record({"throughput_msgs_per_s": 1.0})]) == {}
+
+
+def test_obs_summary_counts_sum_quantiles_max():
+    records = [
+        make_record(
+            {
+                "obs_sign_count": 100.0,
+                "obs_sign_p99_ms": 2.0,
+                "obs_batch_deferrals": 3.0,
+                "throughput_msgs_per_s": 50.0,
+            }
+        ),
+        make_record(
+            {"obs_sign_count": 50.0, "obs_sign_p99_ms": 5.0}, repeat=1
+        ),
+    ]
+    summary = obs_summary(records)
+    assert summary["observed_cells"] == 2
+    assert summary["obs_sign_count"] == 150.0  # counts sum
+    assert summary["obs_sign_p99_ms"] == 5.0  # quantiles take the worst
+    assert summary["obs_batch_deferrals"] == 3.0
+    assert "throughput_msgs_per_s" not in summary
+
+
+def test_obs_summary_empty_without_instrumented_records():
+    assert obs_summary([make_record({"fail_signals": 0.0})]) == {}

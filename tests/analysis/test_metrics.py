@@ -83,3 +83,68 @@ def test_summary_bounds_property(samples):
     assert min(samples) <= s.median <= s.maximum == max(samples)
     assert min(samples) - eps <= s.mean <= max(samples) + eps
     assert s.median <= s.p95 <= s.maximum
+
+
+# ----------------------------------------------------------------------
+# the shared nearest-rank percentile (consolidated helper)
+# ----------------------------------------------------------------------
+def test_percentile_nearest_rank_semantics():
+    from repro.analysis.metrics import percentile
+
+    sample = [3.0, 1.0, 4.0, 1.0, 5.0]
+    assert percentile(sample, 0.0) == 1.0
+    assert percentile(sample, 0.5) == 3.0
+    assert percentile(sample, 1.0) == 5.0
+    # ceil(0.99 * 5) = 5 -> the maximum, the convention every caller pins.
+    assert percentile(sample, 0.99) == 5.0
+
+
+def test_percentile_empty_and_validation():
+    from repro.analysis.metrics import percentile
+
+    assert percentile([], 0.95) == 0.0
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
+
+
+def test_percentile_does_not_mutate_input():
+    from repro.analysis.metrics import percentile
+
+    sample = [5.0, 1.0, 3.0]
+    percentile(sample, 0.5)
+    assert sample == [5.0, 1.0, 3.0]
+
+
+def test_percentile_matches_internal_fast_path():
+    from repro.analysis.metrics import _percentile, percentile
+
+    sample = sorted(float(i) for i in range(1, 42))
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0):
+        assert percentile(sample, q) == _percentile(sample, q)
+
+
+def test_percentile_reexported_everywhere():
+    """Every consumer resolves to the single consolidated helper."""
+    from repro.analysis import percentile as from_analysis
+    from repro.analysis.metrics import percentile as canonical
+    from repro.transport.calibration import percentile as from_calibration
+
+    assert from_analysis is canonical
+    assert from_calibration is canonical
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    ),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100)
+def test_percentile_always_a_sample_member(samples, q):
+    from repro.analysis.metrics import percentile
+
+    assert percentile(samples, q) in samples

@@ -1,0 +1,119 @@
+"""The flight recorder: bounded rings, trip detection, bundle dumps."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import BUNDLE_EVENTS, BUNDLE_MANIFEST, FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+def record(time, category="fso", event="tick", **details):
+    return TraceRecord(
+        time=time,
+        category=category,
+        source="member-0",
+        event=event,
+        details=tuple(sorted(details.items())),
+    )
+
+
+def test_rings_are_bounded_per_category():
+    recorder = FlightRecorder(capacity=10)
+    for i in range(100):
+        recorder.observe(record(float(i), category="a"))
+    for i in range(5):
+        recorder.observe(record(float(i), category="b"))
+    assert recorder.events_seen == 105
+    assert recorder.categories() == {"a": 10, "b": 5}
+    retained = recorder.recent("a")
+    assert len(retained) == 10
+    assert retained[0].time == 90.0  # oldest events evicted
+
+
+def test_recent_merges_time_ordered():
+    recorder = FlightRecorder(capacity=8)
+    recorder.observe(record(3.0, category="a"))
+    recorder.observe(record(1.0, category="b"))
+    recorder.observe(record(2.0, category="a"))
+    assert [r.time for r in recorder.recent()] == [1.0, 2.0, 3.0]
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_fail_signal_trips():
+    recorder = FlightRecorder()
+    assert not recorder.tripped
+    recorder.observe(record(5.0, event="send"))
+    assert not recorder.tripped
+    recorder.observe(record(9.0, event="fail-signal", reason="compare-timeout"))
+    assert recorder.tripped
+    assert recorder.trips == [
+        {
+            "time": 9.0,
+            "category": "fso",
+            "source": "member-0",
+            "reason": "compare-timeout",
+        }
+    ]
+
+
+def test_attach_listens_even_without_storage():
+    trace = TraceRecorder()
+    trace.store = False  # audit mode: listeners live, nothing stored
+    recorder = FlightRecorder(capacity=4).attach(trace)
+    trace.record(1.0, "fso", "m0", "fail-signal", reason="x")
+    assert len(trace) == 0
+    assert recorder.tripped
+
+
+def test_dump_writes_complete_bundle(tmp_path):
+    recorder = FlightRecorder(capacity=4)
+    for i in range(6):
+        recorder.observe(record(float(i)))
+    recorder.observe(record(7.0, event="fail-signal", reason="boom"))
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2.0)
+    bundle = recorder.dump(
+        tmp_path,
+        scenario="unit",
+        spec={"system": "fs-newtop"},
+        registry=registry,
+        report={"ok": False},
+    )
+    assert bundle.parent == tmp_path
+    manifest = json.loads((bundle / BUNDLE_MANIFEST).read_text())
+    assert manifest["scenario"] == "unit"
+    assert manifest["events_seen"] == 7
+    assert manifest["events_retained"] == 4  # ring kept only the newest
+    assert manifest["trips"][0]["reason"] == "boom"
+    assert sorted(manifest["contents"]) == [
+        BUNDLE_EVENTS,
+        BUNDLE_MANIFEST,
+        "metrics.json",
+        "report.json",
+        "spec.json",
+    ]
+    events = [
+        json.loads(line)
+        for line in (bundle / BUNDLE_EVENTS).read_text().splitlines()
+    ]
+    assert len(events) == 4
+    assert events[-1]["event"] == "fail-signal"
+    metrics = json.loads((bundle / "metrics.json").read_text())
+    assert metrics["metrics"][0]["value"] == 2.0
+    assert json.loads((bundle / "spec.json").read_text()) == {"system": "fs-newtop"}
+    assert json.loads((bundle / "report.json").read_text()) == {"ok": False}
+
+
+def test_dump_uniquifies_directories(tmp_path):
+    recorder = FlightRecorder()
+    recorder.observe(record(1.0))
+    first = recorder.dump(tmp_path, scenario="same")
+    second = recorder.dump(tmp_path, scenario="same")
+    assert first != second
+    assert first.exists() and second.exists()

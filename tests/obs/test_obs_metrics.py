@@ -1,0 +1,208 @@
+"""Tests for the metrics core: instruments, histograms, the registry.
+
+The headline property: a log-bucketed histogram's recorded percentile
+is always within one bucket width of the exact nearest-rank percentile
+of the raw sample (hypothesis-tested below), which is the accuracy
+claim :mod:`repro.obs.metrics` makes for the p50/p99/p99.9 summaries.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _noop,
+    merge_histograms,
+)
+
+
+def exact_nearest_rank(values, q):
+    """The reference percentile: rank = ceil(q*n), 1-indexed."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+# ----------------------------------------------------------------------
+# histogram accuracy
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    q=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_percentile_within_one_bucket_width(values, q):
+    histogram = Histogram("h", "", ())
+    for value in values:
+        histogram.observe(value)
+    exact = exact_nearest_rank(values, q)
+    recorded = histogram.percentile(q)
+    # The rank-holding sample and the recorded value share a bucket, so
+    # the error is bounded by that bucket's width (never negative: the
+    # recorded value is the bucket's upper bound clamped to the max).
+    width = histogram.bucket_width(histogram.bucket_of(exact))
+    assert recorded >= exact - 1e-9
+    assert recorded - exact <= width + 1e-9
+
+
+def test_percentile_pinned():
+    histogram = Histogram("h", "", ())
+    for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+        histogram.observe(value)
+    assert histogram.percentile(0.0) <= 1.0 + histogram.bucket_width(
+        histogram.bucket_of(1.0)
+    )
+    assert histogram.percentile(1.0) == 100.0  # clamped to the max
+    assert histogram.count == 5
+    assert histogram.total == 110.0
+    assert histogram.min_value == 1.0
+
+
+def test_percentile_empty_and_bad_q():
+    histogram = Histogram("h", "", ())
+    assert histogram.percentile(0.99) == 0.0
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+
+
+def test_overflow_bucket_returns_max():
+    histogram = Histogram("h", "", ())
+    histogram.observe(1e9)  # beyond the last finite bound
+    assert histogram.bucket_of(1e9) == len(BUCKET_BOUNDS)
+    assert histogram.percentile(0.99) == 1e9
+    assert math.isinf(histogram.bucket_width(len(BUCKET_BOUNDS)))
+
+
+def test_cumulative_buckets_trimmed():
+    empty = Histogram("h", "", ())
+    assert empty.cumulative_buckets() == [(math.inf, 0)]
+    small = Histogram("h", "", ())
+    small.observe(0.5)
+    buckets = small.cumulative_buckets()
+    assert buckets[-1] == (math.inf, 1)
+    # Trimmed to the bucket holding the max, not all ~70 bounds.
+    assert len(buckets) < 40
+    assert buckets[-2][1] == 1
+
+
+def test_merge_histograms():
+    a = Histogram("h", "", ())
+    b = Histogram("h", "", ())
+    for value in (1.0, 2.0):
+        a.observe(value)
+    b.observe(1000.0)
+    merged = merge_histograms([a, b])
+    assert merged.count == 3
+    assert merged.total == 1003.0
+    assert merged.min_value == 1.0
+    assert merged.max_value == 1000.0
+    assert merged.percentile(1.0) == 1000.0
+    with pytest.raises(ValueError):
+        merge_histograms([])
+
+
+# ----------------------------------------------------------------------
+# the disabled no-op idiom
+# ----------------------------------------------------------------------
+def test_disabled_registry_instruments_are_noops():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("c")
+    gauge = registry.gauge("g")
+    histogram = registry.histogram("h")
+    # The hot method is swapped on the instance, TraceRecorder-style.
+    assert counter.__dict__["inc"] is _noop
+    assert gauge.__dict__["set"] is _noop
+    assert histogram.__dict__["observe"] is _noop
+    counter.inc()
+    gauge.set(5.0)
+    histogram.observe(3.0)
+    assert counter.value == 0.0
+    assert gauge.value == 0.0
+    assert histogram.count == 0
+
+
+def test_reenabling_restores_recording():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("c")
+    registry.enabled = True
+    assert "inc" not in counter.__dict__
+    counter.inc(2.0)
+    assert counter.value == 2.0
+    registry.enabled = False
+    counter.inc(10.0)
+    assert counter.value == 2.0
+
+
+def test_toggle_applies_to_later_instruments():
+    registry = MetricsRegistry(enabled=True)
+    registry.enabled = False
+    late = registry.counter("late")
+    late.inc()
+    assert late.value == 0.0
+
+
+# ----------------------------------------------------------------------
+# the registry directory
+# ----------------------------------------------------------------------
+def test_registry_dedupes_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.histogram("repro_stage_ms", scheme="hmac")
+    b = registry.histogram("repro_stage_ms", scheme="hmac")
+    other = registry.histogram("repro_stage_ms", scheme="rsa")
+    assert a is b
+    assert a is not other
+    assert isinstance(a, Histogram)
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("metric")
+    with pytest.raises(TypeError):
+        registry.gauge("metric")
+
+
+def test_registry_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("c", "a counter").inc(3.0)
+    registry.histogram("h", "a histogram", scheme="hmac").observe(2.0)
+    snapshot = registry.snapshot()
+    assert snapshot["enabled"] is True
+    by_name = {m["name"]: m for m in snapshot["metrics"]}
+    assert by_name["c"]["value"] == 3.0
+    assert by_name["c"]["kind"] == "counter"
+    assert by_name["h"]["count"] == 1
+    assert by_name["h"]["labels"] == {"scheme": "hmac"}
+    assert by_name["h"]["buckets"][-1][0] == "+Inf"
+
+
+def test_families_group_by_name():
+    registry = MetricsRegistry()
+    registry.counter("adm", "outcomes", outcome="accepted")
+    registry.counter("adm", "outcomes", outcome="rejected")
+    registry.gauge("g")
+    families = registry.families()
+    assert [name for name, *_ in families] == ["adm", "g"]
+    assert len(families[0][3]) == 2
+
+
+def test_counter_and_gauge_values():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    gauge = registry.gauge("g")
+    gauge.set(7)
+    gauge.set(-1.5)
+    assert gauge.value == -1.5

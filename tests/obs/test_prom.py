@@ -1,0 +1,122 @@
+"""Prometheus text exposition: render -> parse round-trips.
+
+The parser doubles as the CI format check, so it must be strict:
+anything that is not a comment or a well-formed sample line raises.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import CONTENT_TYPE, parse, render
+from repro.obs.spans import ObsHub
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_total", "a counter").inc(5.0)
+    registry.gauge("repro_level", "a gauge").set(2.25)
+    hist = registry.histogram("repro_lat_ms", "latency", scheme="hmac")
+    for value in (0.5, 1.0, 2.0, 250.0):
+        hist.observe(value)
+    registry.counter("repro_adm", "", outcome="accepted").inc(3.0)
+    registry.counter("repro_adm", "", outcome="rejected")
+    return registry
+
+
+def test_content_type_is_prometheus_text():
+    assert CONTENT_TYPE.startswith("text/plain")
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+def test_render_parse_round_trip():
+    families = parse(render(build_registry()))
+    assert families["repro_total"]["type"] == "counter"
+    assert families["repro_total"]["help"] == "a counter"
+    assert families["repro_total"]["samples"] == [("repro_total", {}, 5.0)]
+    assert families["repro_level"]["samples"] == [("repro_level", {}, 2.25)]
+    # Histogram series attach to their family.
+    samples = families["repro_lat_ms"]["samples"]
+    series = {name for name, _, _ in samples}
+    assert series == {"repro_lat_ms_bucket", "repro_lat_ms_sum", "repro_lat_ms_count"}
+    count = next(v for n, l, v in samples if n == "repro_lat_ms_count")
+    total = next(v for n, l, v in samples if n == "repro_lat_ms_sum")
+    assert count == 4.0
+    assert total == pytest.approx(253.5)
+    inf_bucket = next(
+        v for n, l, v in samples if n == "repro_lat_ms_bucket" and l["le"] == "+Inf"
+    )
+    assert inf_bucket == 4.0
+    # Labelled counter family keeps both series.
+    adm = {l["outcome"]: v for _, l, v in families["repro_adm"]["samples"]}
+    assert adm == {"accepted": 3.0, "rejected": 0.0}
+
+
+def test_bucket_counts_are_cumulative_and_ordered():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", "")
+    for value in (0.5, 1.0, 2.0, 250.0):
+        hist.observe(value)
+    buckets = [
+        (l["le"], v)
+        for n, l, v in parse(render(registry))["h"]["samples"]
+        if n == "h_bucket"
+    ]
+    counts = [v for _, v in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1] == ("+Inf", 4.0)
+
+
+def test_label_escaping_round_trips():
+    registry = MetricsRegistry()
+    awkward = 'back\\slash "quoted"\nnewline'
+    registry.counter("c", "", detail=awkward).inc()
+    samples = parse(render(registry))["c"]["samples"]
+    assert samples == [("c", {"detail": awkward}, 1.0)]
+
+
+def test_empty_histogram_renders_single_bucket():
+    registry = MetricsRegistry()
+    registry.histogram("h", "never observed")
+    text = render(registry)
+    assert text.count("h_bucket") == 1
+    samples = parse(text)["h"]["samples"]
+    assert ("h_bucket", {"le": "+Inf"}, 0.0) in samples
+
+
+def test_special_values_round_trip():
+    registry = MetricsRegistry()
+    registry.gauge("g").set(math.inf)
+    samples = parse(render(registry))["g"]["samples"]
+    assert samples[0][2] == math.inf
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse("this is not a metric line at all {\n")
+    with pytest.raises(ValueError):
+        parse('ok_metric{bad-label="x"} 1\n')
+    with pytest.raises(ValueError):
+        parse("metric_without_value\n")
+    with pytest.raises(ValueError):
+        parse("# TYPE incomplete\n")
+
+
+def test_parse_tolerates_free_comments_and_blank_lines():
+    families = parse("# scraped by test\n\nvalue_ok 1\n")
+    assert families["value_ok"]["samples"] == [("value_ok", {}, 1.0)]
+
+
+def test_hub_registry_renders_clean():
+    """The real hub's pre-registered instruments expose without error
+    and survive the strict parser -- the shape the CI job scrapes."""
+    hub = ObsHub()
+    hub.sign_histogram("HmacScheme").observe(0.8)
+    hub.admission("accepted").inc()
+    hub.fail_signals.inc()
+    families = parse(render(hub.registry))
+    assert families["repro_fso_fail_signals_total"]["type"] == "counter"
+    assert families["repro_fso_sign_ms"]["type"] == "histogram"
+    sign = families["repro_fso_sign_ms"]["samples"]
+    assert any(l.get("scheme") == "HmacScheme" for _, l, _ in sign)

@@ -170,3 +170,37 @@ def test_gateway_works_on_the_crash_tolerant_group_too():
     assert gateway.submit(derive_key("client-0", seed=7), payload="x").admitted
     sim.run(until=10_000.0)
     assert [e.seq for e in events] == [1]
+
+
+def test_status_reports_latency_quantiles():
+    sim, gateway = make_gateway()
+    key = good_key(gateway)
+    assert gateway.status()["latency_ms"] == {"p50": 0.0, "p99": 0.0, "p999": 0.0}
+    for i in range(6):
+        assert gateway.submit(key, payload=i).admitted
+    sim.run(until=10_000.0)
+    latency = gateway.status()["latency_ms"]
+    assert latency["p999"] >= latency["p99"] >= latency["p50"] > 0
+    metrics = gateway.service_metrics()
+    assert metrics["service_submit_p999_ms"] >= metrics["service_submit_p99_ms"]
+
+
+def test_obs_hub_counts_admission_outcomes():
+    from repro.obs import ObsHub, install_hub
+
+    sim = Simulator(seed=3)
+    hub = install_hub(sim, ObsHub())
+    scenario = ScenarioSpec(system="fs-newtop", n_members=4, seed=3)
+    group = build_ordering_group(sim, scenario)
+    gateway = OrderingGateway(sim, group, ServiceSpec())
+    gateway.submit("sk-wrong", payload=0)
+    gateway.submit(good_key(gateway), payload=1)
+    sim.run(until=10_000.0)
+    outcomes = {
+        dict(i.labels)["outcome"]: i.value
+        for i in hub.registry.instruments()
+        if i.name == "repro_gateway_admission_total"
+    }
+    assert outcomes["unauthorized"] == 1.0
+    assert outcomes["accepted"] == 1.0
+    assert hub.submit_ms.count == 1

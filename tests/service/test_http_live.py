@@ -213,3 +213,55 @@ def test_stream_resumes_from_a_cursor_after_reconnect():
         assert (event_id, event["seq"]) == ("0:3", 3)
 
     run_live(ServiceSpec(), client)
+
+
+def test_metrics_endpoint_serves_prometheus_text():
+    async def client(handle):
+        port = handle.server.port
+        status, _, _ = await request(
+            port, "POST", "/v1/submit", key=good_key(handle), body={"payload": 1}
+        )
+        assert status == 202
+        from repro.obs.prom import parse
+
+        async def scrape():
+            # /metrics is not JSON, so drive it raw (no auth required).
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            head_text = head.decode("latin-1")
+            assert " 200 " in head_text.splitlines()[0]
+            assert "text/plain; version=0.0.4" in head_text
+            return parse(body.decode())
+
+        def signs(document):
+            return sum(
+                value
+                for name, _, value in document["repro_fso_sign_ms"]["samples"]
+                if name.endswith("_count")
+            )
+
+        # Ordering runs asynchronously behind the 202: re-scrape until
+        # the admitted submit has flowed through the signing stage.
+        families = await scrape()
+        while signs(families) == 0:
+            await asyncio.sleep(0.05)
+            families = await scrape()
+        admissions = {
+            labels.get("outcome"): value
+            for _, labels, value in families["repro_gateway_admission_total"][
+                "samples"
+            ]
+        }
+        assert admissions.get("accepted", 0.0) >= 1.0
+        assert families["repro_fso_sign_ms"]["type"] == "histogram"
+        status, _, _ = await request(port, "POST", "/metrics")
+        assert status == 405
+
+    run_live(ServiceSpec(), client)
