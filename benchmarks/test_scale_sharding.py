@@ -132,9 +132,9 @@ def test_cross_shard_barrier_under_load(benchmark):
 
 
 def test_sharded_cells_audit_clean():
-    """The seven oracles (six existing + cross-shard) pass on sharded
+    """The eight oracles (cross-shard and state-consistency included) pass on sharded
     deployments with live cross-shard traffic."""
     for scenario, label in ((SCENARIO, "S2"), (XRATIO, "20%")):
         run = audit_scenario(_cell(scenario, label), scenario=scenario.name)
-        assert len(run.report.verdicts) == 7
+        assert len(run.report.verdicts) == 8
         assert run.report.ok, run.report.render()

@@ -27,12 +27,19 @@ def pytest_configure(config):
         "time; the whole subset stays under ~10s (deselect with -m 'not "
         "realtime')",
     )
+    config.addinivalue_line(
+        "markers",
+        "soak: long bounded-memory soak run; skipped unless --runslow is given",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
     if config.getoption("--runslow"):
         return
     skip_slow = pytest.mark.skip(reason="slow benchmark; run with --runslow")
+    skip_soak = pytest.mark.skip(reason="soak run; run with --runslow")
     for item in items:
         if "slow" in item.keywords:
             item.add_marker(skip_slow)
+        elif "soak" in item.keywords:
+            item.add_marker(skip_soak)

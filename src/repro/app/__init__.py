@@ -1,0 +1,34 @@
+"""The replicated key-value application riding the ordering layer.
+
+This package is the answer to "ordered into *what*?": a deterministic
+KV state machine per member (:mod:`repro.app.kvstore`), signed
+checkpoints every K applied operations (:mod:`repro.app.checkpoint`),
+and verified state transfer for crash-recover-rejoin
+(:mod:`repro.app.recovery`), all assembled per run by
+:class:`~repro.app.runtime.AppRuntime` when a scenario carries an
+:class:`~repro.app.spec.AppSpec`.  The ``appstate`` trace stream it
+emits is what the :class:`~repro.invariants.oracles.StateConsistencyOracle`
+audits.  See docs/APPLICATION.md.
+"""
+
+from repro.app.checkpoint import Checkpoint, CheckpointLog
+from repro.app.kvstore import GENESIS_HIST, KvStore, OP_KINDS, synthesize_op
+from repro.app.recovery import RecoveryError, RecoveryOutcome, run_recovery
+from repro.app.runtime import GOSSIP_DELAY_MS, AppMember, AppRuntime
+from repro.app.spec import AppSpec
+
+__all__ = [
+    "AppMember",
+    "AppRuntime",
+    "AppSpec",
+    "Checkpoint",
+    "CheckpointLog",
+    "GENESIS_HIST",
+    "GOSSIP_DELAY_MS",
+    "KvStore",
+    "OP_KINDS",
+    "RecoveryError",
+    "RecoveryOutcome",
+    "run_recovery",
+    "synthesize_op",
+]

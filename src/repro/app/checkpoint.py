@@ -1,0 +1,147 @@
+"""Signed checkpoints of the replicated KV application.
+
+Every ``checkpoint_every`` applied operations a member signs
+``(seq, state digest, history digest)`` with its application identity
+(``<member>.app`` in the group's keystore) and gossips the signed
+certificate to its peers.  Checkpoints serve three masters:
+
+* **evidence** -- two validly signed checkpoints with the same history
+  but different digests convict a member of running a corrupted (or
+  forged) store, exactly like double-sign evidence convicts an
+  equivocator;
+* **recovery** -- ``f + 1`` matching certificates at one seq form a
+  quorum a rejoining member can trust (at most ``f`` faulty members
+  cannot forge one), the anchor of state transfer;
+* **garbage collection** -- the latest quorum seq is the *low-water
+  mark*: oplog suffixes, dedup entries and old certificates below it
+  are retired, which is what keeps soak-run memory flat.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.errors import UnknownSigner
+from repro.crypto.keystore import KeyStore
+from repro.crypto.signing import Signed
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """One member's claim about its state at one applied-op count."""
+
+    member: str
+    seq: int
+    digest: str
+    hist: str
+
+    def payload(self) -> dict:
+        """The canonical-codec payload that gets signed."""
+        return {
+            "member": self.member,
+            "seq": self.seq,
+            "digest": self.digest,
+            "hist": self.hist,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Checkpoint":
+        return cls(
+            member=str(payload["member"]),
+            seq=int(payload["seq"]),
+            digest=str(payload["digest"]),
+            hist=str(payload["hist"]),
+        )
+
+
+class CheckpointLog:
+    """One member's view of everyone's signed checkpoints.
+
+    Certificates are verified before they land here, so quorum answers
+    can be trusted to the fault budget.  The log retires whole seqs as
+    the low-water mark advances (``retain`` quorum boundaries are
+    kept), bounding its footprint regardless of run length.
+    """
+
+    def __init__(self, keystore: KeyStore, retain: int = 4) -> None:
+        self.keystore = keystore
+        self.retain = retain
+        #: seq -> member -> verified signed certificate
+        self._by_seq: dict[int, dict[str, Signed]] = {}
+        self.low_water = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return sum(len(members) for members in self._by_seq.values())
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def add(self, signed: Signed) -> Checkpoint | None:
+        """Verify and file one certificate; ``None`` if it is garbage."""
+        if not isinstance(signed.payload, dict):
+            self.rejected += 1
+            return None
+        try:
+            verified = self.keystore.check_signed(signed)
+        except UnknownSigner:
+            # An identity outside the group's PKI cannot vouch for
+            # anything -- reject, don't crash the receiving member.
+            verified = False
+        if not verified:
+            self.rejected += 1
+            return None
+        checkpoint = Checkpoint.from_payload(signed.payload)
+        if checkpoint.seq < self.low_water:
+            return checkpoint  # verified, but retired territory: not filed
+        self._by_seq.setdefault(checkpoint.seq, {})[checkpoint.member] = signed
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # quorum queries
+    # ------------------------------------------------------------------
+    def matching(self, seq: int) -> dict[tuple[str, str], list[Signed]]:
+        """Certificates at ``seq`` grouped by the (digest, hist) they
+        vouch for."""
+        groups: dict[tuple[str, str], list[Signed]] = {}
+        for signed in self._by_seq.get(seq, {}).values():
+            checkpoint = Checkpoint.from_payload(signed.payload)
+            groups.setdefault((checkpoint.digest, checkpoint.hist), []).append(signed)
+        return groups
+
+    def quorum_at(self, seq: int, f: int) -> tuple[Checkpoint, list[Signed]] | None:
+        """The ``f + 1``-matching certificate set at ``seq``, if any."""
+        for (digest, hist), certs in sorted(self.matching(seq).items()):
+            if len(certs) >= f + 1:
+                member = Checkpoint.from_payload(certs[0].payload).member
+                return (
+                    Checkpoint(member=member, seq=seq, digest=digest, hist=hist),
+                    certs,
+                )
+        return None
+
+    def latest_quorum(self, f: int) -> tuple[Checkpoint, list[Signed]] | None:
+        """The highest-seq quorum the log currently holds."""
+        for seq in sorted(self._by_seq, reverse=True):
+            quorum = self.quorum_at(seq, f)
+            if quorum is not None:
+                return quorum
+        return None
+
+    # ------------------------------------------------------------------
+    # retirement
+    # ------------------------------------------------------------------
+    def advance_low_water(self, stable_seq: int, stride: int) -> int:
+        """Move the low-water mark under a newly stable seq.
+
+        Keeps the last ``retain`` checkpoint boundaries (``stride``
+        apart) below ``stable_seq`` and drops everything older.
+        Returns the new low-water mark.
+        """
+        floor = max(0, stable_seq - self.retain * stride)
+        if floor <= self.low_water:
+            return self.low_water
+        self.low_water = floor
+        for seq in [s for s in self._by_seq if s < floor]:
+            del self._by_seq[seq]
+        return self.low_water

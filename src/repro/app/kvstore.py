@@ -1,0 +1,168 @@
+"""The deterministic replicated key-value state machine.
+
+A :class:`KvStore` is what the ordering guarantees exist *for*: each
+member applies its totally-ordered delivery feed, operation by
+operation, so any two correct members that applied the same sequence
+hold byte-identical state.  Determinism is load-bearing twice over --
+the state digest is the cross-member consistency evidence the
+:class:`~repro.invariants.oracles.StateConsistencyOracle` audits, and
+recovery (snapshot + replay) only converges because replaying the same
+operations rebuilds the same bytes.
+
+Two digests ride on every store:
+
+* ``digest()`` -- the canonical digest of the current *state* (data,
+  per-key version counters, applied-op count);
+* ``hist`` -- a rolling digest of the applied *history* (the chain of
+  delivered message keys).  Equal histories imply equal op sequences,
+  so "equal ``hist`` => equal ``digest()``" is a machine-checkable
+  determinism invariant -- divergence at the same history is protocol
+  evidence of a corrupted (or forged) store.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.crypto import canonical_encode, md5_hexdigest
+
+#: Operation kinds the store applies.
+OP_KINDS = ("put", "del", "cas", "get")
+
+#: The history chain's genesis value (no operations applied).
+GENESIS_HIST = md5_hexdigest(b"repro.app genesis")
+
+
+def _explicit_op(container: typing.Any) -> dict | None:
+    """A well-formed ``"op"`` field of ``container``, if any."""
+    if not isinstance(container, dict):
+        return None
+    op = container.get("op")
+    if isinstance(op, dict) and op.get("t") in OP_KINDS and "k" in op:
+        return op
+    return None
+
+
+def synthesize_op(value: typing.Any, msg_key: str) -> dict:
+    """Derive the KV operation a delivered payload drives.
+
+    A payload carrying an explicit well-formed ``"op"`` field (the
+    :class:`~repro.service.workload.ServiceWorkload` opt-in, and the
+    tests') is taken verbatim -- at the top level, or nested under the
+    gateway's payload envelope (``value["b"]``, where the gateway's own
+    ``"op"`` field is the operation *id* string).  Any other payload is
+    mapped onto a deterministic synthetic operation -- a function of
+    the payload's own message key, so every member derives the *same*
+    op from the same delivered message and the KV application can ride
+    any totally-ordered feed without changing workload schedules.
+    """
+    if isinstance(value, dict):
+        op = _explicit_op(value)
+        if op is None:
+            op = _explicit_op(value.get("b"))
+        if op is not None:
+            return op
+        key = value.get("k")
+        if not isinstance(key, str):
+            key = f"k{int(msg_key[2:4], 16) % 16}"
+    else:
+        key = f"k{int(msg_key[2:4], 16) % 16}"
+    # Mostly writes, with a deterministic sprinkling of deletes so the
+    # store exercises removal and version-counter monotonicity.
+    if int(msg_key[:2], 16) % 7 == 0:
+        return {"t": "del", "k": key}
+    return {"t": "put", "k": key, "v": msg_key[:8]}
+
+
+class KvStore:
+    """A deterministic get/put/del/cas store with version counters.
+
+    ``versions`` counts *mutations* per key (puts, deletes and
+    successful cas), never resetting on delete -- the monotonic counter
+    is what compare-and-swap conditions on.  ``seq`` counts applied
+    operations (reads included: applying is what advances the history
+    chain, not mutating).
+    """
+
+    def __init__(self) -> None:
+        self.data: dict[str, typing.Any] = {}
+        self.versions: dict[str, int] = {}
+        self.seq = 0
+        self.hist = GENESIS_HIST
+
+    # ------------------------------------------------------------------
+    # applying operations
+    # ------------------------------------------------------------------
+    def apply(self, op: dict, msg_key: str) -> bool:
+        """Apply one delivered operation; return whether it mutated.
+
+        ``msg_key`` is the delivered message's stable identity (see
+        :func:`repro.newtop.invocation.message_key`); it is folded into
+        the history chain so ``hist`` names the exact delivery sequence
+        this state was built from.
+        """
+        kind = op.get("t")
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {kind!r}, want one of {OP_KINDS}")
+        key = op["k"]
+        mutated = False
+        if kind == "put":
+            mutated = self._write(key, op.get("v"))
+        elif kind == "del":
+            if key in self.data:
+                del self.data[key]
+                self.versions[key] = self.versions.get(key, 0) + 1
+                mutated = True
+        elif kind == "cas":
+            # Succeeds iff the key's version counter matches the
+            # expectation; a miss is a no-op (but still advances the
+            # history -- the operation *was* applied, it just lost).
+            if self.versions.get(key, 0) == op.get("expect", 0):
+                mutated = self._write(key, op.get("v"))
+        self.seq += 1
+        self.hist = md5_hexdigest(self.hist.encode() + msg_key.encode())
+        return mutated
+
+    def _write(self, key: str, value: typing.Any) -> bool:
+        self.data[key] = value
+        self.versions[key] = self.versions.get(key, 0) + 1
+        return True
+
+    def get(self, key: str) -> typing.Any:
+        return self.data.get(key)
+
+    # ------------------------------------------------------------------
+    # digests & snapshots
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """The canonical-encodable value ``digest()`` covers."""
+        return {
+            "data": self.data,
+            "versions": self.versions,
+            "seq": self.seq,
+            "hist": self.hist,
+        }
+
+    def digest(self) -> str:
+        """Canonical digest of the full current state."""
+        return md5_hexdigest(canonical_encode(self.state()))
+
+    def snapshot(self) -> dict:
+        """A value-only copy sufficient to :meth:`restore` this state."""
+        return {
+            "data": dict(self.data),
+            "versions": dict(self.versions),
+            "seq": self.seq,
+            "hist": self.hist,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self.data = dict(snapshot["data"])
+        self.versions = dict(snapshot["versions"])
+        self.seq = int(snapshot["seq"])
+        self.hist = str(snapshot["hist"])
+
+
+def snapshot_bytes(snapshot: dict) -> int:
+    """Wire size of one snapshot (state-transfer accounting)."""
+    return len(canonical_encode(snapshot))

@@ -1,0 +1,132 @@
+"""State transfer for rejoining members.
+
+A member whose node crashed rejoins the *application* by rebuilding its
+store from its peers -- the ordering protocol has already excluded the
+pair (re-admitting the fail-signal wrapper itself is future work, see
+docs/APPLICATION.md), so this layer answers the question the paper's
+guarantees exist for: can a replica that lost everything catch back up
+to provably correct state?
+
+The flow, anchored entirely in signed evidence:
+
+1. the recoverer reads the donor's checkpoint log and picks the
+   highest seq with an ``f + 1``-matching certificate quorum *and* a
+   donor snapshot whose digest matches the quorum's -- at most ``f``
+   faulty members cannot fabricate that set, so the snapshot's claimed
+   digest is trustworthy;
+2. it re-verifies every certificate signature against its own keystore
+   (trust the evidence, not the donor) and checks the snapshot's
+   canonical digest really equals the quorum digest (the donor cannot
+   substitute bytes under a valid certificate);
+3. it restores the snapshot and replays the donor's oplog suffix up to
+   the donor's latest checkpoint boundary, so the rebuilt state lands
+   exactly on a seq other members have certified -- which is what lets
+   the state-consistency oracle cross-check the recovery.
+
+Transfer volume (snapshot + certificates + replay suffix, canonical
+wire bytes) is accounted to the ``app_transfer_bytes`` metric and the
+``repro_app_transfer_bytes_total`` counter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.app.checkpoint import Checkpoint
+from repro.crypto import canonical_encode, md5_hexdigest
+
+if typing.TYPE_CHECKING:
+    from repro.app.runtime import AppMember
+
+
+class RecoveryError(RuntimeError):
+    """State transfer could not produce a verified state."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RecoveryOutcome:
+    """What one completed state transfer shipped and rebuilt."""
+
+    anchor_seq: int
+    target_seq: int
+    replayed: int
+    transfer_bytes: int
+
+
+def _verified_anchor(
+    member: "AppMember", donor: "AppMember", f: int
+) -> tuple[Checkpoint, list, dict]:
+    """The highest trustworthy (quorum, certificates, snapshot) triple."""
+    for seq in sorted(donor.log._by_seq, reverse=True):
+        quorum = donor.log.quorum_at(seq, f)
+        if quorum is None:
+            continue
+        checkpoint, certs = quorum
+        snapshot = donor.snapshots.get(seq)
+        if snapshot is None:
+            continue
+        # Re-verify against the recoverer's *own* keystore: the donor
+        # hands over evidence, not authority.
+        if not all(member.keystore.check_signed(signed) for signed in certs):
+            continue
+        signers = {signed.signature.signer for signed in certs}
+        if len(signers) < f + 1:
+            continue
+        if _state_digest(snapshot) != checkpoint.digest:
+            raise RecoveryError(
+                f"donor snapshot at seq {seq} does not hash to the "
+                f"quorum digest {checkpoint.digest[:12]}..."
+            )
+        return checkpoint, certs, snapshot
+    raise RecoveryError("no f+1-matching checkpoint quorum with a snapshot")
+
+
+def _state_digest(snapshot: dict) -> str:
+    """The state digest a store restored from ``snapshot`` would report."""
+    state = {
+        "data": snapshot["data"],
+        "versions": snapshot["versions"],
+        "seq": snapshot["seq"],
+        "hist": snapshot["hist"],
+    }
+    return md5_hexdigest(canonical_encode(state))
+
+
+def run_recovery(member: "AppMember", donor: "AppMember", f: int) -> RecoveryOutcome:
+    """Rebuild ``member``'s store from ``donor``; raises on bad evidence."""
+    checkpoint, certs, snapshot = _verified_anchor(member, donor, f)
+    transfer_bytes = len(canonical_encode(snapshot))
+    transfer_bytes += sum(len(canonical_encode(s.payload)) for s in certs)
+    # Replay the donor's suffix to its latest *certified* boundary, so
+    # the rebuilt state is comparable against peers' checkpoints.
+    target_seq = max(
+        (seq for seq in donor.snapshots if seq >= checkpoint.seq),
+        default=checkpoint.seq,
+    )
+    suffix = [
+        (seq, msg_key, op)
+        for seq, msg_key, op in donor.oplog
+        if checkpoint.seq < seq <= target_seq
+    ]
+    if suffix and suffix[-1][0] != target_seq:
+        raise RecoveryError(
+            f"donor oplog suffix ends at seq {suffix[-1][0]}, "
+            f"short of the target boundary {target_seq}"
+        )
+    member.store.restore(snapshot)
+    for seq, msg_key, op in suffix:
+        member.store.apply(op, msg_key)
+        member.seen[msg_key] = member.store.seq
+        transfer_bytes += len(canonical_encode(op)) + len(msg_key)
+    member.stable_seq = max(member.stable_seq, checkpoint.seq)
+    if member.store.seq != target_seq:
+        raise RecoveryError(
+            f"replay landed at seq {member.store.seq}, wanted {target_seq}"
+        )
+    return RecoveryOutcome(
+        anchor_seq=checkpoint.seq,
+        target_seq=target_seq,
+        replayed=len(suffix),
+        transfer_bytes=transfer_bytes,
+    )

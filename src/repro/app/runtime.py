@@ -1,0 +1,371 @@
+"""The application runtime: per-member stores wired to delivery feeds.
+
+An :class:`AppRuntime` is built by the scenario runner whenever the
+spec carries an :class:`~repro.app.spec.AppSpec`.  It registers one
+application signing identity per member (``<member>.app``) in the
+group's keystore, hooks every member's delivery feed (post-holdback on
+sharded deployments) and runs one :class:`AppMember` each:
+
+* every totally-ordered delivered payload becomes a KV operation
+  (explicit ``"op"`` field or the deterministic synthesis in
+  :func:`repro.app.kvstore.synthesize_op`) applied in delivery order;
+* every ``checkpoint_every`` applied ops the member signs a
+  :class:`~repro.app.checkpoint.Checkpoint` and gossips it to its
+  group peers over a constant 1ms application channel (deterministic,
+  and invisible to the ordering protocol -- the gossip rides
+  ``sim.schedule``, not the group's network);
+* an ``f + 1`` quorum of matching certificates advances the low-water
+  mark, retiring oplog/dedup/certificate state below it;
+* :meth:`AppRuntime.start_recovery` runs the crash-recover-rejoin flow
+  (see :mod:`repro.app.recovery`).
+
+Everything the runtime does is traced under the ``appstate`` category
+(``apply`` / ``checkpoint`` / ``divergence`` / ``recover-start`` /
+``recover-complete``), the stream the 8th oracle
+(:class:`~repro.invariants.oracles.StateConsistencyOracle`) folds.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.app.checkpoint import Checkpoint, CheckpointLog
+from repro.app.kvstore import KvStore, synthesize_op
+from repro.app.recovery import RecoveryError, run_recovery
+from repro.app.spec import AppSpec
+from repro.invariants.oracles import TOTAL_SERVICES
+from repro.newtop.invocation import message_key
+from repro.obs import hub_of
+
+if typing.TYPE_CHECKING:
+    from repro.crypto.keystore import KeyStore
+    from repro.transport.base import Clock
+
+#: Application-level gossip delay (ms): constant and tiny, so the
+#: checkpoint channel never perturbs -- or depends on -- the ordering
+#: network's delay model, and sharded/unsharded runs stay differential.
+GOSSIP_DELAY_MS = 1.0
+
+
+class AppMember:
+    """One member's application state: store, oplog, checkpoint log."""
+
+    def __init__(
+        self,
+        runtime: "AppRuntime",
+        member_id: str,
+        signer,
+        keystore: "KeyStore",
+        peers: tuple[str, ...],
+    ) -> None:
+        self.runtime = runtime
+        self.member_id = member_id
+        self.signer = signer
+        self.keystore = keystore
+        self.peers = peers  # gossip targets: same-group members, self excluded
+        spec = runtime.spec
+        self.store = KvStore()
+        self.log = CheckpointLog(keystore, retain=spec.retain_checkpoints)
+        #: Replay suffix for recoverers: [(seq, msg_key, op)] above the
+        #: low-water mark.
+        self.oplog: list[tuple[int, str, dict]] = []
+        #: Dedup memory: msg_key -> seq it was applied at.
+        self.seen: dict[str, int] = {}
+        #: Snapshots at recent checkpoint boundaries: seq -> snapshot.
+        self.snapshots: dict[int, dict] = {}
+        #: Own-emit times awaiting quorum (checkpoint latency histogram).
+        self._emitted_at: dict[int, float] = {}
+        self.checkpoints_emitted = 0
+        self.quorums_formed = 0
+        self.duplicates = 0
+        self.stable_seq = 0
+        self.recovered = False
+
+    # ------------------------------------------------------------------
+    # the delivery feed
+    # ------------------------------------------------------------------
+    def on_delivery(self, message) -> None:
+        """Apply one delivered message (the hooked feed calls this)."""
+        if message.service not in TOTAL_SERVICES:
+            return  # reads / reliable traffic never mutate the store
+        msg_key = message_key(message.sender, message.value)
+        if msg_key in self.seen:
+            # A duplicate totally-ordered delivery is itself a protocol
+            # violation (the total-order oracle flags it); the store
+            # stays deterministic by refusing the re-apply.
+            self.duplicates += 1
+            self._trace("duplicate", key=msg_key, seq=self.store.seq)
+            return
+        op = synthesize_op(message.value, msg_key)
+        self.store.apply(op, msg_key)
+        seq = self.store.seq
+        self.seen[msg_key] = seq
+        self.oplog.append((seq, msg_key, op))
+        self.runtime.ops_applied += 1
+        self._trace("apply", key=msg_key, seq=seq)
+        if seq % self.runtime.spec.checkpoint_every == 0:
+            self.emit_checkpoint()
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def emit_checkpoint(self) -> Checkpoint:
+        """Sign the current state and gossip the certificate."""
+        sim = self.runtime.sim
+        checkpoint = Checkpoint(
+            member=self.member_id,
+            seq=self.store.seq,
+            digest=self.store.digest(),
+            hist=self.store.hist,
+        )
+        signed = self.signer.sign_payload(checkpoint.payload())
+        self.snapshots[checkpoint.seq] = self.store.snapshot()
+        self.checkpoints_emitted += 1
+        self._emitted_at.setdefault(checkpoint.seq, sim.now)
+        self._trace(
+            "checkpoint",
+            seq=checkpoint.seq,
+            digest=checkpoint.digest,
+            hist=checkpoint.hist,
+        )
+        self.receive_checkpoint(signed)  # own certificate counts
+        for peer in self.peers:
+            sim.schedule(
+                GOSSIP_DELAY_MS,
+                self.runtime.members[peer].receive_checkpoint,
+                signed,
+            )
+        return checkpoint
+
+    def receive_checkpoint(self, signed) -> None:
+        checkpoint = self.log.add(signed)
+        if checkpoint is None:
+            return  # bad signature / garbage: dropped, counted
+        self._check_divergence(checkpoint)
+        quorum = self.log.quorum_at(checkpoint.seq, self.runtime.fault_budget)
+        if quorum is not None:
+            self._on_quorum(checkpoint.seq)
+
+    def _check_divergence(self, checkpoint: Checkpoint) -> None:
+        """Same history, different digest = hard evidence of a broken
+        store (determinism says the bytes are a function of the
+        history).  Traced like double-sign evidence."""
+        for signed in self.log._by_seq.get(checkpoint.seq, {}).values():
+            other = Checkpoint.from_payload(signed.payload)
+            if other.member == checkpoint.member:
+                continue
+            if other.hist == checkpoint.hist and other.digest != checkpoint.digest:
+                self._trace(
+                    "divergence",
+                    seq=checkpoint.seq,
+                    members=sorted((checkpoint.member, other.member)),
+                )
+
+    def _on_quorum(self, seq: int) -> None:
+        emitted = self._emitted_at.pop(seq, None)
+        if emitted is not None:
+            self.quorums_formed += 1
+            self.runtime.hub.app_checkpoint_ms.observe(self.runtime.sim.now - emitted)
+        if seq <= self.stable_seq:
+            return
+        self.stable_seq = seq
+        stride = self.runtime.spec.checkpoint_every
+        low = self.log.advance_low_water(seq, stride)
+        # Retire replay/dedup state below the mark: a recoverer restores
+        # from a snapshot at or above it, so older entries are dead.
+        if low:
+            self.oplog = [entry for entry in self.oplog if entry[0] > low]
+            self.seen = {k: s for k, s in self.seen.items() if s > low}
+            for snap_seq in [s for s in self.snapshots if s < low]:
+                del self.snapshots[snap_seq]
+        self.runtime.note_footprint(self)
+
+    # ------------------------------------------------------------------
+    def _trace(self, event: str, **details) -> None:
+        sim = self.runtime.sim
+        if sim.trace.enabled:
+            sim.trace.record(
+                sim.now, "appstate", f"{self.member_id}.kv", event, **details
+            )
+
+
+class AppRuntime:
+    """All members' application state plus run-level accounting."""
+
+    def __init__(self, sim: "Clock", group: typing.Any, spec: AppSpec) -> None:
+        self.sim = sim
+        self.group = group
+        self.spec = spec
+        self.hub = hub_of(sim)
+        self.members: dict[str, AppMember] = {}
+        #: member -> same-group peer ids (gossip / donor scope).
+        self._groups: dict[str, tuple[str, ...]] = {}
+        self.crashed: set[str] = set()
+        self.ops_applied = 0
+        self.recoveries = 0
+        self.replay_ops = 0
+        self.transfer_bytes = 0
+        self.oplog_peak = 0
+        self.dedup_peak = 0
+        self.log_peak = 0
+        rng = sim.rng("app")
+        for fs_group in self._fs_groups(group):
+            keystore = fs_group.env.keystore
+            member_ids = tuple(fs_group.member_ids)
+            for member_id in member_ids:
+                peers = tuple(m for m in member_ids if m != member_id)
+                signer = keystore.new_signer(f"{member_id}.app", rng)
+                self.members[member_id] = AppMember(
+                    self, member_id, signer, keystore, peers
+                )
+                self._groups[member_id] = member_ids
+        self._hook_deliveries(group)
+
+    @staticmethod
+    def _fs_groups(group: typing.Any) -> tuple:
+        from repro.fsnewtop.system import ByzantineTolerantGroup
+        from repro.shard.group import ShardedGroup
+
+        if isinstance(group, ByzantineTolerantGroup):
+            return (group,)
+        if isinstance(group, ShardedGroup):
+            return tuple(group.shard_groups)
+        raise ValueError(
+            "the KV application needs fail-signal groups (fs-newtop); "
+            f"got {type(group).__name__}"
+        )
+
+    @property
+    def fault_budget(self) -> int:
+        """``f``: matching certificates needed beyond one's own word."""
+        return max(1, (len(self.members) - 1) // 2)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def _hook_deliveries(self, group: typing.Any) -> None:
+        from repro.shard.group import ShardedGroup
+
+        for member_id, app_member in self.members.items():
+            if isinstance(group, ShardedGroup):
+                # Post-holdback: cross-shard operations apply at their
+                # barrier release, in the one global sequence order.
+                target = group.agents[member_id]
+            else:
+                target = group.members[member_id].invocation
+            target.on_deliver = self._chain(app_member, target.on_deliver)
+
+    @staticmethod
+    def _chain(app_member: AppMember, previous):
+        def deliver(message):
+            app_member.on_delivery(message)
+            if previous is not None:
+                previous(message)
+
+        return deliver
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+    def mark_crashed(self, member_id: str) -> None:
+        self.crashed.add(member_id)
+
+    def start_recovery(self, member_id: str) -> None:
+        """Run the crash-recover-rejoin flow for one member.
+
+        Traced ``recover-start`` immediately; the verified state
+        transfer lands ``transfer_delay_ms`` later (the window
+        composable adversaries can strike inside).
+        """
+        member = self.members[member_id]
+        donor = self._pick_donor(member_id)
+        member._trace(
+            "recover-start",
+            donor=donor.member_id if donor is not None else None,
+            at_seq=member.store.seq,
+            deadline_ms=self.spec.recovery_deadline_ms,
+        )
+        if donor is None:
+            member._trace("recover-failed", reason="no donor")
+            return
+        self.sim.schedule(
+            self.spec.transfer_delay_ms, self._complete_recovery, member, donor
+        )
+
+    def _pick_donor(self, member_id: str) -> AppMember | None:
+        """The most advanced same-group peer (deterministic tie-break).
+
+        A peer whose *node* crashed still donates: state transfer is
+        application-level, and its in-memory store is intact up to its
+        crash point -- it is simply never the most advanced one.
+        """
+        candidates = [
+            self.members[peer]
+            for peer in self._groups[member_id]
+            if peer != member_id
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda m: (m.store.seq, m.member_id))
+
+    def _complete_recovery(self, member: AppMember, donor: AppMember) -> None:
+        try:
+            outcome = run_recovery(member, donor, self.fault_budget)
+        except RecoveryError as exc:
+            member._trace("recover-failed", reason=str(exc))
+            return
+        self.recoveries += 1
+        self.replay_ops += outcome.replayed
+        self.transfer_bytes += outcome.transfer_bytes
+        self.hub.app_transfer_bytes.inc(outcome.transfer_bytes)
+        member.recovered = True
+        member._trace(
+            "recover-complete",
+            seq=member.store.seq,
+            digest=member.store.digest(),
+            replayed=outcome.replayed,
+            bytes=outcome.transfer_bytes,
+        )
+        # Re-announce: the recovered member signs its rebuilt state, so
+        # peers hold its certificate and the oracle can cross-check the
+        # rebuilt digest like any other checkpoint.
+        member.emit_checkpoint()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def note_footprint(self, member: AppMember) -> None:
+        self.oplog_peak = max(self.oplog_peak, len(member.oplog))
+        self.dedup_peak = max(self.dedup_peak, len(member.seen))
+        self.log_peak = max(self.log_peak, len(member.log))
+
+    def metrics(self) -> dict[str, float]:
+        """Flattened ``app_*`` metrics for the runner's report."""
+        for member in self.members.values():
+            self.note_footprint(member)
+        checkpoints = sum(m.checkpoints_emitted for m in self.members.values())
+        return {
+            "app_ops_applied": float(self.ops_applied),
+            "app_checkpoints": float(checkpoints),
+            "app_checkpoint_quorums": float(
+                sum(m.quorums_formed for m in self.members.values())
+            ),
+            "app_recoveries": float(self.recoveries),
+            "app_replay_ops": float(self.replay_ops),
+            "app_transfer_bytes": float(self.transfer_bytes),
+            "app_seq_max": float(
+                max((m.store.seq for m in self.members.values()), default=0)
+            ),
+            "app_distinct_digests": float(
+                len(
+                    {
+                        (m.store.seq, m.store.digest())
+                        for m in self.members.values()
+                        if m.member_id not in self.crashed or m.recovered
+                    }
+                )
+            ),
+            "app_oplog_peak": float(self.oplog_peak),
+            "app_dedup_peak": float(self.dedup_peak),
+            "app_checkpoint_log_peak": float(self.log_peak),
+        }

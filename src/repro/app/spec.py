@@ -1,0 +1,64 @@
+"""Declarative description of the replicated KV application.
+
+An :class:`AppSpec` on a :class:`~repro.experiments.spec.ScenarioSpec`
+switches on the application layer: the runner builds one
+:class:`~repro.app.runtime.AppMember` per group member, each applying
+the member's totally-ordered delivery feed to a deterministic
+:class:`~repro.app.kvstore.KvStore`, emitting signed checkpoints every
+``checkpoint_every`` applied operations, and serving state transfer to
+recovering members (see :mod:`repro.app.recovery`).
+
+Like every other spec it is a value: picklable for the campaign pool,
+JSON round-trippable for the result store, Hypothesis-safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AppSpec:
+    """Knobs of the replicated KV application.
+
+    * ``checkpoint_every`` -- applied operations between signed
+      checkpoints (the low-water mark advances in these strides);
+    * ``retain_checkpoints`` -- checkpoint boundaries (snapshots and
+      signed certificates) each member keeps; everything older is
+      retired, which is what bounds holdback/dedup/oplog memory;
+    * ``transfer_delay_ms`` -- simulated duration of one state
+      transfer, so adversaries can strike *during* recovery;
+    * ``recovery_deadline_ms`` -- how long after ``recover-start`` the
+      state-consistency oracle allows before flagging a stuck recovery
+      (``None`` = use the audit's detection deadline).
+    """
+
+    checkpoint_every: int = 8
+    retain_checkpoints: int = 4
+    transfer_delay_ms: float = 50.0
+    recovery_deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.retain_checkpoints < 1:
+            raise ValueError(
+                f"retain_checkpoints must be >= 1, got {self.retain_checkpoints}"
+            )
+        if self.transfer_delay_ms < 0:
+            raise ValueError(
+                f"transfer_delay_ms must be >= 0, got {self.transfer_delay_ms}"
+            )
+        if self.recovery_deadline_ms is not None and self.recovery_deadline_ms <= 0:
+            raise ValueError(
+                f"recovery_deadline_ms must be > 0, got {self.recovery_deadline_ms}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AppSpec":
+        return cls(**data)

@@ -57,6 +57,11 @@ REPORT_METRICS = (
     ("service_submit_p50_ms", "ms"),
     ("service_submit_p99_ms", "ms"),
     ("service_submit_p999_ms", "ms"),
+    ("app_ops_applied", "ops"),
+    ("app_checkpoints", ""),
+    ("app_recoveries", ""),
+    ("app_replay_ops", "ops"),
+    ("app_transfer_bytes", "B"),
     ("wall_elapsed_s", "s"),
     ("timer_slack_mean_ms", "ms"),
     ("timer_slack_max_ms", "ms"),
@@ -75,6 +80,7 @@ SCENARIO_FAMILIES = (
     ("adv", "Adversarial audits"),
     ("scale", "Scale & batching"),
     ("svc", "Client-facing service"),
+    ("app", "Replicated KV application"),
     ("stress", "Stress & comparators"),
 )
 
@@ -84,7 +90,7 @@ def scenario_family(name: str) -> str:
     prefix = name.split("_", 1)[0]
     if prefix.startswith("fig"):
         return "fig"
-    if prefix in ("adv", "scale", "svc"):
+    if prefix in ("adv", "scale", "svc", "app"):
         return prefix
     return "stress"
 
@@ -144,8 +150,8 @@ def build_command_parser() -> argparse.ArgumentParser:
     lister = sub.add_parser("list", help="catalogue the registered scenarios")
     lister.add_argument(
         "--family",
-        help="only list this family (fig/adv/scale/stress) or scenarios "
-        "whose name starts with this prefix (e.g. scale_shard)",
+        help="only list this family (fig/adv/scale/svc/app/stress) or "
+        "scenarios whose name starts with this prefix (e.g. scale_shard)",
     )
 
     run = sub.add_parser("run", help="run one scenario's grid once and print tables")

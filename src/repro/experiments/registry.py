@@ -18,6 +18,7 @@ import dataclasses
 import typing
 
 from repro.adversary.spec import AdversarySpec, both, intermittent, seq
+from repro.app.spec import AppSpec
 from repro.experiments.spec import (
     SPIKY_NET,
     BatchingSpec,
@@ -689,7 +690,7 @@ register(
             "aggregate throughput multiplies with shard count (>=2.5x "
             "at S=4 vs S=1 on the benchmark box): smaller groups spend "
             "less on quadratic multicast fan-out and per-group crypto; "
-            "zero fail-signals and a clean 7-oracle audit everywhere."
+            "zero fail-signals and a clean 8-oracle audit everywhere."
         ),
         base=_SHARD_BASE,
         systems=("fs-newtop",),
@@ -744,7 +745,7 @@ register(
             "the `repro run --shards` demo scenario."
         ),
         expected=(
-            "everything ordered, zero fail-signals, all seven oracles "
+            "everything ordered, zero fail-signals, all eight oracles "
             "green -- in seconds, not minutes."
         ),
         base=ScenarioSpec(
@@ -781,7 +782,7 @@ register(
         ),
         expected=(
             "every session completes, zero feed gaps or cross-subscriber "
-            "mismatches, zero fail-signals, all seven oracles green."
+            "mismatches, zero fail-signals, all eight oracles green."
         ),
         base=ScenarioSpec(
             system="fs-newtop",
@@ -824,7 +825,7 @@ register(
         expected=(
             "all 2000 operations admitted and sequenced, every session "
             "completes, zero feed gaps/mismatches, zero fail-signals, "
-            "all seven oracles green -- on the simulator and on the "
+            "all eight oracles green -- on the simulator and on the "
             "asyncio transport."
         ),
         base=ScenarioSpec(
@@ -875,7 +876,7 @@ register(
         expected=(
             "substantial rate-limit and overload rejections; zero feed "
             "gaps or mismatches among admitted operations; zero "
-            "fail-signals; all seven oracles green -- overload degrades "
+            "fail-signals; all eight oracles green -- overload degrades "
             "admission, never correctness."
         ),
         base=ScenarioSpec(
@@ -900,6 +901,134 @@ register(
         systems=("fs-newtop",),
         sweep_axis="variant",
         sweep=(SweepPoint(label="shed", overrides={}),),
+    )
+)
+
+# ----------------------------------------------------------------------
+# app_*: the replicated KV application riding the ordering layer
+# (repro.app) -- signed checkpoints, crash-recover-rejoin and the
+# state-consistency oracle (see docs/APPLICATION.md)
+# ----------------------------------------------------------------------
+#: Base of the application scenarios: the adversarial-audit group shape
+#: with the KV application attached and a short checkpoint stride, so
+#: even CI-sized runs cross several checkpoint boundaries.
+_APP_BASE = ScenarioSpec(
+    system="fs-newtop",
+    n_members=4,
+    messages_per_member=10,
+    interval=60.0,
+    collapsed=False,
+    app=AppSpec(checkpoint_every=4),
+    settle_ms=15_000.0,
+)
+
+register(
+    Scenario(
+        name="app_kv_smoke",
+        title="Application: replicated KV smoke run (CI-sized)",
+        description=(
+            "A 4-member FS-NewTOP group where every totally-ordered "
+            "delivery is applied to a deterministic KV store; members "
+            "sign a checkpoint every 4 applied operations and gossip "
+            "the certificates until each seq reaches an f+1 quorum."
+        ),
+        expected=(
+            "identical state digests at every member and every "
+            "checkpoint seq, zero fail-signals, all eight oracles "
+            "green -- in seconds."
+        ),
+        base=_APP_BASE,
+        systems=("fs-newtop",),
+        sweep_axis="variant",
+        sweep=(SweepPoint(label="kv", overrides={}),),
+    )
+)
+
+register(
+    Scenario(
+        name="app_kv_recover",
+        title="Application: crash, recover and rejoin via state transfer",
+        description=(
+            "The smoke group loses member 3's primary node at t=400ms; "
+            "at t=1000ms the member rejoins by fetching the latest "
+            "f+1-matching checkpoint plus the operation suffix from the "
+            "most advanced peer, verifying every signature against its "
+            "own keystore and replaying to catch up."
+        ),
+        expected=(
+            "exactly one recovery completes inside the detection "
+            "deadline; the rebuilt digest matches the survivors' "
+            "certificates at the same seq; the crash-induced "
+            "fail-signal is accurate; all eight oracles green."
+        ),
+        base=_APP_BASE.replace(
+            faults=(
+                FaultEvent(at=400.0, kind="crash_recover", member=3, rejoin_at=1000.0),
+            ),
+        ),
+        systems=("fs-newtop",),
+        sweep_axis="variant",
+        sweep=(SweepPoint(label="rejoin", overrides={}),),
+    )
+)
+
+register(
+    Scenario(
+        name="app_kv_recover_adv",
+        title="Application: recovery under a concurrent churn storm",
+        description=(
+            "A 6-member group loses member 5 to a crash at t=400ms; its "
+            "rejoin starts at t=1200ms, and the churn-storm adversary "
+            "crashes member 4's primary node at t=1210ms -- inside the "
+            "50ms state-transfer window.  The recoverer must still land "
+            "on a verified f+1-matching checkpoint (a crashed donor's "
+            "application state is intact) with zero spurious signals."
+        ),
+        expected=(
+            "the recovery completes despite the concurrent crash; every "
+            "fail-signal names a genuinely downed pair; the rebuilt "
+            "digest is vouched for by surviving certificates; all eight "
+            "oracles green."
+        ),
+        base=_APP_BASE.replace(
+            n_members=6,
+            faults=(
+                FaultEvent(at=400.0, kind="crash_recover", member=5, rejoin_at=1200.0),
+            ),
+            adversaries=(
+                AdversarySpec(kind="churn_storm", at=1210.0, members=(4,), spacing=200.0),
+            ),
+        ),
+        systems=("fs-newtop",),
+        sweep_axis="variant",
+        sweep=(SweepPoint(label="storm", overrides={}),),
+    )
+)
+
+register(
+    Scenario(
+        name="app_kv_soak",
+        title="Application: checkpoint-retirement soak (bounded memory)",
+        description=(
+            "A 4-member group streaming 60 messages per member every "
+            "20ms with a checkpoint every 4 applied operations -- 60 "
+            "checkpoint boundaries per store.  The run exists to prove "
+            "the low-water mark retires oplog/dedup/certificate state: "
+            "memory must stay flat over tens of checkpoint intervals."
+        ),
+        expected=(
+            "app_oplog_peak, app_dedup_peak and app_checkpoint_log_peak "
+            "stay bounded by the retention window (not the run length); "
+            "all eight oracles green."
+        ),
+        base=_APP_BASE.replace(
+            messages_per_member=60,
+            interval=20.0,
+            settle_ms=30_000.0,
+        ),
+        systems=("fs-newtop",),
+        sweep_axis="variant",
+        sweep=(SweepPoint(label="soak", overrides={}),),
     )
 )
 

@@ -101,7 +101,7 @@ def _partition_addresses(group: AnyGroup, members: tuple[int, ...]) -> list[str]
     return addresses
 
 
-def _apply_fault(group: AnyGroup, event) -> None:
+def _apply_fault(group: AnyGroup, event, app_runtime=None) -> None:
     # Announce the fault to the trace first: the invariant monitor's
     # bookkeeping (which pairs/nodes are *expected* to misbehave) is
     # driven by this stream.
@@ -115,12 +115,25 @@ def _apply_fault(group: AnyGroup, event) -> None:
         member=event.member,
         flags=list(event.flags),
         groups=[list(g) for g in event.groups],
+        rejoin_at=event.rejoin_at,
     )
     if event.kind == "crash":
         if isinstance(group, ByzantineTolerantGroup):
             group.crash_primary(event.member)
         else:
             group.crash(event.member)
+    elif event.kind == "crash_recover":
+        # Same node kill as ``crash`` -- the ordering pair stays down --
+        # plus a scheduled application-level rejoin via state transfer.
+        if app_runtime is None:
+            raise ValueError("crash_recover faults need an AppSpec on the scenario")
+        if isinstance(group, ByzantineTolerantGroup):
+            group.crash_primary(event.member)
+        else:
+            group.crash(event.member)
+        member_id = group.member_ids[event.member]
+        app_runtime.mark_crashed(member_id)
+        sim.schedule(event.rejoin_at - event.at, app_runtime.start_recovery, member_id)
     elif event.kind == "crash_backup":
         if not isinstance(group, ByzantineTolerantGroup):
             raise ValueError("crash_backup faults need the fs-newtop system")
@@ -139,9 +152,9 @@ def _apply_fault(group: AnyGroup, event) -> None:
         raise ValueError(f"unknown fault kind {event.kind!r}")
 
 
-def _schedule_faults(sim, group: AnyGroup, spec: ScenarioSpec) -> None:
+def _schedule_faults(sim, group: AnyGroup, spec: ScenarioSpec, app_runtime=None) -> None:
     for event in spec.faults:
-        sim.schedule(event.at, _apply_fault, group, event)
+        sim.schedule(event.at, _apply_fault, group, event, app_runtime)
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +302,11 @@ def _run_ordering(
         monitor = InvariantMonitor(
             sim, topology_of(group), config=monitor_config, scenario=scenario
         )
+    app_runtime = None
+    if spec.app is not None:
+        from repro.app.runtime import AppRuntime
+
+        app_runtime = AppRuntime(sim, group, spec.app)
     if spec.gateway is not None:
         from repro.service.workload import ServiceWorkload
 
@@ -298,6 +316,7 @@ def _run_ordering(
             spec.gateway,
             message_size=spec.message_size,
             keyspace=spec.shard.keyspace if spec.shard is not None else None,
+            kv_ops=spec.app is not None,
         )
     elif spec.shard is not None:
         workload = ShardedOrderingWorkload(
@@ -340,10 +359,11 @@ def _run_ordering(
             print(f"obs: GET /metrics on {metrics_server.address}", flush=True)
 
         sim.add_starter(_serve_metrics)
-    _schedule_faults(sim, group, spec)
+    _schedule_faults(sim, group, spec, app_runtime)
     if spec.adversaries:
         AdversaryEngine(sim, group, spec.adversaries).install()
     transport.calibration = calibration  # type: ignore[attr-defined]
+    transport.app_runtime = app_runtime  # type: ignore[attr-defined]
     transport.obs_hub = hub  # type: ignore[attr-defined]
     transport.obs_spec = obs_spec  # type: ignore[attr-defined]
     transport.flight = flight  # type: ignore[attr-defined]
@@ -391,6 +411,17 @@ def obs_metrics(transport: Transport) -> dict[str, float]:
         delta = hub.calibrated_delta_ms.value or FsoConfig().delta
         hub.deadline_margin_ms.set(delta - wall.get("timer_slack_max_ms", 0.0))
     return hub.summary_metrics()
+
+
+def app_metrics(transport: Transport) -> dict[str, float]:
+    """The replicated application's ``app_*`` metrics, flattened.
+
+    Empty when the spec carried no :class:`~repro.app.spec.AppSpec`.
+    """
+    runtime = getattr(transport, "app_runtime", None)
+    if runtime is None:
+        return {}
+    return runtime.metrics()
 
 
 def observe_spec(
@@ -620,6 +651,7 @@ def run_scenario(spec: ScenarioSpec) -> RunResult:
     metrics = _ordering_metrics(workload, result)
     metrics.update(transport_metrics(transport))
     metrics.update(obs_metrics(transport))
+    metrics.update(app_metrics(transport))
     return RunResult(spec=spec, metrics=metrics)
 
 
@@ -669,6 +701,7 @@ def audit_scenario(
     metrics = _ordering_metrics(workload, result)
     metrics.update(transport_metrics(transport))
     metrics.update(obs_metrics(transport))
+    metrics.update(app_metrics(transport))
     report = monitor.finish()
     bundle = None
     flight = getattr(transport, "flight", None)

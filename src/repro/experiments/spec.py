@@ -20,6 +20,7 @@ import dataclasses
 import typing
 
 from repro.adversary.spec import AdversarySpec
+from repro.app.spec import AppSpec
 from repro.service.spec import ServiceSpec
 from repro.net.delay import (
     ConstantDelay,
@@ -33,7 +34,14 @@ from repro.net.delay import (
 SYSTEMS = ("newtop", "fs-newtop", "pbft")
 
 #: Fault kinds the runner knows how to apply.
-FAULT_KINDS = ("crash", "crash_backup", "partition", "heal", "byzantine")
+FAULT_KINDS = (
+    "crash",
+    "crash_backup",
+    "crash_recover",
+    "partition",
+    "heal",
+    "byzantine",
+)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -269,6 +277,10 @@ class FaultEvent:
     * ``crash`` -- crash ``member``'s (primary) node at ``at`` ms;
     * ``crash_backup`` -- crash the node hosting ``member``'s follower
       wrapper (FS-NewTOP only);
+    * ``crash_recover`` -- crash like ``crash``, then at ``rejoin_at``
+      ms rebuild the member's *application* state via verified state
+      transfer (needs an :class:`~repro.app.spec.AppSpec` on the
+      scenario; the ordering pair itself stays excluded);
     * ``partition`` -- split the network into ``groups`` (tuples of
       member indices) at ``at`` ms;
     * ``heal`` -- remove every partition at ``at`` ms;
@@ -282,12 +294,23 @@ class FaultEvent:
     member: int | None = None
     groups: tuple[tuple[int, ...], ...] = ()
     flags: tuple[str, ...] = ()
+    rejoin_at: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}, want one of {FAULT_KINDS}")
         if self.at < 0:
             raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.kind == "crash_recover":
+            if self.member is None:
+                raise ValueError("crash_recover faults need a member")
+            if self.rejoin_at is None or self.rejoin_at <= self.at:
+                raise ValueError(
+                    f"crash_recover needs rejoin_at after the crash at "
+                    f"{self.at}, got {self.rejoin_at}"
+                )
+        elif self.rejoin_at is not None:
+            raise ValueError(f"rejoin_at only applies to crash_recover, not {self.kind!r}")
 
     def to_dict(self) -> dict:
         return {
@@ -296,6 +319,7 @@ class FaultEvent:
             "member": self.member,
             "groups": [list(g) for g in self.groups],
             "flags": list(self.flags),
+            "rejoin_at": self.rejoin_at,
         }
 
     @classmethod
@@ -306,6 +330,7 @@ class FaultEvent:
             member=data.get("member"),
             groups=tuple(tuple(g) for g in data.get("groups", ())),
             flags=tuple(data.get("flags", ())),
+            rejoin_at=data.get("rejoin_at"),
         )
 
 
@@ -352,6 +377,7 @@ class ScenarioSpec:
     transport: TransportSpec | None = None
     gateway: ServiceSpec | None = None
     obs: ObsSpec | None = None
+    app: AppSpec | None = None
 
     def __post_init__(self) -> None:
         if self.system not in SYSTEMS:
@@ -382,6 +408,16 @@ class ScenarioSpec:
             raise ValueError(
                 "the service gateway fronts the ordering systems only; "
                 "pbft has no multicast surface to serve"
+            )
+        if self.app is not None and self.system != "fs-newtop":
+            raise ValueError(
+                "the KV application needs the fs-newtop system (its "
+                f"checkpoints sign via the pair keystore), got {self.system!r}"
+            )
+        if self.app is None and any(e.kind == "crash_recover" for e in self.faults):
+            raise ValueError(
+                "crash_recover faults need an AppSpec: the rejoin is "
+                "application-level state transfer"
             )
 
     # ------------------------------------------------------------------
@@ -416,6 +452,7 @@ class ScenarioSpec:
         data["transport"] = self.transport.to_dict() if self.transport else None
         data["gateway"] = self.gateway.to_dict() if self.gateway else None
         data["obs"] = self.obs.to_dict() if self.obs else None
+        data["app"] = self.app.to_dict() if self.app else None
         return data
 
     @classmethod
@@ -442,4 +479,6 @@ class ScenarioSpec:
         )
         obs = fields.get("obs")
         fields["obs"] = ObsSpec.from_dict(obs) if obs is not None else None
+        app = fields.get("app")
+        fields["app"] = AppSpec.from_dict(app) if app is not None else None
         return cls(**fields)

@@ -34,6 +34,7 @@ from repro.invariants.oracles import (
     FailSignalOracle,
     NoForgeryOracle,
     Oracle,
+    StateConsistencyOracle,
     TotalOrderOracle,
     ValidityOracle,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "Oracle",
     "OracleVerdict",
     "PairTopology",
+    "StateConsistencyOracle",
     "TOTAL_SERVICES",
     "Topology",
     "TotalOrderOracle",

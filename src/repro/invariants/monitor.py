@@ -37,6 +37,7 @@ from repro.invariants.oracles import (
     FailSignalOracle,
     NoForgeryOracle,
     Oracle,
+    StateConsistencyOracle,
     TotalOrderOracle,
     ValidityOracle,
 )
@@ -250,12 +251,15 @@ class AuditState:
     def _ingest_faultplan(self, rec: TraceRecord) -> None:
         kind = rec.detail("kind")
         member_index = rec.detail("member")
-        if kind in ("crash", "crash_backup") and member_index is not None:
+        if kind in ("crash", "crash_recover", "crash_backup") and member_index is not None:
+            # crash_recover kills the primary node exactly like crash;
+            # the later rejoin is application-level state transfer and
+            # never revives the pair, so the crash bookkeeping stands.
             member_id = self.topology.members[int(member_index)]
             pair = self.topology.pair_of_member(member_id)
             if pair is None:
                 self.crashed_nodes.setdefault(member_id, rec.time)
-            elif kind == "crash":
+            elif kind in ("crash", "crash_recover"):
                 self.crashed_nodes.setdefault(pair.leader_node, rec.time)
             else:
                 self.crashed_nodes.setdefault(pair.follower_node, rec.time)
@@ -331,6 +335,7 @@ class InvariantMonitor:
                 EquivocationEvidenceOracle(),
                 NoForgeryOracle(),
                 CrossShardOrderOracle(),
+                StateConsistencyOracle(),
             )
         )
         if not sim.trace.enabled:

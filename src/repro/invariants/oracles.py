@@ -28,7 +28,13 @@ pairs (and the base guarantees of the ordering systems):
   :mod:`repro.shard`) are released in one global sequence order at
   every member, the coordinator never equivocates on sequence numbers,
   and no shard's order is tainted by an unquarantined equivocation.
-  Vacuous on unsharded runs.
+  Vacuous on unsharded runs;
+* **state-consistency** -- the replicated KV application (see
+  :mod:`repro.app`) faithfully applies each member's delivery feed,
+  its signed checkpoints are deterministic (equal history => equal
+  state digest) and agree across correct members, and recovered
+  members converge to certified state within the deadline.  Vacuous
+  on runs without the application layer.
 """
 
 from __future__ import annotations
@@ -498,6 +504,199 @@ class CrossShardOrderOracle(Oracle):
         return self._verdict(state)
 
 
+class StateConsistencyOracle(Oracle):
+    """The replicated KV application stays consistent (see
+    :mod:`repro.app` and docs/APPLICATION.md).  Three rules:
+
+    * **apply-faithfulness** -- each member applies exactly its
+      totally-ordered delivery feed, in order: the ``appstate``/``apply``
+      stream must replay the member's ``app``/``deliver`` stream
+      key-for-key (skipped, reordered and phantom applications all
+      surface here).  Checked only where the two streams are the same
+      order by construction -- unsharded and single-shard runs; with
+      S > 1 the holdback agents legally reorder cross-shard releases;
+    * **checkpoint determinism** -- the state digest is a function of
+      the applied history, so two checkpoints claiming the same history
+      digest must claim the same state digest (this is what convicts a
+      corrupted store or a forged certificate, crash or no crash); and
+      on runs with no faults at all, every member of an agreement
+      group/shard that checkpoints a seq must agree on *both* digests
+      (the set-agreement gap around exclusions does not apply);
+    * **recovery convergence** -- every ``recover-start`` is followed by
+      a ``recover-complete`` within the detection deadline, and the
+      rebuilt state's digest at its claimed seq must match a checkpoint
+      some *other* member certified at that seq (a broken replay that
+      still claims the target seq lands here).
+
+    Vacuously green on runs without the application layer.
+    """
+
+    name = "state-consistency"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: member -> delivered totally-ordered message keys, in order.
+        self._delivered: dict[str, list[str]] = {}
+        #: member -> how many deliveries have been matched by applies.
+        self._applied_upto: dict[str, int] = {}
+        self._apply_flagged: set[str] = set()
+        #: (member, seq, digest, hist) per checkpoint record.
+        self._checkpoints: list[tuple[str, int, str, str]] = []
+        #: member -> (start time, per-spec deadline override or None).
+        self._recover_started: dict[str, tuple[float, float | None]] = {}
+        #: member -> (time, seq, digest) of its recover-complete.
+        self._recover_done: dict[str, tuple[float, int, str]] = {}
+
+    def observe(self, rec: TraceRecord, state) -> None:
+        if rec.category == "app" and rec.event == "deliver":
+            if rec.detail("service") in TOTAL_SERVICES:
+                member = rec.source[: -len(".inv")]
+                self._delivered.setdefault(member, []).append(str(rec.detail("key")))
+            return
+        if rec.category != "appstate":
+            return
+        member = rec.source[: -len(".kv")]
+        if rec.event in ("apply", "duplicate"):
+            self._observe_apply(member, rec, state)
+        elif rec.event == "checkpoint":
+            self._checkpoints.append(
+                (
+                    member,
+                    int(rec.detail("seq")),
+                    str(rec.detail("digest")),
+                    str(rec.detail("hist")),
+                )
+            )
+            self.checked += 1
+        elif rec.event == "recover-start":
+            override = rec.detail("deadline_ms")
+            self._recover_started.setdefault(
+                member, (rec.time, float(override) if override is not None else None)
+            )
+        elif rec.event == "recover-complete":
+            self._recover_done.setdefault(
+                member,
+                (rec.time, int(rec.detail("seq")), str(rec.detail("digest"))),
+            )
+
+    def _observe_apply(self, member: str, rec: TraceRecord, state) -> None:
+        if len(state.topology.shards) > 1:
+            return  # holdback agents legally reorder cross-shard releases
+        if member in self._apply_flagged:
+            return
+        self.checked += 1
+        key = str(rec.detail("key"))
+        position = self._applied_upto.get(member, 0)
+        delivered = self._delivered.get(member, ())
+        if position >= len(delivered) or delivered[position] != key:
+            expected = delivered[position][:12] if position < len(delivered) else None
+            self._apply_flagged.add(member)
+            self._flag(
+                state,
+                f"{member} applied {key[:12]}... at position #{position} but its "
+                f"delivery feed says "
+                f"{'nothing is pending' if expected is None else expected + '...'}"
+                f" -- skipped, reordered or phantom application",
+                at=rec.time,
+                source=rec.source,
+            )
+        self._applied_upto[member] = position + 1
+
+    def finish(self, state) -> OracleVerdict:
+        self._finish_applies(state)
+        self._finish_checkpoints(state)
+        self._finish_recoveries(state)
+        return self._verdict(state)
+
+    def _finish_applies(self, state) -> None:
+        if len(state.topology.shards) > 1:
+            return
+        for member, upto in sorted(self._applied_upto.items()):
+            if member in self._apply_flagged:
+                continue
+            delivered = len(self._delivered.get(member, ()))
+            if upto < delivered and member not in self._recover_started:
+                self._flag(
+                    state,
+                    f"{member} delivered {delivered} totally-ordered messages "
+                    f"but applied only {upto} -- the store silently dropped "
+                    f"the tail",
+                    source=f"{member}.kv",
+                )
+
+    def _finish_checkpoints(self, state) -> None:
+        # Determinism: equal history => equal state digest, universally.
+        digest_of_hist: dict[str, tuple[str, str]] = {}
+        for member, seq, digest, hist in self._checkpoints:
+            known = digest_of_hist.setdefault(hist, (digest, member))
+            if known[0] != digest:
+                self._flag(
+                    state,
+                    f"{member} and {known[1]} certify the same applied history "
+                    f"({hist[:12]}...) with different state digests "
+                    f"({digest[:12]}... vs {known[0][:12]}...) -- a corrupted "
+                    f"store or forged checkpoint",
+                    source=f"{member}.kv",
+                )
+        # Strong agreement: with no faults injected and nothing crashed,
+        # members of one agreement group checkpointing the same seq saw
+        # the same deliveries -- they must agree outright.
+        if state.faults or state.crashed_nodes or state.partition_groups:
+            return
+        scopes: dict[tuple, dict[int, tuple[str, str, str]]] = {}
+        for member, seq, digest, hist in self._checkpoints:
+            shard = state.topology.shard_of_member(member)
+            scope = scopes.setdefault((shard,), {})
+            known = scope.setdefault(seq, (digest, hist, member))
+            if (digest, hist) != known[:2]:
+                self._flag(
+                    state,
+                    f"{member} and {known[2]} disagree at checkpoint seq {seq} "
+                    f"on a fault-free run ({digest[:12]}.../{hist[:12]}... vs "
+                    f"{known[0][:12]}.../{known[1][:12]}...)",
+                    source=f"{member}.kv",
+                )
+
+    def _finish_recoveries(self, state) -> None:
+        certified: dict[int, dict[str, set[str]]] = {}
+        for member, seq, digest, __ in self._checkpoints:
+            certified.setdefault(seq, {}).setdefault(digest, set()).add(member)
+        for member, (started, override) in sorted(self._recover_started.items()):
+            deadline = (
+                override if override is not None else state.config.detection_deadline_ms
+            )
+            self.checked += 1
+            done = self._recover_done.get(member)
+            if done is None:
+                self._flag(
+                    state,
+                    f"{member} started recovery at {started:.1f}ms and never "
+                    f"completed it (deadline {deadline:.0f}ms)",
+                    at=started,
+                    source=f"{member}.kv",
+                )
+                continue
+            at, seq, digest = done
+            if at - started > deadline:
+                self._flag(
+                    state,
+                    f"{member} took {at - started:.1f}ms to recover "
+                    f"(deadline {deadline:.0f}ms)",
+                    at=at,
+                    source=f"{member}.kv",
+                )
+            vouchers = certified.get(seq, {}).get(digest, set()) - {member}
+            if not vouchers:
+                self._flag(
+                    state,
+                    f"{member} recovered to seq {seq} with digest "
+                    f"{digest[:12]}... that no other member ever certified -- "
+                    f"the replayed state diverges",
+                    at=at,
+                    source=f"{member}.kv",
+                )
+
+
 ALL_ORACLES: tuple[typing.Type[Oracle], ...] = (
     TotalOrderOracle,
     ValidityOracle,
@@ -506,4 +705,5 @@ ALL_ORACLES: tuple[typing.Type[Oracle], ...] = (
     EquivocationEvidenceOracle,
     NoForgeryOracle,
     CrossShardOrderOracle,
+    StateConsistencyOracle,
 )

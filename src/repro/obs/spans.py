@@ -95,6 +95,15 @@ class ObsHub:
             "Admitted submit to sequenced delivery latency",
         )
         self._admission: dict[str, Counter] = {}
+        # -- replicated application ------------------------------------
+        self.app_checkpoint_ms = registry.histogram(
+            "repro_app_checkpoint_ms",
+            "Checkpoint emission to f+1 matching-certificate quorum latency",
+        )
+        self.app_transfer_bytes = registry.counter(
+            "repro_app_transfer_bytes_total",
+            "State-transfer bytes shipped to recovering members",
+        )
         # -- transport -------------------------------------------------
         self.timer_lag_ms = registry.histogram(
             "repro_timer_lag_ms",
@@ -181,6 +190,10 @@ class ObsHub:
             out["obs_batch_deferrals"] = float(self.batch_deferrals.value)
         if self.barrier_commit_ms.count:
             out["obs_barrier_commit_p99_ms"] = self.barrier_commit_ms.percentile(0.99)
+        if self.app_checkpoint_ms.count:
+            out["obs_app_checkpoint_p99_ms"] = self.app_checkpoint_ms.percentile(0.99)
+        if self.app_transfer_bytes.value:
+            out["obs_app_transfer_bytes"] = float(self.app_transfer_bytes.value)
         return out
 
 

@@ -25,7 +25,7 @@ the three things a served deployment adds to the protocol stack:
 The gateway never schedules anything and stores no live objects beyond
 the group it fronts: it is clock-agnostic (sim or asyncio) and safe to
 drive from an audited run -- admitted traffic is indistinguishable from
-workload traffic to the seven oracles.
+workload traffic to the eight oracles.
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ resume from its last acked sequence number without loss.
 
 Everything runs off the abstract clock, so the same fleet drives the
 discrete-event simulator and the wall-clock asyncio transport -- and an
-audited run feeds the seven invariant oracles exactly as the fixed-rate
+audited run feeds the eight invariant oracles exactly as the fixed-rate
 workloads do.
 """
 
@@ -110,6 +110,7 @@ class ServiceWorkload(OrderingWorkload):
         gateway: OrderingGateway | None = None,
         message_size: int = 3,
         keyspace: int | None = None,
+        kv_ops: bool = False,
     ) -> None:
         super().__init__(
             sim,
@@ -120,6 +121,10 @@ class ServiceWorkload(OrderingWorkload):
             keyspace=keyspace if keyspace is not None else service_spec.keyspace,
         )
         self.service_spec = service_spec
+        #: When the scenario runs the replicated KV application, submits
+        #: carry an explicit well-formed ``"op"`` so the stores execute
+        #: client-chosen operations instead of synthesised ones.
+        self.kv_ops = kv_ops
         self.gateway = (
             gateway if gateway is not None else OrderingGateway(sim, group, service_spec)
         )
@@ -175,15 +180,19 @@ class ServiceWorkload(OrderingWorkload):
         if session.done:
             return
         spec = self.service_spec
-        outcome = self.gateway.submit(
-            session.api_key,
-            payload={
-                "s": session.index,
-                "n": session.ops_done,
-                "b": bytes(self.message_size),
-            },
-            key=self._zipf_key(),
-        )
+        key = self._zipf_key()
+        payload: dict[str, typing.Any] = {
+            "s": session.index,
+            "n": session.ops_done,
+            "b": bytes(self.message_size),
+        }
+        if self.kv_ops:
+            payload["op"] = {
+                "t": "put",
+                "k": key,
+                "v": [session.index, session.ops_done],
+            }
+        outcome = self.gateway.submit(session.api_key, payload=payload, key=key)
         if outcome.admitted:
             assert outcome.op_id is not None and outcome.shard is not None
             expected = (

@@ -1,0 +1,99 @@
+"""Differential: the application layer is deployment-agnostic.
+
+The KV store rides the delivery feed, so a single-shard (S=1)
+deployment must leave every member's store byte-identical -- same seq,
+same state digest, same history digest -- to the plain unsharded group
+under the same keyed load.  Anything else would mean the holdback path
+feeds the application a different sequence than the direct path.
+"""
+
+from repro.app.runtime import AppRuntime
+from repro.app.spec import AppSpec
+from repro.experiments.runner import build_ordering_group
+from repro.experiments.spec import ScenarioSpec, ShardSpec
+from repro.perf import clear_caches
+from repro.shard.group import build_sharded_group
+from repro.sim.scheduler import Simulator
+from repro.workloads.ordering import OrderingWorkload, ShardedOrderingWorkload
+
+SPEC = ScenarioSpec(
+    system="fs-newtop",
+    n_members=4,
+    messages_per_member=5,
+    interval=80.0,
+    seed=3,
+    settle_ms=10_000.0,
+)
+APP = AppSpec(checkpoint_every=4)
+KEYSPACE = 32
+
+
+def _stores(runtime):
+    return {
+        member_id: (member.store.seq, member.store.digest(), member.store.hist)
+        for member_id, member in runtime.members.items()
+    }
+
+
+def _run_unsharded():
+    sim = Simulator(seed=SPEC.seed)
+    group = build_ordering_group(sim, SPEC)
+    runtime = AppRuntime(sim, group, APP)
+    workload = OrderingWorkload(
+        sim,
+        group,
+        messages_per_member=SPEC.messages_per_member,
+        interval=SPEC.interval,
+        message_size=SPEC.message_size,
+        keyspace=KEYSPACE,
+    )
+    workload.run(settle_ms=SPEC.settle_ms)
+    clear_caches()
+    return runtime
+
+
+def _run_sharded(shards: int):
+    sim = Simulator(seed=SPEC.seed)
+    spec = SPEC.replace(shard=ShardSpec(shards=shards, keyspace=KEYSPACE))
+    group = build_sharded_group(sim, spec)
+    runtime = AppRuntime(sim, group, APP)
+    workload = ShardedOrderingWorkload(
+        sim,
+        group,
+        messages_per_member=SPEC.messages_per_member,
+        interval=SPEC.interval,
+        message_size=SPEC.message_size,
+        keyspace=KEYSPACE,
+    )
+    workload.run(settle_ms=SPEC.settle_ms)
+    clear_caches()
+    return runtime
+
+
+def test_single_shard_stores_are_byte_identical_to_unsharded():
+    unsharded = _stores(_run_unsharded())
+    sharded = _stores(_run_sharded(shards=1))
+    assert sharded == unsharded
+    # And the load really flowed: every member applied every message.
+    total = SPEC.n_members * SPEC.messages_per_member
+    assert all(seq == total for seq, __, __ in unsharded.values())
+
+
+def test_all_members_converge_within_each_deployment():
+    for runtime in (_run_unsharded(), _run_sharded(shards=1)):
+        digests = {digest for __, digest, __ in _stores(runtime).values()}
+        assert len(digests) == 1
+
+
+def test_app_state_is_seed_deterministic():
+    assert _stores(_run_unsharded()) == _stores(_run_unsharded())
+    assert _stores(_run_sharded(shards=2)) == _stores(_run_sharded(shards=2))
+
+
+def test_two_shards_converge_per_shard():
+    """At S=2 the feeds differ across shards by design, but members of
+    one shard still apply one sequence -- equal digests shard-locally."""
+    runtime = _run_sharded(shards=2)
+    stores = _stores(runtime)
+    for member_id, group_members in runtime._groups.items():
+        assert {stores[m] for m in group_members} == {stores[member_id]}

@@ -1,0 +1,139 @@
+"""Property tests of the deterministic KV state machine.
+
+Determinism is the load-bearing property the whole application layer
+stands on: any two stores that apply the same operation sequence must
+hold byte-identical state (equal digests), and the rolling history
+digest must name the sequence uniquely.  Hypothesis drives random op
+sequences instead of hand-picked fixtures.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app.kvstore import GENESIS_HIST, KvStore, snapshot_bytes, synthesize_op
+from repro.crypto import md5_hexdigest
+
+KEYS = st.sampled_from(("a", "b", "c", "hot"))
+
+OPS = st.one_of(
+    st.builds(lambda k, v: {"t": "put", "k": k, "v": v}, KEYS, st.integers(0, 99)),
+    st.builds(lambda k: {"t": "del", "k": k}, KEYS),
+    st.builds(
+        lambda k, v, e: {"t": "cas", "k": k, "v": v, "expect": e},
+        KEYS,
+        st.integers(0, 99),
+        st.integers(0, 3),
+    ),
+    st.builds(lambda k: {"t": "get", "k": k}, KEYS),
+)
+
+SEQUENCES = st.lists(OPS, max_size=30)
+
+
+def _apply_all(ops):
+    store = KvStore()
+    for index, op in enumerate(ops):
+        store.apply(op, md5_hexdigest(f"msg-{index}".encode()))
+    return store
+
+
+@given(ops=SEQUENCES)
+@settings(max_examples=100, deadline=None)
+def test_same_sequence_means_same_state(ops):
+    first, second = _apply_all(ops), _apply_all(ops)
+    assert first.digest() == second.digest()
+    assert first.hist == second.hist
+    assert first.state() == second.state()
+
+
+@given(ops=SEQUENCES)
+@settings(max_examples=60, deadline=None)
+def test_snapshot_restore_round_trips_mid_sequence(ops):
+    """Restoring a snapshot and replaying the suffix converges on the
+    uninterrupted store -- the recovery path's core assumption."""
+    reference = _apply_all(ops)
+    half = len(ops) // 2
+    prefix = _apply_all(ops[:half])
+    recovered = KvStore()
+    recovered.restore(prefix.snapshot())
+    for index, op in enumerate(ops[half:], start=half):
+        recovered.apply(op, md5_hexdigest(f"msg-{index}".encode()))
+    assert recovered.digest() == reference.digest()
+    assert recovered.hist == reference.hist
+
+
+@given(ops=SEQUENCES)
+@settings(max_examples=60, deadline=None)
+def test_seq_counts_every_applied_op_and_hist_leaves_genesis(ops):
+    store = _apply_all(ops)
+    assert store.seq == len(ops)
+    assert (store.hist == GENESIS_HIST) == (not ops)
+    assert snapshot_bytes(store.snapshot()) > 0
+
+
+@given(first=st.text("ab", min_size=1, max_size=6), second=st.text("ab", min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_hist_is_injective_over_msg_key_sequences(first, second):
+    """Different delivery sequences produce different history digests
+    (modulo md5 collisions), so equal hist really means equal feed."""
+    def chain(letters):
+        store = KvStore()
+        for letter in letters:
+            store.apply({"t": "get", "k": "x"}, md5_hexdigest(letter.encode()))
+        return store.hist
+
+    assert (chain(first) == chain(second)) == (first == second)
+
+
+def test_cas_conditions_on_the_version_counter():
+    store = KvStore()
+    store.apply({"t": "put", "k": "a", "v": 1}, "m0")  # version 1
+    assert not store.apply({"t": "cas", "k": "a", "v": 9, "expect": 0}, "m1")
+    assert store.get("a") == 1
+    assert store.apply({"t": "cas", "k": "a", "v": 9, "expect": 1}, "m2")
+    assert store.get("a") == 9
+    assert store.versions["a"] == 2
+
+
+def test_delete_advances_versions_monotonically():
+    store = KvStore()
+    store.apply({"t": "put", "k": "a", "v": 1}, "m0")
+    store.apply({"t": "del", "k": "a"}, "m1")
+    assert "a" not in store.data and store.versions["a"] == 2
+    # cas after delete conditions on the surviving counter, not zero.
+    assert store.apply({"t": "cas", "k": "a", "v": 5, "expect": 2}, "m2")
+
+
+# ----------------------------------------------------------------------
+# operation synthesis
+# ----------------------------------------------------------------------
+MSG_KEYS = st.text("0123456789abcdef", min_size=32, max_size=32)
+
+
+@given(msg_key=MSG_KEYS, value=st.one_of(st.none(), st.integers(), st.text(max_size=5)))
+@settings(max_examples=60, deadline=None)
+def test_synthesized_ops_are_deterministic_and_well_formed(value, msg_key):
+    first = synthesize_op(value, msg_key)
+    assert first == synthesize_op(value, msg_key)
+    store = KvStore()
+    store.apply(first, msg_key)  # must not raise
+    assert store.seq == 1
+
+
+def test_explicit_op_is_taken_verbatim_top_level_and_enveloped():
+    op = {"t": "put", "k": "user", "v": 7}
+    msg_key = "ab" * 16
+    assert synthesize_op({"op": op}, msg_key) == op
+    # The gateway envelope nests the client payload under "b" and uses
+    # "op" for the operation *id* string -- which must not be mistaken
+    # for a KV operation.
+    enveloped = {"op": "op-000042", "c": "client-1", "b": {"op": op}, "k": "user"}
+    assert synthesize_op(enveloped, msg_key) == op
+
+
+def test_malformed_explicit_ops_fall_back_to_synthesis():
+    msg_key = "ab" * 16
+    for bad in ({"op": {"t": "nope", "k": "a"}}, {"op": {"t": "put"}}, {"op": "text"}):
+        derived = synthesize_op(bad, msg_key)
+        assert derived["t"] in ("put", "del")
+        assert isinstance(derived["k"], str)

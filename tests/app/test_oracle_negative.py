@@ -1,0 +1,173 @@
+"""Negative controls for the state-consistency oracle.
+
+An oracle that never fires is worse than no oracle: these tests feed
+hand-built ``app``/``appstate`` trace streams to the
+:class:`~repro.invariants.oracles.StateConsistencyOracle` and assert
+that each corruption mode it promises to catch is actually flagged --
+a skipped/reordered apply, a silently dropped tail, a store whose
+digest diverges at the same applied history (corruption or forgery),
+fault-free checkpoint disagreement, a recovery that never completes,
+and a recovery landing on a digest nobody else certified.
+"""
+
+from repro.invariants import AuditConfig, InvariantMonitor, PairTopology, Topology
+from repro.sim import Simulator
+from repro.sim.trace import TraceRecord
+
+MEMBERS = ("member-0", "member-1")
+
+TOPOLOGY = Topology(
+    system="fs-newtop",
+    members=MEMBERS,
+    pairs=tuple(
+        PairTopology(f"{m}.gc", m, m, f"{m}-b") for m in MEMBERS
+    ),
+)
+
+D1, H1 = "aa" * 16, "11" * 16
+D2 = "bb" * 16
+
+
+class Harness:
+    def __init__(self):
+        self.sim = Simulator(seed=3)
+        self.monitor = InvariantMonitor(self.sim, TOPOLOGY, config=AuditConfig())
+
+    def feed(self, time, category, source, event, **details):
+        self.monitor._observe(
+            TraceRecord(
+                time=time,
+                category=category,
+                source=source,
+                event=event,
+                details=tuple(sorted(details.items())),
+            )
+        )
+
+    def deliver(self, t, member, key):
+        self.feed(
+            t, "app", f"{member}.inv", "deliver",
+            key=key, sender="member-0", service="symmetric_total",
+        )
+
+    def apply(self, t, member, key, seq):
+        self.feed(t, "appstate", f"{member}.kv", "apply", key=key, seq=seq)
+
+    def checkpoint(self, t, member, seq, digest, hist):
+        self.feed(
+            t, "appstate", f"{member}.kv", "checkpoint",
+            seq=seq, digest=digest, hist=hist,
+        )
+
+    def recover_start(self, t, member, deadline_ms=None):
+        self.feed(
+            t, "appstate", f"{member}.kv", "recover-start",
+            donor="member-0", at_seq=0, deadline_ms=deadline_ms,
+        )
+
+    def recover_complete(self, t, member, seq, digest):
+        self.feed(
+            t, "appstate", f"{member}.kv", "recover-complete",
+            seq=seq, digest=digest, replayed=0, bytes=100,
+        )
+
+    def verdict(self):
+        report = self.monitor.finish()
+        return next(v for v in report.verdicts if v.oracle == "state-consistency")
+
+
+def _messages(verdict):
+    return " ".join(v.message for v in verdict.violations)
+
+
+def test_clean_feed_passes():
+    h = Harness()
+    for position, key in enumerate(("k1" * 16, "k2" * 16)):
+        for member in MEMBERS:
+            h.deliver(1.0 + position, member, key)
+            h.apply(1.5 + position, member, key, seq=position + 1)
+    for member in MEMBERS:
+        h.checkpoint(3.0, member, 2, D1, H1)
+    verdict = h.verdict()
+    assert not verdict.violations and verdict.checked > 0
+
+
+def test_skipped_apply_is_flagged():
+    h = Harness()
+    first, second = "k1" * 16, "k2" * 16
+    h.deliver(1.0, "member-0", first)
+    h.deliver(2.0, "member-0", second)
+    h.apply(2.5, "member-0", second, seq=1)  # skipped `first`
+    verdict = h.verdict()
+    assert "skipped, reordered or phantom" in _messages(verdict)
+
+
+def test_phantom_apply_is_flagged():
+    h = Harness()
+    h.apply(1.0, "member-0", "gh" * 16, seq=1)  # nothing was delivered
+    verdict = h.verdict()
+    assert "skipped, reordered or phantom" in _messages(verdict)
+
+
+def test_silently_dropped_tail_is_flagged():
+    h = Harness()
+    first, second = "k1" * 16, "k2" * 16
+    h.deliver(1.0, "member-0", first)
+    h.apply(1.5, "member-0", first, seq=1)
+    h.deliver(2.0, "member-0", second)  # delivered, never applied
+    verdict = h.verdict()
+    assert "silently dropped the tail" in _messages(verdict)
+
+
+def test_same_history_different_digest_is_flagged():
+    """The determinism rule: equal hist must mean equal digest, crash
+    or no crash -- divergence convicts a corrupted or forged store."""
+    h = Harness()
+    h.checkpoint(1.0, "member-0", 4, D1, H1)
+    h.checkpoint(1.1, "member-1", 4, D2, H1)  # same history, other bytes
+    verdict = h.verdict()
+    assert "corrupted store or forged checkpoint" in _messages(verdict)
+
+
+def test_fault_free_checkpoint_disagreement_is_flagged():
+    """With no faults injected, members checkpointing one seq must
+    agree outright -- even differing histories are disagreement."""
+    h = Harness()
+    h.checkpoint(1.0, "member-0", 4, D1, H1)
+    h.checkpoint(1.1, "member-1", 4, D2, "22" * 16)
+    verdict = h.verdict()
+    assert "disagree at checkpoint seq 4" in _messages(verdict)
+
+
+def test_never_completed_recovery_is_flagged():
+    h = Harness()
+    h.recover_start(100.0, "member-1")
+    verdict = h.verdict()
+    assert "never completed it" in _messages(verdict)
+
+
+def test_late_recovery_is_flagged_against_the_spec_deadline():
+    h = Harness()
+    h.checkpoint(1.0, "member-0", 4, D1, H1)
+    h.recover_start(100.0, "member-1", deadline_ms=50.0)
+    h.recover_complete(400.0, "member-1", 4, D1)  # 300ms > 50ms override
+    verdict = h.verdict()
+    assert "took 300.0ms to recover" in _messages(verdict)
+
+
+def test_unvouched_recovery_digest_is_flagged():
+    h = Harness()
+    h.checkpoint(1.0, "member-0", 4, D1, H1)
+    h.recover_start(100.0, "member-1")
+    h.recover_complete(120.0, "member-1", 4, D2)  # nobody certified D2@4
+    verdict = h.verdict()
+    assert "no other member ever certified" in _messages(verdict)
+
+
+def test_vouched_recovery_passes():
+    h = Harness()
+    h.checkpoint(1.0, "member-0", 4, D1, H1)
+    h.recover_start(100.0, "member-1")
+    h.recover_complete(120.0, "member-1", 4, D1)
+    verdict = h.verdict()
+    assert not verdict.violations

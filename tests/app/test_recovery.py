@@ -1,0 +1,162 @@
+"""Crash-recover-rejoin: full-stack scenario runs plus evidence checks.
+
+The full-stack tests drive the registered ``app_kv_*`` scenarios end to
+end -- clean convergence, a crash-recover fault, and a recovery raced
+by a churn-storm adversary inside the transfer window -- and assert all
+eight oracles stay green.  The unit tests poke :func:`run_recovery`
+directly with hand-built donors to prove it refuses bad evidence: no
+quorum, and a donor snapshot whose bytes do not hash to the quorum
+digest.
+"""
+
+import pytest
+
+from repro.app.checkpoint import Checkpoint, CheckpointLog
+from repro.app.kvstore import KvStore
+from repro.app.recovery import RecoveryError, run_recovery
+from repro.crypto import md5_hexdigest
+from repro.crypto.keystore import KeyStore
+from repro.crypto.signing import HmacScheme
+from repro.experiments import audit_scenario, get_scenario
+from repro.sim import Simulator
+
+
+def _spec(name):
+    scenario = get_scenario(name)
+    __, __, spec = scenario.expand()[0]
+    return spec
+
+
+def _state_verdict(report):
+    return next(v for v in report.verdicts if v.oracle == "state-consistency")
+
+
+# ----------------------------------------------------------------------
+# full-stack scenarios
+# ----------------------------------------------------------------------
+def test_smoke_scenario_converges_on_one_digest():
+    run = audit_scenario(_spec("app_kv_smoke"), scenario="app/smoke")
+    assert run.report.ok, run.report.render()
+    assert len(run.report.verdicts) == 8
+    verdict = _state_verdict(run.report)
+    assert verdict.checked > 0  # the oracle really audited the app stream
+    metrics = run.result.metrics
+    assert metrics["app_ops_applied"] > 0
+    assert metrics["app_checkpoints"] > 0
+    assert metrics["app_distinct_digests"] == 1.0  # all members byte-identical
+
+
+def test_crash_recover_scenario_rebuilds_the_member():
+    run = audit_scenario(_spec("app_kv_recover"), scenario="app/recover")
+    assert run.report.ok, run.report.render()
+    assert len(run.report.verdicts) == 8
+    metrics = run.result.metrics
+    assert metrics["app_recoveries"] == 1.0
+    assert metrics["app_transfer_bytes"] > 0
+    # The rebuilt store landed on a certified boundary: at most two
+    # distinct (seq, digest) points across the group (survivors at the
+    # head, the recovered member at its anchor boundary).
+    assert metrics["app_distinct_digests"] <= 2.0
+
+
+def test_recovery_survives_a_churn_storm_in_the_transfer_window():
+    run = audit_scenario(_spec("app_kv_recover_adv"), scenario="app/recover-adv")
+    assert run.report.ok, run.report.render()
+    metrics = run.result.metrics
+    assert metrics["app_recoveries"] == 1.0
+    assert metrics["fail_signals"] >= 1.0  # the storm really fired
+
+
+def test_audited_app_scenarios_are_deterministic():
+    spec = _spec("app_kv_recover")
+    first = audit_scenario(spec, scenario="app/det").report.to_dict()
+    second = audit_scenario(spec, scenario="app/det").report.to_dict()
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# unit checks: run_recovery refuses bad evidence
+# ----------------------------------------------------------------------
+class _Member:
+    """The duck-typed slice of AppMember that run_recovery touches."""
+
+    def __init__(self, keystore):
+        self.keystore = keystore
+        self.store = KvStore()
+        self.log = CheckpointLog(keystore)
+        self.oplog = []
+        self.seen = {}
+        self.snapshots = {}
+        self.stable_seq = 0
+
+
+@pytest.fixture
+def group():
+    keystore = KeyStore(HmacScheme())
+    rng = Simulator(seed=11).rng("app")
+    signers = {m: keystore.new_signer(m, rng) for m in ("a", "b", "c")}
+    return keystore, signers
+
+
+def _grow_donor(keystore, signers, ops=6, boundary=4):
+    """A donor that applied ``ops`` operations with a certified
+    checkpoint (f+1 matching signatures) at ``boundary``."""
+    donor = _Member(keystore)
+    for index in range(ops):
+        msg_key = md5_hexdigest(f"m{index}".encode())
+        op = {"t": "put", "k": f"k{index % 3}", "v": index}
+        donor.store.apply(op, msg_key)
+        donor.oplog.append((donor.store.seq, msg_key, op))
+        if donor.store.seq == boundary:
+            donor.snapshots[boundary] = donor.store.snapshot()
+            for member in ("a", "b"):
+                checkpoint = Checkpoint(
+                    member=member,
+                    seq=boundary,
+                    digest=donor.store.digest(),
+                    hist=donor.store.hist,
+                )
+                donor.log.add(signers[member].sign_payload(checkpoint.payload()))
+    donor.snapshots[donor.store.seq] = donor.store.snapshot()
+    return donor
+
+
+def test_unit_recovery_restores_and_replays_to_the_donor_head(group):
+    keystore, signers = group
+    donor = _grow_donor(keystore, signers)
+    member = _Member(keystore)
+    outcome = run_recovery(member, donor, f=1)
+    assert outcome.anchor_seq == 4
+    assert outcome.target_seq == 6 and outcome.replayed == 2
+    assert member.store.digest() == donor.store.digest()
+    assert outcome.transfer_bytes > 0
+
+
+def test_unit_recovery_without_a_quorum_raises(group):
+    keystore, signers = group
+    donor = _grow_donor(keystore, signers)
+    donor.log = CheckpointLog(keystore)  # certificates lost: no quorum
+    member = _Member(keystore)
+    with pytest.raises(RecoveryError, match="no f\\+1-matching checkpoint quorum"):
+        run_recovery(member, donor, f=1)
+    assert member.store.seq == 0  # nothing restored from unvouched bytes
+
+
+def test_unit_forged_donor_snapshot_is_refused(group):
+    keystore, signers = group
+    donor = _grow_donor(keystore, signers)
+    # The donor substitutes bytes under the valid certificates.
+    donor.snapshots[4] = {**donor.snapshots[4], "data": {"k0": "forged"}}
+    member = _Member(keystore)
+    with pytest.raises(RecoveryError, match="does not hash to"):
+        run_recovery(member, donor, f=1)
+    assert member.store.seq == 0
+
+
+def test_unit_truncated_oplog_suffix_is_refused(group):
+    keystore, signers = group
+    donor = _grow_donor(keystore, signers)
+    donor.oplog = [entry for entry in donor.oplog if entry[0] != 6]  # tail lost
+    member = _Member(keystore)
+    with pytest.raises(RecoveryError, match="short of the target boundary"):
+        run_recovery(member, donor, f=1)

@@ -1,0 +1,48 @@
+"""Bounded-memory soak: low-water retirement keeps footprints flat.
+
+The ``app_kv_soak`` scenario streams 60 checkpoint boundaries through
+every store.  Without retirement, oplog/dedup/certificate state grows
+linearly with the run (240 applied ops per member); with it, the peaks
+must stay under small ceilings that are a function of the *spec*
+(retention window x checkpoint stride), not of run length.  Gated
+behind ``--runslow`` like the benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import audit_scenario, get_scenario
+
+pytestmark = pytest.mark.soak
+
+
+def test_soak_run_memory_stays_flat_over_many_checkpoint_intervals():
+    scenario = get_scenario("app_kv_soak")
+    __, __, spec = scenario.expand()[0]
+    run = audit_scenario(spec, scenario="app/soak")
+    assert run.report.ok, run.report.render()
+
+    metrics = run.result.metrics
+    stride = spec.app.checkpoint_every
+    retain = spec.app.retain_checkpoints
+    per_member_ops = metrics["app_seq_max"]
+
+    # The run is long enough to mean anything: tens of checkpoint
+    # intervals per store, all members converged on one digest.
+    assert per_member_ops >= 10 * stride
+    assert metrics["app_checkpoints"] >= 10 * spec.n_members
+    assert metrics["app_distinct_digests"] == 1.0
+
+    # Bounded memory: the retention window is `retain` boundaries of
+    # `stride` ops each; peaks may exceed it only by the quorum lag
+    # (a couple of strides of in-flight gossip), never by run length.
+    window = (retain + 3) * stride
+    assert metrics["app_oplog_peak"] <= window
+    assert metrics["app_dedup_peak"] <= window
+    # Certificate log: every member's cert for the retained boundaries
+    # plus the not-yet-retired head.
+    assert metrics["app_checkpoint_log_peak"] <= spec.n_members * (retain + 2)
+
+    # Flatness, not just smallness: the peaks are a small fraction of
+    # what unretired linear growth would have accumulated.
+    assert metrics["app_oplog_peak"] <= per_member_ops / 4
+    assert metrics["app_dedup_peak"] <= per_member_ops / 4

@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.adversary.spec import AdversarySpec
+from repro.app.spec import AppSpec
 from repro.experiments.spec import (
     BatchingSpec,
     DelaySpec,
@@ -126,6 +127,18 @@ GATEWAYS = st.one_of(
 )
 
 
+APPS = st.one_of(
+    st.none(),
+    st.builds(
+        AppSpec,
+        checkpoint_every=st.integers(1, 32),
+        retain_checkpoints=st.integers(1, 8),
+        transfer_delay_ms=st.floats(0.0, 500.0),
+        recovery_deadline_ms=st.one_of(st.none(), st.floats(1.0, 10_000.0)),
+    ),
+)
+
+
 def scenario_specs():
     return st.builds(
         ScenarioSpec,
@@ -144,6 +157,7 @@ def scenario_specs():
         crypto_scale=st.floats(0.1, 4.0),
         collapsed=st.booleans(),
         gateway=GATEWAYS,
+        app=APPS,
     )
 
 
@@ -179,3 +193,29 @@ def test_unsharded_spec_with_faults_round_trips(spec):
 @settings(max_examples=40, deadline=None)
 def test_shard_spec_round_trips(shard):
     assert ShardSpec.from_dict(json.loads(json.dumps(shard.to_dict()))) == shard
+
+
+@given(app=APPS.filter(lambda a: a is not None))
+@settings(max_examples=40, deadline=None)
+def test_app_spec_round_trips(app):
+    assert AppSpec.from_dict(json.loads(json.dumps(app.to_dict()))) == app
+
+
+@given(
+    app=APPS.filter(lambda a: a is not None),
+    at=st.floats(0.0, 2000.0),
+    member=st.integers(0, 3),
+    gap=st.floats(1.0, 5000.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_crash_recover_fault_round_trips_with_its_rejoin_time(app, at, member, gap):
+    spec = ScenarioSpec(
+        system="fs-newtop",
+        n_members=4,
+        app=app,
+        faults=(
+            FaultEvent(at=at, kind="crash_recover", member=member, rejoin_at=at + gap),
+        ),
+    )
+    wire = json.loads(json.dumps(spec.to_dict()))
+    assert ScenarioSpec.from_dict(wire) == spec

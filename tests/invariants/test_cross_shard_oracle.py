@@ -32,10 +32,10 @@ def _verdict(report, oracle="cross-shard-order"):
 # ----------------------------------------------------------------------
 # full-stack behaviour
 # ----------------------------------------------------------------------
-def test_clean_sharded_run_passes_all_seven_oracles():
+def test_clean_sharded_run_passes_all_eight_oracles():
     run = audit_scenario(SHARDED_SPEC, scenario="xs/clean")
     assert run.report.ok, run.report.render()
-    assert len(run.report.verdicts) == 7
+    assert len(run.report.verdicts) == 8
     verdict = _verdict(run.report)
     assert verdict.checked > 0  # it really audited cross-shard traffic
 

@@ -1,7 +1,7 @@
 """The registered service scenarios through the full invariant audit.
 
 These are the end-to-end gates: a client fleet drives the gateway,
-the gateway drives the (possibly sharded) group, and all seven
+the gateway drives the (possibly sharded) group, and all eight
 invariant oracles watch the trace.  ``svc_fleet_smoke`` and
 ``svc_overload`` run on every tier-1 pass; the 1000-session fleet is
 behind ``--runslow``.

@@ -2,7 +2,7 @@
 
 Two wall-clock runs are never byte-identical -- the host schedules
 them differently -- so equivalence with the simulated run is checked
-at the semantic layer instead: the same seven invariant oracles that
+at the semantic layer instead: the same eight invariant oracles that
 audit simulated runs must pass on the live asyncio backend, every
 submitted message must be ordered (nothing lost to real concurrency),
 zero fail-signals may appear at the calibrated timeouts (the accuracy
@@ -87,6 +87,26 @@ def test_backends_agree_on_ordered_content():
     for member, sequence in live.items():
         assert sorted(sequence) == sorted(simulated[member])
         assert len(set(sequence)) == len(sequence)
+
+
+def test_live_run_with_the_kv_application_passes_the_same_oracles():
+    """The application layer (stores, checkpoint gossip, the 8th
+    oracle) rides the live backend exactly like the simulated one:
+    every member applies the full feed and converges on one digest."""
+    from repro.app.spec import AppSpec
+
+    spec = FIG6_STYLE.replace(seed=13, app=AppSpec(checkpoint_every=3))
+    simulated = _audit(spec)
+    live = _audit(spec.replace(transport=ASYNCIO))
+
+    assert simulated.report.ok, simulated.report.render()
+    assert live.report.ok, live.report.render()
+    expected = float(spec.n_members * spec.messages_per_member)
+    for run in (simulated, live):
+        metrics = run.result.metrics
+        assert metrics["app_ops_applied"] == expected * spec.n_members
+        assert metrics["app_distinct_digests"] == 1.0
+        assert metrics["app_checkpoints"] > 0
 
 
 def test_live_wall_metrics_are_reported():
