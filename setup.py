@@ -47,6 +47,12 @@ setup(
             "uvicorn",
             "httpx",
         ],
+        # The C-backed ed25519 signature provider (repro.crypto.ed25519);
+        # everything degrades gracefully to the pure-python schemes when
+        # this is absent.  See docs/CRYPTO.md.
+        "fastcrypto": [
+            "cryptography",
+        ],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

@@ -31,7 +31,10 @@ import typing
 from repro import perf
 from repro.corba.orb import ObjectRef
 from repro.core.messages import FsOutput
+from repro.crypto.binwire import binwire_encode
 from repro.crypto.canonical import canonical_encode
+from repro.crypto.ed25519 import HAVE_ED25519
+from repro.crypto.provider import CryptoSpec
 from repro.crypto.signing import HmacScheme, RsaScheme
 from repro.experiments.spec import BatchingSpec, ScenarioSpec, ShardSpec
 from repro.sim.scheduler import Simulator
@@ -96,6 +99,29 @@ def _bench_encode_cached() -> int:
 def _bench_hmac_sign_verify() -> int:
     """HMAC sign+verify pairs over distinct payloads (no memo hits)."""
     scheme = HmacScheme()
+    private, public = scheme.generate(random.Random(1))
+    ops = 5000
+    for i in range(ops):
+        data = b"bench-payload-%d" % i
+        value = scheme.sign(private, data)
+        assert scheme.verify(public, data, value)
+    return ops
+
+
+def _bench_binwire_encode_fresh() -> int:
+    """Binwire-encode distinct messages (the compact codec's miss path)."""
+    messages = [_bench_message(i) for i in range(4000)]
+    perf.clear_caches()
+    for message in messages:
+        binwire_encode(message)
+    return len(messages)
+
+
+def _bench_ed25519_sign_verify() -> int:
+    """Ed25519 sign+verify pairs (the ``fastcrypto`` provider)."""
+    from repro.crypto.ed25519 import Ed25519Scheme
+
+    scheme = Ed25519Scheme()
     private, public = scheme.generate(random.Random(1))
     ops = 5000
     for i in range(ops):
@@ -183,6 +209,15 @@ SCALE_SHARD4_MINI_SPEC = SCALE_BATCHED_MINI_SPEC.replace(
 SCALE_SHARD_XS_MINI_SPEC = SCALE_BATCHED_MINI_SPEC.replace(
     shard=ShardSpec(shards=2, cross_shard_ratio=0.2)
 )
+#: The batched high-rate shape on the fast crypto engine: ed25519
+#: signatures over compact binwire signing bytes.  Simulated time uses
+#: the ed25519 provider cost table, so this gates both the host-time
+#: cost of the native scheme and the codec's encoding cost.  Suite
+#: membership is conditional on the ``fastcrypto`` extra being
+#: importable (the default CI jobs run the pure-python fallback).
+SCALE_CRYPTO_MINI_SPEC = SCALE_BATCHED_MINI_SPEC.replace(
+    crypto=CryptoSpec(provider="ed25519", codec="binwire")
+)
 
 
 def _run_mini(spec: ScenarioSpec) -> int:
@@ -217,10 +252,19 @@ def _bench_scale_shard_xs_mini() -> int:
     return _run_mini(SCALE_SHARD_XS_MINI_SPEC)
 
 
+def _bench_scale_crypto_mini() -> int:
+    return _run_mini(SCALE_CRYPTO_MINI_SPEC)
+
+
 #: The fixed suite, in execution order.  Values return the op count.
+#: The ed25519-backed entries join only when the ``fastcrypto`` extra
+#: is importable; the committed baseline includes them, so a perf-gate
+#: host without the extra fails loudly ("missing") rather than
+#: silently dropping crypto coverage.
 SUITE: dict[str, typing.Callable[[], int]] = {
     "encode_fresh": _bench_encode_fresh,
     "encode_cached": _bench_encode_cached,
+    "binwire_encode_fresh": _bench_binwire_encode_fresh,
     "hmac_sign_verify": _bench_hmac_sign_verify,
     "rsa_sign_verify": _bench_rsa_sign_verify,
     "sim_events": _bench_sim_events,
@@ -231,6 +275,9 @@ SUITE: dict[str, typing.Callable[[], int]] = {
     "scale_shard4_mini": _bench_scale_shard4_mini,
     "scale_shard_xs_mini": _bench_scale_shard_xs_mini,
 }
+if HAVE_ED25519:
+    SUITE["ed25519_sign_verify"] = _bench_ed25519_sign_verify
+    SUITE["scale_crypto_mini"] = _bench_scale_crypto_mini
 
 
 def run_suite(

@@ -344,6 +344,13 @@ def _add_transport_arguments(parser: argparse.ArgumentParser) -> None:
         help="force observability on and, with --transport asyncio, serve "
         "GET /metrics on this port during the run (0 = pick a free one)",
     )
+    parser.add_argument(
+        "--crypto",
+        metavar="PROVIDER[:CODEC]",
+        help="crypto overlay for fs-newtop runs: signature provider "
+        "(rsa/hmac/ed25519) with an optional signing+framing codec "
+        "(canonical/binwire), e.g. 'ed25519:binwire'",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -724,6 +731,48 @@ def _parse_transport_override(args):
     return True, spec
 
 
+def _parse_crypto_override(args):
+    """The ``--crypto`` overlay: build the CryptoSpec the flag
+    describes (``PROVIDER`` or ``PROVIDER:CODEC``).  Returns
+    ``(ok, spec_or_None)``; prints an error and returns
+    ``(False, None)`` on an unknown provider or codec."""
+    from repro.crypto.provider import DEFAULT_CODEC, CryptoSpec
+
+    if args.crypto is None:
+        return True, None
+    provider, sep, codec = args.crypto.partition(":")
+    try:
+        spec = CryptoSpec(
+            provider=provider, codec=codec if sep else DEFAULT_CODEC
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return False, None
+    return True, spec
+
+
+def _apply_crypto_override(scenario, systems, crypto):
+    """Pin every grid cell of a scenario to a CryptoSpec.  The provider
+    seam lives in the fs-newtop stack only, so a mixed scenario needs a
+    ``--systems`` subset first."""
+    import dataclasses as _dataclasses
+
+    chosen = systems if systems else scenario.systems
+    not_fs = [s for s in chosen if s != "fs-newtop"]
+    if not_fs:
+        print(
+            f"error: --crypto applies to fs-newtop runs only; drop "
+            f"{', '.join(not_fs)} with --systems fs-newtop"
+        )
+        return None
+    try:
+        base = scenario.base.replace(system="fs-newtop", crypto=crypto)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return None
+    return _dataclasses.replace(scenario, base=base)
+
+
 def _apply_transport_override(scenario, systems, transport):
     """Pin every grid cell of a scenario to a TransportSpec.  The live
     backends only drive the ordering systems, so a scenario that also
@@ -761,6 +810,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if transport is not None:
         scenario = _apply_transport_override(scenario, systems, transport)
+        if scenario is None:
+            return 2
+    ok, crypto = _parse_crypto_override(args)
+    if not ok:
+        return 2
+    if crypto is not None:
+        scenario = _apply_crypto_override(scenario, systems, crypto)
         if scenario is None:
             return 2
     if not _check_obs_port(args.obs_port):
@@ -885,6 +941,9 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     ok, transport = _parse_transport_override(args)
     if not ok:
         return 2
+    ok, crypto = _parse_crypto_override(args)
+    if not ok:
+        return 2
     if not _check_obs_port(args.obs_port):
         return 2
     config = AuditConfig(detection_deadline_ms=args.deadline)
@@ -912,6 +971,14 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                 )
                 return 2
             spec = spec.replace(adversaries=spec.adversaries + (overlay,))
+        if crypto is not None:
+            if system != "fs-newtop":
+                print(
+                    f"note: skipping {system} at {scenario.sweep_axis}={x_label} "
+                    f"(--crypto drives the fs-newtop signing stack only)"
+                )
+                continue
+            spec = spec.replace(crypto=crypto)
         if transport is not None:
             spec = spec.replace(transport=transport)
         if args.obs_port is not None:
@@ -964,8 +1031,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elif not transport.live:
         print("error: repro serve needs a live transport (--transport asyncio)")
         return 2
+    ok, crypto = _parse_crypto_override(args)
+    if not ok:
+        return 2
     try:
         overrides: dict = {"transport": transport, "seed": spec.seed + args.seed}
+        if crypto is not None:
+            overrides["crypto"] = crypto
         if args.shards is not None:
             base_shard = spec.shard
             overrides["shard"] = ShardSpec(
@@ -1021,8 +1093,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             or args.time_scale is not None
             or args.no_calibrate
             or args.obs_port is not None
+            or args.crypto is not None
         ):
-            print("error: transport/--obs-port flags apply to --scenario mode only")
+            print(
+                "error: transport/--obs-port/--crypto flags apply to "
+                "--scenario mode only"
+            )
             return 2
         import urllib.error
         import urllib.request
@@ -1055,11 +1131,20 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         ok, transport = _parse_transport_override(args)
         if not ok:
             return 2
+        ok, crypto = _parse_crypto_override(args)
+        if not ok:
+            return 2
         if not _check_obs_port(args.obs_port):
             return 2
         spec = scenario.base.replace(seed=scenario.base.seed + args.seed)
         if transport is not None:
             spec = spec.replace(transport=transport)
+        if crypto is not None:
+            try:
+                spec = spec.replace(crypto=crypto)
+            except ValueError as exc:
+                print(f"error: {exc}")
+                return 2
         if args.obs_port is not None:
             spec = _with_obs_port(spec, args.obs_port)
         document = observe_spec(spec, scenario=scenario.name)

@@ -11,6 +11,15 @@ This module holds the policy and the accumulator; the protocol changes
 (batch signing, batch comparison, batch countersigning, batch-aware
 unpacking) live in :mod:`repro.core.fso` and :mod:`repro.core.inbox`.
 
+Batching composes with the crypto provider seam
+(:mod:`repro.crypto.provider`): the flush path signs one digest per
+batch regardless of provider, and the receive path hands both
+signatures of each double-signed batch to
+:meth:`~repro.crypto.signing.SignatureScheme.verify_many`, so a
+provider with amortised batch verification (ed25519) drains the pair
+in one C-level pass and is charged the cost model's
+``double_verify_cost`` (< 2 sequential verifies) in simulated time.
+
 Design constraints the accumulator honours:
 
 * **Per-target batches.** Outputs are grouped by destination object, so

@@ -332,9 +332,11 @@ class Fso(Process, Servant):
 
     def invocation_cost(self, request: Request) -> float:
         """ORB dispatch surcharge: authenticating a double-signed input
-        costs two signature verifications."""
+        costs checking both signatures (``double_verify_cost`` -- a
+        provider with amortised batch verification pays less than two
+        sequential checks)."""
         if request.args and isinstance(request.args[0], DoubleSigned):
-            return self.node.crypto_costs.verify_cost(request.size) * 2
+            return self.node.crypto_costs.double_verify_cost(request.size)
         return 0.0
 
     # ======================================================================

@@ -75,7 +75,7 @@ class FsOutputInbox(Servant):
     def invocation_cost(self, request: Request) -> float:
         if self._crypto_costs is None:
             return 0.0
-        return self._crypto_costs.verify_cost(request.size) * 2
+        return self._crypto_costs.double_verify_cost(request.size)
 
     # ------------------------------------------------------------------
     # internals

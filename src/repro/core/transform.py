@@ -32,9 +32,12 @@ class FsEnvironment:
         sim: Clock,
         scheme: SignatureScheme | None = None,
         config: FsoConfig | None = None,
+        codec: str | None = None,
     ) -> None:
         self.sim = sim
-        self.keystore = KeyStore(scheme if scheme is not None else HmacScheme())
+        self.keystore = KeyStore(
+            scheme if scheme is not None else HmacScheme(), codec=codec
+        )
         self.registry = FsRegistry()
         self.routes = FsRouteTable()
         self.config = config if config is not None else FsoConfig()

@@ -5,7 +5,8 @@ sends and the signed message cannot be generated nor undetectably altered
 by a process in another node"* (A5), realised in their testbed with the
 Java security package (MD5 digests, RSA signatures).
 
-We provide two interchangeable signature schemes behind one interface:
+We provide three signature schemes behind one interface, selected per
+scenario through :class:`CryptoSpec` (see :mod:`repro.crypto.provider`):
 
 * :class:`RsaScheme` -- textbook RSA built from scratch (Miller-Rabin
   prime generation, square-and-multiply modexp) over MD5 digests.  A
@@ -16,16 +17,31 @@ We provide two interchangeable signature schemes behind one interface:
   inside a simulation where the keystore is trusted infrastructure; it
   exists because large benchmark sweeps need thousands of signatures and
   pure-Python RSA would dominate wall-clock time.
+* :class:`Ed25519Scheme` -- C-backed ed25519 via the ``cryptography``
+  package (``repro[fastcrypto]`` extra, import-gated with graceful
+  fallback), with amortised batch verification for the batched compare
+  path.
 
-Either way, the *simulated* CPU cost of each operation is charged through
-:class:`CryptoCostModel`, calibrated to 2003-era MD5-with-RSA latencies,
-so the choice of scheme changes host wall-clock time but never the
-simulated results.
+Orthogonally, the *bytes being signed and framed* come from one of two
+codecs: the self-describing canonical encoding or the compact
+:mod:`binwire <repro.crypto.binwire>` format.
+
+Either way, the *simulated* CPU cost of each operation is charged
+through :class:`CryptoCostModel`.  The cost table is provider-aware
+(:func:`provider_cost_model`): by default a faster provider honestly
+shrinks simulated deadlines, while ``CryptoSpec(costs="paper")`` pins
+the paper's RSA table so simulated results stay provider-independent.
 """
 
+from repro.crypto.binwire import BinwireError, binwire_decode, binwire_encode
 from repro.crypto.canonical import CanonicalEncodingError, canonical_encode
-from repro.crypto.costmodel import CryptoCostModel
+from repro.crypto.costmodel import (
+    CryptoCostModel,
+    PROVIDER_COSTS,
+    provider_cost_model,
+)
 from repro.crypto.digest import md5_digest, md5_hexdigest, md5_int
+from repro.crypto.ed25519 import HAVE_ED25519, Ed25519Scheme, Ed25519Unavailable
 from repro.crypto.errors import (
     CryptoError,
     SignatureInvalid,
@@ -33,6 +49,13 @@ from repro.crypto.errors import (
 )
 from repro.crypto.keystore import KeyStore
 from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.provider import (
+    CryptoSpec,
+    ProviderUnavailable,
+    build_scheme,
+    provider_available,
+    provider_names,
+)
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
 from repro.crypto.signing import (
     DoubleSigned,
@@ -41,15 +64,23 @@ from repro.crypto.signing import (
     SignatureScheme,
     Signed,
     Signer,
+    payload_codec,
 )
 
 __all__ = [
+    "BinwireError",
     "CanonicalEncodingError",
     "CryptoCostModel",
     "CryptoError",
+    "CryptoSpec",
     "DoubleSigned",
+    "Ed25519Scheme",
+    "Ed25519Unavailable",
+    "HAVE_ED25519",
     "HmacScheme",
     "KeyStore",
+    "PROVIDER_COSTS",
+    "ProviderUnavailable",
     "RsaKeyPair",
     "RsaPublicKey",
     "RsaScheme",
@@ -58,6 +89,9 @@ __all__ = [
     "Signed",
     "Signer",
     "UnknownSigner",
+    "binwire_decode",
+    "binwire_encode",
+    "build_scheme",
     "canonical_encode",
     "generate_prime",
     "generate_rsa_keypair",
@@ -65,4 +99,8 @@ __all__ = [
     "md5_digest",
     "md5_hexdigest",
     "md5_int",
+    "payload_codec",
+    "provider_available",
+    "provider_cost_model",
+    "provider_names",
 ]

@@ -1,0 +1,451 @@
+"""Compact binary wire codec (the "binwire" format).
+
+The canonical encoding (:mod:`repro.crypto.canonical`) is deliberately
+self-describing: every dataclass instance carries its qualname and every
+field carries its name, all behind 4-byte lengths.  That redundancy is
+what makes the reference decoder in :mod:`repro.transport.wire` strict
+and debuggable, but on the signing and TCP-framing hot paths it is pure
+overhead -- a 3-byte ``FsOutput`` payload encodes to hundreds of bytes,
+most of them field-name strings the receiver already knows.
+
+Binwire is the compact alternative behind the same seam
+(:class:`repro.crypto.provider.CryptoSpec` selects it per run):
+
+* one explicit **version byte** leads every encoding, so a format
+  change can never be confused for the old layout;
+* single-byte numeric type tags and LEB128 varints replace the ASCII
+  tags and 4-byte lengths;
+* a dataclass encodes as a fixed 4-byte **type id** -- the truncated
+  MD5 of its qualname, collision-checked against the closed wire-type
+  registry -- followed by its field *values* in declaration order.
+  Field names and counts are never transmitted: the decoder recovers
+  them from the registered class, which is exactly why only registered
+  types decode.
+
+Like the canonical encoder, binwire is deterministic (dict entries sort
+by encoded key, frozensets by encoded element) and memoises the
+encodings of frozen protocol messages by object identity
+(:data:`repro.perf.binwire_cache`), so an n-destination multicast
+encodes once.  The decoder is strict: unknown tags, unknown type ids,
+bad versions, truncated values and trailing bytes all raise
+:class:`BinwireError`.
+
+The closed type registry is *shared* with the canonical reference
+decoder (:mod:`repro.transport.wire`): both codecs accept exactly the
+same set of protocol dataclasses, so switching codecs can never widen
+the attack surface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from typing import Any
+
+from repro.crypto.canonical import CanonicalEncodingError, canonical_encode
+from repro.perf import binwire_cache
+
+#: Format version transmitted as the first byte of every encoding.
+BINWIRE_VERSION = 1
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_LIST = 0x07
+_TAG_TUPLE = 0x08
+_TAG_DICT = 0x09
+_TAG_OBJECT = 0x0A
+_TAG_SET = 0x0B
+
+_DOUBLE = struct.Struct(">d")
+
+
+class BinwireError(ValueError):
+    """Raised for unencodable values and malformed binwire bytes."""
+
+
+# ----------------------------------------------------------------------
+# varints
+# ----------------------------------------------------------------------
+def _encode_varint(value: int) -> bytes:
+    """Unsigned LEB128."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _decode_varint(data: bytes, at: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if at >= len(data):
+            raise BinwireError(f"truncated varint at offset {at}")
+        byte = data[at]
+        at += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, at
+        shift += 7
+        if shift > 70:
+            raise BinwireError("varint longer than 10 bytes")
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# ----------------------------------------------------------------------
+# type-id table (shared closed registry, content-derived ids)
+# ----------------------------------------------------------------------
+def type_id_of(qualname: str) -> bytes:
+    """The 4-byte binwire type id of a registered qualname: the MD5
+    prefix of the name, so ids are stable under registry growth (adding
+    a type can never renumber the others -- only a genuine format
+    change moves bytes, which is what the golden fixture pins)."""
+    return hashlib.md5(qualname.encode("utf-8")).digest()[:4]
+
+
+_ID_TO_CLASS: dict[bytes, type] = {}
+_CLASS_TO_ID: dict[type, bytes] = {}
+_TABLE_SIZE = -1
+
+
+def _registry() -> dict[str, type]:
+    # Deferred import: the closed registry (and its population with
+    # every protocol module's dataclasses) lives with the canonical
+    # reference decoder; importing it lazily avoids a cycle at package
+    # import time.
+    from repro.transport.wire import registered_wire_types
+
+    return registered_wire_types()
+
+
+def _rebuild_table() -> None:
+    global _TABLE_SIZE
+    registry = _registry()
+    _ID_TO_CLASS.clear()
+    _CLASS_TO_ID.clear()
+    for qualname, cls in registry.items():
+        type_id = type_id_of(qualname)
+        clash = _ID_TO_CLASS.get(type_id)
+        if clash is not None and clash is not cls:
+            raise BinwireError(
+                f"binwire type-id collision: {qualname!r} vs "
+                f"{clash.__qualname__!r} both hash to {type_id.hex()}"
+            )
+        _ID_TO_CLASS[type_id] = cls
+        _CLASS_TO_ID[cls] = type_id
+    _TABLE_SIZE = len(registry)
+
+
+def _class_id(cls: type) -> bytes:
+    type_id = _CLASS_TO_ID.get(cls)
+    if type_id is None:
+        if len(_registry()) != _TABLE_SIZE:
+            _rebuild_table()
+            type_id = _CLASS_TO_ID.get(cls)
+        if type_id is None:
+            raise BinwireError(
+                f"{cls.__qualname__!r} is not a registered wire type; "
+                f"binwire only encodes the closed protocol set"
+            )
+    return type_id
+
+
+def _id_class(type_id: bytes) -> type:
+    cls = _ID_TO_CLASS.get(type_id)
+    if cls is None:
+        if len(_registry()) != _TABLE_SIZE:
+            _rebuild_table()
+            cls = _ID_TO_CLASS.get(type_id)
+        if cls is None:
+            raise BinwireError(f"unknown binwire type id {type_id.hex()}")
+    return cls
+
+
+# ----------------------------------------------------------------------
+# encoder
+# ----------------------------------------------------------------------
+def _encode_into(value: Any, out: list[bytes]) -> None:
+    cls = value.__class__
+    handler = _DISPATCH.get(cls)
+    if handler is not None:
+        handler(value, out)
+        return
+    _encode_fallback(value, out)
+
+
+def _encode_none(value: Any, out: list[bytes]) -> None:
+    out.append(b"\x00")
+
+
+def _encode_bool(value: Any, out: list[bytes]) -> None:
+    out.append(b"\x01" if value else b"\x02")
+
+
+def _encode_int(value: Any, out: list[bytes]) -> None:
+    out.append(b"\x03")
+    out.append(_encode_varint(_zigzag(int(value))))
+
+
+def _encode_float(value: Any, out: list[bytes]) -> None:
+    out.append(b"\x04")
+    out.append(_DOUBLE.pack(value))
+
+
+def _encode_str(value: Any, out: list[bytes]) -> None:
+    body = value.encode("utf-8")
+    out.append(b"\x05")
+    out.append(_encode_varint(len(body)))
+    out.append(body)
+
+
+def _encode_bytes(value: Any, out: list[bytes]) -> None:
+    body = bytes(value)
+    out.append(b"\x06")
+    out.append(_encode_varint(len(body)))
+    out.append(body)
+
+
+def _encode_list(value: Any, out: list[bytes]) -> None:
+    out.append(b"\x07")
+    out.append(_encode_varint(len(value)))
+    for item in value:
+        _encode_into(item, out)
+
+
+def _encode_tuple(value: Any, out: list[bytes]) -> None:
+    out.append(b"\x08")
+    out.append(_encode_varint(len(value)))
+    for item in value:
+        _encode_into(item, out)
+
+
+def _encode_dict(value: Any, out: list[bytes]) -> None:
+    # Entries sort by their encoded key -- the same total order the
+    # canonical encoder imposes, so signing determinism carries over.
+    entries = [(_encode_value(k), v) for k, v in value.items()]
+    entries.sort(key=lambda e: e[0])
+    out.append(b"\x09")
+    out.append(_encode_varint(len(entries)))
+    for key_bytes, item in entries:
+        out.append(key_bytes)
+        _encode_into(item, out)
+
+
+def _encode_frozenset(value: Any, out: list[bytes]) -> None:
+    encoded = sorted(_encode_value(item) for item in value)
+    out.append(b"\x0b")
+    out.append(_encode_varint(len(encoded)))
+    out.extend(encoded)
+
+
+def _encode_dataclass(value: Any, out: list[bytes]) -> None:
+    from repro.crypto.canonical import is_identity_cacheable
+
+    cls = value.__class__
+    if is_identity_cacheable(value):
+        entry = binwire_cache._entries.get(id(value))
+        if entry is not None:
+            binwire_cache._hits += 1
+            out.append(entry[1])
+            return
+        binwire_cache._misses += 1
+        sub: list[bytes] = []
+        sub.append(b"\x0a")
+        sub.append(_class_id(cls))
+        for field in dataclasses.fields(cls):
+            _encode_into(getattr(value, field.name), sub)
+        cached = b"".join(sub)
+        binwire_cache.put(value, cached)
+        out.append(cached)
+        return
+    out.append(b"\x0a")
+    out.append(_class_id(cls))
+    for field in dataclasses.fields(cls):
+        _encode_into(getattr(value, field.name), out)
+
+
+def _encode_fallback(value: Any, out: list[bytes]) -> None:
+    """Precedence-ordered chain for subclasses of the builtins and for
+    dataclass types seen for the first time (mirrors the canonical
+    encoder's fallback, so both codecs accept the same value domain)."""
+    if value is None:
+        _encode_none(value, out)
+    elif value is True or value is False:
+        _encode_bool(value, out)
+    elif isinstance(value, bool):
+        _encode_bool(value, out)
+    elif isinstance(value, int):
+        _encode_int(value, out)
+    elif isinstance(value, float):
+        _encode_float(value, out)
+    elif isinstance(value, str):
+        _encode_str(value, out)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        _encode_bytes(value, out)
+    elif isinstance(value, list):
+        _encode_list(value, out)
+    elif isinstance(value, tuple):
+        _encode_tuple(value, out)
+    elif isinstance(value, dict):
+        _encode_dict(value, out)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        _DISPATCH[value.__class__] = _encode_dataclass
+        _encode_dataclass(value, out)
+    elif isinstance(value, frozenset):
+        _encode_frozenset(value, out)
+    else:
+        raise BinwireError(
+            f"no binwire encoding for {type(value).__name__}: {value!r}"
+        )
+
+
+_DISPATCH: dict[type, Any] = {
+    type(None): _encode_none,
+    bool: _encode_bool,
+    int: _encode_int,
+    float: _encode_float,
+    str: _encode_str,
+    bytes: _encode_bytes,
+    list: _encode_list,
+    tuple: _encode_tuple,
+    dict: _encode_dict,
+    frozenset: _encode_frozenset,
+}
+
+
+def _encode_value(value: Any) -> bytes:
+    out: list[bytes] = []
+    _encode_into(value, out)
+    if len(out) == 1:
+        return out[0]
+    return b"".join(out)
+
+
+def binwire_encode(value: Any) -> bytes:
+    """Encode ``value`` as versioned binwire bytes.
+
+    Accepts exactly the canonical encoder's value domain, except that
+    dataclass instances must belong to the closed wire-type registry.
+    """
+    try:
+        return bytes([BINWIRE_VERSION]) + _encode_value(value)
+    except RecursionError:  # pragma: no cover - pathological nesting
+        raise BinwireError("value nests too deeply for binwire") from None
+
+
+# ----------------------------------------------------------------------
+# strict decoder
+# ----------------------------------------------------------------------
+def _construct(cls: type, values: dict[str, Any]) -> Any:
+    try:
+        return cls(**values)
+    except TypeError:
+        # init=False fields (lazy wire-size memos and the like) cannot
+        # come back through __init__; restore field state directly.
+        obj = cls.__new__(cls)
+        for key, value in values.items():
+            object.__setattr__(obj, key, value)
+        return obj
+
+
+def _decode(data: bytes, at: int) -> tuple[Any, int]:
+    if at >= len(data):
+        raise BinwireError("truncated value")
+    tag = data[at]
+    at += 1
+    if tag == _TAG_NONE:
+        return None, at
+    if tag == _TAG_TRUE:
+        return True, at
+    if tag == _TAG_FALSE:
+        return False, at
+    if tag == _TAG_INT:
+        raw, at = _decode_varint(data, at)
+        return _unzigzag(raw), at
+    if tag == _TAG_FLOAT:
+        if at + 8 > len(data):
+            raise BinwireError(f"truncated float at offset {at}")
+        return _DOUBLE.unpack_from(data, at)[0], at + 8
+    if tag in (_TAG_STR, _TAG_BYTES):
+        length, at = _decode_varint(data, at)
+        if at + length > len(data):
+            raise BinwireError(f"truncated body at offset {at}")
+        body = data[at : at + length]
+        at += length
+        if tag == _TAG_STR:
+            return body.decode("utf-8"), at
+        return bytes(body), at
+    if tag in (_TAG_LIST, _TAG_TUPLE, _TAG_SET):
+        count, at = _decode_varint(data, at)
+        items = []
+        for __ in range(count):
+            item, at = _decode(data, at)
+            items.append(item)
+        if tag == _TAG_LIST:
+            return items, at
+        if tag == _TAG_TUPLE:
+            return tuple(items), at
+        return frozenset(items), at
+    if tag == _TAG_DICT:
+        count, at = _decode_varint(data, at)
+        mapping = {}
+        for __ in range(count):
+            key, at = _decode(data, at)
+            value, at = _decode(data, at)
+            mapping[key] = value
+        return mapping, at
+    if tag == _TAG_OBJECT:
+        if at + 4 > len(data):
+            raise BinwireError(f"truncated type id at offset {at}")
+        cls = _id_class(bytes(data[at : at + 4]))
+        at += 4
+        values: dict[str, Any] = {}
+        for field in dataclasses.fields(cls):
+            value, at = _decode(data, at)
+            values[field.name] = value
+        return _construct(cls, values), at
+    raise BinwireError(f"unknown binwire tag 0x{tag:02x} at offset {at - 1}")
+
+
+def binwire_decode(data: bytes) -> Any:
+    """Decode one versioned binwire value; strict on every axis --
+    version byte, tags, type ids, truncation and trailing bytes."""
+    data = bytes(data)
+    if not data:
+        raise BinwireError("empty binwire payload")
+    if data[0] != BINWIRE_VERSION:
+        raise BinwireError(
+            f"bad binwire version {data[0]} (expected {BINWIRE_VERSION})"
+        )
+    value, end = _decode(data, 1)
+    if end != len(data):
+        raise BinwireError(f"{len(data) - end} trailing bytes after value")
+    return value
+
+
+def binwire_equivalent(value: Any) -> bool:
+    """True when ``value`` encodes under both codecs (used by tests to
+    keep the two value domains aligned)."""
+    try:
+        canonical_encode(value)
+        binwire_encode(value)
+        return True
+    except (CanonicalEncodingError, BinwireError):
+        return False

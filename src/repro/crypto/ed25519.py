@@ -1,0 +1,169 @@
+"""Ed25519 signature scheme backed by the ``cryptography`` package.
+
+This is the "fast provider" half of the crypto v2 seam: the pure-python
+:class:`~repro.crypto.signing.RsaScheme` stays as the paper-faithful
+reference, and this scheme drops in behind the same
+:class:`~repro.crypto.signing.SignatureScheme` interface when the
+``repro[fastcrypto]`` extra is installed.  Import is gated: the module
+always imports, :data:`HAVE_ED25519` says whether the backing library
+is present, and constructing :class:`Ed25519Scheme` without it raises a
+clear error (the provider registry reports availability up front, see
+:mod:`repro.crypto.provider`).
+
+Determinism contract: key material is derived from the keystore RNG
+(32-byte seed from ``rng.getrandbits``), exactly like the pure-python
+schemes -- the same scenario seed yields the same keys, signatures and
+verdicts run over run, which is what the cross-provider differential
+suite pins.
+
+Host-time behaviour: sign/verify run in C (OpenSSL), and
+:meth:`Ed25519Scheme.verify_many` amortises batch verification by
+parsing each public key once and draining the whole batch in one pass
+-- the batched compare path hands it both signatures of a
+``DoubleSigned`` output together.  Simulated time is still charged by
+the cost model; selecting this provider switches to the measured
+ed25519 cost table unless the spec pins ``costs="paper"``
+(see :mod:`repro.crypto.costmodel`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from repro.crypto.signing import SignatureScheme
+
+try:  # pragma: no cover - exercised via HAVE_ED25519 in both states
+    from cryptography.exceptions import InvalidSignature
+    from cryptography.hazmat.primitives.asymmetric.ed25519 import (
+        Ed25519PrivateKey,
+        Ed25519PublicKey,
+    )
+
+    HAVE_ED25519 = True
+except ImportError:  # pragma: no cover
+    InvalidSignature = None  # type: ignore[assignment]
+    Ed25519PrivateKey = None  # type: ignore[assignment]
+    Ed25519PublicKey = None  # type: ignore[assignment]
+    HAVE_ED25519 = False
+
+#: Length of both private seeds and public keys, in bytes.
+KEY_BYTES = 32
+#: Length of an ed25519 signature, in bytes.
+SIGNATURE_BYTES = 64
+
+
+class Ed25519Unavailable(RuntimeError):
+    """Raised when the ``cryptography`` backend is not installed."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "the ed25519 provider needs the 'cryptography' package; "
+            "install the fastcrypto extra (pip install 'repro[fastcrypto]') "
+            "or select a pure-python provider"
+        )
+
+
+class Ed25519Scheme(SignatureScheme):
+    """Ed25519 over raw 32-byte seeds and public keys.
+
+    Key *material* is plain bytes -- a 32-byte private seed and the
+    matching 32-byte public key -- so keys stay hashable (the
+    verification memo keys on public material) and picklable, and the
+    differential suite can compare keystores byte-for-byte.  Parsed
+    key objects are memoised per scheme instance: one simulation signs
+    with a handful of identities but verifies millions of times, so
+    parsing is paid once per key, not per operation.
+    """
+
+    def __init__(self) -> None:
+        if not HAVE_ED25519:
+            raise Ed25519Unavailable()
+        self._private_keys: dict[bytes, Any] = {}
+        self._public_keys: dict[bytes, Any] = {}
+
+    def generate(self, rng: random.Random) -> tuple[bytes, bytes]:
+        seed = rng.getrandbits(8 * KEY_BYTES).to_bytes(KEY_BYTES, "big")
+        public = (
+            Ed25519PrivateKey.from_private_bytes(seed)
+            .public_key()
+            .public_bytes_raw()
+        )
+        return seed, public
+
+    def _private_key(self, seed: bytes) -> Any:
+        key = self._private_keys.get(seed)
+        if key is None:
+            key = Ed25519PrivateKey.from_private_bytes(seed)
+            self._private_keys[seed] = key
+        return key
+
+    def _public_key(self, public: bytes) -> Any:
+        key = self._public_keys.get(public)
+        if key is None:
+            key = Ed25519PublicKey.from_public_bytes(public)
+            self._public_keys[public] = key
+        return key
+
+    def sign(self, private: bytes, data: bytes) -> bytes:
+        return self._private_key(private).sign(data)
+
+    def verify(self, public: bytes, data: bytes, value: Any) -> bool:
+        if not isinstance(value, (bytes, bytearray)):
+            return False
+        if len(value) != SIGNATURE_BYTES:
+            return False
+        if not isinstance(public, (bytes, bytearray)) or len(public) != KEY_BYTES:
+            return False
+        try:
+            self._public_key(bytes(public)).verify(bytes(value), data)
+        except InvalidSignature:
+            return False
+        return True
+
+    def verify_many(
+        self, items: Sequence[tuple[Any, bytes, Any]]
+    ) -> bool:
+        """Amortised batch verification: all-or-nothing over ``items``.
+
+        The base implementation (see :class:`SignatureScheme`) loops
+        ``verify_cached``; this override keeps the memo but short-cuts
+        the miss path -- every missed item is checked against its
+        pre-parsed key in one drain, and the memo is seeded for the
+        whole batch, so the n destinations of a multicast collectively
+        pay one pass of C-level verifies.
+        """
+        cache = getattr(self, "_verify_cache", None) or self._make_verify_cache()
+        pending: list[tuple[Any, Any, bytes, Any]] = []
+        ok = True
+        for public, data, value in items:
+            key = (public, data, value)
+            try:
+                verdict = cache.get(key)
+            except TypeError:
+                verdict = self.verify(public, data, value)
+                key = None
+            if verdict is None:
+                pending.append((key, public, data, value))
+            elif not verdict:
+                ok = False
+        for key, public, data, value in pending:
+            verdict = self.verify(public, data, value)
+            if key is not None:
+                cache.put(key, verdict)
+            if not verdict:
+                ok = False
+        return ok
+
+
+def probe() -> bool:
+    """True when the backend is importable *and* functional (a broken
+    OpenSSL build should fall back, not crash the runner)."""
+    if not HAVE_ED25519:
+        return False
+    try:
+        scheme = Ed25519Scheme()
+        private, public = scheme.generate(random.Random(0))
+        return scheme.verify(public, b"probe", scheme.sign(private, b"probe"))
+    except Exception:  # pragma: no cover - defensive
+        return False

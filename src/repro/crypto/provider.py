@@ -1,0 +1,190 @@
+"""Crypto provider registry and the per-scenario ``CryptoSpec``.
+
+The crypto engine has two independently selectable axes:
+
+* **provider** -- which :class:`~repro.crypto.signing.SignatureScheme`
+  signs and verifies: the paper-faithful pure-python ``rsa``, the fast
+  pure-python ``hmac`` reference, or the C-backed ``ed25519``
+  (``repro[fastcrypto]`` extra, import-gated);
+* **codec** -- which byte encoding is signed and framed: the
+  self-describing ``canonical`` reference or the compact ``binwire``
+  format (:mod:`repro.crypto.binwire`).
+
+:class:`CryptoSpec` names a point on that grid plus the ``costs``
+policy that keeps simulated time honest: ``"provider"`` charges the
+provider's measured cost table (:data:`repro.crypto.costmodel
+.PROVIDER_COSTS`), ``"paper"`` pins the paper's RSA table regardless of
+provider -- which is what the cross-provider differential suite uses to
+demand bit-identical traces from different providers.
+
+The registry is deliberately closed (a dict of constructors, not an
+entry-point scan): an experiment spec can only name schemes this module
+vouches for, and availability is probed up front so a missing extra
+degrades into a clear error or an explicit fallback, never an import
+crash mid-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from repro.crypto.costmodel import CryptoCostModel, provider_cost_model
+from repro.crypto.ed25519 import Ed25519Scheme, probe as _ed25519_probe
+from repro.crypto.signing import HmacScheme, RsaScheme, SignatureScheme
+
+#: Provider used when a spec leaves the choice open.  HMAC, not RSA:
+#: same simulated timings (they share a cost table), far cheaper host
+#: time, no optional dependency.
+DEFAULT_PROVIDER = "hmac"
+
+#: Codec used when a spec leaves the choice open.
+DEFAULT_CODEC = "canonical"
+
+#: Cost policy names accepted by :class:`CryptoSpec`.
+COST_POLICIES = ("provider", "paper")
+
+
+class ProviderUnavailable(RuntimeError):
+    """A spec asked for a provider whose backend is not installed."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class _Provider:
+    """One registry row: how to build the scheme, and whether we can."""
+
+    name: str
+    factory: Callable[[], SignatureScheme]
+    available: Callable[[], bool]
+    requires: str | None = None
+
+
+def _always(available: bool = True) -> Callable[[], bool]:
+    return lambda: available
+
+
+_PROVIDERS: dict[str, _Provider] = {
+    "rsa": _Provider("rsa", RsaScheme, _always()),
+    "hmac": _Provider("hmac", HmacScheme, _always()),
+    "ed25519": _Provider(
+        "ed25519", Ed25519Scheme, _ed25519_probe, requires="fastcrypto"
+    ),
+}
+
+
+def provider_names() -> list[str]:
+    """Every registered provider name, available or not."""
+    return sorted(_PROVIDERS)
+
+
+def provider_available(name: str) -> bool:
+    """Whether ``name`` is registered and its backend works here."""
+    row = _PROVIDERS.get(name)
+    return row is not None and row.available()
+
+
+def build_scheme(name: str) -> SignatureScheme:
+    """Construct a fresh scheme instance for provider ``name``.
+
+    A fresh instance per call: schemes carry per-instance verification
+    memos, and two concurrent simulations must not share one.
+    """
+    row = _PROVIDERS.get(name)
+    if row is None:
+        raise ValueError(
+            f"unknown crypto provider {name!r}; known: {provider_names()}"
+        )
+    if not row.available():
+        extra = f" (install the {row.requires!r} extra)" if row.requires else ""
+        raise ProviderUnavailable(
+            f"crypto provider {name!r} is not available on this host{extra}"
+        )
+    return row.factory()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CryptoSpec:
+    """Crypto engine selection for one scenario.
+
+    ``fallback=True`` (the default for specs built from CLI overlays)
+    degrades an unavailable provider to :data:`DEFAULT_PROVIDER` with
+    paper costs instead of raising, so a scenario file written on a
+    fastcrypto host still runs -- more slowly, honestly -- on a bare
+    one.  Programmatic specs that *require* the fast path set
+    ``fallback=False`` and get :class:`ProviderUnavailable`.
+    """
+
+    provider: str = DEFAULT_PROVIDER
+    codec: str = DEFAULT_CODEC
+    costs: str = "provider"
+    fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.provider not in _PROVIDERS:
+            raise ValueError(
+                f"unknown crypto provider {self.provider!r}; "
+                f"known: {provider_names()}"
+            )
+        if self.codec not in ("canonical", "binwire"):
+            raise ValueError(
+                f"unknown signing codec {self.codec!r}; "
+                f"known: ['binwire', 'canonical']"
+            )
+        if self.costs not in COST_POLICIES:
+            raise ValueError(
+                f"unknown crypto cost policy {self.costs!r}; "
+                f"known: {list(COST_POLICIES)}"
+            )
+        if not isinstance(self.fallback, bool):
+            raise ValueError(f"fallback must be a bool, got {self.fallback!r}")
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolved_provider(self) -> str:
+        """The provider that will actually run here, honouring
+        ``fallback``."""
+        if provider_available(self.provider):
+            return self.provider
+        if self.fallback:
+            return DEFAULT_PROVIDER
+        raise ProviderUnavailable(
+            f"crypto provider {self.provider!r} is not available on this "
+            f"host and the spec forbids fallback"
+        )
+
+    def scheme(self) -> SignatureScheme:
+        """A fresh scheme instance for the resolved provider."""
+        return build_scheme(self.resolved_provider())
+
+    def cost_model(self) -> CryptoCostModel:
+        """The simulated cost table this spec charges.
+
+        ``costs="provider"`` uses the resolved provider's measured
+        table -- deadlines genuinely shrink with a faster provider.
+        ``costs="paper"`` pins the paper's RSA table, which keeps
+        simulated results identical across providers (the differential
+        suite's configuration).
+        """
+        if self.costs == "paper":
+            return CryptoCostModel()
+        return provider_cost_model(self.resolved_provider())
+
+    # ------------------------------------------------------------------
+    # serialisation (ScenarioSpec round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "provider": self.provider,
+            "codec": self.codec,
+            "costs": self.costs,
+            "fallback": self.fallback,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CryptoSpec":
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CryptoSpec keys: {sorted(unknown)}")
+        return cls(**data)

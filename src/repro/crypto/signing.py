@@ -18,11 +18,33 @@ import abc
 import dataclasses
 import hmac
 import random
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from repro.crypto.canonical import canonical_encode
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_rsa_keypair
 from repro.perf import VerifyCache, countersign_cache
+
+#: The default signing codec: self-describing canonical encoding.
+DEFAULT_CODEC = "canonical"
+
+
+def payload_codec(codec: str | None) -> Callable[[Any], bytes]:
+    """Resolve a signing-codec name to its encode function.
+
+    ``None``/``"canonical"`` is the self-describing reference encoding;
+    ``"binwire"`` is the compact binary codec.  Signers and keystores on
+    the same run must agree on the codec -- the bytes being signed
+    differ between the two.
+    """
+    if codec is None or codec == "canonical":
+        return canonical_encode
+    if codec == "binwire":
+        from repro.crypto.binwire import binwire_encode
+
+        return binwire_encode
+    raise ValueError(
+        f"unknown signing codec {codec!r}; known: ['binwire', 'canonical']"
+    )
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -62,25 +84,39 @@ class DoubleSigned:
         return (self.first.signer, self.second.signer)
 
 
-def _payload_bytes(payload: Any) -> bytes:
-    return canonical_encode(payload)
+def _payload_bytes(
+    payload: Any, encode: Callable[[Any], bytes] = canonical_encode
+) -> bytes:
+    return encode(payload)
 
 
-def _countersign_bytes(payload: Any, first: Signature) -> bytes:
-    return canonical_encode((payload, first.signer, first.value))
+def _countersign_bytes(
+    payload: Any,
+    first: Signature,
+    encode: Callable[[Any], bytes] = canonical_encode,
+) -> bytes:
+    return encode((payload, first.signer, first.value))
 
 
-def _double_countersign_bytes(message: DoubleSigned) -> bytes:
+def _double_countersign_bytes(
+    message: DoubleSigned,
+    codec: str = DEFAULT_CODEC,
+    encode: Callable[[Any], bytes] = canonical_encode,
+) -> bytes:
     """Countersign bytes of a double-signed message, memoised by the
     message's identity (safe: ``DoubleSigned`` is frozen, so the same
     object always yields the same ``(payload, first)`` pair -- a grafted
     second signature necessarily lives in a *different* message object).
+    Entries record the codec they were derived under, so a message
+    crossing between differently-configured keystores (the differential
+    suite does exactly that) can never serve bytes from the wrong codec.
     """
     cached = countersign_cache.get(message)
-    if cached is None:
-        cached = _countersign_bytes(message.payload, message.first)
-        countersign_cache.put(message, cached)
-    return cached
+    if cached is not None and cached[0] == codec:
+        return cached[1]
+    data = _countersign_bytes(message.payload, message.first, encode)
+    countersign_cache.put(message, (codec, data))
+    return data
 
 
 class SignatureScheme(abc.ABC):
@@ -149,6 +185,24 @@ class SignatureScheme(abc.ABC):
         except TypeError:
             pass
 
+    def verify_many(self, items: Sequence[tuple[Any, bytes, Any]]) -> bool:
+        """All-or-nothing verification of a batch of
+        ``(public, data, value)`` triples.
+
+        The reference implementation loops :meth:`verify_cached`; it
+        deliberately checks every item rather than short-circuiting, so
+        the memo is warm for whichever destination checks next.
+        Providers with genuinely amortised batch verification override
+        this (see :class:`repro.crypto.ed25519.Ed25519Scheme`), and the
+        batched compare path feeds both signatures of a double-signed
+        output through it in one call.
+        """
+        ok = True
+        for public, data, value in items:
+            if not self.verify_cached(public, data, value):
+                ok = False
+        return ok
+
     def _make_verify_cache(self) -> VerifyCache:
         """Lazy per-instance cache creation (subclasses need no
         ``__init__`` cooperation)."""
@@ -216,16 +270,24 @@ class Signer:
         scheme: SignatureScheme,
         private: Any,
         public: Any = None,
+        codec: str | None = None,
     ) -> None:
         self.identity = identity
         self._scheme = scheme
         self._private = private
         self._public = public
+        self._codec = codec if codec is not None else DEFAULT_CODEC
+        self._encode = payload_codec(codec)
 
     @property
     def scheme_name(self) -> str:
         """The signature scheme's class name (metric label material)."""
         return type(self._scheme).__name__
+
+    @property
+    def codec(self) -> str:
+        """The signing codec this signer encodes payloads with."""
+        return self._codec
 
     def sign_bytes(self, data: bytes) -> Signature:
         value = self._scheme.sign(self._private, data)
@@ -234,18 +296,18 @@ class Signer:
         return Signature(self.identity, value)
 
     def sign_payload(self, payload: Any) -> Signed:
-        """Single-sign an arbitrary canonical-encodable payload."""
-        return Signed(payload, self.sign_bytes(_payload_bytes(payload)))
+        """Single-sign an arbitrary encodable payload."""
+        return Signed(payload, self.sign_bytes(_payload_bytes(payload, self._encode)))
 
     def countersign(self, signed: Signed) -> DoubleSigned:
         """Add a second signature over (payload, first signature)."""
-        data = _countersign_bytes(signed.payload, signed.signature)
+        data = _countersign_bytes(signed.payload, signed.signature, self._encode)
         value = self.sign_bytes(data)
         double = DoubleSigned(payload=signed.payload, first=signed.signature, second=value)
         # Verifiers need these exact bytes (see _double_countersign_bytes);
         # they were just computed, so seed the memo instead of letting the
         # first destination re-derive them.
-        countersign_cache.put(double, data)
+        countersign_cache.put(double, (self._codec, data))
         return double
 
     def __repr__(self) -> str:

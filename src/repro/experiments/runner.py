@@ -213,7 +213,18 @@ def build_ordering_group(
             collapsed=spec.collapsed,
             byzantine_members=spec.byzantine_members,
         )
-        if spec.crypto_scale != 1.0:
+        if spec.crypto is not None:
+            # The CryptoSpec picks scheme, signing codec and the sim
+            # cost table (the provider's own, unless costs="paper"
+            # pins the reference table); crypto_scale composes on top,
+            # scaling whichever table was selected.
+            kwargs["scheme"] = spec.crypto.scheme()
+            kwargs["codec"] = spec.crypto.codec
+            crypto_costs = spec.crypto.cost_model()
+            if spec.crypto_scale != 1.0:
+                crypto_costs = crypto_costs.scaled(spec.crypto_scale)
+            kwargs["crypto_costs"] = crypto_costs
+        elif spec.crypto_scale != 1.0:
             kwargs["crypto_costs"] = CryptoCostModel().scaled(spec.crypto_scale)
         if spec.batching is not None:
             kwargs["fso_config"] = FsoConfig(
@@ -245,7 +256,11 @@ def _run_ordering(
     transport supplies the network(s), wall-clock timers and (when
     enabled) the host-calibrated deadlines.
     """
-    transport = build_transport(spec.transport, seed=spec.seed)
+    transport = build_transport(
+        spec.transport,
+        seed=spec.seed,
+        codec=spec.crypto.codec if spec.crypto is not None else "canonical",
+    )
     sim = transport.clock
     live = spec.transport is not None and spec.transport.live
     monitor = None
@@ -273,6 +288,10 @@ def _run_ordering(
         # A served run puts the whole client fleet on the protocol's
         # loop; start the delta derivation from the loaded floor.
         kwargs = {"tcp": spec.transport.tcp}
+        if spec.crypto is not None:
+            # Calibrate against the scheme that will actually sign, so
+            # the measured deadlines shrink with a faster provider.
+            kwargs["scheme"] = spec.crypto.scheme()
         if spec.gateway is not None:
             kwargs["base_delta_ms"] = SERVICE_FLOOR_MS
         calibration = calibrate(**kwargs)

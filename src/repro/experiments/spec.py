@@ -21,6 +21,7 @@ import typing
 
 from repro.adversary.spec import AdversarySpec
 from repro.app.spec import AppSpec
+from repro.crypto.provider import CryptoSpec
 from repro.service.spec import ServiceSpec
 from repro.net.delay import (
     ConstantDelay,
@@ -366,6 +367,7 @@ class ScenarioSpec:
     adversaries: tuple[AdversarySpec, ...] = ()
     batching: BatchingSpec | None = None
     shard: ShardSpec | None = None
+    crypto: CryptoSpec | None = None
     crypto_scale: float = 1.0
     collapsed: bool = True
     suspectors: bool = False
@@ -398,6 +400,11 @@ class ScenarioSpec:
                     "fault plans are not supported on sharded specs yet; "
                     "use adversaries instead"
                 )
+        if self.crypto is not None and self.system != "fs-newtop":
+            raise ValueError(
+                "crypto provider/codec selection applies to the "
+                f"fs-newtop system only, got {self.system!r}"
+            )
         if self.transport is not None and self.transport.live:
             if self.system == "pbft":
                 raise ValueError(
@@ -449,6 +456,7 @@ class ScenarioSpec:
         data["adversaries"] = [a.to_dict() for a in self.adversaries]
         data["batching"] = self.batching.to_dict() if self.batching else None
         data["shard"] = self.shard.to_dict() if self.shard else None
+        data["crypto"] = self.crypto.to_dict() if self.crypto else None
         data["transport"] = self.transport.to_dict() if self.transport else None
         data["gateway"] = self.gateway.to_dict() if self.gateway else None
         data["obs"] = self.obs.to_dict() if self.obs else None
@@ -469,6 +477,10 @@ class ScenarioSpec:
         )
         shard = fields.get("shard")
         fields["shard"] = ShardSpec.from_dict(shard) if shard is not None else None
+        crypto = fields.get("crypto")
+        fields["crypto"] = (
+            CryptoSpec.from_dict(crypto) if crypto is not None else None
+        )
         transport = fields.get("transport")
         fields["transport"] = (
             TransportSpec.from_dict(transport) if transport is not None else None

@@ -68,6 +68,10 @@ class ByzantineTolerantGroup:
         Member indices whose wrappers are :class:`ByzantineFso`
         (fault plans start disabled; switch on via
         :meth:`byzantine_fso`).
+    codec:
+        Signing codec for the group's keystore (``"canonical"`` or
+        ``"binwire"``; default canonical) -- see
+        :mod:`repro.crypto.binwire`.
     member_prefix:
         Prefix of the generated member ids (default ``member-``).  The
         sharded deployment (:mod:`repro.shard`) gives each shard its
@@ -87,6 +91,7 @@ class ByzantineTolerantGroup:
         crypto_costs: CryptoCostModel | None = None,
         fso_config: FsoConfig | None = None,
         scheme: SignatureScheme | None = None,
+        codec: str | None = None,
         collapsed: bool = True,
         byzantine_members: typing.Iterable[int] = (),
         member_prefix: str = "member-",
@@ -99,7 +104,7 @@ class ByzantineTolerantGroup:
         self.network = network if network is not None else Network(
             sim, default_delay=delay if delay is not None else UniformDelay(0.3, 1.2)
         )
-        self.env = FsEnvironment(sim, scheme=scheme, config=fso_config)
+        self.env = FsEnvironment(sim, scheme=scheme, config=fso_config, codec=codec)
         self.member_ids = [f"{member_prefix}{i}" for i in range(n_members)]
         self.members: dict[str, FsMember] = {m: FsMember(m) for m in self.member_ids}
         byzantine_set = {self.member_ids[i] for i in byzantine_members}

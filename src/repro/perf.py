@@ -194,6 +194,11 @@ countersign_cache = IdentityCache(maxsize=131072)
 #: the size of an immutable message is a constant.
 wire_size_cache = IdentityCache(maxsize=262144)
 
+#: Memo of compact binwire encodings (``repro.crypto.binwire``), the
+#: binary-codec counterpart of :data:`encode_cache` -- same identity
+#: keying, same frozen-dataclass-only gate, same lifecycle.
+binwire_cache = IdentityCache(maxsize=262144)
+
 
 def clear_caches() -> None:
     """Drop every live :class:`IdentityCache` (benchmark/test isolation,

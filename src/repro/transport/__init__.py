@@ -41,16 +41,21 @@ __all__ = [
 
 
 def build_transport(
-    spec: "TransportSpec | None" = None, seed: int = 0
+    spec: "TransportSpec | None" = None, seed: int = 0, codec: str = "canonical"
 ) -> Transport:
-    """Construct the transport a spec describes (``None`` means sim)."""
+    """Construct the transport a spec describes (``None`` means sim).
+
+    ``codec`` names the TCP framing codec (from the scenario's
+    :class:`~repro.crypto.provider.CryptoSpec`); the simulator never
+    frames, so it ignores the choice.
+    """
     if spec is None or spec.kind == "sim":
         return SimTransport(seed=seed)
     if spec.kind == "asyncio":
         from repro.transport.aio import AsyncioTransport
 
         return AsyncioTransport(
-            seed=seed, tcp=spec.tcp, time_scale=spec.time_scale
+            seed=seed, tcp=spec.tcp, time_scale=spec.time_scale, codec=codec
         )
     raise ValueError(
         f"unknown transport kind {spec.kind!r}, want one of {TRANSPORT_KINDS}"

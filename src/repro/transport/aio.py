@@ -38,7 +38,7 @@ from repro.sim.errors import SchedulingInPastError, SimulationLimitExceeded
 from repro.sim.events import Event, EventHandle
 from repro.sim.trace import TraceRecorder
 from repro.transport.base import Transport
-from repro.transport.wire import frame, read_frame, wire_decode, wire_encode
+from repro.transport.wire import frame, read_frame, wire_codec
 
 
 def backoff_delays(
@@ -372,8 +372,9 @@ class AsyncioNetwork(Network):
     arrives, it is enqueued on the destination member's
     :class:`asyncio.Queue` and handed to the endpoint by that member's
     pump task -- or, with ``tcp=True``, first crosses a localhost TCP
-    connection as a canonical-codec frame and is enqueued by the
-    destination's frame server.
+    connection as a wire-codec frame (``codec`` selects canonical or
+    binwire; both ends of a run share one spec, so they always agree)
+    and is enqueued by the destination's frame server.
     """
 
     def __init__(
@@ -383,9 +384,12 @@ class AsyncioNetwork(Network):
         fifo: bool = True,
         name: str = "net",
         tcp: bool = False,
+        codec: str = "canonical",
     ) -> None:
         super().__init__(clock, default_delay=default_delay, fifo=fifo, name=name)
         self.tcp = tcp
+        self.codec = codec
+        self._encode, self._decode = wire_codec(codec)
         self._clock = clock
         self._queues: dict[str, asyncio.Queue] = {}
         self._servers: dict[str, asyncio.base_events.Server] = {}
@@ -429,7 +433,7 @@ class AsyncioNetwork(Network):
             return
         self._transit += 1
         if self.tcp:
-            self._peer(envelope.dst).send(wire_encode(envelope))
+            self._peer(envelope.dst).send(self._encode(envelope))
         else:
             self._queues[envelope.dst].put_nowait(envelope)
 
@@ -480,7 +484,7 @@ class AsyncioNetwork(Network):
                 data = await read_frame(reader)
                 if data is None:
                     return
-                envelope = wire_decode(data)
+                envelope = self._decode(data)
                 queue = self._queues.get(envelope.dst)
                 if queue is None:
                     self.stats.messages_dropped += 1
@@ -575,11 +579,13 @@ class AsyncioTransport(Transport):
         tcp: bool = False,
         time_scale: float = 1.0,
         loop: asyncio.AbstractEventLoop | None = None,
+        codec: str = "canonical",
     ) -> None:
         super().__init__(
             AsyncioClock(seed=seed, trace=trace, loop=loop, time_scale=time_scale)
         )
         self.tcp = tcp
+        self.codec = codec
         self._networks: list[AsyncioNetwork] = []
 
     @property
@@ -592,7 +598,11 @@ class AsyncioTransport(Transport):
         name: str = "net",
     ) -> AsyncioNetwork:
         network = AsyncioNetwork(
-            self.aio_clock, default_delay=default_delay, name=name, tcp=self.tcp
+            self.aio_clock,
+            default_delay=default_delay,
+            name=name,
+            tcp=self.tcp,
+            codec=self.codec,
         )
         self._networks.append(network)
         return network

@@ -35,8 +35,16 @@ import time
 # calibration tests (and external callers) import it from here.
 from repro.analysis.metrics import percentile
 from repro.core.config import FsoConfig
-from repro.crypto.costmodel import CryptoCostModel
+from repro.crypto.costmodel import PROVIDER_COSTS, CryptoCostModel
 from repro.crypto.signing import HmacScheme, Signature, SignatureScheme
+
+#: Pair-verification factors by scheme *class name* (what
+#: :class:`CalibrationResult` records): live runs keep the same
+#: amortisation ratio the simulator charges for that provider, so the
+#: sim/live deadline relationship is provider-independent.
+_SCHEME_PAIR_FACTORS = {
+    "Ed25519Scheme": PROVIDER_COSTS["ed25519"].pair_verify_factor,
+}
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -82,10 +90,13 @@ class CalibrationResult:
     # ------------------------------------------------------------------
     def crypto_cost_model(self) -> CryptoCostModel:
         """The cost model live runs charge: measured means, so the CPU
-        emulation's virtual service times track real crypto time."""
+        emulation's virtual service times track real crypto time.  The
+        pair-verification factor stays the provider's own ratio (the
+        amortisation is structural, not host-dependent)."""
         return CryptoCostModel(
             sign_base_ms=max(self.sign_mean_ms, 1e-6),
             verify_base_ms=max(self.verify_mean_ms, 1e-6),
+            pair_verify_factor=_SCHEME_PAIR_FACTORS.get(self.scheme, 2.0),
         )
 
     def fso_config(self, base: FsoConfig | None = None) -> FsoConfig:

@@ -100,6 +100,36 @@ def _register_protocol_types() -> None:
 _register_protocol_types()
 
 
+def registered_wire_types() -> dict[str, type]:
+    """A snapshot of the closed type registry, qualname -> class.
+
+    This is the single source of truth for what may cross a trust
+    boundary: the binwire codec (:mod:`repro.crypto.binwire`) derives
+    its numeric type-id table from exactly this set, so both codecs
+    accept the same closed universe of protocol messages.
+    """
+    return dict(_REGISTRY)
+
+
+def wire_codec(name: str) -> tuple[Any, Any]:
+    """Resolve a framing-codec name to ``(encode, decode)`` callables.
+
+    ``"canonical"`` is the reference pair below; ``"binwire"`` swaps in
+    the compact binary codec.  Both sides of a TCP link must agree --
+    the codec is part of the scenario spec, so every peer of one run
+    resolves the same name.
+    """
+    if name == "canonical":
+        return wire_encode, wire_decode
+    if name == "binwire":
+        from repro.crypto.binwire import binwire_decode, binwire_encode
+
+        return binwire_encode, binwire_decode
+    raise ValueError(
+        f"unknown wire codec {name!r}; known: ['binwire', 'canonical']"
+    )
+
+
 # ----------------------------------------------------------------------
 # decoder (inverse of repro.crypto.canonical's tag format)
 # ----------------------------------------------------------------------

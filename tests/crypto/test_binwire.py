@@ -1,0 +1,307 @@
+"""The compact binwire codec: round-trips, strictness, golden bytes.
+
+Three layers of lockdown:
+
+* property tests -- ``binwire_decode(binwire_encode(v)) == v`` over the
+  full generic value domain, plus determinism (dict insertion order
+  never changes the bytes) and the canonical/binwire value-domain
+  alignment;
+* the closed registry -- every registered wire type round-trips
+  field-for-field (OutputBatch, BatchSingle and the checkpoint
+  certificate payloads included), unregistered dataclasses are
+  rejected, and the strict decoder refuses bad versions, unknown tags,
+  unknown type ids, truncations and trailing bytes;
+* a golden-bytes fixture -- the exact encoding of a representative
+  double-signed output is pinned, so any byte-level format change
+  (however accidental) fails loudly and forces a deliberate
+  ``BINWIRE_VERSION`` bump.
+"""
+
+import dataclasses
+import random
+import typing
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.corba.orb import ObjectRef
+from repro.core.messages import BatchSingle, FsOutput, OutputBatch
+from repro.crypto.binwire import (
+    BINWIRE_VERSION,
+    BinwireError,
+    binwire_decode,
+    binwire_encode,
+    binwire_equivalent,
+    type_id_of,
+)
+from repro.crypto.canonical import canonical_encode
+from repro.crypto.keystore import KeyStore
+from repro.crypto.signing import DoubleSigned, HmacScheme, Signature, Signed
+from repro.transport.wire import registered_wire_types, wire_codec
+
+
+# ----------------------------------------------------------------------
+# generic value domain
+# ----------------------------------------------------------------------
+SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(allow_nan=False),
+    st.text(max_size=24),
+    st.binary(max_size=24),
+)
+
+VALUES = st.recursive(
+    SCALARS,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(value=VALUES)
+@settings(max_examples=120, deadline=None)
+def test_round_trip_generic_values(value):
+    assert binwire_decode(binwire_encode(value)) == value
+
+
+@given(value=VALUES)
+@settings(max_examples=60, deadline=None)
+def test_encoding_is_pure(value):
+    first = binwire_encode(value)
+    perf.clear_caches()
+    assert binwire_encode(value) == first
+
+
+@given(mapping=st.dictionaries(st.text(max_size=8), SCALARS, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_dict_insertion_order_is_canonicalised(mapping):
+    reversed_insertion = dict(reversed(list(mapping.items())))
+    assert binwire_encode(mapping) == binwire_encode(reversed_insertion)
+
+
+@given(value=VALUES)
+@settings(max_examples=60, deadline=None)
+def test_value_domain_matches_canonical(value):
+    # Whatever the generic domain produces must encode under both
+    # codecs: a payload signable under canonical is signable under
+    # binwire, so flipping CryptoSpec.codec can never strand a message.
+    assert binwire_equivalent(value)
+    canonical_encode(value)  # and canonical agrees it is encodable
+
+
+def test_frozenset_round_trips_deterministically():
+    value = frozenset({"b", "a", "c"})
+    assert binwire_decode(binwire_encode(value)) == value
+    assert binwire_encode(frozenset({"c", "a", "b"})) == binwire_encode(value)
+
+
+# ----------------------------------------------------------------------
+# the closed registry: every wire type round-trips
+# ----------------------------------------------------------------------
+def _placeholder(tp):
+    origin = typing.get_origin(tp)
+    if tp is str:
+        return "x"
+    if tp is int:
+        return 1
+    if tp is float:
+        return 1.0
+    if tp is bool:
+        return True
+    if tp is bytes:
+        return b"x"
+    if origin is tuple:
+        return ()
+    if tp is dict or origin is dict:
+        return {}
+    if tp is list or origin is list:
+        return []
+    return None
+
+
+def _instance_of(cls):
+    hints = typing.get_type_hints(cls)
+    values = {
+        field.name: _placeholder(hints.get(field.name))
+        for field in dataclasses.fields(cls)
+        if field.init
+    }
+    return cls(**values)
+
+
+@pytest.mark.parametrize(
+    "qualname", sorted(registered_wire_types()), ids=sorted(registered_wire_types())
+)
+def test_every_registered_type_round_trips(qualname):
+    cls = registered_wire_types()[qualname]
+    original = _instance_of(cls)
+    restored = binwire_decode(binwire_encode(original))
+    assert type(restored) is cls
+    for field in dataclasses.fields(cls):
+        assert getattr(restored, field.name) == getattr(original, field.name)
+
+
+def _signed_output(seq: int = 3) -> Signed:
+    store = KeyStore(HmacScheme())
+    signer = store.new_signer("m0", random.Random(1))
+    return signer.sign_payload(
+        FsOutput(
+            fs_id="t.fs",
+            input_seq=seq,
+            output_idx=0,
+            target=ObjectRef(node="n", key="t.obj"),
+            method="multicast",
+            args=("g", "symmetric_total", f"m-{seq}"),
+        )
+    )
+
+
+def test_output_batch_round_trips():
+    batch = OutputBatch(
+        fs_id="t.fs", batch_no=2, outputs=(_signed_output(1), _signed_output(2))
+    )
+    restored = binwire_decode(binwire_encode(batch))
+    assert restored == batch
+    single = BatchSingle(signed=_signed_output(9))
+    assert binwire_decode(binwire_encode(single)) == single
+
+
+def test_checkpoint_certificate_payload_round_trips():
+    # The app layer's signed checkpoint certificates are (dict payload,
+    # Signature) pairs -- the mixed dict/tuple/bytes shape that
+    # exercises every container tag at once.
+    store = KeyStore(HmacScheme())
+    signer = store.new_signer("m1", random.Random(2))
+    cert = signer.sign_payload(
+        {
+            "kind": "checkpoint",
+            "seq": 128,
+            "state_digest": b"\xab" * 16,
+            "members": ("m0", "m1", "m2"),
+        }
+    )
+    restored = binwire_decode(binwire_encode(cert))
+    assert restored == cert
+    assert store.check_signed(restored)
+
+
+def test_unregistered_dataclass_is_rejected():
+    @dataclasses.dataclass(frozen=True)
+    class NotOnTheWire:
+        x: int = 1
+
+    with pytest.raises(BinwireError, match="not a registered wire type"):
+        binwire_encode(NotOnTheWire())
+
+
+# ----------------------------------------------------------------------
+# strict decoder
+# ----------------------------------------------------------------------
+def test_rejects_empty_and_bad_version():
+    with pytest.raises(BinwireError, match="empty"):
+        binwire_decode(b"")
+    good = binwire_encode(7)
+    with pytest.raises(BinwireError, match="bad binwire version"):
+        binwire_decode(bytes([BINWIRE_VERSION + 1]) + good[1:])
+    with pytest.raises(BinwireError, match="bad binwire version"):
+        binwire_decode(b"\x00" + good[1:])
+
+
+def test_rejects_trailing_bytes():
+    with pytest.raises(BinwireError, match="trailing"):
+        binwire_decode(binwire_encode(7) + b"\x00")
+    with pytest.raises(BinwireError, match="trailing"):
+        binwire_decode(binwire_encode([1, 2]) + binwire_encode(3)[1:])
+
+
+def test_rejects_unknown_tag():
+    with pytest.raises(BinwireError, match="unknown binwire tag"):
+        binwire_decode(bytes([BINWIRE_VERSION, 0x7F]))
+
+
+def test_rejects_unknown_type_id():
+    bogus = type_id_of("no.such.Type")
+    assert bogus not in {type_id_of(n) for n in registered_wire_types()}
+    with pytest.raises(BinwireError, match="unknown binwire type id"):
+        binwire_decode(bytes([BINWIRE_VERSION, 0x0A]) + bogus)
+
+
+@pytest.mark.parametrize(
+    "value", [7, 1.5, "hello", b"bytes", [1, "two"], ("a", 3), {"k": 1}]
+)
+def test_rejects_truncation_everywhere(value):
+    # Every strict prefix of a valid encoding must raise, never return.
+    data = binwire_encode(value)
+    for cut in range(1, len(data)):
+        with pytest.raises(BinwireError):
+            binwire_decode(data[:cut])
+
+
+def test_signed_message_truncation_rejected():
+    data = binwire_encode(_signed_output())
+    for cut in range(1, len(data), 7):
+        with pytest.raises(BinwireError):
+            binwire_decode(data[:cut])
+
+
+# ----------------------------------------------------------------------
+# framing seam + compactness
+# ----------------------------------------------------------------------
+def test_wire_codec_seam():
+    encode, decode = wire_codec("binwire")
+    message = _signed_output()
+    assert decode(encode(message)) == message
+    with pytest.raises(ValueError, match="unknown wire codec"):
+        wire_codec("msgpack")
+
+
+def test_binwire_is_materially_smaller_than_canonical():
+    message = DoubleSigned(
+        payload=_signed_output().payload,
+        first=Signature(signer="m0", value=b"\x11" * 20),
+        second=Signature(signer="m1", value=b"\x22" * 20),
+    )
+    compact = len(binwire_encode(message))
+    verbose = len(canonical_encode(message))
+    assert compact < verbose * 0.6
+
+
+# ----------------------------------------------------------------------
+# golden bytes: the committed format
+# ----------------------------------------------------------------------
+GOLDEN_MESSAGE = DoubleSigned(
+    payload=FsOutput(
+        fs_id="golden.fs",
+        input_seq=7,
+        output_idx=0,
+        target=ObjectRef(node="node-1", key="golden.obj"),
+        method="multicast",
+        args=("group", "symmetric_total", b"\x00\x01payload"),
+    ),
+    first=Signature(signer="m0", value=b"\x11" * 8),
+    second=Signature(signer="m1", value=b"\x22" * 8),
+)
+
+GOLDEN_BYTES = bytes.fromhex(
+    "010a9dcc29310a9273cd770509676f6c64656e2e6673030e03000a771d5173"
+    "05066e6f64652d31050a676f6c64656e2e6f626a05096d756c746963617374"
+    "0803050567726f7570050f73796d6d65747269635f746f74616c0609000170"
+    "61796c6f61640a8c09001c05026d30060811111111111111110a8c09001c05"
+    "026d3106082222222222222222"
+)
+
+
+def test_golden_bytes_are_pinned():
+    # A byte-level change to the format must be deliberate: it shifts
+    # every signature and frame on the wire, so it requires both a
+    # BINWIRE_VERSION bump and a refresh of this fixture.
+    assert binwire_encode(GOLDEN_MESSAGE) == GOLDEN_BYTES
+    assert binwire_decode(GOLDEN_BYTES) == GOLDEN_MESSAGE
+    assert GOLDEN_BYTES[0] == BINWIRE_VERSION == 1

@@ -1,7 +1,11 @@
-"""Tests for the crypto cost model."""
+"""Tests for the crypto cost model, including the provider tables and
+the sim/live deadline relationship the calibration layer preserves."""
+
+import pytest
 
 from repro.crypto import CryptoCostModel
-from repro.crypto.costmodel import FREE_CRYPTO
+from repro.crypto.costmodel import FREE_CRYPTO, PROVIDER_COSTS, provider_cost_model
+from repro.transport.calibration import CalibrationResult
 
 
 def test_sign_cost_dominated_by_private_key_op():
@@ -41,3 +45,64 @@ def test_costs_nonnegative_and_monotone_in_size():
         assert cost >= 0
         assert cost >= last
         last = cost
+
+
+# ----------------------------------------------------------------------
+# provider-aware tables
+# ----------------------------------------------------------------------
+def test_pair_verification_defaults_to_two_sequential_checks():
+    model = CryptoCostModel()
+    assert model.pair_verify_factor == 2.0
+    assert model.double_verify_cost(256) == model.verify_cost(256) * 2.0
+
+
+def test_provider_tables():
+    # The paper's table is the anchor; hmac deliberately shares it (it
+    # exists to cut host time, not simulated time), and ed25519 is
+    # strictly cheaper on every axis with an amortised pair factor.
+    assert provider_cost_model("rsa") == CryptoCostModel()
+    assert provider_cost_model("hmac") == provider_cost_model("rsa")
+    fast = provider_cost_model("ed25519")
+    slow = provider_cost_model("rsa")
+    assert fast.sign_base_ms < slow.sign_base_ms
+    assert fast.verify_base_ms < slow.verify_base_ms
+    assert fast.digest_ms_per_kb < slow.digest_ms_per_kb
+    assert 1.0 <= fast.pair_verify_factor < slow.pair_verify_factor
+    for size in (3, 256, 100_000):
+        assert fast.double_verify_cost(size) < slow.double_verify_cost(size)
+
+
+def test_unknown_provider_table_raises():
+    with pytest.raises(ValueError, match="no cost table"):
+        provider_cost_model("post-quantum")
+
+
+def test_scaled_carries_the_pair_factor():
+    model = PROVIDER_COSTS["ed25519"]
+    scaled = model.scaled(10.0)
+    # the factor is a ratio, not a cost: ablation sweeps must not bend
+    # the relationship between single and pair verification
+    assert scaled.pair_verify_factor == model.pair_verify_factor
+    assert scaled.double_verify_cost(64) == model.double_verify_cost(64) * 10.0
+
+
+def test_calibration_preserves_the_provider_pair_factor():
+    """The sim/live deadline relationship pin: a live run calibrated on
+    scheme X charges the same pair-verification amortisation ratio the
+    simulator charges for X's provider, so moving a scenario from sim to
+    wall-clock never silently changes the shape of its deadlines."""
+    measured = dict(sign_mean_ms=0.21, verify_mean_ms=0.09, samples=8)
+    reference = CalibrationResult(scheme="HmacScheme", **measured)
+    fast = CalibrationResult(scheme="Ed25519Scheme", **measured)
+    ref_model = reference.crypto_cost_model()
+    fast_model = fast.crypto_cost_model()
+    # measured latencies feed through identically...
+    assert ref_model.sign_base_ms == fast_model.sign_base_ms == 0.21
+    assert ref_model.verify_base_ms == fast_model.verify_base_ms == 0.09
+    # ...but the pair factor stays the provider's own structural ratio
+    assert ref_model.pair_verify_factor == CryptoCostModel().pair_verify_factor
+    assert (
+        fast_model.pair_verify_factor
+        == PROVIDER_COSTS["ed25519"].pair_verify_factor
+    )
+    assert fast_model.double_verify_cost(96) < ref_model.double_verify_cost(96)

@@ -1,0 +1,256 @@
+"""Cross-provider differential suite: every provider, same verdicts.
+
+The provider seam's contract is that swapping the signature engine is
+*behaviour-preserving*:
+
+* keystore level (Hypothesis-driven) -- the same seeded keystore and
+  the same message stream produce identical accept verdicts on every
+  provider, and forged / tampered / truncated signatures are rejected
+  by every provider, bit-for-bit the same verdict vector;
+* system level -- an S=1 fig6-style run orders the identical message
+  stream on every provider (with ``costs="paper"`` pinning one cost
+  table, so the virtual timeline is comparable) and raises zero
+  fail-signals;
+* codec level -- flipping the signing/framing codec to binwire is
+  simulation-neutral: same trace fingerprint, same ordered output;
+* seam level -- ``CryptoSpec(provider="hmac", costs="paper")`` routes
+  through the new plumbing to the exact pre-seam behaviour: the trace
+  fingerprint still matches the pin captured before repro.crypto v2
+  existed.
+
+Providers differ in signature *sizes* (64-byte ed25519 values vs the
+rsa integers), which legitimately shifts simulated transmission times,
+so full trace fingerprints are only compared within a provider -- the
+cross-provider invariant is the ordered output and the verdicts.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keystore import KeyStore
+from repro.crypto.provider import CryptoSpec, build_scheme, provider_available
+from repro.crypto.signing import DoubleSigned, Signature
+from repro.experiments.runner import build_ordering_group
+from repro.experiments.spec import ScenarioSpec, ShardSpec
+from repro.perf import clear_caches
+from repro.shard.group import build_sharded_group
+from repro.sim.scheduler import Simulator
+from repro.workloads.ordering import OrderingWorkload, ShardedOrderingWorkload
+
+PROVIDERS = ["hmac", "rsa"] + (
+    ["ed25519"] if provider_available("ed25519") else []
+)
+
+
+# ----------------------------------------------------------------------
+# keystore-level differential (Hypothesis)
+# ----------------------------------------------------------------------
+PAYLOADS = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.text(max_size=16),
+    st.binary(max_size=16),
+    st.tuples(st.text(max_size=8), st.integers(min_value=0, max_value=999)),
+    st.dictionaries(st.text(max_size=6), st.integers(), max_size=3),
+)
+
+
+def _rigs(seed: int):
+    """One identically-seeded keystore + signer pair per provider."""
+    rigs = []
+    for provider in PROVIDERS:
+        store = KeyStore(build_scheme(provider))
+        first = store.new_signer("m0", random.Random(seed))
+        second = store.new_signer("m1", random.Random(seed + 1))
+        rigs.append((provider, store, first, second))
+    return rigs
+
+
+def _truncate(value):
+    """Drop trailing signature material, whatever the value type."""
+    if isinstance(value, bytes):
+        return value[: max(0, len(value) - 1)]
+    if isinstance(value, int):
+        return value >> 8
+    return value
+
+
+@given(
+    payloads=st.lists(PAYLOADS, min_size=1, max_size=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_genuine_stream_accepted_by_every_provider(payloads, seed):
+    verdicts = {}
+    for provider, store, first, second in _rigs(seed):
+        stream = []
+        for payload in payloads:
+            message = second.countersign(first.sign_payload(payload))
+            stream.append(
+                (store.check_signed(first.sign_payload(payload)),
+                 store.check_double(message))
+            )
+        verdicts[provider] = stream
+    reference = verdicts[PROVIDERS[0]]
+    assert all(v == reference for v in verdicts.values())
+    assert all(single and double for single, double in reference)
+
+
+@given(
+    payload=PAYLOADS,
+    seed=st.integers(min_value=0, max_value=2**16),
+    forged_bytes=st.binary(min_size=4, max_size=64),
+)
+@settings(max_examples=25, deadline=None)
+def test_forgeries_rejected_by_every_provider(payload, seed, forged_bytes):
+    for provider, store, first, second in _rigs(seed):
+        message = second.countersign(first.sign_payload(payload))
+        assert store.check_double(message), provider
+
+        forged = DoubleSigned(
+            payload=message.payload,
+            first=message.first,
+            second=Signature(signer="m1", value=forged_bytes),
+        )
+        assert not store.check_double(forged), provider
+
+        truncated = DoubleSigned(
+            payload=message.payload,
+            first=Signature(signer="m0", value=_truncate(message.first.value)),
+            second=message.second,
+        )
+        assert not store.check_double(truncated), provider
+
+        # Same bytes, wrong claimed signer: verification runs against
+        # m1's public material and must fail on every provider.
+        misattributed = DoubleSigned(
+            payload=message.payload,
+            first=Signature(signer="m1", value=message.first.value),
+            second=message.second,
+        )
+        assert not store.check_double(misattributed), provider
+
+
+@given(
+    payload=st.text(min_size=1, max_size=16),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_tampered_payload_rejected_by_every_provider(payload, seed):
+    for provider, store, first, second in _rigs(seed):
+        message = second.countersign(first.sign_payload(payload))
+        tampered = DoubleSigned(
+            payload=payload + "!",
+            first=message.first,
+            second=message.second,
+        )
+        assert not store.check_double(tampered), provider
+
+
+# ----------------------------------------------------------------------
+# system-level differential: S=1 fig6-style runs
+# ----------------------------------------------------------------------
+FIG6_SPEC = ScenarioSpec(
+    system="fs-newtop",
+    n_members=3,
+    messages_per_member=4,
+    interval=40.0,
+    message_size=3,
+    seed=7,
+    settle_ms=500.0,
+)
+S1_SPEC = FIG6_SPEC.replace(shard=ShardSpec(shards=1))
+
+#: The fig6-style trace fingerprint captured before repro.transport and
+#: repro.crypto v2 existed (see tests/transport/test_sim_equivalence.py).
+#: CryptoSpec(provider="hmac", costs="paper") must route through the new
+#: seam to byte-identical behaviour.
+PRE_SEAM_FIG6_PIN = (
+    "4efb5369e033f6badc6040c8bb29abd0496ceb46d5c62b2be764aba9b7c93ec5"
+)
+
+
+def _ordered_output(group, member_ids):
+    return {
+        member: [
+            (message.value["s"], message.value["r"], message.value.get("k"))
+            for message in group.deliveries(member)
+        ]
+        for member in member_ids
+    }
+
+
+def _run(spec: ScenarioSpec):
+    """Mirror the runner's sim-path construction, trace stored."""
+    sim = Simulator(seed=spec.seed)
+    if spec.shard is not None:
+        group = build_sharded_group(sim, spec)
+        workload = ShardedOrderingWorkload(
+            sim,
+            group,
+            messages_per_member=spec.messages_per_member,
+            interval=spec.interval,
+            message_size=spec.message_size,
+            keyspace=spec.shard.keyspace,
+            cross_shard_ratio=spec.shard.cross_shard_ratio,
+        )
+    else:
+        group = build_ordering_group(sim, spec)
+        workload = OrderingWorkload(
+            sim,
+            group,
+            messages_per_member=spec.messages_per_member,
+            interval=spec.interval,
+            message_size=spec.message_size,
+        )
+    workload.run(settle_ms=spec.settle_ms)
+    clear_caches()
+    fail_signals = [r for r in sim.trace.records if r.event == "fail-signal"]
+    return (
+        sim.trace.fingerprint(),
+        _ordered_output(group, group.member_ids),
+        len(fail_signals),
+    )
+
+
+def _spec_for(provider: str, codec: str = "canonical", s1: bool = False):
+    base = S1_SPEC if s1 else FIG6_SPEC
+    return base.replace(
+        crypto=CryptoSpec(provider=provider, codec=codec, costs="paper")
+    )
+
+
+@pytest.mark.parametrize("s1", [False, True], ids=["plain", "s1"])
+def test_cross_provider_runs_order_identically(s1):
+    outputs = {}
+    for provider in PROVIDERS:
+        fingerprint, ordered, fail_signals = _run(_spec_for(provider, s1=s1))
+        assert fail_signals == 0, provider
+        total = sum(len(stream) for stream in ordered.values())
+        assert total == FIG6_SPEC.n_members**2 * FIG6_SPEC.messages_per_member
+        outputs[provider] = ordered
+    reference = outputs[PROVIDERS[0]]
+    for provider, ordered in outputs.items():
+        assert ordered == reference, provider
+
+
+@pytest.mark.parametrize("provider", PROVIDERS)
+def test_same_seed_is_deterministic_per_provider(provider):
+    assert _run(_spec_for(provider)) == _run(_spec_for(provider))
+
+
+@pytest.mark.parametrize("provider", ["hmac"] + (
+    ["ed25519"] if provider_available("ed25519") else []
+))
+def test_binwire_codec_is_simulation_neutral(provider):
+    canonical = _run(_spec_for(provider, codec="canonical", s1=True))
+    binwire = _run(_spec_for(provider, codec="binwire", s1=True))
+    assert canonical == binwire
+
+
+def test_hmac_paper_costs_match_the_pre_seam_pin():
+    fingerprint, __, fail_signals = _run(_spec_for("hmac"))
+    assert fingerprint == PRE_SEAM_FIG6_PIN
+    assert fail_signals == 0
